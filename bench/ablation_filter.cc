@@ -1,0 +1,129 @@
+// Ablation bench (DESIGN.md): design choices of the S3 filtering step.
+//  1. Best-first B_alpha (exact minimal set) vs the paper's threshold
+//     iteration on eq. (4).
+//  2. Index-table range resolution vs pure binary search.
+//  3. Partition depth p sensitivity around the tuned optimum, i.e. the
+//     T(p) = Tf(p) + Tr(p) trade-off of Section IV-A.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/tuner.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace s3vcd::bench {
+namespace {
+
+int Main() {
+  PrintHeader("ablation_filter", "filter algorithm / index table / depth");
+  const uint64_t kDbSize = Scaled(400000);
+  const int kQueries = static_cast<int>(Scaled(200));
+  const double kSigma = 18.0;
+  const double kAlpha = 0.8;
+
+  Corpus corpus = BuildCorpus(6, kDbSize, 6100);
+  const core::S3Index& index = *corpus.index;
+  const core::GaussianDistortionModel model(kSigma);
+  Rng rng(661);
+
+  std::vector<fp::Fingerprint> queries;
+  for (int i = 0; i < kQueries; ++i) {
+    const size_t idx = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(index.database().size()) - 1));
+    queries.push_back(core::DistortFingerprint(
+        index.database().record(idx).descriptor, kSigma, &rng));
+  }
+
+  // 1. Filter algorithm.
+  {
+    Table table({"algorithm", "avg_ms", "avg_blocks", "avg_mass",
+                 "avg_nodes_visited"});
+    for (auto algorithm : {core::FilterAlgorithm::kBestFirst,
+                           core::FilterAlgorithm::kThresholdSearch}) {
+      core::FilterOptions options;
+      options.alpha = kAlpha;
+      options.depth = 14;
+      options.algorithm = algorithm;
+      Stopwatch watch;
+      double mass = 0;
+      uint64_t blocks = 0;
+      uint64_t nodes = 0;
+      for (const auto& q : queries) {
+        const core::BlockSelection sel =
+            index.filter().SelectStatistical(q, model, options);
+        mass += sel.probability_mass;
+        blocks += sel.num_blocks;
+        nodes += sel.nodes_visited;
+      }
+      table.AddRow()
+          .Add(algorithm == core::FilterAlgorithm::kBestFirst
+                   ? "best_first"
+                   : "threshold_search")
+          .Add(watch.ElapsedMillis() / kQueries, 4)
+          .Add(static_cast<double>(blocks) / kQueries, 4)
+          .Add(mass / kQueries, 4)
+          .Add(static_cast<double>(nodes) / kQueries, 4);
+    }
+    table.Print("ablation_filter_algorithm");
+  }
+
+  // 2. Index table vs binary search.
+  {
+    Table table({"range_resolution", "avg_query_ms"});
+    core::QueryOptions options;
+    options.filter.alpha = kAlpha;
+    options.filter.depth = 14;
+    {
+      Stopwatch watch;
+      for (const auto& q : queries) {
+        (void)index.StatisticalQuery(q, model, options);
+      }
+      table.AddRow().Add("index_table_depth_14").Add(
+          watch.ElapsedMillis() / kQueries, 4);
+    }
+    {
+      core::S3IndexOptions no_table;
+      no_table.index_table_depth = 0;
+      core::DatabaseBuilder builder;
+      for (size_t v = 0; v < corpus.video_fps.size(); ++v) {
+        builder.AddVideo(static_cast<uint32_t>(v), corpus.video_fps[v]);
+      }
+      Rng pad_rng(kDbSize ^ 0xd15eedULL);
+      core::AppendDistractors(&builder, corpus.pool,
+                              kDbSize - builder.size(),
+                              core::DistractorOptions{}, &pad_rng);
+      const core::S3Index binary_only(builder.Build(), no_table);
+      Stopwatch watch;
+      for (const auto& q : queries) {
+        (void)binary_only.StatisticalQuery(q, model, options);
+      }
+      table.AddRow().Add("binary_search_only").Add(
+          watch.ElapsedMillis() / kQueries, 4);
+    }
+    table.Print("ablation_range_resolution");
+  }
+
+  // 3. Depth sensitivity: the T(p) curve of Section IV-A.
+  {
+    std::vector<int> depths;
+    for (int p = 6; p <= 26; p += 2) {
+      depths.push_back(p);
+    }
+    const core::DepthTuningResult tuned =
+        core::TuneDepth(index, model, queries, kAlpha, depths);
+    Table table({"depth_p", "avg_total_ms"});
+    for (const auto& [p, ms] : tuned.profile) {
+      table.AddRow().Add(static_cast<int64_t>(p)).Add(ms, 4);
+    }
+    table.Print("ablation_depth_profile");
+    std::printf("tuned p_min = %d (paper: single-minimum T(p) curve)\n",
+                tuned.best_depth);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace s3vcd::bench
+
+int main() { return s3vcd::bench::Main(); }

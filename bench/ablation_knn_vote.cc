@@ -1,0 +1,133 @@
+// Reproduces the paper's Section II argument for why k-NN semantics are
+// wrong for copy detection: "in a large TV archives database, several
+// video clips can be duplicated 600 times, whereas other video clips are
+// unique" — so any fixed k truncates the evidence exactly where it
+// matters. We plant M duplicates of the same content under distinct ids
+// and measure how many of them each search paradigm surfaces per query,
+// and how many of the M ids the full voting pipeline can confirm.
+
+#include <cstdio>
+#include <functional>
+#include <set>
+
+#include "bench_common.h"
+#include "core/knn.h"
+#include "util/table.h"
+
+namespace s3vcd::bench {
+namespace {
+
+int Main() {
+  PrintHeader("ablation_knn_vote",
+              "duplicated content: statistical query vs k-NN evidence");
+  const uint64_t kDbSize = Scaled(200000);
+  const double kSigma = 12.0;
+  const double kAlpha = 0.85;
+  Rng rng(664);
+
+  // One source clip whose fingerprints are planted M times (ids 0..M-1),
+  // then distractor padding. This emulates M rebroadcasts of the same
+  // footage archived under different programme ids.
+  const media::VideoSequence source =
+      media::GenerateSyntheticVideo(ClipConfig(9100));
+  const fp::FingerprintExtractor extractor;
+  const auto source_fps = extractor.Extract(source);
+  std::vector<fp::Fingerprint> pool;
+  for (const auto& lf : source_fps) {
+    pool.push_back(lf.descriptor);
+  }
+
+  Table table({"duplicates_M", "paradigm", "avg_relevant_per_query",
+               "mean_nsim_planted", "ids_confirmed_by_vote"});
+  for (int duplicates : {1, 4, 16, 64}) {
+    core::DatabaseBuilder builder;
+    for (int m = 0; m < duplicates; ++m) {
+      builder.AddVideo(static_cast<uint32_t>(m), source_fps);
+    }
+    Rng pad_rng(9200 + duplicates);
+    core::AppendDistractors(&builder, pool, kDbSize - builder.size(),
+                            core::DistractorOptions{}, &pad_rng);
+    const core::S3Index index(builder.Build());
+    const core::GaussianDistortionModel model(kSigma);
+
+    // The candidate: a mildly transformed copy of the source.
+    const media::VideoSequence candidate =
+        media::TransformChain::Gamma(1.2).Apply(source, &rng);
+    const auto candidate_fps = extractor.Extract(candidate);
+
+    struct Paradigm {
+      const char* name;
+      std::function<core::QueryResult(const fp::Fingerprint&)> run;
+    };
+    core::QueryOptions stat;
+    stat.filter.alpha = kAlpha;
+    stat.filter.depth = 14;
+    core::KnnOptions knn10;
+    knn10.k = 10;
+    knn10.depth = 14;
+    const Paradigm paradigms[] = {
+        {"statistical(a=0.85)",
+         [&](const fp::Fingerprint& q) {
+           return index.StatisticalQuery(q, model, stat);
+         }},
+        {"knn(k=10)",
+         [&](const fp::Fingerprint& q) {
+           return core::KnnQuery(index, q, knn10);
+         }},
+    };
+    for (const Paradigm& paradigm : paradigms) {
+      // Per-query: how many of the M planted ids appear in the result?
+      double relevant = 0;
+      std::vector<cbcd::CandidateEntry> entries;
+      for (const auto& lf : candidate_fps) {
+        const core::QueryResult r = paradigm.run(lf.descriptor);
+        std::set<uint32_t> ids;
+        for (const auto& m : r.matches) {
+          if (m.id < static_cast<uint32_t>(duplicates)) {
+            ids.insert(m.id);
+          }
+        }
+        relevant += static_cast<double>(ids.size());
+        cbcd::CandidateEntry entry;
+        entry.candidate_time_code = lf.time_code;
+        entry.x = lf.x;
+        entry.y = lf.y;
+        entry.matches = r.matches;
+        entries.push_back(std::move(entry));
+      }
+      // Voting: how strongly does each planted id vote, and how many reach
+      // a confident decision (a third of the candidate fingerprints, the
+      // kind of threshold a 10 s clip detector uses)?
+      cbcd::VoteOptions vote_options;
+      const auto votes = cbcd::ComputeVotes(entries, vote_options);
+      const int threshold = static_cast<int>(candidate_fps.size() / 3);
+      int confirmed = 0;
+      double nsim_total = 0;
+      for (const auto& vote : votes) {
+        if (vote.id < static_cast<uint32_t>(duplicates)) {
+          nsim_total += vote.nsim;
+          if (vote.nsim >= threshold) {
+            ++confirmed;
+          }
+        }
+      }
+      table.AddRow()
+          .Add(static_cast<int64_t>(duplicates))
+          .Add(paradigm.name)
+          .Add(relevant / candidate_fps.size(), 4)
+          .Add(nsim_total / duplicates, 4)
+          .Add(static_cast<int64_t>(confirmed));
+    }
+  }
+  table.Print("ablation_knn_vote");
+  std::printf(
+      "expected shape (paper Section II): the statistical query surfaces\n"
+      "all M duplicated ids; k-NN saturates at k and starves the vote as\n"
+      "M grows past it\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace s3vcd::bench
+
+int main() { return s3vcd::bench::Main(); }

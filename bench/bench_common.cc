@@ -1,0 +1,130 @@
+#include "bench_common.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace s3vcd::bench {
+
+double ScaleFactor() {
+  const char* env = std::getenv("S3VCD_SCALE");
+  if (env == nullptr) {
+    return 1.0;
+  }
+  const double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+uint64_t Scaled(uint64_t base) {
+  const double v = std::round(static_cast<double>(base) * ScaleFactor());
+  return v < 1 ? 1 : static_cast<uint64_t>(v);
+}
+
+media::SyntheticVideoConfig ClipConfig(uint64_t seed, int num_frames) {
+  media::SyntheticVideoConfig config;
+  config.width = 96;
+  config.height = 80;
+  config.num_frames = num_frames;
+  config.seed = seed;
+  return config;
+}
+
+double FingerprintsToHours(uint64_t fingerprints) {
+  // Paper Section V: about 50,000 local fingerprints per hour of video.
+  return static_cast<double>(fingerprints) / 50000.0;
+}
+
+Corpus BuildCorpus(int num_videos, uint64_t total_size, uint64_t seed,
+                   int clip_frames) {
+  Corpus corpus;
+  core::DatabaseBuilder builder;
+  for (int v = 0; v < num_videos; ++v) {
+    corpus.videos.push_back(
+        media::GenerateSyntheticVideo(ClipConfig(seed + v, clip_frames)));
+    corpus.video_fps.push_back(
+        corpus.extractor.Extract(corpus.videos.back()));
+    builder.AddVideo(static_cast<uint32_t>(v), corpus.video_fps.back());
+    for (const auto& lf : corpus.video_fps.back()) {
+      corpus.pool.push_back(lf.descriptor);
+    }
+  }
+  S3VCD_CHECK(!corpus.pool.empty());
+  if (builder.size() < total_size) {
+    Rng rng(seed ^ 0x5eedULL);
+    core::AppendDistractors(&builder, corpus.pool,
+                            total_size - builder.size(),
+                            core::DistractorOptions{}, &rng);
+  }
+  corpus.index = std::make_unique<core::S3Index>(builder.Build());
+  return corpus;
+}
+
+std::unique_ptr<core::S3Index> RebuildIndexWithSize(const Corpus& corpus,
+                                                    uint64_t total_size,
+                                                    uint64_t seed) {
+  core::DatabaseBuilder builder;
+  for (size_t v = 0; v < corpus.video_fps.size(); ++v) {
+    builder.AddVideo(static_cast<uint32_t>(v), corpus.video_fps[v]);
+  }
+  if (builder.size() < total_size) {
+    Rng rng(seed ^ 0xd15eedULL);
+    core::AppendDistractors(&builder, corpus.pool,
+                            total_size - builder.size(),
+                            core::DistractorOptions{}, &rng);
+  }
+  return std::make_unique<core::S3Index>(builder.Build());
+}
+
+media::TransformChain TransformSweep::MakeChain(double parameter) const {
+  if (family == "shift") {
+    return media::TransformChain::VerticalShift(parameter);
+  }
+  if (family == "scale") {
+    return media::TransformChain::Resize(parameter);
+  }
+  if (family == "gamma") {
+    return media::TransformChain::Gamma(parameter);
+  }
+  if (family == "contrast") {
+    return media::TransformChain::Contrast(parameter);
+  }
+  if (family == "noise") {
+    return media::TransformChain::Noise(parameter);
+  }
+  return media::TransformChain::Identity();
+}
+
+std::vector<TransformSweep> PaperTransformSweeps() {
+  // Subsets of the x-axes of the paper's Figures 8 and 9 abacuses.
+  return {
+      {"shift", {5, 15, 25, 35}},
+      {"scale", {0.7, 0.85, 1.0, 1.2, 1.4}},
+      {"gamma", {0.5, 0.8, 1.2, 1.8, 2.4}},
+      {"contrast", {0.5, 0.8, 1.2, 2.0, 2.8}},
+      {"noise", {5, 15, 25, 35}},
+  };
+}
+
+bool ClipDetected(const std::vector<cbcd::Detection>& detections,
+                  uint32_t expected_id, double expected_offset,
+                  double frame_tolerance) {
+  for (const auto& d : detections) {
+    if (d.id == expected_id &&
+        std::abs(d.offset - expected_offset) <= frame_tolerance) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void PrintHeader(const std::string& name, const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", name.c_str(), description.c_str());
+  std::printf("scale factor S3VCD_SCALE=%.2f\n", ScaleFactor());
+  std::printf("==============================================================\n");
+  std::fflush(stdout);
+}
+
+}  // namespace s3vcd::bench

@@ -1,0 +1,78 @@
+#ifndef S3VCD_BENCH_BENCH_COMMON_H_
+#define S3VCD_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cbcd/detector.h"
+#include "core/database.h"
+#include "core/distortion_model.h"
+#include "core/index.h"
+#include "core/synthetic_db.h"
+#include "fingerprint/extractor.h"
+#include "media/synthetic.h"
+#include "media/transforms.h"
+#include "util/rng.h"
+
+namespace s3vcd::bench {
+
+/// Experiment-wide scale multiplier, read from the environment variable
+/// S3VCD_SCALE (default 1.0). Raise it to run closer to paper scale.
+double ScaleFactor();
+
+/// Scaled count helper: max(1, round(base * ScaleFactor())).
+uint64_t Scaled(uint64_t base);
+
+/// The synthetic video geometry used by all experiments (a scaled-down
+/// stand-in for the paper's 352x288 MPEG1 clips; see DESIGN.md).
+media::SyntheticVideoConfig ClipConfig(uint64_t seed, int num_frames = 250);
+
+/// The paper reports DB sizes in hours of video at ~50,000 local
+/// fingerprints per hour; we reuse that conversion when printing.
+double FingerprintsToHours(uint64_t fingerprints);
+
+/// A reference corpus: `num_videos` synthetic clips ingested under ids
+/// [0, num_videos), padded with resampled distractors up to `total_size`
+/// fingerprints, plus the extracted fingerprints kept per video.
+struct Corpus {
+  std::vector<media::VideoSequence> videos;
+  std::vector<std::vector<fp::LocalFingerprint>> video_fps;
+  std::vector<fp::Fingerprint> pool;  ///< all real descriptors (resampling)
+  std::unique_ptr<core::S3Index> index;
+  fp::FingerprintExtractor extractor;
+};
+
+Corpus BuildCorpus(int num_videos, uint64_t total_size, uint64_t seed,
+                   int clip_frames = 250);
+
+/// Re-pads an existing corpus into a new index of a different total size
+/// (reuses the extracted real fingerprints; much cheaper than regenerating
+/// the videos).
+std::unique_ptr<core::S3Index> RebuildIndexWithSize(const Corpus& corpus,
+                                                    uint64_t total_size,
+                                                    uint64_t seed);
+
+/// The five transformation families of the paper's Figure 4, with a sweep
+/// of strength values per family (subsets of the paper's abacus x-axes).
+struct TransformSweep {
+  std::string family;               ///< "shift", "scale", "gamma", ...
+  std::vector<double> parameters;   ///< swept strengths
+  media::TransformChain MakeChain(double parameter) const;
+};
+std::vector<TransformSweep> PaperTransformSweeps();
+
+/// Good-detection criterion of Section V-C, evaluated per candidate clip:
+/// some detection carries the right id with a temporal offset within
+/// `frame_tolerance` of the true offset.
+bool ClipDetected(const std::vector<cbcd::Detection>& detections,
+                  uint32_t expected_id, double expected_offset,
+                  double frame_tolerance = 2.0);
+
+/// Prints a standard header line for a bench binary.
+void PrintHeader(const std::string& name, const std::string& description);
+
+}  // namespace s3vcd::bench
+
+#endif  // S3VCD_BENCH_BENCH_COMMON_H_

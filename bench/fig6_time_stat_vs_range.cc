@@ -1,0 +1,85 @@
+// Reproduces Figure 6 of the paper: average search time (ms) versus the
+// query expectation alpha, for the statistical query and the exact
+// spherical epsilon-range query of equal expectation. The paper reports the
+// statistical query 17x to 132x faster, because the hypersphere intersects
+// a huge number of bounding regions in dimension 20 while the statistical
+// region adapts to the blocks.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/math.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace s3vcd::bench {
+namespace {
+
+int Main() {
+  PrintHeader("fig6_time_stat_vs_range",
+              "average search time vs alpha: statistical vs eps-range");
+  const uint64_t kDbSize = Scaled(400000);
+  const int kStatQueries = static_cast<int>(Scaled(400));
+  const int kRangeQueries = static_cast<int>(Scaled(60));
+  const double kSigmaQ = 18.0;
+  const int kDepth = 14;
+
+  Corpus corpus = BuildCorpus(6, kDbSize, 2100);
+  const core::S3Index& index = *corpus.index;
+  Rng rng(556);
+
+  std::vector<fp::Fingerprint> queries;
+  for (int i = 0; i < kStatQueries; ++i) {
+    const size_t idx = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(index.database().size()) - 1));
+    queries.push_back(core::DistortFingerprint(
+        index.database().record(idx).descriptor, kSigmaQ, &rng));
+  }
+
+  const core::GaussianDistortionModel model(kSigmaQ);
+  const ChiNormDistribution chi(fp::kDims, kSigmaQ);
+
+  Table table({"alpha_pct", "statistical_ms", "range_ms", "speedup",
+               "stat_blocks", "range_blocks"});
+  for (double alpha : {0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 0.95}) {
+    const double epsilon = chi.Quantile(alpha);
+    core::QueryOptions stat;
+    stat.filter.alpha = alpha;
+    stat.filter.depth = kDepth;
+
+    Stopwatch watch;
+    uint64_t stat_blocks = 0;
+    for (const auto& q : queries) {
+      const core::QueryResult r = index.StatisticalQuery(q, model, stat);
+      stat_blocks += r.stats.blocks_selected;
+    }
+    const double stat_ms = watch.ElapsedMillis() / queries.size();
+
+    watch.Reset();
+    uint64_t range_blocks = 0;
+    for (int i = 0; i < kRangeQueries; ++i) {
+      const core::QueryResult r =
+          index.RangeQuery(queries[i], epsilon, kDepth);
+      range_blocks += r.stats.blocks_selected;
+    }
+    const double range_ms = watch.ElapsedMillis() / kRangeQueries;
+
+    table.AddRow()
+        .Add(100 * alpha, 3)
+        .Add(stat_ms, 4)
+        .Add(range_ms, 4)
+        .Add(range_ms / (stat_ms > 0 ? stat_ms : 1e-9), 3)
+        .Add(static_cast<double>(stat_blocks) / queries.size(), 4)
+        .Add(static_cast<double>(range_blocks) / kRangeQueries, 4);
+  }
+  table.Print("fig6");
+  std::printf(
+      "paper: statistical query 17x-132x faster than the exact range\n"
+      "query at equal expectation (Pentium IV absolute times differ)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace s3vcd::bench
+
+int main() { return s3vcd::bench::Main(); }

@@ -1,0 +1,136 @@
+// Reproduces Figure 8 of the paper: detection-rate abacuses of the full
+// video CBCD system versus the strength of each of the five transformation
+// families, for several database sizes (alpha fixed at 80%), plus the
+// accompanying table of average single-fingerprint search times per DB
+// size. The paper's headline: the DB size barely affects the detection
+// rate, because the statistical query guarantees the same expectation at
+// any size and the voting stage absorbs the extra false fingerprints.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/math.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace s3vcd::bench {
+namespace {
+
+// Calibrates the decision threshold for one index so that unrelated clips
+// produce no detection (the paper tunes it for < 1 false alarm per hour).
+int CalibrateThreshold(const core::S3Index& index,
+                       const core::DistortionModel& model,
+                       const fp::FingerprintExtractor& extractor,
+                       const cbcd::DetectorOptions& base_options) {
+  cbcd::DetectorOptions probe = base_options;
+  probe.nsim_threshold = 0;
+  const cbcd::CopyDetector detector(&index, &model, probe);
+  int max_spurious = 0;
+  for (int u = 0; u < 4; ++u) {
+    const auto fps = extractor.Extract(
+        media::GenerateSyntheticVideo(ClipConfig(987000 + u)));
+    const auto detections = detector.DetectClip(fps);
+    if (!detections.empty()) {
+      max_spurious = std::max(max_spurious, detections[0].nsim);
+    }
+  }
+  return max_spurious + std::max(2, max_spurious / 4);
+}
+
+int Main() {
+  PrintHeader("fig8_dbsize_abacus",
+              "CBCD detection rate vs transformation strength per DB size");
+  const int kNumVideos = 12;
+  const int kClipsPerPoint = static_cast<int>(Scaled(6));
+  const double kAlpha = 0.80;
+  const double kSigma = 20.0;
+  std::vector<uint64_t> db_sizes = {Scaled(25000), Scaled(100000),
+                                    Scaled(400000), Scaled(1200000)};
+
+  Corpus corpus = BuildCorpus(kNumVideos, 1, 4100);
+  const core::GaussianDistortionModel model(kSigma);
+  Rng rng(558);
+
+  // Pre-extract every transformed candidate once; reuse across DB sizes.
+  struct CandidateSet {
+    std::string family;
+    double parameter;
+    // One entry per candidate clip: (expected id, fingerprints).
+    std::vector<std::pair<uint32_t, std::vector<fp::LocalFingerprint>>>
+        clips;
+  };
+  std::vector<CandidateSet> candidates;
+  const auto sweeps = PaperTransformSweeps();
+  for (const auto& sweep : sweeps) {
+    for (double parameter : sweep.parameters) {
+      CandidateSet set;
+      set.family = sweep.family;
+      set.parameter = parameter;
+      const media::TransformChain chain = sweep.MakeChain(parameter);
+      for (int c = 0; c < kClipsPerPoint; ++c) {
+        const uint32_t vid = static_cast<uint32_t>(c % kNumVideos);
+        const media::VideoSequence transformed =
+            chain.Apply(corpus.videos[vid], &rng);
+        set.clips.emplace_back(vid, corpus.extractor.Extract(transformed));
+      }
+      candidates.push_back(std::move(set));
+    }
+  }
+  std::printf("prepared %zu (family, parameter) candidate sets\n",
+              candidates.size());
+
+  Table rates({"family", "parameter", "db_size", "video_hours",
+               "detection_rate_pct", "threshold_nsim"});
+  Table times({"db_size", "video_hours", "fingerprints",
+               "avg_search_ms_per_fingerprint"});
+  for (uint64_t size : db_sizes) {
+    const auto index = RebuildIndexWithSize(corpus, size, size);
+    cbcd::DetectorOptions options;
+    options.query.filter.alpha = kAlpha;
+    // Partition depth follows the DB size, as the paper's response-time
+    // tuner would pick (p ~ log2 of the record count).
+    options.query.filter.depth =
+        std::max(12, Log2Exact(NextPowerOfTwo(size)) - 3);
+    const int threshold =
+        CalibrateThreshold(*index, model, corpus.extractor, options);
+    options.nsim_threshold = threshold;
+    const cbcd::CopyDetector detector(index.get(), &model, options);
+
+    cbcd::DetectionStats stats;
+    for (const auto& set : candidates) {
+      int detected = 0;
+      for (const auto& [vid, fps] : set.clips) {
+        const auto detections = detector.DetectClip(fps, &stats);
+        if (ClipDetected(detections, vid, 0.0)) {
+          ++detected;
+        }
+      }
+      rates.AddRow()
+          .Add(set.family)
+          .Add(set.parameter, 4)
+          .Add(size)
+          .Add(FingerprintsToHours(size), 3)
+          .Add(100.0 * detected / set.clips.size(), 4)
+          .Add(static_cast<int64_t>(threshold));
+    }
+    times.AddRow()
+        .Add(size)
+        .Add(FingerprintsToHours(size), 3)
+        .Add(static_cast<uint64_t>(index->database().size()))
+        .Add(stats.queries == 0
+                 ? 0.0
+                 : stats.search_seconds * 1e3 / stats.queries,
+             4);
+  }
+  rates.Print("fig8_rates");
+  times.Print("fig8_times");
+  std::printf(
+      "paper: rate vs strength falls off at severe transformations but is\n"
+      "almost independent of the DB size; search time grows sub-linearly\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace s3vcd::bench
+
+int main() { return s3vcd::bench::Main(); }

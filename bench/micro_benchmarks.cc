@@ -1,0 +1,145 @@
+// Google-benchmark micro benchmarks of the core building blocks: Hilbert
+// encode/decode at the paper's D=20 K=8 configuration, block filtering,
+// query execution and index construction.
+
+#include <benchmark/benchmark.h>
+
+#include "core/database.h"
+#include "core/distortion_model.h"
+#include "core/filter.h"
+#include "core/index.h"
+#include "core/synthetic_db.h"
+#include "fingerprint/fingerprint.h"
+#include "hilbert/hilbert_curve.h"
+#include "util/rng.h"
+
+namespace s3vcd {
+namespace {
+
+void BM_HilbertEncode(benchmark::State& state) {
+  const hilbert::HilbertCurve curve(20, 8);
+  Rng rng(1);
+  uint32_t coords[20];
+  for (auto& c : coords) {
+    c = static_cast<uint32_t>(rng.UniformInt(0, 255));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.Encode(coords));
+  }
+}
+BENCHMARK(BM_HilbertEncode);
+
+void BM_HilbertDecode(benchmark::State& state) {
+  const hilbert::HilbertCurve curve(20, 8);
+  Rng rng(2);
+  uint32_t coords[20];
+  for (auto& c : coords) {
+    c = static_cast<uint32_t>(rng.UniformInt(0, 255));
+  }
+  const BitKey key = curve.Encode(coords);
+  for (auto _ : state) {
+    curve.Decode(key, coords);
+    benchmark::DoNotOptimize(coords[0]);
+  }
+}
+BENCHMARK(BM_HilbertDecode);
+
+void BM_SquaredDistance(benchmark::State& state) {
+  Rng rng(3);
+  const fp::Fingerprint a = core::UniformRandomFingerprint(&rng);
+  const fp::Fingerprint b = core::UniformRandomFingerprint(&rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fp::SquaredDistance(a, b));
+  }
+}
+BENCHMARK(BM_SquaredDistance);
+
+void BM_StatisticalFilter(benchmark::State& state) {
+  const hilbert::HilbertCurve curve(20, 8);
+  const core::BlockFilter filter(curve);
+  const core::GaussianDistortionModel model(20.0);
+  Rng rng(4);
+  const fp::Fingerprint q = core::UniformRandomFingerprint(&rng);
+  core::FilterOptions options;
+  options.alpha = 0.8;
+  options.depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.SelectStatistical(q, model, options));
+  }
+}
+BENCHMARK(BM_StatisticalFilter)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+core::S3Index* SharedIndex() {
+  static core::S3Index* index = [] {
+    Rng rng(5);
+    core::DatabaseBuilder builder;
+    std::vector<fp::Fingerprint> centers;
+    for (int c = 0; c < 64; ++c) {
+      centers.push_back(core::UniformRandomFingerprint(&rng));
+    }
+    for (int i = 0; i < 200000; ++i) {
+      builder.Add(core::DistortFingerprint(
+                      centers[static_cast<size_t>(rng.UniformInt(0, 63))],
+                      25.0, &rng),
+                  static_cast<uint32_t>(i % 100),
+                  static_cast<uint32_t>(i));
+    }
+    return new core::S3Index(builder.Build());
+  }();
+  return index;
+}
+
+void BM_StatisticalQuery(benchmark::State& state) {
+  core::S3Index* index = SharedIndex();
+  const core::GaussianDistortionModel model(18.0);
+  Rng rng(6);
+  core::QueryOptions options;
+  options.filter.alpha = static_cast<double>(state.range(0)) / 100.0;
+  options.filter.depth = 14;
+  size_t i = 0;
+  std::vector<fp::Fingerprint> queries;
+  for (int q = 0; q < 64; ++q) {
+    const auto& rec = index->database().record(static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(index->database().size()) - 1)));
+    queries.push_back(core::DistortFingerprint(rec.descriptor, 18.0, &rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index->StatisticalQuery(queries[i++ % queries.size()], model,
+                                options));
+  }
+}
+BENCHMARK(BM_StatisticalQuery)->Arg(50)->Arg(80)->Arg(95);
+
+void BM_SequentialScan(benchmark::State& state) {
+  core::S3Index* index = SharedIndex();
+  Rng rng(7);
+  const fp::Fingerprint q = core::UniformRandomFingerprint(&rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index->SequentialScan(q, 90.0));
+  }
+}
+BENCHMARK(BM_SequentialScan);
+
+void BM_IndexBuild(benchmark::State& state) {
+  Rng rng(8);
+  std::vector<fp::Fingerprint> points;
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    points.push_back(core::UniformRandomFingerprint(&rng));
+  }
+  for (auto _ : state) {
+    core::DatabaseBuilder builder;
+    for (int i = 0; i < n; ++i) {
+      builder.Add(points[i], 0, static_cast<uint32_t>(i));
+    }
+    benchmark::DoNotOptimize(builder.Build());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_IndexBuild)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace s3vcd
+
+BENCHMARK_MAIN();

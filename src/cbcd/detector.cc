@@ -1,0 +1,126 @@
+#include "cbcd/detector.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace s3vcd::cbcd {
+
+CopyDetector::CopyDetector(const core::S3Index* index,
+                           const core::DistortionModel* model,
+                           DetectorOptions options)
+    : index_(index), model_(model), options_(options) {
+  S3VCD_CHECK(index != nullptr);
+  S3VCD_CHECK(model != nullptr);
+}
+
+CandidateEntry CopyDetector::SearchOne(const fp::LocalFingerprint& lf,
+                                       DetectionStats* stats) const {
+  CandidateEntry entry;
+  entry.candidate_time_code = lf.time_code;
+  entry.x = lf.x;
+  entry.y = lf.y;
+  Stopwatch watch;
+  core::QueryResult result =
+      index_->StatisticalQuery(lf.descriptor, *model_, options_.query);
+  entry.matches = std::move(result.matches);
+  if (stats != nullptr) {
+    stats->search_seconds += watch.ElapsedSeconds();
+    ++stats->queries;
+    stats->matches += entry.matches.size();
+  }
+  return entry;
+}
+
+std::vector<Detection> CopyDetector::DetectClip(
+    const std::vector<fp::LocalFingerprint>& candidate_fps,
+    DetectionStats* stats) const {
+  std::vector<CandidateEntry> entries;
+  entries.reserve(candidate_fps.size());
+  for (const fp::LocalFingerprint& lf : candidate_fps) {
+    entries.push_back(SearchOne(lf, stats));
+  }
+  Stopwatch watch;
+  const std::vector<Vote> votes = ComputeVotes(entries, options_.vote);
+  if (stats != nullptr) {
+    stats->vote_seconds += watch.ElapsedSeconds();
+  }
+  std::vector<Detection> detections;
+  for (const Vote& vote : votes) {
+    if (vote.nsim >= options_.nsim_threshold) {
+      detections.push_back({vote.id, vote.offset, vote.nsim, vote.cost});
+    }
+  }
+  return detections;
+}
+
+StreamMonitor::StreamMonitor(const CopyDetector* detector, Options options)
+    : detector_(detector), options_(options) {
+  S3VCD_CHECK(detector != nullptr);
+  S3VCD_CHECK(options.window_keyframes > 0);
+  S3VCD_CHECK(options.window_overlap >= 0 &&
+              options.window_overlap < options.window_keyframes);
+}
+
+std::vector<Detection> StreamMonitor::EvaluateWindow(DetectionStats* stats) {
+  Stopwatch watch;
+  const std::vector<CandidateEntry> window(buffer_.begin(), buffer_.end());
+  const std::vector<Vote> votes =
+      ComputeVotes(window, detector_->options().vote);
+  if (stats != nullptr) {
+    stats->vote_seconds += watch.ElapsedSeconds();
+  }
+  std::vector<Detection> detections;
+  for (const Vote& vote : votes) {
+    if (vote.nsim >= detector_->options().nsim_threshold) {
+      detections.push_back({vote.id, vote.offset, vote.nsim, vote.cost});
+    }
+  }
+  return detections;
+}
+
+std::vector<Detection> StreamMonitor::PushKeyFrame(
+    const std::vector<fp::LocalFingerprint>& keyframe_fps,
+    DetectionStats* stats) {
+  for (const fp::LocalFingerprint& lf : keyframe_fps) {
+    buffer_.push_back(detector_->SearchOne(lf, stats));
+  }
+  ++keyframes_in_window_;
+  if (keyframes_in_window_ < options_.window_keyframes) {
+    return {};
+  }
+  std::vector<Detection> detections = EvaluateWindow(stats);
+  // Slide: keep the overlap tail. Entries are grouped per key-frame in
+  // arrival order; drop whole leading key-frames by time code.
+  const int drop_keyframes =
+      options_.window_keyframes - options_.window_overlap;
+  int dropped = 0;
+  while (!buffer_.empty() && dropped < drop_keyframes) {
+    const uint32_t tc = buffer_.front().candidate_time_code;
+    while (!buffer_.empty() && buffer_.front().candidate_time_code == tc) {
+      buffer_.pop_front();
+    }
+    ++dropped;
+  }
+  keyframes_in_window_ = options_.window_overlap;
+  return detections;
+}
+
+std::vector<Detection> StreamMonitor::Flush(DetectionStats* stats) {
+  if (buffer_.empty()) {
+    return {};
+  }
+  std::vector<Detection> detections = EvaluateWindow(stats);
+  buffer_.clear();
+  keyframes_in_window_ = 0;
+  return detections;
+}
+
+void IngestReferenceVideo(core::DatabaseBuilder* builder,
+                          const fp::FingerprintExtractor& extractor,
+                          uint32_t id, const media::VideoSequence& video) {
+  builder->AddVideo(id, extractor.Extract(video));
+}
+
+}  // namespace s3vcd::cbcd

@@ -1,0 +1,115 @@
+#ifndef S3VCD_CBCD_DETECTOR_H_
+#define S3VCD_CBCD_DETECTOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "cbcd/voting.h"
+#include "core/database.h"
+#include "core/distortion_model.h"
+#include "core/index.h"
+#include "fingerprint/extractor.h"
+#include "media/frame.h"
+
+namespace s3vcd::cbcd {
+
+/// Options of the end-to-end copy detector.
+struct DetectorOptions {
+  /// Statistical query parameters (alpha, depth, ...).
+  core::QueryOptions query;
+  VoteOptions vote;
+  /// Decision threshold on the similarity measure nsim: identifiers with
+  /// fewer temporally coherent votes are not reported. The paper sets it
+  /// so that false alarms average below 1 per hour of monitoring.
+  int nsim_threshold = 4;
+};
+
+/// A reported copy detection.
+struct Detection {
+  uint32_t id = 0;
+  /// Estimated temporal offset b: candidate_tc = reference_tc + b.
+  double offset = 0;
+  int nsim = 0;
+  double cost = 0;
+};
+
+/// Aggregate instrumentation of a detection run.
+struct DetectionStats {
+  uint64_t queries = 0;
+  uint64_t matches = 0;
+  double search_seconds = 0;
+  double vote_seconds = 0;
+};
+
+/// The detection stage of the video CBCD scheme (paper Section III): every
+/// candidate fingerprint is searched with a statistical query, the results
+/// are buffered, and the voting strategy decides which identifiers are
+/// copies.
+class CopyDetector {
+ public:
+  /// `index` and `model` must outlive the detector.
+  CopyDetector(const core::S3Index* index, const core::DistortionModel* model,
+               DetectorOptions options);
+
+  const DetectorOptions& options() const { return options_; }
+
+  /// Runs detection on the fingerprints of a whole candidate clip.
+  /// Detections are sorted by decreasing nsim; only identifiers meeting
+  /// the nsim threshold are returned.
+  std::vector<Detection> DetectClip(
+      const std::vector<fp::LocalFingerprint>& candidate_fps,
+      DetectionStats* stats = nullptr) const;
+
+  /// Searches one candidate fingerprint into a buffer entry (exposed so
+  /// StreamMonitor can share the machinery).
+  CandidateEntry SearchOne(const fp::LocalFingerprint& lf,
+                           DetectionStats* stats = nullptr) const;
+
+ private:
+  const core::S3Index* index_;
+  const core::DistortionModel* model_;
+  DetectorOptions options_;
+};
+
+/// Continuous monitoring front-end (paper Section V-D): a sliding buffer of
+/// key-frame search results over a TV stream; votes are evaluated every
+/// `window_keyframes` key-frames on the buffered window.
+class StreamMonitor {
+ public:
+  struct Options {
+    /// Number of candidate key-frames per voting window.
+    int window_keyframes = 24;
+    /// Overlap between consecutive windows, in key-frames.
+    int window_overlap = 8;
+  };
+
+  StreamMonitor(const CopyDetector* detector, Options options);
+
+  /// Feeds the fingerprints of one candidate key-frame; returns the
+  /// detections of a completed window, if any (empty otherwise).
+  std::vector<Detection> PushKeyFrame(
+      const std::vector<fp::LocalFingerprint>& keyframe_fps,
+      DetectionStats* stats = nullptr);
+
+  /// Evaluates the remaining buffered window.
+  std::vector<Detection> Flush(DetectionStats* stats = nullptr);
+
+ private:
+  std::vector<Detection> EvaluateWindow(DetectionStats* stats);
+
+  const CopyDetector* detector_;
+  Options options_;
+  std::deque<CandidateEntry> buffer_;
+  int keyframes_in_window_ = 0;
+};
+
+/// Reference-side ingestion helper: extracts the fingerprints of `video`
+/// and adds them to `builder` under `id`.
+void IngestReferenceVideo(core::DatabaseBuilder* builder,
+                          const fp::FingerprintExtractor& extractor,
+                          uint32_t id, const media::VideoSequence& video);
+
+}  // namespace s3vcd::cbcd
+
+#endif  // S3VCD_CBCD_DETECTOR_H_

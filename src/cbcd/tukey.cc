@@ -1,0 +1,30 @@
+#include "cbcd/tukey.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace s3vcd::cbcd {
+
+double TukeyRho(double u, double c) {
+  S3VCD_DCHECK(c > 0);
+  const double saturation = c * c / 6.0;
+  const double z = u / c;
+  if (std::abs(u) >= c) {
+    return saturation;
+  }
+  const double t = 1.0 - z * z;
+  return saturation * (1.0 - t * t * t);
+}
+
+double TukeyWeight(double u, double c) {
+  S3VCD_DCHECK(c > 0);
+  if (std::abs(u) >= c) {
+    return 0.0;
+  }
+  const double z = u / c;
+  const double t = 1.0 - z * z;
+  return t * t;
+}
+
+}  // namespace s3vcd::cbcd

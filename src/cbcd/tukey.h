@@ -1,0 +1,20 @@
+#ifndef S3VCD_CBCD_TUKEY_H_
+#define S3VCD_CBCD_TUKEY_H_
+
+namespace s3vcd::cbcd {
+
+/// Tukey's biweight M-estimator cost rho(u) (paper Section III, following
+/// Black & Anandan): quadratic near zero, saturating at |u| >= c so that
+/// outliers contribute a bounded constant instead of dominating the fit.
+///
+/// rho(u) = c^2/6 * (1 - (1 - (u/c)^2)^3)  for |u| <= c
+///        = c^2/6                           otherwise
+double TukeyRho(double u, double c);
+
+/// The influence-function weight w(u) = (1 - (u/c)^2)^2 for |u| <= c, else
+/// 0; used by IRLS refinements.
+double TukeyWeight(double u, double c);
+
+}  // namespace s3vcd::cbcd
+
+#endif  // S3VCD_CBCD_TUKEY_H_

@@ -1,0 +1,288 @@
+#include "cbcd/voting.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "cbcd/tukey.h"
+
+namespace s3vcd::cbcd {
+
+namespace {
+
+// The per-id view of the buffer: for each candidate fingerprint j that
+// matched this id, the candidate time code and the matched reference
+// records. Reference time codes are kept sorted so that evaluating the
+// robust cost at one offset is O(J log K) instead of O(J K) -- the paper
+// itself notes the voting stage becomes the bottleneck at scale (Sec. VI).
+struct PerIdEvidence {
+  struct PerCandidate {
+    uint32_t candidate_tc;
+    float candidate_x;
+    float candidate_y;
+    std::vector<const core::Match*> matches;
+    std::vector<double> sorted_tcs;
+  };
+  std::vector<PerCandidate> candidates;
+};
+
+// Smallest |target - tc| over the candidate's sorted reference time codes.
+double BestAbsResidual(const PerIdEvidence::PerCandidate& cand,
+                       double target) {
+  const auto& tcs = cand.sorted_tcs;
+  const auto it = std::lower_bound(tcs.begin(), tcs.end(), target);
+  double best = std::numeric_limits<double>::infinity();
+  if (it != tcs.end()) {
+    best = *it - target;
+  }
+  if (it != tcs.begin()) {
+    best = std::min(best, target - *(it - 1));
+  }
+  return best;
+}
+
+double EvaluateCost(const PerIdEvidence& evidence, double b, double c) {
+  double cost = 0;
+  for (const auto& cand : evidence.candidates) {
+    // min_k rho(tc' - (tc_k + b)) = rho(min_k |(tc' - b) - tc_k|).
+    cost += TukeyRho(BestAbsResidual(cand, cand.candidate_tc - b), c);
+  }
+  return cost;
+}
+
+// Coarse Hough pass: keeps only the offsets falling in the most supported
+// histogram bins (bin width = tukey_c, plus one-bin neighborhoods), so the
+// exact cost is evaluated on a small, promising subset. `offsets` must be
+// sorted and deduplicated; every offset also carries an implicit support
+// count of one, which is the right granularity after deduplication because
+// coherent copies contribute many distinct offsets into the same bin.
+std::vector<double> HoughSelectOffsets(const std::vector<double>& offsets,
+                                       const PerIdEvidence& evidence,
+                                       double bin_width, int top_bins) {
+  const double lo = offsets.front();
+  const int num_bins =
+      static_cast<int>((offsets.back() - lo) / bin_width) + 1;
+  std::vector<uint32_t> counts(static_cast<size_t>(num_bins), 0);
+  // Support = number of (candidate, match) pairs voting into the bin; this
+  // measures coherence better than deduplicated offsets alone.
+  for (const auto& cand : evidence.candidates) {
+    for (double tc : cand.sorted_tcs) {
+      const double b = static_cast<double>(cand.candidate_tc) - tc;
+      const int bin = static_cast<int>((b - lo) / bin_width);
+      ++counts[static_cast<size_t>(std::clamp(bin, 0, num_bins - 1))];
+    }
+  }
+  // Top bins by support.
+  std::vector<int> order(counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    order[i] = static_cast<int>(i);
+  }
+  const size_t keep = std::min<size_t>(static_cast<size_t>(top_bins),
+                                       order.size());
+  std::partial_sort(order.begin(), order.begin() + keep, order.end(),
+                    [&](int a, int b) { return counts[a] > counts[b]; });
+  std::vector<bool> selected(counts.size(), false);
+  for (size_t i = 0; i < keep; ++i) {
+    const int bin = order[i];
+    for (int d = -1; d <= 1; ++d) {
+      const int n = bin + d;
+      if (n >= 0 && n < num_bins) {
+        selected[static_cast<size_t>(n)] = true;
+      }
+    }
+  }
+  std::vector<double> kept;
+  for (double b : offsets) {
+    const int bin = static_cast<int>((b - lo) / bin_width);
+    if (selected[static_cast<size_t>(std::clamp(bin, 0, num_bins - 1))]) {
+      kept.push_back(b);
+    }
+  }
+  return kept;
+}
+
+}  // namespace
+
+std::vector<Vote> ComputeVotes(const std::vector<CandidateEntry>& entries,
+                               const VoteOptions& options) {
+  // Regroup the buffer per identifier.
+  std::map<uint32_t, PerIdEvidence> by_id;
+  for (const CandidateEntry& entry : entries) {
+    // Group this entry's matches by id first so each id gets at most one
+    // PerCandidate per candidate fingerprint.
+    std::map<uint32_t, std::vector<const core::Match*>> per_id_matches;
+    for (const core::Match& m : entry.matches) {
+      per_id_matches[m.id].push_back(&m);
+    }
+    for (auto& [id, matches] : per_id_matches) {
+      PerIdEvidence::PerCandidate cand;
+      cand.candidate_tc = entry.candidate_time_code;
+      cand.candidate_x = entry.x;
+      cand.candidate_y = entry.y;
+      cand.sorted_tcs.reserve(matches.size());
+      for (const core::Match* m : matches) {
+        cand.sorted_tcs.push_back(static_cast<double>(m->time_code));
+      }
+      std::sort(cand.sorted_tcs.begin(), cand.sorted_tcs.end());
+      cand.matches = std::move(matches);
+      by_id[id].candidates.push_back(std::move(cand));
+    }
+  }
+
+  std::vector<Vote> votes;
+  votes.reserve(by_id.size());
+  for (const auto& [id, evidence] : by_id) {
+    // Candidate offsets: every observed tc'_j - tc_jk is a potential b.
+    std::vector<double> offsets;
+    for (const auto& cand : evidence.candidates) {
+      for (double tc : cand.sorted_tcs) {
+        offsets.push_back(static_cast<double>(cand.candidate_tc) - tc);
+      }
+    }
+    if (offsets.empty()) {
+      continue;
+    }
+    // De-duplicate, then subsample uniformly if the id is pathologically
+    // popular, to bound the evaluation loop.
+    std::sort(offsets.begin(), offsets.end());
+    offsets.erase(std::unique(offsets.begin(), offsets.end()),
+                  offsets.end());
+    if (offsets.size() > options.hough_threshold) {
+      offsets = HoughSelectOffsets(offsets, evidence,
+                                   std::max(1.0, options.tukey_c),
+                                   options.hough_top_bins);
+    }
+    if (offsets.size() > options.max_candidate_offsets) {
+      std::vector<double> sampled;
+      sampled.reserve(options.max_candidate_offsets);
+      const double stride = static_cast<double>(offsets.size()) /
+                            static_cast<double>(options.max_candidate_offsets);
+      for (size_t i = 0; i < options.max_candidate_offsets; ++i) {
+        sampled.push_back(offsets[static_cast<size_t>(i * stride)]);
+      }
+      offsets = std::move(sampled);
+    }
+
+    double best_b = offsets.front();
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (double b : offsets) {
+      const double cost = EvaluateCost(evidence, b, options.tukey_c);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_b = b;
+      }
+    }
+
+    if (options.refine_offset) {
+      // IRLS on the Tukey M-estimator: each candidate contributes its
+      // closest reference time code, weighted by the influence function.
+      for (int iter = 0; iter < options.irls_iterations; ++iter) {
+        double weighted_sum = 0;
+        double weight_total = 0;
+        for (const auto& cand : evidence.candidates) {
+          const double target = cand.candidate_tc - best_b;
+          const auto it = std::lower_bound(cand.sorted_tcs.begin(),
+                                           cand.sorted_tcs.end(), target);
+          double best_tc = 0;
+          double best_abs = std::numeric_limits<double>::infinity();
+          if (it != cand.sorted_tcs.end()) {
+            best_tc = *it;
+            best_abs = std::abs(*it - target);
+          }
+          if (it != cand.sorted_tcs.begin() &&
+              std::abs(*(it - 1) - target) < best_abs) {
+            best_tc = *(it - 1);
+            best_abs = std::abs(*(it - 1) - target);
+          }
+          if (!std::isfinite(best_abs)) {
+            continue;
+          }
+          const double residual = cand.candidate_tc - (best_tc + best_b);
+          const double w = TukeyWeight(residual, options.tukey_c);
+          weighted_sum += w * (cand.candidate_tc - best_tc);
+          weight_total += w;
+        }
+        if (weight_total <= 0) {
+          break;
+        }
+        const double next = weighted_sum / weight_total;
+        if (std::abs(next - best_b) < 1e-6) {
+          best_b = next;
+          break;
+        }
+        best_b = next;
+      }
+      best_cost = EvaluateCost(evidence, best_b, options.tukey_c);
+    }
+
+    // Count nsim: candidate fingerprints with a residual within tolerance
+    // of the estimated model. With the spatial extension enabled, first
+    // estimate the median displacement of the temporally consistent
+    // matches, then require agreement with it.
+    std::vector<std::pair<double, double>> displacements;
+    int temporally_consistent = 0;
+    for (const auto& cand : evidence.candidates) {
+      const core::Match* best_match = nullptr;
+      double best_abs = options.tolerance;
+      for (const core::Match* m : cand.matches) {
+        const double residual =
+            static_cast<double>(cand.candidate_tc) -
+            (static_cast<double>(m->time_code) + best_b);
+        if (std::abs(residual) <= best_abs) {
+          best_abs = std::abs(residual);
+          best_match = m;
+        }
+      }
+      if (best_match != nullptr) {
+        ++temporally_consistent;
+        displacements.emplace_back(cand.candidate_x - best_match->x,
+                                   cand.candidate_y - best_match->y);
+      }
+    }
+    int nsim = temporally_consistent;
+    if (options.use_spatial_coherence && !displacements.empty()) {
+      auto median_of = [](std::vector<double> v) {
+        const size_t upper = v.size() / 2;
+        std::nth_element(v.begin(), v.begin() + upper, v.end());
+        if (v.size() % 2 == 1) {
+          return v[upper];
+        }
+        const double hi = v[upper];
+        const double lo = *std::max_element(v.begin(), v.begin() + upper);
+        return 0.5 * (lo + hi);
+      };
+      std::vector<double> dx;
+      std::vector<double> dy;
+      for (const auto& [a, b] : displacements) {
+        dx.push_back(a);
+        dy.push_back(b);
+      }
+      const double mx = median_of(dx);
+      const double my = median_of(dy);
+      nsim = 0;
+      for (const auto& [a, b] : displacements) {
+        if (std::hypot(a - mx, b - my) <= options.spatial_tolerance) {
+          ++nsim;
+        }
+      }
+    }
+
+    Vote vote;
+    vote.id = id;
+    vote.offset = best_b;
+    vote.nsim = nsim;
+    vote.cost = best_cost;
+    votes.push_back(vote);
+  }
+
+  std::sort(votes.begin(), votes.end(), [](const Vote& a, const Vote& b) {
+    if (a.nsim != b.nsim) {
+      return a.nsim > b.nsim;
+    }
+    return a.cost < b.cost;
+  });
+  return votes;
+}
+
+}  // namespace s3vcd::cbcd

@@ -1,0 +1,31 @@
+#include "core/distortion_model.h"
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace s3vcd::core {
+
+GaussianDistortionModel::GaussianDistortionModel(double sigma)
+    : sigma_(sigma) {
+  S3VCD_CHECK(sigma > 0);
+}
+
+double GaussianDistortionModel::ComponentMass(int /*component*/, double lo,
+                                              double hi, double q) const {
+  return GaussianMass(lo, hi, q, sigma_);
+}
+
+PerComponentGaussianModel::PerComponentGaussianModel(
+    const std::array<double, fp::kDims>& sigmas)
+    : sigmas_(sigmas) {
+  for (double s : sigmas_) {
+    S3VCD_CHECK(s > 0);
+  }
+}
+
+double PerComponentGaussianModel::ComponentMass(int component, double lo,
+                                                double hi, double q) const {
+  return GaussianMass(lo, hi, q, sigmas_[component]);
+}
+
+}  // namespace s3vcd::core

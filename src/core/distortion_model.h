@@ -1,0 +1,70 @@
+#ifndef S3VCD_CORE_DISTORTION_MODEL_H_
+#define S3VCD_CORE_DISTORTION_MODEL_H_
+
+#include <array>
+#include <memory>
+
+#include "fingerprint/fingerprint.h"
+
+namespace s3vcd::core {
+
+/// Probabilistic model of the distortion vector Delta S = S(m) - S(t(m))
+/// between a referenced fingerprint and the fingerprint of a transformed
+/// copy (paper Section II). The S3 system only requires the D components to
+/// be independent; a model supplies, per component, the probability that a
+/// referenced value falls in an interval given the query value.
+class DistortionModel {
+ public:
+  virtual ~DistortionModel() = default;
+
+  /// P(X_j in [lo, hi) | Q_j = q) where X = Q + Delta S, i.e. the mass the
+  /// distortion density centered at q puts on the interval.
+  virtual double ComponentMass(int component, double lo, double hi,
+                               double q) const = 0;
+
+  /// Characteristic scale of component `component` (its standard
+  /// deviation for Gaussian models). Used by the normalized-radius
+  /// refinement to weight distances per component.
+  virtual double ComponentScale(int component) const { return 1.0; }
+};
+
+/// The paper's practical choice (Section IV-C): zero-mean normal with the
+/// same standard deviation for every component, estimated from the most
+/// severe expected transformation.
+class GaussianDistortionModel final : public DistortionModel {
+ public:
+  explicit GaussianDistortionModel(double sigma);
+
+  double ComponentMass(int component, double lo, double hi,
+                       double q) const override;
+  double ComponentScale(int /*component*/) const override { return sigma_; }
+
+  double sigma() const { return sigma_; }
+
+ private:
+  double sigma_;
+};
+
+/// Extension (paper Section VI, "investigations in the statistical
+/// modeling"): an independent zero-mean normal per component, using the
+/// per-component sigmas measured by the simulated perfect detector.
+class PerComponentGaussianModel final : public DistortionModel {
+ public:
+  explicit PerComponentGaussianModel(
+      const std::array<double, fp::kDims>& sigmas);
+
+  double ComponentMass(int component, double lo, double hi,
+                       double q) const override;
+  double ComponentScale(int component) const override {
+    return sigmas_[component];
+  }
+
+  double sigma(int component) const { return sigmas_[component]; }
+
+ private:
+  std::array<double, fp::kDims> sigmas_;
+};
+
+}  // namespace s3vcd::core
+
+#endif  // S3VCD_CORE_DISTORTION_MODEL_H_

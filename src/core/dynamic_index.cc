@@ -1,0 +1,119 @@
+#include "core/dynamic_index.h"
+
+#include <cmath>
+
+#include "util/timer.h"
+
+namespace s3vcd::core {
+
+DynamicIndex::DynamicIndex(S3Index base) : base_(std::move(base)) {}
+
+void DynamicIndex::Insert(const fp::Fingerprint& fingerprint, uint32_t id,
+                          uint32_t time_code, float x, float y) {
+  BufferedRecord buffered;
+  buffered.record = {fingerprint, id, time_code, x, y};
+  buffered.key = base_.database().EncodeFingerprint(fingerprint);
+  buffer_.push_back(std::move(buffered));
+}
+
+void DynamicIndex::AppendBufferMatches(
+    const fp::Fingerprint& query,
+    const std::vector<std::pair<BitKey, BitKey>>& ranges,
+    RefinementMode mode, double radius, const DistortionModel* model,
+    QueryResult* result) const {
+  const double radius_sq = radius * radius;
+  for (const BufferedRecord& buffered : buffer_) {
+    bool inside = false;
+    for (const auto& [begin, end] : ranges) {
+      if (begin <= buffered.key && buffered.key < end) {
+        inside = true;
+        break;
+      }
+    }
+    if (!inside) {
+      continue;
+    }
+    ++result->stats.records_scanned;
+    const double dist_sq =
+        fp::SquaredDistance(query, buffered.record.descriptor);
+    if (mode == RefinementMode::kRadiusFilter && dist_sq > radius_sq) {
+      continue;
+    }
+    if (mode == RefinementMode::kNormalizedRadiusFilter &&
+        model != nullptr) {
+      double norm_sq = 0;
+      for (int j = 0; j < fp::kDims; ++j) {
+        const double d =
+            (static_cast<double>(query[j]) - buffered.record.descriptor[j]) /
+            model->ComponentScale(j);
+        norm_sq += d * d;
+      }
+      if (norm_sq > radius_sq) {
+        continue;
+      }
+    }
+    result->matches.push_back(
+        {buffered.record.id, buffered.record.time_code,
+         static_cast<float>(std::sqrt(dist_sq)), buffered.record.x,
+         buffered.record.y});
+  }
+}
+
+QueryResult DynamicIndex::StatisticalQuery(const fp::Fingerprint& query,
+                                           const DistortionModel& model,
+                                           const QueryOptions& options) const {
+  QueryResult result;
+  Stopwatch watch;
+  const BlockSelection selection =
+      base_.filter().SelectStatistical(query, model, options.filter);
+  result.stats.filter_seconds = watch.ElapsedSeconds();
+  result.stats.blocks_selected = selection.num_blocks;
+  result.stats.nodes_visited = selection.nodes_visited;
+  result.stats.probability_mass = selection.probability_mass;
+
+  watch.Reset();
+  base_.ScanSelection(query, selection, options.refinement, options.radius,
+                      &model, &result);
+  AppendBufferMatches(query, selection.ranges, options.refinement,
+                      options.radius, &model, &result);
+  result.stats.refine_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+QueryResult DynamicIndex::RangeQuery(const fp::Fingerprint& query,
+                                     double epsilon, int depth) const {
+  QueryResult result;
+  Stopwatch watch;
+  const BlockSelection selection =
+      base_.filter().SelectRange(query, epsilon, depth);
+  result.stats.filter_seconds = watch.ElapsedSeconds();
+  result.stats.blocks_selected = selection.num_blocks;
+
+  watch.Reset();
+  base_.ScanSelection(query, selection, RefinementMode::kRadiusFilter,
+                      epsilon, nullptr, &result);
+  AppendBufferMatches(query, selection.ranges, RefinementMode::kRadiusFilter,
+                      epsilon, nullptr, &result);
+  result.stats.refine_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+void DynamicIndex::Compact() {
+  if (buffer_.empty()) {
+    return;
+  }
+  DatabaseBuilder builder(base_.database().order());
+  for (size_t i = 0; i < base_.database().size(); ++i) {
+    const FingerprintRecord& r = base_.database().record(i);
+    builder.Add(r.descriptor, r.id, r.time_code, r.x, r.y);
+  }
+  for (const BufferedRecord& buffered : buffer_) {
+    const FingerprintRecord& r = buffered.record;
+    builder.Add(r.descriptor, r.id, r.time_code, r.x, r.y);
+  }
+  const S3IndexOptions options = base_.options();
+  base_ = S3Index(builder.Build(), options);
+  buffer_.clear();
+}
+
+}  // namespace s3vcd::core

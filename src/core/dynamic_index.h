@@ -1,0 +1,74 @@
+#ifndef S3VCD_CORE_DYNAMIC_INDEX_H_
+#define S3VCD_CORE_DYNAMIC_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/database.h"
+#include "core/distortion_model.h"
+#include "core/index.h"
+#include "fingerprint/fingerprint.h"
+#include "util/bitkey.h"
+
+namespace s3vcd::core {
+
+/// Extension beyond the paper: the S3 structure is deliberately static
+/// ("no dynamic insertion or deletion are possible", Section IV), yet the
+/// INA use case ingests new reference material continuously. DynamicIndex
+/// layers a small unsorted write buffer (a memtable, LSM-style) on top of
+/// the static Hilbert-sorted index:
+///
+///  * Insert is O(1): the record and its Hilbert key go to the buffer.
+///  * Queries run on the static index as usual, then post-filter the
+///    buffer by key membership in the selected curve sections, so the
+///    statistical-query semantics (all fingerprints inside V_alpha) are
+///    preserved exactly over the union of both parts.
+///  * Compact() folds the buffer into a freshly built static part (the
+///    sort is near-linear on the almost-sorted input) and rebuilds the
+///    index table.
+///
+/// Single-writer, no concurrent mutation during queries.
+class DynamicIndex {
+ public:
+  explicit DynamicIndex(S3Index base);
+
+  const S3Index& base() const { return base_; }
+  size_t pending_inserts() const { return buffer_.size(); }
+  size_t total_size() const { return base_.database().size() + buffer_.size(); }
+
+  /// Buffers one fingerprint; visible to queries immediately.
+  void Insert(const fp::Fingerprint& fingerprint, uint32_t id,
+              uint32_t time_code, float x = 0, float y = 0);
+
+  /// Statistical query over static part + buffer (same semantics as
+  /// S3Index::StatisticalQuery on an equivalent fully-built index).
+  QueryResult StatisticalQuery(const fp::Fingerprint& query,
+                               const DistortionModel& model,
+                               const QueryOptions& options) const;
+
+  /// Exact range query over static part + buffer.
+  QueryResult RangeQuery(const fp::Fingerprint& query, double epsilon,
+                         int depth) const;
+
+  /// Folds the buffer into the static part.
+  void Compact();
+
+ private:
+  struct BufferedRecord {
+    FingerprintRecord record;
+    BitKey key;
+  };
+
+  void AppendBufferMatches(const fp::Fingerprint& query,
+                           const std::vector<std::pair<BitKey, BitKey>>& ranges,
+                           RefinementMode mode, double radius,
+                           const DistortionModel* model,
+                           QueryResult* result) const;
+
+  S3Index base_;
+  std::vector<BufferedRecord> buffer_;
+};
+
+}  // namespace s3vcd::core
+
+#endif  // S3VCD_CORE_DYNAMIC_INDEX_H_

@@ -1,0 +1,238 @@
+#include "core/external_builder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <queue>
+
+#include "util/io.h"
+#include "util/logging.h"
+
+namespace s3vcd::core {
+
+namespace {
+
+constexpr uint32_t kRunMagic = 0x53325255;  // "S2RU"
+// Run record layout: 32-byte key + serialized record.
+constexpr size_t kKeyBytes = 32;
+constexpr size_t kRunRecordBytes = kKeyBytes + internal::kRecordBytes;
+
+void SerializeKeyed(const BitKey& key, const FingerprintRecord& record,
+                    uint8_t* out) {
+  for (int w = 0; w < BitKey::kWords; ++w) {
+    const uint64_t v = key.word(w);
+    std::memcpy(out + w * 8, &v, 8);
+  }
+  internal::SerializeRecord(record, out + kKeyBytes);
+}
+
+void DeserializeKeyed(const uint8_t* in, BitKey* key,
+                      FingerprintRecord* record) {
+  for (int w = 0; w < BitKey::kWords; ++w) {
+    uint64_t v = 0;
+    std::memcpy(&v, in + w * 8, 8);
+    key->set_word(w, v);
+  }
+  internal::DeserializeRecord(in + kKeyBytes, record);
+}
+
+// Buffered sequential reader over one sorted run file.
+class RunReader {
+ public:
+  explicit RunReader(const std::string& path) : path_(path) {}
+
+  Status Open() {
+    S3VCD_RETURN_IF_ERROR(reader_.Open(path_));
+    uint32_t magic = 0;
+    S3VCD_RETURN_IF_ERROR(reader_.ReadU32(&magic));
+    if (magic != kRunMagic) {
+      return Status::Corruption("not a run file: " + path_);
+    }
+    S3VCD_RETURN_IF_ERROR(reader_.ReadU64(&remaining_));
+    return Advance();
+  }
+
+  bool exhausted() const { return exhausted_; }
+  const BitKey& key() const { return key_; }
+  const FingerprintRecord& record() const { return record_; }
+
+  Status Advance() {
+    if (remaining_ == 0) {
+      exhausted_ = true;
+      return reader_.Close();
+    }
+    uint8_t buf[kRunRecordBytes];
+    S3VCD_RETURN_IF_ERROR(reader_.ReadBytes(buf, kRunRecordBytes));
+    DeserializeKeyed(buf, &key_, &record_);
+    --remaining_;
+    return Status::OK();
+  }
+
+ private:
+  std::string path_;
+  BinaryReader reader_;
+  uint64_t remaining_ = 0;
+  bool exhausted_ = false;
+  BitKey key_;
+  FingerprintRecord record_;
+};
+
+}  // namespace
+
+ExternalDatabaseBuilder::ExternalDatabaseBuilder(
+    std::string output_path, const ExternalBuilderOptions& options)
+    : output_path_(std::move(output_path)),
+      options_(options),
+      curve_(fp::kDims, options.order) {
+  S3VCD_CHECK(options.max_records_in_memory >= 2);
+  buffer_.reserve(std::min<size_t>(options.max_records_in_memory, 1 << 16));
+}
+
+ExternalDatabaseBuilder::~ExternalDatabaseBuilder() {
+  // Best-effort cleanup of temporaries if Finish was never called.
+  for (const std::string& path : run_paths_) {
+    std::remove(path.c_str());
+  }
+}
+
+void ExternalDatabaseBuilder::SortBuffer() {
+  std::sort(buffer_.begin(), buffer_.end(),
+            [](const KeyedRecord& a, const KeyedRecord& b) {
+              return a.key < b.key;
+            });
+}
+
+Status ExternalDatabaseBuilder::SpillRun() {
+  SortBuffer();
+  const std::string path = options_.temp_dir + "/s3vcd_run_" +
+                           std::to_string(reinterpret_cast<uintptr_t>(this)) +
+                           "_" + std::to_string(run_paths_.size()) + ".tmp";
+  BinaryWriter writer;
+  S3VCD_RETURN_IF_ERROR(writer.Open(path));
+  S3VCD_RETURN_IF_ERROR(writer.WriteU32(kRunMagic));
+  S3VCD_RETURN_IF_ERROR(writer.WriteU64(buffer_.size()));
+  uint8_t buf[kRunRecordBytes];
+  for (const KeyedRecord& kr : buffer_) {
+    SerializeKeyed(kr.key, kr.record, buf);
+    S3VCD_RETURN_IF_ERROR(writer.WriteBytes(buf, kRunRecordBytes));
+  }
+  S3VCD_RETURN_IF_ERROR(writer.Close());
+  run_paths_.push_back(path);
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status ExternalDatabaseBuilder::Add(const fp::Fingerprint& fingerprint,
+                                    uint32_t id, uint32_t time_code, float x,
+                                    float y) {
+  if (finished_) {
+    return Status::FailedPrecondition("builder already finished");
+  }
+  KeyedRecord kr;
+  uint32_t coords[fp::kDims];
+  const int shift = 8 - curve_.order();
+  for (int j = 0; j < fp::kDims; ++j) {
+    coords[j] = static_cast<uint32_t>(fingerprint[j]) >> shift;
+  }
+  kr.key = curve_.Encode(coords);
+  kr.record = {fingerprint, id, time_code, x, y};
+  buffer_.push_back(kr);
+  ++total_records_;
+  if (buffer_.size() >= options_.max_records_in_memory) {
+    return SpillRun();
+  }
+  return Status::OK();
+}
+
+Status ExternalDatabaseBuilder::AddVideo(
+    uint32_t id, const std::vector<fp::LocalFingerprint>& fps) {
+  for (const fp::LocalFingerprint& lf : fps) {
+    S3VCD_RETURN_IF_ERROR(Add(lf.descriptor, id, lf.time_code, lf.x, lf.y));
+  }
+  return Status::OK();
+}
+
+Status ExternalDatabaseBuilder::Finish() {
+  if (finished_) {
+    return Status::FailedPrecondition("builder already finished");
+  }
+  finished_ = true;
+  SortBuffer();
+
+  // Output header (same format as FingerprintDatabase::SaveToFile).
+  BinaryWriter writer;
+  S3VCD_RETURN_IF_ERROR(writer.Open(output_path_));
+  S3VCD_RETURN_IF_ERROR(writer.WriteU32(0x53334442));  // "S3DB"
+  S3VCD_RETURN_IF_ERROR(writer.WriteU32(1));           // version
+  S3VCD_RETURN_IF_ERROR(writer.WriteU32(static_cast<uint32_t>(fp::kDims)));
+  S3VCD_RETURN_IF_ERROR(
+      writer.WriteU32(static_cast<uint32_t>(curve_.order())));
+  S3VCD_RETURN_IF_ERROR(writer.WriteU64(total_records_));
+
+  // K-way merge of the spilled runs plus the in-memory tail.
+  std::vector<std::unique_ptr<RunReader>> runs;
+  for (const std::string& path : run_paths_) {
+    runs.push_back(std::make_unique<RunReader>(path));
+    S3VCD_RETURN_IF_ERROR(runs.back()->Open());
+  }
+  size_t tail_pos = 0;
+
+  struct HeapEntry {
+    BitKey key;
+    int source;  // run index, or -1 for the in-memory tail
+  };
+  auto greater = [](const HeapEntry& a, const HeapEntry& b) {
+    return b.key < a.key;
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, decltype(greater)>
+      heap(greater);
+  for (size_t r = 0; r < runs.size(); ++r) {
+    if (!runs[r]->exhausted()) {
+      heap.push({runs[r]->key(), static_cast<int>(r)});
+    }
+  }
+  if (tail_pos < buffer_.size()) {
+    heap.push({buffer_[tail_pos].key, -1});
+  }
+
+  uint8_t buf[internal::kRecordBytes];
+  uint64_t written = 0;
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    if (top.source < 0) {
+      internal::SerializeRecord(buffer_[tail_pos].record, buf);
+      S3VCD_RETURN_IF_ERROR(
+          writer.WriteBytes(buf, internal::kRecordBytes));
+      ++tail_pos;
+      if (tail_pos < buffer_.size()) {
+        heap.push({buffer_[tail_pos].key, -1});
+      }
+    } else {
+      RunReader& run = *runs[static_cast<size_t>(top.source)];
+      internal::SerializeRecord(run.record(), buf);
+      S3VCD_RETURN_IF_ERROR(
+          writer.WriteBytes(buf, internal::kRecordBytes));
+      S3VCD_RETURN_IF_ERROR(run.Advance());
+      if (!run.exhausted()) {
+        heap.push({run.key(), top.source});
+      }
+    }
+    ++written;
+  }
+  if (written != total_records_) {
+    return Status::Internal("merge produced a different record count");
+  }
+  S3VCD_RETURN_IF_ERROR(writer.WriteU32(writer.crc()));
+  S3VCD_RETURN_IF_ERROR(writer.Close());
+
+  for (const std::string& path : run_paths_) {
+    std::remove(path.c_str());
+  }
+  run_paths_.clear();
+  buffer_.clear();
+  return Status::OK();
+}
+
+}  // namespace s3vcd::core

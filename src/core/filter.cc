@@ -1,0 +1,365 @@
+#include "core/filter.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace s3vcd::core {
+
+namespace {
+
+using hilbert::BlockTree;
+
+// A block-tree node annotated with its per-axis probability factors. A
+// quantized byte value b represents the continuous interval
+// [b - 0.5, b + 0.5), so a cell range [lo, hi) in cells maps to the byte
+// interval [lo * w - 0.5, hi * w - 0.5) with w the cell width in bytes.
+// The node type is shared by the Hilbert and Z-order trees.
+struct ProbNode {
+  BlockTree::Node node;
+  std::array<double, fp::kDims> axis_mass;
+  double prob = 0;
+};
+
+// Byte components of distorted fingerprints are clamped to [0, 255], so the
+// grid-edge cells absorb the entire tail of the distortion density: the
+// lowest cell represents (-inf, lo+w) and the highest [hi-w, +inf).
+constexpr double kInfinityBytes = 1e30;
+
+double ByteLo(uint32_t cell_lo, int shift) {
+  if (cell_lo == 0) {
+    return -kInfinityBytes;
+  }
+  return static_cast<double>(cell_lo << shift) - 0.5;
+}
+double ByteHi(uint32_t cell_hi, int shift, uint32_t grid_size) {
+  if (cell_hi == grid_size) {
+    return kInfinityBytes;
+  }
+  return static_cast<double>(cell_hi << shift) - 0.5;
+}
+
+template <typename Tree>
+ProbNode MakeRoot(const Tree& tree, const fp::Fingerprint& query,
+                  const DistortionModel& model, int shift) {
+  ProbNode root;
+  root.node = tree.Root();
+  root.prob = 1.0;
+  const int dims = tree.curve().dims();
+  const uint32_t grid = tree.curve().grid_size();
+  for (int j = 0; j < dims; ++j) {
+    root.axis_mass[j] = model.ComponentMass(
+        j, ByteLo(root.node.lo[j], shift),
+        ByteHi(root.node.hi[j], shift, grid),
+        static_cast<double>(query[j]));
+    root.prob *= root.axis_mass[j];
+  }
+  return root;
+}
+
+// Recomputes the changed axis factor after a split and the product.
+void UpdateChild(const ProbNode& parent, const fp::Fingerprint& query,
+                 const DistortionModel& model, int shift, uint32_t grid,
+                 ProbNode* child) {
+  child->axis_mass = parent.axis_mass;
+  const int axis = child->node.split_axis;
+  child->axis_mass[axis] = model.ComponentMass(
+      axis, ByteLo(child->node.lo[axis], shift),
+      ByteHi(child->node.hi[axis], shift, grid),
+      static_cast<double>(query[axis]));
+  // Recompute the full product: numerically stable and still only D
+  // multiplications per split.
+  double prob = 1.0;
+  const int dims = static_cast<int>(fp::kDims);
+  for (int j = 0; j < dims; ++j) {
+    prob *= child->axis_mass[j];
+  }
+  child->prob = prob;
+}
+
+struct HeapLess {
+  bool operator()(const ProbNode& a, const ProbNode& b) const {
+    return a.prob < b.prob;
+  }
+};
+
+// Squared distance from the query (byte space) to a cell box.
+double BoxMinSquaredDistance(const BlockTree::Node& node,
+                             const fp::Fingerprint& query, int shift,
+                             int dims) {
+  double acc = 0;
+  for (int j = 0; j < dims; ++j) {
+    const double q = query[j];
+    const double lo = static_cast<double>(node.lo[j] << shift);
+    const double hi = static_cast<double>(node.hi[j] << shift) - 1.0;
+    if (q < lo) {
+      acc += (lo - q) * (lo - q);
+    } else if (q > hi) {
+      acc += (q - hi) * (q - hi);
+    }
+  }
+  return acc;
+}
+
+// Best-first expansion: the heap top always bounds every remaining
+// block's probability, so emitted depth-p blocks come out in decreasing
+// probability order and the greedy stop is the minimal block set.
+template <typename Tree>
+BlockSelection SelectStatisticalBestFirst(const Tree& tree, int cell_shift,
+                                          const fp::Fingerprint& query,
+                                          const DistortionModel& model,
+                                          const FilterOptions& options,
+                                          int depth) {
+  BlockSelection selection;
+  const int key_bits = tree.curve().key_bits();
+  std::priority_queue<ProbNode, std::vector<ProbNode>, HeapLess> heap;
+  ProbNode root = MakeRoot(tree, query, model, cell_shift);
+  // The achievable mass inside the grid may be below alpha (query near the
+  // space border with a wide model): target what is achievable.
+  const double target = std::min(options.alpha, root.prob * (1.0 - 1e-9));
+  heap.push(std::move(root));
+  selection.nodes_visited = 1;
+
+  std::vector<BitKey> prefixes;
+  double total = 0;
+  while (!heap.empty() && total < target &&
+         prefixes.size() < options.max_blocks &&
+         selection.nodes_visited < options.max_nodes) {
+    ProbNode top = heap.top();
+    heap.pop();
+    if (top.node.depth == depth) {
+      prefixes.push_back(top.node.prefix);
+      total += top.prob;
+      continue;
+    }
+    ProbNode c0;
+    ProbNode c1;
+    tree.Split(top.node, &c0.node, &c1.node);
+    UpdateChild(top, query, model, cell_shift, tree.curve().grid_size(), &c0);
+    UpdateChild(top, query, model, cell_shift, tree.curve().grid_size(), &c1);
+    selection.nodes_visited += 2;
+    // Negligible-mass children cannot contribute to alpha in any realistic
+    // block budget; dropping them keeps the heap small.
+    constexpr double kNegligible = 1e-18;
+    if (c0.prob > kNegligible) {
+      heap.push(std::move(c0));
+    }
+    if (c1.prob > kNegligible) {
+      heap.push(std::move(c1));
+    }
+  }
+  selection.num_blocks = prefixes.size();
+  selection.probability_mass = total;
+  selection.ranges = MergeBlockRanges(std::move(prefixes), depth, key_bits);
+  return selection;
+}
+
+// The paper's eq. (4): bisection for the largest threshold t with
+// Psup(t) >= alpha, each evaluation a pruned DFS of the block tree.
+template <typename Tree>
+BlockSelection SelectStatisticalThreshold(const Tree& tree, int cell_shift,
+                                          const fp::Fingerprint& query,
+                                          const DistortionModel& model,
+                                          const FilterOptions& options,
+                                          int depth) {
+  uint64_t nodes_visited = 0;
+  auto evaluate = [&](double t, std::vector<BitKey>* out_prefixes,
+                      double* out_mass) -> bool {
+    double mass = 0;
+    uint64_t count = 0;
+    bool capped = false;
+    std::vector<ProbNode> stack;
+    ProbNode root = MakeRoot(tree, query, model, cell_shift);
+    if (root.prob > t) {
+      stack.push_back(std::move(root));
+    }
+    ++nodes_visited;
+    while (!stack.empty()) {
+      if (nodes_visited > options.max_nodes) {
+        capped = true;
+        break;
+      }
+      ProbNode n = std::move(stack.back());
+      stack.pop_back();
+      if (n.node.depth == depth) {
+        mass += n.prob;
+        ++count;
+        if (out_prefixes != nullptr) {
+          out_prefixes->push_back(n.node.prefix);
+        }
+        if (count > options.max_blocks) {
+          capped = true;
+          break;
+        }
+        continue;
+      }
+      ProbNode c0;
+      ProbNode c1;
+      tree.Split(n.node, &c0.node, &c1.node);
+      UpdateChild(n, query, model, cell_shift, tree.curve().grid_size(),
+                  &c0);
+      UpdateChild(n, query, model, cell_shift, tree.curve().grid_size(),
+                  &c1);
+      nodes_visited += 2;
+      if (c0.prob > t) {
+        stack.push_back(std::move(c0));
+      }
+      if (c1.prob > t) {
+        stack.push_back(std::move(c1));
+      }
+    }
+    *out_mass = mass;
+    return capped;
+  };
+
+  // Bisection on log t for the largest t with Psup(t) >= alpha (eq. 4).
+  double log_lo = std::log(1e-15);  // small t: B(t) large, Psup high
+  double log_hi = 0.0;              // t = 1: B(t) empty
+  double best_valid_log_t = log_lo;
+  for (int iter = 0; iter < 24; ++iter) {
+    const double log_mid = 0.5 * (log_lo + log_hi);
+    double mass = 0;
+    const bool capped = evaluate(std::exp(log_mid), nullptr, &mass);
+    if (capped || mass >= options.alpha) {
+      best_valid_log_t = log_mid;
+      log_lo = log_mid;  // t can grow
+    } else {
+      log_hi = log_mid;
+    }
+  }
+
+  BlockSelection selection;
+  std::vector<BitKey> prefixes;
+  double mass = 0;
+  evaluate(std::exp(best_valid_log_t), &prefixes, &mass);
+  if (prefixes.size() > options.max_blocks) {
+    prefixes.resize(options.max_blocks);
+  }
+  selection.nodes_visited = nodes_visited;
+  selection.num_blocks = prefixes.size();
+  selection.probability_mass = mass;
+  selection.ranges = MergeBlockRanges(std::move(prefixes), depth,
+                                      tree.curve().key_bits());
+  return selection;
+}
+
+template <typename Tree>
+BlockSelection SelectStatisticalImpl(const Tree& tree, int cell_shift,
+                                     const fp::Fingerprint& query,
+                                     const DistortionModel& model,
+                                     const FilterOptions& options) {
+  S3VCD_CHECK(options.alpha > 0 && options.alpha < 1);
+  const int depth =
+      std::clamp(options.depth, 1,
+                 std::min(tree.curve().key_bits(), kMaxPracticalDepth));
+  if (options.algorithm == FilterAlgorithm::kThresholdSearch) {
+    return SelectStatisticalThreshold(tree, cell_shift, query, model,
+                                      options, depth);
+  }
+  return SelectStatisticalBestFirst(tree, cell_shift, query, model, options,
+                                    depth);
+}
+
+template <typename Tree>
+BlockSelection SelectRangeImpl(const Tree& tree, int cell_shift,
+                               const fp::Fingerprint& query, double epsilon,
+                               int depth, uint64_t max_blocks) {
+  S3VCD_CHECK(epsilon >= 0);
+  const int clamped_depth = std::clamp(depth, 1, tree.curve().key_bits());
+  const double eps_sq = epsilon * epsilon;
+  const int dims = tree.curve().dims();
+
+  BlockSelection selection;
+  std::vector<BitKey> prefixes;
+  std::vector<BlockTree::Node> stack;
+  stack.push_back(tree.Root());
+  selection.nodes_visited = 1;
+  while (!stack.empty()) {
+    BlockTree::Node n = std::move(stack.back());
+    stack.pop_back();
+    if (BoxMinSquaredDistance(n, query, cell_shift, dims) > eps_sq) {
+      continue;
+    }
+    if (n.depth == clamped_depth) {
+      prefixes.push_back(n.prefix);
+      if (prefixes.size() >= max_blocks) {
+        break;
+      }
+      continue;
+    }
+    BlockTree::Node c0;
+    BlockTree::Node c1;
+    tree.Split(n, &c0, &c1);
+    selection.nodes_visited += 2;
+    stack.push_back(std::move(c0));
+    stack.push_back(std::move(c1));
+  }
+  selection.num_blocks = prefixes.size();
+  selection.ranges = MergeBlockRanges(std::move(prefixes), clamped_depth,
+                                      tree.curve().key_bits());
+  return selection;
+}
+
+}  // namespace
+
+std::vector<std::pair<BitKey, BitKey>> MergeBlockRanges(
+    std::vector<BitKey> prefixes, int depth, int key_bits) {
+  std::sort(prefixes.begin(), prefixes.end());
+  std::vector<std::pair<BitKey, BitKey>> ranges;
+  const int shift = key_bits - depth;
+  for (const BitKey& prefix : prefixes) {
+    BitKey begin = prefix << shift;
+    BitKey next = prefix;
+    next.Increment();
+    BitKey end = next << shift;
+    if (!ranges.empty() && ranges.back().second == begin) {
+      ranges.back().second = end;
+    } else {
+      ranges.emplace_back(begin, end);
+    }
+  }
+  return ranges;
+}
+
+BlockFilter::BlockFilter(const hilbert::HilbertCurve& curve)
+    : curve_(&curve), tree_(curve), cell_shift_(8 - curve.order()) {
+  S3VCD_CHECK(curve.dims() == fp::kDims);
+  S3VCD_CHECK(curve.order() >= 1 && curve.order() <= 8);
+}
+
+BlockSelection BlockFilter::SelectStatistical(
+    const fp::Fingerprint& query, const DistortionModel& model,
+    const FilterOptions& options) const {
+  return SelectStatisticalImpl(tree_, cell_shift_, query, model, options);
+}
+
+BlockSelection BlockFilter::SelectRange(const fp::Fingerprint& query,
+                                        double epsilon, int depth,
+                                        uint64_t max_blocks) const {
+  return SelectRangeImpl(tree_, cell_shift_, query, epsilon, depth,
+                         max_blocks);
+}
+
+ZOrderBlockFilter::ZOrderBlockFilter(const hilbert::ZOrderCurve& curve)
+    : curve_(&curve), tree_(curve), cell_shift_(8 - curve.order()) {
+  S3VCD_CHECK(curve.dims() == fp::kDims);
+  S3VCD_CHECK(curve.order() >= 1 && curve.order() <= 8);
+}
+
+BlockSelection ZOrderBlockFilter::SelectStatistical(
+    const fp::Fingerprint& query, const DistortionModel& model,
+    const FilterOptions& options) const {
+  return SelectStatisticalImpl(tree_, cell_shift_, query, model, options);
+}
+
+BlockSelection ZOrderBlockFilter::SelectRange(const fp::Fingerprint& query,
+                                              double epsilon, int depth,
+                                              uint64_t max_blocks) const {
+  return SelectRangeImpl(tree_, cell_shift_, query, epsilon, depth,
+                         max_blocks);
+}
+
+}  // namespace s3vcd::core

@@ -1,0 +1,120 @@
+#ifndef S3VCD_CORE_FILTER_H_
+#define S3VCD_CORE_FILTER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/distortion_model.h"
+#include "fingerprint/fingerprint.h"
+#include "hilbert/block_tree.h"
+#include "hilbert/hilbert_curve.h"
+#include "hilbert/zorder.h"
+#include "util/bitkey.h"
+
+namespace s3vcd::core {
+
+/// How the set B_alpha of p-blocks is computed.
+enum class FilterAlgorithm {
+  /// Best-first expansion ordered by block probability. Exact: returns the
+  /// minimal-cardinality block set of total mass >= alpha (greedy on a
+  /// monotone bound), visiting only the nodes it needs.
+  kBestFirst,
+  /// The paper's formulation (eq. 4): search the largest threshold t_max
+  /// with Psup(t_max) >= alpha by a Newton/bisection iteration, each
+  /// evaluation being a pruned DFS of the block tree.
+  kThresholdSearch,
+};
+
+/// Deepest practically useful partition: beyond this, blocks are smaller
+/// than any realistic database occupancy and the candidate block population
+/// explodes (the paper's tuned p stays far below: ~log2 of the DB size).
+inline constexpr int kMaxPracticalDepth = 48;
+
+/// Options of the filtering step.
+struct FilterOptions {
+  /// Partition depth p (number of Hilbert key prefix bits). Clamped to
+  /// [1, min(dims * order, kMaxPracticalDepth)].
+  int depth = 12;
+  /// Target expectation alpha of the statistical query, in (0, 1).
+  double alpha = 0.8;
+  FilterAlgorithm algorithm = FilterAlgorithm::kBestFirst;
+  /// Safety cap on the number of selected blocks.
+  uint64_t max_blocks = 1 << 16;
+  /// Safety cap on block-tree nodes expanded per query: bounds worst-case
+  /// time and memory; the selection returned is whatever mass was reached.
+  uint64_t max_nodes = 1 << 18;
+};
+
+/// Result of the filtering step: the curve sections to scan.
+struct BlockSelection {
+  /// Merged, sorted, disjoint key ranges [begin, end).
+  std::vector<std::pair<BitKey, BitKey>> ranges;
+  /// Achieved probability mass (statistical filter only).
+  double probability_mass = 0;
+  uint64_t num_blocks = 0;
+  uint64_t nodes_visited = 0;
+};
+
+/// Computes block selections for statistical and epsilon-range queries over
+/// a Hilbert curve partition. Stateless w.r.t. queries; the curve must
+/// outlive the filter.
+class BlockFilter {
+ public:
+  explicit BlockFilter(const hilbert::HilbertCurve& curve);
+
+  /// Statistical filtering (Section IV-A): selects p-blocks whose total
+  /// probability under the distortion model centered at `query` reaches
+  /// `options.alpha` (or the achievable maximum when the model's mass
+  /// within the grid is below alpha).
+  BlockSelection SelectStatistical(const fp::Fingerprint& query,
+                                   const DistortionModel& model,
+                                   const FilterOptions& options) const;
+
+  /// Geometric filtering for a spherical epsilon-range query: selects all
+  /// p-blocks intersecting the ball of radius `epsilon` (byte units)
+  /// centered at `query`.
+  BlockSelection SelectRange(const fp::Fingerprint& query, double epsilon,
+                             int depth,
+                             uint64_t max_blocks = 1 << 20) const;
+
+  const hilbert::HilbertCurve& curve() const { return *curve_; }
+
+ private:
+  const hilbert::HilbertCurve* curve_;
+  hilbert::BlockTree tree_;
+  int cell_shift_;  ///< log2 of the byte width of one grid cell (8 - order)
+};
+
+/// Merges a list of equal-depth blocks (given by their prefixes) into
+/// sorted disjoint key ranges; exposed for tests.
+std::vector<std::pair<BitKey, BitKey>> MergeBlockRanges(
+    std::vector<BitKey> prefixes, int depth, int key_bits);
+
+/// The same filtering rules over the Z-order (Morton) partition instead of
+/// the Hilbert partition. Selection quality is identical in block count at
+/// equal depth; what differs is the *clustering* of the selected blocks
+/// along the curve — the property the paper's Hilbert choice buys (see
+/// bench/ablation_curve_clustering).
+class ZOrderBlockFilter {
+ public:
+  explicit ZOrderBlockFilter(const hilbert::ZOrderCurve& curve);
+
+  BlockSelection SelectStatistical(const fp::Fingerprint& query,
+                                   const DistortionModel& model,
+                                   const FilterOptions& options) const;
+  BlockSelection SelectRange(const fp::Fingerprint& query, double epsilon,
+                             int depth,
+                             uint64_t max_blocks = 1 << 20) const;
+
+  const hilbert::ZOrderCurve& curve() const { return *curve_; }
+
+ private:
+  const hilbert::ZOrderCurve* curve_;
+  hilbert::ZOrderTree tree_;
+  int cell_shift_;
+};
+
+}  // namespace s3vcd::core
+
+#endif  // S3VCD_CORE_FILTER_H_

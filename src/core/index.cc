@@ -1,0 +1,167 @@
+#include "core/index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace s3vcd::core {
+
+S3Index::S3Index(FingerprintDatabase database, S3IndexOptions options)
+    : db_(std::move(database)), filter_(db_.curve()), options_(options) {
+  S3VCD_CHECK(options_.index_table_depth >= 0 &&
+              options_.index_table_depth <= 28);
+  if (options_.index_table_depth > db_.curve().key_bits()) {
+    options_.index_table_depth = db_.curve().key_bits();
+  }
+  BuildIndexTable();
+}
+
+void S3Index::BuildIndexTable() {
+  const int depth = options_.index_table_depth;
+  if (depth == 0) {
+    return;
+  }
+  const uint64_t buckets = uint64_t{1} << depth;
+  const int shift = db_.curve().key_bits() - depth;
+  table_.assign(buckets + 1, db_.size());
+  // Single linear walk over the sorted keys.
+  uint64_t bucket = 0;
+  table_[0] = 0;
+  for (size_t i = 0; i < db_.size(); ++i) {
+    const uint64_t b = (db_.key(i) >> shift).low64();
+    S3VCD_DCHECK(b >= bucket);
+    while (bucket < b) {
+      table_[++bucket] = i;
+    }
+  }
+  while (bucket < buckets) {
+    table_[++bucket] = db_.size();
+  }
+}
+
+std::pair<size_t, size_t> S3Index::ResolveRange(const BitKey& begin,
+                                                const BitKey& end) const {
+  const int table_depth = options_.index_table_depth;
+  if (table_depth > 0) {
+    const int shift = db_.curve().key_bits() - table_depth;
+    // Aligned ranges resolve exactly through the table.
+    const BitKey mask = BitKey::LowMask(shift);
+    if ((begin & mask).is_zero() && (end & mask).is_zero()) {
+      const uint64_t b = (begin >> shift).low64();
+      const uint64_t e = (end >> shift).low64();
+      if (e <= static_cast<uint64_t>(table_.size()) - 1) {
+        return {static_cast<size_t>(table_[b]),
+                static_cast<size_t>(table_[e])};
+      }
+    }
+  }
+  const size_t first = db_.LowerBound(begin);
+  const size_t last = end.is_zero() ? db_.size() : db_.LowerBound(end);
+  return {first, last};
+}
+
+namespace {
+
+// Model-normalized squared distance (per-component sigma weighting).
+double NormalizedSquaredDistance(const fp::Fingerprint& a,
+                                 const fp::Fingerprint& b,
+                                 const DistortionModel& model) {
+  double acc = 0;
+  for (int j = 0; j < fp::kDims; ++j) {
+    const double d = (static_cast<double>(a[j]) - b[j]) /
+                     model.ComponentScale(j);
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace
+
+void S3Index::ScanSelection(const fp::Fingerprint& query,
+                            const BlockSelection& selection,
+                            RefinementMode mode, double radius,
+                            const DistortionModel* model,
+                            QueryResult* result) const {
+  S3VCD_DCHECK(mode != RefinementMode::kNormalizedRadiusFilter ||
+               model != nullptr);
+  const double radius_sq = radius * radius;
+  for (const auto& [begin, end] : selection.ranges) {
+    // `end` may numerically wrap to zero for the last curve section.
+    const auto [first, last] = ResolveRange(begin, end);
+    ++result->stats.ranges_scanned;
+    for (size_t i = first; i < last; ++i) {
+      const FingerprintRecord& rec = db_.record(i);
+      ++result->stats.records_scanned;
+      const double dist_sq = fp::SquaredDistance(query, rec.descriptor);
+      if (mode == RefinementMode::kRadiusFilter && dist_sq > radius_sq) {
+        continue;
+      }
+      if (mode == RefinementMode::kNormalizedRadiusFilter &&
+          NormalizedSquaredDistance(query, rec.descriptor, *model) >
+              radius_sq) {
+        continue;
+      }
+      result->matches.push_back({rec.id, rec.time_code,
+                                 static_cast<float>(std::sqrt(dist_sq)),
+                                 rec.x, rec.y});
+    }
+  }
+}
+
+QueryResult S3Index::StatisticalQuery(const fp::Fingerprint& query,
+                                      const DistortionModel& model,
+                                      const QueryOptions& options) const {
+  QueryResult result;
+  Stopwatch watch;
+  const BlockSelection selection =
+      filter_.SelectStatistical(query, model, options.filter);
+  result.stats.filter_seconds = watch.ElapsedSeconds();
+  result.stats.blocks_selected = selection.num_blocks;
+  result.stats.nodes_visited = selection.nodes_visited;
+  result.stats.probability_mass = selection.probability_mass;
+
+  watch.Reset();
+  ScanSelection(query, selection, options.refinement, options.radius,
+                &model, &result);
+  result.stats.refine_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+QueryResult S3Index::RangeQuery(const fp::Fingerprint& query, double epsilon,
+                                int depth) const {
+  QueryResult result;
+  Stopwatch watch;
+  const BlockSelection selection = filter_.SelectRange(query, epsilon, depth);
+  result.stats.filter_seconds = watch.ElapsedSeconds();
+  result.stats.blocks_selected = selection.num_blocks;
+  result.stats.nodes_visited = selection.nodes_visited;
+
+  watch.Reset();
+  ScanSelection(query, selection, RefinementMode::kRadiusFilter, epsilon,
+                nullptr, &result);
+  result.stats.refine_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+QueryResult S3Index::SequentialScan(const fp::Fingerprint& query,
+                                    double epsilon) const {
+  QueryResult result;
+  Stopwatch watch;
+  const double eps_sq = epsilon * epsilon;
+  for (size_t i = 0; i < db_.size(); ++i) {
+    const FingerprintRecord& rec = db_.record(i);
+    const double dist_sq = fp::SquaredDistance(query, rec.descriptor);
+    if (dist_sq <= eps_sq) {
+      result.matches.push_back({rec.id, rec.time_code,
+                                static_cast<float>(std::sqrt(dist_sq)),
+                                rec.x, rec.y});
+    }
+  }
+  result.stats.records_scanned = db_.size();
+  result.stats.refine_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace s3vcd::core

@@ -1,0 +1,119 @@
+#ifndef S3VCD_CORE_INDEX_H_
+#define S3VCD_CORE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/database.h"
+#include "core/distortion_model.h"
+#include "core/filter.h"
+#include "core/record.h"
+#include "fingerprint/fingerprint.h"
+
+namespace s3vcd::core {
+
+/// What the refinement step keeps from the scanned curve sections.
+enum class RefinementMode {
+  /// The paper's statistical query semantics: every fingerprint inside the
+  /// selected region V_alpha is a result (the voting strategy absorbs the
+  /// false ones).
+  kAll,
+  /// Extension: additionally require distance <= radius.
+  kRadiusFilter,
+  /// Extension for anisotropic models: require the model-normalized
+  /// distance sqrt(sum_j ((q_j - x_j) / scale_j)^2) <= radius, with
+  /// scale_j = DistortionModel::ComponentScale(j). The isotropic special
+  /// case reduces to kRadiusFilter with radius * sigma.
+  kNormalizedRadiusFilter,
+};
+
+/// Options of a statistical query.
+struct QueryOptions {
+  FilterOptions filter;
+  RefinementMode refinement = RefinementMode::kAll;
+  /// Radius for kRadiusFilter, in byte-space distance units.
+  double radius = 0;
+};
+
+/// Matches plus instrumentation.
+struct QueryResult {
+  std::vector<Match> matches;
+  QueryStats stats;
+};
+
+/// Index construction options.
+struct S3IndexOptions {
+  /// Depth of the precomputed index table mapping aligned curve prefixes to
+  /// record offsets (2^depth + 1 entries). Block lookups at depths <= this
+  /// use the table; deeper lookups fall back to binary search on the keys.
+  /// 0 disables the table entirely.
+  int index_table_depth = 14;
+};
+
+/// The S3 search engine: a Hilbert-ordered fingerprint database plus the
+/// statistical / geometric filtering rules and the refinement scan
+/// (paper Section IV).
+class S3Index {
+ public:
+  explicit S3Index(FingerprintDatabase database, S3IndexOptions options = {});
+
+  // Move operations re-seat the filter on the moved database: BlockFilter
+  // holds a pointer to the curve living inside db_.
+  S3Index(S3Index&& other) noexcept
+      : db_(std::move(other.db_)),
+        filter_(db_.curve()),
+        options_(other.options_),
+        table_(std::move(other.table_)) {}
+  S3Index& operator=(S3Index&& other) noexcept {
+    db_ = std::move(other.db_);
+    filter_ = BlockFilter(db_.curve());
+    options_ = other.options_;
+    table_ = std::move(other.table_);
+    return *this;
+  }
+
+  const FingerprintDatabase& database() const { return db_; }
+  const BlockFilter& filter() const { return filter_; }
+  const S3IndexOptions& options() const { return options_; }
+
+  /// Statistical query of expectation options.filter.alpha (Section II).
+  QueryResult StatisticalQuery(const fp::Fingerprint& query,
+                               const DistortionModel& model,
+                               const QueryOptions& options) const;
+
+  /// Exact spherical epsilon-range query through the index: geometric
+  /// filtering of the blocks, then distance refinement.
+  QueryResult RangeQuery(const fp::Fingerprint& query, double epsilon,
+                         int depth) const;
+
+  /// Baseline: linear scan of the whole database with distance <= epsilon
+  /// (the reference method of Section V-B).
+  QueryResult SequentialScan(const fp::Fingerprint& query,
+                             double epsilon) const;
+
+  /// Resolves a key range to record indices [first, last).
+  std::pair<size_t, size_t> ResolveRange(const BitKey& begin,
+                                         const BitKey& end) const;
+
+  /// Runs the refinement scan of a precomputed block selection, appending
+  /// matches and scan counters to `result`. Exposed so layered structures
+  /// (e.g. DynamicIndex) can share one filtering pass. `model` is only
+  /// required for kNormalizedRadiusFilter (may be null otherwise).
+  void ScanSelection(const fp::Fingerprint& query,
+                     const BlockSelection& selection, RefinementMode mode,
+                     double radius, const DistortionModel* model,
+                     QueryResult* result) const;
+
+ private:
+  void BuildIndexTable();
+
+  FingerprintDatabase db_;
+  BlockFilter filter_;
+  S3IndexOptions options_;
+  /// Record offsets of the 2^table_depth aligned prefixes (+ end sentinel).
+  std::vector<uint64_t> table_;
+};
+
+}  // namespace s3vcd::core
+
+#endif  // S3VCD_CORE_INDEX_H_

@@ -1,0 +1,64 @@
+#ifndef S3VCD_CORE_LSH_H_
+#define S3VCD_CORE_LSH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/index.h"
+#include "core/record.h"
+#include "fingerprint/fingerprint.h"
+
+namespace s3vcd::core {
+
+/// Options of the p-stable LSH baseline (Datar et al., 2004) — the other
+/// contemporaneous approximate-search family, provided as a comparison
+/// point alongside the VA-file. Each of `num_tables` tables hashes a
+/// vector by `hashes_per_table` concatenated projections
+/// h(v) = floor((a.v + b) / bucket_width), a ~ N(0, 1)^D, b ~ U[0, w).
+struct LshOptions {
+  int num_tables = 8;
+  int hashes_per_table = 6;
+  /// Quantization width of each projection; of the order of the target
+  /// radius for good collision behaviour.
+  double bucket_width = 120.0;
+  uint64_t seed = 1;
+};
+
+/// Locality-sensitive hash index over a snapshot of fingerprint records.
+/// Range queries return only true neighbors (exact distance filter on the
+/// union of colliding buckets) but may miss some — the recall is
+/// probabilistic, controlled by the table count.
+class LshIndex {
+ public:
+  LshIndex(std::vector<FingerprintRecord> records,
+           const LshOptions& options);
+
+  size_t size() const { return records_.size(); }
+  const LshOptions& options() const { return options_; }
+
+  /// Approximate epsilon-range query: candidates are the records sharing a
+  /// bucket with the query in any table; matches are exact-distance
+  /// filtered. QueryStats::records_scanned counts the candidate set.
+  QueryResult RangeQuery(const fp::Fingerprint& query, double epsilon) const;
+
+  /// Expected bucket-collision probability for two points at distance
+  /// `dist` under one table (the standard p-stable formula, for analysis
+  /// and tests).
+  double TableCollisionProbability(double dist) const;
+
+ private:
+  uint64_t BucketOf(int table, const fp::Fingerprint& v) const;
+
+  LshOptions options_;
+  std::vector<FingerprintRecord> records_;
+  /// projections_[t * k + i] = the D gaussian coefficients of hash i of
+  /// table t; offsets_ holds the matching b terms.
+  std::vector<std::array<float, fp::kDims>> projections_;
+  std::vector<float> offsets_;
+  std::vector<std::unordered_map<uint64_t, std::vector<uint32_t>>> tables_;
+};
+
+}  // namespace s3vcd::core
+
+#endif  // S3VCD_CORE_LSH_H_

@@ -1,0 +1,66 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace s3vcd::core {
+
+namespace {
+
+// Shards [0, n) into `shards` contiguous chunks and runs `body(first,
+// last)` for each on the pool.
+template <typename Body>
+void ShardedRun(size_t n, int num_threads, const Body& body) {
+  if (n == 0) {
+    return;
+  }
+  if (num_threads <= 1) {
+    body(0, n);
+    return;
+  }
+  ThreadPool pool(num_threads);
+  const size_t shards = std::min<size_t>(static_cast<size_t>(num_threads) * 4,
+                                         n);
+  const size_t chunk = (n + shards - 1) / shards;
+  for (size_t first = 0; first < n; first += chunk) {
+    const size_t last = std::min(n, first + chunk);
+    pool.Submit([&body, first, last] { body(first, last); });
+  }
+  pool.Wait();
+}
+
+}  // namespace
+
+std::vector<QueryResult> ParallelStatisticalSearch(
+    const S3Index& index, const DistortionModel& model,
+    const std::vector<fp::Fingerprint>& queries, const QueryOptions& options,
+    int num_threads) {
+  S3VCD_CHECK(num_threads >= 1);
+  std::vector<QueryResult> results(queries.size());
+  ShardedRun(queries.size(), num_threads,
+             [&](size_t first, size_t last) {
+               for (size_t i = first; i < last; ++i) {
+                 results[i] =
+                     index.StatisticalQuery(queries[i], model, options);
+               }
+             });
+  return results;
+}
+
+std::vector<QueryResult> ParallelRangeSearch(
+    const S3Index& index, const std::vector<fp::Fingerprint>& queries,
+    double epsilon, int depth, int num_threads) {
+  S3VCD_CHECK(num_threads >= 1);
+  std::vector<QueryResult> results(queries.size());
+  ShardedRun(queries.size(), num_threads,
+             [&](size_t first, size_t last) {
+               for (size_t i = first; i < last; ++i) {
+                 results[i] = index.RangeQuery(queries[i], epsilon, depth);
+               }
+             });
+  return results;
+}
+
+}  // namespace s3vcd::core

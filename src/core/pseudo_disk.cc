@@ -1,0 +1,184 @@
+#include "core/pseudo_disk.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/database.h"
+#include "util/io.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace s3vcd::core {
+
+PseudoDiskSearcher::PseudoDiskSearcher(std::string path,
+                                       PseudoDiskOptions options, int order)
+    : path_(std::move(path)),
+      options_(options),
+      curve_(fp::kDims, order) {}
+
+Result<PseudoDiskSearcher> PseudoDiskSearcher::Open(
+    const std::string& db_path, const PseudoDiskOptions& options) {
+  if (options.section_depth < 0 ||
+      options.section_depth > options.query_depth) {
+    return Status::InvalidArgument(
+        "section_depth must be in [0, query_depth]");
+  }
+  BinaryReader reader;
+  S3VCD_RETURN_IF_ERROR(reader.Open(db_path));
+  S3VCD_ASSIGN_OR_RETURN(const internal::FileHeader header,
+                         internal::ReadHeader(&reader));
+  if (options.query_depth < 1 ||
+      options.query_depth > static_cast<int>(header.dims * header.order)) {
+    return Status::InvalidArgument("query_depth out of range for this DB");
+  }
+
+  PseudoDiskSearcher searcher(db_path, options,
+                              static_cast<int>(header.order));
+  searcher.payload_offset_ = internal::kHeaderBytes;
+
+  // Streaming metadata pass: compute each record's depth-p prefix and fill
+  // the offset table; records themselves are not retained.
+  const int p = options.query_depth;
+  const uint64_t buckets = uint64_t{1} << p;
+  const int shift = searcher.curve_.key_bits() - p;
+  searcher.offsets_.assign(buckets + 1, header.count);
+  searcher.offsets_[0] = 0;
+  uint64_t bucket = 0;
+  uint8_t buf[internal::kRecordBytes];
+  FingerprintRecord rec;
+  uint32_t coords[fp::kDims];
+  const int coord_shift = 8 - static_cast<int>(header.order);
+  BitKey prev_key;
+  for (uint64_t i = 0; i < header.count; ++i) {
+    S3VCD_RETURN_IF_ERROR(reader.ReadBytes(buf, internal::kRecordBytes));
+    internal::DeserializeRecord(buf, &rec);
+    for (int j = 0; j < fp::kDims; ++j) {
+      coords[j] = static_cast<uint32_t>(rec.descriptor[j]) >> coord_shift;
+    }
+    const BitKey key = searcher.curve_.Encode(coords);
+    if (i > 0 && key < prev_key) {
+      return Status::Corruption("database records are not curve-ordered");
+    }
+    prev_key = key;
+    const uint64_t b = (key >> shift).low64();
+    while (bucket < b) {
+      searcher.offsets_[++bucket] = i;
+    }
+  }
+  while (bucket < buckets) {
+    searcher.offsets_[++bucket] = header.count;
+  }
+  const uint32_t computed_crc = reader.crc();
+  uint32_t stored_crc = 0;
+  S3VCD_RETURN_IF_ERROR(reader.ReadU32(&stored_crc));
+  if (stored_crc != computed_crc) {
+    return Status::Corruption("database checksum mismatch");
+  }
+  S3VCD_RETURN_IF_ERROR(reader.Close());
+  return searcher;
+}
+
+Status PseudoDiskSearcher::SearchBatch(
+    const std::vector<fp::Fingerprint>& queries, const DistortionModel& model,
+    std::vector<std::vector<Match>>* results,
+    PseudoDiskBatchStats* stats) const {
+  results->assign(queries.size(), {});
+  *stats = PseudoDiskBatchStats{};
+  stats->num_queries = queries.size();
+  if (queries.empty()) {
+    return Status::OK();
+  }
+
+  // Phase 1: filter every query up front (independent of the database).
+  const int p = options_.query_depth;
+  const int shift = curve_.key_bits() - p;
+  const BlockFilter filter(curve_);
+  FilterOptions filter_options;
+  filter_options.depth = p;
+  filter_options.alpha = options_.alpha;
+
+  // Per query, the record ranges to scan.
+  std::vector<std::vector<std::pair<uint64_t, uint64_t>>> record_ranges(
+      queries.size());
+  Stopwatch watch;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const BlockSelection selection =
+        filter.SelectStatistical(queries[qi], model, filter_options);
+    for (const auto& [begin, end] : selection.ranges) {
+      const uint64_t pb = (begin >> shift).low64();
+      const uint64_t pe = end.is_zero() ? (offsets_.size() - 1)
+                                        : (end >> shift).low64();
+      const uint64_t rb = offsets_[pb];
+      const uint64_t re = offsets_[pe];
+      if (rb < re) {
+        record_ranges[qi].emplace_back(rb, re);
+      }
+    }
+  }
+  stats->filter_seconds = watch.ElapsedSeconds();
+
+  // Phase 2: load the 2^r sections one at a time and refine every query's
+  // ranges that intersect the resident section.
+  const int r = options_.section_depth;
+  const uint64_t sections = uint64_t{1} << r;
+  const uint64_t prefixes_per_section = uint64_t{1} << (p - r);
+  BinaryReader reader;
+  S3VCD_RETURN_IF_ERROR(reader.Open(path_));
+  std::vector<uint8_t> buffer;
+  FingerprintRecord rec;
+  for (uint64_t s = 0; s < sections; ++s) {
+    const uint64_t sec_first = offsets_[s * prefixes_per_section];
+    const uint64_t sec_last = offsets_[(s + 1) * prefixes_per_section];
+    if (sec_first >= sec_last) {
+      continue;
+    }
+    // Does any query need this section?
+    bool needed = false;
+    for (const auto& ranges : record_ranges) {
+      for (const auto& [rb, re] : ranges) {
+        if (rb < sec_last && re > sec_first) {
+          needed = true;
+          break;
+        }
+      }
+      if (needed) {
+        break;
+      }
+    }
+    if (!needed) {
+      continue;
+    }
+
+    watch.Reset();
+    const uint64_t n = sec_last - sec_first;
+    buffer.resize(n * internal::kRecordBytes);
+    S3VCD_RETURN_IF_ERROR(reader.Seek(
+        payload_offset_ + sec_first * internal::kRecordBytes));
+    S3VCD_RETURN_IF_ERROR(reader.ReadBytes(buffer.data(), buffer.size()));
+    stats->load_seconds += watch.ElapsedSeconds();
+    stats->records_loaded += n;
+    ++stats->sections_loaded;
+
+    watch.Reset();
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      for (const auto& [rb, re] : record_ranges[qi]) {
+        const uint64_t lo = std::max(rb, sec_first);
+        const uint64_t hi = std::min(re, sec_last);
+        for (uint64_t i = lo; i < hi; ++i) {
+          internal::DeserializeRecord(
+              buffer.data() + (i - sec_first) * internal::kRecordBytes, &rec);
+          const double dist_sq =
+              fp::SquaredDistance(queries[qi], rec.descriptor);
+          (*results)[qi].push_back(
+              {rec.id, rec.time_code,
+               static_cast<float>(std::sqrt(dist_sq)), rec.x, rec.y});
+          ++stats->records_scanned;
+        }
+      }
+    }
+    stats->refine_seconds += watch.ElapsedSeconds();
+  }
+  return reader.Close();
+}
+
+}  // namespace s3vcd::core

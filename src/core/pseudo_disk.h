@@ -1,0 +1,83 @@
+#ifndef S3VCD_CORE_PSEUDO_DISK_H_
+#define S3VCD_CORE_PSEUDO_DISK_H_
+
+#include <string>
+#include <vector>
+
+#include "core/distortion_model.h"
+#include "core/filter.h"
+#include "core/record.h"
+#include "fingerprint/fingerprint.h"
+#include "hilbert/hilbert_curve.h"
+#include "util/status.h"
+
+namespace s3vcd::core {
+
+/// Options of the pseudo-disk strategy (paper Section IV-B), used when the
+/// fingerprint database exceeds primary storage: the Hilbert curve is split
+/// into 2^r regular sections, N_sig queries are filtered up front, and the
+/// sections are loaded into memory one at a time while every query's
+/// refinement ranges inside the section are scanned.
+struct PseudoDiskOptions {
+  /// log2 of the number of curve sections (r). Must satisfy 0 <= r <= p.
+  int section_depth = 4;
+  /// Partition depth p of the statistical filtering.
+  int query_depth = 12;
+  double alpha = 0.8;
+};
+
+/// Aggregate timing of one batch, decomposing eq. (5):
+/// T_tot = T + T_load / N_sig.
+struct PseudoDiskBatchStats {
+  double filter_seconds = 0;
+  double load_seconds = 0;
+  double refine_seconds = 0;
+  uint64_t records_loaded = 0;
+  uint64_t records_scanned = 0;
+  uint64_t sections_loaded = 0;
+  size_t num_queries = 0;
+
+  /// Average per-query total response time in milliseconds.
+  double AverageTotalMillis() const {
+    return num_queries == 0
+               ? 0.0
+               : (filter_seconds + load_seconds + refine_seconds) * 1e3 /
+                     static_cast<double>(num_queries);
+  }
+};
+
+/// Searches a database file section by section without ever holding more
+/// than one section of records in memory (only the per-prefix offset table
+/// is resident). Matches of query i are returned in results[i].
+class PseudoDiskSearcher {
+ public:
+  /// Opens a database file written by FingerprintDatabase::SaveToFile and
+  /// builds the offset table at `options.query_depth` with one streaming
+  /// metadata pass (records are not retained).
+  static Result<PseudoDiskSearcher> Open(const std::string& db_path,
+                                         const PseudoDiskOptions& options);
+
+  /// Executes a batch of statistical queries (one pass over the sections).
+  Status SearchBatch(const std::vector<fp::Fingerprint>& queries,
+                     const DistortionModel& model,
+                     std::vector<std::vector<Match>>* results,
+                     PseudoDiskBatchStats* stats) const;
+
+  uint64_t num_records() const { return offsets_.empty() ? 0 : offsets_.back(); }
+  const PseudoDiskOptions& options() const { return options_; }
+
+ private:
+  PseudoDiskSearcher(std::string path, PseudoDiskOptions options, int order);
+
+  std::string path_;
+  PseudoDiskOptions options_;
+  hilbert::HilbertCurve curve_;
+  /// Record index of the first record of each depth-p prefix (+ sentinel);
+  /// size 2^p + 1.
+  std::vector<uint64_t> offsets_;
+  uint64_t payload_offset_ = 0;  ///< file offset of the first record
+};
+
+}  // namespace s3vcd::core
+
+#endif  // S3VCD_CORE_PSEUDO_DISK_H_

@@ -1,0 +1,45 @@
+#ifndef S3VCD_CORE_RECORD_H_
+#define S3VCD_CORE_RECORD_H_
+
+#include <cstdint>
+
+#include "fingerprint/fingerprint.h"
+
+namespace s3vcd::core {
+
+/// One referenced fingerprint as stored in the database: the 20-byte
+/// descriptor plus the video sequence identifier and time code used by the
+/// voting strategy (Section III). The interest point position is kept for
+/// the spatial-coherence extension of the vote (paper Section VI).
+struct FingerprintRecord {
+  fp::Fingerprint descriptor{};
+  uint32_t id = 0;
+  uint32_t time_code = 0;
+  float x = 0;
+  float y = 0;
+};
+
+/// One search hit returned by a query.
+struct Match {
+  uint32_t id = 0;
+  uint32_t time_code = 0;
+  /// Euclidean distance between the query and the stored descriptor.
+  float distance = 0;
+  float x = 0;
+  float y = 0;
+};
+
+/// Per-query instrumentation, the raw material of the paper's timing plots.
+struct QueryStats {
+  double filter_seconds = 0;      ///< statistical / geometric filtering step
+  double refine_seconds = 0;      ///< sequential scan of the curve sections
+  uint64_t blocks_selected = 0;   ///< card(B_alpha)
+  uint64_t ranges_scanned = 0;    ///< merged contiguous curve sections
+  uint64_t records_scanned = 0;   ///< fingerprints touched by refinement
+  uint64_t nodes_visited = 0;     ///< block-tree nodes expanded by the filter
+  double probability_mass = 0;    ///< achieved expectation of the region
+};
+
+}  // namespace s3vcd::core
+
+#endif  // S3VCD_CORE_RECORD_H_

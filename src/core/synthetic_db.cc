@@ -1,0 +1,63 @@
+#include "core/synthetic_db.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace s3vcd::core {
+
+namespace {
+
+uint8_t ClampToByte(double v) {
+  if (v <= 0) {
+    return 0;
+  }
+  if (v >= 255) {
+    return 255;
+  }
+  return static_cast<uint8_t>(v + 0.5);
+}
+
+}  // namespace
+
+void AppendDistractors(DatabaseBuilder* builder,
+                       const std::vector<fp::Fingerprint>& pool,
+                       uint64_t count, const DistractorOptions& options,
+                       Rng* rng) {
+  S3VCD_CHECK(!pool.empty());
+  for (uint64_t i = 0; i < count; ++i) {
+    const fp::Fingerprint& base =
+        pool[static_cast<size_t>(rng->UniformInt(
+            0, static_cast<int64_t>(pool.size()) - 1))];
+    fp::Fingerprint out;
+    for (int j = 0; j < fp::kDims; ++j) {
+      out[j] = ClampToByte(base[j] + rng->Gaussian(0, options.jitter_sigma));
+    }
+    const uint32_t id =
+        options.first_id +
+        static_cast<uint32_t>(i / options.fingerprints_per_video);
+    const uint32_t tc = static_cast<uint32_t>(
+        rng->UniformInt(0, options.max_time_code - 1));
+    builder->Add(out, id, tc);
+  }
+}
+
+fp::Fingerprint UniformRandomFingerprint(Rng* rng) {
+  fp::Fingerprint out;
+  for (int j = 0; j < fp::kDims; ++j) {
+    out[j] = static_cast<uint8_t>(rng->UniformInt(0, 255));
+  }
+  return out;
+}
+
+fp::Fingerprint DistortFingerprint(const fp::Fingerprint& base, double sigma,
+                                   Rng* rng) {
+  fp::Fingerprint out;
+  for (int j = 0; j < fp::kDims; ++j) {
+    out[j] = ClampToByte(base[j] + rng->Gaussian(0, sigma));
+  }
+  return out;
+}
+
+}  // namespace s3vcd::core

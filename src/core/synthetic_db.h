@@ -1,0 +1,51 @@
+#ifndef S3VCD_CORE_SYNTHETIC_DB_H_
+#define S3VCD_CORE_SYNTHETIC_DB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/database.h"
+#include "fingerprint/fingerprint.h"
+#include "util/rng.h"
+
+namespace s3vcd::core {
+
+/// Options of the distractor generator that pads large experimental
+/// databases (see DESIGN.md substitutions: it replaces the bulk of the INA
+/// archive whose only experimental role is distractor density).
+struct DistractorOptions {
+  /// Per-component Gaussian jitter added to a bootstrap-resampled real
+  /// fingerprint, in byte units. Keeps the padded population on the same
+  /// manifold as extracted fingerprints instead of filling the hypercube
+  /// uniformly (which would be unrealistically easy to index).
+  double jitter_sigma = 6.0;
+  /// Identifier of the first synthetic video; distractors must not collide
+  /// with real reference ids.
+  uint32_t first_id = 1u << 20;
+  /// Fingerprints attributed to each synthetic video id.
+  uint32_t fingerprints_per_video = 500;
+  /// Time codes are drawn uniformly in [0, max_time_code) so distractors
+  /// exhibit no temporal coherence for the voting stage to latch onto.
+  uint32_t max_time_code = 500000;
+};
+
+/// Draws `count` distractor fingerprints by bootstrap-resampling `pool`
+/// with jitter and appends them to `builder`. The pool must be non-empty.
+void AppendDistractors(DatabaseBuilder* builder,
+                       const std::vector<fp::Fingerprint>& pool,
+                       uint64_t count, const DistractorOptions& options,
+                       Rng* rng);
+
+/// Convenience used by benchmarks: a purely synthetic query/pool
+/// fingerprint with i.i.d. uniform byte components (the distribution used
+/// in the paper's Section V-A protocol before adding Gaussian distortion).
+fp::Fingerprint UniformRandomFingerprint(Rng* rng);
+
+/// Adds i.i.d. N(0, sigma) distortion to each component (clamped to
+/// [0, 255]): builds the paper's Q = S + Delta S queries.
+fp::Fingerprint DistortFingerprint(const fp::Fingerprint& base, double sigma,
+                                   Rng* rng);
+
+}  // namespace s3vcd::core
+
+#endif  // S3VCD_CORE_SYNTHETIC_DB_H_

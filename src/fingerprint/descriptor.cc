@@ -1,0 +1,56 @@
+#include "fingerprint/descriptor.h"
+
+#include <cmath>
+
+#include "media/sampling.h"
+
+namespace s3vcd::fp {
+
+DerivativeStack::DerivativeStack(const media::Frame& frame, double sigma)
+    : derivatives_(media::ComputeDerivatives(frame, sigma)) {}
+
+void DerivativeStack::SampleJet(double x, double y, double* jet5) const {
+  jet5[0] = media::BilinearSample(derivatives_.ix, x, y);
+  jet5[1] = media::BilinearSample(derivatives_.iy, x, y);
+  jet5[2] = media::BilinearSample(derivatives_.ixy, x, y);
+  jet5[3] = media::BilinearSample(derivatives_.ixx, x, y);
+  jet5[4] = media::BilinearSample(derivatives_.iyy, x, y);
+}
+
+std::vector<SupportPosition> SupportPositions(double x, double y,
+                                              const DescriptorOptions& opt) {
+  const double d = opt.spatial_offset;
+  const int dt = opt.temporal_offset;
+  return {
+      {x - d, y - d, -dt},
+      {x + d, y + d, -dt},
+      {x + d, y - d, +dt},
+      {x - d, y + d, +dt},
+  };
+}
+
+Fingerprint ComputeDescriptor(const DerivativeStack& before,
+                              const DerivativeStack& after, double x,
+                              double y, const DescriptorOptions& options) {
+  Fingerprint fp;
+  const auto positions = SupportPositions(x, y, options);
+  constexpr double kDegenerateNorm = 1e-6;
+  for (int i = 0; i < kNumPositions; ++i) {
+    const SupportPosition& pos = positions[i];
+    double jet[kSubDims];
+    const DerivativeStack& stack = pos.frame_offset < 0 ? before : after;
+    stack.SampleJet(pos.x, pos.y, jet);
+    double norm_sq = 0;
+    for (double v : jet) {
+      norm_sq += v * v;
+    }
+    const double norm = std::sqrt(norm_sq);
+    for (int j = 0; j < kSubDims; ++j) {
+      const double normalized = norm > kDegenerateNorm ? jet[j] / norm : 0.0;
+      fp[i * kSubDims + j] = QuantizeComponent(normalized);
+    }
+  }
+  return fp;
+}
+
+}  // namespace s3vcd::fp

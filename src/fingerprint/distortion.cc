@@ -1,0 +1,86 @@
+#include "fingerprint/distortion.h"
+
+#include <cmath>
+
+namespace s3vcd::fp {
+
+std::vector<DistortionSample> CollectDistortionSamples(
+    const media::VideoSequence& video, const media::TransformChain& chain,
+    const PerfectDetectorOptions& options, Rng* rng) {
+  std::vector<DistortionSample> samples;
+  const FingerprintExtractor extractor(options.extractor);
+  const std::vector<LocalFingerprint> references = extractor.Extract(video);
+  if (references.empty()) {
+    return samples;
+  }
+  const media::VideoSequence transformed = chain.Apply(video, rng);
+
+  // Group reference fingerprints by key-frame so each derivative stack of
+  // the transformed sequence is built once.
+  size_t i = 0;
+  while (i < references.size()) {
+    const uint32_t t = references[i].time_code;
+    size_t j = i;
+    std::vector<std::pair<double, double>> positions;
+    while (j < references.size() && references[j].time_code == t) {
+      double tx = 0;
+      double ty = 0;
+      chain.MapPoint(references[j].x, references[j].y, video.width(),
+                     video.height(), &tx, &ty);
+      if (options.delta_pix > 0) {
+        const double angle = rng->Uniform(0, 2 * M_PI);
+        tx += options.delta_pix * std::cos(angle);
+        ty += options.delta_pix * std::sin(angle);
+      }
+      positions.emplace_back(tx, ty);
+      ++j;
+    }
+    const auto result = extractor.ExtractAtPositions(
+        transformed, static_cast<int>(t), positions);
+    size_t out_idx = 0;
+    for (size_t k = 0; k < positions.size(); ++k) {
+      if (!result.kept[k]) {
+        continue;
+      }
+      samples.push_back(
+          {references[i + k].descriptor,
+           result.fingerprints[out_idx].descriptor});
+      ++out_idx;
+    }
+    i = j;
+  }
+  return samples;
+}
+
+DistortionStats ComputeDistortionStats(
+    const std::vector<DistortionSample>& samples) {
+  DistortionStats stats;
+  stats.count = samples.size();
+  if (samples.empty()) {
+    return stats;
+  }
+  std::array<double, kDims> sum{};
+  std::array<double, kDims> sum_sq{};
+  for (const DistortionSample& s : samples) {
+    for (int j = 0; j < kDims; ++j) {
+      const double d = static_cast<double>(s.reference[j]) -
+                       static_cast<double>(s.distorted[j]);
+      sum[j] += d;
+      sum_sq[j] += d * d;
+    }
+  }
+  const double n = static_cast<double>(samples.size());
+  double sigma_total = 0;
+  for (int j = 0; j < kDims; ++j) {
+    stats.component_mean[j] = sum[j] / n;
+    const double var =
+        std::max(0.0, sum_sq[j] / n - stats.component_mean[j] *
+                                          stats.component_mean[j]);
+    stats.component_sigma[j] = std::sqrt(var);
+    sigma_total += stats.component_sigma[j];
+  }
+  stats.sigma = sigma_total / kDims;
+  return stats;
+}
+
+}  // namespace s3vcd::fp

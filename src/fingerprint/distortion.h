@@ -1,0 +1,56 @@
+#ifndef S3VCD_FINGERPRINT_DISTORTION_H_
+#define S3VCD_FINGERPRINT_DISTORTION_H_
+
+#include <array>
+#include <vector>
+
+#include "fingerprint/extractor.h"
+#include "fingerprint/fingerprint.h"
+#include "media/frame.h"
+#include "media/transforms.h"
+#include "util/rng.h"
+
+namespace s3vcd::fp {
+
+/// One (reference, distorted) fingerprint pair for the same interest point,
+/// collected with the paper's simulated perfect detector (Section IV-C):
+/// the point position in the transformed sequence is computed analytically
+/// from the original position, so that pure descriptor distortion is
+/// measured without detector repeatability noise.
+struct DistortionSample {
+  Fingerprint reference;
+  Fingerprint distorted;
+};
+
+/// Options of the distortion sampling protocol.
+struct PerfectDetectorOptions {
+  ExtractorOptions extractor;
+  /// Simulated imprecision of the interest point detector: the theoretical
+  /// position in the transformed sequence is shifted by this many pixels in
+  /// a random direction (the paper's delta_pix).
+  double delta_pix = 0.0;
+};
+
+/// Applies `chain` to `video`, extracts reference fingerprints from the
+/// original, and for each one computes the distorted fingerprint at the
+/// analytically mapped position in the transformed sequence.
+std::vector<DistortionSample> CollectDistortionSamples(
+    const media::VideoSequence& video, const media::TransformChain& chain,
+    const PerfectDetectorOptions& options, Rng* rng);
+
+/// Per-component and pooled statistics of the distortion vector
+/// Delta S = S(m) - S(t(m)).
+struct DistortionStats {
+  std::array<double, kDims> component_sigma{};
+  std::array<double, kDims> component_mean{};
+  /// The paper's severity criterion: mean of the D per-component sigmas.
+  double sigma = 0;
+  size_t count = 0;
+};
+
+DistortionStats ComputeDistortionStats(
+    const std::vector<DistortionSample>& samples);
+
+}  // namespace s3vcd::fp
+
+#endif  // S3VCD_FINGERPRINT_DISTORTION_H_

@@ -1,0 +1,11 @@
+#include "fingerprint/fingerprint.h"
+
+#include <cmath>
+
+namespace s3vcd::fp {
+
+double Distance(const Fingerprint& a, const Fingerprint& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+}  // namespace s3vcd::fp

@@ -1,0 +1,56 @@
+#ifndef S3VCD_FINGERPRINT_FINGERPRINT_H_
+#define S3VCD_FINGERPRINT_FINGERPRINT_H_
+
+#include <array>
+#include <cstdint>
+
+namespace s3vcd::fp {
+
+/// Descriptor dimensionality: four 5-dimensional local jets (Section III).
+inline constexpr int kSubDims = 5;
+inline constexpr int kNumPositions = 4;
+inline constexpr int kDims = kSubDims * kNumPositions;  // D = 20
+
+/// A local fingerprint: each component quantized to one byte, so the search
+/// space is [0, 255]^20 exactly as in the paper.
+using Fingerprint = std::array<uint8_t, kDims>;
+
+/// Squared Euclidean distance between two fingerprints in byte space.
+inline double SquaredDistance(const Fingerprint& a, const Fingerprint& b) {
+  int64_t acc = 0;
+  for (int i = 0; i < kDims; ++i) {
+    const int d = static_cast<int>(a[i]) - static_cast<int>(b[i]);
+    acc += static_cast<int64_t>(d) * d;
+  }
+  return static_cast<double>(acc);
+}
+
+double Distance(const Fingerprint& a, const Fingerprint& b);
+
+/// Quantizes a normalized component v in [-1, 1] to a byte.
+inline uint8_t QuantizeComponent(double v) {
+  const double scaled = (v + 1.0) * 127.5;
+  if (scaled <= 0.0) {
+    return 0;
+  }
+  if (scaled >= 255.0) {
+    return 255;
+  }
+  return static_cast<uint8_t>(scaled + 0.5);
+}
+
+/// Inverse of QuantizeComponent (bin center).
+inline double DequantizeComponent(uint8_t b) { return b / 127.5 - 1.0; }
+
+/// A fingerprint localized in a video: interest point position within the
+/// key-frame and the key-frame's time code (frame index).
+struct LocalFingerprint {
+  Fingerprint descriptor{};
+  float x = 0;
+  float y = 0;
+  uint32_t time_code = 0;
+};
+
+}  // namespace s3vcd::fp
+
+#endif  // S3VCD_FINGERPRINT_FINGERPRINT_H_

@@ -1,0 +1,121 @@
+#include "fingerprint/harris.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "media/filters.h"
+
+namespace s3vcd::fp {
+
+media::Frame HarrisResponse(const media::Frame& frame,
+                            const HarrisOptions& options) {
+  const media::Frame smoothed =
+      media::GaussianBlur(frame, options.derivative_sigma);
+  media::Frame ix;
+  media::Frame iy;
+  media::ComputeFirstDerivatives(smoothed, &ix, &iy);
+
+  const int w = frame.width();
+  const int h = frame.height();
+  media::Frame ixx(w, h);
+  media::Frame iyy(w, h);
+  media::Frame ixy(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const float gx = ix.at(x, y);
+      const float gy = iy.at(x, y);
+      ixx.at(x, y) = gx * gx;
+      iyy.at(x, y) = gy * gy;
+      ixy.at(x, y) = gx * gy;
+    }
+  }
+  const media::Frame sxx = media::GaussianBlur(ixx, options.integration_sigma);
+  const media::Frame syy = media::GaussianBlur(iyy, options.integration_sigma);
+  const media::Frame sxy = media::GaussianBlur(ixy, options.integration_sigma);
+
+  media::Frame response(w, h);
+  const float k = static_cast<float>(options.k);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const float a = sxx.at(x, y);
+      const float b = syy.at(x, y);
+      const float c = sxy.at(x, y);
+      const float det = a * b - c * c;
+      const float tr = a + b;
+      response.at(x, y) = det - k * tr * tr;
+    }
+  }
+  return response;
+}
+
+std::vector<InterestPoint> DetectInterestPoints(const media::Frame& frame,
+                                                const HarrisOptions& options) {
+  const media::Frame response = HarrisResponse(frame, options);
+  const int w = frame.width();
+  const int h = frame.height();
+
+  float peak = 0;
+  for (float v : response.pixels()) {
+    peak = std::max(peak, v);
+  }
+  if (peak <= 0) {
+    return {};
+  }
+  const float threshold = static_cast<float>(options.relative_threshold) * peak;
+
+  // 3x3 non-max suppression inside the border.
+  std::vector<InterestPoint> candidates;
+  const int border = std::max(1, options.border);
+  for (int y = border; y < h - border; ++y) {
+    for (int x = border; x < w - border; ++x) {
+      const float v = response.at(x, y);
+      if (v < threshold) {
+        continue;
+      }
+      bool is_max = true;
+      for (int dy = -1; dy <= 1 && is_max; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0) {
+            continue;
+          }
+          if (response.at(x + dx, y + dy) > v) {
+            is_max = false;
+            break;
+          }
+        }
+      }
+      if (is_max) {
+        candidates.push_back({static_cast<float>(x), static_cast<float>(y), v});
+      }
+    }
+  }
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const InterestPoint& a, const InterestPoint& b) {
+              return a.response > b.response;
+            });
+
+  // Greedy minimum-distance selection of the strongest points.
+  std::vector<InterestPoint> out;
+  const double min_d2 = options.min_distance * options.min_distance;
+  for (const InterestPoint& cand : candidates) {
+    if (static_cast<int>(out.size()) >= options.max_points) {
+      break;
+    }
+    bool too_close = false;
+    for (const InterestPoint& kept : out) {
+      const double dx = cand.x - kept.x;
+      const double dy = cand.y - kept.y;
+      if (dx * dx + dy * dy < min_d2) {
+        too_close = true;
+        break;
+      }
+    }
+    if (!too_close) {
+      out.push_back(cand);
+    }
+  }
+  return out;
+}
+
+}  // namespace s3vcd::fp

@@ -1,0 +1,83 @@
+#include "fingerprint/keyframe.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "media/filters.h"
+
+namespace s3vcd::fp {
+
+std::vector<double> IntensityOfMotion(const media::VideoSequence& video) {
+  std::vector<double> motion(video.frames.size(), 0.0);
+  for (size_t i = 1; i < video.frames.size(); ++i) {
+    motion[i] = video.frames[i].MeanAbsDifference(video.frames[i - 1]);
+  }
+  if (motion.size() > 1) {
+    motion[0] = motion[1];  // avoid a spurious extremum at the start
+  }
+  return motion;
+}
+
+std::vector<int> FindExtrema(const std::vector<double>& signal) {
+  std::vector<int> extrema;
+  const int n = static_cast<int>(signal.size());
+  int i = 1;
+  while (i < n - 1) {
+    if (signal[i] == signal[i + 1]) {
+      // Plateau: find its end and compare the borders.
+      int j = i;
+      while (j < n - 1 && signal[j + 1] == signal[i]) {
+        ++j;
+      }
+      if (j < n - 1) {
+        const bool rising_in = signal[i] > signal[i - 1];
+        const bool falling_out = signal[j + 1] < signal[i];
+        if (rising_in == falling_out) {  // max plateau or min plateau
+          extrema.push_back((i + j) / 2);
+        }
+      }
+      i = j + 1;
+      continue;
+    }
+    const bool is_max = signal[i] > signal[i - 1] && signal[i] > signal[i + 1];
+    const bool is_min = signal[i] < signal[i - 1] && signal[i] < signal[i + 1];
+    if (is_max || is_min) {
+      extrema.push_back(i);
+    }
+    ++i;
+  }
+  return extrema;
+}
+
+std::vector<int> DetectKeyFrames(const media::VideoSequence& video,
+                                 const KeyFrameOptions& options) {
+  if (video.frames.size() < 3) {
+    return video.frames.empty() ? std::vector<int>{} : std::vector<int>{0};
+  }
+  const std::vector<double> motion = IntensityOfMotion(video);
+  const std::vector<double> smoothed =
+      media::GaussianSmooth1D(motion, options.smoothing_sigma);
+  std::vector<int> extrema = FindExtrema(smoothed);
+
+  // Enforce the minimum gap, keeping the extremum with the larger smoothed
+  // curvature (more salient).
+  std::vector<int> out;
+  for (int e : extrema) {
+    if (!out.empty() && e - out.back() < options.min_gap) {
+      auto salience = [&](int idx) {
+        const int lo = std::max(0, idx - 1);
+        const int hi = std::min(static_cast<int>(smoothed.size()) - 1,
+                                idx + 1);
+        return std::abs(2 * smoothed[idx] - smoothed[lo] - smoothed[hi]);
+      };
+      if (salience(e) > salience(out.back())) {
+        out.back() = e;
+      }
+      continue;
+    }
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace s3vcd::fp

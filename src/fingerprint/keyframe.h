@@ -1,0 +1,34 @@
+#ifndef S3VCD_FINGERPRINT_KEYFRAME_H_
+#define S3VCD_FINGERPRINT_KEYFRAME_H_
+
+#include <vector>
+
+#include "media/frame.h"
+
+namespace s3vcd::fp {
+
+/// Options of the key-frame detector (paper Section III): key-frames are
+/// the extrema of the Gaussian-smoothed "intensity of motion" signal.
+struct KeyFrameOptions {
+  /// Temporal Gaussian smoothing (in frames) applied to the motion signal.
+  double smoothing_sigma = 2.0;
+  /// Minimum spacing between consecutive key-frames, in frames; closer
+  /// extrema (smoothing artifacts) are suppressed keeping the stronger one.
+  int min_gap = 4;
+};
+
+/// Mean absolute frame difference for every frame (index 0 gets 0): the
+/// intensity-of-motion signal.
+std::vector<double> IntensityOfMotion(const media::VideoSequence& video);
+
+/// Positions of the local extrema (maxima and minima) of the smoothed
+/// signal; plateau runs contribute their center.
+std::vector<int> FindExtrema(const std::vector<double>& signal);
+
+/// Full detector: returns ascending frame indices of the key-frames.
+std::vector<int> DetectKeyFrames(const media::VideoSequence& video,
+                                 const KeyFrameOptions& options);
+
+}  // namespace s3vcd::fp
+
+#endif  // S3VCD_FINGERPRINT_KEYFRAME_H_

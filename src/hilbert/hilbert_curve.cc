@@ -1,0 +1,61 @@
+#include "hilbert/hilbert_curve.h"
+
+#include "util/logging.h"
+
+namespace s3vcd::hilbert {
+
+using internal::EntryPoint;
+using internal::GrayCode;
+using internal::GrayCodeInverse;
+using internal::IntraDirection;
+using internal::RotateLeft;
+using internal::RotateRight;
+
+HilbertCurve::HilbertCurve(int dims, int order) : dims_(dims), order_(order) {
+  S3VCD_CHECK(dims >= 1 && dims <= kMaxDims);
+  S3VCD_CHECK(order >= 1 && order <= kMaxOrder);
+  S3VCD_CHECK(dims * order <= BitKey::kBits);
+}
+
+BitKey HilbertCurve::Encode(const uint32_t* coords) const {
+  BitKey h;
+  uint32_t e = 0;
+  int d = 0;
+  for (int i = order_ - 1; i >= 0; --i) {
+    // Gather bit i of every coordinate into the level's cell label.
+    uint32_t l = 0;
+    for (int j = 0; j < dims_; ++j) {
+      S3VCD_DCHECK(coords[j] < grid_size());
+      l |= ((coords[j] >> i) & 1u) << j;
+    }
+    // T_{e,d}: undo the level's reflection and rotation.
+    l = RotateRight(l ^ e, (d + 1) % dims_, dims_);
+    const uint32_t w = GrayCodeInverse(l);
+    h.AppendBits(w, dims_);
+    // Advance the state machine to the chosen sub-hypercube.
+    e = e ^ RotateLeft(EntryPoint(w), (d + 1) % dims_, dims_);
+    d = (d + IntraDirection(w, dims_) + 1) % dims_;
+  }
+  return h;
+}
+
+void HilbertCurve::Decode(const BitKey& key, uint32_t* coords) const {
+  for (int j = 0; j < dims_; ++j) {
+    coords[j] = 0;
+  }
+  uint32_t e = 0;
+  int d = 0;
+  for (int i = order_ - 1; i >= 0; --i) {
+    const auto w = static_cast<uint32_t>(key.ExtractBits(i * dims_, dims_));
+    // T^{-1}_{e,d}: apply the level's rotation and reflection to the Gray
+    // label of the digit.
+    uint32_t l = RotateLeft(GrayCode(w), (d + 1) % dims_, dims_) ^ e;
+    for (int j = 0; j < dims_; ++j) {
+      coords[j] |= ((l >> j) & 1u) << i;
+    }
+    e = e ^ RotateLeft(EntryPoint(w), (d + 1) % dims_, dims_);
+    d = (d + IntraDirection(w, dims_) + 1) % dims_;
+  }
+}
+
+}  // namespace s3vcd::hilbert

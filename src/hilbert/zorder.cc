@@ -1,0 +1,73 @@
+#include "hilbert/zorder.h"
+
+#include "util/logging.h"
+
+namespace s3vcd::hilbert {
+
+ZOrderCurve::ZOrderCurve(int dims, int order) : dims_(dims), order_(order) {
+  S3VCD_CHECK(dims >= 1 && dims <= kMaxDims);
+  S3VCD_CHECK(order >= 1 && order <= kMaxOrder);
+  S3VCD_CHECK(dims * order <= BitKey::kBits);
+}
+
+BitKey ZOrderCurve::Encode(const uint32_t* coords) const {
+  BitKey key;
+  for (int level = order_ - 1; level >= 0; --level) {
+    for (int j = 0; j < dims_; ++j) {
+      S3VCD_DCHECK(coords[j] < grid_size());
+      key.AppendBits((coords[j] >> level) & 1u, 1);
+    }
+  }
+  return key;
+}
+
+void ZOrderCurve::Decode(const BitKey& key, uint32_t* coords) const {
+  for (int j = 0; j < dims_; ++j) {
+    coords[j] = 0;
+  }
+  int pos = key_bits();
+  for (int level = order_ - 1; level >= 0; --level) {
+    for (int j = 0; j < dims_; ++j) {
+      --pos;
+      coords[j] |= static_cast<uint32_t>(key.bit(pos)) << level;
+    }
+  }
+}
+
+ZOrderTree::Node ZOrderTree::Root() const {
+  Node root;
+  const int dims = curve_->dims();
+  const uint32_t size = curve_->grid_size();
+  for (int j = 0; j < dims; ++j) {
+    root.lo[j] = 0;
+    root.hi[j] = size;
+  }
+  return root;
+}
+
+void ZOrderTree::Split(const Node& node, Node* child0, Node* child1) const {
+  const int dims = curve_->dims();
+  const int order = curve_->order();
+  S3VCD_DCHECK(node.depth < max_depth());
+  const int axis = node.depth % dims;
+  const int level = node.depth / dims;
+  const uint32_t half = uint32_t{1} << (order - 1 - level);
+  for (int b = 0; b < 2; ++b) {
+    Node* child = (b == 0) ? child0 : child1;
+    *child = node;
+    child->depth = node.depth + 1;
+    child->prefix = node.prefix << 1;
+    if (b == 1) {
+      child->prefix.set_bit(0, true);
+    }
+    S3VCD_DCHECK(child->hi[axis] - child->lo[axis] == 2 * half);
+    if (b == 1) {
+      child->lo[axis] += half;
+    } else {
+      child->hi[axis] -= half;
+    }
+    child->split_axis = axis;
+  }
+}
+
+}  // namespace s3vcd::hilbert

@@ -1,0 +1,124 @@
+#include "media/filters.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace s3vcd::media {
+
+std::vector<float> GaussianKernel1D(double sigma) {
+  S3VCD_CHECK(sigma > 0);
+  const int radius = static_cast<int>(std::ceil(3.0 * sigma));
+  std::vector<float> kernel(2 * radius + 1);
+  double sum = 0;
+  for (int i = -radius; i <= radius; ++i) {
+    const double v = std::exp(-0.5 * (i * i) / (sigma * sigma));
+    kernel[i + radius] = static_cast<float>(v);
+    sum += v;
+  }
+  for (float& v : kernel) {
+    v = static_cast<float>(v / sum);
+  }
+  return kernel;
+}
+
+namespace {
+
+// Convolves horizontally with replicate borders.
+Frame ConvolveRows(const Frame& in, const std::vector<float>& kernel) {
+  const int radius = static_cast<int>(kernel.size()) / 2;
+  Frame out(in.width(), in.height());
+  for (int y = 0; y < in.height(); ++y) {
+    for (int x = 0; x < in.width(); ++x) {
+      float acc = 0;
+      for (int k = -radius; k <= radius; ++k) {
+        acc += kernel[k + radius] * in.at_clamped(x + k, y);
+      }
+      out.at(x, y) = acc;
+    }
+  }
+  return out;
+}
+
+// Convolves vertically with replicate borders.
+Frame ConvolveCols(const Frame& in, const std::vector<float>& kernel) {
+  const int radius = static_cast<int>(kernel.size()) / 2;
+  Frame out(in.width(), in.height());
+  for (int y = 0; y < in.height(); ++y) {
+    for (int x = 0; x < in.width(); ++x) {
+      float acc = 0;
+      for (int k = -radius; k <= radius; ++k) {
+        acc += kernel[k + radius] * in.at_clamped(x, y + k);
+      }
+      out.at(x, y) = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Frame GaussianBlur(const Frame& frame, double sigma) {
+  const std::vector<float> kernel = GaussianKernel1D(sigma);
+  return ConvolveCols(ConvolveRows(frame, kernel), kernel);
+}
+
+std::vector<double> GaussianSmooth1D(const std::vector<double>& signal,
+                                     double sigma) {
+  const std::vector<float> kernel = GaussianKernel1D(sigma);
+  const int radius = static_cast<int>(kernel.size()) / 2;
+  const int n = static_cast<int>(signal.size());
+  std::vector<double> out(signal.size());
+  for (int i = 0; i < n; ++i) {
+    double acc = 0;
+    for (int k = -radius; k <= radius; ++k) {
+      const int j = std::clamp(i + k, 0, n - 1);
+      acc += kernel[k + radius] * signal[j];
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+DerivativeImages ComputeDerivatives(const Frame& frame, double sigma) {
+  const Frame smoothed = GaussianBlur(frame, sigma);
+  const int w = frame.width();
+  const int h = frame.height();
+  DerivativeImages d{Frame(w, h), Frame(w, h), Frame(w, h), Frame(w, h),
+                     Frame(w, h)};
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const float c = smoothed.at_clamped(x, y);
+      const float xm = smoothed.at_clamped(x - 1, y);
+      const float xp = smoothed.at_clamped(x + 1, y);
+      const float ym = smoothed.at_clamped(x, y - 1);
+      const float yp = smoothed.at_clamped(x, y + 1);
+      d.ix.at(x, y) = 0.5f * (xp - xm);
+      d.iy.at(x, y) = 0.5f * (yp - ym);
+      d.ixx.at(x, y) = xp - 2 * c + xm;
+      d.iyy.at(x, y) = yp - 2 * c + ym;
+      d.ixy.at(x, y) = 0.25f * (smoothed.at_clamped(x + 1, y + 1) -
+                                smoothed.at_clamped(x - 1, y + 1) -
+                                smoothed.at_clamped(x + 1, y - 1) +
+                                smoothed.at_clamped(x - 1, y - 1));
+    }
+  }
+  return d;
+}
+
+void ComputeFirstDerivatives(const Frame& smoothed, Frame* ix, Frame* iy) {
+  const int w = smoothed.width();
+  const int h = smoothed.height();
+  *ix = Frame(w, h);
+  *iy = Frame(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      ix->at(x, y) = 0.5f * (smoothed.at_clamped(x + 1, y) -
+                             smoothed.at_clamped(x - 1, y));
+      iy->at(x, y) = 0.5f * (smoothed.at_clamped(x, y + 1) -
+                             smoothed.at_clamped(x, y - 1));
+    }
+  }
+}
+
+}  // namespace s3vcd::media

@@ -1,0 +1,43 @@
+#ifndef S3VCD_MEDIA_FILTERS_H_
+#define S3VCD_MEDIA_FILTERS_H_
+
+#include <vector>
+
+#include "media/frame.h"
+
+namespace s3vcd::media {
+
+/// Normalized 1-D Gaussian kernel of standard deviation `sigma`, truncated
+/// at 3 sigma (radius = ceil(3 sigma), always odd length).
+std::vector<float> GaussianKernel1D(double sigma);
+
+/// Separable Gaussian blur with replicate border handling.
+Frame GaussianBlur(const Frame& frame, double sigma);
+
+/// Smooths a 1-D signal with a Gaussian kernel (replicate borders); used by
+/// the key-frame detector on the intensity-of-motion signal.
+std::vector<double> GaussianSmooth1D(const std::vector<double>& signal,
+                                     double sigma);
+
+/// The five Gaussian-derivative images used by the paper's local
+/// fingerprints: the differential decomposition of the graylevel signal up
+/// to second order (Section III).
+struct DerivativeImages {
+  Frame ix;   ///< dI/dx
+  Frame iy;   ///< dI/dy
+  Frame ixy;  ///< d2I/dxdy
+  Frame ixx;  ///< d2I/dx2
+  Frame iyy;  ///< d2I/dy2
+};
+
+/// Computes central-difference derivatives of the Gaussian-smoothed frame.
+/// `sigma` is the smoothing scale; the returned images have the same size
+/// as the input.
+DerivativeImages ComputeDerivatives(const Frame& frame, double sigma);
+
+/// First-order derivatives only (cheaper; used by the Harris detector).
+void ComputeFirstDerivatives(const Frame& smoothed, Frame* ix, Frame* iy);
+
+}  // namespace s3vcd::media
+
+#endif  // S3VCD_MEDIA_FILTERS_H_

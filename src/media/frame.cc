@@ -1,0 +1,36 @@
+#include "media/frame.h"
+
+#include <cmath>
+
+namespace s3vcd::media {
+
+double Frame::Mean() const {
+  if (pixels_.empty()) {
+    return 0.0;
+  }
+  double sum = 0;
+  for (float v : pixels_) {
+    sum += v;
+  }
+  return sum / static_cast<double>(pixels_.size());
+}
+
+double Frame::MeanAbsDifference(const Frame& other) const {
+  S3VCD_CHECK(width_ == other.width_ && height_ == other.height_);
+  if (pixels_.empty()) {
+    return 0.0;
+  }
+  double sum = 0;
+  for (size_t i = 0; i < pixels_.size(); ++i) {
+    sum += std::abs(pixels_[i] - other.pixels_[i]);
+  }
+  return sum / static_cast<double>(pixels_.size());
+}
+
+void Frame::ClampToByteRange() {
+  for (float& v : pixels_) {
+    v = std::clamp(v, 0.0f, 255.0f);
+  }
+}
+
+}  // namespace s3vcd::media

@@ -1,0 +1,37 @@
+#include "media/sampling.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace s3vcd::media {
+
+float BilinearSample(const Frame& frame, double x, double y) {
+  const int x0 = static_cast<int>(std::floor(x));
+  const int y0 = static_cast<int>(std::floor(y));
+  const double fx = x - x0;
+  const double fy = y - y0;
+  const double top = (1 - fx) * frame.at_clamped(x0, y0) +
+                     fx * frame.at_clamped(x0 + 1, y0);
+  const double bottom = (1 - fx) * frame.at_clamped(x0, y0 + 1) +
+                        fx * frame.at_clamped(x0 + 1, y0 + 1);
+  return static_cast<float>((1 - fy) * top + fy * bottom);
+}
+
+Frame ResizeBilinear(const Frame& frame, int new_width, int new_height) {
+  S3VCD_CHECK(new_width > 0 && new_height > 0);
+  Frame out(new_width, new_height);
+  // Pixel-center alignment: output center maps to input center.
+  const double sx = static_cast<double>(frame.width()) / new_width;
+  const double sy = static_cast<double>(frame.height()) / new_height;
+  for (int y = 0; y < new_height; ++y) {
+    const double src_y = (y + 0.5) * sy - 0.5;
+    for (int x = 0; x < new_width; ++x) {
+      const double src_x = (x + 0.5) * sx - 0.5;
+      out.at(x, y) = BilinearSample(frame, src_x, src_y);
+    }
+  }
+  return out;
+}
+
+}  // namespace s3vcd::media

@@ -1,0 +1,17 @@
+#ifndef S3VCD_MEDIA_SAMPLING_H_
+#define S3VCD_MEDIA_SAMPLING_H_
+
+#include "media/frame.h"
+
+namespace s3vcd::media {
+
+/// Bilinear interpolation at the continuous position (x, y); coordinates
+/// outside the frame are clamped to the border.
+float BilinearSample(const Frame& frame, double x, double y);
+
+/// Bilinear resize to new_width x new_height.
+Frame ResizeBilinear(const Frame& frame, int new_width, int new_height);
+
+}  // namespace s3vcd::media
+
+#endif  // S3VCD_MEDIA_SAMPLING_H_

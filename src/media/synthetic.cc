@@ -1,0 +1,182 @@
+#include "media/synthetic.h"
+
+#include <cmath>
+#include <vector>
+
+#include "media/sampling.h"
+#include "util/logging.h"
+
+namespace s3vcd::media {
+
+Frame ValueNoiseTexture(int width, int height, double cell_size, double mean,
+                        double amplitude, Rng* rng) {
+  S3VCD_CHECK(cell_size >= 1.0);
+  Frame out(width, height, 0.0f);
+  // Three octaves of bilinearly interpolated random lattices.
+  double octave_cell = cell_size;
+  double octave_amp = amplitude;
+  double total_amp = 0;
+  for (int octave = 0; octave < 3; ++octave) {
+    const int gw = static_cast<int>(std::ceil(width / octave_cell)) + 2;
+    const int gh = static_cast<int>(std::ceil(height / octave_cell)) + 2;
+    Frame lattice(gw, gh);
+    for (float& v : lattice.pixels()) {
+      v = static_cast<float>(rng->Uniform(-1.0, 1.0));
+    }
+    for (int y = 0; y < height; ++y) {
+      for (int x = 0; x < width; ++x) {
+        out.at(x, y) += static_cast<float>(
+            octave_amp *
+            BilinearSample(lattice, x / octave_cell, y / octave_cell));
+      }
+    }
+    total_amp += octave_amp;
+    octave_cell = std::max(1.0, octave_cell * 0.5);
+    octave_amp *= 0.55;
+  }
+  // Normalize the amplitude sum and recenter on `mean`.
+  const float scale = static_cast<float>(amplitude / total_amp);
+  for (float& v : out.pixels()) {
+    v = static_cast<float>(mean) + v * scale;
+  }
+  return out;
+}
+
+namespace {
+
+// A moving textured object with a soft elliptical profile.
+struct SceneObject {
+  double x0;
+  double y0;
+  double vx;
+  double vy;
+  double radius;
+  double intensity;  // signed brightness offset vs background
+  Frame texture;     // small noise patch modulating the object
+};
+
+// One shot: a panning background plus moving objects; `motion_phase`
+// modulates speeds over time so the intensity-of-motion signal has the
+// extrema the key-frame detector looks for.
+struct Shot {
+  Frame background;  // larger than the frame, cropped with a moving offset
+  double pan_dir_x;
+  double pan_dir_y;
+  std::vector<SceneObject> objects;
+  double motion_phase;
+  double motion_period;
+};
+
+Shot MakeShot(const SyntheticVideoConfig& config, int max_shot_frames,
+              Rng* rng) {
+  Shot shot;
+  const double max_pan = config.pan_speed * max_shot_frames;
+  const int margin = static_cast<int>(std::ceil(max_pan)) + 4;
+  shot.background =
+      ValueNoiseTexture(config.width + 2 * margin, config.height + 2 * margin,
+                        config.texture_scale, 128.0, 55.0, rng);
+  const double angle = rng->Uniform(0, 2 * M_PI);
+  shot.pan_dir_x = std::cos(angle);
+  shot.pan_dir_y = std::sin(angle);
+  shot.motion_phase = rng->Uniform(0, 2 * M_PI);
+  shot.motion_period = rng->Uniform(30.0, 80.0);
+  for (int i = 0; i < config.num_objects; ++i) {
+    SceneObject obj;
+    obj.x0 = rng->Uniform(0.15, 0.85) * config.width;
+    obj.y0 = rng->Uniform(0.15, 0.85) * config.height;
+    const double speed = rng->Uniform(0.3, 1.0) * config.object_speed;
+    const double dir = rng->Uniform(0, 2 * M_PI);
+    obj.vx = speed * std::cos(dir);
+    obj.vy = speed * std::sin(dir);
+    obj.radius = rng->Uniform(0.06, 0.14) * config.height;
+    obj.intensity = rng->Uniform(35.0, 75.0) * (rng->Bernoulli(0.5) ? 1 : -1);
+    const int tex_size = static_cast<int>(2 * obj.radius) + 2;
+    obj.texture = ValueNoiseTexture(tex_size, tex_size,
+                                    std::max(2.0, obj.radius / 2.5), 0.0,
+                                    30.0, rng);
+    shot.objects.push_back(std::move(obj));
+  }
+  return shot;
+}
+
+void RenderFrame(const SyntheticVideoConfig& config, const Shot& shot,
+                 int frame_in_shot, int margin, Frame* out) {
+  // Motion speed modulation: integrate a raised cosine so motion intensity
+  // has smooth maxima and minima within the shot.
+  const double t = frame_in_shot;
+  const double phase =
+      2 * M_PI * t / shot.motion_period + shot.motion_phase;
+  const double travel =
+      t + 0.8 * shot.motion_period / (2 * M_PI) * std::sin(phase);
+
+  const double off_x = margin + shot.pan_dir_x * config.pan_speed * travel;
+  const double off_y = margin + shot.pan_dir_y * config.pan_speed * travel;
+  for (int y = 0; y < config.height; ++y) {
+    for (int x = 0; x < config.width; ++x) {
+      out->at(x, y) = BilinearSample(shot.background, x + off_x, y + off_y);
+    }
+  }
+  for (const SceneObject& obj : shot.objects) {
+    const double cx = obj.x0 + obj.vx * travel;
+    const double cy = obj.y0 + obj.vy * travel;
+    const double r = obj.radius;
+    const int x_lo = std::max(0, static_cast<int>(cx - 2 * r));
+    const int x_hi = std::min(config.width - 1, static_cast<int>(cx + 2 * r));
+    const int y_lo = std::max(0, static_cast<int>(cy - 2 * r));
+    const int y_hi = std::min(config.height - 1, static_cast<int>(cy + 2 * r));
+    for (int y = y_lo; y <= y_hi; ++y) {
+      for (int x = x_lo; x <= x_hi; ++x) {
+        const double dx = x - cx;
+        const double dy = y - cy;
+        const double d2 = (dx * dx + dy * dy) / (r * r);
+        if (d2 > 4.0) {
+          continue;
+        }
+        const double alpha = std::exp(-1.2 * d2);
+        const double tex =
+            BilinearSample(obj.texture, dx + r, dy + r);
+        out->at(x, y) += static_cast<float>(alpha * (obj.intensity + tex));
+      }
+    }
+  }
+  out->ClampToByteRange();
+}
+
+}  // namespace
+
+VideoSequence GenerateSyntheticVideo(const SyntheticVideoConfig& config) {
+  S3VCD_CHECK(config.width > 8 && config.height > 8);
+  S3VCD_CHECK(config.num_frames > 0);
+  Rng rng(config.seed);
+  VideoSequence video;
+  video.fps = config.fps;
+  video.frames.reserve(config.num_frames);
+
+  const int max_shot_frames = 2 * config.mean_shot_length;
+  Shot shot = MakeShot(config, max_shot_frames, &rng);
+  int shot_length = static_cast<int>(
+      rng.UniformInt(config.mean_shot_length / 2,
+                     std::max(config.mean_shot_length / 2 + 1,
+                              3 * config.mean_shot_length / 2)));
+  int frame_in_shot = 0;
+  const int margin =
+      static_cast<int>(std::ceil(config.pan_speed * max_shot_frames)) + 4;
+
+  for (int f = 0; f < config.num_frames; ++f) {
+    if (frame_in_shot >= shot_length || frame_in_shot >= max_shot_frames) {
+      shot = MakeShot(config, max_shot_frames, &rng);
+      shot_length = static_cast<int>(
+          rng.UniformInt(config.mean_shot_length / 2,
+                         std::max(config.mean_shot_length / 2 + 1,
+                                  3 * config.mean_shot_length / 2)));
+      frame_in_shot = 0;
+    }
+    Frame frame(config.width, config.height);
+    RenderFrame(config, shot, frame_in_shot, margin, &frame);
+    video.frames.push_back(std::move(frame));
+    ++frame_in_shot;
+  }
+  return video;
+}
+
+}  // namespace s3vcd::media

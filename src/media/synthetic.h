@@ -1,0 +1,43 @@
+#ifndef S3VCD_MEDIA_SYNTHETIC_H_
+#define S3VCD_MEDIA_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "media/frame.h"
+#include "util/rng.h"
+
+namespace s3vcd::media {
+
+/// Parameters of the synthetic TV-like video generator that stands in for
+/// the paper's INA SNC archive (see DESIGN.md, substitutions). The content
+/// is deterministic in `seed`: textured panning backgrounds, several moving
+/// textured objects, and scene cuts — enough structure for the Harris
+/// detector and key-frame detector to behave as on natural video.
+struct SyntheticVideoConfig {
+  int width = 176;
+  int height = 144;
+  int num_frames = 250;  ///< 10 seconds at 25 fps, the paper's clip length
+  double fps = 25.0;
+  int num_objects = 4;
+  /// Average shot length in frames; cuts re-randomize the scene.
+  int mean_shot_length = 70;
+  /// Coarse texture cell size in pixels (value-noise lattice spacing).
+  double texture_scale = 11.0;
+  /// Background pan speed in pixels per frame.
+  double pan_speed = 0.8;
+  /// Peak object speed in pixels per frame.
+  double object_speed = 2.0;
+  uint64_t seed = 1;
+};
+
+/// Multi-octave value-noise texture: values roughly in [0, 255] with mean
+/// `mean` and spread `amplitude`. Exposed for tests and for object textures.
+Frame ValueNoiseTexture(int width, int height, double cell_size, double mean,
+                        double amplitude, Rng* rng);
+
+/// Generates a deterministic synthetic video clip.
+VideoSequence GenerateSyntheticVideo(const SyntheticVideoConfig& config);
+
+}  // namespace s3vcd::media
+
+#endif  // S3VCD_MEDIA_SYNTHETIC_H_

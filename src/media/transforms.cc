@@ -1,0 +1,360 @@
+#include "media/transforms.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "media/sampling.h"
+#include "util/logging.h"
+
+namespace s3vcd::media {
+
+std::string TransformTypeToString(TransformType type) {
+  switch (type) {
+    case TransformType::kIdentity:
+      return "identity";
+    case TransformType::kResize:
+      return "resize";
+    case TransformType::kVerticalShift:
+      return "shift";
+    case TransformType::kGamma:
+      return "gamma";
+    case TransformType::kContrast:
+      return "contrast";
+    case TransformType::kNoise:
+      return "noise";
+    case TransformType::kMpegQuantize:
+      return "mpeg";
+    case TransformType::kLogoOverlay:
+      return "logo";
+    case TransformType::kPictureInPicture:
+      return "pip";
+  }
+  return "unknown";
+}
+
+TransformChain TransformChain::Resize(double wscale) {
+  return TransformChain({{TransformType::kResize, wscale}});
+}
+TransformChain TransformChain::VerticalShift(double wshift_percent) {
+  return TransformChain({{TransformType::kVerticalShift, wshift_percent}});
+}
+TransformChain TransformChain::Gamma(double wgamma) {
+  return TransformChain({{TransformType::kGamma, wgamma}});
+}
+TransformChain TransformChain::Contrast(double wcontrast) {
+  return TransformChain({{TransformType::kContrast, wcontrast}});
+}
+TransformChain TransformChain::Noise(double wnoise) {
+  return TransformChain({{TransformType::kNoise, wnoise}});
+}
+TransformChain TransformChain::MpegQuantize(double quantizer_scale) {
+  return TransformChain({{TransformType::kMpegQuantize, quantizer_scale}});
+}
+TransformChain TransformChain::LogoOverlay(double size_fraction) {
+  return TransformChain({{TransformType::kLogoOverlay, size_fraction}});
+}
+TransformChain TransformChain::PictureInPicture(double scale) {
+  return TransformChain({{TransformType::kPictureInPicture, scale}});
+}
+
+TransformChain& TransformChain::Then(TransformType type, double param) {
+  steps_.push_back({type, param});
+  return *this;
+}
+
+namespace {
+
+// 8x8 DCT-II basis, basis_[u][x] = c(u) cos((2x+1) u pi / 16).
+struct DctBasis {
+  float b[8][8];
+  DctBasis() {
+    for (int u = 0; u < 8; ++u) {
+      const double cu = (u == 0) ? std::sqrt(0.125) : 0.5;
+      for (int x = 0; x < 8; ++x) {
+        b[u][x] = static_cast<float>(
+            cu * std::cos((2 * x + 1) * u * M_PI / 16.0));
+      }
+    }
+  }
+};
+
+const DctBasis& Basis() {
+  static const DctBasis kBasis;
+  return kBasis;
+}
+
+// Quantizes one 8x8 block in place: forward DCT, frequency-weighted
+// uniform quantization, inverse DCT. `block` is row-major with replicate
+// padding already applied by the caller.
+void QuantizeBlock(float block[8][8], double quantizer_scale) {
+  const DctBasis& basis = Basis();
+  float coeff[8][8];
+  // Separable forward DCT: rows then columns.
+  float tmp[8][8];
+  for (int y = 0; y < 8; ++y) {
+    for (int u = 0; u < 8; ++u) {
+      float acc = 0;
+      for (int x = 0; x < 8; ++x) {
+        acc += block[y][x] * basis.b[u][x];
+      }
+      tmp[y][u] = acc;
+    }
+  }
+  for (int u = 0; u < 8; ++u) {
+    for (int v = 0; v < 8; ++v) {
+      float acc = 0;
+      for (int y = 0; y < 8; ++y) {
+        acc += tmp[y][u] * basis.b[v][y];
+      }
+      coeff[v][u] = acc;
+    }
+  }
+  // Frequency-weighted quantization, MPEG-flavored: the step grows with
+  // the coefficient frequency (u + v).
+  for (int v = 0; v < 8; ++v) {
+    for (int u = 0; u < 8; ++u) {
+      const double step = quantizer_scale * (2.0 + u + v);
+      coeff[v][u] = static_cast<float>(
+          std::round(coeff[v][u] / step) * step);
+    }
+  }
+  // Inverse DCT (transpose of the orthonormal forward).
+  for (int v = 0; v < 8; ++v) {
+    for (int x = 0; x < 8; ++x) {
+      float acc = 0;
+      for (int u = 0; u < 8; ++u) {
+        acc += coeff[v][u] * basis.b[u][x];
+      }
+      tmp[v][x] = acc;
+    }
+  }
+  for (int x = 0; x < 8; ++x) {
+    for (int y = 0; y < 8; ++y) {
+      float acc = 0;
+      for (int v = 0; v < 8; ++v) {
+        acc += tmp[v][x] * basis.b[v][y];
+      }
+      block[y][x] = acc;
+    }
+  }
+}
+
+Frame MpegQuantizeFrame(const Frame& frame, double quantizer_scale) {
+  Frame out(frame.width(), frame.height());
+  float block[8][8];
+  for (int by = 0; by < frame.height(); by += 8) {
+    for (int bx = 0; bx < frame.width(); bx += 8) {
+      for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+          block[y][x] = frame.at_clamped(bx + x, by + y);
+        }
+      }
+      QuantizeBlock(block, quantizer_scale);
+      for (int y = 0; y < 8 && by + y < frame.height(); ++y) {
+        for (int x = 0; x < 8 && bx + x < frame.width(); ++x) {
+          out.at(bx + x, by + y) = std::clamp(block[y][x], 0.0f, 255.0f);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Frame ApplyTransformStep(const Frame& frame, const TransformStep& step,
+                         Rng* rng) {
+  switch (step.type) {
+    case TransformType::kIdentity:
+      return frame;
+    case TransformType::kResize: {
+      S3VCD_CHECK(step.param > 0);
+      const int nw =
+          std::max(1, static_cast<int>(std::lround(frame.width() * step.param)));
+      const int nh = std::max(
+          1, static_cast<int>(std::lround(frame.height() * step.param)));
+      return ResizeBilinear(frame, nw, nh);
+    }
+    case TransformType::kVerticalShift: {
+      const int shift =
+          static_cast<int>(std::lround(frame.height() * step.param / 100.0));
+      Frame out(frame.width(), frame.height(), 0.0f);
+      for (int y = 0; y < frame.height(); ++y) {
+        const int src_y = y - shift;
+        if (src_y < 0 || src_y >= frame.height()) {
+          continue;  // black fill where the shift exposed the border
+        }
+        for (int x = 0; x < frame.width(); ++x) {
+          out.at(x, y) = frame.at(x, src_y);
+        }
+      }
+      return out;
+    }
+    case TransformType::kGamma: {
+      S3VCD_CHECK(step.param > 0);
+      Frame out = frame;
+      for (float& v : out.pixels()) {
+        const double normalized = std::clamp(v / 255.0f, 0.0f, 1.0f);
+        v = static_cast<float>(255.0 * std::pow(normalized, step.param));
+      }
+      return out;
+    }
+    case TransformType::kContrast: {
+      Frame out = frame;
+      for (float& v : out.pixels()) {
+        v = std::clamp(static_cast<float>(step.param) * v, 0.0f, 255.0f);
+      }
+      return out;
+    }
+    case TransformType::kMpegQuantize: {
+      S3VCD_CHECK(step.param > 0);
+      return MpegQuantizeFrame(frame, step.param);
+    }
+    case TransformType::kLogoOverlay: {
+      S3VCD_CHECK(step.param > 0 && step.param < 1);
+      Frame out = frame;
+      const int side =
+          std::max(1, static_cast<int>(std::lround(frame.height() *
+                                                   step.param)));
+      const int x0 = frame.width() - side - 2;
+      const int y0 = 2;
+      for (int y = y0; y < y0 + side && y < frame.height(); ++y) {
+        for (int x = std::max(0, x0); x < x0 + side && x < frame.width();
+             ++x) {
+          // A high-contrast synthetic "logo": bright frame, dark interior.
+          const bool border = (y - y0 < 2) || (y0 + side - 1 - y < 2) ||
+                              (x - x0 < 2) || (x0 + side - 1 - x < 2);
+          out.at(x, y) = border ? 250.0f : 40.0f;
+        }
+      }
+      return out;
+    }
+    case TransformType::kPictureInPicture: {
+      S3VCD_CHECK(step.param > 0 && step.param <= 1);
+      const int inner_w =
+          std::max(1, static_cast<int>(std::lround(frame.width() *
+                                                   step.param)));
+      const int inner_h =
+          std::max(1, static_cast<int>(std::lround(frame.height() *
+                                                   step.param)));
+      const Frame inner = ResizeBilinear(frame, inner_w, inner_h);
+      Frame out(frame.width(), frame.height(), 16.0f);  // dark background
+      const int x0 = (frame.width() - inner_w) / 2;
+      const int y0 = (frame.height() - inner_h) / 2;
+      for (int y = 0; y < inner_h; ++y) {
+        for (int x = 0; x < inner_w; ++x) {
+          out.at(x0 + x, y0 + y) = inner.at(x, y);
+        }
+      }
+      return out;
+    }
+    case TransformType::kNoise: {
+      S3VCD_CHECK(rng != nullptr);
+      Frame out = frame;
+      for (float& v : out.pixels()) {
+        v = std::clamp(
+            v + static_cast<float>(rng->Gaussian(0.0, step.param)), 0.0f,
+            255.0f);
+      }
+      return out;
+    }
+  }
+  return frame;
+}
+
+Frame TransformChain::ApplyToFrame(const Frame& frame, Rng* rng) const {
+  Frame out = frame;
+  for (const TransformStep& step : steps_) {
+    out = ApplyTransformStep(out, step, rng);
+  }
+  return out;
+}
+
+VideoSequence TransformChain::Apply(const VideoSequence& video,
+                                    Rng* rng) const {
+  VideoSequence out;
+  out.fps = video.fps;
+  out.frames.reserve(video.frames.size());
+  for (const Frame& frame : video.frames) {
+    out.frames.push_back(ApplyToFrame(frame, rng));
+  }
+  return out;
+}
+
+void TransformChain::MapPoint(double x, double y, int width, int height,
+                              double* out_x, double* out_y) const {
+  double cx = x;
+  double cy = y;
+  int w = width;
+  int h = height;
+  for (const TransformStep& step : steps_) {
+    switch (step.type) {
+      case TransformType::kResize: {
+        const int nw =
+            std::max(1, static_cast<int>(std::lround(w * step.param)));
+        const int nh =
+            std::max(1, static_cast<int>(std::lround(h * step.param)));
+        // Matches ResizeBilinear's pixel-center alignment.
+        cx = (cx + 0.5) * nw / w - 0.5;
+        cy = (cy + 0.5) * nh / h - 0.5;
+        w = nw;
+        h = nh;
+        break;
+      }
+      case TransformType::kVerticalShift: {
+        const int shift =
+            static_cast<int>(std::lround(h * step.param / 100.0));
+        cy += shift;
+        break;
+      }
+      case TransformType::kPictureInPicture: {
+        const int inner_w =
+            std::max(1, static_cast<int>(std::lround(w * step.param)));
+        const int inner_h =
+            std::max(1, static_cast<int>(std::lround(h * step.param)));
+        // The inner picture is a resize followed by a centered paste.
+        cx = (cx + 0.5) * inner_w / w - 0.5 + (w - inner_w) / 2;
+        cy = (cy + 0.5) * inner_h / h - 0.5 + (h - inner_h) / 2;
+        break;
+      }
+      default:
+        break;  // photometric steps do not move points
+    }
+  }
+  *out_x = cx;
+  *out_y = cy;
+}
+
+void TransformChain::MapSize(int width, int height, int* out_width,
+                             int* out_height) const {
+  int w = width;
+  int h = height;
+  for (const TransformStep& step : steps_) {
+    if (step.type == TransformType::kResize) {
+      w = std::max(1, static_cast<int>(std::lround(w * step.param)));
+      h = std::max(1, static_cast<int>(std::lround(h * step.param)));
+    }
+  }
+  *out_width = w;
+  *out_height = h;
+}
+
+std::string TransformChain::ToString() const {
+  if (steps_.empty()) {
+    return "identity";
+  }
+  std::string out;
+  char buf[64];
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    if (i != 0) {
+      out += "+";
+    }
+    std::snprintf(buf, sizeof(buf), "%s(%g)",
+                  TransformTypeToString(steps_[i].type).c_str(),
+                  steps_[i].param);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace s3vcd::media

@@ -1,0 +1,99 @@
+#ifndef S3VCD_MEDIA_TRANSFORMS_H_
+#define S3VCD_MEDIA_TRANSFORMS_H_
+
+#include <string>
+#include <vector>
+
+#include "media/frame.h"
+#include "util/rng.h"
+
+namespace s3vcd::media {
+
+/// The five kinds of transformations studied in the paper's experiments
+/// (Figure 4), i.e. the distortions a pirated/rebroadcast copy may have
+/// undergone relative to the referenced original.
+enum class TransformType {
+  kIdentity,
+  kResize,         ///< param = wscale (e.g. 0.75)
+  kVerticalShift,  ///< param = wshift, percent of image height (e.g. 30)
+  kGamma,          ///< param = wgamma: I' = 255 (I/255)^wgamma
+  kContrast,       ///< param = wcontrast: I' = clamp(wcontrast * I)
+  kNoise,          ///< param = wnoise: additive N(0, wnoise), clamped
+  /// MPEG-style compression artifacts: 8x8 block DCT with
+  /// frequency-weighted coefficient quantization (the paper's reference
+  /// corpus is MPEG1, so re-encoded copies carry this distortion).
+  /// param = quantizer scale (~1 transparent, ~10 strongly blocky).
+  kMpegQuantize,
+  /// Opaque logo overlay in the top-right corner ("inserting", one of the
+  /// frequent TV operations the paper's local fingerprints are designed to
+  /// survive). param = logo side as a fraction of the frame height
+  /// (e.g. 0.2). Points under the logo are destroyed; the rest survive.
+  kLogoOverlay,
+  /// Picture-in-picture: the content is shrunk by factor param and
+  /// centered over a dark background of the original size (another classic
+  /// insertion; a pure similarity on point positions).
+  kPictureInPicture,
+};
+
+std::string TransformTypeToString(TransformType type);
+
+/// One transformation with its strength parameter.
+struct TransformStep {
+  TransformType type = TransformType::kIdentity;
+  double param = 0.0;
+};
+
+/// An ordered chain of transformations applied to a video copy. Supports
+/// both applying the distortion to frames and analytically mapping interest
+/// point positions from the original into the transformed geometry (the
+/// paper's "simulated perfect interest point detector", Section IV-C).
+class TransformChain {
+ public:
+  TransformChain() = default;
+  explicit TransformChain(std::vector<TransformStep> steps)
+      : steps_(std::move(steps)) {}
+
+  /// Fluent builders.
+  static TransformChain Identity() { return TransformChain(); }
+  static TransformChain Resize(double wscale);
+  static TransformChain VerticalShift(double wshift_percent);
+  static TransformChain Gamma(double wgamma);
+  static TransformChain Contrast(double wcontrast);
+  static TransformChain Noise(double wnoise);
+  static TransformChain MpegQuantize(double quantizer_scale);
+  static TransformChain LogoOverlay(double size_fraction);
+  static TransformChain PictureInPicture(double scale);
+  TransformChain& Then(TransformType type, double param);
+
+  const std::vector<TransformStep>& steps() const { return steps_; }
+  bool is_identity() const { return steps_.empty(); }
+
+  /// Applies the chain to one frame. `rng` is only consumed by kNoise.
+  Frame ApplyToFrame(const Frame& frame, Rng* rng) const;
+
+  /// Applies the chain to every frame of a sequence.
+  VideoSequence Apply(const VideoSequence& video, Rng* rng) const;
+
+  /// Maps a point from original-frame coordinates to transformed-frame
+  /// coordinates through every geometric step (photometric steps are
+  /// identity on positions). `width`/`height` are the original frame size.
+  void MapPoint(double x, double y, int width, int height, double* out_x,
+                double* out_y) const;
+
+  /// Size of the transformed frame, given the original size.
+  void MapSize(int width, int height, int* out_width, int* out_height) const;
+
+  /// e.g. "resize(0.8)+noise(10)".
+  std::string ToString() const;
+
+ private:
+  std::vector<TransformStep> steps_;
+};
+
+/// Applies one step to a frame; exposed for tests.
+Frame ApplyTransformStep(const Frame& frame, const TransformStep& step,
+                         Rng* rng);
+
+}  // namespace s3vcd::media
+
+#endif  // S3VCD_MEDIA_TRANSFORMS_H_

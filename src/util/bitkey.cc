@@ -1,0 +1,167 @@
+#include "util/bitkey.h"
+
+#include <cassert>
+
+namespace s3vcd {
+
+BitKey BitKey::OneBit(int pos) {
+  assert(pos >= 0 && pos < kBits);
+  BitKey k;
+  k.set_bit(pos, true);
+  return k;
+}
+
+BitKey BitKey::LowMask(int n) {
+  assert(n >= 0 && n <= kBits);
+  BitKey k;
+  int full = n >> 6;
+  for (int i = 0; i < full; ++i) {
+    k.words_[i] = ~uint64_t{0};
+  }
+  int rem = n & 63;
+  if (rem != 0) {
+    k.words_[full] = (uint64_t{1} << rem) - 1;
+  }
+  return k;
+}
+
+void BitKey::AppendBits(uint64_t value, int nbits) {
+  assert(nbits >= 0 && nbits <= 64);
+  if (nbits == 0) {
+    return;
+  }
+  *this <<= nbits;
+  const uint64_t mask =
+      nbits == 64 ? ~uint64_t{0} : ((uint64_t{1} << nbits) - 1);
+  words_[0] |= value & mask;
+}
+
+uint64_t BitKey::ExtractBits(int pos, int nbits) const {
+  assert(nbits >= 0 && nbits <= 64);
+  assert(pos >= 0 && pos + nbits <= kBits);
+  if (nbits == 0) {
+    return 0;
+  }
+  const int w = pos >> 6;
+  const int off = pos & 63;
+  uint64_t out = words_[w] >> off;
+  if (off + nbits > 64 && w + 1 < kWords) {
+    out |= words_[w + 1] << (64 - off);
+  }
+  const uint64_t mask =
+      nbits == 64 ? ~uint64_t{0} : ((uint64_t{1} << nbits) - 1);
+  return out & mask;
+}
+
+BitKey BitKey::operator<<(int n) const {
+  assert(n >= 0);
+  BitKey out;
+  if (n >= kBits) {
+    return out;
+  }
+  const int wshift = n >> 6;
+  const int bshift = n & 63;
+  for (int i = kWords - 1; i >= wshift; --i) {
+    uint64_t v = words_[i - wshift] << bshift;
+    if (bshift != 0 && i - wshift - 1 >= 0) {
+      v |= words_[i - wshift - 1] >> (64 - bshift);
+    }
+    out.words_[i] = v;
+  }
+  return out;
+}
+
+BitKey BitKey::operator>>(int n) const {
+  assert(n >= 0);
+  BitKey out;
+  if (n >= kBits) {
+    return out;
+  }
+  const int wshift = n >> 6;
+  const int bshift = n & 63;
+  for (int i = 0; i + wshift < kWords; ++i) {
+    uint64_t v = words_[i + wshift] >> bshift;
+    if (bshift != 0 && i + wshift + 1 < kWords) {
+      v |= words_[i + wshift + 1] << (64 - bshift);
+    }
+    out.words_[i] = v;
+  }
+  return out;
+}
+
+BitKey BitKey::operator|(const BitKey& o) const {
+  BitKey out;
+  for (int i = 0; i < kWords; ++i) {
+    out.words_[i] = words_[i] | o.words_[i];
+  }
+  return out;
+}
+
+BitKey BitKey::operator&(const BitKey& o) const {
+  BitKey out;
+  for (int i = 0; i < kWords; ++i) {
+    out.words_[i] = words_[i] & o.words_[i];
+  }
+  return out;
+}
+
+BitKey BitKey::operator^(const BitKey& o) const {
+  BitKey out;
+  for (int i = 0; i < kWords; ++i) {
+    out.words_[i] = words_[i] ^ o.words_[i];
+  }
+  return out;
+}
+
+BitKey BitKey::operator+(const BitKey& o) const {
+  BitKey out;
+  unsigned __int128 carry = 0;
+  for (int i = 0; i < kWords; ++i) {
+    unsigned __int128 sum =
+        static_cast<unsigned __int128>(words_[i]) + o.words_[i] + carry;
+    out.words_[i] = static_cast<uint64_t>(sum);
+    carry = sum >> 64;
+  }
+  return out;
+}
+
+BitKey BitKey::operator-(const BitKey& o) const {
+  BitKey out;
+  unsigned __int128 borrow = 0;
+  for (int i = 0; i < kWords; ++i) {
+    unsigned __int128 lhs = words_[i];
+    unsigned __int128 rhs = static_cast<unsigned __int128>(o.words_[i]) + borrow;
+    if (lhs >= rhs) {
+      out.words_[i] = static_cast<uint64_t>(lhs - rhs);
+      borrow = 0;
+    } else {
+      const unsigned __int128 two64 = static_cast<unsigned __int128>(1) << 64;
+      out.words_[i] = static_cast<uint64_t>(two64 + lhs - rhs);
+      borrow = 1;
+    }
+  }
+  return out;
+}
+
+BitKey& BitKey::Increment() {
+  for (int i = 0; i < kWords; ++i) {
+    if (++words_[i] != 0) {
+      break;
+    }
+  }
+  return *this;
+}
+
+std::string BitKey::ToHex(int nbits) const {
+  assert(nbits > 0 && nbits <= kBits);
+  const int nibbles = (nbits + 3) / 4;
+  std::string out = "0x";
+  out.reserve(2 + nibbles);
+  static constexpr char kDigits[] = "0123456789abcdef";
+  for (int i = nibbles - 1; i >= 0; --i) {
+    out += kDigits[ExtractBits(i * 4, 4)];
+  }
+  return out;
+}
+
+}  // namespace s3vcd

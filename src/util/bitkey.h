@@ -1,0 +1,108 @@
+#ifndef S3VCD_UTIL_BITKEY_H_
+#define S3VCD_UTIL_BITKEY_H_
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace s3vcd {
+
+/// Fixed-capacity 256-bit unsigned integer used as a Hilbert-curve derived
+/// key. A D-dimensional order-K Hilbert index needs D*K bits (the paper's
+/// configuration D=20, K=8 needs 160); 256 bits cover every configuration
+/// this library supports (D <= 32, K <= 8 or D <= 21, K <= 12, etc.).
+///
+/// The value is stored little-endian: words_[0] holds bits 0..63. Comparison
+/// is numeric. Shifts with counts >= 256 yield zero, as for built-in widths
+/// this would be UB; BitKey defines it for convenience of prefix arithmetic.
+class BitKey {
+ public:
+  static constexpr int kBits = 256;
+  static constexpr int kWords = 4;
+
+  /// Zero-initialized key.
+  constexpr BitKey() : words_{} {}
+
+  /// Key holding a small value.
+  constexpr explicit BitKey(uint64_t low) : words_{low, 0, 0, 0} {}
+
+  static constexpr BitKey Zero() { return BitKey(); }
+
+  /// Key with the single bit `pos` (0 = least significant) set.
+  static BitKey OneBit(int pos);
+
+  /// Key equal to 2^n - 1 (n low bits set). n in [0, 256].
+  static BitKey LowMask(int n);
+
+  /// Bit access, pos in [0, 256).
+  bool bit(int pos) const {
+    return (words_[pos >> 6] >> (pos & 63)) & 1u;
+  }
+  void set_bit(int pos, bool value) {
+    const uint64_t mask = uint64_t{1} << (pos & 63);
+    if (value) {
+      words_[pos >> 6] |= mask;
+    } else {
+      words_[pos >> 6] &= ~mask;
+    }
+  }
+
+  /// Raw word access (word 0 is least significant).
+  uint64_t word(int i) const { return words_[i]; }
+  void set_word(int i, uint64_t w) { words_[i] = w; }
+
+  /// Low 64 bits of the value.
+  uint64_t low64() const { return words_[0]; }
+
+  bool is_zero() const {
+    return (words_[0] | words_[1] | words_[2] | words_[3]) == 0;
+  }
+
+  /// Appends `nbits` bits of `value` at the low end: *this = (*this << nbits)
+  /// | (value & mask). Used to assemble keys digit by digit. nbits in [0,64].
+  void AppendBits(uint64_t value, int nbits);
+
+  /// Extracts `nbits` bits starting at bit `pos` (low end), as a uint64.
+  /// nbits in [0, 64], pos + nbits <= 256.
+  uint64_t ExtractBits(int pos, int nbits) const;
+
+  BitKey operator<<(int n) const;
+  BitKey operator>>(int n) const;
+  BitKey& operator<<=(int n) { return *this = *this << n; }
+  BitKey& operator>>=(int n) { return *this = *this >> n; }
+
+  BitKey operator|(const BitKey& o) const;
+  BitKey operator&(const BitKey& o) const;
+  BitKey operator^(const BitKey& o) const;
+
+  /// Addition / subtraction with wrap-around at 2^256.
+  BitKey operator+(const BitKey& o) const;
+  BitKey operator-(const BitKey& o) const;
+  BitKey& operator+=(const BitKey& o) { return *this = *this + o; }
+
+  /// Increments by one (wraps at 2^256).
+  BitKey& Increment();
+
+  bool operator==(const BitKey& o) const { return words_ == o.words_; }
+  std::strong_ordering operator<=>(const BitKey& o) const {
+    for (int i = kWords - 1; i >= 0; --i) {
+      if (words_[i] != o.words_[i]) {
+        return words_[i] < o.words_[i] ? std::strong_ordering::less
+                                       : std::strong_ordering::greater;
+      }
+    }
+    return std::strong_ordering::equal;
+  }
+
+  /// Hex string of the low `nbits` bits (rounded up to a nibble), most
+  /// significant digit first, e.g. "0x00ff...".
+  std::string ToHex(int nbits = kBits) const;
+
+ private:
+  std::array<uint64_t, kWords> words_;
+};
+
+}  // namespace s3vcd
+
+#endif  // S3VCD_UTIL_BITKEY_H_

@@ -1,0 +1,105 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace s3vcd {
+
+Histogram::Histogram(double lo, double hi, int bins)
+    : lo_(lo),
+      hi_(hi),
+      width_((hi - lo) / bins),
+      counts_(bins, 0),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  assert(hi > lo);
+  assert(bins > 0);
+}
+
+void Histogram::Add(double value) {
+  ++count_;
+  sum_ += value;
+  sum_sq_ += value * value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    return;
+  }
+  int bin = static_cast<int>((value - lo_) / width_);
+  bin = std::min(bin, num_bins() - 1);  // guard rounding at the top edge
+  ++counts_[bin];
+}
+
+double Histogram::Mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+
+double Histogram::StdDev() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  const double mean = Mean();
+  const double var =
+      (sum_sq_ - count_ * mean * mean) / static_cast<double>(count_ - 1);
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+double Histogram::bin_center(int i) const { return lo_ + (i + 0.5) * width_; }
+
+double Histogram::Density(int i) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(counts_[i]) /
+         (static_cast<double>(count_) * width_);
+}
+
+double Histogram::Quantile(double q) const {
+  assert(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) {
+    return lo_;
+  }
+  const double target = q * static_cast<double>(count_);
+  double cum = static_cast<double>(underflow_);
+  if (cum >= target) {
+    return lo_;
+  }
+  for (int i = 0; i < num_bins(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return lo_ + (i + frac) * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::ToAscii(int max_width) const {
+  uint64_t peak = 0;
+  for (uint64_t c : counts_) {
+    peak = std::max(peak, c);
+  }
+  std::string out;
+  char line[160];
+  for (int i = 0; i < num_bins(); ++i) {
+    const int bar =
+        peak == 0 ? 0
+                  : static_cast<int>(static_cast<double>(counts_[i]) *
+                                     max_width / static_cast<double>(peak));
+    std::snprintf(line, sizeof(line), "%10.3f | ", bin_center(i));
+    out += line;
+    out.append(static_cast<size_t>(bar), '#');
+    std::snprintf(line, sizeof(line), " %llu\n",
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace s3vcd

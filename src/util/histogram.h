@@ -1,0 +1,64 @@
+#ifndef S3VCD_UTIL_HISTOGRAM_H_
+#define S3VCD_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace s3vcd {
+
+/// Fixed-range, equal-width histogram with running moments. Used to estimate
+/// the empirical distortion distributions of the paper (Figure 1) and to
+/// summarize timing data.
+class Histogram {
+ public:
+  /// Bins the range [lo, hi) into `bins` equal cells; values outside the
+  /// range are counted in underflow/overflow.
+  Histogram(double lo, double hi, int bins);
+
+  void Add(double value);
+
+  /// Number of values added (including under/overflow).
+  uint64_t count() const { return count_; }
+  uint64_t underflow() const { return underflow_; }
+  uint64_t overflow() const { return overflow_; }
+
+  double Mean() const;
+  /// Unbiased sample standard deviation (0 when count < 2).
+  double StdDev() const;
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+
+  int num_bins() const { return static_cast<int>(counts_.size()); }
+  uint64_t bin_count(int i) const { return counts_[i]; }
+  /// Center of bin i.
+  double bin_center(int i) const;
+  double bin_width() const { return width_; }
+
+  /// Empirical density at bin i: count / (total * bin_width); comparable to
+  /// a pdf so it can be printed next to model curves.
+  double Density(int i) const;
+
+  /// Approximate quantile from the binned counts, q in [0,1].
+  double Quantile(double q) const;
+
+  /// Multi-line ASCII rendering (for example programs).
+  std::string ToAscii(int max_width = 60) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_;
+  double max_;
+};
+
+}  // namespace s3vcd
+
+#endif  // S3VCD_UTIL_HISTOGRAM_H_

@@ -1,0 +1,182 @@
+#include "util/io.h"
+
+#include <array>
+#include <cstring>
+
+namespace s3vcd {
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> kTable = MakeCrcTable();
+  return kTable;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  const auto& table = CrcTable();
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+BinaryWriter::~BinaryWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+Status BinaryWriter::Open(const std::string& path) {
+  if (file_ != nullptr) {
+    return Status::FailedPrecondition("writer already open");
+  }
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot open for write: " + path);
+  }
+  crc_ = 0;
+  bytes_written_ = 0;
+  return Status::OK();
+}
+
+Status BinaryWriter::WriteBytes(const void* data, size_t size) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("writer not open");
+  }
+  if (size != 0 && std::fwrite(data, 1, size, file_) != size) {
+    return Status::IOError("short write");
+  }
+  crc_ = Crc32(data, size, crc_);
+  bytes_written_ += size;
+  return Status::OK();
+}
+
+Status BinaryWriter::WriteU32(uint32_t v) { return WriteBytes(&v, sizeof(v)); }
+Status BinaryWriter::WriteU64(uint64_t v) { return WriteBytes(&v, sizeof(v)); }
+Status BinaryWriter::WriteDouble(double v) { return WriteBytes(&v, sizeof(v)); }
+
+Status BinaryWriter::WriteString(const std::string& s) {
+  S3VCD_RETURN_IF_ERROR(WriteU32(static_cast<uint32_t>(s.size())));
+  return WriteBytes(s.data(), s.size());
+}
+
+Status BinaryWriter::Close() {
+  if (file_ == nullptr) {
+    return Status::OK();
+  }
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) {
+    return Status::IOError("close failed");
+  }
+  return Status::OK();
+}
+
+BinaryReader::~BinaryReader() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+Status BinaryReader::Open(const std::string& path) {
+  if (file_ != nullptr) {
+    return Status::FailedPrecondition("reader already open");
+  }
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot open for read: " + path);
+  }
+  crc_ = 0;
+  return Status::OK();
+}
+
+Status BinaryReader::ReadBytes(void* data, size_t size) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("reader not open");
+  }
+  if (size != 0 && std::fread(data, 1, size, file_) != size) {
+    return Status::IOError("short read (truncated or corrupt file)");
+  }
+  crc_ = Crc32(data, size, crc_);
+  return Status::OK();
+}
+
+Status BinaryReader::ReadU32(uint32_t* v) { return ReadBytes(v, sizeof(*v)); }
+Status BinaryReader::ReadU64(uint64_t* v) { return ReadBytes(v, sizeof(*v)); }
+Status BinaryReader::ReadDouble(double* v) { return ReadBytes(v, sizeof(*v)); }
+
+Status BinaryReader::ReadString(std::string* s) {
+  uint32_t len = 0;
+  S3VCD_RETURN_IF_ERROR(ReadU32(&len));
+  if (len > (1u << 30)) {
+    return Status::Corruption("unreasonable string length");
+  }
+  s->resize(len);
+  return ReadBytes(s->data(), len);
+}
+
+Status BinaryReader::Seek(uint64_t offset) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("reader not open");
+  }
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    return Status::IOError("seek failed");
+  }
+  crc_ = 0;
+  return Status::OK();
+}
+
+Result<uint64_t> BinaryReader::Size() {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("reader not open");
+  }
+  const long pos = std::ftell(file_);
+  if (pos < 0 || std::fseek(file_, 0, SEEK_END) != 0) {
+    return Status::IOError("size query failed");
+  }
+  const long end = std::ftell(file_);
+  if (end < 0 || std::fseek(file_, pos, SEEK_SET) != 0) {
+    return Status::IOError("size query failed");
+  }
+  return static_cast<uint64_t>(end);
+}
+
+Status BinaryReader::Close() {
+  if (file_ == nullptr) {
+    return Status::OK();
+  }
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) {
+    return Status::IOError("close failed");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  BinaryReader reader;
+  S3VCD_RETURN_IF_ERROR(reader.Open(path));
+  S3VCD_ASSIGN_OR_RETURN(const uint64_t size, reader.Size());
+  std::vector<uint8_t> bytes(size);
+  S3VCD_RETURN_IF_ERROR(reader.ReadBytes(bytes.data(), bytes.size()));
+  S3VCD_RETURN_IF_ERROR(reader.Close());
+  return bytes;
+}
+
+}  // namespace s3vcd

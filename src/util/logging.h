@@ -1,0 +1,36 @@
+#ifndef S3VCD_UTIL_LOGGING_H_
+#define S3VCD_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace s3vcd::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace s3vcd::internal
+
+/// Invariant check that stays active in release builds; used for conditions
+/// whose violation means memory corruption or an unusable index, where
+/// continuing would produce silently wrong search results.
+#define S3VCD_CHECK(expr)                                          \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      ::s3vcd::internal::CheckFailed(__FILE__, __LINE__, #expr);   \
+    }                                                              \
+  } while (false)
+
+/// Debug-only check for hot paths.
+#ifdef NDEBUG
+#define S3VCD_DCHECK(expr) \
+  do {                     \
+  } while (false)
+#else
+#define S3VCD_DCHECK(expr) S3VCD_CHECK(expr)
+#endif
+
+#endif  // S3VCD_UTIL_LOGGING_H_

@@ -1,0 +1,164 @@
+#include "util/math.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace s3vcd {
+
+namespace {
+
+constexpr double kSqrt2 = 1.4142135623730951;
+constexpr int kMaxIterations = 400;
+constexpr double kEps = 1e-15;
+
+// Lower incomplete gamma via its power series; converges fast for x < a + 1.
+double GammaPSeries(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int i = 0; i < kMaxIterations; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * kEps) {
+      break;
+    }
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Upper incomplete gamma Q(a, x) via Lentz continued fraction; converges
+// fast for x > a + 1.
+double GammaQContinuedFraction(double a, double x) {
+  const double kTiny = std::numeric_limits<double>::min() / kEps;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < kEps) {
+      break;
+    }
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double GaussianPdf(double x, double mean, double sigma) {
+  assert(sigma > 0);
+  const double z = (x - mean) / sigma;
+  return std::exp(-0.5 * z * z) / (sigma * std::sqrt(2.0 * M_PI));
+}
+
+double GaussianCdf(double x, double mean, double sigma) {
+  assert(sigma > 0);
+  return 0.5 * std::erfc(-(x - mean) / (sigma * kSqrt2));
+}
+
+double GaussianMass(double lo, double hi, double mean, double sigma) {
+  if (hi <= lo) {
+    return 0.0;
+  }
+  return GaussianCdf(hi, mean, sigma) - GaussianCdf(lo, mean, sigma);
+}
+
+double RegularizedGammaP(double a, double x) {
+  assert(a > 0);
+  assert(x >= 0);
+  if (x == 0.0) {
+    return 0.0;
+  }
+  if (x < a + 1.0) {
+    return GammaPSeries(a, x);
+  }
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+ChiNormDistribution::ChiNormDistribution(int dims, double sigma)
+    : dims_(dims), sigma_(sigma) {
+  assert(dims >= 1);
+  assert(sigma > 0);
+  // pdf(r) = r^(D-1) exp(-r^2 / (2 sigma^2)) / (2^(D/2 - 1) Gamma(D/2) sigma^D)
+  log_norm_ = -(0.5 * dims_ - 1.0) * std::log(2.0) -
+              std::lgamma(0.5 * dims_) - dims_ * std::log(sigma_);
+}
+
+double ChiNormDistribution::Pdf(double r) const {
+  if (r < 0) {
+    return 0.0;
+  }
+  if (r == 0) {
+    return dims_ == 1 ? std::exp(log_norm_) : 0.0;
+  }
+  const double z = r / sigma_;
+  return std::exp(log_norm_ + (dims_ - 1) * std::log(r) - 0.5 * z * z);
+}
+
+double ChiNormDistribution::Cdf(double r) const {
+  if (r <= 0) {
+    return 0.0;
+  }
+  const double z = r / sigma_;
+  return RegularizedGammaP(0.5 * dims_, 0.5 * z * z);
+}
+
+double ChiNormDistribution::Quantile(double alpha) const {
+  assert(alpha > 0 && alpha < 1);
+  // Bracket: mean +- a generous multiple of the sd; expand upper as needed.
+  double lo = 0.0;
+  double hi = sigma_ * (std::sqrt(static_cast<double>(dims_)) + 10.0);
+  while (Cdf(hi) < alpha) {
+    hi *= 2.0;
+  }
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (Cdf(mid) < alpha) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-10 * (1.0 + hi)) {
+      break;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double ChiNormDistribution::Mean() const {
+  return sigma_ * kSqrt2 *
+         std::exp(std::lgamma(0.5 * (dims_ + 1)) - std::lgamma(0.5 * dims_));
+}
+
+double UniformBallRadiusPdf(double r, int dims, double radius) {
+  assert(dims >= 1);
+  assert(radius > 0);
+  if (r < 0 || r > radius) {
+    return 0.0;
+  }
+  return dims * std::pow(r / radius, dims - 1) / radius;
+}
+
+uint64_t NextPowerOfTwo(uint64_t v) {
+  if (v <= 1) {
+    return 1;
+  }
+  return uint64_t{1} << (64 - __builtin_clzll(v - 1));
+}
+
+int Log2Exact(uint64_t pow2) {
+  assert(pow2 != 0 && (pow2 & (pow2 - 1)) == 0);
+  return 63 - __builtin_clzll(pow2);
+}
+
+}  // namespace s3vcd

@@ -1,0 +1,67 @@
+#ifndef S3VCD_UTIL_MATH_H_
+#define S3VCD_UTIL_MATH_H_
+
+#include <cstdint>
+
+namespace s3vcd {
+
+/// Probability density of N(mean, sigma) at x. sigma > 0.
+double GaussianPdf(double x, double mean, double sigma);
+
+/// Cumulative distribution of N(mean, sigma) at x. sigma > 0.
+double GaussianCdf(double x, double mean, double sigma);
+
+/// Probability that a N(mean, sigma) variate falls in [lo, hi].
+double GaussianMass(double lo, double hi, double mean, double sigma);
+
+/// Regularized lower incomplete gamma function P(a, x) = gamma(a, x) /
+/// Gamma(a), for a > 0, x >= 0. Accurate to ~1e-12 (series expansion for
+/// x < a + 1, continued fraction otherwise).
+double RegularizedGammaP(double a, double x);
+
+/// Distribution of the L2 norm of a D-dimensional vector whose components
+/// are i.i.d. N(0, sigma): a scaled chi distribution. This is the
+/// p_{||Delta S||}(r) of the paper (Section V-A), used to pick the eps-range
+/// radius with the same expectation alpha as a statistical query.
+class ChiNormDistribution {
+ public:
+  /// dims >= 1, sigma > 0.
+  ChiNormDistribution(int dims, double sigma);
+
+  /// Density at radius r (0 for r < 0).
+  double Pdf(double r) const;
+
+  /// P(||Delta S|| <= r).
+  double Cdf(double r) const;
+
+  /// Smallest r with Cdf(r) >= alpha, alpha in (0, 1). Solved by bisection;
+  /// accurate to ~1e-9 relative.
+  double Quantile(double alpha) const;
+
+  /// Mean of the distribution: sigma * sqrt(2) * Gamma((D+1)/2) / Gamma(D/2).
+  double Mean() const;
+
+  int dims() const { return dims_; }
+  double sigma() const { return sigma_; }
+
+ private:
+  int dims_;
+  double sigma_;
+  double log_norm_;  // log of the pdf normalization constant
+};
+
+/// Density at radius r of the distance from the center for points uniformly
+/// distributed in a D-dimensional ball of radius `radius`:
+/// p(r) = D * r^(D-1) / radius^D for r in [0, radius]. This is the
+/// "spherical uniform distribution" curve of the paper's Figure 1.
+double UniformBallRadiusPdf(double r, int dims, double radius);
+
+/// Rounds up to the next power of two (returns 1 for 0).
+uint64_t NextPowerOfTwo(uint64_t v);
+
+/// Integer log2 of a power of two.
+int Log2Exact(uint64_t pow2);
+
+}  // namespace s3vcd
+
+#endif  // S3VCD_UTIL_MATH_H_

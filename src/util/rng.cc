@@ -1,0 +1,41 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace s3vcd {
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  assert(k <= n);
+  // Floyd's algorithm: O(k) expected insertions, no O(n) shuffle.
+  std::vector<size_t> out;
+  out.reserve(k);
+  std::vector<bool> taken;
+  if (k * 4 >= n) {
+    // Dense case: partial Fisher-Yates over an index array.
+    std::vector<size_t> idx(n);
+    std::iota(idx.begin(), idx.end(), 0);
+    for (size_t i = 0; i < k; ++i) {
+      const size_t j =
+          i + static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n - i - 1)));
+      std::swap(idx[i], idx[j]);
+      out.push_back(idx[i]);
+    }
+    return out;
+  }
+  taken.assign(n, false);
+  for (size_t j = n - k; j < n; ++j) {
+    const size_t t =
+        static_cast<size_t>(UniformInt(0, static_cast<int64_t>(j)));
+    if (!taken[t]) {
+      taken[t] = true;
+      out.push_back(t);
+    } else {
+      taken[j] = true;
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace s3vcd

@@ -1,0 +1,51 @@
+#ifndef S3VCD_UTIL_RNG_H_
+#define S3VCD_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace s3vcd {
+
+/// Deterministic random number generator used everywhere in the library so
+/// that experiments and tests are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Standard normal scaled: N(mean, sigma).
+  double Gaussian(double mean, double sigma) {
+    return std::normal_distribution<double>(mean, sigma)(engine_);
+  }
+
+  /// Bernoulli trial with probability p of true.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Picks k distinct indices uniformly from [0, n). k <= n.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Derives an independent child generator; convenient for giving each
+  /// subsystem its own stream from one master seed.
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace s3vcd
+
+#endif  // S3VCD_UTIL_RNG_H_

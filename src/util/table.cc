@@ -1,0 +1,106 @@
+#include "util/table.h"
+
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+
+namespace s3vcd {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+Table& Table::AddRow() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::Add(std::string cell) {
+  assert(!rows_.empty());
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::Add(const char* cell) { return Add(std::string(cell)); }
+
+Table& Table::Add(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+  return Add(std::string(buf));
+}
+
+Table& Table::Add(int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  return Add(std::string(buf));
+}
+
+Table& Table::Add(uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  return Add(std::string(buf));
+}
+
+std::string Table::ToText() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      if (row[c].size() > widths[c]) {
+        widths[c] = row[c].size();
+      }
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      line += "| ";
+      line += cell;
+      line.append(widths[c] - cell.size() + 1, ' ');
+    }
+    line += "|\n";
+    return line;
+  };
+  std::string out = render_row(headers_);
+  std::string rule;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule += "|";
+    rule.append(widths[c] + 2, '-');
+  }
+  rule += "|\n";
+  out += rule;
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+std::string Table::ToCsv() const {
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) {
+        out += ',';
+      }
+      out += row[c];
+    }
+    out += '\n';
+  };
+  append_row(headers_);
+  for (const auto& row : rows_) {
+    append_row(row);
+  }
+  return out;
+}
+
+void Table::Print(const std::string& name) const {
+  std::printf("%s", ToText().c_str());
+  std::printf("# CSV %s begin\n%s# CSV %s end\n", name.c_str(),
+              ToCsv().c_str(), name.c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace s3vcd

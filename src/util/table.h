@@ -1,0 +1,46 @@
+#ifndef S3VCD_UTIL_TABLE_H_
+#define S3VCD_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace s3vcd {
+
+/// Small helper that collects rows of strings/numbers and renders them both
+/// as an aligned text table (human-readable bench output) and as CSV (for
+/// replotting the paper's figures).
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row. Subsequent Add* calls fill it left to right.
+  Table& AddRow();
+  Table& Add(std::string cell);
+  Table& Add(const char* cell);
+  /// Formats with %g-style shortest representation, `digits` significant.
+  Table& Add(double value, int digits = 6);
+  Table& Add(int64_t value);
+  Table& Add(uint64_t value);
+  Table& Add(int value) { return Add(static_cast<int64_t>(value)); }
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Aligned, pipe-separated rendering with a header underline.
+  std::string ToText() const;
+
+  /// RFC-ish CSV (no quoting needed for our numeric content).
+  std::string ToCsv() const;
+
+  /// Prints ToText() to stdout, then the CSV block bracketed by
+  /// "# CSV <name>" markers so downstream scripts can extract it.
+  void Print(const std::string& name) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace s3vcd
+
+#endif  // S3VCD_UTIL_TABLE_H_

@@ -1,0 +1,50 @@
+#ifndef S3VCD_UTIL_THREAD_POOL_H_
+#define S3VCD_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace s3vcd {
+
+/// A fixed-size worker pool for read-only fan-out work (batch queries over
+/// an immutable index). Tasks are plain callables; exceptions must not
+/// escape them (the library is exception-free by convention).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace s3vcd
+
+#endif  // S3VCD_UTIL_THREAD_POOL_H_

@@ -1,0 +1,153 @@
+#include "util/bitkey.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace s3vcd {
+namespace {
+
+TEST(BitKeyTest, DefaultIsZero) {
+  BitKey k;
+  EXPECT_TRUE(k.is_zero());
+  EXPECT_EQ(k.low64(), 0u);
+}
+
+TEST(BitKeyTest, SetAndGetBitsAcrossWords) {
+  BitKey k;
+  for (int pos : {0, 1, 63, 64, 65, 127, 128, 200, 255}) {
+    EXPECT_FALSE(k.bit(pos));
+    k.set_bit(pos, true);
+    EXPECT_TRUE(k.bit(pos));
+  }
+  k.set_bit(64, false);
+  EXPECT_FALSE(k.bit(64));
+  EXPECT_TRUE(k.bit(65));
+}
+
+TEST(BitKeyTest, OneBitAndLowMask) {
+  EXPECT_EQ(BitKey::OneBit(0), BitKey(1));
+  EXPECT_EQ(BitKey::OneBit(63), BitKey(uint64_t{1} << 63));
+  EXPECT_TRUE(BitKey::OneBit(200).bit(200));
+  EXPECT_EQ(BitKey::LowMask(0), BitKey::Zero());
+  EXPECT_EQ(BitKey::LowMask(4), BitKey(0xF));
+  BitKey m = BitKey::LowMask(130);
+  EXPECT_TRUE(m.bit(129));
+  EXPECT_FALSE(m.bit(130));
+}
+
+TEST(BitKeyTest, ShiftLeftRightRoundTrip) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    BitKey k;
+    for (int w = 0; w < 2; ++w) {
+      k.set_word(w, rng.engine()());
+    }
+    const int n = static_cast<int>(rng.UniformInt(0, 120));
+    EXPECT_EQ((k << n) >> n, k) << "n=" << n;
+  }
+}
+
+TEST(BitKeyTest, ShiftBeyondWidthIsZero) {
+  BitKey k(0xdeadbeef);
+  EXPECT_TRUE((k << 256).is_zero());
+  EXPECT_TRUE((k >> 256).is_zero());
+  EXPECT_TRUE((k << 300).is_zero());
+}
+
+TEST(BitKeyTest, ShiftCrossesWordBoundaries) {
+  BitKey k(1);
+  BitKey shifted = k << 100;
+  EXPECT_TRUE(shifted.bit(100));
+  EXPECT_EQ((shifted >> 100), BitKey(1));
+  // Exact multiples of 64.
+  EXPECT_TRUE((k << 64).bit(64));
+  EXPECT_TRUE((k << 192).bit(192));
+}
+
+TEST(BitKeyTest, AppendBitsAssemblesDigits) {
+  BitKey k;
+  k.AppendBits(0b101, 3);
+  k.AppendBits(0b01, 2);
+  k.AppendBits(0b1111, 4);
+  // 101 01 1111 = 0x15F
+  EXPECT_EQ(k.low64(), 0b101011111u);
+}
+
+TEST(BitKeyTest, AppendZeroWidthIsNoop) {
+  BitKey k(5);
+  k.AppendBits(0xFFFF, 0);
+  EXPECT_EQ(k, BitKey(5));
+}
+
+TEST(BitKeyTest, ExtractBitsMatchesAppends) {
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int nbits = static_cast<int>(rng.UniformInt(1, 32));
+    std::vector<uint64_t> digits;
+    BitKey k;
+    const int count = 200 / nbits;
+    for (int i = 0; i < count; ++i) {
+      const uint64_t d =
+          rng.engine()() & ((uint64_t{1} << nbits) - 1);
+      digits.push_back(d);
+      k.AppendBits(d, nbits);
+    }
+    for (int i = 0; i < count; ++i) {
+      const int pos = (count - 1 - i) * nbits;
+      EXPECT_EQ(k.ExtractBits(pos, nbits), digits[i]);
+    }
+  }
+}
+
+TEST(BitKeyTest, ExtractBitsStraddlingWordBoundary) {
+  BitKey k;
+  k.set_word(0, 0x8000000000000000u);  // bit 63
+  k.set_word(1, 0x1);                  // bit 64
+  EXPECT_EQ(k.ExtractBits(63, 2), 0b11u);
+  EXPECT_EQ(k.ExtractBits(62, 3), 0b110u);
+  EXPECT_EQ(k.ExtractBits(60, 8), 0b00011000u);
+}
+
+TEST(BitKeyTest, ComparisonIsNumeric) {
+  EXPECT_LT(BitKey(1), BitKey(2));
+  EXPECT_LT(BitKey(0xFFFFFFFFFFFFFFFFull), BitKey::OneBit(64));
+  EXPECT_GT(BitKey::OneBit(128), BitKey::OneBit(127));
+  EXPECT_EQ(BitKey(7) <=> BitKey(7), std::strong_ordering::equal);
+}
+
+TEST(BitKeyTest, AdditionWithCarryChain) {
+  BitKey a = BitKey::LowMask(64);  // 2^64 - 1
+  BitKey b(1);
+  BitKey sum = a + b;
+  EXPECT_EQ(sum, BitKey::OneBit(64));
+  // Carry through several words.
+  BitKey c = BitKey::LowMask(192);
+  EXPECT_EQ(c + BitKey(1), BitKey::OneBit(192));
+}
+
+TEST(BitKeyTest, SubtractionWithBorrow) {
+  BitKey a = BitKey::OneBit(64);
+  EXPECT_EQ(a - BitKey(1), BitKey::LowMask(64));
+  BitKey b = BitKey::OneBit(192);
+  EXPECT_EQ(b - BitKey(1), BitKey::LowMask(192));
+  EXPECT_EQ(BitKey(100) - BitKey(58), BitKey(42));
+}
+
+TEST(BitKeyTest, IncrementCarries) {
+  BitKey k = BitKey::LowMask(128);
+  k.Increment();
+  EXPECT_EQ(k, BitKey::OneBit(128));
+  BitKey zero = BitKey::LowMask(256);
+  zero.Increment();
+  EXPECT_TRUE(zero.is_zero()) << "wraps at 2^256";
+}
+
+TEST(BitKeyTest, ToHex) {
+  EXPECT_EQ(BitKey(0xabc).ToHex(12), "0xabc");
+  EXPECT_EQ(BitKey(0xabc).ToHex(16), "0x0abc");
+  EXPECT_EQ(BitKey::Zero().ToHex(8), "0x00");
+}
+
+}  // namespace
+}  // namespace s3vcd

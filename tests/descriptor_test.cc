@@ -1,0 +1,146 @@
+#include "fingerprint/descriptor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "fingerprint/fingerprint.h"
+#include "media/synthetic.h"
+#include "util/rng.h"
+
+namespace s3vcd::fp {
+namespace {
+
+TEST(QuantizeTest, MapsRangeToBytes) {
+  EXPECT_EQ(QuantizeComponent(-1.0), 0);
+  EXPECT_EQ(QuantizeComponent(1.0), 255);
+  EXPECT_EQ(QuantizeComponent(0.0), 128);  // round(127.5 + 0.5)
+  EXPECT_EQ(QuantizeComponent(-2.0), 0) << "clamps below";
+  EXPECT_EQ(QuantizeComponent(2.0), 255) << "clamps above";
+}
+
+TEST(QuantizeTest, DequantizeRoundTripsWithinOneStep) {
+  for (double v = -1.0; v <= 1.0; v += 0.01) {
+    const uint8_t b = QuantizeComponent(v);
+    EXPECT_NEAR(DequantizeComponent(b), v, 1.0 / 127.5);
+  }
+}
+
+TEST(DistanceTest, BasicProperties) {
+  Fingerprint a{};
+  Fingerprint b{};
+  EXPECT_DOUBLE_EQ(Distance(a, b), 0.0);
+  b[0] = 3;
+  b[1] = 4;
+  EXPECT_DOUBLE_EQ(Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b), Distance(b, a));
+}
+
+TEST(DistanceTest, MaximumDistance) {
+  Fingerprint a;
+  Fingerprint b;
+  a.fill(0);
+  b.fill(255);
+  EXPECT_DOUBLE_EQ(Distance(a, b), 255.0 * std::sqrt(20.0));
+}
+
+TEST(SupportPositionsTest, FourCornersAtTwoTimes) {
+  DescriptorOptions options;
+  options.spatial_offset = 4.0;
+  options.temporal_offset = 2;
+  const auto positions = SupportPositions(10.0, 20.0, options);
+  ASSERT_EQ(positions.size(), 4u);
+  int before = 0;
+  int after = 0;
+  for (const auto& p : positions) {
+    EXPECT_NEAR(std::abs(p.x - 10.0), 4.0, 1e-9);
+    EXPECT_NEAR(std::abs(p.y - 20.0), 4.0, 1e-9);
+    if (p.frame_offset < 0) {
+      ++before;
+      EXPECT_EQ(p.frame_offset, -2);
+    } else {
+      ++after;
+      EXPECT_EQ(p.frame_offset, 2);
+    }
+  }
+  EXPECT_EQ(before, 2);
+  EXPECT_EQ(after, 2);
+}
+
+media::Frame TexturedFrame(int seed) {
+  media::SyntheticVideoConfig config;
+  config.width = 64;
+  config.height = 64;
+  config.num_frames = 1;
+  config.seed = static_cast<uint64_t>(seed);
+  return media::GenerateSyntheticVideo(config).frames[0];
+}
+
+TEST(DescriptorTest, SubVectorsAreNormalizedBeforeQuantization) {
+  const media::Frame frame = TexturedFrame(31);
+  const DescriptorOptions options;
+  const DerivativeStack stack(frame, options.derivative_sigma);
+  const Fingerprint fp = ComputeDescriptor(stack, stack, 32, 32, options);
+  // Each dequantized 5-sub-vector should have (near-)unit norm.
+  for (int i = 0; i < kNumPositions; ++i) {
+    double norm_sq = 0;
+    for (int j = 0; j < kSubDims; ++j) {
+      const double v = DequantizeComponent(fp[i * kSubDims + j]);
+      norm_sq += v * v;
+    }
+    EXPECT_NEAR(std::sqrt(norm_sq), 1.0, 0.05) << "sub-vector " << i;
+  }
+}
+
+TEST(DescriptorTest, FlatRegionQuantizesToNeutralBytes) {
+  media::Frame flat(64, 64, 100.0f);
+  const DescriptorOptions options;
+  const DerivativeStack stack(flat, options.derivative_sigma);
+  const Fingerprint fp = ComputeDescriptor(stack, stack, 32, 32, options);
+  for (uint8_t b : fp) {
+    EXPECT_EQ(b, 128);
+  }
+}
+
+TEST(DescriptorTest, ContrastInvarianceFromNormalization) {
+  // Multiplying the image by a constant scales all derivatives equally, so
+  // normalized sub-vectors are (nearly) unchanged: the key robustness
+  // property of the paper's descriptor for contrast changes.
+  const media::Frame frame = TexturedFrame(32);
+  media::Frame scaled = frame;
+  for (float& v : scaled.pixels()) {
+    v *= 0.5f;
+  }
+  const DescriptorOptions options;
+  const DerivativeStack a(frame, options.derivative_sigma);
+  const DerivativeStack b(scaled, options.derivative_sigma);
+  const Fingerprint fa = ComputeDescriptor(a, a, 30, 30, options);
+  const Fingerprint fb = ComputeDescriptor(b, b, 30, 30, options);
+  EXPECT_LT(Distance(fa, fb), 8.0);
+}
+
+TEST(DescriptorTest, DistinctLocationsGiveDistantDescriptors) {
+  const media::Frame frame = TexturedFrame(33);
+  const DescriptorOptions options;
+  const DerivativeStack stack(frame, options.derivative_sigma);
+  const Fingerprint fa = ComputeDescriptor(stack, stack, 20, 20, options);
+  const Fingerprint fb = ComputeDescriptor(stack, stack, 44, 40, options);
+  EXPECT_GT(Distance(fa, fb), 30.0)
+      << "different texture locations must be discriminable";
+}
+
+TEST(DescriptorTest, SmallShiftGivesSmallDistortion) {
+  const media::Frame frame = TexturedFrame(34);
+  const DescriptorOptions options;
+  const DerivativeStack stack(frame, options.derivative_sigma);
+  const Fingerprint fa = ComputeDescriptor(stack, stack, 30, 30, options);
+  const Fingerprint fb = ComputeDescriptor(stack, stack, 31, 30, options);
+  const Fingerprint far_away = ComputeDescriptor(stack, stack, 45, 18,
+                                                 options);
+  EXPECT_LT(Distance(fa, fb), Distance(fa, far_away))
+      << "1-pixel imprecision must distort less than a different location";
+}
+
+}  // namespace
+}  // namespace s3vcd::fp

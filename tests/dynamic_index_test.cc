@@ -1,0 +1,164 @@
+#include "core/dynamic_index.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/synthetic_db.h"
+#include "util/rng.h"
+
+namespace s3vcd::core {
+namespace {
+
+std::multiset<std::pair<uint32_t, uint32_t>> ToSet(
+    const std::vector<Match>& matches) {
+  std::multiset<std::pair<uint32_t, uint32_t>> out;
+  for (const Match& m : matches) {
+    out.insert({m.id, m.time_code});
+  }
+  return out;
+}
+
+S3Index BuildBase(size_t count, uint64_t seed,
+                  std::vector<FingerprintRecord>* all_records) {
+  Rng rng(seed);
+  DatabaseBuilder builder;
+  for (size_t i = 0; i < count; ++i) {
+    FingerprintRecord r;
+    r.descriptor = UniformRandomFingerprint(&rng);
+    r.id = static_cast<uint32_t>(i % 7);
+    r.time_code = static_cast<uint32_t>(i);
+    builder.Add(r.descriptor, r.id, r.time_code);
+    if (all_records != nullptr) {
+      all_records->push_back(r);
+    }
+  }
+  return S3Index(builder.Build());
+}
+
+TEST(DynamicIndexTest, InsertsVisibleImmediately) {
+  DynamicIndex index(BuildBase(5000, 61, nullptr));
+  Rng rng(1);
+  const fp::Fingerprint novel = UniformRandomFingerprint(&rng);
+  // Before the insert the exact point is absent.
+  QueryOptions options;
+  options.filter.alpha = 0.95;
+  options.filter.depth = 12;
+  const GaussianDistortionModel model(8.0);
+  auto before = index.StatisticalQuery(novel, model, options);
+  bool found_before = false;
+  for (const auto& m : before.matches) {
+    if (m.distance == 0.0f) {
+      found_before = true;
+    }
+  }
+  ASSERT_FALSE(found_before);
+
+  index.Insert(novel, 999, 424242);
+  EXPECT_EQ(index.pending_inserts(), 1u);
+  auto after = index.StatisticalQuery(novel, model, options);
+  bool found = false;
+  for (const auto& m : after.matches) {
+    if (m.id == 999 && m.time_code == 424242) {
+      found = true;
+      EXPECT_FLOAT_EQ(m.distance, 0.0f);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DynamicIndexTest, EquivalentToFullyBuiltIndexAfterInserts) {
+  std::vector<FingerprintRecord> all;
+  DynamicIndex dynamic(BuildBase(4000, 62, &all));
+  Rng rng(2);
+  // Insert 500 extra records into the buffer AND into the reference set.
+  DatabaseBuilder reference_builder;
+  for (const auto& r : all) {
+    reference_builder.Add(r.descriptor, r.id, r.time_code);
+  }
+  for (int i = 0; i < 500; ++i) {
+    FingerprintRecord r;
+    r.descriptor = UniformRandomFingerprint(&rng);
+    r.id = 100 + static_cast<uint32_t>(i % 3);
+    r.time_code = 50000 + static_cast<uint32_t>(i);
+    dynamic.Insert(r.descriptor, r.id, r.time_code);
+    reference_builder.Add(r.descriptor, r.id, r.time_code);
+  }
+  const S3Index reference(reference_builder.Build());
+
+  const GaussianDistortionModel model(18.0);
+  QueryOptions options;
+  options.filter.alpha = 0.85;
+  options.filter.depth = 12;
+  for (int t = 0; t < 10; ++t) {
+    const fp::Fingerprint q = UniformRandomFingerprint(&rng);
+    const auto a = dynamic.StatisticalQuery(q, model, options);
+    const auto b = reference.StatisticalQuery(q, model, options);
+    EXPECT_EQ(ToSet(a.matches), ToSet(b.matches)) << "trial " << t;
+    const auto ra = dynamic.RangeQuery(q, 120.0, 10);
+    const auto rb = reference.RangeQuery(q, 120.0, 10);
+    EXPECT_EQ(ToSet(ra.matches), ToSet(rb.matches)) << "trial " << t;
+  }
+
+  // Compaction must not change any result.
+  dynamic.Compact();
+  EXPECT_EQ(dynamic.pending_inserts(), 0u);
+  EXPECT_EQ(dynamic.total_size(), reference.database().size());
+  for (int t = 0; t < 5; ++t) {
+    const fp::Fingerprint q = UniformRandomFingerprint(&rng);
+    const auto a = dynamic.StatisticalQuery(q, model, options);
+    const auto b = reference.StatisticalQuery(q, model, options);
+    EXPECT_EQ(ToSet(a.matches), ToSet(b.matches)) << "post-compact " << t;
+  }
+}
+
+TEST(DynamicIndexTest, BufferRespectsRegionSemantics) {
+  // A buffered record far from the query must not appear even though the
+  // buffer is scanned linearly.
+  DynamicIndex index(BuildBase(1000, 63, nullptr));
+  fp::Fingerprint near;
+  near.fill(50);
+  fp::Fingerprint far;
+  far.fill(200);
+  index.Insert(near, 1, 1);
+  index.Insert(far, 2, 2);
+  const GaussianDistortionModel model(5.0);
+  QueryOptions options;
+  options.filter.alpha = 0.9;
+  options.filter.depth = 20;
+  const auto result = index.StatisticalQuery(near, model, options);
+  bool saw_near = false;
+  for (const auto& m : result.matches) {
+    if (m.id == 2) {
+      FAIL() << "far buffered record leaked into a tight region";
+    }
+    if (m.id == 1) {
+      saw_near = true;
+    }
+  }
+  EXPECT_TRUE(saw_near);
+}
+
+TEST(DynamicIndexTest, CompactOnEmptyBufferIsNoop) {
+  DynamicIndex index(BuildBase(100, 64, nullptr));
+  const size_t size = index.total_size();
+  index.Compact();
+  EXPECT_EQ(index.total_size(), size);
+}
+
+TEST(DynamicIndexTest, ManyCompactionCyclesAccumulate) {
+  DynamicIndex index(BuildBase(500, 65, nullptr));
+  Rng rng(3);
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    for (int i = 0; i < 50; ++i) {
+      index.Insert(UniformRandomFingerprint(&rng), 1000 + cycle,
+                   static_cast<uint32_t>(i));
+    }
+    index.Compact();
+  }
+  EXPECT_EQ(index.total_size(), 500u + 4 * 50);
+  EXPECT_EQ(index.pending_inserts(), 0u);
+}
+
+}  // namespace
+}  // namespace s3vcd::core

@@ -1,0 +1,182 @@
+#include "core/external_builder.h"
+
+#include <cstdio>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/index.h"
+#include "core/pseudo_disk.h"
+#include "core/synthetic_db.h"
+#include "util/rng.h"
+
+namespace s3vcd::core {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(ExternalBuilderTest, ProducesIdenticalFileToInMemoryBuild) {
+  const std::string path = TempPath("external_equiv.s3db");
+  Rng rng(1);
+  std::vector<FingerprintRecord> records;
+  for (int i = 0; i < 9000; ++i) {
+    FingerprintRecord r;
+    r.descriptor = UniformRandomFingerprint(&rng);
+    r.id = static_cast<uint32_t>(i % 7);
+    r.time_code = static_cast<uint32_t>(i);
+    r.x = static_cast<float>(i % 31);
+    r.y = static_cast<float>(i % 17);
+    records.push_back(r);
+  }
+
+  ExternalBuilderOptions options;
+  options.max_records_in_memory = 1000;  // force ~9 runs
+  options.temp_dir = testing::TempDir();
+  ExternalDatabaseBuilder external(path, options);
+  for (const auto& r : records) {
+    ASSERT_TRUE(external.Add(r.descriptor, r.id, r.time_code, r.x, r.y).ok());
+  }
+  EXPECT_GE(external.runs_spilled(), 8u);
+  ASSERT_TRUE(external.Finish().ok());
+
+  auto loaded = FingerprintDatabase::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), records.size());
+
+  // Reference: the in-memory builder over the same records.
+  DatabaseBuilder reference;
+  for (const auto& r : records) {
+    reference.Add(r.descriptor, r.id, r.time_code, r.x, r.y);
+  }
+  FingerprintDatabase expected = reference.Build();
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(loaded->key(i), expected.key(i)) << "key order differs at " << i;
+    // Equal keys may order arbitrarily between the two sorts; compare
+    // descriptors only (same key => same descriptor for distinct inputs is
+    // not guaranteed, but time codes with equal keys may swap).
+    EXPECT_EQ(loaded->record(i).descriptor, expected.record(i).descriptor);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ExternalBuilderTest, QueriesOverExternalBuildMatchInMemory) {
+  const std::string path = TempPath("external_query.s3db");
+  Rng rng(2);
+  ExternalBuilderOptions options;
+  options.max_records_in_memory = 500;
+  options.temp_dir = testing::TempDir();
+  ExternalDatabaseBuilder external(path, options);
+  DatabaseBuilder reference;
+  std::vector<fp::Fingerprint> sample;
+  for (int i = 0; i < 6000; ++i) {
+    const fp::Fingerprint f = UniformRandomFingerprint(&rng);
+    ASSERT_TRUE(external.Add(f, 1, static_cast<uint32_t>(i)).ok());
+    reference.Add(f, 1, static_cast<uint32_t>(i));
+    if (i % 131 == 0) {
+      sample.push_back(f);
+    }
+  }
+  ASSERT_TRUE(external.Finish().ok());
+  auto loaded = FingerprintDatabase::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  const S3Index from_disk(std::move(*loaded));
+  const S3Index in_memory(reference.Build());
+  for (const auto& target : sample) {
+    const fp::Fingerprint q = DistortFingerprint(target, 15.0, &rng);
+    const auto a = from_disk.RangeQuery(q, 90.0, 12);
+    const auto b = in_memory.RangeQuery(q, 90.0, 12);
+    std::multiset<uint32_t> sa;
+    std::multiset<uint32_t> sb;
+    for (const auto& m : a.matches) {
+      sa.insert(m.time_code);
+    }
+    for (const auto& m : b.matches) {
+      sb.insert(m.time_code);
+    }
+    EXPECT_EQ(sa, sb);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ExternalBuilderTest, ServesPseudoDiskDirectly) {
+  const std::string path = TempPath("external_disk.s3db");
+  Rng rng(3);
+  ExternalBuilderOptions options;
+  options.max_records_in_memory = 700;
+  options.temp_dir = testing::TempDir();
+  ExternalDatabaseBuilder external(path, options);
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(external
+                    .Add(UniformRandomFingerprint(&rng), 2,
+                         static_cast<uint32_t>(i))
+                    .ok());
+  }
+  ASSERT_TRUE(external.Finish().ok());
+
+  PseudoDiskOptions disk;
+  disk.section_depth = 2;
+  disk.query_depth = 10;
+  auto searcher = PseudoDiskSearcher::Open(path, disk);
+  ASSERT_TRUE(searcher.ok()) << searcher.status().ToString();
+  EXPECT_EQ(searcher->num_records(), 4000u);
+  const GaussianDistortionModel model(15.0);
+  std::vector<std::vector<Match>> results;
+  PseudoDiskBatchStats stats;
+  ASSERT_TRUE(searcher
+                  ->SearchBatch({UniformRandomFingerprint(&rng)}, model,
+                                &results, &stats)
+                  .ok());
+  std::remove(path.c_str());
+}
+
+TEST(ExternalBuilderTest, NoSpillPathWorks) {
+  const std::string path = TempPath("external_nospill.s3db");
+  Rng rng(4);
+  ExternalBuilderOptions options;
+  options.max_records_in_memory = 1 << 20;  // never spill
+  options.temp_dir = testing::TempDir();
+  ExternalDatabaseBuilder external(path, options);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(external
+                    .Add(UniformRandomFingerprint(&rng), 0,
+                         static_cast<uint32_t>(i))
+                    .ok());
+  }
+  EXPECT_EQ(external.runs_spilled(), 0u);
+  ASSERT_TRUE(external.Finish().ok());
+  auto loaded = FingerprintDatabase::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 300u);
+  std::remove(path.c_str());
+}
+
+TEST(ExternalBuilderTest, EmptyBuildProducesValidEmptyFile) {
+  const std::string path = TempPath("external_empty.s3db");
+  ExternalDatabaseBuilder external(path, {});
+  ASSERT_TRUE(external.Finish().ok());
+  auto loaded = FingerprintDatabase::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ExternalBuilderTest, FinishTwiceIsAnError) {
+  const std::string path = TempPath("external_twice.s3db");
+  ExternalDatabaseBuilder external(path, {});
+  ASSERT_TRUE(external.Finish().ok());
+  EXPECT_EQ(external.Finish().code(), StatusCode::kFailedPrecondition);
+  Rng rng(5);
+  EXPECT_EQ(external.Add(UniformRandomFingerprint(&rng), 0, 0).code(),
+            StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(ExternalBuilderTest, UnwritableOutputIsIOError) {
+  ExternalDatabaseBuilder external("/nonexistent_dir/out.s3db", {});
+  EXPECT_EQ(external.Finish().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace s3vcd::core

@@ -1,0 +1,145 @@
+#include "fingerprint/extractor.h"
+
+#include <gtest/gtest.h>
+
+#include "fingerprint/distortion.h"
+#include "media/synthetic.h"
+#include "media/transforms.h"
+#include "util/rng.h"
+
+namespace s3vcd::fp {
+namespace {
+
+media::VideoSequence TestClip(uint64_t seed, int frames = 150) {
+  media::SyntheticVideoConfig config;
+  config.width = 96;
+  config.height = 80;
+  config.num_frames = frames;
+  config.seed = seed;
+  return media::GenerateSyntheticVideo(config);
+}
+
+TEST(ExtractorTest, ProducesFingerprintsWithValidFields) {
+  const media::VideoSequence video = TestClip(41);
+  const FingerprintExtractor extractor;
+  const auto fps = extractor.Extract(video);
+  ASSERT_GT(fps.size(), 10u);
+  for (const auto& lf : fps) {
+    EXPECT_GE(lf.x, 0);
+    EXPECT_LT(lf.x, video.width());
+    EXPECT_GE(lf.y, 0);
+    EXPECT_LT(lf.y, video.height());
+    EXPECT_LT(lf.time_code, static_cast<uint32_t>(video.num_frames()));
+  }
+  // Time codes must be non-decreasing (key-frame order).
+  for (size_t i = 1; i < fps.size(); ++i) {
+    EXPECT_LE(fps[i - 1].time_code, fps[i].time_code);
+  }
+}
+
+TEST(ExtractorTest, DeterministicForSameVideo) {
+  const media::VideoSequence video = TestClip(42);
+  const FingerprintExtractor extractor;
+  const auto a = extractor.Extract(video);
+  const auto b = extractor.Extract(video);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].descriptor, b[i].descriptor);
+    EXPECT_EQ(a[i].time_code, b[i].time_code);
+  }
+}
+
+TEST(ExtractorTest, EmptyVideoYieldsNothing) {
+  const FingerprintExtractor extractor;
+  EXPECT_TRUE(extractor.Extract(media::VideoSequence{}).empty());
+}
+
+TEST(ExtractorTest, ExtractAtPositionsSkipsBorderPoints) {
+  const media::VideoSequence video = TestClip(43, 30);
+  const FingerprintExtractor extractor;
+  const std::vector<std::pair<double, double>> positions = {
+      {1.0, 1.0},    // too close to the border
+      {48.0, 40.0},  // interior
+      {95.0, 79.0},  // too close to the border
+  };
+  const auto result = extractor.ExtractAtPositions(video, 10, positions);
+  ASSERT_EQ(result.kept.size(), 3u);
+  EXPECT_FALSE(result.kept[0]);
+  EXPECT_TRUE(result.kept[1]);
+  EXPECT_FALSE(result.kept[2]);
+  EXPECT_EQ(result.fingerprints.size(), 1u);
+}
+
+TEST(DistortionSamplesTest, IdentityTransformGivesNearZeroDistortion) {
+  const media::VideoSequence video = TestClip(44);
+  PerfectDetectorOptions options;
+  Rng rng(1);
+  const auto samples = CollectDistortionSamples(
+      video, media::TransformChain::Identity(), options, &rng);
+  ASSERT_GT(samples.size(), 10u);
+  const DistortionStats stats = ComputeDistortionStats(samples);
+  EXPECT_LT(stats.sigma, 1.0)
+      << "identity + perfect positions must reproduce the descriptor";
+}
+
+TEST(DistortionSamplesTest, SeverityOrderingMatchesPaper) {
+  // Table I: resize(0.84) is far more severe than noise(10); detector
+  // imprecision (delta_pix) adds distortion on top.
+  const media::VideoSequence video = TestClip(45);
+  Rng rng(2);
+  PerfectDetectorOptions exact;
+  PerfectDetectorOptions imprecise;
+  imprecise.delta_pix = 1.0;
+
+  const auto noise_samples = CollectDistortionSamples(
+      video, media::TransformChain::Noise(10.0), exact, &rng);
+  const auto resize_samples = CollectDistortionSamples(
+      video, media::TransformChain::Resize(0.84), imprecise, &rng);
+  ASSERT_GT(noise_samples.size(), 10u);
+  ASSERT_GT(resize_samples.size(), 10u);
+  const double sigma_noise = ComputeDistortionStats(noise_samples).sigma;
+  const double sigma_resize = ComputeDistortionStats(resize_samples).sigma;
+  EXPECT_GT(sigma_resize, sigma_noise);
+  EXPECT_GT(sigma_noise, 0.5);
+}
+
+TEST(DistortionSamplesTest, DeltaPixIncreasesSigma) {
+  const media::VideoSequence video = TestClip(46);
+  Rng rng(3);
+  PerfectDetectorOptions exact;
+  PerfectDetectorOptions imprecise;
+  imprecise.delta_pix = 1.0;
+  const auto a = CollectDistortionSamples(
+      video, media::TransformChain::Gamma(0.9), exact, &rng);
+  const auto b = CollectDistortionSamples(
+      video, media::TransformChain::Gamma(0.9), imprecise, &rng);
+  ASSERT_GT(a.size(), 10u);
+  ASSERT_GT(b.size(), 10u);
+  EXPECT_GT(ComputeDistortionStats(b).sigma,
+            ComputeDistortionStats(a).sigma);
+}
+
+TEST(DistortionStatsTest, EmptyInputIsSafe) {
+  const DistortionStats stats = ComputeDistortionStats({});
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_EQ(stats.sigma, 0.0);
+}
+
+TEST(DistortionStatsTest, HandComputedExample) {
+  DistortionSample s1;
+  DistortionSample s2;
+  s1.reference.fill(100);
+  s1.distorted.fill(98);   // delta = +2 on every component
+  s2.reference.fill(100);
+  s2.distorted.fill(102);  // delta = -2
+  const DistortionStats stats = ComputeDistortionStats({s1, s2});
+  EXPECT_EQ(stats.count, 2u);
+  for (int j = 0; j < kDims; ++j) {
+    EXPECT_DOUBLE_EQ(stats.component_mean[j], 0.0);
+    EXPECT_DOUBLE_EQ(stats.component_sigma[j], 2.0);
+  }
+  EXPECT_DOUBLE_EQ(stats.sigma, 2.0);
+}
+
+}  // namespace
+}  // namespace s3vcd::fp

@@ -1,0 +1,136 @@
+// Parameterized property sweeps of the fingerprint pipeline: across
+// descriptor/detector configurations the invariants must hold — sub-vector
+// normalization, determinism, in-bounds positions, and the ordering of
+// distortion severities.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "fingerprint/distortion.h"
+#include "fingerprint/extractor.h"
+#include "media/synthetic.h"
+#include "media/transforms.h"
+#include "util/rng.h"
+
+namespace s3vcd::fp {
+namespace {
+
+media::VideoSequence Clip(uint64_t seed, int frames = 120) {
+  media::SyntheticVideoConfig config;
+  config.width = 96;
+  config.height = 80;
+  config.num_frames = frames;
+  config.seed = seed;
+  return media::GenerateSyntheticVideo(config);
+}
+
+class ExtractorSweep
+    : public testing::TestWithParam<std::tuple<double, double, int>> {};
+
+TEST_P(ExtractorSweep, InvariantsHoldForConfiguration) {
+  const auto [derivative_sigma, spatial_offset, temporal_offset] = GetParam();
+  ExtractorOptions options;
+  options.descriptor.derivative_sigma = derivative_sigma;
+  options.descriptor.spatial_offset = spatial_offset;
+  options.descriptor.temporal_offset = temporal_offset;
+  const FingerprintExtractor extractor(options);
+  const media::VideoSequence video = Clip(1234);
+  const auto fps = extractor.Extract(video);
+  ASSERT_GT(fps.size(), 5u) << "pipeline must produce fingerprints";
+
+  for (const auto& lf : fps) {
+    // Positions in bounds.
+    EXPECT_GE(lf.x, 0);
+    EXPECT_LT(lf.x, video.width());
+    EXPECT_GE(lf.y, 0);
+    EXPECT_LT(lf.y, video.height());
+    EXPECT_LT(lf.time_code, static_cast<uint32_t>(video.num_frames()));
+    // Each dequantized 5-sub-vector has (near-)unit or zero norm.
+    for (int s = 0; s < kNumPositions; ++s) {
+      double norm_sq = 0;
+      for (int j = 0; j < kSubDims; ++j) {
+        const double v = DequantizeComponent(lf.descriptor[s * kSubDims + j]);
+        norm_sq += v * v;
+      }
+      const double norm = std::sqrt(norm_sq);
+      EXPECT_TRUE(norm < 0.1 || std::abs(norm - 1.0) < 0.06)
+          << "sub-vector " << s << " norm " << norm;
+    }
+  }
+
+  // Determinism for a fixed configuration.
+  const auto again = extractor.Extract(video);
+  ASSERT_EQ(again.size(), fps.size());
+  for (size_t i = 0; i < fps.size(); ++i) {
+    EXPECT_EQ(again[i].descriptor, fps[i].descriptor);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExtractorSweep,
+    testing::Combine(testing::Values(1.0, 1.5, 2.5),
+                     testing::Values(3.0, 4.0, 6.0), testing::Values(1, 2)),
+    [](const testing::TestParamInfo<std::tuple<double, double, int>>& info) {
+      return "ds" + std::to_string(static_cast<int>(
+                        std::get<0>(info.param) * 10)) +
+             "so" + std::to_string(static_cast<int>(
+                        std::get<1>(info.param))) +
+             "dt" + std::to_string(std::get<2>(info.param));
+    });
+
+TEST(DistortionSeverityTest, SeverityGrowsWithTransformStrength) {
+  // For each family, a stronger parameter must not reduce sigma.
+  const media::VideoSequence video = Clip(77, 100);
+  Rng rng(5);
+  const PerfectDetectorOptions options;
+  struct FamilyCase {
+    media::TransformChain weak;
+    media::TransformChain strong;
+    const char* name;
+  };
+  const FamilyCase cases[] = {
+      {media::TransformChain::Noise(4), media::TransformChain::Noise(25),
+       "noise"},
+      {media::TransformChain::Gamma(1.1), media::TransformChain::Gamma(2.3),
+       "gamma"},
+      {media::TransformChain::Contrast(1.1),
+       media::TransformChain::Contrast(2.8), "contrast"},
+      {media::TransformChain::Resize(0.95),
+       media::TransformChain::Resize(0.7), "resize"},
+      {media::TransformChain::MpegQuantize(1.0),
+       media::TransformChain::MpegQuantize(9.0), "mpeg"},
+  };
+  for (const auto& c : cases) {
+    const auto weak_samples =
+        CollectDistortionSamples(video, c.weak, options, &rng);
+    const auto strong_samples =
+        CollectDistortionSamples(video, c.strong, options, &rng);
+    ASSERT_GT(weak_samples.size(), 10u) << c.name;
+    ASSERT_GT(strong_samples.size(), 10u) << c.name;
+    EXPECT_LT(ComputeDistortionStats(weak_samples).sigma,
+              ComputeDistortionStats(strong_samples).sigma + 0.5)
+        << c.name;
+  }
+}
+
+TEST(DistortionSeverityTest, DistortionIsNearZeroMean) {
+  // The paper models Delta S as zero-mean; verify the empirical means are
+  // small relative to the spreads for a mixed transformation.
+  const media::VideoSequence video = Clip(88, 100);
+  Rng rng(6);
+  media::TransformChain chain = media::TransformChain::Gamma(1.3);
+  chain.Then(media::TransformType::kNoise, 8.0);
+  const auto samples =
+      CollectDistortionSamples(video, chain, PerfectDetectorOptions{}, &rng);
+  const DistortionStats stats = ComputeDistortionStats(samples);
+  for (int j = 0; j < kDims; ++j) {
+    EXPECT_LT(std::abs(stats.component_mean[j]),
+              0.5 * stats.component_sigma[j] + 1.0)
+        << "component " << j;
+  }
+}
+
+}  // namespace
+}  // namespace s3vcd::fp

@@ -1,0 +1,229 @@
+#include "hilbert/hilbert_curve.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/bitkey.h"
+#include "util/rng.h"
+
+namespace s3vcd::hilbert {
+namespace {
+
+using internal::GrayCode;
+using internal::GrayCodeInverse;
+using internal::IntraDirection;
+using internal::RotateLeft;
+using internal::RotateRight;
+using internal::TrailingSetBits;
+
+TEST(GrayCodeTest, KnownValues) {
+  EXPECT_EQ(GrayCode(0), 0u);
+  EXPECT_EQ(GrayCode(1), 1u);
+  EXPECT_EQ(GrayCode(2), 3u);
+  EXPECT_EQ(GrayCode(3), 2u);
+  EXPECT_EQ(GrayCode(4), 6u);
+  EXPECT_EQ(GrayCode(7), 4u);
+}
+
+TEST(GrayCodeTest, InverseRoundTrips) {
+  for (uint32_t i = 0; i < 4096; ++i) {
+    EXPECT_EQ(GrayCodeInverse(GrayCode(i)), i);
+  }
+}
+
+TEST(GrayCodeTest, ConsecutiveCodesDifferInOneBit) {
+  for (uint32_t i = 0; i + 1 < 4096; ++i) {
+    const uint32_t diff = GrayCode(i) ^ GrayCode(i + 1);
+    EXPECT_NE(diff, 0u);
+    EXPECT_EQ(diff & (diff - 1), 0u) << "not a power of two at i=" << i;
+    EXPECT_EQ(diff, uint32_t{1} << TrailingSetBits(i));
+  }
+}
+
+TEST(RotateTest, RoundTripsAndWraps) {
+  for (int n : {1, 2, 5, 20, 31}) {
+    const uint32_t mask =
+        n == 32 ? ~uint32_t{0} : ((uint32_t{1} << n) - 1);
+    for (uint32_t x : {0u, 1u, 0x5au, 0xffffu, 0xdeadbeefu}) {
+      for (int r = 0; r < n; ++r) {
+        const uint32_t v = x & mask;
+        EXPECT_EQ(RotateRight(RotateLeft(v, r, n), r, n), v);
+        EXPECT_EQ(RotateLeft(v, r, n),
+                  ((v << r) | (v >> (n - r))) & mask)
+            << "n=" << n << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST(IntraDirectionTest, StaysInRange) {
+  for (int dims = 1; dims <= 8; ++dims) {
+    for (uint32_t w = 0; w < (uint32_t{1} << dims); ++w) {
+      const int d = IntraDirection(w, dims);
+      EXPECT_GE(d, 0);
+      EXPECT_LT(d, dims);
+    }
+  }
+}
+
+// Walks the full curve for a small configuration and checks that it visits
+// every cell exactly once and that consecutive cells are grid neighbors
+// (unit step along exactly one axis) -- the defining Hilbert property.
+void CheckFullCurve(int dims, int order) {
+  SCOPED_TRACE(testing::Message() << "dims=" << dims << " order=" << order);
+  const HilbertCurve curve(dims, order);
+  const uint64_t total = uint64_t{1} << (dims * order);
+  ASSERT_LE(total, uint64_t{1} << 20) << "config too large for full walk";
+
+  std::vector<uint32_t> prev(dims);
+  std::vector<uint32_t> cur(dims);
+  std::map<std::vector<uint32_t>, uint64_t> seen;
+  BitKey key;
+  for (uint64_t i = 0; i < total; ++i) {
+    curve.Decode(key, cur.data());
+    for (int j = 0; j < dims; ++j) {
+      ASSERT_LT(cur[j], curve.grid_size());
+    }
+    // Bijectivity (injectivity over the full domain implies it).
+    auto [it, inserted] = seen.emplace(cur, i);
+    ASSERT_TRUE(inserted) << "cell visited twice, first at key "
+                          << it->second << ", again at " << i;
+    // Encode must invert Decode.
+    ASSERT_EQ(curve.Encode(cur.data()), key) << "at key " << i;
+    if (i > 0) {
+      int moved_axes = 0;
+      for (int j = 0; j < dims; ++j) {
+        const int64_t step = static_cast<int64_t>(cur[j]) -
+                             static_cast<int64_t>(prev[j]);
+        if (step != 0) {
+          ++moved_axes;
+          ASSERT_EQ(std::abs(step), 1) << "non-unit step at key " << i;
+        }
+      }
+      ASSERT_EQ(moved_axes, 1) << "diagonal or null step at key " << i;
+    }
+    prev = cur;
+    key.Increment();
+  }
+  EXPECT_EQ(seen.size(), total);
+}
+
+TEST(HilbertCurveTest, FullCurveDims1) { CheckFullCurve(1, 6); }
+TEST(HilbertCurveTest, FullCurveDims2Order2) { CheckFullCurve(2, 2); }
+TEST(HilbertCurveTest, FullCurveDims2Order6) { CheckFullCurve(2, 6); }
+TEST(HilbertCurveTest, FullCurveDims3Order3) { CheckFullCurve(3, 3); }
+TEST(HilbertCurveTest, FullCurveDims4Order3) { CheckFullCurve(4, 3); }
+TEST(HilbertCurveTest, FullCurveDims5Order2) { CheckFullCurve(5, 2); }
+TEST(HilbertCurveTest, FullCurveDims6Order2) { CheckFullCurve(6, 2); }
+TEST(HilbertCurveTest, FullCurveDims10Order2) { CheckFullCurve(10, 2); }
+
+TEST(HilbertCurveTest, KeyZeroIsOrigin) {
+  for (int dims : {2, 3, 7, 20}) {
+    const HilbertCurve curve(dims, 4);
+    std::vector<uint32_t> coords(dims, 77);
+    curve.Decode(BitKey::Zero(), coords.data());
+    for (int j = 0; j < dims; ++j) {
+      EXPECT_EQ(coords[j], 0u) << "dims=" << dims << " j=" << j;
+    }
+  }
+}
+
+// The paper's configuration: D=20, K=8 (160-bit keys). Too large for a full
+// walk; check round trips and local adjacency at random curve positions.
+TEST(HilbertCurveTest, PaperConfigRoundTripAndAdjacency) {
+  const HilbertCurve curve(20, 8);
+  EXPECT_EQ(curve.key_bits(), 160);
+  Rng rng(20050413);
+  std::vector<uint32_t> coords(20);
+  std::vector<uint32_t> next(20);
+  for (int trial = 0; trial < 2000; ++trial) {
+    for (int j = 0; j < 20; ++j) {
+      coords[j] = static_cast<uint32_t>(rng.UniformInt(0, 255));
+    }
+    BitKey key = curve.Encode(coords.data());
+    curve.Decode(key, next.data());
+    ASSERT_EQ(next, coords);
+
+    // Adjacency of the successor position on the curve.
+    BitKey succ = key;
+    succ.Increment();
+    if (succ.is_zero()) {
+      continue;  // wrapped past the end of the curve
+    }
+    curve.Decode(succ, next.data());
+    int moved = 0;
+    for (int j = 0; j < 20; ++j) {
+      const int64_t step =
+          static_cast<int64_t>(next[j]) - static_cast<int64_t>(coords[j]);
+      if (step != 0) {
+        ++moved;
+        ASSERT_EQ(std::abs(step), 1);
+      }
+    }
+    ASSERT_EQ(moved, 1);
+  }
+}
+
+// Parameterized round-trip sweep over a grid of configurations.
+class HilbertRoundTripTest
+    : public testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HilbertRoundTripTest, RandomPointsRoundTrip) {
+  const auto [dims, order] = GetParam();
+  if (dims * order > BitKey::kBits) {
+    GTEST_SKIP() << "config exceeds key capacity";
+  }
+  const HilbertCurve curve(dims, order);
+  Rng rng(42 + dims * 100 + order);
+  std::vector<uint32_t> coords(dims);
+  std::vector<uint32_t> back(dims);
+  for (int trial = 0; trial < 300; ++trial) {
+    for (int j = 0; j < dims; ++j) {
+      coords[j] = static_cast<uint32_t>(
+          rng.UniformInt(0, (int64_t{1} << order) - 1));
+    }
+    curve.Decode(curve.Encode(coords.data()), back.data());
+    ASSERT_EQ(back, coords);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HilbertRoundTripTest,
+    testing::Combine(testing::Values(1, 2, 3, 5, 8, 12, 16, 20, 24, 32),
+                     testing::Values(1, 2, 4, 8)),
+    [](const testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return "D" + std::to_string(std::get<0>(info.param)) + "K" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// Locality sanity: points close on the curve should usually be close in
+// space. This is a statistical property; we check a loose bound that a
+// correct Hilbert curve passes easily and a broken bit-shuffle does not.
+TEST(HilbertCurveTest, ClusteringBeatsRandomOrder) {
+  const HilbertCurve curve(2, 10);
+  std::vector<uint32_t> a(2);
+  std::vector<uint32_t> b(2);
+  Rng rng(7);
+  double total = 0;
+  const int kTrials = 2000;
+  for (int t = 0; t < kTrials; ++t) {
+    const uint64_t k = static_cast<uint64_t>(
+        rng.UniformInt(0, (int64_t{1} << 20) - 32));
+    curve.Decode(BitKey(k), a.data());
+    curve.Decode(BitKey(k + 16), b.data());
+    const double dx = static_cast<double>(a[0]) - b[0];
+    const double dy = static_cast<double>(a[1]) - b[1];
+    total += std::sqrt(dx * dx + dy * dy);
+  }
+  // 16 curve steps span at most 16 grid steps; average should be well under
+  // that; a random permutation of cells would average ~500 here.
+  EXPECT_LT(total / kTrials, 16.0);
+}
+
+}  // namespace
+}  // namespace s3vcd::hilbert

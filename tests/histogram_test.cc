@@ -1,0 +1,100 @@
+#include "util/histogram.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace s3vcd {
+namespace {
+
+TEST(HistogramTest, BinsValuesCorrectly) {
+  Histogram h(0, 10, 10);
+  h.Add(0.5);
+  h.Add(1.5);
+  h.Add(1.7);
+  h.Add(9.99);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 2u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(HistogramTest, UnderflowAndOverflow) {
+  Histogram h(0, 1, 4);
+  h.Add(-0.1);
+  h.Add(1.0);  // hi is exclusive
+  h.Add(5.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(HistogramTest, MomentsMatchDirectComputation) {
+  Histogram h(-100, 100, 50);
+  Rng rng(1);
+  double sum = 0;
+  double sum_sq = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian(3, 7);
+    h.Add(v);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double sd = std::sqrt((sum_sq - n * mean * mean) / (n - 1));
+  EXPECT_NEAR(h.Mean(), mean, 1e-9);
+  EXPECT_NEAR(h.StdDev(), sd, 1e-9);
+  EXPECT_NEAR(h.Mean(), 3, 0.3);
+  EXPECT_NEAR(h.StdDev(), 7, 0.3);
+}
+
+TEST(HistogramTest, DensitySumsToOneOverRange) {
+  Histogram h(0, 1, 20);
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    h.Add(rng.Uniform(0, 1));
+  }
+  double mass = 0;
+  for (int i = 0; i < h.num_bins(); ++i) {
+    mass += h.Density(i) * h.bin_width();
+  }
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+  // Uniform density ~1 everywhere.
+  for (int i = 0; i < h.num_bins(); ++i) {
+    EXPECT_NEAR(h.Density(i), 1.0, 0.15);
+  }
+}
+
+TEST(HistogramTest, QuantileApproximatesTrueQuantile) {
+  Histogram h(0, 100, 200);
+  for (int i = 0; i < 1000; ++i) {
+    h.Add(i % 100 + 0.5);
+  }
+  EXPECT_NEAR(h.Quantile(0.5), 50, 1.5);
+  EXPECT_NEAR(h.Quantile(0.9), 90, 1.5);
+  EXPECT_NEAR(h.Quantile(0.1), 10, 1.5);
+}
+
+TEST(HistogramTest, EmptyHistogramIsSafe) {
+  Histogram h(0, 1, 4);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.StdDev(), 0.0);
+  EXPECT_EQ(h.Density(0), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_FALSE(h.ToAscii().empty());
+}
+
+TEST(HistogramTest, BinCentersAreMidpoints) {
+  Histogram h(10, 20, 5);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 11.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 19.0);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+}
+
+}  // namespace
+}  // namespace s3vcd

@@ -1,0 +1,153 @@
+// Tests of the insertion transformations (logo overlay, picture-in-
+// picture) and of the CBCD property they exist to demonstrate: local
+// fingerprints survive insertions that destroy only part of the frame
+// (the paper's motivation for local over global signatures).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cbcd/detector.h"
+#include "core/database.h"
+#include "core/distortion_model.h"
+#include "core/index.h"
+#include "core/synthetic_db.h"
+#include "fingerprint/extractor.h"
+#include "media/sampling.h"
+#include "media/synthetic.h"
+#include "media/transforms.h"
+#include "util/rng.h"
+
+namespace s3vcd::media {
+namespace {
+
+Frame TestFrame(uint64_t seed) {
+  SyntheticVideoConfig config;
+  config.width = 96;
+  config.height = 80;
+  config.num_frames = 1;
+  config.seed = seed;
+  return GenerateSyntheticVideo(config).frames[0];
+}
+
+TEST(LogoOverlayTest, OnlyTheCornerChanges) {
+  const Frame frame = TestFrame(1);
+  Rng rng(1);
+  const Frame out =
+      ApplyTransformStep(frame, {TransformType::kLogoOverlay, 0.25}, &rng);
+  ASSERT_EQ(out.width(), frame.width());
+  ASSERT_EQ(out.height(), frame.height());
+  const int side = static_cast<int>(std::lround(frame.height() * 0.25));
+  int changed = 0;
+  for (int y = 0; y < frame.height(); ++y) {
+    for (int x = 0; x < frame.width(); ++x) {
+      if (out.at(x, y) != frame.at(x, y)) {
+        ++changed;
+        // Changes confined to the top-right logo box.
+        EXPECT_GE(x, frame.width() - side - 2);
+        EXPECT_LT(y, side + 2);
+      }
+    }
+  }
+  EXPECT_GT(changed, side * side / 2) << "the logo must actually render";
+}
+
+TEST(LogoOverlayTest, MapPointIsIdentity) {
+  TransformChain chain = TransformChain::LogoOverlay(0.2);
+  double tx = 0;
+  double ty = 0;
+  chain.MapPoint(10.5, 60.25, 96, 80, &tx, &ty);
+  EXPECT_DOUBLE_EQ(tx, 10.5);
+  EXPECT_DOUBLE_EQ(ty, 60.25);
+  EXPECT_EQ(chain.ToString(), "logo(0.2)");
+}
+
+TEST(PictureInPictureTest, GeometryAndBackground) {
+  const Frame frame = TestFrame(2);
+  Rng rng(1);
+  const Frame out = ApplyTransformStep(
+      frame, {TransformType::kPictureInPicture, 0.5}, &rng);
+  ASSERT_EQ(out.width(), frame.width());
+  ASSERT_EQ(out.height(), frame.height());
+  // Corners are background.
+  EXPECT_FLOAT_EQ(out.at(0, 0), 16.0f);
+  EXPECT_FLOAT_EQ(out.at(95, 79), 16.0f);
+  // The center carries (downscaled) content, not background.
+  EXPECT_NE(out.at(48, 40), 16.0f);
+}
+
+TEST(PictureInPictureTest, MapPointTracksTheEmbedding) {
+  // The mapped position must land on the same content in the PiP frame.
+  const Frame frame = TestFrame(3);
+  Rng rng(1);
+  TransformChain chain = TransformChain::PictureInPicture(0.5);
+  const Frame out = chain.ApplyToFrame(frame, &rng);
+  double err = 0;
+  int count = 0;
+  for (int y = 16; y < 64; y += 6) {
+    for (int x = 16; x < 80; x += 6) {
+      double tx = 0;
+      double ty = 0;
+      chain.MapPoint(x, y, 96, 80, &tx, &ty);
+      EXPECT_GE(tx, 23.0);
+      EXPECT_LE(tx, 73.0);
+      err += std::abs(BilinearSample(out, tx, ty) - frame.at(x, y));
+      ++count;
+    }
+  }
+  EXPECT_LT(err / count, 14.0) << "mapped points must land on the content";
+}
+
+TEST(InsertionEndToEndTest, LocalFingerprintsSurviveInsertions) {
+  // The paper's motivating property: a logo destroys only the interest
+  // points under it; the remaining local fingerprints still carry the
+  // temporal vote. (A global frame signature would be broken by either
+  // insertion.)
+  SyntheticVideoConfig config;
+  config.width = 96;
+  config.height = 80;
+  config.num_frames = 200;
+  config.seed = 4;
+  const VideoSequence video = GenerateSyntheticVideo(config);
+  const fp::FingerprintExtractor extractor;
+  core::DatabaseBuilder builder;
+  builder.AddVideo(0, extractor.Extract(video));
+  std::vector<fp::Fingerprint> pool;
+  Rng rng(5);
+  // Pad with distractors from a second clip.
+  config.seed = 5;
+  const auto other =
+      extractor.Extract(GenerateSyntheticVideo(config));
+  for (const auto& lf : other) {
+    pool.push_back(lf.descriptor);
+  }
+  core::AppendDistractors(&builder, pool, 40000, core::DistractorOptions{},
+                          &rng);
+  const core::S3Index index(builder.Build());
+  const core::GaussianDistortionModel model(12.0);
+  cbcd::DetectorOptions options;
+  options.query.filter.alpha = 0.85;
+  options.query.filter.depth = 12;
+  options.vote.use_spatial_coherence = true;
+  options.nsim_threshold = 8;
+  const cbcd::CopyDetector detector(&index, &model, options);
+
+  for (const auto& chain :
+       {TransformChain::LogoOverlay(0.25),
+        TransformChain::PictureInPicture(0.8)}) {
+    const VideoSequence candidate = chain.Apply(video, &rng);
+    const auto detections =
+        detector.DetectClip(extractor.Extract(candidate));
+    bool found = false;
+    for (const auto& d : detections) {
+      if (d.id == 0 && std::abs(d.offset) <= 2.0) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "insertion " << chain.ToString()
+                       << " must still be detected";
+  }
+}
+
+}  // namespace
+}  // namespace s3vcd::media

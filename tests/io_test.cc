@@ -1,0 +1,138 @@
+#include "util/io.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace s3vcd {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(Crc32Test, KnownVector) {
+  // Standard test vector: crc32("123456789") = 0xCBF43926.
+  const char* s = "123456789";
+  EXPECT_EQ(Crc32(s, 9), 0xCBF43926u);
+}
+
+TEST(Crc32Test, ChainingMatchesOneShot) {
+  const char* s = "hello world, this is a checksum";
+  const uint32_t whole = Crc32(s, 31);
+  uint32_t chained = Crc32(s, 10);
+  chained = Crc32(s + 10, 21, chained);
+  EXPECT_EQ(chained, whole);
+}
+
+TEST(BinaryIoTest, RoundTripsAllTypes) {
+  const std::string path = TempPath("io_roundtrip.bin");
+  BinaryWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  ASSERT_TRUE(writer.WriteU32(0xDEADBEEF).ok());
+  ASSERT_TRUE(writer.WriteU64(0x0123456789ABCDEFull).ok());
+  ASSERT_TRUE(writer.WriteDouble(3.14159).ok());
+  ASSERT_TRUE(writer.WriteString("fingerprints").ok());
+  const uint32_t wcrc = writer.crc();
+  ASSERT_TRUE(writer.Close().ok());
+
+  BinaryReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  double d = 0;
+  std::string s;
+  ASSERT_TRUE(reader.ReadU32(&u32).ok());
+  ASSERT_TRUE(reader.ReadU64(&u64).ok());
+  ASSERT_TRUE(reader.ReadDouble(&d).ok());
+  ASSERT_TRUE(reader.ReadString(&s).ok());
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+  EXPECT_EQ(s, "fingerprints");
+  EXPECT_EQ(reader.crc(), wcrc) << "read CRC must match written CRC";
+  ASSERT_TRUE(reader.Close().ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, ShortReadIsIOError) {
+  const std::string path = TempPath("io_short.bin");
+  BinaryWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  ASSERT_TRUE(writer.WriteU32(7).ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  BinaryReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  uint64_t v = 0;
+  EXPECT_EQ(reader.ReadU64(&v).code(), StatusCode::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, MissingFileIsIOError) {
+  BinaryReader reader;
+  EXPECT_EQ(reader.Open("/nonexistent/dir/file.bin").code(),
+            StatusCode::kIOError);
+}
+
+TEST(BinaryIoTest, SeekAndSize) {
+  const std::string path = TempPath("io_seek.bin");
+  BinaryWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  for (uint32_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(writer.WriteU32(i).ok());
+  }
+  EXPECT_EQ(writer.bytes_written(), 40u);
+  ASSERT_TRUE(writer.Close().ok());
+
+  BinaryReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  auto size = reader.Size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 40u);
+  ASSERT_TRUE(reader.Seek(5 * 4).ok());
+  uint32_t v = 0;
+  ASSERT_TRUE(reader.ReadU32(&v).ok());
+  EXPECT_EQ(v, 5u);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, ReadFileBytesReturnsWholeContent) {
+  const std::string path = TempPath("io_whole.bin");
+  BinaryWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  const std::string payload = "abcdefgh";
+  ASSERT_TRUE(writer.WriteBytes(payload.data(), payload.size()).ok());
+  ASSERT_TRUE(writer.Close().ok());
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_EQ(bytes->size(), payload.size());
+  EXPECT_EQ(std::string(bytes->begin(), bytes->end()), payload);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, DoubleOpenIsFailedPrecondition) {
+  const std::string path = TempPath("io_double.bin");
+  BinaryWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  EXPECT_EQ(writer.Open(path).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(writer.Close().ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, CorruptStringLengthIsCorruption) {
+  const std::string path = TempPath("io_corrupt.bin");
+  BinaryWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  ASSERT_TRUE(writer.WriteU32(0xFFFFFFFF).ok());  // absurd length prefix
+  ASSERT_TRUE(writer.Close().ok());
+  BinaryReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  std::string s;
+  EXPECT_EQ(reader.ReadString(&s).code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace s3vcd

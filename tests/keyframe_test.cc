@@ -1,0 +1,117 @@
+#include "fingerprint/keyframe.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "media/frame.h"
+
+namespace s3vcd::fp {
+namespace {
+
+media::VideoSequence MakeVideoWithMotionProfile(
+    const std::vector<double>& per_frame_change) {
+  media::VideoSequence video;
+  video.fps = 25;
+  media::Frame frame(16, 16, 100.0f);
+  video.frames.push_back(frame);
+  float level = 100.0f;
+  for (double change : per_frame_change) {
+    level += static_cast<float>(change);
+    video.frames.emplace_back(16, 16, level);
+  }
+  return video;
+}
+
+TEST(IntensityOfMotionTest, MeasuresMeanAbsFrameDifference) {
+  media::VideoSequence video = MakeVideoWithMotionProfile({2.0, 0.0, 5.0});
+  const auto motion = IntensityOfMotion(video);
+  ASSERT_EQ(motion.size(), 4u);
+  EXPECT_DOUBLE_EQ(motion[1], 2.0);
+  EXPECT_DOUBLE_EQ(motion[2], 0.0);
+  EXPECT_NEAR(motion[3], 5.0, 1e-5);
+  EXPECT_DOUBLE_EQ(motion[0], motion[1]) << "start copies first difference";
+}
+
+TEST(FindExtremaTest, DetectsMaximaAndMinima) {
+  // signal: 0 1 2 1 0 1 2 3 2 -> max at 2, min at 4, max at 7
+  const std::vector<double> s = {0, 1, 2, 1, 0, 1, 2, 3, 2};
+  const auto extrema = FindExtrema(s);
+  EXPECT_EQ(extrema, (std::vector<int>{2, 4, 7}));
+}
+
+TEST(FindExtremaTest, PlateauYieldsCenter) {
+  // Plateau maximum spanning indices 2..4 -> center 3.
+  const std::vector<double> s = {0, 1, 2, 2, 2, 1, 0};
+  const auto extrema = FindExtrema(s);
+  EXPECT_EQ(extrema, (std::vector<int>{3}));
+}
+
+TEST(FindExtremaTest, MonotoneSignalHasNoExtrema) {
+  const std::vector<double> s = {0, 1, 2, 3, 4, 5};
+  EXPECT_TRUE(FindExtrema(s).empty());
+}
+
+TEST(FindExtremaTest, SaddlePlateauIsNotExtremum) {
+  // Plateau passed through while rising: not an extremum.
+  const std::vector<double> s = {0, 1, 1, 1, 2, 3};
+  EXPECT_TRUE(FindExtrema(s).empty());
+}
+
+TEST(DetectKeyFramesTest, FindsMotionBurstsAndLulls) {
+  // Construct 60 frames whose change profile follows |sin|, giving clear
+  // alternating extrema of motion intensity.
+  std::vector<double> profile;
+  for (int i = 0; i < 60; ++i) {
+    profile.push_back(3.0 * std::abs(std::sin(i * 2 * M_PI / 20)));
+  }
+  media::VideoSequence video = MakeVideoWithMotionProfile(profile);
+  KeyFrameOptions options;
+  options.smoothing_sigma = 1.5;
+  const auto kf = DetectKeyFrames(video, options);
+  EXPECT_GE(kf.size(), 4u);
+  // |sin| with period 20 has alternating maxima and minima every 5 frames.
+  for (size_t i = 1; i < kf.size(); ++i) {
+    EXPECT_NEAR(kf[i] - kf[i - 1], 5, 3);
+  }
+}
+
+TEST(DetectKeyFramesTest, MinGapSuppression) {
+  // A noisy signal without smoothing would produce many close extrema;
+  // min_gap must keep them separated.
+  std::vector<double> profile;
+  for (int i = 0; i < 100; ++i) {
+    profile.push_back(2.0 + ((i * 7919) % 13) * 0.3);
+  }
+  media::VideoSequence video = MakeVideoWithMotionProfile(profile);
+  KeyFrameOptions options;
+  options.smoothing_sigma = 0.5;  // weak smoothing: stress the gap logic
+  options.min_gap = 5;
+  const auto kf = DetectKeyFrames(video, options);
+  for (size_t i = 1; i < kf.size(); ++i) {
+    EXPECT_GE(kf[i] - kf[i - 1], options.min_gap);
+  }
+}
+
+TEST(DetectKeyFramesTest, TinyVideosAreSafe) {
+  media::VideoSequence empty;
+  EXPECT_TRUE(DetectKeyFrames(empty, KeyFrameOptions{}).empty());
+  media::VideoSequence one;
+  one.frames.emplace_back(8, 8);
+  EXPECT_EQ(DetectKeyFrames(one, KeyFrameOptions{}),
+            (std::vector<int>{0}));
+  media::VideoSequence two;
+  two.frames.emplace_back(8, 8);
+  two.frames.emplace_back(8, 8);
+  EXPECT_EQ(DetectKeyFrames(two, KeyFrameOptions{}),
+            (std::vector<int>{0}));
+}
+
+TEST(DetectKeyFramesTest, StaticVideoHasNoKeyFrames) {
+  media::VideoSequence video = MakeVideoWithMotionProfile(
+      std::vector<double>(30, 0.0));
+  EXPECT_TRUE(DetectKeyFrames(video, KeyFrameOptions{}).empty());
+}
+
+}  // namespace
+}  // namespace s3vcd::fp

@@ -1,0 +1,150 @@
+#include "core/knn.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/synthetic_db.h"
+#include "util/rng.h"
+
+namespace s3vcd::core {
+namespace {
+
+S3Index BuildIndex(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  DatabaseBuilder builder;
+  std::vector<fp::Fingerprint> centers;
+  for (int c = 0; c < 40; ++c) {
+    centers.push_back(UniformRandomFingerprint(&rng));
+  }
+  for (size_t i = 0; i < count; ++i) {
+    builder.Add(DistortFingerprint(
+                    centers[static_cast<size_t>(rng.UniformInt(0, 39))],
+                    28.0, &rng),
+                static_cast<uint32_t>(i % 13), static_cast<uint32_t>(i));
+  }
+  return S3Index(builder.Build());
+}
+
+// Brute-force k nearest distances.
+std::vector<float> BruteForceKnnDistances(const FingerprintDatabase& db,
+                                          const fp::Fingerprint& q, int k) {
+  std::vector<float> dists;
+  dists.reserve(db.size());
+  for (size_t i = 0; i < db.size(); ++i) {
+    dists.push_back(
+        static_cast<float>(fp::Distance(q, db.record(i).descriptor)));
+  }
+  std::sort(dists.begin(), dists.end());
+  dists.resize(std::min<size_t>(k, dists.size()));
+  return dists;
+}
+
+TEST(KnnTest, ExactMatchesBruteForce) {
+  const S3Index index = BuildIndex(15000, 71);
+  Rng rng(5);
+  for (int trial = 0; trial < 8; ++trial) {
+    const fp::Fingerprint q = DistortFingerprint(
+        index.database()
+            .record(static_cast<size_t>(rng.UniformInt(
+                0, static_cast<int64_t>(index.database().size()) - 1)))
+            .descriptor,
+        20.0, &rng);
+    for (int k : {1, 5, 50}) {
+      KnnOptions options;
+      options.k = k;
+      const QueryResult result = KnnQuery(index, q, options);
+      ASSERT_EQ(result.matches.size(), static_cast<size_t>(k));
+      // Returned in ascending distance order.
+      for (size_t i = 1; i < result.matches.size(); ++i) {
+        EXPECT_LE(result.matches[i - 1].distance,
+                  result.matches[i].distance);
+      }
+      const auto expected =
+          BruteForceKnnDistances(index.database(), q, k);
+      for (int i = 0; i < k; ++i) {
+        EXPECT_NEAR(result.matches[i].distance, expected[i], 1e-3)
+            << "k=" << k << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(KnnTest, ScansFarFewerRecordsThanTheDatabase) {
+  const S3Index index = BuildIndex(30000, 72);
+  Rng rng(6);
+  uint64_t scanned = 0;
+  const int kTrials = 10;
+  for (int t = 0; t < kTrials; ++t) {
+    const fp::Fingerprint q = DistortFingerprint(
+        index.database()
+            .record(static_cast<size_t>(rng.UniformInt(
+                0, static_cast<int64_t>(index.database().size()) - 1)))
+            .descriptor,
+        15.0, &rng);
+    KnnOptions options;
+    options.k = 10;
+    scanned += KnnQuery(index, q, options).stats.records_scanned;
+  }
+  EXPECT_LT(scanned / kTrials, index.database().size() / 2)
+      << "distance browsing must prune most of the database";
+}
+
+TEST(KnnTest, ApproximateEarlyStopTradesRecallForBlocks) {
+  const S3Index index = BuildIndex(20000, 73);
+  Rng rng(7);
+  const fp::Fingerprint q = DistortFingerprint(
+      index.database().record(777).descriptor, 20.0, &rng);
+  KnnOptions exact;
+  exact.k = 20;
+  const QueryResult full = KnnQuery(index, q, exact);
+  KnnOptions approx = exact;
+  approx.max_blocks = 2;
+  const QueryResult fast = KnnQuery(index, q, approx);
+  EXPECT_LE(fast.stats.blocks_selected, 2u);
+  EXPECT_LE(fast.stats.records_scanned, full.stats.records_scanned);
+  // Recall: the approximate answer is a subset of reasonable quality --
+  // distances can only be >= the exact ones.
+  ASSERT_LE(fast.matches.size(), full.matches.size());
+  for (size_t i = 0; i < fast.matches.size(); ++i) {
+    EXPECT_GE(fast.matches[i].distance, full.matches[i].distance - 1e-3);
+  }
+}
+
+TEST(KnnTest, KLargerThanDatabaseReturnsEverything) {
+  Rng rng(8);
+  DatabaseBuilder builder;
+  for (int i = 0; i < 7; ++i) {
+    builder.Add(UniformRandomFingerprint(&rng), 1, i);
+  }
+  const S3Index index(builder.Build());
+  KnnOptions options;
+  options.k = 100;
+  const QueryResult result =
+      KnnQuery(index, UniformRandomFingerprint(&rng), options);
+  EXPECT_EQ(result.matches.size(), 7u);
+}
+
+TEST(KnnTest, EmptyDatabaseIsSafe) {
+  DatabaseBuilder builder;
+  const S3Index index(builder.Build());
+  Rng rng(9);
+  KnnOptions options;
+  EXPECT_TRUE(
+      KnnQuery(index, UniformRandomFingerprint(&rng), options).matches.empty());
+}
+
+TEST(KnnTest, QueryInDatabaseFindsItselfFirst) {
+  const S3Index index = BuildIndex(5000, 74);
+  KnnOptions options;
+  options.k = 3;
+  const QueryResult result =
+      KnnQuery(index, index.database().record(1234).descriptor, options);
+  ASSERT_GE(result.matches.size(), 1u);
+  EXPECT_FLOAT_EQ(result.matches[0].distance, 0.0f);
+}
+
+}  // namespace
+}  // namespace s3vcd::core

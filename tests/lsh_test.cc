@@ -1,0 +1,199 @@
+#include "core/lsh.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/synthetic_db.h"
+#include "util/rng.h"
+
+namespace s3vcd::core {
+namespace {
+
+std::vector<FingerprintRecord> MakeRecords(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FingerprintRecord> records;
+  for (size_t i = 0; i < count; ++i) {
+    FingerprintRecord r;
+    r.descriptor = UniformRandomFingerprint(&rng);
+    r.id = static_cast<uint32_t>(i % 5);
+    r.time_code = static_cast<uint32_t>(i);
+    records.push_back(r);
+  }
+  return records;
+}
+
+TEST(LshTest, NeverReturnsFalsePositives) {
+  const auto records = MakeRecords(5000, 1);
+  const LshIndex lsh(records, LshOptions{});
+  Rng rng(2);
+  for (int t = 0; t < 10; ++t) {
+    const fp::Fingerprint q = DistortFingerprint(
+        records[static_cast<size_t>(
+                    rng.UniformInt(0, static_cast<int64_t>(records.size()) - 1))]
+            .descriptor,
+        20.0, &rng);
+    const double eps = 80.0;
+    for (const auto& m : lsh.RangeQuery(q, eps).matches) {
+      EXPECT_LE(m.distance, eps + 1e-4);
+    }
+  }
+}
+
+TEST(LshTest, GoodRecallOnNearNeighbors) {
+  const auto records = MakeRecords(8000, 3);
+  LshOptions options;
+  options.num_tables = 12;
+  options.hashes_per_table = 5;
+  options.bucket_width = 150.0;
+  const LshIndex lsh(records, options);
+  Rng rng(4);
+  int found = 0;
+  const int kTrials = 150;
+  const double sigma = 12.0;
+  for (int t = 0; t < kTrials; ++t) {
+    const size_t idx = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(records.size()) - 1));
+    const fp::Fingerprint q =
+        DistortFingerprint(records[idx].descriptor, sigma, &rng);
+    const double target = fp::Distance(q, records[idx].descriptor);
+    for (const auto& m : lsh.RangeQuery(q, 110.0).matches) {
+      if (std::abs(m.distance - target) < 1e-3) {
+        ++found;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(found) / kTrials, 0.7)
+      << "near-neighbor recall must be high with 12 tables";
+}
+
+TEST(LshTest, MoreTablesRaiseRecall) {
+  const auto records = MakeRecords(6000, 5);
+  LshOptions few;
+  few.num_tables = 1;
+  few.bucket_width = 150.0;
+  LshOptions many = few;
+  many.num_tables = 16;
+  const LshIndex lsh_few(records, few);
+  const LshIndex lsh_many(records, many);
+  Rng rng(6);
+  int found_few = 0;
+  int found_many = 0;
+  const int kTrials = 120;
+  for (int t = 0; t < kTrials; ++t) {
+    const size_t idx = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(records.size()) - 1));
+    const fp::Fingerprint q =
+        DistortFingerprint(records[idx].descriptor, 15.0, &rng);
+    const double target = fp::Distance(q, records[idx].descriptor);
+    for (const auto& m : lsh_few.RangeQuery(q, 120.0).matches) {
+      if (std::abs(m.distance - target) < 1e-3) {
+        ++found_few;
+        break;
+      }
+    }
+    for (const auto& m : lsh_many.RangeQuery(q, 120.0).matches) {
+      if (std::abs(m.distance - target) < 1e-3) {
+        ++found_many;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(found_many, found_few);
+}
+
+TEST(LshTest, CollisionProbabilityIsMonotoneAndCalibrated) {
+  const auto records = MakeRecords(100, 7);
+  LshOptions options;
+  options.num_tables = 4;
+  options.hashes_per_table = 4;
+  options.bucket_width = 100.0;
+  const LshIndex lsh(records, options);
+  EXPECT_DOUBLE_EQ(lsh.TableCollisionProbability(0), 1.0);
+  double prev = 1.0;
+  for (double d = 10; d <= 400; d += 10) {
+    const double p = lsh.TableCollisionProbability(d);
+    EXPECT_LE(p, prev + 1e-12);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+  // Empirical check at one distance: generate pairs at distance ~60 and
+  // compare their single-table collision frequency with the formula.
+  Rng rng(8);
+  const double dist = 60.0;
+  int collisions = 0;
+  int valid_pairs = 0;
+  const int kPairs = 400;
+  std::vector<FingerprintRecord> pair(2);
+  for (int t = 0; t < kPairs; ++t) {
+    fp::Fingerprint a = UniformRandomFingerprint(&rng);
+    // Move distance `dist` in a random direction (before clamping).
+    fp::Fingerprint b = a;
+    double dir[fp::kDims];
+    double norm = 0;
+    for (int j = 0; j < fp::kDims; ++j) {
+      dir[j] = rng.Gaussian(0, 1);
+      norm += dir[j] * dir[j];
+    }
+    norm = std::sqrt(norm);
+    bool in_range = true;
+    for (int j = 0; j < fp::kDims; ++j) {
+      const double v = a[j] + dir[j] / norm * dist;
+      if (v < 0 || v > 255) {
+        in_range = false;
+        break;
+      }
+      b[j] = static_cast<uint8_t>(v + 0.5);
+    }
+    if (!in_range) {
+      continue;  // clamping would change the distance; skip the pair
+    }
+    ++valid_pairs;
+    pair[0].descriptor = a;
+    pair[1].descriptor = b;
+    pair[0].time_code = 0;
+    pair[1].time_code = 1;
+    const LshIndex probe(pair, options);
+    // They collide in some table iff a range query at the pair distance
+    // from one finds the other.
+    const auto result = probe.RangeQuery(a, dist + 2);
+    bool collided = false;
+    for (const auto& m : result.matches) {
+      if (m.time_code == 1) {
+        collided = true;
+      }
+    }
+    collisions += collided ? 1 : 0;
+  }
+  // P(any of 4 tables collides) = 1 - (1 - p)^4.
+  ASSERT_GT(valid_pairs, 60);
+  const double p_table = lsh.TableCollisionProbability(dist);
+  const double expected = 1.0 - std::pow(1.0 - p_table, 4);
+  EXPECT_NEAR(static_cast<double>(collisions) / valid_pairs, expected, 0.12);
+}
+
+TEST(LshTest, EmptyIndexIsSafe) {
+  const LshIndex lsh({}, LshOptions{});
+  Rng rng(9);
+  EXPECT_TRUE(
+      lsh.RangeQuery(UniformRandomFingerprint(&rng), 100.0).matches.empty());
+}
+
+TEST(LshTest, DeterministicForFixedSeed) {
+  const auto records = MakeRecords(1000, 10);
+  LshOptions options;
+  options.seed = 1234;
+  const LshIndex a(records, options);
+  const LshIndex b(records, options);
+  Rng rng(11);
+  for (int t = 0; t < 5; ++t) {
+    const fp::Fingerprint q = UniformRandomFingerprint(&rng);
+    EXPECT_EQ(a.RangeQuery(q, 100.0).matches.size(),
+              b.RangeQuery(q, 100.0).matches.size());
+  }
+}
+
+}  // namespace
+}  // namespace s3vcd::core

@@ -1,0 +1,171 @@
+#include "util/math.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace s3vcd {
+namespace {
+
+TEST(GaussianTest, PdfKnownValues) {
+  // Standard normal at 0: 1/sqrt(2*pi).
+  EXPECT_NEAR(GaussianPdf(0, 0, 1), 0.3989422804014327, 1e-12);
+  EXPECT_NEAR(GaussianPdf(1, 0, 1), 0.24197072451914337, 1e-12);
+  // Scaling: pdf of N(3, 2) at 3 is half the standard peak.
+  EXPECT_NEAR(GaussianPdf(3, 3, 2), 0.3989422804014327 / 2, 1e-12);
+}
+
+TEST(GaussianTest, CdfKnownValues) {
+  EXPECT_NEAR(GaussianCdf(0, 0, 1), 0.5, 1e-12);
+  EXPECT_NEAR(GaussianCdf(1.959963984540054, 0, 1), 0.975, 1e-9);
+  EXPECT_NEAR(GaussianCdf(-1.959963984540054, 0, 1), 0.025, 1e-9);
+  EXPECT_NEAR(GaussianCdf(10, 0, 1), 1.0, 1e-12);
+}
+
+TEST(GaussianTest, MassIsConsistentWithCdf) {
+  EXPECT_NEAR(GaussianMass(-1, 1, 0, 1), 0.6826894921370859, 1e-9);
+  EXPECT_EQ(GaussianMass(2, 1, 0, 1), 0.0) << "empty interval";
+  // Shifted/scaled.
+  EXPECT_NEAR(GaussianMass(4, 8, 6, 2), 0.6826894921370859, 1e-9);
+}
+
+TEST(GaussianTest, PdfIntegratesToCdf) {
+  // Trapezoidal integration of the pdf should match the cdf difference.
+  const double sigma = 3.0;
+  double integral = 0;
+  const double lo = -2.0;
+  const double hi = 5.0;
+  const int n = 20000;
+  const double h = (hi - lo) / n;
+  for (int i = 0; i < n; ++i) {
+    const double x0 = lo + i * h;
+    integral +=
+        0.5 * h * (GaussianPdf(x0, 1, sigma) + GaussianPdf(x0 + h, 1, sigma));
+  }
+  EXPECT_NEAR(integral, GaussianMass(lo, hi, 1, sigma), 1e-8);
+}
+
+TEST(RegularizedGammaPTest, KnownValues) {
+  // P(1, x) = 1 - exp(-x).
+  for (double x : {0.1, 0.5, 1.0, 2.5, 7.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+  // P(0.5, x) = erf(sqrt(x)).
+  for (double x : {0.2, 1.0, 3.0}) {
+    EXPECT_NEAR(RegularizedGammaP(0.5, x), std::erf(std::sqrt(x)), 1e-12);
+  }
+  EXPECT_EQ(RegularizedGammaP(2.0, 0.0), 0.0);
+  // Chi-squared with 4 dof at its mean: P(2, 2) ~ 0.593994.
+  EXPECT_NEAR(RegularizedGammaP(2.0, 2.0), 0.5939941502901616, 1e-10);
+}
+
+TEST(RegularizedGammaPTest, MonotoneAndBounded) {
+  double prev = 0;
+  for (double x = 0; x <= 60; x += 0.25) {
+    const double p = RegularizedGammaP(10.0, x);
+    EXPECT_GE(p, prev - 1e-14);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-9);
+}
+
+TEST(ChiNormDistributionTest, MatchesMonteCarlo) {
+  // The norm of a D-dim iid N(0, sigma) vector, against simulation.
+  const int kDims = 20;
+  const double kSigma = 18.0;
+  ChiNormDistribution dist(kDims, kSigma);
+  Rng rng(2718);
+  const int kSamples = 20000;
+  int below_mean = 0;
+  double sum = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    double sq = 0;
+    for (int j = 0; j < kDims; ++j) {
+      const double v = rng.Gaussian(0, kSigma);
+      sq += v * v;
+    }
+    const double r = std::sqrt(sq);
+    sum += r;
+    if (r <= dist.Mean()) {
+      ++below_mean;
+    }
+  }
+  EXPECT_NEAR(sum / kSamples, dist.Mean(), 0.5);
+  EXPECT_NEAR(static_cast<double>(below_mean) / kSamples,
+              dist.Cdf(dist.Mean()), 0.02);
+}
+
+TEST(ChiNormDistributionTest, QuantileInvertsCdf) {
+  ChiNormDistribution dist(20, 20.0);
+  for (double alpha : {0.05, 0.3, 0.5, 0.8, 0.95, 0.999}) {
+    const double r = dist.Quantile(alpha);
+    EXPECT_NEAR(dist.Cdf(r), alpha, 1e-8) << "alpha=" << alpha;
+  }
+}
+
+TEST(ChiNormDistributionTest, PaperEpsilonIsReproduced) {
+  // Section V-B: sigma = 20, alpha = 80% -> the paper tabulated the cdf
+  // numerically and set epsilon = 93.6. The exact chi quantile is 100.07
+  // (within 7% of the paper's coarse tabulation); assert the order agrees.
+  ChiNormDistribution dist(20, 20.0);
+  const double eps = dist.Quantile(0.80);
+  EXPECT_NEAR(eps, 100.07, 0.1);
+  EXPECT_LT(std::abs(eps - 93.6) / 93.6, 0.08);
+}
+
+TEST(ChiNormDistributionTest, PdfIntegratesToOne) {
+  ChiNormDistribution dist(7, 4.0);
+  double integral = 0;
+  const double h = 0.002;
+  for (double r = 0; r < 40; r += h) {
+    integral += 0.5 * h * (dist.Pdf(r) + dist.Pdf(r + h));
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-6);
+}
+
+TEST(ChiNormDistributionTest, DimensionOneIsHalfNormal) {
+  ChiNormDistribution dist(1, 2.0);
+  EXPECT_NEAR(dist.Pdf(0.5), 2 * GaussianPdf(0.5, 0, 2.0), 1e-12);
+  EXPECT_NEAR(dist.Cdf(1.0), 2 * (GaussianCdf(1.0, 0, 2.0) - 0.5), 1e-12);
+}
+
+TEST(UniformBallRadiusPdfTest, IntegratesToOneAndConcentratesNearSurface) {
+  const int dims = 20;
+  const double radius = 100.0;
+  double integral = 0;
+  double mass_outer_tenth = 0;
+  const double h = 0.01;
+  for (double r = 0; r < radius; r += h) {
+    const double m =
+        0.5 * h *
+        (UniformBallRadiusPdf(r, dims, radius) +
+         UniformBallRadiusPdf(r + h, dims, radius));
+    integral += m;
+    if (r >= 0.9 * radius) {
+      mass_outer_tenth += m;
+    }
+  }
+  EXPECT_NEAR(integral, 1.0, 2e-3);  // trapezoid truncation at the surface
+  // The curse of dimensionality the paper illustrates in Figure 1: almost
+  // all mass of a uniform ball sits near the surface in high dimension
+  // (exactly 1 - 0.9^20 = 0.878 here).
+  EXPECT_GT(mass_outer_tenth, 0.85);
+}
+
+TEST(PowerOfTwoHelpersTest, Basics) {
+  EXPECT_EQ(NextPowerOfTwo(0), 1u);
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024u);
+  EXPECT_EQ(Log2Exact(1), 0);
+  EXPECT_EQ(Log2Exact(1024), 10);
+  EXPECT_EQ(Log2Exact(uint64_t{1} << 40), 40);
+}
+
+}  // namespace
+}  // namespace s3vcd

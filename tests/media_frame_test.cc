@@ -1,0 +1,131 @@
+#include "media/frame.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "media/sampling.h"
+
+namespace s3vcd::media {
+namespace {
+
+TEST(FrameTest, ConstructionAndAccess) {
+  Frame f(4, 3, 7.0f);
+  EXPECT_EQ(f.width(), 4);
+  EXPECT_EQ(f.height(), 3);
+  EXPECT_EQ(f.size(), 12u);
+  EXPECT_FLOAT_EQ(f.at(2, 1), 7.0f);
+  f.at(2, 1) = 9.5f;
+  EXPECT_FLOAT_EQ(f.at(2, 1), 9.5f);
+}
+
+TEST(FrameTest, ClampedAccessReplicatesBorder) {
+  Frame f(2, 2);
+  f.at(0, 0) = 1;
+  f.at(1, 0) = 2;
+  f.at(0, 1) = 3;
+  f.at(1, 1) = 4;
+  EXPECT_FLOAT_EQ(f.at_clamped(-5, -5), 1);
+  EXPECT_FLOAT_EQ(f.at_clamped(10, 0), 2);
+  EXPECT_FLOAT_EQ(f.at_clamped(0, 10), 3);
+  EXPECT_FLOAT_EQ(f.at_clamped(10, 10), 4);
+}
+
+TEST(FrameTest, MeanAndAbsDifference) {
+  Frame a(2, 2, 10.0f);
+  Frame b(2, 2, 10.0f);
+  EXPECT_DOUBLE_EQ(a.Mean(), 10.0);
+  EXPECT_DOUBLE_EQ(a.MeanAbsDifference(b), 0.0);
+  b.at(0, 0) = 14.0f;
+  b.at(1, 1) = 6.0f;
+  EXPECT_DOUBLE_EQ(a.MeanAbsDifference(b), 2.0);
+}
+
+TEST(FrameTest, ClampToByteRange) {
+  Frame f(2, 1);
+  f.at(0, 0) = -5.0f;
+  f.at(1, 0) = 300.0f;
+  f.ClampToByteRange();
+  EXPECT_FLOAT_EQ(f.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(f.at(1, 0), 255.0f);
+}
+
+TEST(VideoSequenceTest, Dimensions) {
+  VideoSequence v;
+  EXPECT_EQ(v.num_frames(), 0);
+  EXPECT_EQ(v.width(), 0);
+  v.frames.emplace_back(8, 6);
+  v.frames.emplace_back(8, 6);
+  v.fps = 25.0;
+  EXPECT_EQ(v.num_frames(), 2);
+  EXPECT_EQ(v.width(), 8);
+  EXPECT_EQ(v.height(), 6);
+  EXPECT_DOUBLE_EQ(v.duration_seconds(), 2 / 25.0);
+}
+
+TEST(SamplingTest, BilinearInterpolatesExactlyAtPixels) {
+  Frame f(3, 3);
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 3; ++x) {
+      f.at(x, y) = static_cast<float>(10 * y + x);
+    }
+  }
+  EXPECT_FLOAT_EQ(BilinearSample(f, 1, 1), 11.0f);
+  EXPECT_FLOAT_EQ(BilinearSample(f, 0.5, 0), 0.5f);
+  EXPECT_FLOAT_EQ(BilinearSample(f, 0, 0.5), 5.0f);
+  EXPECT_FLOAT_EQ(BilinearSample(f, 0.5, 0.5), 5.5f);
+}
+
+TEST(SamplingTest, BilinearIsLinearAlongAxes) {
+  Frame f(4, 1);
+  for (int x = 0; x < 4; ++x) {
+    f.at(x, 0) = static_cast<float>(2 * x);
+  }
+  for (double x = 0; x <= 3.0; x += 0.1) {
+    EXPECT_NEAR(BilinearSample(f, x, 0), 2 * x, 1e-5);
+  }
+}
+
+TEST(SamplingTest, ResizePreservesConstantImage) {
+  Frame f(10, 8, 42.0f);
+  Frame small = ResizeBilinear(f, 7, 5);
+  EXPECT_EQ(small.width(), 7);
+  EXPECT_EQ(small.height(), 5);
+  for (float v : small.pixels()) {
+    EXPECT_FLOAT_EQ(v, 42.0f);
+  }
+  Frame big = ResizeBilinear(f, 20, 16);
+  for (float v : big.pixels()) {
+    EXPECT_FLOAT_EQ(v, 42.0f);
+  }
+}
+
+TEST(SamplingTest, ResizeApproximatesGradient) {
+  Frame f(32, 32);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      f.at(x, y) = static_cast<float>(x * 4);
+    }
+  }
+  Frame r = ResizeBilinear(f, 16, 16);
+  // Horizontal gradient should roughly double per-pixel slope.
+  for (int x = 1; x < 15; ++x) {
+    EXPECT_NEAR(r.at(x, 8) - r.at(x - 1, 8), 8.0f, 0.5f);
+  }
+}
+
+TEST(SamplingTest, RoundTripResizeIsCloseForSmoothImages) {
+  Frame f(24, 24);
+  for (int y = 0; y < 24; ++y) {
+    for (int x = 0; x < 24; ++x) {
+      f.at(x, y) = static_cast<float>(
+          128 + 60 * std::sin(x * 0.3) * std::cos(y * 0.25));
+    }
+  }
+  Frame up = ResizeBilinear(f, 48, 48);
+  Frame back = ResizeBilinear(up, 24, 24);
+  EXPECT_LT(f.MeanAbsDifference(back), 2.0);
+}
+
+}  // namespace
+}  // namespace s3vcd::media

@@ -1,0 +1,114 @@
+#include "media/synthetic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "fingerprint/keyframe.h"
+#include "util/rng.h"
+
+namespace s3vcd::media {
+namespace {
+
+TEST(ValueNoiseTest, HasRequestedMoments) {
+  Rng rng(1);
+  Frame tex = ValueNoiseTexture(128, 128, 10.0, 128.0, 50.0, &rng);
+  EXPECT_NEAR(tex.Mean(), 128.0, 12.0);
+  double var = 0;
+  for (float v : tex.pixels()) {
+    var += std::pow(v - tex.Mean(), 2);
+  }
+  var /= tex.size();
+  EXPECT_GT(std::sqrt(var), 8.0) << "texture must not be flat";
+}
+
+TEST(ValueNoiseTest, DifferentSeedsProduceDifferentTextures) {
+  Rng a(1);
+  Rng b(2);
+  Frame ta = ValueNoiseTexture(32, 32, 8.0, 128.0, 50.0, &a);
+  Frame tb = ValueNoiseTexture(32, 32, 8.0, 128.0, 50.0, &b);
+  EXPECT_GT(ta.MeanAbsDifference(tb), 5.0);
+}
+
+TEST(SyntheticVideoTest, DeterministicInSeed) {
+  SyntheticVideoConfig config;
+  config.width = 48;
+  config.height = 40;
+  config.num_frames = 20;
+  config.seed = 99;
+  VideoSequence a = GenerateSyntheticVideo(config);
+  VideoSequence b = GenerateSyntheticVideo(config);
+  ASSERT_EQ(a.num_frames(), b.num_frames());
+  for (int i = 0; i < a.num_frames(); ++i) {
+    EXPECT_DOUBLE_EQ(a.frames[i].MeanAbsDifference(b.frames[i]), 0.0);
+  }
+  config.seed = 100;
+  VideoSequence c = GenerateSyntheticVideo(config);
+  EXPECT_GT(a.frames[0].MeanAbsDifference(c.frames[0]), 1.0);
+}
+
+TEST(SyntheticVideoTest, HasMotionBetweenFrames) {
+  SyntheticVideoConfig config;
+  config.width = 64;
+  config.height = 64;
+  config.num_frames = 30;
+  VideoSequence video = GenerateSyntheticVideo(config);
+  double total_motion = 0;
+  for (int i = 1; i < video.num_frames(); ++i) {
+    total_motion += video.frames[i].MeanAbsDifference(video.frames[i - 1]);
+  }
+  EXPECT_GT(total_motion / (video.num_frames() - 1), 0.3)
+      << "panning/objects must produce inter-frame change";
+}
+
+TEST(SyntheticVideoTest, PixelsAreInByteRange) {
+  SyntheticVideoConfig config;
+  config.width = 40;
+  config.height = 40;
+  config.num_frames = 10;
+  VideoSequence video = GenerateSyntheticVideo(config);
+  for (const Frame& f : video.frames) {
+    for (float v : f.pixels()) {
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 255.0f);
+    }
+  }
+}
+
+TEST(SyntheticVideoTest, SceneCutsCreateMotionSpikes) {
+  SyntheticVideoConfig config;
+  config.width = 64;
+  config.height = 64;
+  config.num_frames = 120;
+  config.mean_shot_length = 30;
+  config.seed = 3;
+  VideoSequence video = GenerateSyntheticVideo(config);
+  const auto motion = fp::IntensityOfMotion(video);
+  double max_motion = 0;
+  double sum = 0;
+  for (size_t i = 1; i < motion.size(); ++i) {
+    max_motion = std::max(max_motion, motion[i]);
+    sum += motion[i];
+  }
+  const double mean_motion = sum / (motion.size() - 1);
+  EXPECT_GT(max_motion, 4 * mean_motion)
+      << "cuts should spike far above in-shot motion";
+}
+
+TEST(SyntheticVideoTest, ProducesKeyFrames) {
+  SyntheticVideoConfig config;
+  config.width = 64;
+  config.height = 64;
+  config.num_frames = 250;  // the paper's 10-second clip
+  config.seed = 7;
+  VideoSequence video = GenerateSyntheticVideo(config);
+  const auto key_frames = fp::DetectKeyFrames(video, fp::KeyFrameOptions{});
+  EXPECT_GE(key_frames.size(), 5u)
+      << "a 10 s clip must yield several key-frames";
+  for (size_t i = 1; i < key_frames.size(); ++i) {
+    EXPECT_GT(key_frames[i], key_frames[i - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace s3vcd::media

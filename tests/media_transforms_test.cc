@@ -1,0 +1,195 @@
+#include "media/transforms.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "media/frame.h"
+#include "media/sampling.h"
+#include "media/synthetic.h"
+#include "util/rng.h"
+
+namespace s3vcd::media {
+namespace {
+
+Frame TestPattern(int w, int h) {
+  Frame f(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      f.at(x, y) = static_cast<float>(
+          128 + 50 * std::sin(0.2 * x) + 40 * std::cos(0.15 * y));
+    }
+  }
+  return f;
+}
+
+TEST(TransformTest, ResizeChangesDimensions) {
+  Frame f = TestPattern(100, 80);
+  Rng rng(1);
+  Frame out = ApplyTransformStep(f, {TransformType::kResize, 0.75}, &rng);
+  EXPECT_EQ(out.width(), 75);
+  EXPECT_EQ(out.height(), 60);
+  Frame up = ApplyTransformStep(f, {TransformType::kResize, 1.26}, &rng);
+  EXPECT_EQ(up.width(), 126);
+  EXPECT_EQ(up.height(), 101);
+}
+
+TEST(TransformTest, VerticalShiftMovesContentAndFillsBlack) {
+  Frame f = TestPattern(40, 40);
+  Rng rng(1);
+  Frame out =
+      ApplyTransformStep(f, {TransformType::kVerticalShift, 25.0}, &rng);
+  ASSERT_EQ(out.height(), 40);
+  // Top 10 rows are black.
+  for (int y = 0; y < 10; ++y) {
+    for (int x = 0; x < 40; ++x) {
+      EXPECT_FLOAT_EQ(out.at(x, y), 0.0f);
+    }
+  }
+  // Remaining rows are the original shifted down.
+  for (int y = 10; y < 40; ++y) {
+    for (int x = 0; x < 40; ++x) {
+      EXPECT_FLOAT_EQ(out.at(x, y), f.at(x, y - 10));
+    }
+  }
+}
+
+TEST(TransformTest, GammaBrightensOrDarkensMidtones) {
+  Frame f(2, 1);
+  f.at(0, 0) = 127.5f;
+  f.at(1, 0) = 255.0f;
+  Rng rng(1);
+  Frame dark = ApplyTransformStep(f, {TransformType::kGamma, 2.0}, &rng);
+  EXPECT_NEAR(dark.at(0, 0), 255.0 * 0.25, 0.01);
+  EXPECT_NEAR(dark.at(1, 0), 255.0, 0.01) << "white is a fixed point";
+  Frame bright = ApplyTransformStep(f, {TransformType::kGamma, 0.5}, &rng);
+  EXPECT_NEAR(bright.at(0, 0), 255.0 * std::sqrt(0.5), 0.01);
+}
+
+TEST(TransformTest, ContrastScalesAndClips) {
+  Frame f(3, 1);
+  f.at(0, 0) = 50.0f;
+  f.at(1, 0) = 150.0f;
+  f.at(2, 0) = 10.0f;
+  Rng rng(1);
+  Frame out = ApplyTransformStep(f, {TransformType::kContrast, 2.5}, &rng);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 125.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 0), 255.0f) << "clipped at white";
+  EXPECT_FLOAT_EQ(out.at(2, 0), 25.0f);
+}
+
+TEST(TransformTest, NoiseHasRequestedSpread) {
+  Frame f(100, 100, 128.0f);
+  Rng rng(7);
+  Frame out = ApplyTransformStep(f, {TransformType::kNoise, 10.0}, &rng);
+  double sum = 0;
+  double sum_sq = 0;
+  for (float v : out.pixels()) {
+    const double d = v - 128.0;
+    sum += d;
+    sum_sq += d * d;
+  }
+  const double n = out.size();
+  const double mean = sum / n;
+  const double sd = std::sqrt(sum_sq / n - mean * mean);
+  EXPECT_NEAR(mean, 0.0, 0.5);
+  EXPECT_NEAR(sd, 10.0, 0.5);
+}
+
+TEST(TransformChainTest, ChainAppliesInOrder) {
+  Frame f = TestPattern(60, 60);
+  Rng rng(3);
+  TransformChain chain = TransformChain::Resize(0.5);
+  chain.Then(TransformType::kContrast, 2.0);
+  Frame out = chain.ApplyToFrame(f, &rng);
+  EXPECT_EQ(out.width(), 30);
+  EXPECT_EQ(out.height(), 30);
+}
+
+TEST(TransformChainTest, MapPointTracksResize) {
+  TransformChain chain = TransformChain::Resize(0.5);
+  double tx = 0;
+  double ty = 0;
+  chain.MapPoint(50, 30, 100, 80, &tx, &ty);
+  EXPECT_NEAR(tx, (50 + 0.5) * 0.5 - 0.5, 1e-9);
+  EXPECT_NEAR(ty, (30 + 0.5) * 0.5 - 0.5, 1e-9);
+  int w = 0;
+  int h = 0;
+  chain.MapSize(100, 80, &w, &h);
+  EXPECT_EQ(w, 50);
+  EXPECT_EQ(h, 40);
+}
+
+TEST(TransformChainTest, MapPointTracksShiftAndComposition) {
+  TransformChain chain = TransformChain::VerticalShift(25.0);
+  chain.Then(TransformType::kResize, 2.0);
+  double tx = 0;
+  double ty = 0;
+  // Shift moves y by 10 (25% of 40), then resize doubles.
+  chain.MapPoint(10, 10, 40, 40, &tx, &ty);
+  EXPECT_NEAR(tx, (10 + 0.5) * 2 - 0.5, 1e-9);
+  EXPECT_NEAR(ty, (20 + 0.5) * 2 - 0.5, 1e-9);
+}
+
+TEST(TransformChainTest, PhotometricStepsDoNotMovePoints) {
+  TransformChain chain = TransformChain::Gamma(2.0);
+  chain.Then(TransformType::kContrast, 1.5);
+  chain.Then(TransformType::kNoise, 10.0);
+  double tx = 0;
+  double ty = 0;
+  chain.MapPoint(12.5, 17.25, 100, 100, &tx, &ty);
+  EXPECT_DOUBLE_EQ(tx, 12.5);
+  EXPECT_DOUBLE_EQ(ty, 17.25);
+}
+
+TEST(TransformChainTest, MapPointMatchesPixelContent) {
+  // The mapped position of a point must land on the same image content.
+  SyntheticVideoConfig config;
+  config.width = 64;
+  config.height = 64;
+  config.num_frames = 1;
+  config.seed = 5;
+  VideoSequence video = GenerateSyntheticVideo(config);
+  const Frame& original = video.frames[0];
+  Rng rng(1);
+  for (double scale : {0.5, 0.8, 1.25}) {
+    TransformChain chain = TransformChain::Resize(scale);
+    Frame transformed = chain.ApplyToFrame(original, &rng);
+    double err = 0;
+    int count = 0;
+    for (int y = 16; y < 48; y += 4) {
+      for (int x = 16; x < 48; x += 4) {
+        double tx = 0;
+        double ty = 0;
+        chain.MapPoint(x, y, 64, 64, &tx, &ty);
+        err += std::abs(BilinearSample(transformed, tx, ty) -
+                        original.at(x, y));
+        ++count;
+      }
+    }
+    EXPECT_LT(err / count, 12.0) << "scale=" << scale;
+  }
+}
+
+TEST(TransformChainTest, ToStringDescribesChain) {
+  TransformChain chain = TransformChain::Resize(0.8);
+  chain.Then(TransformType::kNoise, 10.0);
+  EXPECT_EQ(chain.ToString(), "resize(0.8)+noise(10)");
+  EXPECT_EQ(TransformChain::Identity().ToString(), "identity");
+}
+
+TEST(TransformChainTest, ApplyToVideoTransformsEveryFrame) {
+  SyntheticVideoConfig config;
+  config.width = 32;
+  config.height = 32;
+  config.num_frames = 5;
+  VideoSequence video = GenerateSyntheticVideo(config);
+  Rng rng(2);
+  VideoSequence out = TransformChain::Resize(0.5).Apply(video, &rng);
+  EXPECT_EQ(out.num_frames(), 5);
+  EXPECT_EQ(out.width(), 16);
+  EXPECT_EQ(out.fps, video.fps);
+}
+
+}  // namespace
+}  // namespace s3vcd::media

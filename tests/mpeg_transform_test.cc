@@ -1,0 +1,127 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "fingerprint/distortion.h"
+#include "media/synthetic.h"
+#include "media/transforms.h"
+#include "util/rng.h"
+
+namespace s3vcd::media {
+namespace {
+
+Frame TestFrame(uint64_t seed) {
+  SyntheticVideoConfig config;
+  config.width = 96;
+  config.height = 80;
+  config.num_frames = 1;
+  config.seed = seed;
+  return GenerateSyntheticVideo(config).frames[0];
+}
+
+TEST(MpegQuantizeTest, MildQuantizationIsNearTransparent) {
+  const Frame frame = TestFrame(1);
+  Rng rng(1);
+  const Frame out = ApplyTransformStep(
+      frame, {TransformType::kMpegQuantize, 0.25}, &rng);
+  EXPECT_EQ(out.width(), frame.width());
+  EXPECT_EQ(out.height(), frame.height());
+  EXPECT_LT(frame.MeanAbsDifference(out), 2.0);
+}
+
+TEST(MpegQuantizeTest, DistortionGrowsWithQuantizerScale) {
+  const Frame frame = TestFrame(2);
+  Rng rng(1);
+  double prev = 0;
+  for (double scale : {0.5, 2.0, 6.0, 12.0}) {
+    const Frame out = ApplyTransformStep(
+        frame, {TransformType::kMpegQuantize, scale}, &rng);
+    const double err = frame.MeanAbsDifference(out);
+    EXPECT_GE(err, prev * 0.8) << "scale=" << scale;
+    prev = err;
+  }
+  EXPECT_GT(prev, 2.5) << "strong quantization must be visibly lossy";
+}
+
+TEST(MpegQuantizeTest, PixelsStayInByteRange) {
+  const Frame frame = TestFrame(3);
+  Rng rng(1);
+  const Frame out = ApplyTransformStep(
+      frame, {TransformType::kMpegQuantize, 10.0}, &rng);
+  for (float v : out.pixels()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 255.0f);
+  }
+}
+
+TEST(MpegQuantizeTest, ConstantBlocksAreExactlyPreserved) {
+  // A flat image has only DC energy; DC survives any reasonable quantizer
+  // scale at this amplitude, so the frame round-trips almost exactly.
+  Frame flat(64, 64, 120.0f);
+  Rng rng(1);
+  const Frame out =
+      ApplyTransformStep(flat, {TransformType::kMpegQuantize, 2.0}, &rng);
+  EXPECT_LT(flat.MeanAbsDifference(out), 1.0);
+}
+
+TEST(MpegQuantizeTest, IntroducesBlockStructure) {
+  // Strong quantization flattens variation *within* 8x8 blocks relative to
+  // variation across block boundaries.
+  const Frame frame = TestFrame(4);
+  Rng rng(1);
+  const Frame out = ApplyTransformStep(
+      frame, {TransformType::kMpegQuantize, 15.0}, &rng);
+  // Mean absolute horizontal step inside blocks vs across block borders.
+  double inner = 0;
+  double border = 0;
+  int inner_n = 0;
+  int border_n = 0;
+  for (int y = 0; y < out.height(); ++y) {
+    for (int x = 1; x < out.width(); ++x) {
+      const double step = std::abs(out.at(x, y) - out.at(x - 1, y));
+      if (x % 8 == 0) {
+        border += step;
+        ++border_n;
+      } else {
+        inner += step;
+        ++inner_n;
+      }
+    }
+  }
+  EXPECT_GT(border / border_n, inner / inner_n)
+      << "blockiness: discontinuities concentrate at 8-pixel boundaries";
+}
+
+TEST(MpegQuantizeTest, MapPointIsIdentity) {
+  TransformChain chain = TransformChain::MpegQuantize(4.0);
+  double tx = 0;
+  double ty = 0;
+  chain.MapPoint(13.5, 27.25, 96, 80, &tx, &ty);
+  EXPECT_DOUBLE_EQ(tx, 13.5);
+  EXPECT_DOUBLE_EQ(ty, 27.25);
+  EXPECT_EQ(chain.ToString(), "mpeg(4)");
+}
+
+TEST(MpegQuantizeTest, DescriptorSeverityOrdering) {
+  // Through the fingerprint pipeline: heavier quantization produces larger
+  // descriptor distortion sigma (the severity criterion of the paper).
+  SyntheticVideoConfig config;
+  config.width = 96;
+  config.height = 80;
+  config.num_frames = 80;
+  config.seed = 5;
+  const VideoSequence video = GenerateSyntheticVideo(config);
+  Rng rng(2);
+  fp::PerfectDetectorOptions options;
+  const auto mild = fp::CollectDistortionSamples(
+      video, TransformChain::MpegQuantize(1.0), options, &rng);
+  const auto heavy = fp::CollectDistortionSamples(
+      video, TransformChain::MpegQuantize(10.0), options, &rng);
+  ASSERT_GT(mild.size(), 10u);
+  ASSERT_GT(heavy.size(), 10u);
+  EXPECT_GT(fp::ComputeDistortionStats(heavy).sigma,
+            fp::ComputeDistortionStats(mild).sigma);
+}
+
+}  // namespace
+}  // namespace s3vcd::media

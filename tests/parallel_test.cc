@@ -1,0 +1,117 @@
+#include "core/parallel.h"
+
+#include <atomic>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/synthetic_db.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace s3vcd::core {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(10); });
+  pool.Submit([&counter] { counter.fetch_add(100); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 111);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+class ParallelSearchFixture : public testing::Test {
+ protected:
+  ParallelSearchFixture() : model_(15.0) {
+    Rng rng(31);
+    DatabaseBuilder builder;
+    for (int i = 0; i < 20000; ++i) {
+      builder.Add(UniformRandomFingerprint(&rng),
+                  static_cast<uint32_t>(i % 9), static_cast<uint32_t>(i));
+    }
+    index_ = std::make_unique<S3Index>(builder.Build());
+    for (int i = 0; i < 60; ++i) {
+      queries_.push_back(DistortFingerprint(
+          index_->database()
+              .record(static_cast<size_t>(rng.UniformInt(0, 19999)))
+              .descriptor,
+          15.0, &rng));
+    }
+  }
+
+  GaussianDistortionModel model_;
+  std::unique_ptr<S3Index> index_;
+  std::vector<fp::Fingerprint> queries_;
+};
+
+TEST_F(ParallelSearchFixture, MatchesSerialResultsForAnyThreadCount) {
+  QueryOptions options;
+  options.filter.alpha = 0.85;
+  options.filter.depth = 12;
+  const auto serial =
+      ParallelStatisticalSearch(*index_, model_, queries_, options, 1);
+  ASSERT_EQ(serial.size(), queries_.size());
+  for (int threads : {2, 4}) {
+    const auto parallel = ParallelStatisticalSearch(*index_, model_,
+                                                    queries_, options,
+                                                    threads);
+    ASSERT_EQ(parallel.size(), queries_.size());
+    for (size_t i = 0; i < queries_.size(); ++i) {
+      std::multiset<uint32_t> a;
+      std::multiset<uint32_t> b;
+      for (const auto& m : serial[i].matches) {
+        a.insert(m.time_code);
+      }
+      for (const auto& m : parallel[i].matches) {
+        b.insert(m.time_code);
+      }
+      EXPECT_EQ(a, b) << "threads=" << threads << " query " << i;
+    }
+  }
+}
+
+TEST_F(ParallelSearchFixture, RangeSearchMatchesSerial) {
+  const auto serial =
+      ParallelRangeSearch(*index_, queries_, 90.0, 12, 1);
+  const auto parallel =
+      ParallelRangeSearch(*index_, queries_, 90.0, 12, 3);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].matches.size(), parallel[i].matches.size());
+  }
+}
+
+TEST_F(ParallelSearchFixture, EmptyBatchIsSafe) {
+  QueryOptions options;
+  EXPECT_TRUE(
+      ParallelStatisticalSearch(*index_, model_, {}, options, 4).empty());
+}
+
+}  // namespace
+}  // namespace s3vcd::core

@@ -1,0 +1,123 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace s3vcd {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000000), b.UniformInt(0, 1000000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.UniformInt(0, 1 << 30) == b.UniformInt(0, 1 << 30)) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(5, 8);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 8);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RngTest, UniformRealInRange) {
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-2.5, 2.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 2.5);
+  }
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyCorrect) {
+  Rng rng(11);
+  double sum = 0;
+  double sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian(5, 2);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(std::sqrt(sum_sq / n - mean * mean), 2.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(12);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(13);
+  for (size_t n : {10u, 100u, 1000u}) {
+    for (size_t k : {size_t{1}, n / 3, n}) {
+      if (k == 0) {
+        continue;
+      }
+      auto sample = rng.SampleWithoutReplacement(n, k);
+      EXPECT_EQ(sample.size(), k);
+      std::set<size_t> unique(sample.begin(), sample.end());
+      EXPECT_EQ(unique.size(), k) << "duplicates for n=" << n << " k=" << k;
+      EXPECT_LT(*std::max_element(sample.begin(), sample.end()), n);
+    }
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementIsRoughlyUniform) {
+  Rng rng(14);
+  std::vector<int> counts(20, 0);
+  const int kTrials = 4000;
+  for (int t = 0; t < kTrials; ++t) {
+    for (size_t idx : rng.SampleWithoutReplacement(20, 5)) {
+      ++counts[idx];
+    }
+  }
+  // Expected hits per index: kTrials * 5 / 20 = 1000.
+  for (int c : counts) {
+    EXPECT_NEAR(c, 1000, 150);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(15);
+  Rng child = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.UniformInt(0, 1 << 30) == child.UniformInt(0, 1 << 30)) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace s3vcd

@@ -1,0 +1,141 @@
+// Focused tests of StreamMonitor window mechanics (sliding, overlap,
+// flush) using a tiny controlled index so the voting outcome is exactly
+// predictable.
+
+#include <gtest/gtest.h>
+
+#include "cbcd/detector.h"
+#include "core/database.h"
+#include "core/distortion_model.h"
+#include "core/index.h"
+
+namespace s3vcd::cbcd {
+namespace {
+
+// A database with a single reference "video" of 20 fingerprints at time
+// codes 0, 10, 20, ... Each descriptor encodes its index in base 4 over
+// the first three components (values 30/90/150/210, the quarter centers of
+// the depth-40 partition), so with a tight model each query matches
+// exactly one reference and the voting outcome is fully predictable.
+class StreamMonitorTest : public testing::Test {
+ protected:
+  StreamMonitorTest() : model_(4.0) {
+    core::DatabaseBuilder builder;
+    for (uint32_t i = 0; i < 20; ++i) {
+      builder.Add(Descriptor(i), /*id=*/7, /*tc=*/i * 10, 5.0f * i,
+                  3.0f * i);
+    }
+    index_ = std::make_unique<core::S3Index>(builder.Build());
+    DetectorOptions options;
+    options.query.filter.alpha = 0.9;
+    options.query.filter.depth = 40;  // two splits per axis: quarters
+    options.nsim_threshold = 3;
+    detector_ = std::make_unique<CopyDetector>(index_.get(), &model_,
+                                               options);
+  }
+
+  static fp::Fingerprint Descriptor(uint32_t index) {
+    fp::Fingerprint f;
+    f.fill(100);
+    for (int digit = 0; digit < 3; ++digit) {
+      f[digit] = static_cast<uint8_t>(30 + 60 * (index % 4));
+      index /= 4;
+    }
+    return f;
+  }
+
+  // A key-frame whose single fingerprint matches reference index i, tagged
+  // with candidate time code tc.
+  std::vector<fp::LocalFingerprint> KeyFrame(uint32_t ref_index,
+                                             uint32_t tc) {
+    fp::LocalFingerprint lf;
+    lf.descriptor = Descriptor(ref_index);
+    lf.time_code = tc;
+    lf.x = 5.0f * ref_index;
+    lf.y = 3.0f * ref_index;
+    return {lf};
+  }
+
+  core::GaussianDistortionModel model_;
+  std::unique_ptr<core::S3Index> index_;
+  std::unique_ptr<CopyDetector> detector_;
+};
+
+TEST_F(StreamMonitorTest, EmitsOnlyWhenWindowCompletes) {
+  StreamMonitor::Options options;
+  options.window_keyframes = 4;
+  options.window_overlap = 0;
+  StreamMonitor monitor(detector_.get(), options);
+  // Candidate aligned with offset +100 (candidate tc = ref tc + 100).
+  EXPECT_TRUE(monitor.PushKeyFrame(KeyFrame(0, 100)).empty());
+  EXPECT_TRUE(monitor.PushKeyFrame(KeyFrame(1, 110)).empty());
+  EXPECT_TRUE(monitor.PushKeyFrame(KeyFrame(2, 120)).empty());
+  const auto detections = monitor.PushKeyFrame(KeyFrame(3, 130));
+  ASSERT_EQ(detections.size(), 1u);
+  EXPECT_EQ(detections[0].id, 7u);
+  EXPECT_DOUBLE_EQ(detections[0].offset, 100.0);
+  EXPECT_EQ(detections[0].nsim, 4);
+}
+
+TEST_F(StreamMonitorTest, OverlapKeepsTailEvidence) {
+  StreamMonitor::Options options;
+  options.window_keyframes = 4;
+  options.window_overlap = 2;
+  StreamMonitor monitor(detector_.get(), options);
+  monitor.PushKeyFrame(KeyFrame(0, 100));
+  monitor.PushKeyFrame(KeyFrame(1, 110));
+  monitor.PushKeyFrame(KeyFrame(2, 120));
+  auto first = monitor.PushKeyFrame(KeyFrame(3, 130));
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].nsim, 4);
+  // Only 2 new key-frames are needed for the next window, and the two
+  // retained ones still vote: nsim stays 4.
+  monitor.PushKeyFrame(KeyFrame(4, 140));
+  auto second = monitor.PushKeyFrame(KeyFrame(5, 150));
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].nsim, 4);
+}
+
+TEST_F(StreamMonitorTest, FlushEvaluatesPartialWindowAndClears) {
+  StreamMonitor::Options options;
+  options.window_keyframes = 10;
+  options.window_overlap = 0;
+  StreamMonitor monitor(detector_.get(), options);
+  monitor.PushKeyFrame(KeyFrame(0, 50));
+  monitor.PushKeyFrame(KeyFrame(1, 60));
+  monitor.PushKeyFrame(KeyFrame(2, 70));
+  const auto detections = monitor.Flush();
+  ASSERT_EQ(detections.size(), 1u);
+  EXPECT_EQ(detections[0].nsim, 3);
+  // Buffer cleared: another flush yields nothing.
+  EXPECT_TRUE(monitor.Flush().empty());
+}
+
+TEST_F(StreamMonitorTest, IncoherentStreamDoesNotDetect) {
+  StreamMonitor::Options options;
+  options.window_keyframes = 4;
+  options.window_overlap = 0;
+  StreamMonitor monitor(detector_.get(), options);
+  // Matches exist but time codes are temporally incoherent.
+  monitor.PushKeyFrame(KeyFrame(0, 500));
+  monitor.PushKeyFrame(KeyFrame(1, 100));
+  monitor.PushKeyFrame(KeyFrame(2, 900));
+  const auto detections = monitor.PushKeyFrame(KeyFrame(3, 10));
+  EXPECT_TRUE(detections.empty());
+}
+
+TEST_F(StreamMonitorTest, DetectionStatsAccumulate) {
+  StreamMonitor::Options options;
+  options.window_keyframes = 2;
+  options.window_overlap = 0;
+  StreamMonitor monitor(detector_.get(), options);
+  DetectionStats stats;
+  monitor.PushKeyFrame(KeyFrame(0, 100), &stats);
+  monitor.PushKeyFrame(KeyFrame(1, 110), &stats);
+  EXPECT_EQ(stats.queries, 2u);
+  EXPECT_GE(stats.matches, 2u);
+  EXPECT_GE(stats.search_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace s3vcd::cbcd

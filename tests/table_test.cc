@@ -1,0 +1,50 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace s3vcd {
+namespace {
+
+TEST(TableTest, TextRenderingAlignsColumns) {
+  Table t({"alpha", "rate"});
+  t.AddRow().Add(0.8, 3).Add("fast");
+  t.AddRow().Add(int64_t{95}).Add("slow");
+  const std::string text = t.ToText();
+  EXPECT_NE(text.find("| alpha"), std::string::npos);
+  EXPECT_NE(text.find("| 0.8"), std::string::npos);
+  EXPECT_NE(text.find("| 95"), std::string::npos);
+  // Header underline present.
+  EXPECT_NE(text.find("|---"), std::string::npos);
+}
+
+TEST(TableTest, CsvRendering) {
+  Table t({"a", "b", "c"});
+  t.AddRow().Add(1).Add(2.5, 6).Add("x");
+  t.AddRow().Add(uint64_t{7}).Add(0.0, 6).Add("y");
+  EXPECT_EQ(t.ToCsv(), "a,b,c\n1,2.5,x\n7,0,y\n");
+}
+
+TEST(TableTest, DoubleFormattingUsesSignificantDigits) {
+  Table t({"v"});
+  t.AddRow().Add(1.0 / 3.0, 3);
+  EXPECT_EQ(t.ToCsv(), "v\n0.333\n");
+}
+
+TEST(TableTest, NumRows) {
+  Table t({"x"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow().Add(1);
+  t.AddRow().Add(2);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, ShortRowsRenderSafely) {
+  Table t({"a", "b"});
+  t.AddRow().Add("only one cell");
+  const std::string text = t.ToText();
+  EXPECT_NE(text.find("only one cell"), std::string::npos);
+  EXPECT_EQ(t.ToCsv(), "a,b\nonly one cell\n");
+}
+
+}  // namespace
+}  // namespace s3vcd

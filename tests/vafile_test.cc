@@ -1,0 +1,192 @@
+#include "core/vafile.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/synthetic_db.h"
+#include "util/rng.h"
+
+namespace s3vcd::core {
+namespace {
+
+std::vector<FingerprintRecord> MakeRecords(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FingerprintRecord> records;
+  std::vector<fp::Fingerprint> centers;
+  for (int c = 0; c < 25; ++c) {
+    centers.push_back(UniformRandomFingerprint(&rng));
+  }
+  for (size_t i = 0; i < count; ++i) {
+    FingerprintRecord r;
+    r.descriptor = DistortFingerprint(
+        centers[static_cast<size_t>(rng.UniformInt(0, 24))], 30.0, &rng);
+    r.id = static_cast<uint32_t>(i % 9);
+    r.time_code = static_cast<uint32_t>(i);
+    records.push_back(r);
+  }
+  return records;
+}
+
+class VAFileParamTest
+    : public testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(VAFileParamTest, RangeQueryIsExact) {
+  const auto [bits, quantiles] = GetParam();
+  const auto records = MakeRecords(8000, 100 + bits);
+  VAFileOptions options;
+  options.bits_per_dim = bits;
+  options.quantile_boundaries = quantiles;
+  const VAFile va(records, options);
+  Rng rng(11);
+  for (int trial = 0; trial < 6; ++trial) {
+    const fp::Fingerprint q = DistortFingerprint(
+        records[static_cast<size_t>(
+                    rng.UniformInt(0, static_cast<int64_t>(records.size()) - 1))]
+            .descriptor,
+        20.0, &rng);
+    const double eps = 50.0 + 20 * trial;
+    const QueryResult result = va.RangeQuery(q, eps);
+    std::multiset<uint32_t> expected;
+    for (const auto& r : records) {
+      if (fp::Distance(q, r.descriptor) <= eps) {
+        expected.insert(r.time_code);
+      }
+    }
+    std::multiset<uint32_t> got;
+    for (const auto& m : result.matches) {
+      got.insert(m.time_code);
+    }
+    EXPECT_EQ(got, expected) << "bits=" << bits << " eps=" << eps;
+  }
+}
+
+TEST_P(VAFileParamTest, KnnQueryIsExact) {
+  const auto [bits, quantiles] = GetParam();
+  const auto records = MakeRecords(6000, 200 + bits);
+  VAFileOptions options;
+  options.bits_per_dim = bits;
+  options.quantile_boundaries = quantiles;
+  const VAFile va(records, options);
+  Rng rng(12);
+  for (int trial = 0; trial < 4; ++trial) {
+    const fp::Fingerprint q = DistortFingerprint(
+        records[static_cast<size_t>(
+                    rng.UniformInt(0, static_cast<int64_t>(records.size()) - 1))]
+            .descriptor,
+        25.0, &rng);
+    const int k = 15;
+    const QueryResult result = va.KnnQuery(q, k);
+    ASSERT_EQ(result.matches.size(), static_cast<size_t>(k));
+    std::vector<float> expected;
+    for (const auto& r : records) {
+      expected.push_back(
+          static_cast<float>(fp::Distance(q, r.descriptor)));
+    }
+    std::sort(expected.begin(), expected.end());
+    for (int i = 0; i < k; ++i) {
+      EXPECT_NEAR(result.matches[i].distance, expected[i], 1e-3);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, VAFileParamTest,
+    testing::Combine(testing::Values(3, 4, 6), testing::Bool()),
+    [](const testing::TestParamInfo<std::tuple<int, bool>>& info) {
+      return std::string("b") + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "quantile" : "uniform");
+    });
+
+TEST(VAFileTest, FiltersMostRecordsBeforePhase2) {
+  const auto records = MakeRecords(20000, 300);
+  VAFileOptions options;
+  options.bits_per_dim = 5;
+  const VAFile va(records, options);
+  Rng rng(13);
+  uint64_t scanned = 0;
+  const int kTrials = 10;
+  for (int t = 0; t < kTrials; ++t) {
+    const fp::Fingerprint q = DistortFingerprint(
+        records[static_cast<size_t>(
+                    rng.UniformInt(0, static_cast<int64_t>(records.size()) - 1))]
+            .descriptor,
+        15.0, &rng);
+    scanned += va.RangeQuery(q, 80.0).stats.records_scanned;
+  }
+  EXPECT_LT(scanned / kTrials, records.size() / 3)
+      << "the approximation must filter out most exact-vector accesses";
+}
+
+TEST(VAFileTest, MoreBitsFilterBetter) {
+  const auto records = MakeRecords(10000, 400);
+  VAFileOptions coarse;
+  coarse.bits_per_dim = 2;
+  VAFileOptions fine;
+  fine.bits_per_dim = 6;
+  const VAFile va_coarse(records, coarse);
+  const VAFile va_fine(records, fine);
+  Rng rng(14);
+  uint64_t scanned_coarse = 0;
+  uint64_t scanned_fine = 0;
+  for (int t = 0; t < 8; ++t) {
+    const fp::Fingerprint q = UniformRandomFingerprint(&rng);
+    scanned_coarse += va_coarse.RangeQuery(q, 90.0).stats.records_scanned;
+    scanned_fine += va_fine.RangeQuery(q, 90.0).stats.records_scanned;
+  }
+  EXPECT_LE(scanned_fine, scanned_coarse);
+}
+
+TEST(VAFileTest, ApproximationBitsAccounting) {
+  const auto records = MakeRecords(1000, 500);
+  VAFileOptions options;
+  options.bits_per_dim = 4;
+  const VAFile va(records, options);
+  EXPECT_EQ(va.ApproximationBits(), 1000ull * 20 * 4);
+  EXPECT_EQ(va.size(), 1000u);
+  EXPECT_EQ(va.bits_per_dim(), 4);
+}
+
+TEST(VAFileTest, EmptyFileIsSafe) {
+  const VAFile va({}, VAFileOptions{});
+  Rng rng(15);
+  const fp::Fingerprint q = UniformRandomFingerprint(&rng);
+  EXPECT_TRUE(va.RangeQuery(q, 100.0).matches.empty());
+  EXPECT_TRUE(va.KnnQuery(q, 5).matches.empty());
+}
+
+TEST(VAFileTest, SkewedDataStillExactWithQuantiles) {
+  // Heavily skewed data (most bytes equal) stresses the quantile boundary
+  // construction; exactness must survive.
+  Rng rng(16);
+  std::vector<FingerprintRecord> records;
+  for (int i = 0; i < 3000; ++i) {
+    FingerprintRecord r;
+    r.descriptor.fill(128);
+    // A few components deviate.
+    for (int j = 0; j < 3; ++j) {
+      r.descriptor[static_cast<size_t>(rng.UniformInt(0, 19))] =
+          static_cast<uint8_t>(rng.UniformInt(0, 255));
+    }
+    r.time_code = static_cast<uint32_t>(i);
+    records.push_back(r);
+  }
+  VAFileOptions options;
+  options.quantile_boundaries = true;
+  const VAFile va(records, options);
+  fp::Fingerprint q;
+  q.fill(128);
+  const QueryResult result = va.RangeQuery(q, 30.0);
+  size_t expected = 0;
+  for (const auto& r : records) {
+    if (fp::Distance(q, r.descriptor) <= 30.0) {
+      ++expected;
+    }
+  }
+  EXPECT_EQ(result.matches.size(), expected);
+}
+
+}  // namespace
+}  // namespace s3vcd::core

@@ -1,0 +1,265 @@
+#include "cbcd/voting.h"
+
+#include <gtest/gtest.h>
+
+#include "cbcd/tukey.h"
+#include "util/rng.h"
+
+namespace s3vcd::cbcd {
+namespace {
+
+TEST(TukeyRhoTest, ShapeProperties) {
+  const double c = 10.0;
+  EXPECT_DOUBLE_EQ(TukeyRho(0, c), 0.0);
+  // Saturation at |u| >= c.
+  EXPECT_DOUBLE_EQ(TukeyRho(c, c), c * c / 6.0);
+  EXPECT_DOUBLE_EQ(TukeyRho(5 * c, c), c * c / 6.0);
+  EXPECT_DOUBLE_EQ(TukeyRho(-5 * c, c), c * c / 6.0);
+  // Symmetric and monotone non-decreasing in |u|.
+  for (double u = 0; u < 2 * c; u += 0.5) {
+    EXPECT_DOUBLE_EQ(TukeyRho(u, c), TukeyRho(-u, c));
+    EXPECT_LE(TukeyRho(u, c), TukeyRho(u + 0.5, c) + 1e-12);
+  }
+  // Quadratic-like near zero: rho(u) ~ u^2/2 for small u.
+  EXPECT_NEAR(TukeyRho(0.1, c), 0.005, 0.0005);
+}
+
+TEST(TukeyWeightTest, ZeroBeyondCAndOneAtZero) {
+  const double c = 4.0;
+  EXPECT_DOUBLE_EQ(TukeyWeight(0, c), 1.0);
+  EXPECT_DOUBLE_EQ(TukeyWeight(c, c), 0.0);
+  EXPECT_DOUBLE_EQ(TukeyWeight(c + 1, c), 0.0);
+  EXPECT_GT(TukeyWeight(1, c), TukeyWeight(2, c));
+}
+
+// Helper: an entry with matches to the given (id, tc) pairs.
+CandidateEntry MakeEntry(uint32_t candidate_tc,
+                         std::vector<std::pair<uint32_t, uint32_t>> hits,
+                         float x = 0, float y = 0) {
+  CandidateEntry entry;
+  entry.candidate_time_code = candidate_tc;
+  entry.x = x;
+  entry.y = y;
+  for (const auto& [id, tc] : hits) {
+    core::Match m;
+    m.id = id;
+    m.time_code = tc;
+    entry.matches.push_back(m);
+  }
+  return entry;
+}
+
+TEST(ComputeVotesTest, RecoversExactOffset) {
+  // Candidate clip aligned to reference id 5 with offset b = 100.
+  std::vector<CandidateEntry> entries;
+  for (uint32_t tc : {110u, 120u, 135u, 150u, 170u}) {
+    entries.push_back(MakeEntry(tc, {{5, tc - 100}}));
+  }
+  const auto votes = ComputeVotes(entries, VoteOptions{});
+  ASSERT_EQ(votes.size(), 1u);
+  EXPECT_EQ(votes[0].id, 5u);
+  EXPECT_DOUBLE_EQ(votes[0].offset, 100.0);
+  EXPECT_EQ(votes[0].nsim, 5);
+}
+
+TEST(ComputeVotesTest, RobustToOutlierMatches) {
+  // 6 coherent matches at offset 50, plus wild outliers for the same id.
+  Rng rng(1);
+  std::vector<CandidateEntry> entries;
+  for (uint32_t tc = 60; tc <= 160; tc += 20) {
+    auto entry = MakeEntry(tc, {{9, tc - 50}});
+    // Outlier matches of the same id at random time codes.
+    for (int o = 0; o < 5; ++o) {
+      core::Match m;
+      m.id = 9;
+      m.time_code = static_cast<uint32_t>(rng.UniformInt(5000, 90000));
+      entry.matches.push_back(m);
+    }
+    entries.push_back(entry);
+  }
+  const auto votes = ComputeVotes(entries, VoteOptions{});
+  ASSERT_EQ(votes.size(), 1u);
+  EXPECT_EQ(votes[0].id, 9u);
+  EXPECT_NEAR(votes[0].offset, 50.0, 1.0);
+  EXPECT_EQ(votes[0].nsim, 6);
+}
+
+TEST(ComputeVotesTest, SeparatesMultipleIds) {
+  // id 1 coherent over 5 key-frames; id 2 appears incoherently.
+  std::vector<CandidateEntry> entries;
+  uint32_t scatter = 7;
+  for (uint32_t tc : {10u, 20u, 30u, 40u, 50u}) {
+    entries.push_back(MakeEntry(tc, {{1, tc + 500}, {2, scatter}}));
+    scatter = scatter * 31 % 1000;  // incoherent time codes
+  }
+  const auto votes = ComputeVotes(entries, VoteOptions{});
+  ASSERT_EQ(votes.size(), 2u);
+  EXPECT_EQ(votes[0].id, 1u) << "coherent id must rank first";
+  EXPECT_EQ(votes[0].nsim, 5);
+  EXPECT_NEAR(votes[0].offset, -500.0, 1e-9);
+  EXPECT_LT(votes[1].nsim, 3);
+}
+
+TEST(ComputeVotesTest, ToleranceControlsNsim) {
+  // Matches jittered by +-2 frames around offset 0.
+  std::vector<CandidateEntry> entries;
+  const int jitter[] = {0, 2, -2, 1, -1, 0};
+  for (int j = 0; j < 6; ++j) {
+    const uint32_t tc = 100 + 10 * j;
+    entries.push_back(
+        MakeEntry(tc, {{3, static_cast<uint32_t>(tc + jitter[j])}}));
+  }
+  VoteOptions tight;
+  tight.tolerance = 0.5;
+  VoteOptions loose;
+  loose.tolerance = 3.0;
+  const auto tight_votes = ComputeVotes(entries, tight);
+  const auto loose_votes = ComputeVotes(entries, loose);
+  ASSERT_EQ(tight_votes.size(), 1u);
+  ASSERT_EQ(loose_votes.size(), 1u);
+  EXPECT_EQ(loose_votes[0].nsim, 6);
+  EXPECT_LT(tight_votes[0].nsim, loose_votes[0].nsim);
+}
+
+TEST(ComputeVotesTest, EmptyBufferYieldsNoVotes) {
+  EXPECT_TRUE(ComputeVotes({}, VoteOptions{}).empty());
+  std::vector<CandidateEntry> no_matches = {MakeEntry(5, {})};
+  EXPECT_TRUE(ComputeVotes(no_matches, VoteOptions{}).empty());
+}
+
+TEST(ComputeVotesTest, NegativeOffsetsSupported) {
+  // Candidate starts *before* the reference time codes (b < 0 means the
+  // candidate time base lags the reference).
+  std::vector<CandidateEntry> entries;
+  for (uint32_t tc : {5u, 15u, 25u}) {
+    entries.push_back(MakeEntry(tc, {{4, tc + 1000}}));
+  }
+  const auto votes = ComputeVotes(entries, VoteOptions{});
+  ASSERT_EQ(votes.size(), 1u);
+  EXPECT_DOUBLE_EQ(votes[0].offset, -1000.0);
+  EXPECT_EQ(votes[0].nsim, 3);
+}
+
+TEST(ComputeVotesTest, SpatialCoherenceFiltersScatteredPoints) {
+  // All matches temporally coherent, but 3 of 8 interest points have a
+  // displacement inconsistent with the (zero) dominant displacement.
+  std::vector<CandidateEntry> entries;
+  for (int j = 0; j < 8; ++j) {
+    const uint32_t tc = 100 + 10 * j;
+    CandidateEntry entry;
+    entry.candidate_time_code = tc;
+    entry.x = 50;
+    entry.y = 40;
+    core::Match m;
+    m.id = 11;
+    m.time_code = tc;
+    if (j % 3 != 1) {
+      m.x = 50;  // consistent: zero displacement (5 of 8 points)
+      m.y = 40;
+    } else {
+      m.x = 50 + 80.0f * (j % 3 + 1);  // scattered (j = 1, 4, 7)
+      m.y = 40 - 60.0f * (j % 5 + 1);
+    }
+    entry.matches.push_back(m);
+    entries.push_back(entry);
+  }
+  VoteOptions plain;
+  VoteOptions spatial;
+  spatial.use_spatial_coherence = true;
+  spatial.spatial_tolerance = 10.0;
+  const auto plain_votes = ComputeVotes(entries, plain);
+  const auto spatial_votes = ComputeVotes(entries, spatial);
+  ASSERT_EQ(plain_votes.size(), 1u);
+  ASSERT_EQ(spatial_votes.size(), 1u);
+  EXPECT_EQ(plain_votes[0].nsim, 8);
+  EXPECT_EQ(spatial_votes[0].nsim, 5)
+      << "spatially scattered matches must not count";
+}
+
+TEST(ComputeVotesTest, VotesSortedByNsim) {
+  std::vector<CandidateEntry> entries;
+  for (uint32_t tc : {10u, 20u, 30u, 40u}) {
+    std::vector<std::pair<uint32_t, uint32_t>> hits = {{1, tc}};
+    if (tc <= 20) {
+      hits.push_back({2, tc + 7});
+    }
+    entries.push_back(MakeEntry(tc, hits));
+  }
+  const auto votes = ComputeVotes(entries, VoteOptions{});
+  ASSERT_EQ(votes.size(), 2u);
+  EXPECT_EQ(votes[0].id, 1u);
+  EXPECT_EQ(votes[0].nsim, 4);
+  EXPECT_EQ(votes[1].id, 2u);
+  EXPECT_EQ(votes[1].nsim, 2);
+}
+
+
+TEST(ComputeVotesTest, IrlsRefinementRecoversFractionalOffset) {
+  // Matches jittered symmetrically around a non-integer offset 99.5: the
+  // discrete search can only pick one of the observed integer offsets, the
+  // IRLS refinement converges to the underlying value.
+  std::vector<CandidateEntry> entries;
+  const int jitter[] = {0, 1, 0, 1, 0, 1, 0, 1};
+  for (int j = 0; j < 8; ++j) {
+    const uint32_t tc = 200 + 10 * j;
+    entries.push_back(
+        MakeEntry(tc, {{6, static_cast<uint32_t>(tc - 99 - jitter[j])}}));
+  }
+  VoteOptions discrete;
+  VoteOptions refined;
+  refined.refine_offset = true;
+  const auto a = ComputeVotes(entries, discrete);
+  const auto b = ComputeVotes(entries, refined);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  // Discrete estimate lands on 99 or 100; the refined one on ~99.5.
+  EXPECT_TRUE(a[0].offset == 99.0 || a[0].offset == 100.0);
+  EXPECT_NEAR(b[0].offset, 99.5, 0.05);
+  EXPECT_EQ(b[0].nsim, 8);
+}
+
+TEST(ComputeVotesTest, IrlsIgnoresOutliers) {
+  // Coherent matches at offset 40 plus temporally incoherent outliers; the
+  // refined offset must not be dragged toward them (Tukey weights vanish
+  // beyond c).
+  std::vector<CandidateEntry> entries;
+  uint32_t scatter = 311;
+  for (uint32_t tc : {100u, 110u, 120u, 130u, 140u}) {
+    entries.push_back(MakeEntry(tc, {{8, tc - 40}, {8, tc + scatter}}));
+    scatter = scatter * 57 % 9001;
+  }
+  VoteOptions options;
+  options.refine_offset = true;
+  const auto votes = ComputeVotes(entries, options);
+  ASSERT_EQ(votes.size(), 1u);
+  EXPECT_NEAR(votes[0].offset, 40.0, 0.01);
+}
+
+TEST(ComputeVotesTest, HoughAgreesWithExhaustiveOnCoherentData) {
+  // Force the Hough path with a tiny threshold and verify the same offset
+  // and nsim as the exhaustive evaluation.
+  Rng rng(99);
+  std::vector<CandidateEntry> entries;
+  for (int j = 0; j < 30; ++j) {
+    const uint32_t tc = 1000 + 7 * j;
+    std::vector<std::pair<uint32_t, uint32_t>> hits = {{3, tc - 600}};
+    for (int o = 0; o < 10; ++o) {
+      hits.push_back({3, static_cast<uint32_t>(rng.UniformInt(0, 100000))});
+    }
+    entries.push_back(MakeEntry(tc, hits));
+  }
+  VoteOptions exhaustive;
+  exhaustive.hough_threshold = 1u << 30;  // never trigger
+  VoteOptions hough;
+  hough.hough_threshold = 8;  // always trigger
+  const auto a = ComputeVotes(entries, exhaustive);
+  const auto b = ComputeVotes(entries, hough);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_DOUBLE_EQ(a[0].offset, b[0].offset);
+  EXPECT_EQ(a[0].nsim, b[0].nsim);
+  EXPECT_EQ(a[0].nsim, 30);
+}
+
+}  // namespace
+}  // namespace s3vcd::cbcd

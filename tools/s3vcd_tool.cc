@@ -1,0 +1,399 @@
+// s3vcd_tool — operational command line for the S3VCD system.
+//
+//   s3vcd_tool build   --output DB [--videos N] [--frames F]
+//                      [--distractors M] [--seed S] [--order K] [--external]
+//   s3vcd_tool inspect --db DB
+//   s3vcd_tool verify  --db DB
+//   s3vcd_tool query   --db DB [--alpha A] [--sigma S] [--depth P]
+//                      [--count N] [--seed S]
+//   s3vcd_tool monitor --db DB [--stream-frames F] [--copy-id I]
+//                      [--alpha A] [--sigma S] [--threshold T]
+//
+// `build` synthesizes a reference corpus (the library normally ingests real
+// video; the tool uses the synthetic generator so it is runnable anywhere),
+// `query` replays distorted self-queries with timing, `monitor` embeds a
+// copy of one reference video in a synthetic stream and watches it.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cbcd/detector.h"
+#include "core/database.h"
+#include "core/distortion_model.h"
+#include "core/external_builder.h"
+#include "core/index.h"
+#include "core/synthetic_db.h"
+#include "core/tuner.h"
+#include "fingerprint/extractor.h"
+#include "media/synthetic.h"
+#include "util/math.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace s3vcd::tool {
+namespace {
+
+// Minimal --flag value parser; flags may appear in any order.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        bad_ = argv[i];
+        return;
+      }
+      values_[argv[i] + 2] = argv[i + 1];
+      consumed_ = i + 2;
+    }
+    if (first < argc && consumed_ < argc &&
+        std::strcmp(argv[argc - 1], "--external") == 0) {
+      // handled by Has() below
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+  const char* bad() const { return bad_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  const char* bad_ = nullptr;
+  int consumed_ = 0;
+};
+
+media::VideoSequence Clip(uint64_t seed, int frames) {
+  media::SyntheticVideoConfig config;
+  config.width = 96;
+  config.height = 80;
+  config.num_frames = frames;
+  config.seed = seed;
+  return media::GenerateSyntheticVideo(config);
+}
+
+int CmdBuild(const Flags& flags, bool external) {
+  const std::string output = flags.Get("output", "");
+  if (output.empty()) {
+    std::fprintf(stderr, "build: --output is required\n");
+    return 2;
+  }
+  const int videos = static_cast<int>(flags.GetInt("videos", 4));
+  const int frames = static_cast<int>(flags.GetInt("frames", 200));
+  const uint64_t distractors =
+      static_cast<uint64_t>(flags.GetInt("distractors", 100000));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const int order = static_cast<int>(flags.GetInt("order", 8));
+
+  Stopwatch watch;
+  const fp::FingerprintExtractor extractor;
+  std::vector<fp::Fingerprint> pool;
+  Rng rng(seed);
+
+  Status status = Status::OK();
+  uint64_t total = 0;
+  auto ingest = [&](auto& builder) -> Status {
+    for (int v = 0; v < videos; ++v) {
+      const auto fps = extractor.Extract(Clip(seed + v, frames));
+      std::printf("video %d: %zu fingerprints\n", v, fps.size());
+      for (const auto& lf : fps) {
+        pool.push_back(lf.descriptor);
+      }
+      S3VCD_RETURN_IF_ERROR(
+          builder.AddVideo(static_cast<uint32_t>(v), fps));
+    }
+    core::DistractorOptions options;
+    for (uint64_t i = 0; i < distractors; ++i) {
+      const fp::Fingerprint base =
+          pool[static_cast<size_t>(rng.UniformInt(
+              0, static_cast<int64_t>(pool.size()) - 1))];
+      const fp::Fingerprint d =
+          core::DistortFingerprint(base, options.jitter_sigma, &rng);
+      S3VCD_RETURN_IF_ERROR(builder.Add(
+          d,
+          options.first_id +
+              static_cast<uint32_t>(i / options.fingerprints_per_video),
+          static_cast<uint32_t>(rng.UniformInt(0, options.max_time_code)),
+          0, 0));
+    }
+    return Status::OK();
+  };
+
+  if (external) {
+    core::ExternalBuilderOptions options;
+    options.order = order;
+    options.max_records_in_memory = static_cast<size_t>(
+        flags.GetInt("memory-records", 1 << 20));
+    core::ExternalDatabaseBuilder builder(output, options);
+    status = ingest(builder);
+    if (status.ok()) {
+      status = builder.Finish();
+    }
+    total = builder.total_records();
+  } else {
+    // In-memory build wrapped to present the same Status-based interface.
+    struct Wrapper {
+      core::DatabaseBuilder builder;
+      Status AddVideo(uint32_t id,
+                      const std::vector<fp::LocalFingerprint>& fps) {
+        builder.AddVideo(id, fps);
+        return Status::OK();
+      }
+      Status Add(const fp::Fingerprint& f, uint32_t id, uint32_t tc, float x,
+                 float y) {
+        builder.Add(f, id, tc, x, y);
+        return Status::OK();
+      }
+    };
+    Wrapper wrapper{core::DatabaseBuilder(order)};
+    status = ingest(wrapper);
+    if (status.ok()) {
+      total = wrapper.builder.size();
+      status = wrapper.builder.Build().SaveToFile(output);
+    }
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %llu records to %s in %.1f s (%s build)\n",
+              static_cast<unsigned long long>(total), output.c_str(),
+              watch.ElapsedSeconds(), external ? "external" : "in-memory");
+  return 0;
+}
+
+int CmdVerify(const Flags& flags) {
+  const std::string path = flags.Get("db", "");
+  auto db = core::FingerprintDatabase::LoadFromFile(path);
+  if (!db.ok()) {
+    std::fprintf(stderr, "verify FAILED: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("verify OK: %zu records, order %d, checksum valid, "
+              "curve-ordered\n",
+              db->size(), db->order());
+  return 0;
+}
+
+int CmdInspect(const Flags& flags) {
+  const std::string path = flags.Get("db", "");
+  auto db = core::FingerprintDatabase::LoadFromFile(path);
+  if (!db.ok()) {
+    std::fprintf(stderr, "inspect failed: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("records:      %zu\n", db->size());
+  std::printf("curve order:  %d (key bits %d)\n", db->order(),
+              db->curve().key_bits());
+  std::printf("memory:       %.1f MiB\n",
+              db->MemoryBytes() / 1048576.0);
+  std::map<uint32_t, uint64_t> per_id;
+  for (size_t i = 0; i < db->size(); ++i) {
+    ++per_id[db->record(i).id];
+  }
+  std::printf("distinct ids: %zu\n", per_id.size());
+  // Occupancy of the 16 top-level curve sections.
+  if (!db->empty()) {
+    const int shift = db->curve().key_bits() - 4;
+    uint64_t counts[16] = {};
+    for (size_t i = 0; i < db->size(); ++i) {
+      ++counts[(db->key(i) >> shift).low64() & 15];
+    }
+    std::printf("top-level section occupancy:");
+    for (uint64_t c : counts) {
+      std::printf(" %.1f%%", 100.0 * c / db->size());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int CmdQuery(const Flags& flags) {
+  const std::string path = flags.Get("db", "");
+  auto db = core::FingerprintDatabase::LoadFromFile(path);
+  if (!db.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  const double alpha = flags.GetDouble("alpha", 0.8);
+  const double sigma = flags.GetDouble("sigma", 15.0);
+  const int count = static_cast<int>(flags.GetInt("count", 100));
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 99)));
+
+  const core::S3Index index(std::move(*db));
+  int depth = static_cast<int>(flags.GetInt("depth", 0));
+  const core::GaussianDistortionModel model(sigma);
+  if (depth == 0) {
+    std::vector<fp::Fingerprint> tune;
+    for (int i = 0; i < 16; ++i) {
+      tune.push_back(core::DistortFingerprint(
+          index.database()
+              .record(static_cast<size_t>(rng.UniformInt(
+                  0, static_cast<int64_t>(index.database().size()) - 1)))
+              .descriptor,
+          sigma, &rng));
+    }
+    depth = core::TuneDepth(index, model, tune, alpha,
+                            core::DefaultDepthCandidates(
+                                index.database().size(), 160))
+                .best_depth;
+    std::printf("tuned depth p = %d\n", depth);
+  }
+  core::QueryOptions options;
+  options.filter.alpha = alpha;
+  options.filter.depth = depth;
+  int hits = 0;
+  uint64_t matches = 0;
+  Stopwatch watch;
+  for (int i = 0; i < count; ++i) {
+    const auto& target = index.database().record(static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(index.database().size()) - 1)));
+    const fp::Fingerprint q =
+        core::DistortFingerprint(target.descriptor, sigma, &rng);
+    const auto result = index.StatisticalQuery(q, model, options);
+    matches += result.matches.size();
+    const double target_dist = fp::Distance(q, target.descriptor);
+    for (const auto& m : result.matches) {
+      if (std::abs(m.distance - target_dist) < 1e-3) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  std::printf(
+      "%d self-queries (alpha=%.2f sigma=%.1f p=%d): retrieval %.1f%%, "
+      "avg %.3f ms, avg %.0f results\n",
+      count, alpha, sigma, depth, 100.0 * hits / count,
+      watch.ElapsedMillis() / count,
+      static_cast<double>(matches) / count);
+  return 0;
+}
+
+int CmdMonitor(const Flags& flags) {
+  const std::string path = flags.Get("db", "");
+  auto db = core::FingerprintDatabase::LoadFromFile(path);
+  if (!db.ok()) {
+    std::fprintf(stderr, "monitor failed: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  const core::S3Index index(std::move(*db));
+  const double alpha = flags.GetDouble("alpha", 0.8);
+  const double sigma = flags.GetDouble("sigma", 12.0);
+  const int stream_frames =
+      static_cast<int>(flags.GetInt("stream-frames", 150));
+  const uint64_t copy_seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const int threshold = static_cast<int>(flags.GetInt("threshold", 8));
+
+  // Stream: filler + a rerun of reference video 0 (seed convention of
+  // CmdBuild) + filler.
+  media::VideoSequence stream = Clip(987654, stream_frames);
+  const media::VideoSequence copy = Clip(copy_seed, 200);
+  const int copy_start = stream.num_frames();
+  stream.frames.insert(stream.frames.end(), copy.frames.begin(),
+                       copy.frames.end());
+  const media::VideoSequence tail = Clip(876543, stream_frames);
+  stream.frames.insert(stream.frames.end(), tail.frames.begin(),
+                       tail.frames.end());
+
+  const core::GaussianDistortionModel model(sigma);
+  cbcd::DetectorOptions options;
+  options.query.filter.alpha = alpha;
+  options.query.filter.depth = 14;
+  options.vote.use_spatial_coherence = true;
+  options.nsim_threshold = threshold;
+  const cbcd::CopyDetector detector(&index, &model, options);
+  cbcd::StreamMonitor monitor(&detector, cbcd::StreamMonitor::Options{});
+
+  const fp::FingerprintExtractor extractor;
+  const auto fps = extractor.Extract(stream);
+  Stopwatch watch;
+  int reports = 0;
+  size_t i = 0;
+  while (i < fps.size()) {
+    std::vector<fp::LocalFingerprint> keyframe;
+    const uint32_t tc = fps[i].time_code;
+    while (i < fps.size() && fps[i].time_code == tc) {
+      keyframe.push_back(fps[i]);
+      ++i;
+    }
+    for (const auto& d : monitor.PushKeyFrame(keyframe)) {
+      std::printf("detection: id %u at stream frame %+.0f (nsim %d)\n",
+                  d.id, d.offset, d.nsim);
+      ++reports;
+    }
+  }
+  for (const auto& d : monitor.Flush()) {
+    std::printf("detection: id %u at stream frame %+.0f (nsim %d)\n", d.id,
+                d.offset, d.nsim);
+    ++reports;
+  }
+  std::printf(
+      "monitored %.1f s of stream in %.1f s; %d detections "
+      "(embedded copy starts at frame %d)\n",
+      stream.num_frames() / 25.0, watch.ElapsedSeconds(), reports,
+      copy_start);
+  return reports > 0 ? 0 : 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: s3vcd_tool <build|inspect|verify|query|monitor> "
+               "[--flag value]...\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  // Strip a trailing --external switch (the only valueless flag).
+  bool external = false;
+  int effective_argc = argc;
+  if (argc >= 3 && std::strcmp(argv[argc - 1], "--external") == 0) {
+    external = true;
+    effective_argc = argc - 1;
+  }
+  const Flags flags(effective_argc, argv, 2);
+  if (flags.bad() != nullptr) {
+    std::fprintf(stderr, "bad argument: %s\n", flags.bad());
+    return 2;
+  }
+  if (command == "build") {
+    return CmdBuild(flags, external);
+  }
+  if (command == "inspect") {
+    return CmdInspect(flags);
+  }
+  if (command == "verify") {
+    return CmdVerify(flags);
+  }
+  if (command == "query") {
+    return CmdQuery(flags);
+  }
+  if (command == "monitor") {
+    return CmdMonitor(flags);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace s3vcd::tool
+
+int main(int argc, char** argv) { return s3vcd::tool::Main(argc, argv); }
