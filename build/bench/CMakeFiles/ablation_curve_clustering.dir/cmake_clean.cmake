@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_curve_clustering.dir/ablation_curve_clustering.cc.o"
+  "CMakeFiles/ablation_curve_clustering.dir/ablation_curve_clustering.cc.o.d"
+  "ablation_curve_clustering"
+  "ablation_curve_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_curve_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_knn_vote.dir/ablation_knn_vote.cc.o"
+  "CMakeFiles/ablation_knn_vote.dir/ablation_knn_vote.cc.o.d"
+  "ablation_knn_vote"
+  "ablation_knn_vote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_knn_vote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

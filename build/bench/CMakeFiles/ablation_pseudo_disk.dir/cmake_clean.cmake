@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pseudo_disk.dir/ablation_pseudo_disk.cc.o"
+  "CMakeFiles/ablation_pseudo_disk.dir/ablation_pseudo_disk.cc.o.d"
+  "ablation_pseudo_disk"
+  "ablation_pseudo_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pseudo_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

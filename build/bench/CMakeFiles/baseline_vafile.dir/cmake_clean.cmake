@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_vafile.dir/baseline_vafile.cc.o"
+  "CMakeFiles/baseline_vafile.dir/baseline_vafile.cc.o.d"
+  "baseline_vafile"
+  "baseline_vafile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_vafile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

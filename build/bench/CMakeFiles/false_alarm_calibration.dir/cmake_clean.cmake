@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/false_alarm_calibration.dir/false_alarm_calibration.cc.o"
+  "CMakeFiles/false_alarm_calibration.dir/false_alarm_calibration.cc.o.d"
+  "false_alarm_calibration"
+  "false_alarm_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/false_alarm_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_tv_monitoring.dir/fig10_tv_monitoring.cc.o"
+  "CMakeFiles/fig10_tv_monitoring.dir/fig10_tv_monitoring.cc.o.d"
+  "fig10_tv_monitoring"
+  "fig10_tv_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tv_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_tv_monitoring.
+# This may be replaced when dependencies are built.

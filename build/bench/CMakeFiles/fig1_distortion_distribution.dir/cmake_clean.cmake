@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_distortion_distribution.dir/fig1_distortion_distribution.cc.o"
+  "CMakeFiles/fig1_distortion_distribution.dir/fig1_distortion_distribution.cc.o.d"
+  "fig1_distortion_distribution"
+  "fig1_distortion_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_distortion_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

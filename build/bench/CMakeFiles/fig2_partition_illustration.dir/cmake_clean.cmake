@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_partition_illustration.dir/fig2_partition_illustration.cc.o"
+  "CMakeFiles/fig2_partition_illustration.dir/fig2_partition_illustration.cc.o.d"
+  "fig2_partition_illustration"
+  "fig2_partition_illustration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_partition_illustration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

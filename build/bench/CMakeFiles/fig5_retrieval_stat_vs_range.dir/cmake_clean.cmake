@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_retrieval_stat_vs_range.dir/fig5_retrieval_stat_vs_range.cc.o"
+  "CMakeFiles/fig5_retrieval_stat_vs_range.dir/fig5_retrieval_stat_vs_range.cc.o.d"
+  "fig5_retrieval_stat_vs_range"
+  "fig5_retrieval_stat_vs_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_retrieval_stat_vs_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

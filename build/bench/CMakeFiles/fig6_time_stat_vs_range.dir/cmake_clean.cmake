@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_time_stat_vs_range.dir/fig6_time_stat_vs_range.cc.o"
+  "CMakeFiles/fig6_time_stat_vs_range.dir/fig6_time_stat_vs_range.cc.o.d"
+  "fig6_time_stat_vs_range"
+  "fig6_time_stat_vs_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_time_stat_vs_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

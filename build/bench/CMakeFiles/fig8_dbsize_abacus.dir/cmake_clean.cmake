@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_dbsize_abacus.dir/fig8_dbsize_abacus.cc.o"
+  "CMakeFiles/fig8_dbsize_abacus.dir/fig8_dbsize_abacus.cc.o.d"
+  "fig8_dbsize_abacus"
+  "fig8_dbsize_abacus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_dbsize_abacus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

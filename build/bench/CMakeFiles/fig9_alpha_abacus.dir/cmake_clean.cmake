@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_alpha_abacus.dir/fig9_alpha_abacus.cc.o"
+  "CMakeFiles/fig9_alpha_abacus.dir/fig9_alpha_abacus.cc.o.d"
+  "fig9_alpha_abacus"
+  "fig9_alpha_abacus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_alpha_abacus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3vcd_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/s3vcd_bench_common.dir/bench_common.cc.o.d"
+  "libs3vcd_bench_common.a"
+  "libs3vcd_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3vcd_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_severity.dir/table1_severity.cc.o"
+  "CMakeFiles/table1_severity.dir/table1_severity.cc.o.d"
+  "table1_severity"
+  "table1_severity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_severity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archive_ingest.dir/archive_ingest.cc.o"
+  "CMakeFiles/archive_ingest.dir/archive_ingest.cc.o.d"
+  "archive_ingest"
+  "archive_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archive_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

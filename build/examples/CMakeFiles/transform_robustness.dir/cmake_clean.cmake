@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transform_robustness.dir/transform_robustness.cc.o"
+  "CMakeFiles/transform_robustness.dir/transform_robustness.cc.o.d"
+  "transform_robustness"
+  "transform_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

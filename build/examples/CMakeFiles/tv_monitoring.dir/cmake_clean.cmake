@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tv_monitoring.dir/tv_monitoring.cc.o"
+  "CMakeFiles/tv_monitoring.dir/tv_monitoring.cc.o.d"
+  "tv_monitoring"
+  "tv_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tv_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3vcd_cbcd.dir/detector.cc.o"
+  "CMakeFiles/s3vcd_cbcd.dir/detector.cc.o.d"
+  "CMakeFiles/s3vcd_cbcd.dir/tukey.cc.o"
+  "CMakeFiles/s3vcd_cbcd.dir/tukey.cc.o.d"
+  "CMakeFiles/s3vcd_cbcd.dir/voting.cc.o"
+  "CMakeFiles/s3vcd_cbcd.dir/voting.cc.o.d"
+  "libs3vcd_cbcd.a"
+  "libs3vcd_cbcd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3vcd_cbcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/database.cc" "src/core/CMakeFiles/s3vcd_core.dir/database.cc.o" "gcc" "src/core/CMakeFiles/s3vcd_core.dir/database.cc.o.d"
+  "/root/repo/src/core/distortion_model.cc" "src/core/CMakeFiles/s3vcd_core.dir/distortion_model.cc.o" "gcc" "src/core/CMakeFiles/s3vcd_core.dir/distortion_model.cc.o.d"
+  "/root/repo/src/core/dynamic_index.cc" "src/core/CMakeFiles/s3vcd_core.dir/dynamic_index.cc.o" "gcc" "src/core/CMakeFiles/s3vcd_core.dir/dynamic_index.cc.o.d"
+  "/root/repo/src/core/external_builder.cc" "src/core/CMakeFiles/s3vcd_core.dir/external_builder.cc.o" "gcc" "src/core/CMakeFiles/s3vcd_core.dir/external_builder.cc.o.d"
+  "/root/repo/src/core/filter.cc" "src/core/CMakeFiles/s3vcd_core.dir/filter.cc.o" "gcc" "src/core/CMakeFiles/s3vcd_core.dir/filter.cc.o.d"
+  "/root/repo/src/core/index.cc" "src/core/CMakeFiles/s3vcd_core.dir/index.cc.o" "gcc" "src/core/CMakeFiles/s3vcd_core.dir/index.cc.o.d"
+  "/root/repo/src/core/knn.cc" "src/core/CMakeFiles/s3vcd_core.dir/knn.cc.o" "gcc" "src/core/CMakeFiles/s3vcd_core.dir/knn.cc.o.d"
+  "/root/repo/src/core/lsh.cc" "src/core/CMakeFiles/s3vcd_core.dir/lsh.cc.o" "gcc" "src/core/CMakeFiles/s3vcd_core.dir/lsh.cc.o.d"
+  "/root/repo/src/core/parallel.cc" "src/core/CMakeFiles/s3vcd_core.dir/parallel.cc.o" "gcc" "src/core/CMakeFiles/s3vcd_core.dir/parallel.cc.o.d"
+  "/root/repo/src/core/pseudo_disk.cc" "src/core/CMakeFiles/s3vcd_core.dir/pseudo_disk.cc.o" "gcc" "src/core/CMakeFiles/s3vcd_core.dir/pseudo_disk.cc.o.d"
+  "/root/repo/src/core/synthetic_db.cc" "src/core/CMakeFiles/s3vcd_core.dir/synthetic_db.cc.o" "gcc" "src/core/CMakeFiles/s3vcd_core.dir/synthetic_db.cc.o.d"
+  "/root/repo/src/core/tuner.cc" "src/core/CMakeFiles/s3vcd_core.dir/tuner.cc.o" "gcc" "src/core/CMakeFiles/s3vcd_core.dir/tuner.cc.o.d"
+  "/root/repo/src/core/vafile.cc" "src/core/CMakeFiles/s3vcd_core.dir/vafile.cc.o" "gcc" "src/core/CMakeFiles/s3vcd_core.dir/vafile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fingerprint/CMakeFiles/s3vcd_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/hilbert/CMakeFiles/s3vcd_hilbert.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/s3vcd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/s3vcd_media.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3vcd_core.dir/database.cc.o"
+  "CMakeFiles/s3vcd_core.dir/database.cc.o.d"
+  "CMakeFiles/s3vcd_core.dir/distortion_model.cc.o"
+  "CMakeFiles/s3vcd_core.dir/distortion_model.cc.o.d"
+  "CMakeFiles/s3vcd_core.dir/dynamic_index.cc.o"
+  "CMakeFiles/s3vcd_core.dir/dynamic_index.cc.o.d"
+  "CMakeFiles/s3vcd_core.dir/external_builder.cc.o"
+  "CMakeFiles/s3vcd_core.dir/external_builder.cc.o.d"
+  "CMakeFiles/s3vcd_core.dir/filter.cc.o"
+  "CMakeFiles/s3vcd_core.dir/filter.cc.o.d"
+  "CMakeFiles/s3vcd_core.dir/index.cc.o"
+  "CMakeFiles/s3vcd_core.dir/index.cc.o.d"
+  "CMakeFiles/s3vcd_core.dir/knn.cc.o"
+  "CMakeFiles/s3vcd_core.dir/knn.cc.o.d"
+  "CMakeFiles/s3vcd_core.dir/lsh.cc.o"
+  "CMakeFiles/s3vcd_core.dir/lsh.cc.o.d"
+  "CMakeFiles/s3vcd_core.dir/parallel.cc.o"
+  "CMakeFiles/s3vcd_core.dir/parallel.cc.o.d"
+  "CMakeFiles/s3vcd_core.dir/pseudo_disk.cc.o"
+  "CMakeFiles/s3vcd_core.dir/pseudo_disk.cc.o.d"
+  "CMakeFiles/s3vcd_core.dir/synthetic_db.cc.o"
+  "CMakeFiles/s3vcd_core.dir/synthetic_db.cc.o.d"
+  "CMakeFiles/s3vcd_core.dir/tuner.cc.o"
+  "CMakeFiles/s3vcd_core.dir/tuner.cc.o.d"
+  "CMakeFiles/s3vcd_core.dir/vafile.cc.o"
+  "CMakeFiles/s3vcd_core.dir/vafile.cc.o.d"
+  "libs3vcd_core.a"
+  "libs3vcd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3vcd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fingerprint/descriptor.cc" "src/fingerprint/CMakeFiles/s3vcd_fingerprint.dir/descriptor.cc.o" "gcc" "src/fingerprint/CMakeFiles/s3vcd_fingerprint.dir/descriptor.cc.o.d"
+  "/root/repo/src/fingerprint/distortion.cc" "src/fingerprint/CMakeFiles/s3vcd_fingerprint.dir/distortion.cc.o" "gcc" "src/fingerprint/CMakeFiles/s3vcd_fingerprint.dir/distortion.cc.o.d"
+  "/root/repo/src/fingerprint/extractor.cc" "src/fingerprint/CMakeFiles/s3vcd_fingerprint.dir/extractor.cc.o" "gcc" "src/fingerprint/CMakeFiles/s3vcd_fingerprint.dir/extractor.cc.o.d"
+  "/root/repo/src/fingerprint/fingerprint.cc" "src/fingerprint/CMakeFiles/s3vcd_fingerprint.dir/fingerprint.cc.o" "gcc" "src/fingerprint/CMakeFiles/s3vcd_fingerprint.dir/fingerprint.cc.o.d"
+  "/root/repo/src/fingerprint/harris.cc" "src/fingerprint/CMakeFiles/s3vcd_fingerprint.dir/harris.cc.o" "gcc" "src/fingerprint/CMakeFiles/s3vcd_fingerprint.dir/harris.cc.o.d"
+  "/root/repo/src/fingerprint/keyframe.cc" "src/fingerprint/CMakeFiles/s3vcd_fingerprint.dir/keyframe.cc.o" "gcc" "src/fingerprint/CMakeFiles/s3vcd_fingerprint.dir/keyframe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/media/CMakeFiles/s3vcd_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/s3vcd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3vcd_fingerprint.dir/descriptor.cc.o"
+  "CMakeFiles/s3vcd_fingerprint.dir/descriptor.cc.o.d"
+  "CMakeFiles/s3vcd_fingerprint.dir/distortion.cc.o"
+  "CMakeFiles/s3vcd_fingerprint.dir/distortion.cc.o.d"
+  "CMakeFiles/s3vcd_fingerprint.dir/extractor.cc.o"
+  "CMakeFiles/s3vcd_fingerprint.dir/extractor.cc.o.d"
+  "CMakeFiles/s3vcd_fingerprint.dir/fingerprint.cc.o"
+  "CMakeFiles/s3vcd_fingerprint.dir/fingerprint.cc.o.d"
+  "CMakeFiles/s3vcd_fingerprint.dir/harris.cc.o"
+  "CMakeFiles/s3vcd_fingerprint.dir/harris.cc.o.d"
+  "CMakeFiles/s3vcd_fingerprint.dir/keyframe.cc.o"
+  "CMakeFiles/s3vcd_fingerprint.dir/keyframe.cc.o.d"
+  "libs3vcd_fingerprint.a"
+  "libs3vcd_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3vcd_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hilbert/block_tree.cc" "src/hilbert/CMakeFiles/s3vcd_hilbert.dir/block_tree.cc.o" "gcc" "src/hilbert/CMakeFiles/s3vcd_hilbert.dir/block_tree.cc.o.d"
+  "/root/repo/src/hilbert/hilbert_curve.cc" "src/hilbert/CMakeFiles/s3vcd_hilbert.dir/hilbert_curve.cc.o" "gcc" "src/hilbert/CMakeFiles/s3vcd_hilbert.dir/hilbert_curve.cc.o.d"
+  "/root/repo/src/hilbert/zorder.cc" "src/hilbert/CMakeFiles/s3vcd_hilbert.dir/zorder.cc.o" "gcc" "src/hilbert/CMakeFiles/s3vcd_hilbert.dir/zorder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/s3vcd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

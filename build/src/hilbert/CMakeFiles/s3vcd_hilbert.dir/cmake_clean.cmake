@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3vcd_hilbert.dir/block_tree.cc.o"
+  "CMakeFiles/s3vcd_hilbert.dir/block_tree.cc.o.d"
+  "CMakeFiles/s3vcd_hilbert.dir/hilbert_curve.cc.o"
+  "CMakeFiles/s3vcd_hilbert.dir/hilbert_curve.cc.o.d"
+  "CMakeFiles/s3vcd_hilbert.dir/zorder.cc.o"
+  "CMakeFiles/s3vcd_hilbert.dir/zorder.cc.o.d"
+  "libs3vcd_hilbert.a"
+  "libs3vcd_hilbert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3vcd_hilbert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/filters.cc" "src/media/CMakeFiles/s3vcd_media.dir/filters.cc.o" "gcc" "src/media/CMakeFiles/s3vcd_media.dir/filters.cc.o.d"
+  "/root/repo/src/media/frame.cc" "src/media/CMakeFiles/s3vcd_media.dir/frame.cc.o" "gcc" "src/media/CMakeFiles/s3vcd_media.dir/frame.cc.o.d"
+  "/root/repo/src/media/sampling.cc" "src/media/CMakeFiles/s3vcd_media.dir/sampling.cc.o" "gcc" "src/media/CMakeFiles/s3vcd_media.dir/sampling.cc.o.d"
+  "/root/repo/src/media/synthetic.cc" "src/media/CMakeFiles/s3vcd_media.dir/synthetic.cc.o" "gcc" "src/media/CMakeFiles/s3vcd_media.dir/synthetic.cc.o.d"
+  "/root/repo/src/media/transforms.cc" "src/media/CMakeFiles/s3vcd_media.dir/transforms.cc.o" "gcc" "src/media/CMakeFiles/s3vcd_media.dir/transforms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/s3vcd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

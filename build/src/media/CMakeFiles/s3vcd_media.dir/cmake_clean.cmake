@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3vcd_media.dir/filters.cc.o"
+  "CMakeFiles/s3vcd_media.dir/filters.cc.o.d"
+  "CMakeFiles/s3vcd_media.dir/frame.cc.o"
+  "CMakeFiles/s3vcd_media.dir/frame.cc.o.d"
+  "CMakeFiles/s3vcd_media.dir/sampling.cc.o"
+  "CMakeFiles/s3vcd_media.dir/sampling.cc.o.d"
+  "CMakeFiles/s3vcd_media.dir/synthetic.cc.o"
+  "CMakeFiles/s3vcd_media.dir/synthetic.cc.o.d"
+  "CMakeFiles/s3vcd_media.dir/transforms.cc.o"
+  "CMakeFiles/s3vcd_media.dir/transforms.cc.o.d"
+  "libs3vcd_media.a"
+  "libs3vcd_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3vcd_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

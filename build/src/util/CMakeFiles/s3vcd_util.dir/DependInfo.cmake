@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/bitkey.cc" "src/util/CMakeFiles/s3vcd_util.dir/bitkey.cc.o" "gcc" "src/util/CMakeFiles/s3vcd_util.dir/bitkey.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/util/CMakeFiles/s3vcd_util.dir/histogram.cc.o" "gcc" "src/util/CMakeFiles/s3vcd_util.dir/histogram.cc.o.d"
+  "/root/repo/src/util/io.cc" "src/util/CMakeFiles/s3vcd_util.dir/io.cc.o" "gcc" "src/util/CMakeFiles/s3vcd_util.dir/io.cc.o.d"
+  "/root/repo/src/util/math.cc" "src/util/CMakeFiles/s3vcd_util.dir/math.cc.o" "gcc" "src/util/CMakeFiles/s3vcd_util.dir/math.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/util/CMakeFiles/s3vcd_util.dir/rng.cc.o" "gcc" "src/util/CMakeFiles/s3vcd_util.dir/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/util/CMakeFiles/s3vcd_util.dir/status.cc.o" "gcc" "src/util/CMakeFiles/s3vcd_util.dir/status.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/util/CMakeFiles/s3vcd_util.dir/table.cc.o" "gcc" "src/util/CMakeFiles/s3vcd_util.dir/table.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/util/CMakeFiles/s3vcd_util.dir/thread_pool.cc.o" "gcc" "src/util/CMakeFiles/s3vcd_util.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3vcd_util.dir/bitkey.cc.o"
+  "CMakeFiles/s3vcd_util.dir/bitkey.cc.o.d"
+  "CMakeFiles/s3vcd_util.dir/histogram.cc.o"
+  "CMakeFiles/s3vcd_util.dir/histogram.cc.o.d"
+  "CMakeFiles/s3vcd_util.dir/io.cc.o"
+  "CMakeFiles/s3vcd_util.dir/io.cc.o.d"
+  "CMakeFiles/s3vcd_util.dir/math.cc.o"
+  "CMakeFiles/s3vcd_util.dir/math.cc.o.d"
+  "CMakeFiles/s3vcd_util.dir/rng.cc.o"
+  "CMakeFiles/s3vcd_util.dir/rng.cc.o.d"
+  "CMakeFiles/s3vcd_util.dir/status.cc.o"
+  "CMakeFiles/s3vcd_util.dir/status.cc.o.d"
+  "CMakeFiles/s3vcd_util.dir/table.cc.o"
+  "CMakeFiles/s3vcd_util.dir/table.cc.o.d"
+  "CMakeFiles/s3vcd_util.dir/thread_pool.cc.o"
+  "CMakeFiles/s3vcd_util.dir/thread_pool.cc.o.d"
+  "libs3vcd_util.a"
+  "libs3vcd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3vcd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

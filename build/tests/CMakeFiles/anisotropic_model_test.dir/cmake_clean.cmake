@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anisotropic_model_test.dir/anisotropic_model_test.cc.o"
+  "CMakeFiles/anisotropic_model_test.dir/anisotropic_model_test.cc.o.d"
+  "anisotropic_model_test"
+  "anisotropic_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anisotropic_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

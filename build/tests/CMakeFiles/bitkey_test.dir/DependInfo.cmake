@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bitkey_test.cc" "tests/CMakeFiles/bitkey_test.dir/bitkey_test.cc.o" "gcc" "tests/CMakeFiles/bitkey_test.dir/bitkey_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cbcd/CMakeFiles/s3vcd_cbcd.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/s3vcd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/s3vcd_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/s3vcd_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/hilbert/CMakeFiles/s3vcd_hilbert.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/s3vcd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

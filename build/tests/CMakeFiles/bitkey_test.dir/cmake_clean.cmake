@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitkey_test.dir/bitkey_test.cc.o"
+  "CMakeFiles/bitkey_test.dir/bitkey_test.cc.o.d"
+  "bitkey_test"
+  "bitkey_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitkey_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

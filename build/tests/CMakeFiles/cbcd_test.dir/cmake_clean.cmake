@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbcd_test.dir/cbcd_test.cc.o"
+  "CMakeFiles/cbcd_test.dir/cbcd_test.cc.o.d"
+  "cbcd_test"
+  "cbcd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbcd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

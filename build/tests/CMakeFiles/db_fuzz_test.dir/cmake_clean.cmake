@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_fuzz_test.dir/db_fuzz_test.cc.o"
+  "CMakeFiles/db_fuzz_test.dir/db_fuzz_test.cc.o.d"
+  "db_fuzz_test"
+  "db_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/descriptor_test.dir/descriptor_test.cc.o"
+  "CMakeFiles/descriptor_test.dir/descriptor_test.cc.o.d"
+  "descriptor_test"
+  "descriptor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/descriptor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/external_builder_test.dir/external_builder_test.cc.o"
+  "CMakeFiles/external_builder_test.dir/external_builder_test.cc.o.d"
+  "external_builder_test"
+  "external_builder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/external_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fingerprint_property_test.dir/fingerprint_property_test.cc.o"
+  "CMakeFiles/fingerprint_property_test.dir/fingerprint_property_test.cc.o.d"
+  "fingerprint_property_test"
+  "fingerprint_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fingerprint_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harris_test.dir/harris_test.cc.o"
+  "CMakeFiles/harris_test.dir/harris_test.cc.o.d"
+  "harris_test"
+  "harris_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harris_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

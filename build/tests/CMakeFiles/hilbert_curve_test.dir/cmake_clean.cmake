@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hilbert_curve_test.dir/hilbert_curve_test.cc.o"
+  "CMakeFiles/hilbert_curve_test.dir/hilbert_curve_test.cc.o.d"
+  "hilbert_curve_test"
+  "hilbert_curve_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hilbert_curve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

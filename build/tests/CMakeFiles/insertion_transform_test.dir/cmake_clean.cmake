@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insertion_transform_test.dir/insertion_transform_test.cc.o"
+  "CMakeFiles/insertion_transform_test.dir/insertion_transform_test.cc.o.d"
+  "insertion_transform_test"
+  "insertion_transform_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insertion_transform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/low_order_test.dir/low_order_test.cc.o"
+  "CMakeFiles/low_order_test.dir/low_order_test.cc.o.d"
+  "low_order_test"
+  "low_order_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/low_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/media_filters_test.dir/media_filters_test.cc.o"
+  "CMakeFiles/media_filters_test.dir/media_filters_test.cc.o.d"
+  "media_filters_test"
+  "media_filters_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/media_filters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

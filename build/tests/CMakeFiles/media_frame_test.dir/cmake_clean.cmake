@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/media_frame_test.dir/media_frame_test.cc.o"
+  "CMakeFiles/media_frame_test.dir/media_frame_test.cc.o.d"
+  "media_frame_test"
+  "media_frame_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/media_frame_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/media_transforms_test.dir/media_transforms_test.cc.o"
+  "CMakeFiles/media_transforms_test.dir/media_transforms_test.cc.o.d"
+  "media_transforms_test"
+  "media_transforms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/media_transforms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

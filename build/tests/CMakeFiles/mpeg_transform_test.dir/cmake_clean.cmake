@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpeg_transform_test.dir/mpeg_transform_test.cc.o"
+  "CMakeFiles/mpeg_transform_test.dir/mpeg_transform_test.cc.o.d"
+  "mpeg_transform_test"
+  "mpeg_transform_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpeg_transform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pseudo_disk_test.dir/pseudo_disk_test.cc.o"
+  "CMakeFiles/pseudo_disk_test.dir/pseudo_disk_test.cc.o.d"
+  "pseudo_disk_test"
+  "pseudo_disk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pseudo_disk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

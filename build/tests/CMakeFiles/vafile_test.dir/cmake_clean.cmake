@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vafile_test.dir/vafile_test.cc.o"
+  "CMakeFiles/vafile_test.dir/vafile_test.cc.o.d"
+  "vafile_test"
+  "vafile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vafile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voting_test.dir/voting_test.cc.o"
+  "CMakeFiles/voting_test.dir/voting_test.cc.o.d"
+  "voting_test"
+  "voting_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

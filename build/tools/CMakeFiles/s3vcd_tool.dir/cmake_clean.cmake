@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3vcd_tool.dir/s3vcd_tool.cc.o"
+  "CMakeFiles/s3vcd_tool.dir/s3vcd_tool.cc.o.d"
+  "s3vcd_tool"
+  "s3vcd_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3vcd_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

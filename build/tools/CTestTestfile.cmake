@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_build "/root/repo/build/tools/s3vcd_tool" "build" "--output" "/root/repo/build/cli_smoke.s3db" "--videos" "2" "--frames" "120" "--distractors" "20000" "--seed" "5")
+set_tests_properties(cli_build PROPERTIES  FIXTURES_SETUP "cli_db" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_build_external "/root/repo/build/tools/s3vcd_tool" "build" "--output" "/root/repo/build/cli_smoke_ext.s3db" "--videos" "1" "--frames" "100" "--distractors" "15000" "--seed" "5" "--memory-records" "4000" "--external")
+set_tests_properties(cli_build_external PROPERTIES  FIXTURES_SETUP "cli_db" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_verify "/root/repo/build/tools/s3vcd_tool" "verify" "--db" "/root/repo/build/cli_smoke.s3db")
+set_tests_properties(cli_verify PROPERTIES  DEPENDS "cli_build" FIXTURES_REQUIRED "cli_db" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_inspect "/root/repo/build/tools/s3vcd_tool" "inspect" "--db" "/root/repo/build/cli_smoke.s3db")
+set_tests_properties(cli_inspect PROPERTIES  DEPENDS "cli_build" FIXTURES_REQUIRED "cli_db" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_query "/root/repo/build/tools/s3vcd_tool" "query" "--db" "/root/repo/build/cli_smoke.s3db" "--count" "40" "--sigma" "12")
+set_tests_properties(cli_query PROPERTIES  DEPENDS "cli_build" FIXTURES_REQUIRED "cli_db" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_monitor "/root/repo/build/tools/s3vcd_tool" "monitor" "--db" "/root/repo/build/cli_smoke.s3db" "--seed" "5" "--stream-frames" "120")
+set_tests_properties(cli_monitor PROPERTIES  DEPENDS "cli_build" FIXTURES_REQUIRED "cli_db" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
