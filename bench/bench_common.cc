@@ -3,7 +3,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace s3vcd::bench {
@@ -119,12 +121,39 @@ bool ClipDetected(const std::vector<cbcd::Detection>& detections,
   return false;
 }
 
+namespace {
+
+// Name registered by PrintHeader, emitted by the atexit hook.
+std::string* MetricsBlockName() {
+  static std::string* name = new std::string();
+  return name;
+}
+
+void EmitMetricsBlockAtExit() { EmitMetricsBlock(*MetricsBlockName()); }
+
+}  // namespace
+
+void EmitMetricsBlock(const std::string& name) {
+  const std::string json = obs::MetricsRegistry::Global().Snapshot().ToJson();
+  std::printf("# METRICS %s\n%s\n# END METRICS\n", name.c_str(),
+              json.c_str());
+  std::fflush(stdout);
+}
+
 void PrintHeader(const std::string& name, const std::string& description) {
   std::printf("==============================================================\n");
   std::printf("%s — %s\n", name.c_str(), description.c_str());
   std::printf("scale factor S3VCD_SCALE=%.2f\n", ScaleFactor());
   std::printf("==============================================================\n");
   std::fflush(stdout);
+  // Bracket the run: metrics recorded before the header (static init,
+  // corpus warm-up in main's callers) are not part of the experiment.
+  const bool first_call = MetricsBlockName()->empty();
+  *MetricsBlockName() = name;
+  obs::MetricsRegistry::Global().Reset();
+  if (first_call) {
+    std::atexit(EmitMetricsBlockAtExit);
+  }
 }
 
 }  // namespace s3vcd::bench

@@ -70,8 +70,19 @@ bool ClipDetected(const std::vector<cbcd::Detection>& detections,
                   uint32_t expected_id, double expected_offset,
                   double frame_tolerance = 2.0);
 
-/// Prints a standard header line for a bench binary.
+/// Prints a standard header line for a bench binary. Also zeroes the
+/// global metrics registry and arranges (via atexit) for EmitMetricsBlock
+/// to run when the binary exits, so every bench emits a machine-readable
+/// metrics block with no per-binary changes.
 void PrintHeader(const std::string& name, const std::string& description);
+
+/// Prints the structured metrics block for this run:
+///   # METRICS <name>
+///   { ...one MetricsSnapshot JSON object... }
+///   # END METRICS
+/// Called automatically at exit after PrintHeader; callable directly to
+/// bracket a narrower region.
+void EmitMetricsBlock(const std::string& name);
 
 }  // namespace s3vcd::bench
 

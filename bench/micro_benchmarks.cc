@@ -1,6 +1,8 @@
 // Google-benchmark micro benchmarks of the core building blocks: Hilbert
 // encode/decode at the paper's D=20 K=8 configuration, block filtering,
-// query execution and index construction.
+// query execution, index construction, and the observability primitives
+// (counter increments and trace spans) whose overhead budgets are quoted
+// in docs/observability.md.
 
 #include <benchmark/benchmark.h>
 
@@ -11,6 +13,8 @@
 #include "core/synthetic_db.h"
 #include "fingerprint/fingerprint.h"
 #include "hilbert/hilbert_curve.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace s3vcd {
@@ -138,6 +142,77 @@ void BM_IndexBuild(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_IndexBuild)->Arg(10000)->Arg(100000);
+
+// --- Observability primitives ------------------------------------------
+// These are the costs quoted in docs/observability.md: an uncontended
+// counter increment, the same increment from many threads (the sharding is
+// what keeps this flat), a histogram record, a gauge set, and a trace span
+// in both the disabled (one relaxed load) and enabled (two clock reads +
+// one short lock) states.
+
+void BM_ObsCounterIncrement(benchmark::State& state) {
+  obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("bench.counter");
+  for (auto _ : state) {
+    counter->Increment();
+  }
+  if (state.thread_index() == 0) {
+    counter->Reset();
+  }
+}
+BENCHMARK(BM_ObsCounterIncrement);
+BENCHMARK(BM_ObsCounterIncrement)->Threads(4)->Threads(8);
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram("bench.histogram_us");
+  double v = 0.5;
+  for (auto _ : state) {
+    histogram->Record(v);
+    v = v < 1e6 ? v * 1.1 : 0.5;  // walk the buckets
+  }
+  if (state.thread_index() == 0) {
+    histogram->Reset();
+  }
+}
+BENCHMARK(BM_ObsHistogramRecord);
+BENCHMARK(BM_ObsHistogramRecord)->Threads(4);
+
+void BM_ObsGaugeSet(benchmark::State& state) {
+  obs::Gauge* gauge = obs::MetricsRegistry::Global().GetGauge("bench.gauge");
+  int64_t v = 0;
+  for (auto _ : state) {
+    gauge->Set(v++);
+  }
+  if (state.thread_index() == 0) {
+    gauge->Reset();
+  }
+}
+BENCHMARK(BM_ObsGaugeSet);
+
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  obs::TraceRecorder::Global().Disable();
+  for (auto _ : state) {
+    S3VCD_TRACE_SPAN("bench.span_disabled");
+  }
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+void BM_ObsSpanEnabled(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    // Small ring: the benchmark records millions of spans and only the
+    // ring-wrap path is representative of steady state.
+    obs::TraceRecorder::Global().Enable(/*capacity_per_thread=*/1024);
+  }
+  for (auto _ : state) {
+    S3VCD_TRACE_SPAN("bench.span_enabled");
+  }
+  if (state.thread_index() == 0) {
+    obs::TraceRecorder::Global().Disable();
+    obs::TraceRecorder::Global().Clear();
+  }
+}
+BENCHMARK(BM_ObsSpanEnabled);
 
 }  // namespace
 }  // namespace s3vcd

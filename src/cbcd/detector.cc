@@ -2,10 +2,29 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
 namespace s3vcd::cbcd {
+
+namespace {
+
+obs::Counter* const g_queries =
+    obs::MetricsRegistry::Global().GetCounter("cbcd.queries");
+obs::Counter* const g_matches =
+    obs::MetricsRegistry::Global().GetCounter("cbcd.matches");
+obs::Counter* const g_detections =
+    obs::MetricsRegistry::Global().GetCounter("cbcd.detections_emitted");
+obs::Counter* const g_windows =
+    obs::MetricsRegistry::Global().GetCounter("cbcd.windows_evaluated");
+obs::Histogram* const g_search_us =
+    obs::MetricsRegistry::Global().GetHistogram("cbcd.search_us");
+obs::Histogram* const g_vote_us =
+    obs::MetricsRegistry::Global().GetHistogram("cbcd.vote_us");
+
+}  // namespace
 
 CopyDetector::CopyDetector(const core::S3Index* index,
                            const core::DistortionModel* model,
@@ -25,8 +44,12 @@ CandidateEntry CopyDetector::SearchOne(const fp::LocalFingerprint& lf,
   core::QueryResult result =
       index_->StatisticalQuery(lf.descriptor, *model_, options_.query);
   entry.matches = std::move(result.matches);
+  const double search_seconds = watch.ElapsedSeconds();
+  g_queries->Increment();
+  g_matches->Increment(entry.matches.size());
+  g_search_us->Record(search_seconds * 1e6);
   if (stats != nullptr) {
-    stats->search_seconds += watch.ElapsedSeconds();
+    stats->search_seconds += search_seconds;
     ++stats->queries;
     stats->matches += entry.matches.size();
   }
@@ -36,6 +59,7 @@ CandidateEntry CopyDetector::SearchOne(const fp::LocalFingerprint& lf,
 std::vector<Detection> CopyDetector::DetectClip(
     const std::vector<fp::LocalFingerprint>& candidate_fps,
     DetectionStats* stats) const {
+  S3VCD_TRACE_SPAN("cbcd.detect_clip");
   std::vector<CandidateEntry> entries;
   entries.reserve(candidate_fps.size());
   for (const fp::LocalFingerprint& lf : candidate_fps) {
@@ -43,8 +67,10 @@ std::vector<Detection> CopyDetector::DetectClip(
   }
   Stopwatch watch;
   const std::vector<Vote> votes = ComputeVotes(entries, options_.vote);
+  const double vote_seconds = watch.ElapsedSeconds();
+  g_vote_us->Record(vote_seconds * 1e6);
   if (stats != nullptr) {
-    stats->vote_seconds += watch.ElapsedSeconds();
+    stats->vote_seconds += vote_seconds;
   }
   std::vector<Detection> detections;
   for (const Vote& vote : votes) {
@@ -52,6 +78,7 @@ std::vector<Detection> CopyDetector::DetectClip(
       detections.push_back({vote.id, vote.offset, vote.nsim, vote.cost});
     }
   }
+  g_detections->Increment(detections.size());
   return detections;
 }
 
@@ -64,12 +91,16 @@ StreamMonitor::StreamMonitor(const CopyDetector* detector, Options options)
 }
 
 std::vector<Detection> StreamMonitor::EvaluateWindow(DetectionStats* stats) {
+  S3VCD_TRACE_SPAN("cbcd.evaluate_window");
   Stopwatch watch;
   const std::vector<CandidateEntry> window(buffer_.begin(), buffer_.end());
   const std::vector<Vote> votes =
       ComputeVotes(window, detector_->options().vote);
+  const double vote_seconds = watch.ElapsedSeconds();
+  g_windows->Increment();
+  g_vote_us->Record(vote_seconds * 1e6);
   if (stats != nullptr) {
-    stats->vote_seconds += watch.ElapsedSeconds();
+    stats->vote_seconds += vote_seconds;
   }
   std::vector<Detection> detections;
   for (const Vote& vote : votes) {
@@ -77,6 +108,7 @@ std::vector<Detection> StreamMonitor::EvaluateWindow(DetectionStats* stats) {
       detections.push_back({vote.id, vote.offset, vote.nsim, vote.cost});
     }
   }
+  g_detections->Increment(detections.size());
   return detections;
 }
 

@@ -6,10 +6,21 @@
 #include <map>
 
 #include "cbcd/tukey.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace s3vcd::cbcd {
 
 namespace {
+
+obs::Counter* const g_votes_cast =
+    obs::MetricsRegistry::Global().GetCounter("cbcd.votes_cast");
+obs::Counter* const g_cost_evals =
+    obs::MetricsRegistry::Global().GetCounter("cbcd.tukey_cost_evals");
+obs::Counter* const g_irls_iterations =
+    obs::MetricsRegistry::Global().GetCounter("cbcd.irls_iterations");
+obs::Counter* const g_hough_passes =
+    obs::MetricsRegistry::Global().GetCounter("cbcd.hough_passes");
 
 // The per-id view of the buffer: for each candidate fingerprint j that
 // matched this id, the candidate time code and the matched reference
@@ -106,6 +117,7 @@ std::vector<double> HoughSelectOffsets(const std::vector<double>& offsets,
 
 std::vector<Vote> ComputeVotes(const std::vector<CandidateEntry>& entries,
                                const VoteOptions& options) {
+  S3VCD_TRACE_SPAN("cbcd.compute_votes");
   // Regroup the buffer per identifier.
   std::map<uint32_t, PerIdEvidence> by_id;
   for (const CandidateEntry& entry : entries) {
@@ -149,6 +161,7 @@ std::vector<Vote> ComputeVotes(const std::vector<CandidateEntry>& entries,
     offsets.erase(std::unique(offsets.begin(), offsets.end()),
                   offsets.end());
     if (offsets.size() > options.hough_threshold) {
+      g_hough_passes->Increment();
       offsets = HoughSelectOffsets(offsets, evidence,
                                    std::max(1.0, options.tukey_c),
                                    options.hough_top_bins);
@@ -166,6 +179,7 @@ std::vector<Vote> ComputeVotes(const std::vector<CandidateEntry>& entries,
 
     double best_b = offsets.front();
     double best_cost = std::numeric_limits<double>::infinity();
+    g_cost_evals->Increment(offsets.size());
     for (double b : offsets) {
       const double cost = EvaluateCost(evidence, b, options.tukey_c);
       if (cost < best_cost) {
@@ -178,6 +192,7 @@ std::vector<Vote> ComputeVotes(const std::vector<CandidateEntry>& entries,
       // IRLS on the Tukey M-estimator: each candidate contributes its
       // closest reference time code, weighted by the influence function.
       for (int iter = 0; iter < options.irls_iterations; ++iter) {
+        g_irls_iterations->Increment();
         double weighted_sum = 0;
         double weight_total = 0;
         for (const auto& cand : evidence.candidates) {
@@ -213,6 +228,7 @@ std::vector<Vote> ComputeVotes(const std::vector<CandidateEntry>& entries,
         }
         best_b = next;
       }
+      g_cost_evals->Increment();
       best_cost = EvaluateCost(evidence, best_b, options.tukey_c);
     }
 
@@ -276,6 +292,7 @@ std::vector<Vote> ComputeVotes(const std::vector<CandidateEntry>& entries,
     votes.push_back(vote);
   }
 
+  g_votes_cast->Increment(votes.size());
   std::sort(votes.begin(), votes.end(), [](const Vote& a, const Vote& b) {
     if (a.nsim != b.nsim) {
       return a.nsim > b.nsim;

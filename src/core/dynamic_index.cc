@@ -2,9 +2,22 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace s3vcd::core {
+
+namespace {
+
+obs::Counter* const g_inserts =
+    obs::MetricsRegistry::Global().GetCounter("dynamic_index.inserts");
+obs::Counter* const g_compactions =
+    obs::MetricsRegistry::Global().GetCounter("dynamic_index.compactions");
+obs::Gauge* const g_pending =
+    obs::MetricsRegistry::Global().GetGauge("dynamic_index.pending_inserts");
+
+}  // namespace
 
 DynamicIndex::DynamicIndex(S3Index base) : base_(std::move(base)) {}
 
@@ -14,6 +27,8 @@ void DynamicIndex::Insert(const fp::Fingerprint& fingerprint, uint32_t id,
   buffered.record = {fingerprint, id, time_code, x, y};
   buffered.key = base_.database().EncodeFingerprint(fingerprint);
   buffer_.push_back(std::move(buffered));
+  g_inserts->Increment();
+  g_pending->Set(static_cast<int64_t>(buffer_.size()));
 }
 
 void DynamicIndex::AppendBufferMatches(
@@ -62,6 +77,7 @@ void DynamicIndex::AppendBufferMatches(
 QueryResult DynamicIndex::StatisticalQuery(const fp::Fingerprint& query,
                                            const DistortionModel& model,
                                            const QueryOptions& options) const {
+  S3VCD_TRACE_SPAN("dynamic_index.query.statistical");
   QueryResult result;
   Stopwatch watch;
   const BlockSelection selection =
@@ -77,11 +93,14 @@ QueryResult DynamicIndex::StatisticalQuery(const fp::Fingerprint& query,
   AppendBufferMatches(query, selection.ranges, options.refinement,
                       options.radius, &model, &result);
   result.stats.refine_seconds = watch.ElapsedSeconds();
+  RecordQueryMetrics(QueryKind::kStatistical, result.stats,
+                     result.matches.size());
   return result;
 }
 
 QueryResult DynamicIndex::RangeQuery(const fp::Fingerprint& query,
                                      double epsilon, int depth) const {
+  S3VCD_TRACE_SPAN("dynamic_index.query.range");
   QueryResult result;
   Stopwatch watch;
   const BlockSelection selection =
@@ -95,6 +114,7 @@ QueryResult DynamicIndex::RangeQuery(const fp::Fingerprint& query,
   AppendBufferMatches(query, selection.ranges, RefinementMode::kRadiusFilter,
                       epsilon, nullptr, &result);
   result.stats.refine_seconds = watch.ElapsedSeconds();
+  RecordQueryMetrics(QueryKind::kRange, result.stats, result.matches.size());
   return result;
 }
 
@@ -102,6 +122,7 @@ void DynamicIndex::Compact() {
   if (buffer_.empty()) {
     return;
   }
+  S3VCD_TRACE_SPAN("dynamic_index.compact");
   DatabaseBuilder builder(base_.database().order());
   for (size_t i = 0; i < base_.database().size(); ++i) {
     const FingerprintRecord& r = base_.database().record(i);
@@ -114,6 +135,8 @@ void DynamicIndex::Compact() {
   const S3IndexOptions options = base_.options();
   base_ = S3Index(builder.Build(), options);
   buffer_.clear();
+  g_compactions->Increment();
+  g_pending->Set(0);
 }
 
 }  // namespace s3vcd::core

@@ -41,6 +41,22 @@ struct QueryResult {
   QueryStats stats;
 };
 
+/// Which per-query counter a finished query bumps in the metrics registry.
+enum class QueryKind {
+  kStatistical,
+  kRange,
+  kSequentialScan,
+};
+
+/// Publishes one finished query's stats into the global metrics registry
+/// (the `index.*` counters and latency histograms — see
+/// docs/observability.md). Called by S3Index for its own queries; exposed
+/// so layered structures (DynamicIndex, PseudoDiskSearcher) publish the
+/// same per-stage counters for theirs. `hits` is the number of matches the
+/// refinement kept.
+void RecordQueryMetrics(QueryKind kind, const QueryStats& stats,
+                        uint64_t hits);
+
 /// Index construction options.
 struct S3IndexOptions {
   /// Depth of the precomputed index table mapping aligned curve prefixes to

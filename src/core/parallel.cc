@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -38,6 +39,7 @@ std::vector<QueryResult> ParallelStatisticalSearch(
     const std::vector<fp::Fingerprint>& queries, const QueryOptions& options,
     int num_threads) {
   S3VCD_CHECK(num_threads >= 1);
+  S3VCD_TRACE_SPAN("parallel.statistical_batch");
   std::vector<QueryResult> results(queries.size());
   ShardedRun(queries.size(), num_threads,
              [&](size_t first, size_t last) {
@@ -53,6 +55,7 @@ std::vector<QueryResult> ParallelRangeSearch(
     const S3Index& index, const std::vector<fp::Fingerprint>& queries,
     double epsilon, int depth, int num_threads) {
   S3VCD_CHECK(num_threads >= 1);
+  S3VCD_TRACE_SPAN("parallel.range_batch");
   std::vector<QueryResult> results(queries.size());
   ShardedRun(queries.size(), num_threads,
              [&](size_t first, size_t last) {

@@ -4,11 +4,33 @@
 #include <cmath>
 
 #include "core/database.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/io.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
 namespace s3vcd::core {
+
+namespace {
+
+obs::Counter* const g_io_ops =
+    obs::MetricsRegistry::Global().GetCounter("pseudo_disk.io_ops");
+obs::Counter* const g_bytes_read =
+    obs::MetricsRegistry::Global().GetCounter("pseudo_disk.bytes_read");
+obs::Counter* const g_sections_loaded =
+    obs::MetricsRegistry::Global().GetCounter("pseudo_disk.sections_loaded");
+obs::Counter* const g_records_loaded =
+    obs::MetricsRegistry::Global().GetCounter("pseudo_disk.records_loaded");
+obs::Counter* const g_records_scanned =
+    obs::MetricsRegistry::Global().GetCounter("pseudo_disk.records_scanned");
+obs::Counter* const g_batches =
+    obs::MetricsRegistry::Global().GetCounter("pseudo_disk.batches");
+obs::Histogram* const g_section_load_us =
+    obs::MetricsRegistry::Global().GetHistogram(
+        "pseudo_disk.section_load_us");
+
+}  // namespace
 
 PseudoDiskSearcher::PseudoDiskSearcher(std::string path,
                                        PseudoDiskOptions options, int order)
@@ -82,12 +104,14 @@ Status PseudoDiskSearcher::SearchBatch(
     const std::vector<fp::Fingerprint>& queries, const DistortionModel& model,
     std::vector<std::vector<Match>>* results,
     PseudoDiskBatchStats* stats) const {
+  S3VCD_TRACE_SPAN("pseudo_disk.search_batch");
   results->assign(queries.size(), {});
   *stats = PseudoDiskBatchStats{};
   stats->num_queries = queries.size();
   if (queries.empty()) {
     return Status::OK();
   }
+  g_batches->Increment();
 
   // Phase 1: filter every query up front (independent of the database).
   const int p = options_.query_depth;
@@ -101,17 +125,20 @@ Status PseudoDiskSearcher::SearchBatch(
   std::vector<std::vector<std::pair<uint64_t, uint64_t>>> record_ranges(
       queries.size());
   Stopwatch watch;
-  for (size_t qi = 0; qi < queries.size(); ++qi) {
-    const BlockSelection selection =
-        filter.SelectStatistical(queries[qi], model, filter_options);
-    for (const auto& [begin, end] : selection.ranges) {
-      const uint64_t pb = (begin >> shift).low64();
-      const uint64_t pe = end.is_zero() ? (offsets_.size() - 1)
-                                        : (end >> shift).low64();
-      const uint64_t rb = offsets_[pb];
-      const uint64_t re = offsets_[pe];
-      if (rb < re) {
-        record_ranges[qi].emplace_back(rb, re);
+  {
+    S3VCD_TRACE_SPAN("pseudo_disk.filter_queries");
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      const BlockSelection selection =
+          filter.SelectStatistical(queries[qi], model, filter_options);
+      for (const auto& [begin, end] : selection.ranges) {
+        const uint64_t pb = (begin >> shift).low64();
+        const uint64_t pe = end.is_zero() ? (offsets_.size() - 1)
+                                          : (end >> shift).low64();
+        const uint64_t rb = offsets_[pb];
+        const uint64_t re = offsets_[pe];
+        if (rb < re) {
+          record_ranges[qi].emplace_back(rb, re);
+        }
       }
     }
   }
@@ -151,33 +178,48 @@ Status PseudoDiskSearcher::SearchBatch(
 
     watch.Reset();
     const uint64_t n = sec_last - sec_first;
-    buffer.resize(n * internal::kRecordBytes);
-    S3VCD_RETURN_IF_ERROR(reader.Seek(
-        payload_offset_ + sec_first * internal::kRecordBytes));
-    S3VCD_RETURN_IF_ERROR(reader.ReadBytes(buffer.data(), buffer.size()));
-    stats->load_seconds += watch.ElapsedSeconds();
+    {
+      S3VCD_TRACE_SPAN("pseudo_disk.load_section");
+      buffer.resize(n * internal::kRecordBytes);
+      S3VCD_RETURN_IF_ERROR(reader.Seek(
+          payload_offset_ + sec_first * internal::kRecordBytes));
+      S3VCD_RETURN_IF_ERROR(reader.ReadBytes(buffer.data(), buffer.size()));
+    }
+    const double load_seconds = watch.ElapsedSeconds();
+    stats->load_seconds += load_seconds;
     stats->records_loaded += n;
     ++stats->sections_loaded;
+    // One Seek + one contiguous ReadBytes = one simulated IO.
+    g_io_ops->Increment();
+    g_bytes_read->Increment(buffer.size());
+    g_sections_loaded->Increment();
+    g_records_loaded->Increment(n);
+    g_section_load_us->Record(load_seconds * 1e6);
 
     watch.Reset();
-    for (size_t qi = 0; qi < queries.size(); ++qi) {
-      for (const auto& [rb, re] : record_ranges[qi]) {
-        const uint64_t lo = std::max(rb, sec_first);
-        const uint64_t hi = std::min(re, sec_last);
-        for (uint64_t i = lo; i < hi; ++i) {
-          internal::DeserializeRecord(
-              buffer.data() + (i - sec_first) * internal::kRecordBytes, &rec);
-          const double dist_sq =
-              fp::SquaredDistance(queries[qi], rec.descriptor);
-          (*results)[qi].push_back(
-              {rec.id, rec.time_code,
-               static_cast<float>(std::sqrt(dist_sq)), rec.x, rec.y});
-          ++stats->records_scanned;
+    {
+      S3VCD_TRACE_SPAN("pseudo_disk.refine_section");
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        for (const auto& [rb, re] : record_ranges[qi]) {
+          const uint64_t lo = std::max(rb, sec_first);
+          const uint64_t hi = std::min(re, sec_last);
+          for (uint64_t i = lo; i < hi; ++i) {
+            internal::DeserializeRecord(
+                buffer.data() + (i - sec_first) * internal::kRecordBytes,
+                &rec);
+            const double dist_sq =
+                fp::SquaredDistance(queries[qi], rec.descriptor);
+            (*results)[qi].push_back(
+                {rec.id, rec.time_code,
+                 static_cast<float>(std::sqrt(dist_sq)), rec.x, rec.y});
+            ++stats->records_scanned;
+          }
         }
       }
     }
     stats->refine_seconds += watch.ElapsedSeconds();
   }
+  g_records_scanned->Increment(stats->records_scanned);
   return reader.Close();
 }
 

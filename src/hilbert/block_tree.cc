@@ -1,5 +1,6 @@
 #include "hilbert/block_tree.h"
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace s3vcd::hilbert {
@@ -8,6 +9,16 @@ using internal::EntryPoint;
 using internal::GrayCode;
 using internal::IntraDirection;
 using internal::RotateLeft;
+
+namespace {
+
+// One increment per Split keeps the whole-tree traversal volume visible
+// (filters also report nodes_visited per query; this counter aggregates
+// across every traversal in the process, including tuning sweeps).
+obs::Counter* const g_splits =
+    obs::MetricsRegistry::Global().GetCounter("hilbert.block_tree.splits");
+
+}  // namespace
 
 BlockTree::Node BlockTree::Root() const {
   Node root;
@@ -24,6 +35,7 @@ void BlockTree::Split(const Node& node, Node* child0, Node* child1) const {
   const int dims = curve_->dims();
   const int order = curve_->order();
   S3VCD_DCHECK(node.depth < max_depth());
+  g_splits->Increment();
 
   for (int b = 0; b < 2; ++b) {
     Node* child = (b == 0) ? child0 : child1;

@@ -1,0 +1,129 @@
+#ifndef S3VCD_OBS_LOG_H_
+#define S3VCD_OBS_LOG_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "obs/thread_id.h"
+
+// Leveled logger with a compile-time minimum level. Header-only on purpose:
+// it sits below every library in the stack (util/logging.h routes CHECK
+// failures through the FATAL path), so it must not introduce a link-time
+// dependency of s3vcd_util on the obs library.
+//
+//   S3VCD_LOG(INFO) << "loaded " << n << " records";
+//   S3VCD_LOG(ERROR) << "checksum mismatch in " << path;
+//
+// Lines go to stderr as:  I 12:34:56.789012 t03 file.cc:42] message
+// Levels below S3VCD_MIN_LOG_LEVEL compile to nothing (the stream operands
+// are never evaluated). FATAL messages abort after printing.
+
+namespace s3vcd::obs {
+
+enum class LogLevel : int {
+  kDEBUG = 0,
+  kINFO = 1,
+  kWARN = 2,
+  kERROR = 3,
+  kFATAL = 4,
+};
+
+#ifndef S3VCD_MIN_LOG_LEVEL
+#define S3VCD_MIN_LOG_LEVEL 1 /* INFO */
+#endif
+
+inline constexpr int kMinLogLevel = S3VCD_MIN_LOG_LEVEL;
+
+inline char LogLevelLetter(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDEBUG:
+      return 'D';
+    case LogLevel::kINFO:
+      return 'I';
+    case LogLevel::kWARN:
+      return 'W';
+    case LogLevel::kERROR:
+      return 'E';
+    case LogLevel::kFATAL:
+      return 'F';
+  }
+  return '?';
+}
+
+/// One log line; the destructor formats and writes it atomically (single
+/// fwrite) so concurrent threads do not interleave partial lines.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    using namespace std::chrono;
+    const auto now = system_clock::now();
+    const auto since_epoch = now.time_since_epoch();
+    const auto secs = duration_cast<seconds>(since_epoch);
+    const auto micros = duration_cast<microseconds>(since_epoch - secs);
+    const std::time_t t = system_clock::to_time_t(now);
+    std::tm tm_buf{};
+#if defined(_WIN32)
+    localtime_s(&tm_buf, &t);
+#else
+    localtime_r(&t, &tm_buf);
+#endif
+    // Strip the directory part of __FILE__ for compact lines.
+    const char* base = file;
+    for (const char* p = file; *p != '\0'; ++p) {
+      if (*p == '/') {
+        base = p + 1;
+      }
+    }
+    char prefix[96];
+    std::snprintf(prefix, sizeof(prefix),
+                  "%c %02d:%02d:%02d.%06d t%02d %s:%d] ",
+                  LogLevelLetter(level), tm_buf.tm_hour, tm_buf.tm_min,
+                  tm_buf.tm_sec, static_cast<int>(micros.count()),
+                  SmallThreadId(), base, line);
+    stream_ << prefix;
+  }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  ~LogMessage() {
+    stream_ << '\n';
+    const std::string line = stream_.str();
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
+    if (level_ == LogLevel::kFATAL) {
+      std::abort();
+    }
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+  LogLevel level_;
+};
+
+namespace log_internal {
+
+/// Lets the macro's ternary discard the stream expression with type void.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace log_internal
+}  // namespace s3vcd::obs
+
+#define S3VCD_LOG(severity)                                                  \
+  (static_cast<int>(::s3vcd::obs::LogLevel::k##severity) <                   \
+   ::s3vcd::obs::kMinLogLevel)                                               \
+      ? (void)0                                                              \
+      : ::s3vcd::obs::log_internal::Voidify() &                              \
+            ::s3vcd::obs::LogMessage(::s3vcd::obs::LogLevel::k##severity,    \
+                                     __FILE__, __LINE__)                     \
+                .stream()
+
+#endif  // S3VCD_OBS_LOG_H_

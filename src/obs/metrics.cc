@@ -1,0 +1,126 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/table.h"
+
+namespace s3vcd::obs {
+
+namespace {
+
+// Shortest-ish round-trippable double for JSON (never inf/nan: callers
+// sanitize extrema of empty histograms before formatting).
+std::string FormatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+}  // namespace
+
+double MetricsSnapshot::HistogramValue::Percentile(double p) const {
+  if (count == 0) {
+    return 0;
+  }
+  const double target = p * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= target && counts[i] > 0) {
+      // Overflow bucket: the observed max is the only finite bound.
+      return i < bounds.size() ? bounds[i] : max;
+    }
+  }
+  return max;
+}
+
+uint64_t MetricsSnapshot::CounterOr0(std::string_view name) const {
+  for (const CounterValue& c : counters) {
+    if (c.name == name) {
+      return c.value;
+    }
+  }
+  return 0;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + counters[i].name +
+           "\": " + std::to_string(counters[i].value);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + gauges[i].name +
+           "\": " + std::to_string(gauges[i].value);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramValue& h = histograms[i];
+    const bool empty = h.count == 0;
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + h.name + "\": {";
+    out += "\"count\": " + std::to_string(h.count);
+    out += ", \"sum\": " + FormatDouble(h.sum);
+    out += ", \"min\": " + FormatDouble(empty ? 0 : h.min);
+    out += ", \"max\": " + FormatDouble(empty ? 0 : h.max);
+    out += ", \"mean\": " + FormatDouble(h.Mean());
+    out += ", \"p50\": " + FormatDouble(h.Percentile(0.5));
+    out += ", \"p90\": " + FormatDouble(h.Percentile(0.9));
+    out += ", \"p99\": " + FormatDouble(h.Percentile(0.99));
+    out += ", \"bounds\": [";
+    for (size_t j = 0; j < h.bounds.size(); ++j) {
+      if (j > 0) {
+        out += ", ";
+      }
+      out += FormatDouble(h.bounds[j]);
+    }
+    out += "], \"bucket_counts\": [";
+    for (size_t j = 0; j < h.counts.size(); ++j) {
+      if (j > 0) {
+        out += ", ";
+      }
+      out += std::to_string(h.counts[j]);
+    }
+    out += "]}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  if (!counters.empty() || !gauges.empty()) {
+    Table table({"metric", "value"});
+    for (const CounterValue& c : counters) {
+      table.AddRow().Add(c.name).Add(c.value);
+    }
+    for (const GaugeValue& g : gauges) {
+      table.AddRow().Add(g.name).Add(g.value);
+    }
+    out += table.ToText();
+  }
+  if (!histograms.empty()) {
+    Table table({"histogram", "count", "mean", "p50", "p90", "p99", "max"});
+    for (const HistogramValue& h : histograms) {
+      table.AddRow()
+          .Add(h.name)
+          .Add(h.count)
+          .Add(h.Mean(), 4)
+          .Add(h.Percentile(0.5), 4)
+          .Add(h.Percentile(0.9), 4)
+          .Add(h.Percentile(0.99), 4)
+          .Add(h.count == 0 ? 0.0 : h.max, 4);
+    }
+    if (!out.empty()) {
+      out += "\n";
+    }
+    out += table.ToText();
+  }
+  return out;
+}
+
+}  // namespace s3vcd::obs

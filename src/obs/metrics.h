@@ -1,0 +1,391 @@
+#ifndef S3VCD_OBS_METRICS_H_
+#define S3VCD_OBS_METRICS_H_
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <mutex>
+#include <vector>
+
+#include "obs/thread_id.h"
+
+// Process-wide metrics registry: monotonic counters, instantaneous gauges
+// and fixed-bucket value/latency histograms, all safe for concurrent use.
+//
+// Hot-path writes are sharded: every metric keeps kNumShards cache-line
+// padded atomic cells and a thread writes only the cell selected by its
+// SmallThreadId, so increments from the per-descriptor query loop never
+// contend on one cache line. Reads (Snapshot) sum the shards; they are
+// exact for quiescent metrics and monotone under concurrent writers.
+//
+// Handles returned by the registry are stable for the process lifetime;
+// the intended call-site pattern hoists the name lookup out of hot loops:
+//
+//   namespace {
+//   obs::Counter* const g_records_scanned =
+//       obs::MetricsRegistry::Global().GetCounter("index.records_scanned");
+//   }
+//   ...
+//   g_records_scanned->Increment(n);
+//
+// Naming scheme (see docs/observability.md): "subsystem.noun", lowercase,
+// dot-separated; histograms carry a unit suffix ("_us").
+
+namespace s3vcd::obs {
+
+inline constexpr int kNumShards = 16;
+
+namespace metrics_internal {
+
+inline int ShardIndex() { return SmallThreadId() & (kNumShards - 1); }
+
+/// A cache-line padded atomic cell; one per shard per metric.
+struct alignas(64) ShardCell {
+  std::atomic<uint64_t> value{0};
+};
+
+/// Doubles stored as bit patterns in atomic<uint64_t> so the accumulation
+/// works on toolchains without lock-free std::atomic<double> RMW.
+inline double LoadDouble(const std::atomic<uint64_t>& bits) {
+  return std::bit_cast<double>(bits.load(std::memory_order_relaxed));
+}
+
+inline void StoreDouble(std::atomic<uint64_t>& bits, double v) {
+  bits.store(std::bit_cast<uint64_t>(v), std::memory_order_relaxed);
+}
+
+inline void AtomicDoubleAdd(std::atomic<uint64_t>& bits, double v) {
+  uint64_t expected = bits.load(std::memory_order_relaxed);
+  while (!bits.compare_exchange_weak(
+      expected, std::bit_cast<uint64_t>(std::bit_cast<double>(expected) + v),
+      std::memory_order_relaxed)) {
+  }
+}
+
+inline void AtomicDoubleMin(std::atomic<uint64_t>& bits, double v) {
+  uint64_t expected = bits.load(std::memory_order_relaxed);
+  while (std::bit_cast<double>(expected) > v &&
+         !bits.compare_exchange_weak(expected, std::bit_cast<uint64_t>(v),
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+inline void AtomicDoubleMax(std::atomic<uint64_t>& bits, double v) {
+  uint64_t expected = bits.load(std::memory_order_relaxed);
+  while (std::bit_cast<double>(expected) < v &&
+         !bits.compare_exchange_weak(expected, std::bit_cast<uint64_t>(v),
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace metrics_internal
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void Increment(uint64_t n = 1) {
+    cells_[metrics_internal::ShardIndex()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (auto& cell : cells_) {
+      cell.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  metrics_internal::ShardCell cells_[kNumShards];
+};
+
+/// Instantaneous signed value (queue depths, buffer sizes). Unsharded:
+/// gauges are set/adjusted at structural events, not in per-record loops.
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Subtract(int64_t n) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: bucket i counts values v <= bounds[i] (first
+/// matching bound); one extra overflow bucket catches the rest. Bucket
+/// counts and the count/sum accumulators are sharded like Counter.
+class Histogram {
+ public:
+  Histogram(std::string name, std::vector<double> bounds)
+      : name_(std::move(name)), bounds_(std::move(bounds)) {
+    const size_t buckets = bounds_.size() + 1;
+    for (auto& shard : shards_) {
+      shard.counts = std::make_unique<std::atomic<uint64_t>[]>(buckets);
+      for (size_t i = 0; i < buckets; ++i) {
+        shard.counts[i].store(0, std::memory_order_relaxed);
+      }
+    }
+    ResetExtrema();
+  }
+
+  void Record(double v) {
+    const size_t bucket = static_cast<size_t>(
+        std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+        bounds_.begin());
+    Shard& shard = shards_[metrics_internal::ShardIndex()];
+    shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+    shard.count.value.fetch_add(1, std::memory_order_relaxed);
+    metrics_internal::AtomicDoubleAdd(shard.sum_bits.value, v);
+    metrics_internal::AtomicDoubleMin(min_bits_, v);
+    metrics_internal::AtomicDoubleMax(max_bits_, v);
+  }
+
+  uint64_t Count() const {
+    uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard.count.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  double Sum() const {
+    double total = 0;
+    for (const auto& shard : shards_) {
+      total += metrics_internal::LoadDouble(shard.sum_bits.value);
+    }
+    return total;
+  }
+
+  /// Bucket counts summed over shards; size bounds().size() + 1.
+  std::vector<uint64_t> BucketCounts() const {
+    std::vector<uint64_t> counts(bounds_.size() + 1, 0);
+    for (const auto& shard : shards_) {
+      for (size_t i = 0; i < counts.size(); ++i) {
+        counts[i] += shard.counts[i].load(std::memory_order_relaxed);
+      }
+    }
+    return counts;
+  }
+
+  double Min() const { return metrics_internal::LoadDouble(min_bits_); }
+  double Max() const { return metrics_internal::LoadDouble(max_bits_); }
+
+  void Reset() {
+    for (auto& shard : shards_) {
+      for (size_t i = 0; i < bounds_.size() + 1; ++i) {
+        shard.counts[i].store(0, std::memory_order_relaxed);
+      }
+      shard.count.value.store(0, std::memory_order_relaxed);
+      metrics_internal::StoreDouble(shard.sum_bits.value, 0);
+    }
+    ResetExtrema();
+  }
+
+  const std::string& name() const { return name_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  struct Shard {
+    std::unique_ptr<std::atomic<uint64_t>[]> counts;
+    metrics_internal::ShardCell count;
+    metrics_internal::ShardCell sum_bits;  ///< double bits
+  };
+
+  void ResetExtrema() {
+    metrics_internal::StoreDouble(min_bits_,
+                                  std::numeric_limits<double>::infinity());
+    metrics_internal::StoreDouble(max_bits_,
+                                  -std::numeric_limits<double>::infinity());
+  }
+
+  std::string name_;
+  std::vector<double> bounds_;
+  Shard shards_[kNumShards];
+  std::atomic<uint64_t> min_bits_;
+  std::atomic<uint64_t> max_bits_;
+};
+
+/// Roughly logarithmic microsecond buckets, 1us .. 1s; the default for
+/// latency histograms.
+inline std::vector<double> DefaultLatencyBucketsUs() {
+  return {1,    2,    5,    10,   20,   50,   100,  200,  500, 1e3,
+          2e3,  5e3,  1e4,  2e4,  5e4,  1e5,  2e5,  5e5,  1e6};
+}
+
+/// Point-in-time view of every registered metric; see metrics.cc for the
+/// JSON / table renderings.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    int64_t value = 0;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<uint64_t> counts;  ///< bounds.size() + 1 entries
+    uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+
+    double Mean() const { return count == 0 ? 0.0 : sum / count; }
+    /// Upper bound of the bucket containing the p-quantile (p in [0, 1]).
+    double Percentile(double p) const;
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// Value of a counter by name; 0 when absent (snapshots are dense over
+  /// everything registered, so absent means never created).
+  uint64_t CounterOr0(std::string_view name) const;
+
+  /// One JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}}.
+  std::string ToJson() const;
+
+  /// Aligned tables (util/table.h) for human consumption.
+  std::string ToText() const;
+};
+
+/// Name -> metric map. Registration locks; recording never does.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global() {
+    static MetricsRegistry* registry = new MetricsRegistry();
+    return *registry;
+  }
+
+  Counter* GetCounter(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = counters_[std::string(name)];
+    if (slot == nullptr) {
+      slot = std::make_unique<Counter>(std::string(name));
+    }
+    return slot.get();
+  }
+
+  Gauge* GetGauge(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = gauges_[std::string(name)];
+    if (slot == nullptr) {
+      slot = std::make_unique<Gauge>(std::string(name));
+    }
+    return slot.get();
+  }
+
+  /// Creates with the given bounds on first use; later calls return the
+  /// existing histogram regardless of `bounds`.
+  Histogram* GetHistogram(std::string_view name,
+                          std::vector<double> bounds = {}) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = histograms_[std::string(name)];
+    if (slot == nullptr) {
+      if (bounds.empty()) {
+        bounds = DefaultLatencyBucketsUs();
+      }
+      slot = std::make_unique<Histogram>(std::string(name),
+                                         std::move(bounds));
+    }
+    return slot.get();
+  }
+
+  MetricsSnapshot Snapshot() const {
+    MetricsSnapshot snapshot;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, counter] : counters_) {
+      snapshot.counters.push_back({name, counter->Value()});
+    }
+    for (const auto& [name, gauge] : gauges_) {
+      snapshot.gauges.push_back({name, gauge->Value()});
+    }
+    for (const auto& [name, histogram] : histograms_) {
+      snapshot.histograms.push_back({name, histogram->bounds(),
+                                     histogram->BucketCounts(),
+                                     histogram->Count(), histogram->Sum(),
+                                     histogram->Min(), histogram->Max()});
+    }
+    return snapshot;
+  }
+
+  /// Zeroes every metric (registrations and handles stay valid). Meant for
+  /// tools/tests bracketing a measured run; concurrent writers during the
+  /// reset land in either the old or new epoch.
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, counter] : counters_) {
+      counter->Reset();
+    }
+    for (const auto& [name, gauge] : gauges_) {
+      gauge->Reset();
+    }
+    for (const auto& [name, histogram] : histograms_) {
+      histogram->Reset();
+    }
+  }
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Records the elapsed time of a scope into a latency histogram, in
+/// microseconds.
+class ScopedLatencyUs {
+ public:
+  explicit ScopedLatencyUs(Histogram* histogram)
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+
+  ScopedLatencyUs(const ScopedLatencyUs&) = delete;
+  ScopedLatencyUs& operator=(const ScopedLatencyUs&) = delete;
+
+  ~ScopedLatencyUs() {
+    histogram_->Record(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace s3vcd::obs
+
+#endif  // S3VCD_OBS_METRICS_H_

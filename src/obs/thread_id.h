@@ -1,0 +1,20 @@
+#ifndef S3VCD_OBS_THREAD_ID_H_
+#define S3VCD_OBS_THREAD_ID_H_
+
+#include <atomic>
+
+namespace s3vcd::obs {
+
+/// Dense per-thread identifier, assigned on first use in thread creation
+/// order. Shared by the logger (log lines), the metrics registry (shard
+/// selection) and the tracer (per-thread event buffers), so the ids agree
+/// across all three outputs.
+inline int SmallThreadId() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace s3vcd::obs
+
+#endif  // S3VCD_OBS_THREAD_ID_H_

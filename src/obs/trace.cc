@@ -1,0 +1,72 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace s3vcd::obs {
+
+namespace {
+
+// Span names are string literals under our control, but keep the export
+// valid JSON even if one ever carries a quote or backslash.
+std::string EscapeJson(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') {
+      out += '\\';
+    }
+    out += *s;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<TraceEvent> TraceRecorder::Collect() const {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      events.insert(events.end(), buffer->events.begin(),
+                    buffer->events.end());
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_ns < b.start_ns;
+            });
+  return events;
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  const std::vector<TraceEvent> events = Collect();
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  char buf[128];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out += i == 0 ? "\n" : ",\n";
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\": \"X\", \"pid\": 1, \"tid\": %d, \"ts\": %.3f, "
+                  "\"dur\": %.3f, \"name\": \"",
+                  e.tid, static_cast<double>(e.start_ns) / 1e3,
+                  static_cast<double>(e.end_ns - e.start_ns) / 1e3);
+    out += buf;
+    out += EscapeJson(e.name);
+    out += "\"}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool TraceRecorder::WriteChromeJsonFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::string json = ToChromeJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace s3vcd::obs

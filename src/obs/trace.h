@@ -1,0 +1,167 @@
+#ifndef S3VCD_OBS_TRACE_H_
+#define S3VCD_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/thread_id.h"
+
+// Scoped trace spans on per-thread ring buffers, exportable as Chrome
+// trace-event JSON (open chrome://tracing or https://ui.perfetto.dev and
+// load the file).
+//
+//   obs::TraceRecorder::Global().Enable();
+//   { S3VCD_TRACE_SPAN("index.query"); ... }    // one complete event
+//   obs::TraceRecorder::Global().WriteChromeJsonFile("trace.json");
+//
+// Tracing is off by default: a disabled S3VCD_TRACE_SPAN costs one relaxed
+// atomic load and no clock reads. When enabled, each span performs two
+// steady_clock reads and one short uncontended lock on its own thread's
+// buffer. Span names must be string literals (the recorder stores the
+// pointer, not a copy). Buffers are rings: once a thread has recorded
+// `capacity` spans, new spans overwrite its oldest ones.
+
+namespace s3vcd::obs {
+
+/// One completed span. Times are nanoseconds since the recorder's process
+/// epoch (first use of the clock).
+struct TraceEvent {
+  const char* name = nullptr;
+  int tid = 0;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+};
+
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global() {
+    static TraceRecorder* recorder = new TraceRecorder();
+    return *recorder;
+  }
+
+  /// Nanoseconds since the process trace epoch.
+  static uint64_t NowNanos() {
+    static const std::chrono::steady_clock::time_point epoch =
+        std::chrono::steady_clock::now();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch)
+            .count());
+  }
+
+  /// Starts recording. `capacity_per_thread` bounds memory: each thread
+  /// that records spans owns one ring of that many events.
+  void Enable(size_t capacity_per_thread = 1 << 16) {
+    capacity_.store(capacity_per_thread, std::memory_order_relaxed);
+    enabled_.store(true, std::memory_order_release);
+  }
+
+  /// Stops recording; already-recorded events stay collectable.
+  void Disable() { enabled_.store(false, std::memory_order_release); }
+
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+  /// Discards every recorded event (buffers stay registered).
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      buffer->events.clear();
+      buffer->next = 0;
+    }
+  }
+
+  void Record(const char* name, uint64_t start_ns, uint64_t end_ns) {
+    ThreadBuffer* buffer = LocalBuffer();
+    const size_t capacity = capacity_.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    const TraceEvent event{name, buffer->tid, start_ns, end_ns};
+    if (buffer->events.size() < capacity) {
+      buffer->events.push_back(event);
+    } else {
+      // Ring wrap: overwrite the oldest slot.
+      buffer->events[buffer->next % capacity] = event;
+    }
+    ++buffer->next;
+  }
+
+  /// All recorded events, merged across threads, sorted by start time.
+  std::vector<TraceEvent> Collect() const;
+
+  /// Chrome trace-event JSON ("X" complete events, ts/dur in microseconds).
+  std::string ToChromeJson() const;
+
+  /// Writes ToChromeJson() to `path`; returns false on I/O failure.
+  bool WriteChromeJsonFile(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mutex;
+    std::vector<TraceEvent> events;
+    size_t next = 0;  ///< total spans recorded; next % capacity = oldest
+    int tid = 0;
+  };
+
+  TraceRecorder() = default;
+
+  ThreadBuffer* LocalBuffer() {
+    thread_local ThreadBuffer* buffer = nullptr;
+    if (buffer == nullptr) {
+      auto owned = std::make_unique<ThreadBuffer>();
+      owned->tid = SmallThreadId();
+      buffer = owned.get();
+      std::lock_guard<std::mutex> lock(mutex_);
+      buffers_.push_back(std::move(owned));
+    }
+    return buffer;
+  }
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<size_t> capacity_{1 << 16};
+  mutable std::mutex mutex_;
+  /// Owned forever (threads may die while their events are still wanted).
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span: samples the clock on construction and records on
+/// destruction. Spans started while tracing is disabled record nothing,
+/// even if tracing is enabled before they close.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name)
+      : name_(TraceRecorder::Global().enabled() ? name : nullptr),
+        start_ns_(name_ != nullptr ? TraceRecorder::NowNanos() : 0) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (name_ != nullptr) {
+      TraceRecorder::Global().Record(name_, start_ns_,
+                                     TraceRecorder::NowNanos());
+    }
+  }
+
+ private:
+  const char* name_;
+  uint64_t start_ns_;
+};
+
+}  // namespace s3vcd::obs
+
+#define S3VCD_TRACE_CONCAT_INNER_(a, b) a##b
+#define S3VCD_TRACE_CONCAT_(a, b) S3VCD_TRACE_CONCAT_INNER_(a, b)
+
+/// Opens a span covering the rest of the enclosing scope. `name` must be a
+/// string literal, conventionally "subsystem.stage" (see
+/// docs/observability.md).
+#define S3VCD_TRACE_SPAN(name)               \
+  ::s3vcd::obs::ScopedSpan S3VCD_TRACE_CONCAT_(s3vcd_trace_span_, \
+                                               __COUNTER__)(name)
+
+#endif  // S3VCD_OBS_TRACE_H_

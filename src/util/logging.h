@@ -1,14 +1,32 @@
 #ifndef S3VCD_UTIL_LOGGING_H_
 #define S3VCD_UTIL_LOGGING_H_
 
-#include <cstdio>
 #include <cstdlib>
+
+#include "obs/log.h"
+#include "util/status.h"
 
 namespace s3vcd::internal {
 
+/// CHECK failures go through the obs logger's FATAL path so they carry a
+/// timestamp, thread id and source location like every other log line.
 [[noreturn]] inline void CheckFailed(const char* file, int line,
                                      const char* expr) {
-  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  {
+    obs::LogMessage message(obs::LogLevel::kFATAL, file, line);
+    message.stream() << "CHECK failed: " << expr;
+  }  // the FATAL LogMessage aborts in its destructor
+  std::abort();
+}
+
+[[noreturn]] inline void CheckOkFailed(const char* file, int line,
+                                       const char* expr,
+                                       const Status& status) {
+  {
+    obs::LogMessage message(obs::LogLevel::kFATAL, file, line);
+    message.stream() << "CHECK_OK failed: " << expr << " -> "
+                     << status.ToString();
+  }
   std::abort();
 }
 
@@ -22,6 +40,17 @@ namespace s3vcd::internal {
     if (!(expr)) {                                                 \
       ::s3vcd::internal::CheckFailed(__FILE__, __LINE__, #expr);   \
     }                                                              \
+  } while (false)
+
+/// Aborts when a Status-returning expression fails, logging the status.
+/// For call sites where an error is a programming bug, not an I/O outcome.
+#define S3VCD_CHECK_OK(expr)                                          \
+  do {                                                                \
+    const ::s3vcd::Status s3vcd_check_ok_status_ = (expr);            \
+    if (!s3vcd_check_ok_status_.ok()) {                               \
+      ::s3vcd::internal::CheckOkFailed(__FILE__, __LINE__, #expr,     \
+                                       s3vcd_check_ok_status_);       \
+    }                                                                 \
   } while (false)
 
 /// Debug-only check for hot paths.

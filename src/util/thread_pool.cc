@@ -1,8 +1,21 @@
 #include "util/thread_pool.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace s3vcd {
+
+namespace {
+
+obs::Gauge* const g_queue_depth =
+    obs::MetricsRegistry::Global().GetGauge("thread_pool.queue_depth");
+obs::Counter* const g_tasks_completed =
+    obs::MetricsRegistry::Global().GetCounter("thread_pool.tasks_completed");
+obs::Histogram* const g_task_us =
+    obs::MetricsRegistry::Global().GetHistogram("thread_pool.task_us");
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   S3VCD_CHECK(num_threads >= 1);
@@ -29,6 +42,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     S3VCD_CHECK(!shutdown_);
     queue_.push_back(std::move(task));
     ++in_flight_;
+    g_queue_depth->Set(static_cast<int64_t>(queue_.size()));
   }
   work_available_.notify_one();
 }
@@ -50,8 +64,14 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+      g_queue_depth->Set(static_cast<int64_t>(queue_.size()));
     }
-    task();
+    {
+      S3VCD_TRACE_SPAN("thread_pool.task");
+      obs::ScopedLatencyUs latency(g_task_us);
+      task();
+    }
+    g_tasks_completed->Increment();
     {
       std::unique_lock<std::mutex> lock(mutex_);
       if (--in_flight_ == 0) {

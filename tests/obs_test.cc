@@ -1,0 +1,358 @@
+// Tests for the observability layer (src/obs/): metric exactness under
+// concurrency, histogram bucket semantics, snapshot-while-writing safety,
+// trace JSON well-formedness, and the S3VCD_CHECK_OK helper.
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/distortion_model.h"
+#include "core/index.h"
+#include "core/synthetic_db.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace s3vcd::obs {
+namespace {
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  Counter counter("test.concurrent");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        counter.Increment();
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+}
+
+TEST(CounterTest, IncrementByNAndReset) {
+  Counter counter("test.by_n");
+  counter.Increment(5);
+  counter.Increment(7);
+  EXPECT_EQ(counter.Value(), 12u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(GaugeTest, SetAddSubtract) {
+  Gauge gauge("test.gauge");
+  gauge.Set(10);
+  gauge.Add(5);
+  gauge.Subtract(3);
+  EXPECT_EQ(gauge.Value(), 12);
+  gauge.Set(-4);
+  EXPECT_EQ(gauge.Value(), -4);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  // Bucket i counts v <= bounds[i]; the last bucket is overflow.
+  Histogram histogram("test.buckets", {1.0, 2.0, 4.0});
+  histogram.Record(0.5);   // <= 1 -> bucket 0
+  histogram.Record(1.0);   // <= 1 -> bucket 0 (inclusive)
+  histogram.Record(1.5);   // <= 2 -> bucket 1
+  histogram.Record(4.0);   // <= 4 -> bucket 2
+  histogram.Record(4.01);  // overflow
+  const std::vector<uint64_t> counts = histogram.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(histogram.Count(), 5u);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 0.5 + 1.0 + 1.5 + 4.0 + 4.01);
+  EXPECT_DOUBLE_EQ(histogram.Min(), 0.5);
+  EXPECT_DOUBLE_EQ(histogram.Max(), 4.01);
+}
+
+TEST(HistogramTest, ConcurrentRecordsCountExactly) {
+  Histogram histogram("test.concurrent_hist", {10.0, 100.0});
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.Record(static_cast<double>(t));
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(histogram.Count(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  const std::vector<uint64_t> counts = histogram.BucketCounts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], histogram.Count());  // all values <= 10
+}
+
+TEST(SnapshotTest, PercentileWalksBuckets) {
+  Histogram histogram("test.pct", {1.0, 2.0, 4.0});
+  for (int i = 0; i < 90; ++i) {
+    histogram.Record(0.5);
+  }
+  for (int i = 0; i < 10; ++i) {
+    histogram.Record(3.0);
+  }
+  MetricsSnapshot::HistogramValue value{
+      histogram.name(),  histogram.bounds(), histogram.BucketCounts(),
+      histogram.Count(), histogram.Sum(),    histogram.Min(),
+      histogram.Max()};
+  EXPECT_DOUBLE_EQ(value.Percentile(0.5), 1.0);   // inside bucket 0
+  EXPECT_DOUBLE_EQ(value.Percentile(0.95), 4.0);  // inside bucket 2
+  EXPECT_NEAR(value.Mean(), (90 * 0.5 + 10 * 3.0) / 100.0, 1e-12);
+}
+
+TEST(SnapshotTest, SnapshotWhileWritingIsSafeAndMonotone) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+  Counter* counter = registry.GetCounter("test.snapshot_race");
+  constexpr uint64_t kTotal = 400000;
+  std::atomic<bool> done{false};
+  std::thread writer([counter] {
+    for (uint64_t i = 0; i < kTotal; ++i) {
+      counter->Increment();
+    }
+  });
+  uint64_t last = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    const MetricsSnapshot snapshot = registry.Snapshot();
+    const uint64_t now = snapshot.CounterOr0("test.snapshot_race");
+    EXPECT_GE(now, last);
+    EXPECT_LE(now, kTotal);
+    last = now;
+    if (now == kTotal) {
+      done.store(true, std::memory_order_release);
+    }
+  }
+  writer.join();
+  EXPECT_EQ(registry.Snapshot().CounterOr0("test.snapshot_race"), kTotal);
+  registry.Reset();
+}
+
+TEST(SnapshotTest, JsonContainsRegisteredMetrics) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+  registry.GetCounter("test.json_counter")->Increment(3);
+  registry.GetGauge("test.json_gauge")->Set(-7);
+  registry.GetHistogram("test.json_hist", {1.0, 10.0})->Record(5.0);
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_counter\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_gauge\": -7"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_hist\""), std::string::npos);
+  registry.Reset();
+}
+
+// Braces/brackets balanced outside strings, and quotes balanced: cheap
+// structural well-formedness without a JSON parser dependency.
+void ExpectBalancedJson(const std::string& json) {
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+        ++braces;
+        break;
+      case '}':
+        --braces;
+        EXPECT_GE(braces, 0);
+        break;
+      case '[':
+        ++brackets;
+        break;
+      case ']':
+        --brackets;
+        EXPECT_GE(brackets, 0);
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(SnapshotTest, JsonIsStructurallyWellFormed) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+  registry.GetCounter("test.wf_counter")->Increment();
+  registry.GetHistogram("test.wf_hist")->Record(123.0);
+  ExpectBalancedJson(registry.Snapshot().ToJson());
+  registry.Reset();
+}
+
+TEST(TraceTest, SpansAppearInChromeJson) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  recorder.Enable();
+  {
+    S3VCD_TRACE_SPAN("test.outer");
+    S3VCD_TRACE_SPAN("test.inner");
+  }
+  recorder.Disable();
+  const std::vector<TraceEvent> events = recorder.Collect();
+  ASSERT_GE(events.size(), 2u);
+  const std::string json = recorder.ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  ExpectBalancedJson(json);
+  recorder.Clear();
+}
+
+TEST(TraceTest, EventsAreSortedAndDurationsNonNegative) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  recorder.Enable();
+  for (int i = 0; i < 10; ++i) {
+    S3VCD_TRACE_SPAN("test.sorted");
+  }
+  recorder.Disable();
+  const std::vector<TraceEvent> events = recorder.Collect();
+  ASSERT_EQ(events.size(), 10u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_LE(events[i].start_ns, events[i].end_ns);
+    if (i > 0) {
+      EXPECT_GE(events[i].start_ns, events[i - 1].start_ns);
+    }
+  }
+  recorder.Clear();
+}
+
+TEST(TraceTest, RingOverwritesOldestEvents) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  recorder.Enable(/*capacity_per_thread=*/8);
+  for (int i = 0; i < 100; ++i) {
+    S3VCD_TRACE_SPAN("test.ring");
+  }
+  recorder.Disable();
+  EXPECT_LE(recorder.Collect().size(), 8u);
+  recorder.Clear();
+  recorder.Enable();  // restore the default capacity for later tests
+  recorder.Disable();
+}
+
+TEST(TraceTest, DisabledSpansRecordNothing) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  recorder.Disable();
+  {
+    S3VCD_TRACE_SPAN("test.disabled");
+  }
+  EXPECT_TRUE(recorder.Collect().empty());
+}
+
+TEST(TraceTest, ConcurrentSpansFromManyThreadsAllCollected) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  recorder.Enable();
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        S3VCD_TRACE_SPAN("test.mt");
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  recorder.Disable();
+  EXPECT_EQ(recorder.Collect().size(),
+            static_cast<size_t>(kThreads) * kSpansPerThread);
+  recorder.Clear();
+}
+
+TEST(CheckOkTest, OkStatusPasses) {
+  S3VCD_CHECK_OK(Status::OK());  // must not abort
+}
+
+TEST(CheckOkDeathTest, NonOkStatusAborts) {
+  EXPECT_DEATH(S3VCD_CHECK_OK(Status::InvalidArgument("bad arg")),
+               "bad arg");
+}
+
+// The acceptance contract of the metrics layer: the global index.*
+// counters record exactly what the per-query QueryStats report.
+TEST(QueryMetricsParityTest, CountersMatchQueryStats) {
+  Rng rng(42);
+  core::DatabaseBuilder builder;
+  for (int i = 0; i < 5000; ++i) {
+    builder.Add(core::UniformRandomFingerprint(&rng),
+                static_cast<uint32_t>(i % 10), static_cast<uint32_t>(i));
+  }
+  const core::S3Index index(builder.Build());
+  const core::GaussianDistortionModel model(20.0);
+  core::QueryOptions options;
+  options.filter.alpha = 0.8;
+  options.filter.depth = 10;
+
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+  core::QueryStats totals;
+  uint64_t total_matches = 0;
+  for (int q = 0; q < 8; ++q) {
+    const auto result = index.StatisticalQuery(
+        core::UniformRandomFingerprint(&rng), model, options);
+    totals.blocks_selected += result.stats.blocks_selected;
+    totals.nodes_visited += result.stats.nodes_visited;
+    totals.ranges_scanned += result.stats.ranges_scanned;
+    totals.records_scanned += result.stats.records_scanned;
+    total_matches += result.matches.size();
+  }
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterOr0("index.queries.statistical"), 8u);
+  EXPECT_EQ(snapshot.CounterOr0("index.blocks_selected"),
+            totals.blocks_selected);
+  EXPECT_EQ(snapshot.CounterOr0("index.nodes_visited"),
+            totals.nodes_visited);
+  EXPECT_EQ(snapshot.CounterOr0("index.ranges_scanned"),
+            totals.ranges_scanned);
+  EXPECT_EQ(snapshot.CounterOr0("index.records_scanned"),
+            totals.records_scanned);
+  EXPECT_EQ(snapshot.CounterOr0("index.matches"), total_matches);
+  registry.Reset();
+}
+
+}  // namespace
+}  // namespace s3vcd::obs

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Builds the concurrency-sensitive tests under ThreadSanitizer and runs
+# them. The obs metrics/trace layer and the thread pool are the code most
+# exposed to data races; this is the gate described in
+# docs/observability.md.
+#
+# Usage: tools/run_tsan_tests.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-tsan}"
+
+cmake -S "${repo_root}" -B "${build_dir}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DS3VCD_SANITIZE=thread
+cmake --build "${build_dir}" --target obs_test parallel_test -j"$(nproc)"
+
+cd "${build_dir}"
+TSAN_OPTIONS="halt_on_error=1" \
+  ctest --output-on-failure -R '^(obs_test|parallel_test)$'
+echo "TSan run passed."

@@ -5,15 +5,26 @@
 //   s3vcd_tool inspect --db DB
 //   s3vcd_tool verify  --db DB
 //   s3vcd_tool query   --db DB [--alpha A] [--sigma S] [--depth P]
-//                      [--count N] [--seed S]
+//                      [--count N] [--seed S] [--pseudo-disk R]
+//                      [--metrics-out FILE] [--trace-out FILE]
 //   s3vcd_tool monitor --db DB [--stream-frames F] [--copy-id I]
 //                      [--alpha A] [--sigma S] [--threshold T]
+//                      [--metrics-out FILE] [--trace-out FILE]
 //
 // `build` synthesizes a reference corpus (the library normally ingests real
 // video; the tool uses the synthetic generator so it is runnable anywhere),
 // `query` replays distorted self-queries with timing, `monitor` embeds a
 // copy of one reference video in a synthetic stream and watches it.
+//
+// Flags accept both `--flag value` and `--flag=value`. On query/monitor,
+// `--metrics-out FILE` dumps a JSON snapshot of the global metrics registry
+// covering the run and `--trace-out FILE` records Chrome trace-event JSON
+// (load it in chrome://tracing). `--pseudo-disk R` additionally replays the
+// query batch through the file-based PseudoDiskSearcher with 2^R curve
+// sections, so the emitted metrics and trace cover the pseudo-disk I/O
+// path too. See docs/observability.md.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,10 +37,13 @@
 #include "core/distortion_model.h"
 #include "core/external_builder.h"
 #include "core/index.h"
+#include "core/pseudo_disk.h"
 #include "core/synthetic_db.h"
 #include "core/tuner.h"
 #include "fingerprint/extractor.h"
 #include "media/synthetic.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/math.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -37,21 +51,26 @@
 namespace s3vcd::tool {
 namespace {
 
-// Minimal --flag value parser; flags may appear in any order.
+// Minimal flag parser; flags may appear in any order and accept both
+// `--flag value` and `--flag=value` spellings.
 class Flags {
  public:
   Flags(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
+    for (int i = first; i < argc; ++i) {
       if (std::strncmp(argv[i], "--", 2) != 0) {
         bad_ = argv[i];
         return;
       }
-      values_[argv[i] + 2] = argv[i + 1];
-      consumed_ = i + 2;
-    }
-    if (first < argc && consumed_ < argc &&
-        std::strcmp(argv[argc - 1], "--external") == 0) {
-      // handled by Has() below
+      const char* body = argv[i] + 2;
+      if (const char* eq = std::strchr(body, '=')) {
+        values_[std::string(body, static_cast<size_t>(eq - body))] = eq + 1;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        bad_ = argv[i];
+        return;
+      }
+      values_[body] = argv[++i];
     }
   }
 
@@ -73,6 +92,68 @@ class Flags {
   std::map<std::string, std::string> values_;
   const char* bad_ = nullptr;
   int consumed_ = 0;
+};
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const bool ok =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  return (std::fclose(f) == 0) && ok;
+}
+
+// --metrics-out / --trace-out plumbing shared by query and monitor.
+// Begin() brackets the measured region: it zeroes the registry (so the
+// snapshot covers exactly the command's work, not e.g. depth tuning) and
+// turns tracing on when a trace file was requested. Finish() writes the
+// requested files.
+class ObsOutputs {
+ public:
+  explicit ObsOutputs(const Flags& flags)
+      : metrics_path_(flags.Get("metrics-out", "")),
+        trace_path_(flags.Get("trace-out", "")) {}
+
+  void Begin() {
+    obs::MetricsRegistry::Global().Reset();
+    if (!trace_path_.empty()) {
+      obs::TraceRecorder::Global().Clear();
+      obs::TraceRecorder::Global().Enable();
+    }
+  }
+
+  // Returns 0 on success, 1 if a requested file could not be written.
+  int Finish() {
+    int rc = 0;
+    if (!metrics_path_.empty()) {
+      const std::string json =
+          obs::MetricsRegistry::Global().Snapshot().ToJson();
+      if (WriteTextFile(metrics_path_, json)) {
+        std::printf("wrote metrics JSON to %s\n", metrics_path_.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write metrics to %s\n",
+                     metrics_path_.c_str());
+        rc = 1;
+      }
+    }
+    if (!trace_path_.empty()) {
+      obs::TraceRecorder::Global().Disable();
+      if (obs::TraceRecorder::Global().WriteChromeJsonFile(trace_path_)) {
+        std::printf("wrote Chrome trace to %s (open in chrome://tracing)\n",
+                    trace_path_.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write trace to %s\n",
+                     trace_path_.c_str());
+        rc = 1;
+      }
+    }
+    return rc;
+  }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
 };
 
 media::VideoSequence Clip(uint64_t seed, int frames) {
@@ -257,16 +338,26 @@ int CmdQuery(const Flags& flags) {
   core::QueryOptions options;
   options.filter.alpha = alpha;
   options.filter.depth = depth;
+  ObsOutputs obs_out(flags);
+  obs_out.Begin();
   int hits = 0;
   uint64_t matches = 0;
+  core::QueryStats totals;
+  std::vector<fp::Fingerprint> queries;
+  queries.reserve(static_cast<size_t>(count));
   Stopwatch watch;
   for (int i = 0; i < count; ++i) {
     const auto& target = index.database().record(static_cast<size_t>(
         rng.UniformInt(0, static_cast<int64_t>(index.database().size()) - 1)));
     const fp::Fingerprint q =
         core::DistortFingerprint(target.descriptor, sigma, &rng);
+    queries.push_back(q);
     const auto result = index.StatisticalQuery(q, model, options);
     matches += result.matches.size();
+    totals.blocks_selected += result.stats.blocks_selected;
+    totals.nodes_visited += result.stats.nodes_visited;
+    totals.ranges_scanned += result.stats.ranges_scanned;
+    totals.records_scanned += result.stats.records_scanned;
     const double target_dist = fp::Distance(q, target.descriptor);
     for (const auto& m : result.matches) {
       if (std::abs(m.distance - target_dist) < 1e-3) {
@@ -281,7 +372,61 @@ int CmdQuery(const Flags& flags) {
       count, alpha, sigma, depth, 100.0 * hits / count,
       watch.ElapsedMillis() / count,
       static_cast<double>(matches) / count);
-  return 0;
+
+  // Per-query QueryStats and the global registry count the same events;
+  // print both so a metrics consumer can cross-check (they must agree).
+  {
+    const obs::MetricsSnapshot snap =
+        obs::MetricsRegistry::Global().Snapshot();
+    std::printf(
+        "metrics cross-check: records_scanned stats=%llu counter=%llu, "
+        "blocks_selected stats=%llu counter=%llu (%s)\n",
+        static_cast<unsigned long long>(totals.records_scanned),
+        static_cast<unsigned long long>(
+            snap.CounterOr0("index.records_scanned")),
+        static_cast<unsigned long long>(totals.blocks_selected),
+        static_cast<unsigned long long>(
+            snap.CounterOr0("index.blocks_selected")),
+        totals.records_scanned == snap.CounterOr0("index.records_scanned") &&
+                totals.blocks_selected ==
+                    snap.CounterOr0("index.blocks_selected")
+            ? "match"
+            : "MISMATCH");
+  }
+
+  // Optional pseudo-disk replay of the same batch, so the emitted metrics
+  // and trace also cover the file-backed I/O path.
+  const int section_depth = static_cast<int>(flags.GetInt("pseudo-disk", -1));
+  if (section_depth >= 0) {
+    core::PseudoDiskOptions pd_options;
+    pd_options.section_depth = section_depth;
+    pd_options.query_depth = std::max(depth, section_depth);
+    pd_options.alpha = alpha;
+    auto searcher = core::PseudoDiskSearcher::Open(path, pd_options);
+    if (!searcher.ok()) {
+      std::fprintf(stderr, "pseudo-disk open failed: %s\n",
+                   searcher.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<std::vector<core::Match>> pd_results;
+    core::PseudoDiskBatchStats pd_stats;
+    const Status status =
+        searcher->SearchBatch(queries, model, &pd_results, &pd_stats);
+    if (!status.ok()) {
+      std::fprintf(stderr, "pseudo-disk batch failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "pseudo-disk replay (r=%d): %llu sections loaded, %llu records "
+        "loaded, %llu scanned, %.1f ms load + %.1f ms refine\n",
+        section_depth,
+        static_cast<unsigned long long>(pd_stats.sections_loaded),
+        static_cast<unsigned long long>(pd_stats.records_loaded),
+        static_cast<unsigned long long>(pd_stats.records_scanned),
+        pd_stats.load_seconds * 1e3, pd_stats.refine_seconds * 1e3);
+  }
+  return obs_out.Finish();
 }
 
 int CmdMonitor(const Flags& flags) {
@@ -322,6 +467,8 @@ int CmdMonitor(const Flags& flags) {
 
   const fp::FingerprintExtractor extractor;
   const auto fps = extractor.Extract(stream);
+  ObsOutputs obs_out(flags);
+  obs_out.Begin();
   Stopwatch watch;
   int reports = 0;
   size_t i = 0;
@@ -348,6 +495,9 @@ int CmdMonitor(const Flags& flags) {
       "(embedded copy starts at frame %d)\n",
       stream.num_frames() / 25.0, watch.ElapsedSeconds(), reports,
       copy_start);
+  if (obs_out.Finish() != 0) {
+    return 1;
+  }
   return reports > 0 ? 0 : 1;
 }
 
