@@ -74,6 +74,15 @@ void DynamicIndex::AppendBufferMatches(
   }
 }
 
+void DynamicIndex::ScanSelection(const fp::Fingerprint& query,
+                                 const BlockSelection& selection,
+                                 RefinementMode mode, double radius,
+                                 const DistortionModel* model,
+                                 QueryResult* result) const {
+  base_.ScanSelection(query, selection, mode, radius, model, result);
+  AppendBufferMatches(query, selection.ranges, mode, radius, model, result);
+}
+
 QueryResult DynamicIndex::StatisticalQuery(const fp::Fingerprint& query,
                                            const DistortionModel& model,
                                            const QueryOptions& options) const {

@@ -50,6 +50,19 @@ class DynamicIndex {
   QueryResult RangeQuery(const fp::Fingerprint& query, double epsilon,
                          int depth) const;
 
+  /// Runs the refinement scan of a precomputed block selection over the
+  /// static part AND the insert buffer, appending matches and scan
+  /// counters to `result`. The selection must come from a filter over the
+  /// same curve geometry (same order). Exposed so the sharded service
+  /// layer computes one selection per query and scans every shard with it
+  /// (the selection depends only on the query, model and filter options —
+  /// never on database contents). Does not publish per-query metrics;
+  /// callers batching across shards publish one merged record instead.
+  void ScanSelection(const fp::Fingerprint& query,
+                     const BlockSelection& selection, RefinementMode mode,
+                     double radius, const DistortionModel* model,
+                     QueryResult* result) const;
+
   /// Folds the buffer into the static part.
   void Compact();
 

@@ -1,0 +1,247 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace s3vcd::service {
+
+namespace {
+
+obs::Gauge* const g_queue_depth =
+    obs::MetricsRegistry::Global().GetGauge("service.queue_depth");
+obs::Counter* const g_batches_submitted =
+    obs::MetricsRegistry::Global().GetCounter("service.batches_submitted");
+obs::Counter* const g_batches_completed =
+    obs::MetricsRegistry::Global().GetCounter("service.batches_completed");
+obs::Counter* const g_admission_rejects =
+    obs::MetricsRegistry::Global().GetCounter("service.admission_rejects");
+obs::Counter* const g_deadline_expirations =
+    obs::MetricsRegistry::Global().GetCounter(
+        "service.deadline_expirations");
+obs::Counter* const g_batch_queries =
+    obs::MetricsRegistry::Global().GetCounter("service.batch_queries");
+obs::Histogram* const g_queue_wait_us =
+    obs::MetricsRegistry::Global().GetHistogram("service.queue_wait_us");
+obs::Histogram* const g_execute_us =
+    obs::MetricsRegistry::Global().GetHistogram("service.execute_us");
+
+double MillisSince(std::chrono::steady_clock::time_point since,
+                   std::chrono::steady_clock::time_point now) {
+  return std::chrono::duration<double, std::milli>(now - since).count();
+}
+
+}  // namespace
+
+const BatchResult& BatchHandle::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return done_; });
+  return result_;
+}
+
+bool BatchHandle::done() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return done_;
+}
+
+void BatchHandle::Complete(BatchResult result) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    result_ = std::move(result);
+    done_ = true;
+  }
+  done_cv_.notify_all();
+}
+
+QueryService::QueryService(const ShardedSearcher* searcher,
+                           const core::DistortionModel* model,
+                           const QueryServiceOptions& options)
+    : searcher_(searcher), model_(model), options_(options) {
+  options_.num_workers = std::max(1, options_.num_workers);
+  options_.threads_per_batch = std::max(1, options_.threads_per_batch);
+  options_.max_queue_depth = std::max<size_t>(1, options_.max_queue_depth);
+  if (options_.cache_capacity > 0) {
+    cache_ = std::make_unique<SelectionCache>(options_.cache_capacity);
+  }
+  paused_ = options_.start_paused;
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+Result<BatchTicket> QueryService::Submit(std::vector<fp::Fingerprint> queries,
+                                         const BatchOptions& options) {
+  const auto now = std::chrono::steady_clock::now();
+  auto ticket = std::make_shared<BatchHandle>();
+  ticket->queries_ = std::move(queries);
+  ticket->options_ = options;
+  ticket->submit_time_ = now;
+  ticket->has_deadline_ = options.deadline_ms > 0;
+  if (ticket->has_deadline_) {
+    ticket->deadline_ =
+        now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double, std::milli>(
+                      options.deadline_ms));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!accepting_) {
+      return Status::FailedPrecondition(
+          "query service is shut down; no new batches accepted");
+    }
+    if (queue_.size() >= options_.max_queue_depth) {
+      g_admission_rejects->Increment();
+      return Status::Unavailable(
+          "admission queue full (depth " +
+          std::to_string(options_.max_queue_depth) +
+          "); retry after draining");
+    }
+    queue_.push_back(ticket);
+    g_queue_depth->Set(static_cast<int64_t>(queue_.size()));
+  }
+  g_batches_submitted->Increment();
+  work_cv_.notify_one();
+  return ticket;
+}
+
+void QueryService::Pause() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = true;
+}
+
+void QueryService::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+void QueryService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      return;
+    }
+    accepting_ = false;
+    shutdown_ = true;
+    paused_ = false;  // a paused service still drains on shutdown
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+  workers_.clear();
+}
+
+size_t QueryService::pending_batches() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void QueryService::WorkerLoop() {
+  // Each worker owns its fan-out pool, so ThreadPool::Wait() (which waits
+  // for *every* submitted task) never entangles two batches.
+  std::unique_ptr<ThreadPool> pool;
+  if (options_.threads_per_batch > 1) {
+    pool = std::make_unique<ThreadPool>(options_.threads_per_batch);
+  }
+  for (;;) {
+    BatchTicket batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] {
+        return shutdown_ || (!paused_ && !queue_.empty());
+      });
+      if (queue_.empty()) {
+        return;  // shutdown with nothing left to drain
+      }
+      batch = queue_.front();
+      queue_.pop_front();
+      g_queue_depth->Set(static_cast<int64_t>(queue_.size()));
+    }
+    ExecuteBatch(batch.get(), pool.get());
+  }
+}
+
+void QueryService::ExecuteBatch(BatchHandle* batch, ThreadPool* pool) {
+  S3VCD_TRACE_SPAN("service.execute_batch");
+  const auto start = std::chrono::steady_clock::now();
+  BatchResult out;
+  out.queue_wait_ms = MillisSince(batch->submit_time_, start);
+  g_queue_wait_us->Record(out.queue_wait_ms * 1e3);
+
+  const size_t n = batch->queries_.size();
+  out.results.resize(n);
+
+  if (batch->has_deadline_ && start >= batch->deadline_) {
+    g_deadline_expirations->Increment();
+    out.status = Status::DeadlineExceeded(
+        "deadline expired after " + std::to_string(out.queue_wait_ms) +
+        " ms in the admission queue");
+    out.results.clear();
+    g_batches_completed->Increment();
+    batch->Complete(std::move(out));
+    return;
+  }
+
+  size_t executed = 0;
+  if (!batch->has_deadline_ && pool != nullptr && n > 1) {
+    // No deadline to police: use the searcher's two-stage fan-out (one
+    // selection task per query, one scan task per (query, shard)), which
+    // keeps the pool full even for small batches on many shards.
+    out.results = searcher_->BatchStatisticalQuery(
+        batch->queries_, *model_, options_.query, pool, cache_.get());
+    executed = n;
+  } else if (pool == nullptr || n <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      if (batch->has_deadline_ &&
+          std::chrono::steady_clock::now() >= batch->deadline_) {
+        break;
+      }
+      out.results[i] = searcher_->StatisticalQuery(
+          batch->queries_[i], *model_, options_.query, cache_.get());
+      ++executed;
+    }
+  } else {
+    // Tasks that start after expiry skip their query; already-running
+    // scans finish (per-query latency bounds the overshoot).
+    std::atomic<size_t> completed{0};
+    for (size_t i = 0; i < n; ++i) {
+      pool->Submit([this, batch, &completed, &out, i] {
+        if (batch->has_deadline_ &&
+            std::chrono::steady_clock::now() >= batch->deadline_) {
+          return;
+        }
+        out.results[i] = searcher_->StatisticalQuery(
+            batch->queries_[i], *model_, options_.query, cache_.get());
+        completed.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    pool->Wait();
+    executed = completed.load(std::memory_order_relaxed);
+  }
+
+  out.queries_executed = executed;
+  g_batch_queries->Increment(executed);
+  if (executed < n) {
+    g_deadline_expirations->Increment();
+    out.status = Status::DeadlineExceeded(
+        "deadline expired after " + std::to_string(executed) + " of " +
+        std::to_string(n) + " queries");
+  }
+  out.execute_ms = MillisSince(start, std::chrono::steady_clock::now());
+  g_execute_us->Record(out.execute_ms * 1e3);
+  g_batches_completed->Increment();
+  batch->Complete(std::move(out));
+}
+
+}  // namespace s3vcd::service

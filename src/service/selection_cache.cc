@@ -1,0 +1,105 @@
+#include "service/selection_cache.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
+
+namespace s3vcd::service {
+
+namespace {
+
+obs::Counter* const g_cache_hits =
+    obs::MetricsRegistry::Global().GetCounter("service.cache_hits");
+obs::Counter* const g_cache_misses =
+    obs::MetricsRegistry::Global().GetCounter("service.cache_misses");
+obs::Gauge* const g_cache_size =
+    obs::MetricsRegistry::Global().GetGauge("service.cache_size");
+
+}  // namespace
+
+SelectionCache::SelectionCache(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {}
+
+SelectionCache::Key SelectionCache::MakeKey(
+    const fp::Fingerprint& query, const core::FilterOptions& filter,
+    const core::DistortionModel* model) {
+  Key key;
+  key.descriptor = query;
+  key.alpha_micro = static_cast<int64_t>(std::llround(filter.alpha * 1e6));
+  key.depth = filter.depth;
+  key.model = model;
+  return key;
+}
+
+size_t SelectionCache::KeyHash::operator()(const Key& key) const {
+  // FNV-1a over the descriptor bytes, then mix in the scalar fields.
+  uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (uint8_t b : key.descriptor) {
+    mix(b);
+  }
+  mix(static_cast<uint64_t>(key.alpha_micro));
+  mix(static_cast<uint64_t>(static_cast<uint32_t>(key.depth)));
+  mix(reinterpret_cast<uintptr_t>(key.model));
+  return static_cast<size_t>(h);
+}
+
+std::shared_ptr<const core::BlockSelection> SelectionCache::Lookup(
+    const Key& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    g_cache_misses->Increment();
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  g_cache_hits->Increment();
+  return it->second->selection;
+}
+
+void SelectionCache::Insert(
+    const Key& key, std::shared_ptr<const core::BlockSelection> selection) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->selection = std::move(selection);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{key, std::move(selection)});
+  map_[key] = lru_.begin();
+  g_cache_size->Set(static_cast<int64_t>(lru_.size()));
+}
+
+size_t SelectionCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+uint64_t SelectionCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+uint64_t SelectionCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+double SelectionCache::HitRate() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
+}
+
+}  // namespace s3vcd::service

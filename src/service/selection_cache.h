@@ -1,0 +1,97 @@
+#ifndef S3VCD_SERVICE_SELECTION_CACHE_H_
+#define S3VCD_SERVICE_SELECTION_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/distortion_model.h"
+#include "core/filter.h"
+#include "fingerprint/fingerprint.h"
+
+namespace s3vcd::service {
+
+/// Thread-safe LRU cache for the α-region p-block assembly
+/// (core::BlockSelection). The selection of a statistical query depends
+/// only on the query descriptor, the filter options (α, depth, algorithm
+/// caps) and the distortion model — never on database contents — so
+/// repeated or near-duplicate probes (the dominant traffic pattern of a
+/// monitoring deployment, where consecutive key-frames produce nearly
+/// identical fingerprints that quantize to the same bytes) can skip the
+/// block-tree walk entirely.
+///
+/// Key semantics: (descriptor bytes, α quantized to 1e-6, partition depth,
+/// model identity). Descriptors are already byte-quantized, so equality on
+/// the raw bytes is the "quantized descriptor" of the design. The model
+/// enters the key by *pointer identity*: two model objects with equal
+/// parameters occupy separate cache lines, and a model must outlive every
+/// cached selection derived from it (the service owns one model per
+/// deployment, so this holds trivially; see docs/query_service.md).
+///
+/// Values are shared_ptr<const BlockSelection>: hits hand out a reference
+/// without copying the range vector, and an entry evicted while a reader
+/// still scans with it stays alive until that reader drops it.
+class SelectionCache {
+ public:
+  struct Key {
+    fp::Fingerprint descriptor{};
+    int64_t alpha_micro = 0;  ///< round(alpha * 1e6)
+    int32_t depth = 0;
+    const core::DistortionModel* model = nullptr;
+
+    bool operator==(const Key& other) const {
+      return descriptor == other.descriptor &&
+             alpha_micro == other.alpha_micro && depth == other.depth &&
+             model == other.model;
+    }
+  };
+
+  /// `capacity` = maximum retained entries (>= 1).
+  explicit SelectionCache(size_t capacity);
+
+  /// Builds the lookup key for one statistical query.
+  static Key MakeKey(const fp::Fingerprint& query,
+                     const core::FilterOptions& filter,
+                     const core::DistortionModel* model);
+
+  /// Returns the cached selection and refreshes its recency, or nullptr on
+  /// a miss. Hits/misses are counted both locally and in the global
+  /// metrics registry (service.cache_hits / service.cache_misses).
+  std::shared_ptr<const core::BlockSelection> Lookup(const Key& key);
+
+  /// Inserts (or refreshes) an entry, evicting the least recently used
+  /// entry when full.
+  void Insert(const Key& key,
+              std::shared_ptr<const core::BlockSelection> selection);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+  /// Fraction of lookups served from cache (0 when no lookups yet).
+  double HitRate() const;
+
+ private:
+  struct KeyHash {
+    size_t operator()(const Key& key) const;
+  };
+
+  struct Entry {
+    Key key;
+    std::shared_ptr<const core::BlockSelection> selection;
+  };
+
+  size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace s3vcd::service
+
+#endif  // S3VCD_SERVICE_SELECTION_CACHE_H_

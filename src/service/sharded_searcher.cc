@@ -1,0 +1,262 @@
+#include "service/sharded_searcher.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "obs/trace.h"
+#include "util/timer.h"
+
+namespace s3vcd::service {
+
+namespace {
+
+obs::Counter* const g_queries =
+    obs::MetricsRegistry::Global().GetCounter("service.sharded_queries");
+
+// Mixes the 32-bit video id into an unbiased 64-bit hash (splitmix64
+// finalizer) so consecutive ids spread across shards.
+uint64_t HashId(uint32_t id) {
+  uint64_t z = static_cast<uint64_t>(id) + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+ShardedSearcher::ShardedSearcher(ShardedSearcherOptions options,
+                                 std::vector<core::DynamicIndex> shards,
+                                 std::vector<BitKey> boundaries)
+    : options_(options),
+      shards_(std::move(shards)),
+      boundaries_(std::move(boundaries)) {
+  shard_scan_us_.reserve(shards_.size());
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    shard_scan_us_.push_back(obs::MetricsRegistry::Global().GetHistogram(
+        "service.shard" + std::to_string(k) + ".scan_us"));
+  }
+}
+
+Result<ShardedSearcher> ShardedSearcher::Build(
+    core::FingerprintDatabase db, const ShardedSearcherOptions& options) {
+  if (options.num_shards < 1 || options.num_shards > 1024) {
+    return Status::InvalidArgument("num_shards must be in [1, 1024]");
+  }
+  const size_t num_shards = static_cast<size_t>(options.num_shards);
+  const int order = db.order();
+  const size_t n = db.size();
+
+  std::vector<core::DatabaseBuilder> builders;
+  builders.reserve(num_shards);
+  for (size_t k = 0; k < num_shards; ++k) {
+    builders.emplace_back(order);
+  }
+
+  std::vector<BitKey> boundaries;
+  if (options.policy == ShardingPolicy::kHilbertRange) {
+    // Records are already Hilbert-sorted; cut them into K contiguous
+    // near-equal chunks and remember each cut's first key so inserts
+    // route to the chunk covering their key.
+    const size_t chunk = (n + num_shards - 1) / std::max<size_t>(1, num_shards);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t k =
+          chunk == 0 ? 0 : std::min(num_shards - 1, i / chunk);
+      const core::FingerprintRecord& r = db.record(i);
+      builders[k].Add(r.descriptor, r.id, r.time_code, r.x, r.y);
+    }
+    for (size_t k = 1; k < num_shards; ++k) {
+      const size_t first = std::min(n, k * std::max<size_t>(1, chunk));
+      // Shards past the data get an unreachable (maximal) bound so empty
+      // tails never steal routed inserts from the last occupied shard.
+      boundaries.push_back(first < n
+                               ? db.key(first)
+                               : BitKey::LowMask(db.curve().key_bits()));
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      const core::FingerprintRecord& r = db.record(i);
+      builders[HashId(r.id) % num_shards].Add(r.descriptor, r.id, r.time_code,
+                                              r.x, r.y);
+    }
+  }
+
+  std::vector<core::DynamicIndex> shards;
+  shards.reserve(num_shards);
+  for (size_t k = 0; k < num_shards; ++k) {
+    shards.emplace_back(core::S3Index(builders[k].Build(), options.index));
+  }
+  return ShardedSearcher(options, std::move(shards), std::move(boundaries));
+}
+
+size_t ShardedSearcher::total_size() const {
+  size_t total = 0;
+  for (const core::DynamicIndex& shard : shards_) {
+    total += shard.total_size();
+  }
+  return total;
+}
+
+size_t ShardedSearcher::pending_inserts() const {
+  size_t total = 0;
+  for (const core::DynamicIndex& shard : shards_) {
+    total += shard.pending_inserts();
+  }
+  return total;
+}
+
+size_t ShardedSearcher::RouteShard(const BitKey& key, uint32_t id) const {
+  if (options_.policy == ShardingPolicy::kRefIdHash) {
+    return HashId(id) % shards_.size();
+  }
+  for (size_t k = 0; k < boundaries_.size(); ++k) {
+    if (key < boundaries_[k]) {
+      return k;
+    }
+  }
+  return shards_.size() - 1;
+}
+
+void ShardedSearcher::Insert(const fp::Fingerprint& fingerprint, uint32_t id,
+                             uint32_t time_code, float x, float y) {
+  const BitKey key =
+      shards_[0].base().database().EncodeFingerprint(fingerprint);
+  shards_[RouteShard(key, id)].Insert(fingerprint, id, time_code, x, y);
+}
+
+void ShardedSearcher::CompactAll() {
+  for (core::DynamicIndex& shard : shards_) {
+    shard.Compact();
+  }
+}
+
+std::shared_ptr<const core::BlockSelection> ShardedSearcher::GetSelection(
+    const fp::Fingerprint& query, const core::DistortionModel& model,
+    const core::QueryOptions& options, SelectionCache* cache,
+    double* filter_seconds) const {
+  Stopwatch watch;
+  // One selection serves every shard: it depends only on the query, the
+  // model and the filter options (see class comment). Shard 0's filter is
+  // the canonical one (all shards share the curve geometry).
+  const core::BlockFilter& filter = shards_[0].base().filter();
+  std::shared_ptr<const core::BlockSelection> selection;
+  if (cache != nullptr) {
+    const SelectionCache::Key key =
+        SelectionCache::MakeKey(query, options.filter, &model);
+    selection = cache->Lookup(key);
+    if (selection == nullptr) {
+      selection = std::make_shared<const core::BlockSelection>(
+          filter.SelectStatistical(query, model, options.filter));
+      cache->Insert(key, selection);
+    }
+  } else {
+    selection = std::make_shared<const core::BlockSelection>(
+        filter.SelectStatistical(query, model, options.filter));
+  }
+  *filter_seconds = watch.ElapsedSeconds();
+  return selection;
+}
+
+core::QueryResult ShardedSearcher::ScanShard(
+    size_t k, const fp::Fingerprint& query,
+    const core::BlockSelection& selection, const core::DistortionModel& model,
+    const core::QueryOptions& options) const {
+  Stopwatch watch;
+  core::QueryResult partial;
+  shards_[k].ScanSelection(query, selection, options.refinement,
+                           options.radius, &model, &partial);
+  shard_scan_us_[k]->Record(watch.ElapsedMicros());
+  partial.stats.refine_seconds = watch.ElapsedSeconds();
+  return partial;
+}
+
+core::QueryResult ShardedSearcher::MergeShardResults(
+    const core::BlockSelection& selection, double filter_seconds,
+    std::vector<core::QueryResult> partials) const {
+  core::QueryResult result;
+  result.stats.filter_seconds = filter_seconds;
+  result.stats.blocks_selected = selection.num_blocks;
+  result.stats.nodes_visited = selection.nodes_visited;
+  result.stats.probability_mass = selection.probability_mass;
+  for (core::QueryResult& partial : partials) {
+    result.matches.insert(result.matches.end(),
+                          std::make_move_iterator(partial.matches.begin()),
+                          std::make_move_iterator(partial.matches.end()));
+    // Summed across shards: CPU time, not wall time, under fan-out.
+    result.stats.refine_seconds += partial.stats.refine_seconds;
+    result.stats.ranges_scanned += partial.stats.ranges_scanned;
+    result.stats.records_scanned += partial.stats.records_scanned;
+  }
+  g_queries->Increment();
+  core::RecordQueryMetrics(core::QueryKind::kStatistical, result.stats,
+                           result.matches.size());
+  return result;
+}
+
+core::QueryResult ShardedSearcher::StatisticalQuery(
+    const fp::Fingerprint& query, const core::DistortionModel& model,
+    const core::QueryOptions& options, SelectionCache* cache) const {
+  S3VCD_TRACE_SPAN("service.sharded_query");
+  double filter_seconds = 0;
+  const auto selection =
+      GetSelection(query, model, options, cache, &filter_seconds);
+  std::vector<core::QueryResult> partials;
+  partials.reserve(shards_.size());
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    partials.push_back(ScanShard(k, query, *selection, model, options));
+  }
+  return MergeShardResults(*selection, filter_seconds, std::move(partials));
+}
+
+std::vector<core::QueryResult> ShardedSearcher::BatchStatisticalQuery(
+    const std::vector<fp::Fingerprint>& queries,
+    const core::DistortionModel& model, const core::QueryOptions& options,
+    ThreadPool* pool, SelectionCache* cache) const {
+  S3VCD_TRACE_SPAN("service.sharded_batch");
+  const size_t n = queries.size();
+  std::vector<core::QueryResult> results(n);
+  if (pool == nullptr || n == 0) {
+    for (size_t i = 0; i < n; ++i) {
+      results[i] = StatisticalQuery(queries[i], model, options, cache);
+    }
+    return results;
+  }
+
+  // Stage 1: block selections, one task per query (cache-aware).
+  std::vector<std::shared_ptr<const core::BlockSelection>> selections(n);
+  std::vector<double> filter_seconds(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    pool->Submit([this, &queries, &model, &options, cache, &selections,
+                  &filter_seconds, i] {
+      selections[i] = GetSelection(queries[i], model, options, cache,
+                                   &filter_seconds[i]);
+    });
+  }
+  pool->Wait();
+
+  // Stage 2: refinement scans, one task per (query, shard) — the unit the
+  // throughput of the service scales by: K shards turn one long scan into
+  // K shorter independent ones, so small batches still fill the pool.
+  const size_t num_shards = shards_.size();
+  std::vector<std::vector<core::QueryResult>> partials(n);
+  for (size_t i = 0; i < n; ++i) {
+    partials[i].resize(num_shards);
+    for (size_t k = 0; k < num_shards; ++k) {
+      pool->Submit([this, &queries, &model, &options, &selections, &partials,
+                    i, k] {
+        partials[i][k] =
+            ScanShard(k, queries[i], *selections[i], model, options);
+      });
+    }
+  }
+  pool->Wait();
+
+  for (size_t i = 0; i < n; ++i) {
+    results[i] = MergeShardResults(*selections[i], filter_seconds[i],
+                                   std::move(partials[i]));
+  }
+  return results;
+}
+
+}  // namespace s3vcd::service

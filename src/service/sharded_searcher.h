@@ -1,0 +1,133 @@
+#ifndef S3VCD_SERVICE_SHARDED_SEARCHER_H_
+#define S3VCD_SERVICE_SHARDED_SEARCHER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/database.h"
+#include "core/distortion_model.h"
+#include "core/dynamic_index.h"
+#include "core/index.h"
+#include "fingerprint/fingerprint.h"
+#include "obs/metrics.h"
+#include "service/selection_cache.h"
+#include "util/bitkey.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace s3vcd::service {
+
+/// How reference records are assigned to shards.
+enum class ShardingPolicy {
+  /// Contiguous Hilbert-key ranges with (near) equal record counts per
+  /// shard. Preserves the curve locality inside each shard, so a query's
+  /// selected region usually touches few shards' occupied ranges; shard
+  /// sizes can drift as inserts cluster.
+  kHilbertRange,
+  /// Mixed hash on the reference video id. Keeps every video's
+  /// fingerprints on one shard (deletion/compaction of one video touches
+  /// one shard) and load-balances inserts by construction.
+  kRefIdHash,
+};
+
+/// Construction options of a ShardedSearcher.
+struct ShardedSearcherOptions {
+  /// Number of shards K, clamped to [1, 1024].
+  int num_shards = 4;
+  ShardingPolicy policy = ShardingPolicy::kHilbertRange;
+  /// Per-shard index construction options.
+  core::S3IndexOptions index;
+};
+
+/// Partitions one reference database across K DynamicIndex shards and
+/// answers statistical queries over their union.
+///
+/// Correctness invariant (pinned by tests/service_test.cc): a statistical
+/// query's block selection depends only on the query, the model and the
+/// filter options — never on database contents — so scanning every shard
+/// with ONE shared selection returns exactly the matches the unsharded
+/// index would return, for any shard count and either policy. That shared
+/// selection is also what the SelectionCache stores.
+///
+/// Concurrency: queries are const and safe to fan out; Insert/CompactAll
+/// mutate and require external exclusion (same single-writer contract as
+/// DynamicIndex).
+class ShardedSearcher {
+ public:
+  /// Consumes `db` and redistributes its records into K shards.
+  static Result<ShardedSearcher> Build(core::FingerprintDatabase db,
+                                       const ShardedSearcherOptions& options);
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const ShardedSearcherOptions& options() const { return options_; }
+  const core::DynamicIndex& shard(int i) const { return shards_[i]; }
+  size_t total_size() const;
+  size_t pending_inserts() const;
+
+  /// Routes one new fingerprint to its shard (visible to queries
+  /// immediately, like DynamicIndex::Insert).
+  void Insert(const fp::Fingerprint& fingerprint, uint32_t id,
+              uint32_t time_code, float x = 0, float y = 0);
+
+  /// Folds every shard's insert buffer into its static part.
+  void CompactAll();
+
+  /// Statistical query over the union of all shards: one block selection
+  /// (optionally via `cache`), one refinement scan per shard, merged
+  /// matches. Per-shard scan latency lands in service.shard<k>.scan_us;
+  /// the merged per-query stats are published through the same
+  /// RecordQueryMetrics path as unsharded queries.
+  core::QueryResult StatisticalQuery(const fp::Fingerprint& query,
+                                     const core::DistortionModel& model,
+                                     const core::QueryOptions& options,
+                                     SelectionCache* cache = nullptr) const;
+
+  /// Fans a batch out on `pool` in two stages — per-query selections, then
+  /// one refinement-scan task per (query, shard) — so shard count multiplies
+  /// the available parallelism even for small batches. Serial when pool is
+  /// null. results[i] corresponds to queries[i].
+  std::vector<core::QueryResult> BatchStatisticalQuery(
+      const std::vector<fp::Fingerprint>& queries,
+      const core::DistortionModel& model, const core::QueryOptions& options,
+      ThreadPool* pool = nullptr, SelectionCache* cache = nullptr) const;
+
+ private:
+  ShardedSearcher(ShardedSearcherOptions options,
+                  std::vector<core::DynamicIndex> shards,
+                  std::vector<BitKey> boundaries);
+
+  /// Shard index a new record with `key` / `id` routes to.
+  size_t RouteShard(const BitKey& key, uint32_t id) const;
+
+  /// Computes (or fetches from `cache`) the shared block selection for one
+  /// query; stores the elapsed filter time in *filter_seconds.
+  std::shared_ptr<const core::BlockSelection> GetSelection(
+      const fp::Fingerprint& query, const core::DistortionModel& model,
+      const core::QueryOptions& options, SelectionCache* cache,
+      double* filter_seconds) const;
+
+  /// Refinement scan of shard `k` under a precomputed selection.
+  core::QueryResult ScanShard(size_t k, const fp::Fingerprint& query,
+                              const core::BlockSelection& selection,
+                              const core::DistortionModel& model,
+                              const core::QueryOptions& options) const;
+
+  /// Combines per-shard partial results into the query's final result and
+  /// publishes its metrics.
+  core::QueryResult MergeShardResults(
+      const core::BlockSelection& selection, double filter_seconds,
+      std::vector<core::QueryResult> partials) const;
+
+  ShardedSearcherOptions options_;
+  std::vector<core::DynamicIndex> shards_;
+  /// kHilbertRange only: upper key bound (exclusive) of each shard except
+  /// the last; size num_shards - 1.
+  std::vector<BitKey> boundaries_;
+  /// Per-shard scan-latency histograms ("service.shard<k>.scan_us").
+  std::vector<obs::Histogram*> shard_scan_us_;
+};
+
+}  // namespace s3vcd::service
+
+#endif  // S3VCD_SERVICE_SHARDED_SEARCHER_H_

@@ -21,6 +21,11 @@ enum class StatusCode {
   kCorruption,
   kUnimplemented,
   kInternal,
+  /// Transient overload: the caller may retry later (admission-queue
+  /// backpressure in the query service).
+  kUnavailable,
+  /// The request's deadline elapsed before (or during) execution.
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -67,6 +72,12 @@ class Status {
   }
   static Status Internal(std::string_view msg) {
     return Status(StatusCode::kInternal, msg);
+  }
+  static Status Unavailable(std::string_view msg) {
+    return Status(StatusCode::kUnavailable, msg);
+  }
+  static Status DeadlineExceeded(std::string_view msg) {
+    return Status(StatusCode::kDeadlineExceeded, msg);
   }
 
   /// True iff this status represents success.

@@ -1,0 +1,347 @@
+#include <chrono>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/dynamic_index.h"
+#include "core/synthetic_db.h"
+#include "service/query_service.h"
+#include "service/selection_cache.h"
+#include "service/sharded_searcher.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace s3vcd::service {
+namespace {
+
+using core::DynamicIndex;
+using core::GaussianDistortionModel;
+using core::Match;
+using core::QueryOptions;
+using core::UniformRandomFingerprint;
+
+std::multiset<std::pair<uint32_t, uint32_t>> ToSet(
+    const std::vector<Match>& matches) {
+  std::multiset<std::pair<uint32_t, uint32_t>> out;
+  for (const Match& m : matches) {
+    out.insert({m.id, m.time_code});
+  }
+  return out;
+}
+
+core::FingerprintDatabase BuildDb(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  core::DatabaseBuilder builder;
+  for (size_t i = 0; i < count; ++i) {
+    builder.Add(UniformRandomFingerprint(&rng), static_cast<uint32_t>(i % 11),
+                static_cast<uint32_t>(i));
+  }
+  return builder.Build();
+}
+
+QueryOptions TestQueryOptions() {
+  QueryOptions options;
+  options.filter.alpha = 0.85;
+  options.filter.depth = 12;
+  return options;
+}
+
+// The acceptance-criterion test: identical match sets (up to ordering) for
+// several shard counts, both policies, vs the unsharded DynamicIndex.
+TEST(ShardedSearcherTest, ParityWithUnshardedAcrossShardCounts) {
+  const size_t kDbSize = 4000;
+  DynamicIndex reference(core::S3Index(BuildDb(kDbSize, 71)));
+  const GaussianDistortionModel model(16.0);
+  const QueryOptions options = TestQueryOptions();
+
+  Rng rng(5);
+  std::vector<fp::Fingerprint> queries;
+  for (int i = 0; i < 12; ++i) {
+    queries.push_back(UniformRandomFingerprint(&rng));
+  }
+  std::vector<std::multiset<std::pair<uint32_t, uint32_t>>> expected;
+  for (const auto& q : queries) {
+    expected.push_back(ToSet(reference.StatisticalQuery(q, model, options)
+                                 .matches));
+  }
+
+  for (const ShardingPolicy policy :
+       {ShardingPolicy::kHilbertRange, ShardingPolicy::kRefIdHash}) {
+    for (const int num_shards : {1, 2, 3, 5, 8}) {
+      ShardedSearcherOptions sharding;
+      sharding.num_shards = num_shards;
+      sharding.policy = policy;
+      auto searcher = ShardedSearcher::Build(BuildDb(kDbSize, 71), sharding);
+      ASSERT_TRUE(searcher.ok()) << searcher.status().ToString();
+      EXPECT_EQ(searcher->num_shards(), num_shards);
+      EXPECT_EQ(searcher->total_size(), kDbSize);
+      for (size_t i = 0; i < queries.size(); ++i) {
+        const auto result =
+            searcher->StatisticalQuery(queries[i], model, options);
+        EXPECT_EQ(ToSet(result.matches), expected[i])
+            << "policy=" << static_cast<int>(policy)
+            << " shards=" << num_shards << " query=" << i;
+      }
+    }
+  }
+}
+
+TEST(ShardedSearcherTest, BatchWithPoolAndCacheMatchesSerial) {
+  const size_t kDbSize = 3000;
+  auto searcher = ShardedSearcher::Build(BuildDb(kDbSize, 72), {});
+  ASSERT_TRUE(searcher.ok());
+  const GaussianDistortionModel model(14.0);
+  const QueryOptions options = TestQueryOptions();
+
+  Rng rng(6);
+  std::vector<fp::Fingerprint> queries;
+  for (int i = 0; i < 16; ++i) {
+    queries.push_back(UniformRandomFingerprint(&rng));
+  }
+  // Duplicate a few queries so the cache actually gets hits.
+  queries.push_back(queries[0]);
+  queries.push_back(queries[1]);
+
+  const auto serial = searcher->BatchStatisticalQuery(queries, model, options);
+  ThreadPool pool(4);
+  SelectionCache cache(64);
+  const auto pooled = searcher->BatchStatisticalQuery(queries, model, options,
+                                                      &pool, &cache);
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(ToSet(serial[i].matches), ToSet(pooled[i].matches)) << i;
+  }
+  EXPECT_GE(cache.hits(), 2u);  // the duplicated probes
+  EXPECT_GT(cache.misses(), 0u);
+}
+
+TEST(ShardedSearcherTest, InsertRoutesToOneShardAndIsVisible) {
+  for (const ShardingPolicy policy :
+       {ShardingPolicy::kHilbertRange, ShardingPolicy::kRefIdHash}) {
+    ShardedSearcherOptions sharding;
+    sharding.num_shards = 4;
+    sharding.policy = policy;
+    auto searcher = ShardedSearcher::Build(BuildDb(2000, 73), sharding);
+    ASSERT_TRUE(searcher.ok());
+    Rng rng(7);
+    const fp::Fingerprint novel = UniformRandomFingerprint(&rng);
+    searcher->Insert(novel, 999, 31337);
+    EXPECT_EQ(searcher->pending_inserts(), 1u);
+    EXPECT_EQ(searcher->total_size(), 2001u);
+
+    const GaussianDistortionModel model(10.0);
+    const auto result =
+        searcher->StatisticalQuery(novel, model, TestQueryOptions());
+    bool found = false;
+    for (const Match& m : result.matches) {
+      found |= m.id == 999 && m.time_code == 31337;
+    }
+    EXPECT_TRUE(found) << "policy=" << static_cast<int>(policy);
+
+    searcher->CompactAll();
+    EXPECT_EQ(searcher->pending_inserts(), 0u);
+    EXPECT_EQ(searcher->total_size(), 2001u);
+  }
+}
+
+TEST(ShardedSearcherTest, RejectsInvalidShardCount) {
+  ShardedSearcherOptions sharding;
+  sharding.num_shards = 0;
+  const auto searcher = ShardedSearcher::Build(BuildDb(10, 74), sharding);
+  EXPECT_FALSE(searcher.ok());
+  EXPECT_EQ(searcher.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SelectionCacheTest, EvictsLeastRecentlyUsed) {
+  SelectionCache cache(2);
+  const GaussianDistortionModel model(10.0);
+  core::FilterOptions filter;
+  Rng rng(8);
+  const fp::Fingerprint a = UniformRandomFingerprint(&rng);
+  const fp::Fingerprint b = UniformRandomFingerprint(&rng);
+  const fp::Fingerprint c = UniformRandomFingerprint(&rng);
+  const auto selection = std::make_shared<const core::BlockSelection>();
+  cache.Insert(SelectionCache::MakeKey(a, filter, &model), selection);
+  cache.Insert(SelectionCache::MakeKey(b, filter, &model), selection);
+  // Touch a so b becomes the eviction victim.
+  EXPECT_NE(cache.Lookup(SelectionCache::MakeKey(a, filter, &model)), nullptr);
+  cache.Insert(SelectionCache::MakeKey(c, filter, &model), selection);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.Lookup(SelectionCache::MakeKey(a, filter, &model)), nullptr);
+  EXPECT_EQ(cache.Lookup(SelectionCache::MakeKey(b, filter, &model)), nullptr);
+  EXPECT_NE(cache.Lookup(SelectionCache::MakeKey(c, filter, &model)), nullptr);
+
+  // Different alpha or model => different entry.
+  core::FilterOptions other_alpha = filter;
+  other_alpha.alpha = filter.alpha / 2;
+  EXPECT_EQ(cache.Lookup(SelectionCache::MakeKey(a, other_alpha, &model)),
+            nullptr);
+}
+
+class QueryServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto searcher = ShardedSearcher::Build(BuildDb(2000, 75), {});
+    ASSERT_TRUE(searcher.ok());
+    searcher_ = std::make_unique<ShardedSearcher>(std::move(*searcher));
+  }
+
+  std::vector<fp::Fingerprint> MakeQueries(int count, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<fp::Fingerprint> queries;
+    for (int i = 0; i < count; ++i) {
+      queries.push_back(UniformRandomFingerprint(&rng));
+    }
+    return queries;
+  }
+
+  std::unique_ptr<ShardedSearcher> searcher_;
+  GaussianDistortionModel model_{14.0};
+};
+
+TEST_F(QueryServiceTest, ExecutesBatchesAndMatchesDirectQueries) {
+  QueryServiceOptions options;
+  options.num_workers = 2;
+  options.threads_per_batch = 2;
+  options.query = TestQueryOptions();
+  QueryService service(searcher_.get(), &model_, options);
+
+  const auto queries = MakeQueries(8, 9);
+  auto ticket = service.Submit(queries);
+  ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+  const BatchResult& result = (*ticket)->Wait();
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  ASSERT_EQ(result.results.size(), queries.size());
+  EXPECT_EQ(result.queries_executed, queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto direct =
+        searcher_->StatisticalQuery(queries[i], model_, options.query);
+    EXPECT_EQ(ToSet(result.results[i].matches), ToSet(direct.matches)) << i;
+  }
+}
+
+TEST_F(QueryServiceTest, AdmissionQueueOverflowRejectsWithUnavailable) {
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  options.max_queue_depth = 3;
+  options.start_paused = true;  // nothing drains until Resume
+  options.query = TestQueryOptions();
+  QueryService service(searcher_.get(), &model_, options);
+
+  std::vector<BatchTicket> accepted;
+  for (int i = 0; i < 3; ++i) {
+    auto ticket = service.Submit(MakeQueries(2, 20 + i));
+    ASSERT_TRUE(ticket.ok()) << "batch " << i;
+    accepted.push_back(*ticket);
+  }
+  EXPECT_EQ(service.pending_batches(), 3u);
+
+  const auto rejected = service.Submit(MakeQueries(2, 30));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+
+  service.Resume();
+  for (auto& ticket : accepted) {
+    EXPECT_TRUE(ticket->Wait().status.ok());
+  }
+  // The queue drained, so admission opens up again.
+  auto retry = service.Submit(MakeQueries(2, 31));
+  EXPECT_TRUE(retry.ok());
+  EXPECT_TRUE((*retry)->Wait().status.ok());
+}
+
+TEST_F(QueryServiceTest, DeadlineExpiredInQueueFailsWithoutExecuting) {
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  options.start_paused = true;
+  options.query = TestQueryOptions();
+  QueryService service(searcher_.get(), &model_, options);
+
+  BatchOptions batch;
+  batch.deadline_ms = 1;
+  auto ticket = service.Submit(MakeQueries(4, 40), batch);
+  ASSERT_TRUE(ticket.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service.Resume();
+  const BatchResult& result = (*ticket)->Wait();
+  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(result.queries_executed, 0u);
+  EXPECT_TRUE(result.results.empty());
+  EXPECT_GE(result.queue_wait_ms, 1.0);
+}
+
+TEST_F(QueryServiceTest, SubmitAfterShutdownFails) {
+  QueryServiceOptions options;
+  options.query = TestQueryOptions();
+  QueryService service(searcher_.get(), &model_, options);
+  auto before = service.Submit(MakeQueries(2, 50));
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE((*before)->Wait().status.ok());
+  service.Shutdown();
+  const auto after = service.Submit(MakeQueries(2, 51));
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(QueryServiceTest, ShutdownDrainsQueuedBatches) {
+  QueryServiceOptions options;
+  options.num_workers = 2;
+  options.start_paused = true;
+  options.query = TestQueryOptions();
+  auto service = std::make_unique<QueryService>(searcher_.get(), &model_,
+                                                options);
+  std::vector<BatchTicket> tickets;
+  for (int i = 0; i < 5; ++i) {
+    auto ticket = service->Submit(MakeQueries(3, 60 + i));
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(*ticket);
+  }
+  service->Shutdown();  // must execute everything queued while paused
+  for (auto& ticket : tickets) {
+    EXPECT_TRUE(ticket->done());
+    EXPECT_TRUE(ticket->Wait().status.ok());
+  }
+}
+
+TEST_F(QueryServiceTest, CacheServesRepeatedProbes) {
+  QueryServiceOptions options;
+  options.cache_capacity = 128;
+  options.query = TestQueryOptions();
+  QueryService service(searcher_.get(), &model_, options);
+  const auto queries = MakeQueries(4, 70);
+
+  auto first = service.Submit(queries);
+  ASSERT_TRUE(first.ok());
+  (*first)->Wait();
+  auto second = service.Submit(queries);
+  ASSERT_TRUE(second.ok());
+  const BatchResult& replay = (*second)->Wait();
+  ASSERT_TRUE(replay.status.ok());
+  ASSERT_NE(service.cache(), nullptr);
+  EXPECT_GE(service.cache()->hits(), queries.size());
+
+  // Cached selections must not change results.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto direct =
+        searcher_->StatisticalQuery(queries[i], model_, options.query);
+    EXPECT_EQ(ToSet(replay.results[i].matches), ToSet(direct.matches)) << i;
+  }
+}
+
+TEST_F(QueryServiceTest, EmptyBatchCompletesOk) {
+  QueryServiceOptions options;
+  options.query = TestQueryOptions();
+  QueryService service(searcher_.get(), &model_, options);
+  auto ticket = service.Submit({});
+  ASSERT_TRUE(ticket.ok());
+  const BatchResult& result = (*ticket)->Wait();
+  EXPECT_TRUE(result.status.ok());
+  EXPECT_TRUE(result.results.empty());
+}
+
+}  // namespace
+}  // namespace s3vcd::service

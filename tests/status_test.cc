@@ -31,6 +31,9 @@ TEST(StatusTest, NamedConstructorsMapToCodes) {
   EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
 }
 
 TEST(StatusTest, Equality) {
@@ -104,6 +107,9 @@ TEST(StatusMacrosTest, AssignOrReturnPropagates) {
 TEST(StatusCodeTest, AllCodesHaveNames) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_EQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+            "DeadlineExceeded");
 }
 
 }  // namespace

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Fails when a relative markdown link in docs/*.md or README.md points at a
+# file that does not exist. External links (http/https/mailto) and pure
+# anchors (#...) are skipped; anchors on relative links are stripped before
+# the existence check. Part of the verify recipe (.claude/skills/verify).
+#
+# Usage: tools/check_docs_links.sh
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+failures=0
+checked=0
+
+check_file() {
+  local md="$1"
+  local dir
+  dir="$(dirname "${md}")"
+  # Pull every "](target)" out of the file, one target per line.
+  local targets
+  targets="$(grep -oE '\]\([^)]+\)' "${md}" | sed -E 's/^\]\(//; s/\)$//')" \
+    || return 0
+  while IFS= read -r target; do
+    [[ -z "${target}" ]] && continue
+    case "${target}" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    local path="${target%%#*}"           # strip anchor
+    path="${path%% *}"                   # strip optional '... "title"'
+    [[ -z "${path}" ]] && continue
+    checked=$((checked + 1))
+    if [[ ! -e "${dir}/${path}" ]]; then
+      echo "DEAD LINK: ${md}: (${target})"
+      failures=$((failures + 1))
+    fi
+  done <<< "${targets}"
+}
+
+for md in "${repo_root}"/README.md "${repo_root}"/docs/*.md; do
+  [[ -f "${md}" ]] && check_file "${md}"
+done
+
+if [[ "${failures}" -gt 0 ]]; then
+  echo "check_docs_links: ${failures} dead link(s) (checked ${checked})."
+  exit 1
+fi
+echo "check_docs_links: all ${checked} relative links resolve."

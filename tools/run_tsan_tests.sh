@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Builds the concurrency-sensitive tests under ThreadSanitizer and runs
-# them. The obs metrics/trace layer and the thread pool are the code most
-# exposed to data races; this is the gate described in
+# them. The obs metrics/trace layer, the thread pool and the sharded query
+# service (admission queue, worker fan-out, selection cache) are the code
+# most exposed to data races; this is the gate described in
 # docs/observability.md.
 #
 # Usage: tools/run_tsan_tests.sh [build-dir]
@@ -13,9 +14,10 @@ build_dir="${1:-${repo_root}/build-tsan}"
 cmake -S "${repo_root}" -B "${build_dir}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DS3VCD_SANITIZE=thread
-cmake --build "${build_dir}" --target obs_test parallel_test -j"$(nproc)"
+cmake --build "${build_dir}" --target obs_test parallel_test service_test \
+  -j"$(nproc)"
 
 cd "${build_dir}"
 TSAN_OPTIONS="halt_on_error=1" \
-  ctest --output-on-failure -R '^(obs_test|parallel_test)$'
+  ctest --output-on-failure -R '^(obs_test|parallel_test|service_test)$'
 echo "TSan run passed."

@@ -1,22 +1,34 @@
 // s3vcd_tool — operational command line for the S3VCD system.
 //
-//   s3vcd_tool build   --output DB [--videos N] [--frames F]
-//                      [--distractors M] [--seed S] [--order K] [--external]
-//   s3vcd_tool inspect --db DB
-//   s3vcd_tool verify  --db DB
-//   s3vcd_tool query   --db DB [--alpha A] [--sigma S] [--depth P]
-//                      [--count N] [--seed S] [--pseudo-disk R]
-//                      [--metrics-out FILE] [--trace-out FILE]
-//   s3vcd_tool monitor --db DB [--stream-frames F] [--copy-id I]
-//                      [--alpha A] [--sigma S] [--threshold T]
-//                      [--metrics-out FILE] [--trace-out FILE]
+//   s3vcd_tool build       --output DB [--videos N] [--frames F]
+//                          [--distractors M] [--seed S] [--order K]
+//                          [--memory-records N] [--external]
+//   s3vcd_tool inspect     --db DB
+//   s3vcd_tool verify      --db DB
+//   s3vcd_tool query       --db DB [--alpha A] [--sigma S] [--depth P]
+//                          [--count N] [--seed S] [--pseudo-disk R]
+//                          [--metrics-out FILE] [--trace-out FILE]
+//   s3vcd_tool monitor     --db DB [--stream-frames F] [--alpha A]
+//                          [--sigma S] [--threshold T] [--seed S]
+//                          [--metrics-out FILE] [--trace-out FILE]
+//   s3vcd_tool serve-batch --db DB [--shards K] [--policy range|hash]
+//                          [--workers W] [--threads T] [--queue-depth Q]
+//                          [--batch N] [--batches B] [--alpha A]
+//                          [--sigma S] [--depth P] [--deadline-ms D]
+//                          [--cache-capacity C] [--seed S]
+//                          [--metrics-out FILE] [--trace-out FILE]
 //
 // `build` synthesizes a reference corpus (the library normally ingests real
 // video; the tool uses the synthetic generator so it is runnable anywhere),
 // `query` replays distorted self-queries with timing, `monitor` embeds a
-// copy of one reference video in a synthetic stream and watches it.
+// copy of one reference video in a synthetic stream and watches it, and
+// `serve-batch` drives the sharded batch query service (ShardedSearcher +
+// QueryService) under producer pressure, exercising admission control and
+// the selection cache. See docs/query_service.md.
 //
-// Flags accept both `--flag value` and `--flag=value`. On query/monitor,
+// Flags accept both `--flag value` and `--flag=value`; unknown flags are
+// rejected with the command's flag table (run a command with no flags, or
+// see README.md, for the full table). On query/monitor/serve-batch,
 // `--metrics-out FILE` dumps a JSON snapshot of the global metrics registry
 // covering the run and `--trace-out FILE` records Chrome trace-event JSON
 // (load it in chrome://tracing). `--pseudo-disk R` additionally replays the
@@ -25,9 +37,11 @@
 // path too. See docs/observability.md.
 
 #include <algorithm>
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <map>
 #include <string>
 #include <vector>
@@ -44,6 +58,8 @@
 #include "media/synthetic.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "service/query_service.h"
+#include "service/sharded_searcher.h"
 #include "util/math.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -87,12 +103,128 @@ class Flags {
     return it == values_.end() ? fallback : std::atoll(it->second.c_str());
   }
   const char* bad() const { return bad_; }
+  const std::map<std::string, std::string>& values() const { return values_; }
 
  private:
   std::map<std::string, std::string> values_;
   const char* bad_ = nullptr;
   int consumed_ = 0;
 };
+
+// The flag table of one command; the single source of truth for usage
+// output and unknown-flag rejection (mirrored in README.md).
+struct FlagSpec {
+  const char* name;
+  const char* help;
+};
+
+struct CommandSpec {
+  const char* name;
+  const char* summary;
+  std::vector<FlagSpec> flags;
+};
+
+const std::vector<CommandSpec>& Commands() {
+  static const std::vector<CommandSpec>* commands = new std::vector<
+      CommandSpec>{
+      {"build",
+       "synthesize a reference corpus and write a .s3db database",
+       {{"output", "output database path (required)"},
+        {"videos", "number of reference videos (default 4)"},
+        {"frames", "frames per reference video (default 200)"},
+        {"distractors", "padding fingerprints (default 100000)"},
+        {"seed", "deterministic seed (default 1)"},
+        {"order", "Hilbert curve order, bits/component (default 8)"},
+        {"memory-records", "external build memory bound (default 1048576)"},
+        {"external", "trailing switch: bounded-memory external build"}}},
+      {"inspect",
+       "print sizes, ids and curve-section occupancy of a database",
+       {{"db", "database path (required)"}}},
+      {"verify",
+       "check the database checksum and Hilbert ordering",
+       {{"db", "database path (required)"}}},
+      {"query",
+       "replay distorted self-queries with timing and metrics",
+       {{"db", "database path (required)"},
+        {"alpha", "statistical expectation (default 0.8)"},
+        {"sigma", "distortion model sigma (default 15)"},
+        {"depth", "partition depth p; 0 = auto-tune (default 0)"},
+        {"count", "number of queries (default 100)"},
+        {"seed", "deterministic seed (default 99)"},
+        {"pseudo-disk", "also replay via pseudo-disk with 2^R sections"},
+        {"metrics-out", "write a metrics JSON snapshot to FILE"},
+        {"trace-out", "write Chrome trace-event JSON to FILE"}}},
+      {"monitor",
+       "watch a synthetic stream with an embedded copy",
+       {{"db", "database path (required)"},
+        {"alpha", "statistical expectation (default 0.8)"},
+        {"sigma", "distortion model sigma (default 12)"},
+        {"stream-frames", "filler frames before/after the copy (default 150)"},
+        {"threshold", "nsim detection threshold (default 8)"},
+        {"seed", "seed of the embedded reference video (default 1)"},
+        {"metrics-out", "write a metrics JSON snapshot to FILE"},
+        {"trace-out", "write Chrome trace-event JSON to FILE"}}},
+      {"serve-batch",
+       "drive the sharded batch query service under producer pressure",
+       {{"db", "database path (required)"},
+        {"shards", "number of index shards K (default 4)"},
+        {"policy", "sharding policy: range | hash (default range)"},
+        {"workers", "service worker threads (default 2)"},
+        {"threads", "fan-out threads per batch (default 2)"},
+        {"queue-depth", "admission queue bound, in batches (default 8)"},
+        {"batch", "queries per batch (default 32)"},
+        {"batches", "batches to submit (default 64)"},
+        {"alpha", "statistical expectation (default 0.8)"},
+        {"sigma", "distortion model sigma (default 15)"},
+        {"depth", "partition depth p (default 12)"},
+        {"deadline-ms", "per-batch deadline; 0 = none (default 0)"},
+        {"cache-capacity", "selection cache entries; 0 = off (default 4096)"},
+        {"seed", "deterministic seed (default 99)"},
+        {"metrics-out", "write a metrics JSON snapshot to FILE"},
+        {"trace-out", "write Chrome trace-event JSON to FILE"}}},
+  };
+  return *commands;
+}
+
+const CommandSpec* FindCommand(const std::string& name) {
+  for (const CommandSpec& command : Commands()) {
+    if (name == command.name) {
+      return &command;
+    }
+  }
+  return nullptr;
+}
+
+void PrintCommandUsage(const CommandSpec& command) {
+  std::fprintf(stderr, "usage: s3vcd_tool %s [--flag value | --flag=value]...\n",
+               command.name);
+  std::fprintf(stderr, "  %s\n", command.summary);
+  for (const FlagSpec& flag : command.flags) {
+    std::fprintf(stderr, "  --%-15s %s\n", flag.name, flag.help);
+  }
+}
+
+// Rejects flags the command does not declare: a typo like --sigm silently
+// falling back to the default is exactly the failure mode an operational
+// tool must not have.
+bool RejectUnknownFlags(const CommandSpec& command, const Flags& flags) {
+  bool ok = true;
+  for (const auto& kv : flags.values()) {
+    bool known = false;
+    for (const FlagSpec& flag : command.flags) {
+      known |= kv.first == flag.name;
+    }
+    if (!known) {
+      std::fprintf(stderr, "unknown flag --%s for command %s\n",
+                   kv.first.c_str(), command.name);
+      ok = false;
+    }
+  }
+  if (!ok) {
+    PrintCommandUsage(command);
+  }
+  return ok;
+}
 
 bool WriteTextFile(const std::string& path, const std::string& content) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -501,10 +633,153 @@ int CmdMonitor(const Flags& flags) {
   return reports > 0 ? 0 : 1;
 }
 
+// Drives the sharded batch query service: loads the DB, builds a
+// ShardedSearcher with K shards, starts a QueryService, and submits B
+// batches of N distorted self-queries as fast as the admission queue
+// accepts them. Rejected submissions are retried after waiting for the
+// oldest outstanding batch — the backpressure contract of
+// docs/query_service.md — and counted so an overloaded configuration is
+// visible in the output and in service.admission_rejects.
+int CmdServeBatch(const Flags& flags) {
+  const std::string path = flags.Get("db", "");
+  auto db = core::FingerprintDatabase::LoadFromFile(path);
+  if (!db.ok()) {
+    std::fprintf(stderr, "serve-batch failed: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  const std::string policy_name = flags.Get("policy", "range");
+  service::ShardedSearcherOptions sharding;
+  sharding.num_shards = static_cast<int>(flags.GetInt("shards", 4));
+  if (policy_name == "range") {
+    sharding.policy = service::ShardingPolicy::kHilbertRange;
+  } else if (policy_name == "hash") {
+    sharding.policy = service::ShardingPolicy::kRefIdHash;
+  } else {
+    std::fprintf(stderr, "serve-batch: --policy must be range or hash\n");
+    return 2;
+  }
+  const size_t db_size = db->size();
+  auto searcher = service::ShardedSearcher::Build(std::move(*db), sharding);
+  if (!searcher.ok()) {
+    std::fprintf(stderr, "serve-batch failed: %s\n",
+                 searcher.status().ToString().c_str());
+    return 1;
+  }
+
+  const double alpha = flags.GetDouble("alpha", 0.8);
+  const double sigma = flags.GetDouble("sigma", 15.0);
+  const core::GaussianDistortionModel model(sigma);
+  service::QueryServiceOptions options;
+  options.num_workers = static_cast<int>(flags.GetInt("workers", 2));
+  options.threads_per_batch = static_cast<int>(flags.GetInt("threads", 2));
+  options.max_queue_depth =
+      static_cast<size_t>(flags.GetInt("queue-depth", 8));
+  options.cache_capacity =
+      static_cast<size_t>(flags.GetInt("cache-capacity", 4096));
+  options.query.filter.alpha = alpha;
+  options.query.filter.depth = static_cast<int>(flags.GetInt("depth", 12));
+  service::BatchOptions batch_options;
+  batch_options.deadline_ms = flags.GetDouble("deadline-ms", 0);
+
+  const size_t batch_size = static_cast<size_t>(flags.GetInt("batch", 32));
+  const size_t num_batches = static_cast<size_t>(flags.GetInt("batches", 64));
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 99)));
+  std::vector<std::vector<fp::Fingerprint>> batches(num_batches);
+  for (auto& batch : batches) {
+    batch.reserve(batch_size);
+    for (size_t i = 0; i < batch_size; ++i) {
+      const auto& target = searcher->shard(0).base().database();
+      // Self-queries against shard 0's records keep the workload realistic
+      // (distorted copies of referenced content) without loading the DB
+      // twice.
+      const auto& record = target.record(static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(target.size()) - 1)));
+      batch.push_back(
+          core::DistortFingerprint(record.descriptor, sigma, &rng));
+    }
+  }
+
+  std::printf("serve-batch: %zu records, %d shards (%s), %d workers x %d "
+              "threads, queue depth %zu, cache %zu\n",
+              db_size, searcher->num_shards(), policy_name.c_str(),
+              options.num_workers, options.threads_per_batch,
+              options.max_queue_depth, options.cache_capacity);
+
+  ObsOutputs obs_out(flags);
+  obs_out.Begin();
+  service::QueryService query_service(&*searcher, &model, options);
+  std::deque<service::BatchTicket> outstanding;
+  uint64_t rejects = 0;
+  uint64_t queries_done = 0;
+  uint64_t deadline_failures = 0;
+  double total_queue_wait_ms = 0;
+  double total_execute_ms = 0;
+  size_t completed = 0;
+  const auto absorb = [&](const service::BatchTicket& ticket) {
+    const service::BatchResult& result = ticket->Wait();
+    ++completed;
+    queries_done += result.queries_executed;
+    total_queue_wait_ms += result.queue_wait_ms;
+    total_execute_ms += result.execute_ms;
+    if (result.status.code() == StatusCode::kDeadlineExceeded) {
+      ++deadline_failures;
+    }
+  };
+
+  Stopwatch watch;
+  for (auto& batch : batches) {
+    for (;;) {
+      auto ticket = query_service.Submit(batch, batch_options);
+      if (ticket.ok()) {
+        outstanding.push_back(*ticket);
+        break;
+      }
+      // Backpressure: drain the oldest outstanding batch, then retry.
+      ++rejects;
+      if (outstanding.empty()) {
+        std::fprintf(stderr, "serve-batch: rejected with empty queue: %s\n",
+                     ticket.status().ToString().c_str());
+        return 1;
+      }
+      absorb(outstanding.front());
+      outstanding.pop_front();
+    }
+  }
+  for (auto& ticket : outstanding) {
+    absorb(ticket);
+  }
+  const double elapsed = watch.ElapsedSeconds();
+  query_service.Shutdown();
+
+  std::printf("submitted %zu batches of %zu queries: %" PRIu64
+              " backpressure rejects (retried)\n",
+              num_batches, batch_size, rejects);
+  std::printf("completed %zu batches (%" PRIu64 " queries) in %.2f s -> "
+              "%.0f queries/s\n",
+              completed, queries_done, elapsed,
+              elapsed > 0 ? queries_done / elapsed : 0.0);
+  const service::SelectionCache* cache = query_service.cache();
+  std::printf("deadline failures: %" PRIu64 "; cache hit rate %.1f%% "
+              "(%" PRIu64 " hits / %" PRIu64 " misses)\n",
+              deadline_failures, cache ? cache->HitRate() * 100 : 0.0,
+              cache ? cache->hits() : 0, cache ? cache->misses() : 0);
+  if (completed > 0) {
+    std::printf("avg queue wait %.2f ms, avg execute %.2f ms per batch\n",
+                total_queue_wait_ms / completed,
+                total_execute_ms / completed);
+  }
+  return obs_out.Finish();
+}
+
 int Usage() {
+  std::fprintf(stderr, "usage: s3vcd_tool <command> [--flag value]...\n\n");
+  for (const CommandSpec& command : Commands()) {
+    std::fprintf(stderr, "  %-12s %s\n", command.name, command.summary);
+  }
   std::fprintf(stderr,
-               "usage: s3vcd_tool <build|inspect|verify|query|monitor> "
-               "[--flag value]...\n");
+               "\nrun `s3vcd_tool <command> --help 1` or pass an unknown "
+               "flag to see a command's flag table (also in README.md)\n");
   return 2;
 }
 
@@ -512,7 +787,11 @@ int Main(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
   }
-  const std::string command = argv[1];
+  const std::string command_name = argv[1];
+  const CommandSpec* command = FindCommand(command_name);
+  if (command == nullptr) {
+    return Usage();
+  }
   // Strip a trailing --external switch (the only valueless flag).
   bool external = false;
   int effective_argc = argc;
@@ -520,27 +799,41 @@ int Main(int argc, char** argv) {
     external = true;
     effective_argc = argc - 1;
   }
+  if (external && command_name != "build") {
+    std::fprintf(stderr, "unknown flag --external for command %s\n",
+                 command_name.c_str());
+    PrintCommandUsage(*command);
+    return 2;
+  }
   const Flags flags(effective_argc, argv, 2);
   if (flags.bad() != nullptr) {
     std::fprintf(stderr, "bad argument: %s\n", flags.bad());
+    PrintCommandUsage(*command);
     return 2;
   }
-  if (command == "build") {
+  if (flags.values().count("help") > 0) {
+    PrintCommandUsage(*command);
+    return 2;
+  }
+  if (!RejectUnknownFlags(*command, flags)) {
+    return 2;
+  }
+  if (command_name == "build") {
     return CmdBuild(flags, external);
   }
-  if (command == "inspect") {
+  if (command_name == "inspect") {
     return CmdInspect(flags);
   }
-  if (command == "verify") {
+  if (command_name == "verify") {
     return CmdVerify(flags);
   }
-  if (command == "query") {
+  if (command_name == "query") {
     return CmdQuery(flags);
   }
-  if (command == "monitor") {
+  if (command_name == "monitor") {
     return CmdMonitor(flags);
   }
-  return Usage();
+  return CmdServeBatch(flags);
 }
 
 }  // namespace
