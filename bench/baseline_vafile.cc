@@ -2,15 +2,20 @@
 // Blott), which the paper cites ([11]) as the improved sequential method
 // that can beat all tree structures in high dimension. We compare, at
 // equal expectation, the S3 statistical query, the S3 exact range query,
-// the VA-file range query, the VA-file k-NN, and the plain sequential
-// scan — on time and on exact-vector accesses.
+// the VA-file range query, the VA-file k-NN, the p-stable LSH range query,
+// and the plain sequential scan — on time and on exact-vector accesses.
+// All range/statistical rows run through the backend-agnostic Searcher
+// registry; one # METRICS block per row carries a backend= annotation so
+// downstream parsers can key counters by backend.
 
 #include <cstdio>
+#include <memory>
+#include <string>
 
 #include "bench_common.h"
 #include "core/knn.h"
-#include "core/lsh.h"
 #include "core/vafile.h"
+#include "obs/metrics.h"
 #include "util/math.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -20,49 +25,60 @@ namespace {
 
 int Main() {
   PrintHeader("baseline_vafile",
-              "S3 vs VA-file vs sequential scan at equal expectation");
+              "S3 vs VA-file vs LSH vs sequential scan at equal expectation");
+  SetMetricsAnnotation("backend=all");
   const uint64_t kDbSize = Scaled(400000);
   const int kQueries = static_cast<int>(Scaled(200));
   const double kSigma = 18.0;
   const double kAlpha = 0.8;
 
   Corpus corpus = BuildCorpus(6, kDbSize, 8100);
-  const core::S3Index& index = *corpus.index;
   const core::GaussianDistortionModel model(kSigma);
   const ChiNormDistribution chi(fp::kDims, kSigma);
   const double epsilon = chi.Quantile(kAlpha);
   Rng rng(663);
 
-  // VA-file over the same records.
-  core::VAFileOptions va_options;
-  va_options.bits_per_dim = 4;
+  // VA-file and LSH backends over copies of the same records, built
+  // through the registry (same construction path as the service/tool).
+  core::SearcherConfig va_config;
+  va_config.vafile_bits_per_dim = 4;
   Stopwatch build_watch;
-  const core::VAFile va(index.database().records(), va_options);
-  std::printf("VA-file built in %.1f ms (%d bits/dim, %.1f MiB approx)\n",
-              build_watch.ElapsedMillis(), va.bits_per_dim(),
-              va.ApproximationBits() / 8.0 / 1048576.0);
+  const std::unique_ptr<core::Searcher> va =
+      MakeBackend(corpus, "vafile", va_config);
+  std::printf("VA-file built in %.1f ms (%d bits/dim, %.1f MiB total)\n",
+              build_watch.ElapsedMillis(), va_config.vafile_bits_per_dim,
+              va->ApproxBytes() / 1048576.0);
 
   // LSH baseline (p-stable, Datar et al. 2004) tuned for the target eps.
-  core::LshOptions lsh_options;
-  lsh_options.num_tables = 10;
-  lsh_options.hashes_per_table = 5;
-  lsh_options.bucket_width = 1.5 * epsilon;
+  core::SearcherConfig lsh_config;
+  lsh_config.lsh_num_tables = 10;
+  lsh_config.lsh_hashes_per_table = 5;
+  lsh_config.lsh_bucket_width = 1.5 * epsilon;
   build_watch.Reset();
-  const core::LshIndex lsh(index.database().records(), lsh_options);
+  const std::unique_ptr<core::Searcher> lsh =
+      MakeBackend(corpus, "lsh", lsh_config);
   std::printf("LSH built in %.1f ms (%d tables x %d hashes)\n",
-              build_watch.ElapsedMillis(), lsh_options.num_tables,
-              lsh_options.hashes_per_table);
+              build_watch.ElapsedMillis(), lsh_config.lsh_num_tables,
+              lsh_config.lsh_hashes_per_table);
+
+  const std::unique_ptr<core::Searcher> seqscan =
+      MakeBackend(corpus, "seqscan");
 
   std::vector<fp::Fingerprint> queries;
   for (int i = 0; i < kQueries; ++i) {
     const size_t idx = static_cast<size_t>(
-        rng.UniformInt(0, static_cast<int64_t>(index.database().size()) - 1));
+        rng.UniformInt(0, static_cast<int64_t>(corpus.db().size()) - 1));
     queries.push_back(core::DistortFingerprint(
-        index.database().record(idx).descriptor, kSigma, &rng));
+        corpus.db().record(idx).descriptor, kSigma, &rng));
   }
 
-  Table table({"method", "avg_ms", "avg_vector_accesses", "avg_results"});
-  auto add_row = [&](const char* name, auto&& run) {
+  Table table({"method", "backend", "avg_ms", "avg_vector_accesses",
+               "avg_results"});
+  // Each row runs with a freshly reset metrics registry and emits its own
+  // annotated # METRICS block, so the per-backend index.* counters are
+  // separable from the combined run.
+  auto add_row = [&](const char* name, const char* backend, auto&& run) {
+    obs::MetricsRegistry::Global().Reset();
     Stopwatch watch;
     uint64_t accesses = 0;
     uint64_t results = 0;
@@ -73,37 +89,44 @@ int Main() {
     }
     table.AddRow()
         .Add(name)
+        .Add(backend)
         .Add(watch.ElapsedMillis() / kQueries, 4)
         .Add(static_cast<double>(accesses) / kQueries, 4)
         .Add(static_cast<double>(results) / kQueries, 4);
+    EmitMetricsBlock(std::string("baseline_vafile.") + name,
+                     std::string("backend=") + backend);
   };
 
   core::QueryOptions stat;
   stat.filter.alpha = kAlpha;
   stat.filter.depth = 16;
-  add_row("s3_statistical(a=0.8)", [&](const fp::Fingerprint& q) {
-    return index.StatisticalQuery(q, model, stat);
+  const core::Searcher& s3 = corpus.searcher();
+  add_row("s3_statistical(a=0.8)", "s3", [&](const fp::Fingerprint& q) {
+    return s3.StatQuery(q, model, stat);
   });
-  add_row("s3_range(eps=chi(0.8))", [&](const fp::Fingerprint& q) {
-    return index.RangeQuery(q, epsilon, 16);
+  add_row("s3_range(eps=chi(0.8))", "s3", [&](const fp::Fingerprint& q) {
+    return s3.RangeQuery(q, epsilon, 16);
   });
-  add_row("vafile_range(eps)", [&](const fp::Fingerprint& q) {
-    return va.RangeQuery(q, epsilon);
+  add_row("vafile_range(eps)", "vafile", [&](const fp::Fingerprint& q) {
+    return va->RangeQuery(q, epsilon, 0);
   });
-  add_row("vafile_knn(k=20)", [&](const fp::Fingerprint& q) {
-    return va.KnnQuery(q, 20);
+  // k-NN rows exercise concrete-only API (no Searcher equivalent — the
+  // paper argues k-NN semantics are wrong for copy detection).
+  const auto* va_concrete = dynamic_cast<const core::VAFile*>(va.get());
+  add_row("vafile_knn(k=20)", "vafile", [&](const fp::Fingerprint& q) {
+    return va_concrete->KnnQuery(q, 20);
   });
-  add_row("lsh_range(eps, approx)", [&](const fp::Fingerprint& q) {
-    return lsh.RangeQuery(q, epsilon);
+  add_row("lsh_range(eps, approx)", "lsh", [&](const fp::Fingerprint& q) {
+    return lsh->RangeQuery(q, epsilon, 0);
   });
   core::KnnOptions knn_options;
   knn_options.k = 20;
   knn_options.depth = 16;
-  add_row("s3_knn(k=20)", [&](const fp::Fingerprint& q) {
-    return core::KnnQuery(index, q, knn_options);
+  add_row("s3_knn(k=20)", "s3", [&](const fp::Fingerprint& q) {
+    return core::KnnQuery(*corpus.index, q, knn_options);
   });
-  add_row("sequential_scan(eps)", [&](const fp::Fingerprint& q) {
-    return index.SequentialScan(q, epsilon);
+  add_row("sequential_scan(eps)", "seqscan", [&](const fp::Fingerprint& q) {
+    return seqscan->RangeQuery(q, epsilon, 0);
   });
   table.Print("baseline_vafile");
   std::printf(

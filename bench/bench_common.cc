@@ -79,6 +79,26 @@ std::unique_ptr<core::S3Index> RebuildIndexWithSize(const Corpus& corpus,
   return std::make_unique<core::S3Index>(builder.Build());
 }
 
+core::FingerprintDatabase CopyDatabase(const Corpus& corpus) {
+  const core::FingerprintDatabase& db = corpus.db();
+  core::DatabaseBuilder builder(db.order());
+  for (size_t i = 0; i < db.size(); ++i) {
+    const core::FingerprintRecord& r = db.record(i);
+    builder.Add(r.descriptor, r.id, r.time_code, r.x, r.y);
+  }
+  return builder.Build();
+}
+
+std::unique_ptr<core::Searcher> MakeBackend(const Corpus& corpus,
+                                            const std::string& name,
+                                            const core::SearcherConfig& config) {
+  Result<std::unique_ptr<core::Searcher>> backend =
+      core::SearcherRegistry::Global().Create(name, CopyDatabase(corpus),
+                                              config);
+  S3VCD_CHECK(backend.ok());
+  return std::move(*backend);
+}
+
 media::TransformChain TransformSweep::MakeChain(double parameter) const {
   if (family == "shift") {
     return media::TransformChain::VerticalShift(parameter);
@@ -129,15 +149,33 @@ std::string* MetricsBlockName() {
   return name;
 }
 
-void EmitMetricsBlockAtExit() { EmitMetricsBlock(*MetricsBlockName()); }
+// Annotation of the at-exit block (SetMetricsAnnotation).
+std::string* MetricsBlockAnnotation() {
+  static std::string* annotation = new std::string();
+  return annotation;
+}
+
+void EmitMetricsBlockAtExit() {
+  EmitMetricsBlock(*MetricsBlockName(), *MetricsBlockAnnotation());
+}
 
 }  // namespace
 
-void EmitMetricsBlock(const std::string& name) {
+void EmitMetricsBlock(const std::string& name,
+                      const std::string& annotation) {
   const std::string json = obs::MetricsRegistry::Global().Snapshot().ToJson();
-  std::printf("# METRICS %s\n%s\n# END METRICS\n", name.c_str(),
-              json.c_str());
+  if (annotation.empty()) {
+    std::printf("# METRICS %s\n%s\n# END METRICS\n", name.c_str(),
+                json.c_str());
+  } else {
+    std::printf("# METRICS %s %s\n%s\n# END METRICS\n", name.c_str(),
+                annotation.c_str(), json.c_str());
+  }
   std::fflush(stdout);
+}
+
+void SetMetricsAnnotation(const std::string& annotation) {
+  *MetricsBlockAnnotation() = annotation;
 }
 
 void PrintHeader(const std::string& name, const std::string& description) {

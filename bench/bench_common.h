@@ -10,6 +10,7 @@
 #include "core/database.h"
 #include "core/distortion_model.h"
 #include "core/index.h"
+#include "core/searcher.h"
 #include "core/synthetic_db.h"
 #include "fingerprint/extractor.h"
 #include "media/synthetic.h"
@@ -42,6 +43,12 @@ struct Corpus {
   std::vector<fp::Fingerprint> pool;  ///< all real descriptors (resampling)
   std::unique_ptr<core::S3Index> index;
   fp::FingerprintExtractor extractor;
+
+  /// The corpus index through the backend-agnostic interface; benches that
+  /// do not need S3-specific API should query through this.
+  const core::Searcher& searcher() const { return *index; }
+  /// The reference records of the corpus.
+  const core::FingerprintDatabase& db() const { return index->database(); }
 };
 
 Corpus BuildCorpus(int num_videos, uint64_t total_size, uint64_t seed,
@@ -53,6 +60,17 @@ Corpus BuildCorpus(int num_videos, uint64_t total_size, uint64_t seed,
 std::unique_ptr<core::S3Index> RebuildIndexWithSize(const Corpus& corpus,
                                                     uint64_t total_size,
                                                     uint64_t seed);
+
+/// Copies the corpus reference records into a standalone database (backend
+/// constructors consume their database; the corpus keeps its own).
+core::FingerprintDatabase CopyDatabase(const Corpus& corpus);
+
+/// Constructs a registry backend ("s3", "vafile", "lsh", "seqscan", ...)
+/// over a copy of the corpus database. Aborts on an unknown name — bench
+/// backends are spelled in source, not user input.
+std::unique_ptr<core::Searcher> MakeBackend(
+    const Corpus& corpus, const std::string& name,
+    const core::SearcherConfig& config = {});
 
 /// The five transformation families of the paper's Figure 4, with a sweep
 /// of strength values per family (subsets of the paper's abacus x-axes).
@@ -77,12 +95,19 @@ bool ClipDetected(const std::vector<cbcd::Detection>& detections,
 void PrintHeader(const std::string& name, const std::string& description);
 
 /// Prints the structured metrics block for this run:
-///   # METRICS <name>
+///   # METRICS <name> [annotation]
 ///   { ...one MetricsSnapshot JSON object... }
 ///   # END METRICS
 /// Called automatically at exit after PrintHeader; callable directly to
-/// bracket a narrower region.
-void EmitMetricsBlock(const std::string& name);
+/// bracket a narrower region. A non-empty annotation (e.g. "backend=s3")
+/// is appended to the header line so downstream parsers can key blocks by
+/// backend.
+void EmitMetricsBlock(const std::string& name,
+                      const std::string& annotation = "");
+
+/// Sets the annotation of the metrics block emitted at exit (the blocks
+/// emitted directly via EmitMetricsBlock pass their own).
+void SetMetricsAnnotation(const std::string& annotation);
 
 }  // namespace s3vcd::bench
 

@@ -23,7 +23,8 @@ int Main() {
   const int kDepth = 14;
 
   Corpus corpus = BuildCorpus(6, kDbSize, 2100);
-  const core::S3Index& index = *corpus.index;
+  const core::Searcher& searcher = corpus.searcher();
+  const core::FingerprintDatabase& db = corpus.db();
   Rng rng(555);
 
   // Pick random real fingerprints S from the database and build distorted
@@ -32,8 +33,8 @@ int Main() {
   std::vector<fp::Fingerprint> queries;
   for (int i = 0; i < kQueries; ++i) {
     const size_t idx = static_cast<size_t>(
-        rng.UniformInt(0, static_cast<int64_t>(index.database().size()) - 1));
-    targets.push_back(index.database().record(idx).descriptor);
+        rng.UniformInt(0, static_cast<int64_t>(db.size()) - 1));
+    targets.push_back(db.record(idx).descriptor);
     queries.push_back(core::DistortFingerprint(targets.back(), kSigmaQ,
                                                &rng));
   }
@@ -55,7 +56,7 @@ int Main() {
     for (int i = 0; i < kQueries; ++i) {
       const double target_dist = fp::Distance(queries[i], targets[i]);
       const core::QueryResult s =
-          index.StatisticalQuery(queries[i], model, stat);
+          searcher.StatQuery(queries[i], model, stat);
       for (const auto& m : s.matches) {
         if (std::abs(m.distance - target_dist) < 1e-3) {
           ++stat_hits;

@@ -18,6 +18,8 @@ namespace {
 int Main() {
   PrintHeader("fig6_time_stat_vs_range",
               "average search time vs alpha: statistical vs eps-range");
+  // The whole sweep runs on the corpus's block-structured backend.
+  SetMetricsAnnotation("backend=s3");
   const uint64_t kDbSize = Scaled(400000);
   const int kStatQueries = static_cast<int>(Scaled(400));
   const int kRangeQueries = static_cast<int>(Scaled(60));
@@ -25,15 +27,16 @@ int Main() {
   const int kDepth = 14;
 
   Corpus corpus = BuildCorpus(6, kDbSize, 2100);
-  const core::S3Index& index = *corpus.index;
+  const core::Searcher& searcher = corpus.searcher();
+  const core::FingerprintDatabase& db = corpus.db();
   Rng rng(556);
 
   std::vector<fp::Fingerprint> queries;
   for (int i = 0; i < kStatQueries; ++i) {
     const size_t idx = static_cast<size_t>(
-        rng.UniformInt(0, static_cast<int64_t>(index.database().size()) - 1));
+        rng.UniformInt(0, static_cast<int64_t>(db.size()) - 1));
     queries.push_back(core::DistortFingerprint(
-        index.database().record(idx).descriptor, kSigmaQ, &rng));
+        db.record(idx).descriptor, kSigmaQ, &rng));
   }
 
   const core::GaussianDistortionModel model(kSigmaQ);
@@ -50,7 +53,7 @@ int Main() {
     Stopwatch watch;
     uint64_t stat_blocks = 0;
     for (const auto& q : queries) {
-      const core::QueryResult r = index.StatisticalQuery(q, model, stat);
+      const core::QueryResult r = searcher.StatQuery(q, model, stat);
       stat_blocks += r.stats.blocks_selected;
     }
     const double stat_ms = watch.ElapsedMillis() / queries.size();
@@ -59,7 +62,7 @@ int Main() {
     uint64_t range_blocks = 0;
     for (int i = 0; i < kRangeQueries; ++i) {
       const core::QueryResult r =
-          index.RangeQuery(queries[i], epsilon, kDepth);
+          searcher.RangeQuery(queries[i], epsilon, kDepth);
       range_blocks += r.stats.blocks_selected;
     }
     const double range_ms = watch.ElapsedMillis() / kRangeQueries;

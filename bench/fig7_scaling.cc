@@ -67,10 +67,13 @@ int Main() {
     core::QueryOptions stat;
     stat.filter.alpha = kAlpha;
     stat.filter.depth = tuned.best_depth;
+    // Timed loop runs through the backend-agnostic interface (depth tuning
+    // above is S3-specific and stays concrete).
+    const core::Searcher& searcher = *index;
     Stopwatch watch;
     uint64_t scanned = 0;
     for (const auto& q : queries) {
-      const core::QueryResult r = index->StatisticalQuery(q, model, stat);
+      const core::QueryResult r = searcher.StatQuery(q, model, stat);
       scanned += r.stats.records_scanned;
     }
     const double s3_ms = watch.ElapsedMillis() / queries.size();

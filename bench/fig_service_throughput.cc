@@ -23,19 +23,6 @@
 namespace s3vcd::bench {
 namespace {
 
-// Rebuilds a standalone FingerprintDatabase from the corpus index's records
-// (ShardedSearcher::Build consumes its database, and the corpus owns its
-// index, so each configuration gets a fresh copy).
-core::FingerprintDatabase CopyDatabase(const Corpus& corpus) {
-  const core::FingerprintDatabase& db = corpus.index->database();
-  core::DatabaseBuilder builder(db.order());
-  for (size_t i = 0; i < db.size(); ++i) {
-    const core::FingerprintRecord& r = db.record(i);
-    builder.Add(r.descriptor, r.id, r.time_code, r.x, r.y);
-  }
-  return builder.Build();
-}
-
 int Main() {
   PrintHeader("fig_service_throughput",
               "sharded batch service: throughput and per-shard scan "
@@ -53,9 +40,9 @@ int Main() {
   std::vector<fp::Fingerprint> pool;
   for (int i = 0; i < 32; ++i) {
     const size_t idx = static_cast<size_t>(rng.UniformInt(
-        0, static_cast<int64_t>(corpus.index->database().size()) - 1));
+        0, static_cast<int64_t>(corpus.db().size()) - 1));
     pool.push_back(core::DistortFingerprint(
-        corpus.index->database().record(idx).descriptor, kSigma, &rng));
+        corpus.db().record(idx).descriptor, kSigma, &rng));
   }
   size_t next_query = 0;
   auto make_batch = [&](size_t batch_size) {
@@ -145,7 +132,9 @@ int Main() {
         std::printf("FATAL: %s\n", searcher.status().ToString().c_str());
         return 1;
       }
-      const core::BlockFilter& filter = searcher->shard(0).base().filter();
+      // ShardedSearcher::Build defaults to the block-structured "dynamic"
+      // backend, so the shared-selection decomposition always applies here.
+      const core::BlockFilter& filter = *searcher->shard(0).selection_filter();
       double cpu_seconds = 0;
       double critical_seconds = 0;
       for (const fp::Fingerprint& query : pool) {

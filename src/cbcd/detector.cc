@@ -26,11 +26,11 @@ obs::Histogram* const g_vote_us =
 
 }  // namespace
 
-CopyDetector::CopyDetector(const core::S3Index* index,
+CopyDetector::CopyDetector(const core::Searcher* searcher,
                            const core::DistortionModel* model,
                            DetectorOptions options)
-    : index_(index), model_(model), options_(options) {
-  S3VCD_CHECK(index != nullptr);
+    : searcher_(searcher), model_(model), options_(options) {
+  S3VCD_CHECK(searcher != nullptr);
   S3VCD_CHECK(model != nullptr);
 }
 
@@ -42,7 +42,7 @@ CandidateEntry CopyDetector::SearchOne(const fp::LocalFingerprint& lf,
   entry.y = lf.y;
   Stopwatch watch;
   core::QueryResult result =
-      index_->StatisticalQuery(lf.descriptor, *model_, options_.query);
+      searcher_->StatQuery(lf.descriptor, *model_, options_.query);
   entry.matches = std::move(result.matches);
   const double search_seconds = watch.ElapsedSeconds();
   g_queries->Increment();

@@ -8,7 +8,7 @@
 #include "cbcd/voting.h"
 #include "core/database.h"
 #include "core/distortion_model.h"
-#include "core/index.h"
+#include "core/searcher.h"
 #include "fingerprint/extractor.h"
 #include "media/frame.h"
 
@@ -48,9 +48,11 @@ struct DetectionStats {
 /// copies.
 class CopyDetector {
  public:
-  /// `index` and `model` must outlive the detector.
-  CopyDetector(const core::S3Index* index, const core::DistortionModel* model,
-               DetectorOptions options);
+  /// `searcher` and `model` must outlive the detector. The detector is
+  /// backend-agnostic: any registered Searcher works (the paper's setup is
+  /// the "s3" backend).
+  CopyDetector(const core::Searcher* searcher,
+               const core::DistortionModel* model, DetectorOptions options);
 
   const DetectorOptions& options() const { return options_; }
 
@@ -67,7 +69,7 @@ class CopyDetector {
                            DetectionStats* stats = nullptr) const;
 
  private:
-  const core::S3Index* index_;
+  const core::Searcher* searcher_;
   const core::DistortionModel* model_;
   DetectorOptions options_;
 };

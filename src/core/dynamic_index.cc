@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/scan_kernel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/timer.h"
@@ -36,41 +37,15 @@ void DynamicIndex::AppendBufferMatches(
     const std::vector<std::pair<BitKey, BitKey>>& ranges,
     RefinementMode mode, double radius, const DistortionModel* model,
     QueryResult* result) const {
-  const double radius_sq = radius * radius;
+  // Membership uses the same wrapped-end convention as the static part's
+  // ResolveRange (a zero `end` means "to the top of the key space"), so a
+  // buffered record inside the final wrapped section is never dropped.
+  const RefineSpec spec(mode, radius, model);
   for (const BufferedRecord& buffered : buffer_) {
-    bool inside = false;
-    for (const auto& [begin, end] : ranges) {
-      if (begin <= buffered.key && buffered.key < end) {
-        inside = true;
-        break;
-      }
-    }
-    if (!inside) {
+    if (!KeyInSelection(buffered.key, ranges)) {
       continue;
     }
-    ++result->stats.records_scanned;
-    const double dist_sq =
-        fp::SquaredDistance(query, buffered.record.descriptor);
-    if (mode == RefinementMode::kRadiusFilter && dist_sq > radius_sq) {
-      continue;
-    }
-    if (mode == RefinementMode::kNormalizedRadiusFilter &&
-        model != nullptr) {
-      double norm_sq = 0;
-      for (int j = 0; j < fp::kDims; ++j) {
-        const double d =
-            (static_cast<double>(query[j]) - buffered.record.descriptor[j]) /
-            model->ComponentScale(j);
-        norm_sq += d * d;
-      }
-      if (norm_sq > radius_sq) {
-        continue;
-      }
-    }
-    result->matches.push_back(
-        {buffered.record.id, buffered.record.time_code,
-         static_cast<float>(std::sqrt(dist_sq)), buffered.record.x,
-         buffered.record.y});
+    RefineRecord(query, buffered.record, spec, result);
   }
 }
 
@@ -116,6 +91,7 @@ QueryResult DynamicIndex::RangeQuery(const fp::Fingerprint& query,
       base_.filter().SelectRange(query, epsilon, depth);
   result.stats.filter_seconds = watch.ElapsedSeconds();
   result.stats.blocks_selected = selection.num_blocks;
+  result.stats.nodes_visited = selection.nodes_visited;
 
   watch.Reset();
   base_.ScanSelection(query, selection, RefinementMode::kRadiusFilter,

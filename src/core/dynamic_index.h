@@ -7,6 +7,7 @@
 #include "core/database.h"
 #include "core/distortion_model.h"
 #include "core/index.h"
+#include "core/searcher.h"
 #include "fingerprint/fingerprint.h"
 #include "util/bitkey.h"
 
@@ -27,8 +28,10 @@ namespace s3vcd::core {
 ///    sort is near-linear on the almost-sorted input) and rebuilds the
 ///    index table.
 ///
-/// Single-writer, no concurrent mutation during queries.
-class DynamicIndex {
+/// The "dynamic" backend of the SearcherRegistry — the only built-in for
+/// which TryInsert succeeds. Single-writer, no concurrent mutation during
+/// queries.
+class DynamicIndex : public Searcher {
  public:
   explicit DynamicIndex(S3Index base);
 
@@ -46,10 +49,25 @@ class DynamicIndex {
                                const DistortionModel& model,
                                const QueryOptions& options) const;
 
+  // ---- Searcher interface ----
+  const char* backend_name() const override { return "dynamic"; }
+  QueryResult StatQuery(const fp::Fingerprint& query,
+                        const DistortionModel& model,
+                        const QueryOptions& options) const override {
+    return StatisticalQuery(query, model, options);
+  }
   /// Exact range query over static part + buffer.
   QueryResult RangeQuery(const fp::Fingerprint& query, double epsilon,
-                         int depth) const;
-
+                         int depth) const override;
+  SearcherStats Stats() const override {
+    return {total_size(), buffer_.size()};
+  }
+  uint64_t ApproxBytes() const override {
+    return base_.ApproxBytes() + buffer_.size() * sizeof(BufferedRecord);
+  }
+  const BlockFilter* selection_filter() const override {
+    return &base_.filter();
+  }
   /// Runs the refinement scan of a precomputed block selection over the
   /// static part AND the insert buffer, appending matches and scan
   /// counters to `result`. The selection must come from a filter over the
@@ -61,10 +79,14 @@ class DynamicIndex {
   void ScanSelection(const fp::Fingerprint& query,
                      const BlockSelection& selection, RefinementMode mode,
                      double radius, const DistortionModel* model,
-                     QueryResult* result) const;
-
+                     QueryResult* result) const override;
+  bool TryInsert(const fp::Fingerprint& fingerprint, uint32_t id,
+                 uint32_t time_code, float x = 0, float y = 0) override {
+    Insert(fingerprint, id, time_code, x, y);
+    return true;
+  }
   /// Folds the buffer into the static part.
-  void Compact();
+  void Compact() override;
 
  private:
   struct BufferedRecord {

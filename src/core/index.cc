@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/scan_kernel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -117,23 +118,6 @@ std::pair<size_t, size_t> S3Index::ResolveRange(const BitKey& begin,
   return {first, last};
 }
 
-namespace {
-
-// Model-normalized squared distance (per-component sigma weighting).
-double NormalizedSquaredDistance(const fp::Fingerprint& a,
-                                 const fp::Fingerprint& b,
-                                 const DistortionModel& model) {
-  double acc = 0;
-  for (int j = 0; j < fp::kDims; ++j) {
-    const double d = (static_cast<double>(a[j]) - b[j]) /
-                     model.ComponentScale(j);
-    acc += d * d;
-  }
-  return acc;
-}
-
-}  // namespace
-
 void S3Index::ScanSelection(const fp::Fingerprint& query,
                             const BlockSelection& selection,
                             RefinementMode mode, double radius,
@@ -141,26 +125,14 @@ void S3Index::ScanSelection(const fp::Fingerprint& query,
                             QueryResult* result) const {
   S3VCD_DCHECK(mode != RefinementMode::kNormalizedRadiusFilter ||
                model != nullptr);
-  const double radius_sq = radius * radius;
+  const RefineSpec spec(mode, radius, model);
   for (const auto& [begin, end] : selection.ranges) {
     // `end` may numerically wrap to zero for the last curve section.
     const auto [first, last] = ResolveRange(begin, end);
     ++result->stats.ranges_scanned;
-    for (size_t i = first; i < last; ++i) {
-      const FingerprintRecord& rec = db_.record(i);
-      ++result->stats.records_scanned;
-      const double dist_sq = fp::SquaredDistance(query, rec.descriptor);
-      if (mode == RefinementMode::kRadiusFilter && dist_sq > radius_sq) {
-        continue;
-      }
-      if (mode == RefinementMode::kNormalizedRadiusFilter &&
-          NormalizedSquaredDistance(query, rec.descriptor, *model) >
-              radius_sq) {
-        continue;
-      }
-      result->matches.push_back({rec.id, rec.time_code,
-                                 static_cast<float>(std::sqrt(dist_sq)),
-                                 rec.x, rec.y});
+    if (first < last) {
+      ScanRecords(query, db_.records().data() + first, last - first, spec,
+                  result);
     }
   }
 }
@@ -223,17 +195,8 @@ QueryResult S3Index::SequentialScan(const fp::Fingerprint& query,
   S3VCD_TRACE_SPAN("index.query.seq_scan");
   QueryResult result;
   Stopwatch watch;
-  const double eps_sq = epsilon * epsilon;
-  for (size_t i = 0; i < db_.size(); ++i) {
-    const FingerprintRecord& rec = db_.record(i);
-    const double dist_sq = fp::SquaredDistance(query, rec.descriptor);
-    if (dist_sq <= eps_sq) {
-      result.matches.push_back({rec.id, rec.time_code,
-                                static_cast<float>(std::sqrt(dist_sq)),
-                                rec.x, rec.y});
-    }
-  }
-  result.stats.records_scanned = db_.size();
+  const RefineSpec spec(RefinementMode::kRadiusFilter, epsilon, nullptr);
+  ScanRecords(query, db_.records().data(), db_.size(), spec, &result);
   result.stats.refine_seconds = watch.ElapsedSeconds();
   RecordQueryMetrics(QueryKind::kSequentialScan, result.stats,
                      result.matches.size());

@@ -2,60 +2,17 @@
 #define S3VCD_CORE_INDEX_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/database.h"
 #include "core/distortion_model.h"
 #include "core/filter.h"
 #include "core/record.h"
+#include "core/searcher.h"
 #include "fingerprint/fingerprint.h"
 
 namespace s3vcd::core {
-
-/// What the refinement step keeps from the scanned curve sections.
-enum class RefinementMode {
-  /// The paper's statistical query semantics: every fingerprint inside the
-  /// selected region V_alpha is a result (the voting strategy absorbs the
-  /// false ones).
-  kAll,
-  /// Extension: additionally require distance <= radius.
-  kRadiusFilter,
-  /// Extension for anisotropic models: require the model-normalized
-  /// distance sqrt(sum_j ((q_j - x_j) / scale_j)^2) <= radius, with
-  /// scale_j = DistortionModel::ComponentScale(j). The isotropic special
-  /// case reduces to kRadiusFilter with radius * sigma.
-  kNormalizedRadiusFilter,
-};
-
-/// Options of a statistical query.
-struct QueryOptions {
-  FilterOptions filter;
-  RefinementMode refinement = RefinementMode::kAll;
-  /// Radius for kRadiusFilter, in byte-space distance units.
-  double radius = 0;
-};
-
-/// Matches plus instrumentation.
-struct QueryResult {
-  std::vector<Match> matches;
-  QueryStats stats;
-};
-
-/// Which per-query counter a finished query bumps in the metrics registry.
-enum class QueryKind {
-  kStatistical,
-  kRange,
-  kSequentialScan,
-};
-
-/// Publishes one finished query's stats into the global metrics registry
-/// (the `index.*` counters and latency histograms — see
-/// docs/observability.md). Called by S3Index for its own queries; exposed
-/// so layered structures (DynamicIndex, PseudoDiskSearcher) publish the
-/// same per-stage counters for theirs. `hits` is the number of matches the
-/// refinement kept.
-void RecordQueryMetrics(QueryKind kind, const QueryStats& stats,
-                        uint64_t hits);
 
 /// Index construction options.
 struct S3IndexOptions {
@@ -68,8 +25,8 @@ struct S3IndexOptions {
 
 /// The S3 search engine: a Hilbert-ordered fingerprint database plus the
 /// statistical / geometric filtering rules and the refinement scan
-/// (paper Section IV).
-class S3Index {
+/// (paper Section IV). The "s3" backend of the SearcherRegistry.
+class S3Index : public Searcher {
  public:
   explicit S3Index(FingerprintDatabase database, S3IndexOptions options = {});
 
@@ -97,11 +54,6 @@ class S3Index {
                                const DistortionModel& model,
                                const QueryOptions& options) const;
 
-  /// Exact spherical epsilon-range query through the index: geometric
-  /// filtering of the blocks, then distance refinement.
-  QueryResult RangeQuery(const fp::Fingerprint& query, double epsilon,
-                         int depth) const;
-
   /// Baseline: linear scan of the whole database with distance <= epsilon
   /// (the reference method of Section V-B).
   QueryResult SequentialScan(const fp::Fingerprint& query,
@@ -111,14 +63,31 @@ class S3Index {
   std::pair<size_t, size_t> ResolveRange(const BitKey& begin,
                                          const BitKey& end) const;
 
+  // ---- Searcher interface ----
+  const char* backend_name() const override { return "s3"; }
+  QueryResult StatQuery(const fp::Fingerprint& query,
+                        const DistortionModel& model,
+                        const QueryOptions& options) const override {
+    return StatisticalQuery(query, model, options);
+  }
+  /// Exact spherical epsilon-range query through the index: geometric
+  /// filtering of the blocks, then distance refinement.
+  QueryResult RangeQuery(const fp::Fingerprint& query, double epsilon,
+                         int depth) const override;
+  SearcherStats Stats() const override { return {db_.size(), 0}; }
+  uint64_t ApproxBytes() const override {
+    return db_.MemoryBytes() + table_.size() * sizeof(uint64_t);
+  }
+  const BlockFilter* selection_filter() const override { return &filter_; }
   /// Runs the refinement scan of a precomputed block selection, appending
   /// matches and scan counters to `result`. Exposed so layered structures
-  /// (e.g. DynamicIndex) can share one filtering pass. `model` is only
-  /// required for kNormalizedRadiusFilter (may be null otherwise).
+  /// (e.g. DynamicIndex, the sharded service) can share one filtering
+  /// pass. `model` is only required for kNormalizedRadiusFilter (may be
+  /// null otherwise).
   void ScanSelection(const fp::Fingerprint& query,
                      const BlockSelection& selection, RefinementMode mode,
                      double radius, const DistortionModel* model,
-                     QueryResult* result) const;
+                     QueryResult* result) const override;
 
  private:
   void BuildIndexTable();

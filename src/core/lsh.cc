@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/scan_kernel.h"
 #include "util/logging.h"
 #include "util/math.h"
 #include "util/rng.h"
@@ -49,8 +50,8 @@ uint64_t LshIndex::BucketOf(int table, const fp::Fingerprint& v) const {
   return key;
 }
 
-QueryResult LshIndex::RangeQuery(const fp::Fingerprint& query,
-                                 double epsilon) const {
+QueryResult LshIndex::RangeQueryImpl(const fp::Fingerprint& query,
+                                     double epsilon) const {
   QueryResult result;
   Stopwatch watch;
   // Candidate gathering with per-query dedup by record index.
@@ -71,19 +72,42 @@ QueryResult LshIndex::RangeQuery(const fp::Fingerprint& query,
   result.stats.filter_seconds = watch.ElapsedSeconds();
 
   watch.Reset();
-  const double eps_sq = epsilon * epsilon;
+  const RefineSpec spec(RefinementMode::kRadiusFilter, epsilon, nullptr);
   for (uint32_t idx : candidates) {
-    ++result.stats.records_scanned;
-    const FingerprintRecord& rec = records_[idx];
-    const double dist_sq = fp::SquaredDistance(query, rec.descriptor);
-    if (dist_sq <= eps_sq) {
-      result.matches.push_back({rec.id, rec.time_code,
-                                static_cast<float>(std::sqrt(dist_sq)),
-                                rec.x, rec.y});
-    }
+    RefineRecord(query, records_[idx], spec, &result);
   }
   result.stats.refine_seconds = watch.ElapsedSeconds();
   return result;
+}
+
+QueryResult LshIndex::RangeQuery(const fp::Fingerprint& query,
+                                 double epsilon) const {
+  QueryResult result = RangeQueryImpl(query, epsilon);
+  RecordQueryMetrics(QueryKind::kRange, result.stats, result.matches.size());
+  return result;
+}
+
+QueryResult LshIndex::StatQuery(const fp::Fingerprint& query,
+                                const DistortionModel& model,
+                                const QueryOptions& options) const {
+  QueryResult result = RangeQueryImpl(
+      query, EqualExpectationRadius(model, options.filter.alpha));
+  RecordQueryMetrics(QueryKind::kStatistical, result.stats,
+                     result.matches.size());
+  return result;
+}
+
+uint64_t LshIndex::ApproxBytes() const {
+  uint64_t bytes = records_.size() * sizeof(FingerprintRecord) +
+                   projections_.size() * sizeof(projections_[0]) +
+                   offsets_.size() * sizeof(float);
+  for (const auto& table : tables_) {
+    // Bucket lists hold one 4-byte record index per (record, table) entry.
+    for (const auto& [bucket, entries] : table) {
+      bytes += sizeof(bucket) + entries.size() * sizeof(uint32_t);
+    }
+  }
+  return bytes;
 }
 
 double LshIndex::TableCollisionProbability(double dist) const {

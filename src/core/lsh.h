@@ -5,8 +5,8 @@
 #include <unordered_map>
 #include <vector>
 
-#include "core/index.h"
 #include "core/record.h"
+#include "core/searcher.h"
 #include "fingerprint/fingerprint.h"
 
 namespace s3vcd::core {
@@ -28,8 +28,9 @@ struct LshOptions {
 /// Locality-sensitive hash index over a snapshot of fingerprint records.
 /// Range queries return only true neighbors (exact distance filter on the
 /// union of colliding buckets) but may miss some — the recall is
-/// probabilistic, controlled by the table count.
-class LshIndex {
+/// probabilistic, controlled by the table count. The "lsh" backend of the
+/// SearcherRegistry.
+class LshIndex : public Searcher {
  public:
   LshIndex(std::vector<FingerprintRecord> records,
            const LshOptions& options);
@@ -47,7 +48,25 @@ class LshIndex {
   /// and tests).
   double TableCollisionProbability(double dist) const;
 
+  // ---- Searcher interface ----
+  const char* backend_name() const override { return "lsh"; }
+  /// Statistical queries are emulated as a range query at the
+  /// equal-expectation radius; recall inherits the hash tables'
+  /// probabilistic behaviour.
+  QueryResult StatQuery(const fp::Fingerprint& query,
+                        const DistortionModel& model,
+                        const QueryOptions& options) const override;
+  QueryResult RangeQuery(const fp::Fingerprint& query, double epsilon,
+                         int /*depth*/) const override {
+    return RangeQuery(query, epsilon);
+  }
+  SearcherStats Stats() const override { return {records_.size(), 0}; }
+  uint64_t ApproxBytes() const override;
+
  private:
+  QueryResult RangeQueryImpl(const fp::Fingerprint& query,
+                             double epsilon) const;
+
   uint64_t BucketOf(int table, const fp::Fingerprint& v) const;
 
   LshOptions options_;

@@ -35,7 +35,7 @@ void ShardedRun(size_t n, int num_threads, const Body& body) {
 }  // namespace
 
 std::vector<QueryResult> ParallelStatisticalSearch(
-    const S3Index& index, const DistortionModel& model,
+    const Searcher& searcher, const DistortionModel& model,
     const std::vector<fp::Fingerprint>& queries, const QueryOptions& options,
     int num_threads) {
   S3VCD_CHECK(num_threads >= 1);
@@ -45,14 +45,14 @@ std::vector<QueryResult> ParallelStatisticalSearch(
              [&](size_t first, size_t last) {
                for (size_t i = first; i < last; ++i) {
                  results[i] =
-                     index.StatisticalQuery(queries[i], model, options);
+                     searcher.StatQuery(queries[i], model, options);
                }
              });
   return results;
 }
 
 std::vector<QueryResult> ParallelRangeSearch(
-    const S3Index& index, const std::vector<fp::Fingerprint>& queries,
+    const Searcher& searcher, const std::vector<fp::Fingerprint>& queries,
     double epsilon, int depth, int num_threads) {
   S3VCD_CHECK(num_threads >= 1);
   S3VCD_TRACE_SPAN("parallel.range_batch");
@@ -60,7 +60,7 @@ std::vector<QueryResult> ParallelRangeSearch(
   ShardedRun(queries.size(), num_threads,
              [&](size_t first, size_t last) {
                for (size_t i = first; i < last; ++i) {
-                 results[i] = index.RangeQuery(queries[i], epsilon, depth);
+                 results[i] = searcher.RangeQuery(queries[i], epsilon, depth);
                }
              });
   return results;

@@ -4,26 +4,27 @@
 #include <vector>
 
 #include "core/distortion_model.h"
-#include "core/index.h"
+#include "core/searcher.h"
 #include "fingerprint/fingerprint.h"
 
 namespace s3vcd::core {
 
 /// Runs a batch of statistical queries across `num_threads` workers.
-/// S3Index queries are const and the index is immutable, so fan-out is
-/// safe; results[i] corresponds to queries[i]. With num_threads = 1 this
-/// degenerates to the serial loop (useful as the control in tests).
+/// Searcher queries are const and the backends are immutable during
+/// queries, so fan-out is safe over any backend; results[i] corresponds
+/// to queries[i]. With num_threads = 1 this degenerates to the serial
+/// loop (useful as the control in tests).
 ///
 /// The paper's monitoring deployment is naturally batch-parallel: each
 /// key-frame contributes ~20 independent fingerprint queries.
 std::vector<QueryResult> ParallelStatisticalSearch(
-    const S3Index& index, const DistortionModel& model,
+    const Searcher& searcher, const DistortionModel& model,
     const std::vector<fp::Fingerprint>& queries, const QueryOptions& options,
     int num_threads);
 
 /// Same fan-out for exact range queries.
 std::vector<QueryResult> ParallelRangeSearch(
-    const S3Index& index, const std::vector<fp::Fingerprint>& queries,
+    const Searcher& searcher, const std::vector<fp::Fingerprint>& queries,
     double epsilon, int depth, int num_threads);
 
 }  // namespace s3vcd::core

@@ -1,0 +1,92 @@
+#ifndef S3VCD_CORE_SCAN_KERNEL_H_
+#define S3VCD_CORE_SCAN_KERNEL_H_
+
+#include <cmath>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/record.h"
+#include "core/searcher.h"
+#include "fingerprint/fingerprint.h"
+#include "util/bitkey.h"
+
+namespace s3vcd::core {
+
+/// The shared refinement kernel: every backend's inner scan loop — the
+/// S3 index's curve-section scan, the dynamic index's insert-buffer pass,
+/// the VA-file's phase-2 exact check, the LSH candidate filter and the
+/// sequential scan — funnels each touched record through RefineRecord, so
+/// `records_scanned` and match accounting mean exactly the same thing on
+/// every backend (pinned by tests/backend_parity_test.cc).
+struct RefineSpec {
+  /// `model` is only required for kNormalizedRadiusFilter.
+  RefineSpec(RefinementMode mode, double radius, const DistortionModel* model)
+      : mode(mode), radius_sq(radius * radius), model(model) {}
+
+  RefinementMode mode;
+  double radius_sq;
+  const DistortionModel* model;
+};
+
+/// Model-normalized squared distance (per-component sigma weighting).
+inline double NormalizedSquaredDistance(const fp::Fingerprint& a,
+                                        const fp::Fingerprint& b,
+                                        const DistortionModel& model) {
+  double acc = 0;
+  for (int j = 0; j < fp::kDims; ++j) {
+    const double d =
+        (static_cast<double>(a[j]) - b[j]) / model.ComponentScale(j);
+    acc += d * d;
+  }
+  return acc;
+}
+
+/// Refines one candidate record: bumps records_scanned, applies the mode's
+/// distance test, and appends a Match on acceptance. Returns whether the
+/// record was kept.
+inline bool RefineRecord(const fp::Fingerprint& query,
+                         const FingerprintRecord& rec, const RefineSpec& spec,
+                         QueryResult* result) {
+  ++result->stats.records_scanned;
+  const double dist_sq = fp::SquaredDistance(query, rec.descriptor);
+  if (spec.mode == RefinementMode::kRadiusFilter &&
+      dist_sq > spec.radius_sq) {
+    return false;
+  }
+  if (spec.mode == RefinementMode::kNormalizedRadiusFilter &&
+      NormalizedSquaredDistance(query, rec.descriptor, *spec.model) >
+          spec.radius_sq) {
+    return false;
+  }
+  result->matches.push_back({rec.id, rec.time_code,
+                             static_cast<float>(std::sqrt(dist_sq)), rec.x,
+                             rec.y});
+  return true;
+}
+
+/// Refines a contiguous slice of records.
+inline void ScanRecords(const fp::Fingerprint& query,
+                        const FingerprintRecord* records, size_t count,
+                        const RefineSpec& spec, QueryResult* result) {
+  for (size_t i = 0; i < count; ++i) {
+    RefineRecord(query, records[i], spec, result);
+  }
+}
+
+/// Membership of a curve key in the half-open section [begin, end), where
+/// a numerically zero `end` denotes the final section wrapping to the top
+/// of the key space (the same convention S3Index::ResolveRange applies).
+inline bool KeyInSection(const BitKey& key, const BitKey& begin,
+                         const BitKey& end) {
+  return begin <= key && (end.is_zero() || key < end);
+}
+
+/// Membership of a curve key in a block selection's merged, sorted,
+/// disjoint ranges (binary search on the range starts).
+bool KeyInSelection(const BitKey& key,
+                    const std::vector<std::pair<BitKey, BitKey>>& ranges);
+
+}  // namespace s3vcd::core
+
+#endif  // S3VCD_CORE_SCAN_KERNEL_H_

@@ -1,0 +1,208 @@
+#include "core/searcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/dynamic_index.h"
+#include "core/index.h"
+#include "core/lsh.h"
+#include "core/scan_kernel.h"
+#include "core/vafile.h"
+#include "util/logging.h"
+#include "util/math.h"
+#include "util/timer.h"
+
+namespace s3vcd::core {
+
+std::vector<QueryResult> Searcher::BatchStatQuery(
+    const std::vector<fp::Fingerprint>& queries, const DistortionModel& model,
+    const QueryOptions& options) const {
+  std::vector<QueryResult> results;
+  results.reserve(queries.size());
+  for (const fp::Fingerprint& query : queries) {
+    results.push_back(StatQuery(query, model, options));
+  }
+  return results;
+}
+
+std::vector<QueryResult> Searcher::BatchRangeQuery(
+    const std::vector<fp::Fingerprint>& queries, double epsilon,
+    int depth) const {
+  std::vector<QueryResult> results;
+  results.reserve(queries.size());
+  for (const fp::Fingerprint& query : queries) {
+    results.push_back(RangeQuery(query, epsilon, depth));
+  }
+  return results;
+}
+
+QueryResult Searcher::Query(const QueryRequest& request,
+                            const DistortionModel& model) const {
+  if (request.paradigm == SearchParadigm::kStatistical) {
+    return StatQuery(request.query, model, request.options);
+  }
+  return RangeQuery(request.query, request.epsilon,
+                    request.options.filter.depth);
+}
+
+void Searcher::ScanSelection(const fp::Fingerprint& /*query*/,
+                             const BlockSelection& /*selection*/,
+                             RefinementMode /*mode*/, double /*radius*/,
+                             const DistortionModel* /*model*/,
+                             QueryResult* /*result*/) const {
+  // Callers must check selection_filter() != nullptr before asking for a
+  // selection scan; backends without block structure cannot honor one.
+  S3VCD_CHECK(selection_filter() != nullptr);
+}
+
+bool Searcher::TryInsert(const fp::Fingerprint& /*fingerprint*/,
+                         uint32_t /*id*/, uint32_t /*time_code*/, float /*x*/,
+                         float /*y*/) {
+  return false;
+}
+
+double EqualExpectationRadius(const DistortionModel& model, double alpha) {
+  double acc = 0;
+  for (int j = 0; j < fp::kDims; ++j) {
+    const double scale = model.ComponentScale(j);
+    acc += scale * scale;
+  }
+  const double sigma_rms = std::sqrt(acc / fp::kDims);
+  return ChiNormDistribution(fp::kDims, sigma_rms).Quantile(alpha);
+}
+
+namespace {
+
+/// The paper's reference method (Section V-B) as a Searcher of its own:
+/// every query is a full linear scan of the database. Registry-only — no
+/// public header; construct it as SearcherRegistry "seqscan".
+class SeqScanSearcher final : public Searcher {
+ public:
+  explicit SeqScanSearcher(FingerprintDatabase db) : db_(std::move(db)) {}
+
+  const char* backend_name() const override { return "seqscan"; }
+
+  QueryResult StatQuery(const fp::Fingerprint& query,
+                        const DistortionModel& model,
+                        const QueryOptions& options) const override {
+    QueryResult result = Scan(
+        query, EqualExpectationRadius(model, options.filter.alpha));
+    RecordQueryMetrics(QueryKind::kStatistical, result.stats,
+                       result.matches.size());
+    return result;
+  }
+
+  QueryResult RangeQuery(const fp::Fingerprint& query, double epsilon,
+                         int /*depth*/) const override {
+    QueryResult result = Scan(query, epsilon);
+    RecordQueryMetrics(QueryKind::kSequentialScan, result.stats,
+                       result.matches.size());
+    return result;
+  }
+
+  SearcherStats Stats() const override { return {db_.size(), 0}; }
+
+  uint64_t ApproxBytes() const override { return db_.MemoryBytes(); }
+
+ private:
+  QueryResult Scan(const fp::Fingerprint& query, double epsilon) const {
+    QueryResult result;
+    Stopwatch watch;
+    const RefineSpec spec(RefinementMode::kRadiusFilter, epsilon, nullptr);
+    ScanRecords(query, db_.records().data(), db_.size(), spec, &result);
+    result.stats.refine_seconds = watch.ElapsedSeconds();
+    return result;
+  }
+
+  FingerprintDatabase db_;
+};
+
+std::vector<FingerprintRecord> CopyRecords(const FingerprintDatabase& db) {
+  return db.records();
+}
+
+}  // namespace
+
+SearcherRegistry::SearcherRegistry() {
+  Register("s3", [](FingerprintDatabase db, const SearcherConfig& config)
+               -> std::unique_ptr<Searcher> {
+    S3IndexOptions options;
+    options.index_table_depth = config.index_table_depth;
+    return std::make_unique<S3Index>(std::move(db), options);
+  });
+  Register("dynamic", [](FingerprintDatabase db, const SearcherConfig& config)
+               -> std::unique_ptr<Searcher> {
+    S3IndexOptions options;
+    options.index_table_depth = config.index_table_depth;
+    return std::make_unique<DynamicIndex>(
+        S3Index(std::move(db), options));
+  });
+  Register("vafile", [](FingerprintDatabase db, const SearcherConfig& config)
+               -> std::unique_ptr<Searcher> {
+    VAFileOptions options;
+    options.bits_per_dim = config.vafile_bits_per_dim;
+    options.quantile_boundaries = config.vafile_quantile_boundaries;
+    return std::make_unique<VAFile>(CopyRecords(db), options);
+  });
+  Register("lsh", [](FingerprintDatabase db, const SearcherConfig& config)
+               -> std::unique_ptr<Searcher> {
+    LshOptions options;
+    options.num_tables = config.lsh_num_tables;
+    options.hashes_per_table = config.lsh_hashes_per_table;
+    options.bucket_width = config.lsh_bucket_width;
+    options.seed = config.lsh_seed;
+    return std::make_unique<LshIndex>(CopyRecords(db), options);
+  });
+  Register("seqscan", [](FingerprintDatabase db, const SearcherConfig&)
+               -> std::unique_ptr<Searcher> {
+    return std::make_unique<SeqScanSearcher>(std::move(db));
+  });
+}
+
+SearcherRegistry& SearcherRegistry::Global() {
+  static SearcherRegistry* const registry = new SearcherRegistry();
+  return *registry;
+}
+
+void SearcherRegistry::Register(const std::string& name, Factory factory) {
+  S3VCD_CHECK(factory != nullptr);
+  factories_[name] = std::move(factory);
+}
+
+bool SearcherRegistry::Contains(const std::string& name) const {
+  return factories_.count(name) > 0;
+}
+
+std::vector<std::string> SearcherRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    names.push_back(name);
+  }
+  return names;  // std::map iteration is already sorted
+}
+
+std::string SearcherRegistry::NamesCsv() const {
+  std::string csv;
+  for (const std::string& name : Names()) {
+    if (!csv.empty()) {
+      csv += ", ";
+    }
+    csv += name;
+  }
+  return csv;
+}
+
+Result<std::unique_ptr<Searcher>> SearcherRegistry::Create(
+    const std::string& name, FingerprintDatabase db,
+    const SearcherConfig& config) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    return Status::InvalidArgument("unknown searcher backend '" + name +
+                                   "'; registered backends: " + NamesCsv());
+  }
+  return it->second(std::move(db), config);
+}
+
+}  // namespace s3vcd::core

@@ -1,0 +1,235 @@
+#ifndef S3VCD_CORE_SEARCHER_H_
+#define S3VCD_CORE_SEARCHER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/distortion_model.h"
+#include "core/filter.h"
+#include "core/record.h"
+#include "fingerprint/fingerprint.h"
+#include "util/status.h"
+
+namespace s3vcd::core {
+
+/// What the refinement step keeps from the scanned curve sections.
+enum class RefinementMode {
+  /// The paper's statistical query semantics: every fingerprint inside the
+  /// selected region V_alpha is a result (the voting strategy absorbs the
+  /// false ones).
+  kAll,
+  /// Extension: additionally require distance <= radius.
+  kRadiusFilter,
+  /// Extension for anisotropic models: require the model-normalized
+  /// distance sqrt(sum_j ((q_j - x_j) / scale_j)^2) <= radius, with
+  /// scale_j = DistortionModel::ComponentScale(j). The isotropic special
+  /// case reduces to kRadiusFilter with radius * sigma.
+  kNormalizedRadiusFilter,
+};
+
+/// Options of a statistical query.
+struct QueryOptions {
+  FilterOptions filter;
+  RefinementMode refinement = RefinementMode::kAll;
+  /// Radius for kRadiusFilter, in byte-space distance units.
+  double radius = 0;
+};
+
+/// Matches plus instrumentation.
+struct QueryResult {
+  std::vector<Match> matches;
+  QueryStats stats;
+};
+
+/// Which per-query counter a finished query bumps in the metrics registry.
+enum class QueryKind {
+  kStatistical,
+  kRange,
+  kSequentialScan,
+};
+
+/// Publishes one finished query's stats into the global metrics registry
+/// (the `index.*` counters and latency histograms — see
+/// docs/observability.md). Every Searcher backend publishes exactly one
+/// record per query through this function, so the registry's counters stay
+/// comparable across backends; layered structures batching across shards
+/// publish one merged record instead.
+void RecordQueryMetrics(QueryKind kind, const QueryStats& stats,
+                        uint64_t hits);
+
+/// The two search paradigms the paper compares (plus sequential scan,
+/// which is the "seqscan" backend rather than a separate paradigm).
+enum class SearchParadigm {
+  /// Statistical S3 query of expectation alpha (Section II).
+  kStatistical,
+  /// Exact spherical epsilon-range query.
+  kRange,
+};
+
+/// One self-contained query: the fingerprint, the paradigm and its
+/// parameters. Searcher::Query dispatches it to StatQuery or RangeQuery.
+struct QueryRequest {
+  fp::Fingerprint query{};
+  SearchParadigm paradigm = SearchParadigm::kStatistical;
+  /// Statistical parameters; options.filter.depth also supplies the
+  /// partition depth of range queries on block-structured backends.
+  QueryOptions options;
+  /// Range radius, byte-space units (kRange only).
+  double epsilon = 0;
+};
+
+/// Size accounting common to every backend.
+struct SearcherStats {
+  /// Total searchable records (static part + any insert buffer).
+  uint64_t records = 0;
+  /// Records buffered by TryInsert but not yet folded in by Compact.
+  uint64_t pending_inserts = 0;
+};
+
+/// The uniform interface over every search structure in the system: the
+/// paper's S3 index, its dynamic (insertable) variant, the VA-file and LSH
+/// extension baselines, and plain sequential scan. Callers above core —
+/// the copy detector, the parallel fan-out, the sharded service, the tool
+/// and the benches — hold a Searcher and never name a concrete backend;
+/// construction goes through SearcherRegistry.
+///
+/// Semantics: StatQuery returns the contents of a region of expectation
+/// alpha. Block-structured backends (s3, dynamic) implement it exactly as
+/// in the paper; backends without block structure (vafile, lsh, seqscan)
+/// emulate it as an exact range query at the equal-expectation radius
+/// (EqualExpectationRadius below), which retrieves the distorted target
+/// with the same probability alpha under the model. RangeQuery is the
+/// exact epsilon-ball for every backend except lsh, whose recall is
+/// probabilistic (a documented property of the baseline, asserted as a
+/// recall floor in tests/backend_parity_test.cc).
+///
+/// Concurrency: all query methods are const and safe to fan out; TryInsert
+/// and Compact mutate and require external exclusion.
+class Searcher {
+ public:
+  virtual ~Searcher() = default;
+
+  /// Registry name of this backend ("s3", "vafile", ...).
+  virtual const char* backend_name() const = 0;
+
+  /// Statistical query of expectation options.filter.alpha.
+  virtual QueryResult StatQuery(const fp::Fingerprint& query,
+                                const DistortionModel& model,
+                                const QueryOptions& options) const = 0;
+
+  /// Epsilon-range query. `depth` is the partition depth of the geometric
+  /// filter on block-structured backends; others ignore it.
+  virtual QueryResult RangeQuery(const fp::Fingerprint& query, double epsilon,
+                                 int depth) const = 0;
+
+  /// Batch variants; the defaults are serial loops, overridable by
+  /// backends with a cheaper amortized path. results[i] corresponds to
+  /// queries[i].
+  virtual std::vector<QueryResult> BatchStatQuery(
+      const std::vector<fp::Fingerprint>& queries,
+      const DistortionModel& model, const QueryOptions& options) const;
+  virtual std::vector<QueryResult> BatchRangeQuery(
+      const std::vector<fp::Fingerprint>& queries, double epsilon,
+      int depth) const;
+
+  /// Dispatches a QueryRequest to StatQuery or RangeQuery.
+  QueryResult Query(const QueryRequest& request,
+                    const DistortionModel& model) const;
+
+  virtual SearcherStats Stats() const = 0;
+
+  /// Approximate resident bytes of the structure (records + auxiliary
+  /// data), for capacity planning and the memory columns of the benches.
+  virtual uint64_t ApproxBytes() const = 0;
+
+  // ---- Optional capabilities. Callers must test for nullptr / false and
+  // degrade gracefully (see service::ShardedSearcher). ----
+
+  /// The block filter of a block-structured backend, whose BlockSelection
+  /// depends only on the query/model/filter options and can therefore be
+  /// shared across shards and cached. nullptr when the backend has no
+  /// block structure.
+  virtual const BlockFilter* selection_filter() const { return nullptr; }
+
+  /// Refinement scan of a precomputed block selection, appending matches
+  /// and scan counters to `result`. Only meaningful when
+  /// selection_filter() != nullptr; the default implementation aborts.
+  virtual void ScanSelection(const fp::Fingerprint& query,
+                             const BlockSelection& selection,
+                             RefinementMode mode, double radius,
+                             const DistortionModel* model,
+                             QueryResult* result) const;
+
+  /// Buffers one new record if the backend supports dynamic insertion
+  /// (visible to queries immediately). Returns false — and inserts
+  /// nothing — on static backends.
+  virtual bool TryInsert(const fp::Fingerprint& fingerprint, uint32_t id,
+                         uint32_t time_code, float x = 0, float y = 0);
+
+  /// Folds any insert buffer into the static structure. No-op by default.
+  virtual void Compact() {}
+};
+
+/// Radius of the ball that an exact range query must use to retrieve the
+/// distorted target with probability `alpha` under `model`: the alpha
+/// quantile of the chi distribution of ||Delta S|| (paper Section V-B,
+/// the "equal expectation" comparison between the two paradigms). The
+/// model's per-component scales enter through their root mean square.
+double EqualExpectationRadius(const DistortionModel& model, double alpha);
+
+/// Construction parameters common to every registered backend; each
+/// backend reads the fields it understands and ignores the rest.
+struct SearcherConfig {
+  /// s3 / dynamic: depth of the precomputed index table (see
+  /// S3IndexOptions::index_table_depth).
+  int index_table_depth = 14;
+  /// vafile: bits of the per-dimension approximation, in [1, 8].
+  int vafile_bits_per_dim = 4;
+  /// vafile: quantile (equal-population) slice boundaries vs equal-width.
+  bool vafile_quantile_boundaries = true;
+  /// lsh: table count / hashes per table / projection quantization width.
+  int lsh_num_tables = 8;
+  int lsh_hashes_per_table = 6;
+  double lsh_bucket_width = 120.0;
+  uint64_t lsh_seed = 1;
+};
+
+/// String-keyed factory of Searcher backends. The built-ins ("s3",
+/// "dynamic", "vafile", "lsh", "seqscan") are registered on first access
+/// of Global(); extensions may Register additional names at startup
+/// (registration is not thread-safe and must precede concurrent use).
+class SearcherRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Searcher>(
+      FingerprintDatabase db, const SearcherConfig& config)>;
+
+  static SearcherRegistry& Global();
+
+  void Register(const std::string& name, Factory factory);
+  bool Contains(const std::string& name) const;
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+  /// "dynamic, lsh, s3, seqscan, vafile" — for error messages and usage.
+  std::string NamesCsv() const;
+
+  /// Constructs backend `name` over `db` (consumed). Unknown names return
+  /// kInvalidArgument listing the registered backends.
+  Result<std::unique_ptr<Searcher>> Create(const std::string& name,
+                                           FingerprintDatabase db,
+                                           const SearcherConfig& config = {})
+      const;
+
+ private:
+  SearcherRegistry();
+
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace s3vcd::core
+
+#endif  // S3VCD_CORE_SEARCHER_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 
+#include "core/scan_kernel.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -92,8 +93,8 @@ void VAFile::BuildBoundTables(
   }
 }
 
-QueryResult VAFile::RangeQuery(const fp::Fingerprint& query,
-                               double epsilon) const {
+QueryResult VAFile::RangeQueryImpl(const fp::Fingerprint& query,
+                                   double epsilon) const {
   QueryResult result;
   Stopwatch watch;
   std::array<std::vector<double>, fp::kDims> lower_sq;
@@ -103,6 +104,7 @@ QueryResult VAFile::RangeQuery(const fp::Fingerprint& query,
 
   watch.Reset();
   const double eps_sq = epsilon * epsilon;
+  const RefineSpec spec(RefinementMode::kRadiusFilter, epsilon, nullptr);
   for (size_t i = 0; i < records_.size(); ++i) {
     const uint8_t* cell = &cells_[i * fp::kDims];
     double lb = 0;
@@ -115,16 +117,27 @@ QueryResult VAFile::RangeQuery(const fp::Fingerprint& query,
     if (lb > eps_sq) {
       continue;  // filtered by the approximation alone
     }
-    ++result.stats.records_scanned;  // phase 2: exact vector access
-    const double dist_sq = fp::SquaredDistance(query, records_[i].descriptor);
-    if (dist_sq <= eps_sq) {
-      result.matches.push_back(
-          {records_[i].id, records_[i].time_code,
-           static_cast<float>(std::sqrt(dist_sq)), records_[i].x,
-           records_[i].y});
-    }
+    // Phase 2 (exact vector access) counts as a scanned record.
+    RefineRecord(query, records_[i], spec, &result);
   }
   result.stats.refine_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+QueryResult VAFile::RangeQuery(const fp::Fingerprint& query,
+                               double epsilon) const {
+  QueryResult result = RangeQueryImpl(query, epsilon);
+  RecordQueryMetrics(QueryKind::kRange, result.stats, result.matches.size());
+  return result;
+}
+
+QueryResult VAFile::StatQuery(const fp::Fingerprint& query,
+                              const DistortionModel& model,
+                              const QueryOptions& options) const {
+  QueryResult result = RangeQueryImpl(
+      query, EqualExpectationRadius(model, options.filter.alpha));
+  RecordQueryMetrics(QueryKind::kStatistical, result.stats,
+                     result.matches.size());
   return result;
 }
 

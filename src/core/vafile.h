@@ -6,8 +6,8 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/index.h"
 #include "core/record.h"
+#include "core/searcher.h"
 #include "fingerprint/fingerprint.h"
 
 namespace s3vcd::core {
@@ -27,8 +27,9 @@ struct VAFileOptions {
 /// structures in high dimension. Every vector is approximated by a
 /// compact cell signature; a query first scans the signatures computing
 /// cheap lower/upper distance bounds and only fetches the exact vectors
-/// that survive the filtering.
-class VAFile {
+/// that survive the filtering. The "vafile" backend of the
+/// SearcherRegistry.
+class VAFile : public Searcher {
  public:
   /// Builds the approximation file over a snapshot of `records` (copied).
   VAFile(std::vector<FingerprintRecord> records,
@@ -47,7 +48,28 @@ class VAFile {
   /// Fraction of records whose exact vectors were fetched on the last
   /// phase-2 pass is reported through QueryStats::records_scanned.
 
+  // ---- Searcher interface ----
+  const char* backend_name() const override { return "vafile"; }
+  /// Statistical queries are emulated as an exact range query at the
+  /// equal-expectation radius of (model, options.filter.alpha).
+  QueryResult StatQuery(const fp::Fingerprint& query,
+                        const DistortionModel& model,
+                        const QueryOptions& options) const override;
+  QueryResult RangeQuery(const fp::Fingerprint& query, double epsilon,
+                         int /*depth*/) const override {
+    return RangeQuery(query, epsilon);
+  }
+  SearcherStats Stats() const override { return {records_.size(), 0}; }
+  uint64_t ApproxBytes() const override {
+    return records_.size() * sizeof(FingerprintRecord) +
+           ApproximationBits() / 8;
+  }
+
  private:
+  /// Shared body of the range paths; publishes no metrics (the public
+  /// entry points publish exactly one record per query).
+  QueryResult RangeQueryImpl(const fp::Fingerprint& query,
+                             double epsilon) const;
   /// Slice index of value v in dimension j.
   int SliceOf(int dim, uint8_t value) const;
 

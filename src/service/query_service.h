@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "core/distortion_model.h"
-#include "core/index.h"
+#include "core/searcher.h"
 #include "fingerprint/fingerprint.h"
 #include "service/selection_cache.h"
 #include "service/sharded_searcher.h"
@@ -99,6 +99,13 @@ struct QueryServiceOptions {
 /// Asynchronous batch front end over a ShardedSearcher: a bounded
 /// admission queue (reject-with-Status backpressure), per-request
 /// deadlines, worker fan-out and a shared selection cache.
+///
+/// The service is backend-agnostic: it only speaks the ShardedSearcher
+/// API, which in turn speaks core::Searcher, so any registry backend
+/// works. The selection cache is an optimization that engages only when
+/// the backend exposes block structure (selection_filter() != nullptr);
+/// on other backends the service degrades gracefully — queries fan out
+/// per shard exactly the same, just without cached selections.
 ///
 /// Thread model: Submit may be called from any number of producer
 /// threads. Workers only read the searcher (queries are const); the

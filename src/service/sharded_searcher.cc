@@ -26,12 +26,14 @@ uint64_t HashId(uint32_t id) {
 
 }  // namespace
 
-ShardedSearcher::ShardedSearcher(ShardedSearcherOptions options,
-                                 std::vector<core::DynamicIndex> shards,
-                                 std::vector<BitKey> boundaries)
-    : options_(options),
+ShardedSearcher::ShardedSearcher(
+    ShardedSearcherOptions options,
+    std::vector<std::unique_ptr<core::Searcher>> shards,
+    std::vector<BitKey> boundaries, int order)
+    : options_(std::move(options)),
       shards_(std::move(shards)),
-      boundaries_(std::move(boundaries)) {
+      boundaries_(std::move(boundaries)),
+      encoder_(order) {
   shard_scan_us_.reserve(shards_.size());
   for (size_t k = 0; k < shards_.size(); ++k) {
     shard_scan_us_.push_back(obs::MetricsRegistry::Global().GetHistogram(
@@ -43,6 +45,13 @@ Result<ShardedSearcher> ShardedSearcher::Build(
     core::FingerprintDatabase db, const ShardedSearcherOptions& options) {
   if (options.num_shards < 1 || options.num_shards > 1024) {
     return Status::InvalidArgument("num_shards must be in [1, 1024]");
+  }
+  core::SearcherRegistry& registry = core::SearcherRegistry::Global();
+  if (!registry.Contains(options.backend)) {
+    return Status::InvalidArgument("unknown searcher backend '" +
+                                   options.backend +
+                                   "'; registered backends: " +
+                                   registry.NamesCsv());
   }
   const size_t num_shards = static_cast<size_t>(options.num_shards);
   const int order = db.order();
@@ -82,26 +91,32 @@ Result<ShardedSearcher> ShardedSearcher::Build(
     }
   }
 
-  std::vector<core::DynamicIndex> shards;
+  std::vector<std::unique_ptr<core::Searcher>> shards;
   shards.reserve(num_shards);
   for (size_t k = 0; k < num_shards; ++k) {
-    shards.emplace_back(core::S3Index(builders[k].Build(), options.index));
+    Result<std::unique_ptr<core::Searcher>> shard =
+        registry.Create(options.backend, builders[k].Build(), options.config);
+    if (!shard.ok()) {
+      return shard.status();
+    }
+    shards.push_back(std::move(*shard));
   }
-  return ShardedSearcher(options, std::move(shards), std::move(boundaries));
+  return ShardedSearcher(options, std::move(shards), std::move(boundaries),
+                         order);
 }
 
 size_t ShardedSearcher::total_size() const {
   size_t total = 0;
-  for (const core::DynamicIndex& shard : shards_) {
-    total += shard.total_size();
+  for (const std::unique_ptr<core::Searcher>& shard : shards_) {
+    total += shard->Stats().records;
   }
   return total;
 }
 
 size_t ShardedSearcher::pending_inserts() const {
   size_t total = 0;
-  for (const core::DynamicIndex& shard : shards_) {
-    total += shard.pending_inserts();
+  for (const std::unique_ptr<core::Searcher>& shard : shards_) {
+    total += shard->Stats().pending_inserts;
   }
   return total;
 }
@@ -118,16 +133,16 @@ size_t ShardedSearcher::RouteShard(const BitKey& key, uint32_t id) const {
   return shards_.size() - 1;
 }
 
-void ShardedSearcher::Insert(const fp::Fingerprint& fingerprint, uint32_t id,
+bool ShardedSearcher::Insert(const fp::Fingerprint& fingerprint, uint32_t id,
                              uint32_t time_code, float x, float y) {
-  const BitKey key =
-      shards_[0].base().database().EncodeFingerprint(fingerprint);
-  shards_[RouteShard(key, id)].Insert(fingerprint, id, time_code, x, y);
+  const BitKey key = encoder_.EncodeFingerprint(fingerprint);
+  return shards_[RouteShard(key, id)]->TryInsert(fingerprint, id, time_code, x,
+                                                 y);
 }
 
 void ShardedSearcher::CompactAll() {
-  for (core::DynamicIndex& shard : shards_) {
-    shard.Compact();
+  for (std::unique_ptr<core::Searcher>& shard : shards_) {
+    shard->Compact();
   }
 }
 
@@ -135,11 +150,16 @@ std::shared_ptr<const core::BlockSelection> ShardedSearcher::GetSelection(
     const fp::Fingerprint& query, const core::DistortionModel& model,
     const core::QueryOptions& options, SelectionCache* cache,
     double* filter_seconds) const {
-  Stopwatch watch;
   // One selection serves every shard: it depends only on the query, the
   // model and the filter options (see class comment). Shard 0's filter is
-  // the canonical one (all shards share the curve geometry).
-  const core::BlockFilter& filter = shards_[0].base().filter();
+  // the canonical one (all shards share the curve geometry). Backends
+  // without block structure have no filter — callers fall back to
+  // per-shard statistical queries.
+  const core::BlockFilter* filter = shards_[0]->selection_filter();
+  if (filter == nullptr) {
+    return nullptr;
+  }
+  Stopwatch watch;
   std::shared_ptr<const core::BlockSelection> selection;
   if (cache != nullptr) {
     const SelectionCache::Key key =
@@ -147,12 +167,12 @@ std::shared_ptr<const core::BlockSelection> ShardedSearcher::GetSelection(
     selection = cache->Lookup(key);
     if (selection == nullptr) {
       selection = std::make_shared<const core::BlockSelection>(
-          filter.SelectStatistical(query, model, options.filter));
+          filter->SelectStatistical(query, model, options.filter));
       cache->Insert(key, selection);
     }
   } else {
     selection = std::make_shared<const core::BlockSelection>(
-        filter.SelectStatistical(query, model, options.filter));
+        filter->SelectStatistical(query, model, options.filter));
   }
   *filter_seconds = watch.ElapsedSeconds();
   return selection;
@@ -164,21 +184,32 @@ core::QueryResult ShardedSearcher::ScanShard(
     const core::QueryOptions& options) const {
   Stopwatch watch;
   core::QueryResult partial;
-  shards_[k].ScanSelection(query, selection, options.refinement,
-                           options.radius, &model, &partial);
+  shards_[k]->ScanSelection(query, selection, options.refinement,
+                            options.radius, &model, &partial);
   shard_scan_us_[k]->Record(watch.ElapsedMicros());
   partial.stats.refine_seconds = watch.ElapsedSeconds();
   return partial;
 }
 
+core::QueryResult ShardedSearcher::StatShard(
+    size_t k, const fp::Fingerprint& query, const core::DistortionModel& model,
+    const core::QueryOptions& options) const {
+  Stopwatch watch;
+  core::QueryResult partial = shards_[k]->StatQuery(query, model, options);
+  shard_scan_us_[k]->Record(watch.ElapsedMicros());
+  return partial;
+}
+
 core::QueryResult ShardedSearcher::MergeShardResults(
-    const core::BlockSelection& selection, double filter_seconds,
+    const core::BlockSelection* selection, double filter_seconds,
     std::vector<core::QueryResult> partials) const {
   core::QueryResult result;
-  result.stats.filter_seconds = filter_seconds;
-  result.stats.blocks_selected = selection.num_blocks;
-  result.stats.nodes_visited = selection.nodes_visited;
-  result.stats.probability_mass = selection.probability_mass;
+  if (selection != nullptr) {
+    result.stats.filter_seconds = filter_seconds;
+    result.stats.blocks_selected = selection->num_blocks;
+    result.stats.nodes_visited = selection->nodes_visited;
+    result.stats.probability_mass = selection->probability_mass;
+  }
   for (core::QueryResult& partial : partials) {
     result.matches.insert(result.matches.end(),
                           std::make_move_iterator(partial.matches.begin()),
@@ -187,10 +218,23 @@ core::QueryResult ShardedSearcher::MergeShardResults(
     result.stats.refine_seconds += partial.stats.refine_seconds;
     result.stats.ranges_scanned += partial.stats.ranges_scanned;
     result.stats.records_scanned += partial.stats.records_scanned;
+    if (selection == nullptr) {
+      result.stats.filter_seconds += partial.stats.filter_seconds;
+      result.stats.blocks_selected += partial.stats.blocks_selected;
+      result.stats.nodes_visited += partial.stats.nodes_visited;
+      result.stats.probability_mass =
+          std::max(result.stats.probability_mass,
+                   partial.stats.probability_mass);
+    }
   }
   g_queries->Increment();
-  core::RecordQueryMetrics(core::QueryKind::kStatistical, result.stats,
-                           result.matches.size());
+  if (selection != nullptr) {
+    // Without a shared selection the per-shard StatQuery calls already
+    // published their own metrics; publishing the merge again would double
+    // count the scan work.
+    core::RecordQueryMetrics(core::QueryKind::kStatistical, result.stats,
+                             result.matches.size());
+  }
   return result;
 }
 
@@ -204,9 +248,12 @@ core::QueryResult ShardedSearcher::StatisticalQuery(
   std::vector<core::QueryResult> partials;
   partials.reserve(shards_.size());
   for (size_t k = 0; k < shards_.size(); ++k) {
-    partials.push_back(ScanShard(k, query, *selection, model, options));
+    partials.push_back(selection != nullptr
+                           ? ScanShard(k, query, *selection, model, options)
+                           : StatShard(k, query, model, options));
   }
-  return MergeShardResults(*selection, filter_seconds, std::move(partials));
+  return MergeShardResults(selection.get(), filter_seconds,
+                           std::move(partials));
 }
 
 std::vector<core::QueryResult> ShardedSearcher::BatchStatisticalQuery(
@@ -223,37 +270,44 @@ std::vector<core::QueryResult> ShardedSearcher::BatchStatisticalQuery(
     return results;
   }
 
-  // Stage 1: block selections, one task per query (cache-aware).
+  const size_t num_shards = shards_.size();
+  const bool has_selection = shards_[0]->selection_filter() != nullptr;
   std::vector<std::shared_ptr<const core::BlockSelection>> selections(n);
   std::vector<double> filter_seconds(n, 0.0);
-  for (size_t i = 0; i < n; ++i) {
-    pool->Submit([this, &queries, &model, &options, cache, &selections,
-                  &filter_seconds, i] {
-      selections[i] = GetSelection(queries[i], model, options, cache,
-                                   &filter_seconds[i]);
-    });
+  if (has_selection) {
+    // Stage 1: block selections, one task per query (cache-aware).
+    for (size_t i = 0; i < n; ++i) {
+      pool->Submit([this, &queries, &model, &options, cache, &selections,
+                    &filter_seconds, i] {
+        selections[i] = GetSelection(queries[i], model, options, cache,
+                                     &filter_seconds[i]);
+      });
+    }
+    pool->Wait();
   }
-  pool->Wait();
 
-  // Stage 2: refinement scans, one task per (query, shard) — the unit the
-  // throughput of the service scales by: K shards turn one long scan into
-  // K shorter independent ones, so small batches still fill the pool.
-  const size_t num_shards = shards_.size();
+  // Stage 2: one task per (query, shard) — the unit the throughput of the
+  // service scales by: K shards turn one long scan into K shorter
+  // independent ones, so small batches still fill the pool. Refinement
+  // scans under the shared selection, or per-shard statistical queries on
+  // backends without block structure.
   std::vector<std::vector<core::QueryResult>> partials(n);
   for (size_t i = 0; i < n; ++i) {
     partials[i].resize(num_shards);
     for (size_t k = 0; k < num_shards; ++k) {
       pool->Submit([this, &queries, &model, &options, &selections, &partials,
-                    i, k] {
+                    has_selection, i, k] {
         partials[i][k] =
-            ScanShard(k, queries[i], *selections[i], model, options);
+            has_selection
+                ? ScanShard(k, queries[i], *selections[i], model, options)
+                : StatShard(k, queries[i], model, options);
       });
     }
   }
   pool->Wait();
 
   for (size_t i = 0; i < n; ++i) {
-    results[i] = MergeShardResults(*selections[i], filter_seconds[i],
+    results[i] = MergeShardResults(selections[i].get(), filter_seconds[i],
                                    std::move(partials[i]));
   }
   return results;

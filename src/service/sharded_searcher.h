@@ -3,12 +3,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/database.h"
 #include "core/distortion_model.h"
-#include "core/dynamic_index.h"
-#include "core/index.h"
+#include "core/searcher.h"
 #include "fingerprint/fingerprint.h"
 #include "obs/metrics.h"
 #include "service/selection_cache.h"
@@ -36,23 +36,32 @@ struct ShardedSearcherOptions {
   /// Number of shards K, clamped to [1, 1024].
   int num_shards = 4;
   ShardingPolicy policy = ShardingPolicy::kHilbertRange;
-  /// Per-shard index construction options.
-  core::S3IndexOptions index;
+  /// Registry name of the per-shard backend ("dynamic", "s3", "vafile",
+  /// "lsh", "seqscan", or any extension registered with SearcherRegistry).
+  std::string backend = "dynamic";
+  /// Backend construction parameters forwarded to the registry factory.
+  core::SearcherConfig config;
 };
 
-/// Partitions one reference database across K DynamicIndex shards and
-/// answers statistical queries over their union.
+/// Partitions one reference database across K Searcher shards (any
+/// registered backend; "dynamic" by default) and answers statistical
+/// queries over their union.
 ///
-/// Correctness invariant (pinned by tests/service_test.cc): a statistical
-/// query's block selection depends only on the query, the model and the
-/// filter options — never on database contents — so scanning every shard
-/// with ONE shared selection returns exactly the matches the unsharded
-/// index would return, for any shard count and either policy. That shared
-/// selection is also what the SelectionCache stores.
+/// Correctness invariant (pinned by tests/service_test.cc and
+/// tests/backend_parity_test.cc): on block-structured backends a
+/// statistical query's block selection depends only on the query, the
+/// model and the filter options — never on database contents — so
+/// scanning every shard with ONE shared selection returns exactly the
+/// matches the unsharded index would return, for any shard count and
+/// either policy. That shared selection is also what the SelectionCache
+/// stores. Backends without block structure (selection_filter() ==
+/// nullptr) degrade gracefully: each shard answers the statistical query
+/// itself and the partials are merged — still exact for exhaustive
+/// backends, with no selection to share or cache.
 ///
 /// Concurrency: queries are const and safe to fan out; Insert/CompactAll
-/// mutate and require external exclusion (same single-writer contract as
-/// DynamicIndex).
+/// mutate and require external exclusion (the backend's single-writer
+/// contract).
 class ShardedSearcher {
  public:
   /// Consumes `db` and redistributes its records into K shards.
@@ -61,32 +70,36 @@ class ShardedSearcher {
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
   const ShardedSearcherOptions& options() const { return options_; }
-  const core::DynamicIndex& shard(int i) const { return shards_[i]; }
+  const core::Searcher& shard(int i) const { return *shards_[i]; }
   size_t total_size() const;
   size_t pending_inserts() const;
 
-  /// Routes one new fingerprint to its shard (visible to queries
-  /// immediately, like DynamicIndex::Insert).
-  void Insert(const fp::Fingerprint& fingerprint, uint32_t id,
+  /// Routes one new fingerprint to its shard, where it becomes visible
+  /// to queries immediately. Returns false — and inserts nothing — when
+  /// the backend does not support dynamic insertion.
+  bool Insert(const fp::Fingerprint& fingerprint, uint32_t id,
               uint32_t time_code, float x = 0, float y = 0);
 
   /// Folds every shard's insert buffer into its static part.
   void CompactAll();
 
   /// Statistical query over the union of all shards: one block selection
-  /// (optionally via `cache`), one refinement scan per shard, merged
-  /// matches. Per-shard scan latency lands in service.shard<k>.scan_us;
-  /// the merged per-query stats are published through the same
-  /// RecordQueryMetrics path as unsharded queries.
+  /// (optionally via `cache`) and one refinement scan per shard when the
+  /// backend exposes block structure, one per-shard statistical query
+  /// otherwise; merged matches either way. Per-shard scan latency lands in
+  /// service.shard<k>.scan_us; the per-query stats are published through
+  /// the same RecordQueryMetrics path as unsharded queries.
   core::QueryResult StatisticalQuery(const fp::Fingerprint& query,
                                      const core::DistortionModel& model,
                                      const core::QueryOptions& options,
                                      SelectionCache* cache = nullptr) const;
 
-  /// Fans a batch out on `pool` in two stages — per-query selections, then
-  /// one refinement-scan task per (query, shard) — so shard count multiplies
-  /// the available parallelism even for small batches. Serial when pool is
-  /// null. results[i] corresponds to queries[i].
+  /// Fans a batch out on `pool` — per-query selections, then one
+  /// refinement-scan task per (query, shard) on block-structured backends;
+  /// directly one statistical-query task per (query, shard) otherwise —
+  /// so shard count multiplies the available parallelism even for small
+  /// batches. Serial when pool is null. results[i] corresponds to
+  /// queries[i].
   std::vector<core::QueryResult> BatchStatisticalQuery(
       const std::vector<fp::Fingerprint>& queries,
       const core::DistortionModel& model, const core::QueryOptions& options,
@@ -94,14 +107,16 @@ class ShardedSearcher {
 
  private:
   ShardedSearcher(ShardedSearcherOptions options,
-                  std::vector<core::DynamicIndex> shards,
-                  std::vector<BitKey> boundaries);
+                  std::vector<std::unique_ptr<core::Searcher>> shards,
+                  std::vector<BitKey> boundaries, int order);
 
   /// Shard index a new record with `key` / `id` routes to.
   size_t RouteShard(const BitKey& key, uint32_t id) const;
 
   /// Computes (or fetches from `cache`) the shared block selection for one
-  /// query; stores the elapsed filter time in *filter_seconds.
+  /// query; stores the elapsed filter time in *filter_seconds. Returns
+  /// nullptr (and leaves *filter_seconds at 0) when the backend has no
+  /// block structure — callers then fall back to per-shard StatQuery.
   std::shared_ptr<const core::BlockSelection> GetSelection(
       const fp::Fingerprint& query, const core::DistortionModel& model,
       const core::QueryOptions& options, SelectionCache* cache,
@@ -113,17 +128,28 @@ class ShardedSearcher {
                               const core::DistortionModel& model,
                               const core::QueryOptions& options) const;
 
-  /// Combines per-shard partial results into the query's final result and
-  /// publishes its metrics.
+  /// Fallback without a shared selection: shard `k` answers the
+  /// statistical query itself (publishing its own per-shard metrics).
+  core::QueryResult StatShard(size_t k, const fp::Fingerprint& query,
+                              const core::DistortionModel& model,
+                              const core::QueryOptions& options) const;
+
+  /// Combines per-shard partial results into the query's final result.
+  /// With a `selection`, publishes one merged metrics record (the shards
+  /// only scanned); without one, the per-shard queries already published
+  /// and the merge only aggregates the stats.
   core::QueryResult MergeShardResults(
-      const core::BlockSelection& selection, double filter_seconds,
+      const core::BlockSelection* selection, double filter_seconds,
       std::vector<core::QueryResult> partials) const;
 
   ShardedSearcherOptions options_;
-  std::vector<core::DynamicIndex> shards_;
+  std::vector<std::unique_ptr<core::Searcher>> shards_;
   /// kHilbertRange only: upper key bound (exclusive) of each shard except
   /// the last; size num_shards - 1.
   std::vector<BitKey> boundaries_;
+  /// Empty database of the shards' curve order: the Hilbert encoder that
+  /// routes inserts (backends do not all expose their database).
+  core::FingerprintDatabase encoder_;
   /// Per-shard scan-latency histograms ("service.shard<k>.scan_us").
   std::vector<obs::Histogram*> shard_scan_us_;
 };

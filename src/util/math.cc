@@ -12,6 +12,19 @@ constexpr double kSqrt2 = 1.4142135623730951;
 constexpr int kMaxIterations = 400;
 constexpr double kEps = 1e-15;
 
+// glibc's lgamma writes the global `signgam`, which is a data race when
+// distributions are constructed concurrently (e.g. per-shard fallback
+// queries). All arguments here are positive, where Gamma > 0, so the
+// sign output of the reentrant variant can be discarded.
+double LogGamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 // Lower incomplete gamma via its power series; converges fast for x < a + 1.
 double GammaPSeries(double a, double x) {
   double term = 1.0 / a;
@@ -25,7 +38,7 @@ double GammaPSeries(double a, double x) {
       break;
     }
   }
-  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return sum * std::exp(-x + a * std::log(x) - LogGamma(a));
 }
 
 // Upper incomplete gamma Q(a, x) via Lentz continued fraction; converges
@@ -50,7 +63,7 @@ double GammaQContinuedFraction(double a, double x) {
       break;
     }
   }
-  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return h * std::exp(-x + a * std::log(x) - LogGamma(a));
 }
 
 }  // namespace
@@ -91,7 +104,7 @@ ChiNormDistribution::ChiNormDistribution(int dims, double sigma)
   assert(sigma > 0);
   // pdf(r) = r^(D-1) exp(-r^2 / (2 sigma^2)) / (2^(D/2 - 1) Gamma(D/2) sigma^D)
   log_norm_ = -(0.5 * dims_ - 1.0) * std::log(2.0) -
-              std::lgamma(0.5 * dims_) - dims_ * std::log(sigma_);
+              LogGamma(0.5 * dims_) - dims_ * std::log(sigma_);
 }
 
 double ChiNormDistribution::Pdf(double r) const {
@@ -137,7 +150,7 @@ double ChiNormDistribution::Quantile(double alpha) const {
 
 double ChiNormDistribution::Mean() const {
   return sigma_ * kSqrt2 *
-         std::exp(std::lgamma(0.5 * (dims_ + 1)) - std::lgamma(0.5 * dims_));
+         std::exp(LogGamma(0.5 * (dims_ + 1)) - LogGamma(0.5 * dims_));
 }
 
 double UniformBallRadiusPdf(double r, int dims, double radius) {

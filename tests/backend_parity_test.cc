@@ -1,0 +1,319 @@
+// Cross-backend parity: every registered Searcher backend must agree on
+// the result set of an exact range query over the same records, the block
+// backends (s3, dynamic) must agree exactly on statistical queries
+// including their scan counters, and ShardedSearcher must preserve both
+// across shard counts. LSH is approximate by construction, so it is held
+// to a subset-plus-recall contract instead of equality.
+//
+// This test is part of the TSan gate (tools/run_tsan_tests.sh): the
+// sharded assertions run through ThreadPool-backed batch fan-out so races
+// in the backend-agnostic service path are visible to the sanitizer.
+
+#include "core/searcher.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/distortion_model.h"
+#include "core/synthetic_db.h"
+#include "fingerprint/fingerprint.h"
+#include "service/sharded_searcher.h"
+#include "util/math.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace s3vcd::core {
+namespace {
+
+constexpr double kSigma = 10.0;
+constexpr int kDepth = 12;
+constexpr int kNumQueries = 40;
+
+// One deterministic reference population, rebuilt on demand because every
+// backend construction consumes its database.
+FingerprintDatabase MakeDatabase() {
+  Rng rng(4242);
+  DatabaseBuilder builder;
+  std::vector<fp::Fingerprint> pool;
+  for (uint32_t i = 0; i < 150; ++i) {
+    pool.push_back(UniformRandomFingerprint(&rng));
+    builder.Add(pool.back(), i % 12, 10 * i, 0, 0);
+  }
+  AppendDistractors(&builder, pool, 3000, DistractorOptions{}, &rng);
+  return builder.Build();
+}
+
+// Distorted self-queries (the paper's Q = S + Delta S protocol) plus a few
+// far-from-data probes.
+std::vector<fp::Fingerprint> MakeQueries(const FingerprintDatabase& db) {
+  Rng rng(777);
+  std::vector<fp::Fingerprint> queries;
+  for (int i = 0; i < kNumQueries; ++i) {
+    if (i % 8 == 7) {
+      queries.push_back(UniformRandomFingerprint(&rng));
+      continue;
+    }
+    const size_t idx = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(db.size()) - 1));
+    queries.push_back(DistortFingerprint(db.record(idx).descriptor, kSigma,
+                                         &rng));
+  }
+  return queries;
+}
+
+std::unique_ptr<Searcher> MakeBackend(const std::string& name) {
+  SearcherConfig config;
+  // LSH tuned so its recall against the exact answer is meaningfully high
+  // at this test's epsilon (see RangeParity).
+  config.lsh_num_tables = 12;
+  config.lsh_hashes_per_table = 4;
+  config.lsh_bucket_width = 2.0 * ChiNormDistribution(fp::kDims, kSigma)
+                                      .Quantile(0.9);
+  auto backend =
+      SearcherRegistry::Global().Create(name, MakeDatabase(), config);
+  EXPECT_TRUE(backend.ok()) << backend.status().ToString();
+  return std::move(*backend);
+}
+
+using IdTimeSet = std::multiset<std::pair<uint32_t, uint32_t>>;
+
+IdTimeSet Ids(const QueryResult& result) {
+  IdTimeSet ids;
+  for (const Match& m : result.matches) {
+    ids.insert({m.id, m.time_code});
+  }
+  return ids;
+}
+
+double TestEpsilon() {
+  // Equal-expectation radius at alpha = 0.9: distorted self-queries are
+  // usually retrieved, and some distractors land inside too.
+  return ChiNormDistribution(fp::kDims, kSigma).Quantile(0.9);
+}
+
+TEST(RegistryTest, KnowsAllBackends) {
+  const std::vector<std::string> names = SearcherRegistry::Global().Names();
+  for (const char* expected : {"dynamic", "lsh", "s3", "seqscan", "vafile"}) {
+    EXPECT_TRUE(std::count(names.begin(), names.end(), expected) == 1)
+        << "missing backend " << expected;
+  }
+}
+
+TEST(RegistryTest, RejectsUnknownBackendWithNameList) {
+  auto result = SearcherRegistry::Global().Create("btree", MakeDatabase());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  // The message must list the registered names — it is surfaced verbatim
+  // by the tool's --backend rejection.
+  EXPECT_NE(result.status().ToString().find("seqscan"), std::string::npos)
+      << result.status().ToString();
+}
+
+// Exact backends return the identical id set for the identical range
+// query; LSH returns a subset with bounded recall loss.
+TEST(BackendParityTest, RangeParity) {
+  const FingerprintDatabase db = MakeDatabase();
+  const std::vector<fp::Fingerprint> queries = MakeQueries(db);
+  const double epsilon = TestEpsilon();
+
+  const auto seqscan = MakeBackend("seqscan");
+  const auto s3 = MakeBackend("s3");
+  const auto dynamic = MakeBackend("dynamic");
+  const auto vafile = MakeBackend("vafile");
+  const auto lsh = MakeBackend("lsh");
+
+  size_t exact_total = 0;
+  size_t lsh_found = 0;
+  size_t nonempty = 0;
+  for (const fp::Fingerprint& q : queries) {
+    const QueryResult truth = seqscan->RangeQuery(q, epsilon, kDepth);
+    const IdTimeSet expected = Ids(truth);
+    nonempty += expected.empty() ? 0 : 1;
+    // Exhaustive-scan invariant: the sequential backend refines every
+    // record.
+    EXPECT_EQ(truth.stats.records_scanned, db.size());
+
+    for (const Searcher* backend : {s3.get(), dynamic.get(), vafile.get()}) {
+      const QueryResult result = backend->RangeQuery(q, epsilon, kDepth);
+      EXPECT_EQ(Ids(result), expected)
+          << "backend " << backend->backend_name() << " diverges";
+    }
+
+    const IdTimeSet approx = Ids(lsh->RangeQuery(q, epsilon, kDepth));
+    for (const auto& id : approx) {
+      EXPECT_TRUE(expected.count(id) > 0)
+          << "lsh returned a non-answer (id " << id.first << ")";
+    }
+    exact_total += expected.size();
+    for (const auto& id : expected) {
+      lsh_found += approx.count(id) > 0 ? 1 : 0;
+    }
+  }
+  ASSERT_GT(nonempty, 0u) << "test epsilon retrieves nothing";
+  ASSERT_GT(exact_total, 0u);
+  const double recall =
+      static_cast<double>(lsh_found) / static_cast<double>(exact_total);
+  EXPECT_GE(recall, 0.6) << "lsh recall collapsed";
+}
+
+// The two block backends execute the statistical query identically, down
+// to every scan counter (the counter-drift regression this PR fixed:
+// dynamic's nodes_visited was dropped and its buffered-record scan
+// mishandled the wrapped final curve section).
+TEST(BackendParityTest, StatQueryCounterParityS3Dynamic) {
+  const FingerprintDatabase db = MakeDatabase();
+  const std::vector<fp::Fingerprint> queries = MakeQueries(db);
+  const auto s3 = MakeBackend("s3");
+  const auto dynamic = MakeBackend("dynamic");
+  const GaussianDistortionModel model(kSigma);
+  QueryOptions options;
+  options.filter.alpha = 0.9;
+  options.filter.depth = kDepth;
+
+  for (const fp::Fingerprint& q : queries) {
+    const QueryResult a = s3->StatQuery(q, model, options);
+    const QueryResult b = dynamic->StatQuery(q, model, options);
+    EXPECT_EQ(Ids(a), Ids(b));
+    EXPECT_EQ(a.stats.records_scanned, b.stats.records_scanned);
+    EXPECT_EQ(a.stats.ranges_scanned, b.stats.ranges_scanned);
+    EXPECT_EQ(a.stats.blocks_selected, b.stats.blocks_selected);
+    EXPECT_EQ(a.stats.nodes_visited, b.stats.nodes_visited);
+  }
+}
+
+// A dynamic index with half its records arriving through TryInsert agrees
+// with the sequential scan over the full population. Buffered records
+// whose keys fall in the selection's final wrapped section (end == top of
+// key space) regress here if membership mishandles the zero sentinel.
+TEST(BackendParityTest, DynamicWithBufferedInsertsMatchesSeqScan) {
+  const FingerprintDatabase full = MakeDatabase();
+  Rng rng(4242);
+  DatabaseBuilder builder;
+  // Rebuild only the even records statically; odd records insert later.
+  for (size_t i = 0; i < full.size(); i += 2) {
+    const FingerprintRecord& r = full.record(i);
+    builder.Add(r.descriptor, r.id, r.time_code, r.x, r.y);
+  }
+  auto dynamic = SearcherRegistry::Global().Create("dynamic", builder.Build());
+  ASSERT_TRUE(dynamic.ok());
+  for (size_t i = 1; i < full.size(); i += 2) {
+    const FingerprintRecord& r = full.record(i);
+    ASSERT_TRUE(
+        (*dynamic)->TryInsert(r.descriptor, r.id, r.time_code, r.x, r.y));
+  }
+  EXPECT_EQ((*dynamic)->Stats().records, full.size());
+  EXPECT_GT((*dynamic)->Stats().pending_inserts, 0u);
+
+  const auto seqscan = MakeBackend("seqscan");
+  const GaussianDistortionModel model(kSigma);
+  QueryOptions options;
+  options.filter.alpha = 0.95;
+  options.filter.depth = kDepth;
+  options.refinement = RefinementMode::kRadiusFilter;
+  options.radius = TestEpsilon();
+  for (const fp::Fingerprint& q : MakeQueries(full)) {
+    const QueryResult truth = seqscan->RangeQuery(q, options.radius, kDepth);
+    const QueryResult got =
+        (*dynamic)->RangeQuery(q, options.radius, kDepth);
+    EXPECT_EQ(Ids(got), Ids(truth));
+  }
+}
+
+// Seq-scan statistical emulation (equal-expectation radius) is identical
+// to an explicit range query at that radius.
+TEST(BackendParityTest, SeqScanStatQueryIsEqualExpectationRange) {
+  const FingerprintDatabase db = MakeDatabase();
+  const auto seqscan = MakeBackend("seqscan");
+  const GaussianDistortionModel model(kSigma);
+  QueryOptions options;
+  options.filter.alpha = 0.9;
+  const double epsilon = EqualExpectationRadius(model, options.filter.alpha);
+  for (const fp::Fingerprint& q : MakeQueries(db)) {
+    EXPECT_EQ(Ids(seqscan->StatQuery(q, model, options)),
+              Ids(seqscan->RangeQuery(q, epsilon, kDepth)));
+  }
+}
+
+// Sharding is invisible: for any shard count, the sharded statistical
+// query over a block backend returns the unsharded answer with the same
+// total scan work; a shard count of K=1..5 crosses both the shared
+// selection path and the per-(query, shard) batch fan-out. The batch runs
+// on a real ThreadPool so this parity is also a TSan workload.
+TEST(BackendParityTest, ShardedParityAcrossShardCounts) {
+  const FingerprintDatabase db = MakeDatabase();
+  const std::vector<fp::Fingerprint> queries = MakeQueries(db);
+  const auto s3 = MakeBackend("s3");
+  const GaussianDistortionModel model(kSigma);
+  QueryOptions options;
+  options.filter.alpha = 0.9;
+  options.filter.depth = kDepth;
+
+  std::vector<QueryResult> expected;
+  for (const fp::Fingerprint& q : queries) {
+    expected.push_back(s3->StatQuery(q, model, options));
+  }
+
+  for (int num_shards : {1, 3, 5}) {
+    service::ShardedSearcherOptions sharding;
+    sharding.num_shards = num_shards;
+    sharding.config.index_table_depth = 14;
+    auto sharded = service::ShardedSearcher::Build(MakeDatabase(), sharding);
+    ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+    ThreadPool pool(4);
+    const std::vector<QueryResult> results =
+        sharded->BatchStatisticalQuery(queries, model, options, &pool);
+    ASSERT_EQ(results.size(), queries.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(Ids(results[i]), Ids(expected[i]))
+          << "K=" << num_shards << " query " << i;
+      EXPECT_EQ(results[i].stats.records_scanned,
+                expected[i].stats.records_scanned)
+          << "K=" << num_shards << " query " << i;
+    }
+  }
+}
+
+// Graceful degradation: a sharded searcher over a backend with no block
+// structure still answers statistical queries (per-shard fallback), and
+// exhaustive shards make it exact.
+TEST(BackendParityTest, ShardedSeqScanFallbackParity) {
+  const FingerprintDatabase db = MakeDatabase();
+  const std::vector<fp::Fingerprint> queries = MakeQueries(db);
+  const auto seqscan = MakeBackend("seqscan");
+  const GaussianDistortionModel model(kSigma);
+  QueryOptions options;
+  options.filter.alpha = 0.9;
+
+  service::ShardedSearcherOptions sharding;
+  sharding.num_shards = 3;
+  sharding.backend = "seqscan";
+  auto sharded = service::ShardedSearcher::Build(MakeDatabase(), sharding);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  EXPECT_EQ(sharded->shard(0).selection_filter(), nullptr);
+  EXPECT_EQ(sharded->total_size(), db.size());
+  // No dynamic insertion on this backend: Insert reports failure.
+  EXPECT_FALSE(sharded->Insert(queries[0], 1, 2));
+
+  ThreadPool pool(4);
+  const std::vector<QueryResult> results =
+      sharded->BatchStatisticalQuery(queries, model, options, &pool);
+  ASSERT_EQ(results.size(), queries.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    const QueryResult expected = seqscan->StatQuery(queries[i], model,
+                                                    options);
+    EXPECT_EQ(Ids(results[i]), Ids(expected)) << "query " << i;
+    EXPECT_EQ(results[i].stats.records_scanned,
+              expected.stats.records_scanned);
+  }
+}
+
+}  // namespace
+}  // namespace s3vcd::core

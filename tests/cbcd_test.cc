@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/index.h"
 #include "core/synthetic_db.h"
 #include "media/synthetic.h"
 #include "media/transforms.h"

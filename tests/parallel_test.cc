@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "core/database.h"
+#include "core/index.h"
 #include "core/synthetic_db.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"

@@ -5,13 +5,15 @@
 //                          [--memory-records N] [--external]
 //   s3vcd_tool inspect     --db DB
 //   s3vcd_tool verify      --db DB
-//   s3vcd_tool query       --db DB [--alpha A] [--sigma S] [--depth P]
-//                          [--count N] [--seed S] [--pseudo-disk R]
+//   s3vcd_tool query       --db DB [--backend NAME] [--alpha A] [--sigma S]
+//                          [--depth P] [--count N] [--seed S]
+//                          [--pseudo-disk R]
 //                          [--metrics-out FILE] [--trace-out FILE]
-//   s3vcd_tool monitor     --db DB [--stream-frames F] [--alpha A]
-//                          [--sigma S] [--threshold T] [--seed S]
+//   s3vcd_tool monitor     --db DB [--backend NAME] [--stream-frames F]
+//                          [--alpha A] [--sigma S] [--threshold T] [--seed S]
 //                          [--metrics-out FILE] [--trace-out FILE]
-//   s3vcd_tool serve-batch --db DB [--shards K] [--policy range|hash]
+//   s3vcd_tool serve-batch --db DB [--backend NAME] [--shards K]
+//                          [--policy range|hash]
 //                          [--workers W] [--threads T] [--queue-depth Q]
 //                          [--batch N] [--batches B] [--alpha A]
 //                          [--sigma S] [--depth P] [--deadline-ms D]
@@ -28,7 +30,10 @@
 //
 // Flags accept both `--flag value` and `--flag=value`; unknown flags are
 // rejected with the command's flag table (run a command with no flags, or
-// see README.md, for the full table). On query/monitor/serve-batch,
+// see README.md, for the full table). `--backend NAME` selects the search
+// structure from the SearcherRegistry ("s3", "dynamic", "vafile", "lsh",
+// "seqscan"); an unknown name is rejected with the registered list before
+// any database is loaded. On query/monitor/serve-batch,
 // `--metrics-out FILE` dumps a JSON snapshot of the global metrics registry
 // covering the run and `--trace-out FILE` records Chrome trace-event JSON
 // (load it in chrome://tracing). `--pseudo-disk R` additionally replays the
@@ -52,6 +57,7 @@
 #include "core/external_builder.h"
 #include "core/index.h"
 #include "core/pseudo_disk.h"
+#include "core/searcher.h"
 #include "core/synthetic_db.h"
 #include "core/tuner.h"
 #include "fingerprint/extractor.h"
@@ -146,6 +152,7 @@ const std::vector<CommandSpec>& Commands() {
       {"query",
        "replay distorted self-queries with timing and metrics",
        {{"db", "database path (required)"},
+        {"backend", "registry searcher backend (default s3)"},
         {"alpha", "statistical expectation (default 0.8)"},
         {"sigma", "distortion model sigma (default 15)"},
         {"depth", "partition depth p; 0 = auto-tune (default 0)"},
@@ -157,6 +164,7 @@ const std::vector<CommandSpec>& Commands() {
       {"monitor",
        "watch a synthetic stream with an embedded copy",
        {{"db", "database path (required)"},
+        {"backend", "registry searcher backend (default s3)"},
         {"alpha", "statistical expectation (default 0.8)"},
         {"sigma", "distortion model sigma (default 12)"},
         {"stream-frames", "filler frames before/after the copy (default 150)"},
@@ -167,6 +175,7 @@ const std::vector<CommandSpec>& Commands() {
       {"serve-batch",
        "drive the sharded batch query service under producer pressure",
        {{"db", "database path (required)"},
+        {"backend", "per-shard registry backend (default dynamic)"},
         {"shards", "number of index shards K (default 4)"},
         {"policy", "sharding policy: range | hash (default range)"},
         {"workers", "service worker threads (default 2)"},
@@ -224,6 +233,19 @@ bool RejectUnknownFlags(const CommandSpec& command, const Flags& flags) {
     PrintCommandUsage(command);
   }
   return ok;
+}
+
+// Validates a --backend value against the SearcherRegistry before any
+// expensive work (a typo must not cost a database load); the rejection
+// lists the registered names so the fix is obvious.
+bool ValidateBackend(const std::string& command, const std::string& backend) {
+  if (core::SearcherRegistry::Global().Contains(backend)) {
+    return true;
+  }
+  std::fprintf(stderr, "%s: unknown backend '%s'; registered backends: %s\n",
+               command.c_str(), backend.c_str(),
+               core::SearcherRegistry::Global().NamesCsv().c_str());
+  return false;
 }
 
 bool WriteTextFile(const std::string& path, const std::string& content) {
@@ -436,6 +458,10 @@ int CmdInspect(const Flags& flags) {
 }
 
 int CmdQuery(const Flags& flags) {
+  const std::string backend = flags.Get("backend", "s3");
+  if (!ValidateBackend("query", backend)) {
+    return 2;
+  }
   const std::string path = flags.Get("db", "");
   auto db = core::FingerprintDatabase::LoadFromFile(path);
   if (!db.ok()) {
@@ -448,24 +474,56 @@ int CmdQuery(const Flags& flags) {
   const int count = static_cast<int>(flags.GetInt("count", 100));
   Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 99)));
 
-  const core::S3Index index(std::move(*db));
+  // Sample everything drawn from the records — tuning queries, then the
+  // (target, distorted self-query) pairs — before the registry consumes
+  // the database.
+  const size_t db_size = db->size();
+  std::vector<fp::Fingerprint> tune;
   int depth = static_cast<int>(flags.GetInt("depth", 0));
-  const core::GaussianDistortionModel model(sigma);
   if (depth == 0) {
-    std::vector<fp::Fingerprint> tune;
     for (int i = 0; i < 16; ++i) {
       tune.push_back(core::DistortFingerprint(
-          index.database()
-              .record(static_cast<size_t>(rng.UniformInt(
-                  0, static_cast<int64_t>(index.database().size()) - 1)))
+          db->record(static_cast<size_t>(rng.UniformInt(
+                         0, static_cast<int64_t>(db_size) - 1)))
               .descriptor,
           sigma, &rng));
     }
-    depth = core::TuneDepth(index, model, tune, alpha,
-                            core::DefaultDepthCandidates(
-                                index.database().size(), 160))
-                .best_depth;
-    std::printf("tuned depth p = %d\n", depth);
+  }
+  std::vector<fp::Fingerprint> targets;
+  std::vector<fp::Fingerprint> queries;
+  targets.reserve(static_cast<size_t>(count));
+  queries.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    targets.push_back(db->record(static_cast<size_t>(rng.UniformInt(
+                                     0, static_cast<int64_t>(db_size) - 1)))
+                          .descriptor);
+    queries.push_back(
+        core::DistortFingerprint(targets.back(), sigma, &rng));
+  }
+
+  auto searcher =
+      core::SearcherRegistry::Global().Create(backend, std::move(*db));
+  if (!searcher.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 searcher.status().ToString().c_str());
+    return 1;
+  }
+  const core::Searcher& index = **searcher;
+  const core::GaussianDistortionModel model(sigma);
+  if (depth == 0) {
+    // Depth auto-tuning walks the block-tree ladder of the S3 structure;
+    // other backends ignore the depth parameter.
+    const auto* s3 = dynamic_cast<const core::S3Index*>(searcher->get());
+    if (s3 != nullptr) {
+      depth = core::TuneDepth(*s3, model, tune, alpha,
+                              core::DefaultDepthCandidates(db_size, 160))
+                  .best_depth;
+      std::printf("tuned depth p = %d\n", depth);
+    } else {
+      depth = 12;
+      std::printf("backend %s has no tunable depth; using p = %d\n",
+                  backend.c_str(), depth);
+    }
   }
   core::QueryOptions options;
   options.filter.alpha = alpha;
@@ -475,22 +533,17 @@ int CmdQuery(const Flags& flags) {
   int hits = 0;
   uint64_t matches = 0;
   core::QueryStats totals;
-  std::vector<fp::Fingerprint> queries;
-  queries.reserve(static_cast<size_t>(count));
   Stopwatch watch;
   for (int i = 0; i < count; ++i) {
-    const auto& target = index.database().record(static_cast<size_t>(
-        rng.UniformInt(0, static_cast<int64_t>(index.database().size()) - 1)));
-    const fp::Fingerprint q =
-        core::DistortFingerprint(target.descriptor, sigma, &rng);
-    queries.push_back(q);
-    const auto result = index.StatisticalQuery(q, model, options);
+    const fp::Fingerprint& q = queries[static_cast<size_t>(i)];
+    const auto result = index.StatQuery(q, model, options);
     matches += result.matches.size();
     totals.blocks_selected += result.stats.blocks_selected;
     totals.nodes_visited += result.stats.nodes_visited;
     totals.ranges_scanned += result.stats.ranges_scanned;
     totals.records_scanned += result.stats.records_scanned;
-    const double target_dist = fp::Distance(q, target.descriptor);
+    const double target_dist =
+        fp::Distance(q, targets[static_cast<size_t>(i)]);
     for (const auto& m : result.matches) {
       if (std::abs(m.distance - target_dist) < 1e-3) {
         ++hits;
@@ -499,9 +552,9 @@ int CmdQuery(const Flags& flags) {
     }
   }
   std::printf(
-      "%d self-queries (alpha=%.2f sigma=%.1f p=%d): retrieval %.1f%%, "
-      "avg %.3f ms, avg %.0f results\n",
-      count, alpha, sigma, depth, 100.0 * hits / count,
+      "%d self-queries (backend=%s alpha=%.2f sigma=%.1f p=%d): "
+      "retrieval %.1f%%, avg %.3f ms, avg %.0f results\n",
+      count, backend.c_str(), alpha, sigma, depth, 100.0 * hits / count,
       watch.ElapsedMillis() / count,
       static_cast<double>(matches) / count);
 
@@ -562,6 +615,10 @@ int CmdQuery(const Flags& flags) {
 }
 
 int CmdMonitor(const Flags& flags) {
+  const std::string backend = flags.Get("backend", "s3");
+  if (!ValidateBackend("monitor", backend)) {
+    return 2;
+  }
   const std::string path = flags.Get("db", "");
   auto db = core::FingerprintDatabase::LoadFromFile(path);
   if (!db.ok()) {
@@ -569,7 +626,13 @@ int CmdMonitor(const Flags& flags) {
                  db.status().ToString().c_str());
     return 1;
   }
-  const core::S3Index index(std::move(*db));
+  auto searcher =
+      core::SearcherRegistry::Global().Create(backend, std::move(*db));
+  if (!searcher.ok()) {
+    std::fprintf(stderr, "monitor failed: %s\n",
+                 searcher.status().ToString().c_str());
+    return 1;
+  }
   const double alpha = flags.GetDouble("alpha", 0.8);
   const double sigma = flags.GetDouble("sigma", 12.0);
   const int stream_frames =
@@ -594,7 +657,7 @@ int CmdMonitor(const Flags& flags) {
   options.query.filter.depth = 14;
   options.vote.use_spatial_coherence = true;
   options.nsim_threshold = threshold;
-  const cbcd::CopyDetector detector(&index, &model, options);
+  const cbcd::CopyDetector detector(searcher->get(), &model, options);
   cbcd::StreamMonitor monitor(&detector, cbcd::StreamMonitor::Options{});
 
   const fp::FingerprintExtractor extractor;
@@ -641,6 +704,10 @@ int CmdMonitor(const Flags& flags) {
 // docs/query_service.md — and counted so an overloaded configuration is
 // visible in the output and in service.admission_rejects.
 int CmdServeBatch(const Flags& flags) {
+  const std::string backend = flags.Get("backend", "dynamic");
+  if (!ValidateBackend("serve-batch", backend)) {
+    return 2;
+  }
   const std::string path = flags.Get("db", "");
   auto db = core::FingerprintDatabase::LoadFromFile(path);
   if (!db.ok()) {
@@ -651,6 +718,7 @@ int CmdServeBatch(const Flags& flags) {
   const std::string policy_name = flags.Get("policy", "range");
   service::ShardedSearcherOptions sharding;
   sharding.num_shards = static_cast<int>(flags.GetInt("shards", 4));
+  sharding.backend = backend;
   if (policy_name == "range") {
     sharding.policy = service::ShardingPolicy::kHilbertRange;
   } else if (policy_name == "hash") {
@@ -659,17 +727,36 @@ int CmdServeBatch(const Flags& flags) {
     std::fprintf(stderr, "serve-batch: --policy must be range or hash\n");
     return 2;
   }
+
+  const double alpha = flags.GetDouble("alpha", 0.8);
+  const double sigma = flags.GetDouble("sigma", 15.0);
+  const core::GaussianDistortionModel model(sigma);
+
+  // Sample the self-query batches before the sharded searcher consumes the
+  // database (backends do not expose their records). Distorted copies of
+  // referenced content keep the workload realistic without loading the DB
+  // twice.
   const size_t db_size = db->size();
+  const size_t batch_size = static_cast<size_t>(flags.GetInt("batch", 32));
+  const size_t num_batches = static_cast<size_t>(flags.GetInt("batches", 64));
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 99)));
+  std::vector<std::vector<fp::Fingerprint>> batches(num_batches);
+  for (auto& batch : batches) {
+    batch.reserve(batch_size);
+    for (size_t i = 0; i < batch_size; ++i) {
+      const auto& record = db->record(static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(db_size) - 1)));
+      batch.push_back(
+          core::DistortFingerprint(record.descriptor, sigma, &rng));
+    }
+  }
+
   auto searcher = service::ShardedSearcher::Build(std::move(*db), sharding);
   if (!searcher.ok()) {
     std::fprintf(stderr, "serve-batch failed: %s\n",
                  searcher.status().ToString().c_str());
     return 1;
   }
-
-  const double alpha = flags.GetDouble("alpha", 0.8);
-  const double sigma = flags.GetDouble("sigma", 15.0);
-  const core::GaussianDistortionModel model(sigma);
   service::QueryServiceOptions options;
   options.num_workers = static_cast<int>(flags.GetInt("workers", 2));
   options.threads_per_batch = static_cast<int>(flags.GetInt("threads", 2));
@@ -682,29 +769,12 @@ int CmdServeBatch(const Flags& flags) {
   service::BatchOptions batch_options;
   batch_options.deadline_ms = flags.GetDouble("deadline-ms", 0);
 
-  const size_t batch_size = static_cast<size_t>(flags.GetInt("batch", 32));
-  const size_t num_batches = static_cast<size_t>(flags.GetInt("batches", 64));
-  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 99)));
-  std::vector<std::vector<fp::Fingerprint>> batches(num_batches);
-  for (auto& batch : batches) {
-    batch.reserve(batch_size);
-    for (size_t i = 0; i < batch_size; ++i) {
-      const auto& target = searcher->shard(0).base().database();
-      // Self-queries against shard 0's records keep the workload realistic
-      // (distorted copies of referenced content) without loading the DB
-      // twice.
-      const auto& record = target.record(static_cast<size_t>(
-          rng.UniformInt(0, static_cast<int64_t>(target.size()) - 1)));
-      batch.push_back(
-          core::DistortFingerprint(record.descriptor, sigma, &rng));
-    }
-  }
-
-  std::printf("serve-batch: %zu records, %d shards (%s), %d workers x %d "
-              "threads, queue depth %zu, cache %zu\n",
+  std::printf("serve-batch: %zu records, %d shards (%s, backend=%s), "
+              "%d workers x %d threads, queue depth %zu, cache %zu\n",
               db_size, searcher->num_shards(), policy_name.c_str(),
-              options.num_workers, options.threads_per_batch,
-              options.max_queue_depth, options.cache_capacity);
+              backend.c_str(), options.num_workers,
+              options.threads_per_batch, options.max_queue_depth,
+              options.cache_capacity);
 
   ObsOutputs obs_out(flags);
   obs_out.Begin();
