@@ -164,13 +164,16 @@ void EmitMetricsBlockAtExit() {
 void EmitMetricsBlock(const std::string& name,
                       const std::string& annotation) {
   const std::string json = obs::MetricsRegistry::Global().Snapshot().ToJson();
-  if (annotation.empty()) {
-    std::printf("# METRICS %s\n%s\n# END METRICS\n", name.c_str(),
-                json.c_str());
-  } else {
-    std::printf("# METRICS %s %s\n%s\n# END METRICS\n", name.c_str(),
-                annotation.c_str(), json.c_str());
+  // Every block carries the refine-kernel choice so perf numbers are
+  // attributable to the scalar/SSE2/AVX2 path that produced them.
+  std::string full = annotation;
+  if (!full.empty()) {
+    full += ' ';
   }
+  full += "scan_kernel=";
+  full += core::ActiveScanKernelName();
+  std::printf("# METRICS %s %s\n%s\n# END METRICS\n", name.c_str(),
+              full.c_str(), json.c_str());
   std::fflush(stdout);
 }
 

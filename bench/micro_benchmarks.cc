@@ -10,6 +10,7 @@
 #include "core/distortion_model.h"
 #include "core/filter.h"
 #include "core/index.h"
+#include "core/scan_kernel.h"
 #include "core/synthetic_db.h"
 #include "fingerprint/fingerprint.h"
 #include "hilbert/hilbert_curve.h"
@@ -114,6 +115,36 @@ void BM_StatisticalQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StatisticalQuery)->Arg(50)->Arg(80)->Arg(95);
+
+// Refinement throughput of each scan kernel over the shared 200k-record
+// corpus (a full seqscan sweep in kRadiusFilter mode, the hot path of
+// every backend's phase-2 refinement). Arg = ScanKernelKind; variants the
+// CPU cannot run are skipped. tools/run_benchmarks.sh turns the reported
+// items_per_second into BENCH_scan.json.
+void BM_RefineScan(benchmark::State& state) {
+  const auto kind = static_cast<core::ScanKernelKind>(state.range(0));
+  if (!core::ScanKernelAvailable(kind)) {
+    state.SkipWithError("kernel unavailable on this CPU");
+    return;
+  }
+  core::S3Index* index = SharedIndex();
+  const core::DescriptorBlock& block = index->database().block();
+  Rng rng(9);
+  const fp::Fingerprint q = core::UniformRandomFingerprint(&rng);
+  const core::RefineSpec spec(core::RefinementMode::kRadiusFilter,
+                              /*radius=*/90.0, /*model=*/nullptr);
+  const core::ScanKernelKind previous = core::SetScanKernelForTest(kind);
+  for (auto _ : state) {
+    core::QueryResult result;
+    core::ScanRecords(q, block, 0, block.size(), spec, &result);
+    benchmark::DoNotOptimize(result.stats.records_scanned);
+  }
+  core::SetScanKernelForTest(previous);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(block.size()));
+  state.SetLabel(core::ScanKernelName(kind));
+}
+BENCHMARK(BM_RefineScan)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_SequentialScan(benchmark::State& state) {
   core::S3Index* index = SharedIndex();

@@ -85,8 +85,7 @@ BitKey FingerprintDatabase::EncodeFingerprint(
 }
 
 uint64_t FingerprintDatabase::MemoryBytes() const {
-  return records_.size() * sizeof(FingerprintRecord) +
-         keys_.size() * sizeof(BitKey);
+  return block_.MemoryBytes() + keys_.size() * sizeof(BitKey);
 }
 
 Status FingerprintDatabase::SaveToFile(const std::string& path) const {
@@ -96,10 +95,10 @@ Status FingerprintDatabase::SaveToFile(const std::string& path) const {
   S3VCD_RETURN_IF_ERROR(writer.WriteU32(kVersion));
   S3VCD_RETURN_IF_ERROR(writer.WriteU32(static_cast<uint32_t>(fp::kDims)));
   S3VCD_RETURN_IF_ERROR(writer.WriteU32(static_cast<uint32_t>(order())));
-  S3VCD_RETURN_IF_ERROR(writer.WriteU64(records_.size()));
+  S3VCD_RETURN_IF_ERROR(writer.WriteU64(block_.size()));
   uint8_t buf[kRecordBytes];
-  for (const FingerprintRecord& r : records_) {
-    SerializeRecord(r, buf);
+  for (size_t i = 0; i < block_.size(); ++i) {
+    SerializeRecord(block_.Record(i), buf);
     S3VCD_RETURN_IF_ERROR(writer.WriteBytes(buf, kRecordBytes));
   }
   S3VCD_RETURN_IF_ERROR(writer.WriteU32(writer.crc()));
@@ -114,11 +113,16 @@ Result<FingerprintDatabase> FingerprintDatabase::LoadFromFile(
                          internal::ReadHeader(&reader));
   const uint64_t count = header.count;
   FingerprintDatabase db(static_cast<int>(header.order));
-  db.records_.resize(count);
+  db.block_.Reserve(count);
+  db.keys_.reserve(count);
   uint8_t buf[kRecordBytes];
+  FingerprintRecord record;
   for (uint64_t i = 0; i < count; ++i) {
     S3VCD_RETURN_IF_ERROR(reader.ReadBytes(buf, kRecordBytes));
-    DeserializeRecord(buf, &db.records_[i]);
+    DeserializeRecord(buf, &record);
+    db.block_.AppendRecord(record);
+    // Recompute the key; the sort order is verified below.
+    db.keys_.push_back(db.EncodeFingerprint(record.descriptor));
   }
   const uint32_t computed_crc = reader.crc();
   uint32_t stored_crc = 0;
@@ -127,11 +131,6 @@ Result<FingerprintDatabase> FingerprintDatabase::LoadFromFile(
     return Status::Corruption("database checksum mismatch");
   }
   S3VCD_RETURN_IF_ERROR(reader.Close());
-  // Recompute keys and verify the on-disk sort order.
-  db.keys_.reserve(count);
-  for (const FingerprintRecord& r : db.records_) {
-    db.keys_.push_back(db.EncodeFingerprint(r.descriptor));
-  }
   for (size_t i = 1; i < db.keys_.size(); ++i) {
     if (db.keys_[i] < db.keys_[i - 1]) {
       return Status::Corruption("database records are not curve-ordered");
@@ -170,10 +169,10 @@ FingerprintDatabase DatabaseBuilder::Build() {
   std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
     return keys[a] < keys[b];
   });
-  db.records_.reserve(n);
+  db.block_.Reserve(n);
   db.keys_.reserve(n);
   for (uint32_t idx : perm) {
-    db.records_.push_back(records_[idx]);
+    db.block_.AppendRecord(records_[idx]);
     db.keys_.push_back(keys[idx]);
   }
   records_.clear();

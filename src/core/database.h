@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/descriptor_block.h"
 #include "core/record.h"
 #include "fingerprint/fingerprint.h"
 #include "hilbert/hilbert_curve.h"
@@ -56,11 +57,14 @@ class FingerprintDatabase {
 
   const hilbert::HilbertCurve& curve() const { return curve_; }
   int order() const { return curve_.order(); }
-  size_t size() const { return records_.size(); }
-  bool empty() const { return records_.empty(); }
+  size_t size() const { return block_.size(); }
+  bool empty() const { return block_.empty(); }
 
-  const FingerprintRecord& record(size_t i) const { return records_[i]; }
-  const std::vector<FingerprintRecord>& records() const { return records_; }
+  /// Record i materialized in array-of-structs form. Scans should use
+  /// block() instead of looping over this.
+  FingerprintRecord record(size_t i) const { return block_.Record(i); }
+  /// The structure-of-arrays record store (what ScanRecords consumes).
+  const DescriptorBlock& block() const { return block_; }
   const BitKey& key(size_t i) const { return keys_[i]; }
 
   /// Index of the first record whose key is >= `key` (binary search).
@@ -81,8 +85,8 @@ class FingerprintDatabase {
   friend class DatabaseBuilder;
 
   hilbert::HilbertCurve curve_;
-  std::vector<FingerprintRecord> records_;  // sorted by keys_
-  std::vector<BitKey> keys_;                // parallel to records_
+  DescriptorBlock block_;     // sorted by keys_
+  std::vector<BitKey> keys_;  // parallel to block_
 };
 
 /// Accumulates fingerprints, then sorts them along the Hilbert curve into a

@@ -25,7 +25,7 @@ class DistortionModel {
   /// Characteristic scale of component `component` (its standard
   /// deviation for Gaussian models). Used by the normalized-radius
   /// refinement to weight distances per component.
-  virtual double ComponentScale(int component) const { return 1.0; }
+  virtual double ComponentScale(int /*component*/) const { return 1.0; }
 };
 
 /// The paper's practical choice (Section IV-C): zero-mean normal with the

@@ -24,10 +24,8 @@ DynamicIndex::DynamicIndex(S3Index base) : base_(std::move(base)) {}
 
 void DynamicIndex::Insert(const fp::Fingerprint& fingerprint, uint32_t id,
                           uint32_t time_code, float x, float y) {
-  BufferedRecord buffered;
-  buffered.record = {fingerprint, id, time_code, x, y};
-  buffered.key = base_.database().EncodeFingerprint(fingerprint);
-  buffer_.push_back(std::move(buffered));
+  buffer_.Append(fingerprint, id, time_code, x, y);
+  buffer_keys_.push_back(base_.database().EncodeFingerprint(fingerprint));
   g_inserts->Increment();
   g_pending->Set(static_cast<int64_t>(buffer_.size()));
 }
@@ -41,11 +39,11 @@ void DynamicIndex::AppendBufferMatches(
   // ResolveRange (a zero `end` means "to the top of the key space"), so a
   // buffered record inside the final wrapped section is never dropped.
   const RefineSpec spec(mode, radius, model);
-  for (const BufferedRecord& buffered : buffer_) {
-    if (!KeyInSelection(buffered.key, ranges)) {
+  for (size_t i = 0; i < buffer_.size(); ++i) {
+    if (!KeyInSelection(buffer_keys_[i], ranges)) {
       continue;
     }
-    RefineRecord(query, buffered.record, spec, result);
+    RefineRecord(query, buffer_, i, spec, result);
   }
 }
 
@@ -110,16 +108,17 @@ void DynamicIndex::Compact() {
   S3VCD_TRACE_SPAN("dynamic_index.compact");
   DatabaseBuilder builder(base_.database().order());
   for (size_t i = 0; i < base_.database().size(); ++i) {
-    const FingerprintRecord& r = base_.database().record(i);
+    const FingerprintRecord r = base_.database().record(i);
     builder.Add(r.descriptor, r.id, r.time_code, r.x, r.y);
   }
-  for (const BufferedRecord& buffered : buffer_) {
-    const FingerprintRecord& r = buffered.record;
+  for (size_t i = 0; i < buffer_.size(); ++i) {
+    const FingerprintRecord r = buffer_.Record(i);
     builder.Add(r.descriptor, r.id, r.time_code, r.x, r.y);
   }
   const S3IndexOptions options = base_.options();
   base_ = S3Index(builder.Build(), options);
-  buffer_.clear();
+  buffer_.Clear();
+  buffer_keys_.clear();
   g_compactions->Increment();
   g_pending->Set(0);
 }

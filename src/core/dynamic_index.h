@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/database.h"
+#include "core/descriptor_block.h"
 #include "core/distortion_model.h"
 #include "core/index.h"
 #include "core/searcher.h"
@@ -63,7 +64,8 @@ class DynamicIndex : public Searcher {
     return {total_size(), buffer_.size()};
   }
   uint64_t ApproxBytes() const override {
-    return base_.ApproxBytes() + buffer_.size() * sizeof(BufferedRecord);
+    return base_.ApproxBytes() + buffer_.MemoryBytes() +
+           buffer_keys_.size() * sizeof(BitKey);
   }
   const BlockFilter* selection_filter() const override {
     return &base_.filter();
@@ -89,11 +91,6 @@ class DynamicIndex : public Searcher {
   void Compact() override;
 
  private:
-  struct BufferedRecord {
-    FingerprintRecord record;
-    BitKey key;
-  };
-
   void AppendBufferMatches(const fp::Fingerprint& query,
                            const std::vector<std::pair<BitKey, BitKey>>& ranges,
                            RefinementMode mode, double radius,
@@ -101,7 +98,10 @@ class DynamicIndex : public Searcher {
                            QueryResult* result) const;
 
   S3Index base_;
-  std::vector<BufferedRecord> buffer_;
+  /// The insert buffer, in the same SoA layout as the static part, with
+  /// the records' Hilbert keys in a parallel array.
+  DescriptorBlock buffer_;
+  std::vector<BitKey> buffer_keys_;
 };
 
 }  // namespace s3vcd::core

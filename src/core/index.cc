@@ -131,8 +131,7 @@ void S3Index::ScanSelection(const fp::Fingerprint& query,
     const auto [first, last] = ResolveRange(begin, end);
     ++result->stats.ranges_scanned;
     if (first < last) {
-      ScanRecords(query, db_.records().data() + first, last - first, spec,
-                  result);
+      ScanRecords(query, db_.block(), first, last, spec, result);
     }
   }
 }
@@ -196,7 +195,7 @@ QueryResult S3Index::SequentialScan(const fp::Fingerprint& query,
   QueryResult result;
   Stopwatch watch;
   const RefineSpec spec(RefinementMode::kRadiusFilter, epsilon, nullptr);
-  ScanRecords(query, db_.records().data(), db_.size(), spec, &result);
+  ScanRecords(query, db_.block(), 0, db_.size(), spec, &result);
   result.stats.refine_seconds = watch.ElapsedSeconds();
   RecordQueryMetrics(QueryKind::kSequentialScan, result.stats,
                      result.matches.size());

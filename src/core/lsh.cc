@@ -12,10 +12,14 @@ namespace s3vcd::core {
 
 LshIndex::LshIndex(std::vector<FingerprintRecord> records,
                    const LshOptions& options)
-    : options_(options), records_(std::move(records)) {
+    : options_(options) {
   S3VCD_CHECK(options.num_tables >= 1);
   S3VCD_CHECK(options.hashes_per_table >= 1);
   S3VCD_CHECK(options.bucket_width > 0);
+  block_.Reserve(records.size());
+  for (const FingerprintRecord& r : records) {
+    block_.AppendRecord(r);
+  }
   Rng rng(options.seed);
   const int total_hashes = options.num_tables * options.hashes_per_table;
   projections_.resize(total_hashes);
@@ -27,14 +31,14 @@ LshIndex::LshIndex(std::vector<FingerprintRecord> records,
     offsets_[h] = static_cast<float>(rng.Uniform(0, options.bucket_width));
   }
   tables_.resize(options.num_tables);
-  for (uint32_t i = 0; i < records_.size(); ++i) {
+  for (uint32_t i = 0; i < block_.size(); ++i) {
     for (int t = 0; t < options.num_tables; ++t) {
-      tables_[t][BucketOf(t, records_[i].descriptor)].push_back(i);
+      tables_[t][BucketOf(t, block_.descriptor(i))].push_back(i);
     }
   }
 }
 
-uint64_t LshIndex::BucketOf(int table, const fp::Fingerprint& v) const {
+uint64_t LshIndex::BucketOf(int table, const uint8_t* v) const {
   uint64_t key = 0xcbf29ce484222325ull;  // FNV-1a combine of the k slots
   for (int i = 0; i < options_.hashes_per_table; ++i) {
     const int h = table * options_.hashes_per_table + i;
@@ -56,9 +60,9 @@ QueryResult LshIndex::RangeQueryImpl(const fp::Fingerprint& query,
   Stopwatch watch;
   // Candidate gathering with per-query dedup by record index.
   std::vector<uint32_t> candidates;
-  std::vector<bool> seen(records_.size(), false);
+  std::vector<bool> seen(block_.size(), false);
   for (int t = 0; t < options_.num_tables; ++t) {
-    const auto it = tables_[t].find(BucketOf(t, query));
+    const auto it = tables_[t].find(BucketOf(t, query.data()));
     if (it == tables_[t].end()) {
       continue;
     }
@@ -74,7 +78,7 @@ QueryResult LshIndex::RangeQueryImpl(const fp::Fingerprint& query,
   watch.Reset();
   const RefineSpec spec(RefinementMode::kRadiusFilter, epsilon, nullptr);
   for (uint32_t idx : candidates) {
-    RefineRecord(query, records_[idx], spec, &result);
+    RefineRecord(query, block_, idx, spec, &result);
   }
   result.stats.refine_seconds = watch.ElapsedSeconds();
   return result;
@@ -98,7 +102,7 @@ QueryResult LshIndex::StatQuery(const fp::Fingerprint& query,
 }
 
 uint64_t LshIndex::ApproxBytes() const {
-  uint64_t bytes = records_.size() * sizeof(FingerprintRecord) +
+  uint64_t bytes = block_.MemoryBytes() +
                    projections_.size() * sizeof(projections_[0]) +
                    offsets_.size() * sizeof(float);
   for (const auto& table : tables_) {

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/descriptor_block.h"
 #include "core/record.h"
 #include "core/searcher.h"
 #include "fingerprint/fingerprint.h"
@@ -35,7 +36,7 @@ class LshIndex : public Searcher {
   LshIndex(std::vector<FingerprintRecord> records,
            const LshOptions& options);
 
-  size_t size() const { return records_.size(); }
+  size_t size() const { return block_.size(); }
   const LshOptions& options() const { return options_; }
 
   /// Approximate epsilon-range query: candidates are the records sharing a
@@ -60,17 +61,19 @@ class LshIndex : public Searcher {
                          int /*depth*/) const override {
     return RangeQuery(query, epsilon);
   }
-  SearcherStats Stats() const override { return {records_.size(), 0}; }
+  SearcherStats Stats() const override { return {block_.size(), 0}; }
   uint64_t ApproxBytes() const override;
 
  private:
   QueryResult RangeQueryImpl(const fp::Fingerprint& query,
                              double epsilon) const;
 
-  uint64_t BucketOf(int table, const fp::Fingerprint& v) const;
+  /// `v` points at kDims packed descriptor bytes.
+  uint64_t BucketOf(int table, const uint8_t* v) const;
 
   LshOptions options_;
-  std::vector<FingerprintRecord> records_;
+  /// Candidate verification runs over this SoA snapshot of the records.
+  DescriptorBlock block_;
   /// projections_[t * k + i] = the D gaussian coefficients of hash i of
   /// table t; offsets_ holds the matching b terms.
   std::vector<std::array<float, fp::kDims>> projections_;

@@ -1,35 +1,73 @@
 #include "core/parallel.h"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <mutex>
 
 #include "obs/trace.h"
 #include "util/logging.h"
-#include "util/thread_pool.h"
 
 namespace s3vcd::core {
 
 namespace {
 
-// Shards [0, n) into `shards` contiguous chunks and runs `body(first,
-// last)` for each on the pool.
+// Lazily-created shared pools, one per requested width, reused by every
+// batch call (constructing and joining a pool per call would put thread
+// spawn cost on the query path). Pools are intentionally leaked: workers
+// park on a condition variable when idle, and skipping destruction avoids
+// static-teardown join-order hazards (same pattern as SearcherRegistry).
+ThreadPool* SharedPool(int num_threads) {
+  static std::mutex* const mutex = new std::mutex();
+  static std::map<int, ThreadPool*>* const pools =
+      new std::map<int, ThreadPool*>();
+  std::lock_guard<std::mutex> lock(*mutex);
+  ThreadPool*& pool = (*pools)[num_threads];
+  if (pool == nullptr) {
+    pool = new ThreadPool(num_threads);
+  }
+  return pool;
+}
+
+// Shards [0, n) into contiguous chunks and runs `body(first, last)` for
+// each on the pool, waiting for this call's own tasks only (the pool may
+// be shared with concurrent callers, so ThreadPool::Wait — which waits for
+// global quiescence — would oversynchronize).
 template <typename Body>
-void ShardedRun(size_t n, int num_threads, const Body& body) {
+void ShardedRun(size_t n, int num_threads, ThreadPool* pool,
+                const Body& body) {
   if (n == 0) {
     return;
   }
-  if (num_threads <= 1) {
+  if (num_threads <= 1 && pool == nullptr) {
     body(0, n);
     return;
   }
-  ThreadPool pool(num_threads);
-  const size_t shards = std::min<size_t>(static_cast<size_t>(num_threads) * 4,
-                                         n);
+  if (pool == nullptr) {
+    pool = SharedPool(num_threads);
+  }
+  const int width = std::max(num_threads, pool->num_threads());
+  const size_t shards =
+      std::min<size_t>(static_cast<size_t>(width) * 4, n);
   const size_t chunk = (n + shards - 1) / shards;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  // All tasks are counted before any is submitted, so a fast worker can
+  // never see pending hit zero early.
+  size_t pending = (n + chunk - 1) / chunk;
   for (size_t first = 0; first < n; first += chunk) {
     const size_t last = std::min(n, first + chunk);
-    pool.Submit([&body, first, last] { body(first, last); });
+    pool->Submit([&, first, last] {
+      body(first, last);
+      std::lock_guard<std::mutex> lock(done_mutex);
+      if (--pending == 0) {
+        done_cv.notify_one();
+      }
+    });
   }
-  pool.Wait();
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return pending == 0; });
 }
 
 }  // namespace
@@ -37,11 +75,11 @@ void ShardedRun(size_t n, int num_threads, const Body& body) {
 std::vector<QueryResult> ParallelStatisticalSearch(
     const Searcher& searcher, const DistortionModel& model,
     const std::vector<fp::Fingerprint>& queries, const QueryOptions& options,
-    int num_threads) {
+    int num_threads, ThreadPool* pool) {
   S3VCD_CHECK(num_threads >= 1);
   S3VCD_TRACE_SPAN("parallel.statistical_batch");
   std::vector<QueryResult> results(queries.size());
-  ShardedRun(queries.size(), num_threads,
+  ShardedRun(queries.size(), num_threads, pool,
              [&](size_t first, size_t last) {
                for (size_t i = first; i < last; ++i) {
                  results[i] =
@@ -53,11 +91,11 @@ std::vector<QueryResult> ParallelStatisticalSearch(
 
 std::vector<QueryResult> ParallelRangeSearch(
     const Searcher& searcher, const std::vector<fp::Fingerprint>& queries,
-    double epsilon, int depth, int num_threads) {
+    double epsilon, int depth, int num_threads, ThreadPool* pool) {
   S3VCD_CHECK(num_threads >= 1);
   S3VCD_TRACE_SPAN("parallel.range_batch");
   std::vector<QueryResult> results(queries.size());
-  ShardedRun(queries.size(), num_threads,
+  ShardedRun(queries.size(), num_threads, pool,
              [&](size_t first, size_t last) {
                for (size_t i = first; i < last; ++i) {
                  results[i] = searcher.RangeQuery(queries[i], epsilon, depth);

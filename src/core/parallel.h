@@ -6,6 +6,7 @@
 #include "core/distortion_model.h"
 #include "core/searcher.h"
 #include "fingerprint/fingerprint.h"
+#include "util/thread_pool.h"
 
 namespace s3vcd::core {
 
@@ -15,17 +16,26 @@ namespace s3vcd::core {
 /// to queries[i]. With num_threads = 1 this degenerates to the serial
 /// loop (useful as the control in tests).
 ///
+/// Pool ownership: pass a caller-owned `pool` to run the fan-out on it
+/// (its width then governs the parallelism; the long-lived QueryService
+/// does exactly this with its per-worker pool). With pool == nullptr the
+/// fan-out runs on a lazily-created shared pool of `num_threads` workers
+/// that is reused by every subsequent call of the same width — thread
+/// spawn cost never lands on the query path (regression-tested via
+/// ThreadPool::TotalPoolsCreated). Concurrent callers may share a pool;
+/// each call waits only for its own tasks.
+///
 /// The paper's monitoring deployment is naturally batch-parallel: each
 /// key-frame contributes ~20 independent fingerprint queries.
 std::vector<QueryResult> ParallelStatisticalSearch(
     const Searcher& searcher, const DistortionModel& model,
     const std::vector<fp::Fingerprint>& queries, const QueryOptions& options,
-    int num_threads);
+    int num_threads, ThreadPool* pool = nullptr);
 
 /// Same fan-out for exact range queries.
 std::vector<QueryResult> ParallelRangeSearch(
     const Searcher& searcher, const std::vector<fp::Fingerprint>& queries,
-    double epsilon, int depth, int num_threads);
+    double epsilon, int depth, int num_threads, ThreadPool* pool = nullptr);
 
 }  // namespace s3vcd::core
 

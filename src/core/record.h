@@ -23,7 +23,9 @@ struct FingerprintRecord {
 struct Match {
   uint32_t id = 0;
   uint32_t time_code = 0;
-  /// Euclidean distance between the query and the stored descriptor.
+  /// Distance between the query and the stored descriptor; which distance
+  /// depends on the refinement mode — see RefineRecord in
+  /// core/scan_kernel.h for the definitive statement.
   float distance = 0;
   float x = 0;
   float y = 0;

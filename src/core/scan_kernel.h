@@ -1,11 +1,14 @@
 #ifndef S3VCD_CORE_SCAN_KERNEL_H_
 #define S3VCD_CORE_SCAN_KERNEL_H_
 
+#include <array>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
+#include "core/descriptor_block.h"
 #include "core/record.h"
 #include "core/searcher.h"
 #include "fingerprint/fingerprint.h"
@@ -16,63 +19,123 @@ namespace s3vcd::core {
 /// The shared refinement kernel: every backend's inner scan loop — the
 /// S3 index's curve-section scan, the dynamic index's insert-buffer pass,
 /// the VA-file's phase-2 exact check, the LSH candidate filter and the
-/// sequential scan — funnels each touched record through RefineRecord, so
-/// `records_scanned` and match accounting mean exactly the same thing on
-/// every backend (pinned by tests/backend_parity_test.cc).
+/// sequential scan — funnels each touched record through RefineRecord /
+/// ScanRecords, so `records_scanned` and match accounting mean exactly the
+/// same thing on every backend (pinned by tests/backend_parity_test.cc).
+///
+/// ScanRecords runs a blocked kernel over the structure-of-arrays
+/// DescriptorBlock layout: a strip of packed 20-byte descriptors at a time,
+/// u8-difference -> i32-accumulate squared distances, through one of three
+/// runtime-dispatched variants (portable scalar, SSE2, AVX2) selected at
+/// startup from CPU features. The integer arithmetic is exact, so every
+/// variant returns bitwise-identical distances (asserted by
+/// tests/scan_kernel_test.cc). Set S3VCD_NO_SIMD=1 in the environment to
+/// force the scalar kernel (parity testing, reproducing baselines).
+
+/// The available kernel implementations, in dispatch-preference order.
+enum class ScanKernelKind {
+  kScalar = 0,  ///< portable reference loop (always available)
+  kSse2 = 1,    ///< x86-64 baseline SIMD
+  kAvx2 = 2,    ///< 32-byte SIMD, used when the CPU supports it
+};
+
+/// Display name of a kernel: "scalar", "sse2", "avx2".
+const char* ScanKernelName(ScanKernelKind kind);
+
+/// The kernel ScanRecords currently dispatches to. Defaults to the widest
+/// variant this CPU supports; S3VCD_NO_SIMD=1 forces kScalar.
+ScanKernelKind ActiveScanKernel();
+
+/// Whether this build/CPU can run `kind`.
+bool ScanKernelAvailable(ScanKernelKind kind);
+
+/// Overrides the dispatched kernel (must be available); returns the
+/// previous one. Testing/benchmark hook — call it before spawning query
+/// threads.
+ScanKernelKind SetScanKernelForTest(ScanKernelKind kind);
+
+/// Parameters of one refinement pass. For kNormalizedRadiusFilter the
+/// constructor precomputes the per-component 1/scale_j^2 weight table, so
+/// the scan evaluates the normalized distance in a single pass (no
+/// unnormalized distance is computed in that mode).
 struct RefineSpec {
   /// `model` is only required for kNormalizedRadiusFilter.
   RefineSpec(RefinementMode mode, double radius, const DistortionModel* model)
-      : mode(mode), radius_sq(radius * radius), model(model) {}
+      : mode(mode), radius_sq(radius * radius), model(model) {
+    if (mode == RefinementMode::kNormalizedRadiusFilter && model != nullptr) {
+      for (int j = 0; j < fp::kDims; ++j) {
+        const double scale = model->ComponentScale(j);
+        inv_scale_sq[j] = 1.0 / (scale * scale);
+      }
+    }
+  }
 
   RefinementMode mode;
   double radius_sq;
   const DistortionModel* model;
+  /// 1 / ComponentScale(j)^2, filled for kNormalizedRadiusFilter.
+  std::array<double, fp::kDims> inv_scale_sq{};
 };
 
-/// Model-normalized squared distance (per-component sigma weighting).
-inline double NormalizedSquaredDistance(const fp::Fingerprint& a,
-                                        const fp::Fingerprint& b,
-                                        const DistortionModel& model) {
-  double acc = 0;
+/// Model-normalized squared distance sum_j (a_j - b_j)^2 * inv_scale_sq[j].
+/// Defined once (in scan_kernel_scalar.cc) and called from every backend
+/// and kernel variant, so normalized-mode results are bitwise identical
+/// everywhere.
+double NormalizedSquaredDistance(const uint8_t* a, const uint8_t* b,
+                                 const double* inv_scale_sq);
+
+/// Exact squared byte-space distance of two packed descriptors. Pure
+/// integer arithmetic (max value 20 * 255^2 = 1,300,500, well inside
+/// uint32_t) — identical to what the batch kernels compute per record.
+inline uint32_t SquaredDistanceU32(const uint8_t* a, const uint8_t* b) {
+  uint32_t acc = 0;
   for (int j = 0; j < fp::kDims; ++j) {
-    const double d =
-        (static_cast<double>(a[j]) - b[j]) / model.ComponentScale(j);
-    acc += d * d;
+    const int diff = static_cast<int>(a[j]) - static_cast<int>(b[j]);
+    acc += static_cast<uint32_t>(diff * diff);
   }
   return acc;
 }
 
-/// Refines one candidate record: bumps records_scanned, applies the mode's
-/// distance test, and appends a Match on acceptance. Returns whether the
-/// record was kept.
+/// Refines one candidate record of a block (LSH candidate verification,
+/// VA-file phase 2, dynamic-index insert buffer): bumps records_scanned,
+/// applies the mode's distance test, and appends a Match on acceptance.
+/// Returns whether the record was kept.
+///
+/// Match.distance semantics (the definitive statement, pinned by
+/// tests/scan_kernel_test.cc): in kAll and kRadiusFilter modes it is the
+/// Euclidean byte-space distance sqrt(sum_j (q_j - x_j)^2); in
+/// kNormalizedRadiusFilter mode it is the model-normalized distance
+/// sqrt(sum_j ((q_j - x_j) / scale_j)^2) — the one distance that mode
+/// computes and tests against the radius (in sigma units). The
+/// unnormalized distance is not computed in normalized mode.
 inline bool RefineRecord(const fp::Fingerprint& query,
-                         const FingerprintRecord& rec, const RefineSpec& spec,
-                         QueryResult* result) {
+                         const DescriptorBlock& block, size_t i,
+                         const RefineSpec& spec, QueryResult* result) {
   ++result->stats.records_scanned;
-  const double dist_sq = fp::SquaredDistance(query, rec.descriptor);
-  if (spec.mode == RefinementMode::kRadiusFilter &&
-      dist_sq > spec.radius_sq) {
+  double dist_sq;
+  if (spec.mode == RefinementMode::kNormalizedRadiusFilter) {
+    dist_sq = NormalizedSquaredDistance(query.data(), block.descriptor(i),
+                                        spec.inv_scale_sq.data());
+  } else {
+    dist_sq = static_cast<double>(
+        SquaredDistanceU32(query.data(), block.descriptor(i)));
+  }
+  if (spec.mode != RefinementMode::kAll && dist_sq > spec.radius_sq) {
     return false;
   }
-  if (spec.mode == RefinementMode::kNormalizedRadiusFilter &&
-      NormalizedSquaredDistance(query, rec.descriptor, *spec.model) >
-          spec.radius_sq) {
-    return false;
-  }
-  result->matches.push_back({rec.id, rec.time_code,
-                             static_cast<float>(std::sqrt(dist_sq)), rec.x,
-                             rec.y});
+  result->matches.push_back({block.id(i), block.time_code(i),
+                             static_cast<float>(std::sqrt(dist_sq)),
+                             block.x(i), block.y(i)});
   return true;
 }
 
-/// Refines a contiguous slice of records.
-inline void ScanRecords(const fp::Fingerprint& query,
-                        const FingerprintRecord* records, size_t count,
-                        const RefineSpec& spec, QueryResult* result) {
-  for (size_t i = 0; i < count; ++i) {
-    RefineRecord(query, records[i], spec, result);
-  }
-}
+/// Refines records [first, last) of a block through the dispatched blocked
+/// kernel. Equivalent to calling RefineRecord on each index in order —
+/// identical matches and records_scanned accounting, vectorized distance
+/// computation.
+void ScanRecords(const fp::Fingerprint& query, const DescriptorBlock& block,
+                 size_t first, size_t last, const RefineSpec& spec,
+                 QueryResult* result);
 
 /// Membership of a curve key in the half-open section [begin, end), where
 /// a numerically zero `end` denotes the final section wrapping to the top

@@ -1,0 +1,26 @@
+#ifndef S3VCD_CORE_SCAN_KERNEL_INTERNAL_H_
+#define S3VCD_CORE_SCAN_KERNEL_INTERNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace s3vcd::core::internal {
+
+/// Batch squared distances of `n` packed descriptors (fp::kDims bytes
+/// each, back to back) against one query descriptor, in record order:
+/// out[i] = sum_j (desc[i*kDims+j] - query[j])^2. All kernel variants
+/// compute this value exactly (pure integer arithmetic), so their outputs
+/// are bitwise identical.
+using SqDistBatchFn = void (*)(const uint8_t* desc, size_t n,
+                               const uint8_t* query, uint32_t* out);
+
+/// The portable reference kernel. Lives in its own translation unit
+/// (scan_kernel_scalar.cc) compiled with auto-vectorization disabled, so
+/// the "scalar" leg of the scalar-vs-SIMD benchmark measures a genuine
+/// scalar loop rather than whatever the optimizer re-vectorized.
+void SqDistBatchScalar(const uint8_t* desc, size_t n, const uint8_t* query,
+                       uint32_t* out);
+
+}  // namespace s3vcd::core::internal
+
+#endif  // S3VCD_CORE_SCAN_KERNEL_INTERNAL_H_

@@ -110,7 +110,7 @@ class SeqScanSearcher final : public Searcher {
     QueryResult result;
     Stopwatch watch;
     const RefineSpec spec(RefinementMode::kRadiusFilter, epsilon, nullptr);
-    ScanRecords(query, db_.records().data(), db_.size(), spec, &result);
+    ScanRecords(query, db_.block(), 0, db_.size(), spec, &result);
     result.stats.refine_seconds = watch.ElapsedSeconds();
     return result;
   }
@@ -119,7 +119,12 @@ class SeqScanSearcher final : public Searcher {
 };
 
 std::vector<FingerprintRecord> CopyRecords(const FingerprintDatabase& db) {
-  return db.records();
+  std::vector<FingerprintRecord> records;
+  records.reserve(db.size());
+  for (size_t i = 0; i < db.size(); ++i) {
+    records.push_back(db.record(i));
+  }
+  return records;
 }
 
 }  // namespace

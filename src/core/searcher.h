@@ -83,12 +83,19 @@ struct QueryRequest {
   double epsilon = 0;
 };
 
+/// Name of the refinement kernel ScanRecords currently dispatches to
+/// ("scalar", "sse2", "avx2") — see core/scan_kernel.h. Declared here so
+/// SearcherStats can carry it without a header cycle.
+const char* ActiveScanKernelName();
+
 /// Size accounting common to every backend.
 struct SearcherStats {
   /// Total searchable records (static part + any insert buffer).
   uint64_t records = 0;
   /// Records buffered by TryInsert but not yet folded in by Compact.
   uint64_t pending_inserts = 0;
+  /// Refinement kernel in use when these stats were taken.
+  const char* scan_kernel = ActiveScanKernelName();
 };
 
 /// The uniform interface over every search structure in the system: the

@@ -12,25 +12,27 @@ namespace s3vcd::core {
 
 VAFile::VAFile(std::vector<FingerprintRecord> records,
                const VAFileOptions& options)
-    : options_(options),
-      slices_(1 << options.bits_per_dim),
-      records_(std::move(records)) {
+    : options_(options), slices_(1 << options.bits_per_dim) {
   S3VCD_CHECK(options.bits_per_dim >= 1 && options.bits_per_dim <= 8);
+  block_.Reserve(records.size());
+  for (const FingerprintRecord& r : records) {
+    block_.AppendRecord(r);
+  }
   // Slice boundaries.
   for (int j = 0; j < fp::kDims; ++j) {
     boundaries_[j].resize(slices_ + 1);
     boundaries_[j][0] = 0.0;
     boundaries_[j][slices_] = 256.0;
   }
-  if (options_.quantile_boundaries && !records_.empty()) {
-    std::vector<uint8_t> column(records_.size());
+  if (options_.quantile_boundaries && !block_.empty()) {
+    std::vector<uint8_t> column(block_.size());
     for (int j = 0; j < fp::kDims; ++j) {
-      for (size_t i = 0; i < records_.size(); ++i) {
-        column[i] = records_[i].descriptor[j];
+      for (size_t i = 0; i < block_.size(); ++i) {
+        column[i] = block_.descriptor(i)[j];
       }
       std::sort(column.begin(), column.end());
       for (int s = 1; s < slices_; ++s) {
-        const size_t rank = records_.size() * static_cast<size_t>(s) /
+        const size_t rank = block_.size() * static_cast<size_t>(s) /
                             static_cast<size_t>(slices_);
         // Boundaries must strictly increase; nudge past duplicates.
         double b = static_cast<double>(column[rank]);
@@ -47,11 +49,11 @@ VAFile::VAFile(std::vector<FingerprintRecord> records,
     }
   }
   // Approximations.
-  cells_.resize(records_.size() * fp::kDims);
-  for (size_t i = 0; i < records_.size(); ++i) {
+  cells_.resize(block_.size() * fp::kDims);
+  for (size_t i = 0; i < block_.size(); ++i) {
     for (int j = 0; j < fp::kDims; ++j) {
       cells_[i * fp::kDims + j] =
-          static_cast<uint8_t>(SliceOf(j, records_[i].descriptor[j]));
+          static_cast<uint8_t>(SliceOf(j, block_.descriptor(i)[j]));
     }
   }
 }
@@ -105,7 +107,7 @@ QueryResult VAFile::RangeQueryImpl(const fp::Fingerprint& query,
   watch.Reset();
   const double eps_sq = epsilon * epsilon;
   const RefineSpec spec(RefinementMode::kRadiusFilter, epsilon, nullptr);
-  for (size_t i = 0; i < records_.size(); ++i) {
+  for (size_t i = 0; i < block_.size(); ++i) {
     const uint8_t* cell = &cells_[i * fp::kDims];
     double lb = 0;
     for (int j = 0; j < fp::kDims; ++j) {
@@ -118,7 +120,7 @@ QueryResult VAFile::RangeQueryImpl(const fp::Fingerprint& query,
       continue;  // filtered by the approximation alone
     }
     // Phase 2 (exact vector access) counts as a scanned record.
-    RefineRecord(query, records_[i], spec, &result);
+    RefineRecord(query, block_, i, spec, &result);
   }
   result.stats.refine_seconds = watch.ElapsedSeconds();
   return result;
@@ -158,7 +160,7 @@ QueryResult VAFile::KnnQuery(const fp::Fingerprint& query, int k) const {
   std::priority_queue<double> kth_upper;  // max-heap of k smallest ubs
   std::vector<Candidate> candidates;
   candidates.reserve(256);
-  for (size_t i = 0; i < records_.size(); ++i) {
+  for (size_t i = 0; i < block_.size(); ++i) {
     const uint8_t* cell = &cells_[i * fp::kDims];
     double lb = 0;
     double ub = 0;
@@ -199,14 +201,16 @@ QueryResult VAFile::KnnQuery(const fp::Fingerprint& query, int k) const {
       break;
     }
     ++result.stats.records_scanned;
-    const FingerprintRecord& rec = records_[cand.index];
-    const float dist = static_cast<float>(
-        std::sqrt(fp::SquaredDistance(query, rec.descriptor)));
+    const size_t idx = cand.index;
+    const float dist = static_cast<float>(std::sqrt(static_cast<double>(
+        SquaredDistanceU32(query.data(), block_.descriptor(idx)))));
+    const Match m{block_.id(idx), block_.time_code(idx), dist, block_.x(idx),
+                  block_.y(idx)};
     if (best.size() < static_cast<size_t>(k)) {
-      best.push({rec.id, rec.time_code, dist, rec.x, rec.y});
+      best.push(m);
     } else if (dist < best.top().distance) {
       best.pop();
-      best.push({rec.id, rec.time_code, dist, rec.x, rec.y});
+      best.push(m);
     }
   }
   result.matches.resize(best.size());

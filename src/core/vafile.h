@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/descriptor_block.h"
 #include "core/record.h"
 #include "core/searcher.h"
 #include "fingerprint/fingerprint.h"
@@ -35,7 +36,7 @@ class VAFile : public Searcher {
   VAFile(std::vector<FingerprintRecord> records,
          const VAFileOptions& options);
 
-  size_t size() const { return records_.size(); }
+  size_t size() const { return block_.size(); }
   int bits_per_dim() const { return options_.bits_per_dim; }
 
   /// Exact epsilon-range query (all records with distance <= epsilon).
@@ -59,10 +60,9 @@ class VAFile : public Searcher {
                          int /*depth*/) const override {
     return RangeQuery(query, epsilon);
   }
-  SearcherStats Stats() const override { return {records_.size(), 0}; }
+  SearcherStats Stats() const override { return {block_.size(), 0}; }
   uint64_t ApproxBytes() const override {
-    return records_.size() * sizeof(FingerprintRecord) +
-           ApproximationBits() / 8;
+    return block_.MemoryBytes() + ApproximationBits() / 8;
   }
 
  private:
@@ -82,7 +82,8 @@ class VAFile : public Searcher {
 
   VAFileOptions options_;
   int slices_;
-  std::vector<FingerprintRecord> records_;
+  /// The exact vectors in SoA layout (phase 2 runs over this block).
+  DescriptorBlock block_;
   /// Per-dimension slice boundaries, slices_ + 1 ascending values in
   /// [0, 256]; slice s spans [boundaries[s], boundaries[s+1]).
   std::array<std::vector<double>, fp::kDims> boundaries_;
@@ -94,7 +95,7 @@ class VAFile : public Searcher {
  public:
   /// Size of the approximation data in conceptual VA-file bits.
   uint64_t ApproximationBits() const {
-    return static_cast<uint64_t>(records_.size()) * fp::kDims *
+    return static_cast<uint64_t>(block_.size()) * fp::kDims *
            options_.bits_per_dim;
   }
 };

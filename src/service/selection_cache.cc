@@ -1,8 +1,10 @@
 #include "service/selection_cache.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
+#include "fingerprint/fingerprint.h"
 #include "obs/metrics.h"
 
 namespace s3vcd::service {
@@ -21,6 +23,26 @@ obs::Gauge* const g_cache_size =
 SelectionCache::SelectionCache(size_t capacity)
     : capacity_(std::max<size_t>(1, capacity)) {}
 
+namespace {
+
+inline void FnvMix(uint64_t* h, uint64_t v) {
+  *h ^= v;
+  *h *= 1099511628211ull;
+}
+
+}  // namespace
+
+uint64_t SelectionCache::ModelDigest(const core::DistortionModel* model) {
+  if (model == nullptr) {
+    return 0;
+  }
+  uint64_t h = 1469598103934665603ull;
+  for (int j = 0; j < fp::kDims; ++j) {
+    FnvMix(&h, std::bit_cast<uint64_t>(model->ComponentScale(j)));
+  }
+  return h;
+}
+
 SelectionCache::Key SelectionCache::MakeKey(
     const fp::Fingerprint& query, const core::FilterOptions& filter,
     const core::DistortionModel* model) {
@@ -28,7 +50,14 @@ SelectionCache::Key SelectionCache::MakeKey(
   key.descriptor = query;
   key.alpha_micro = static_cast<int64_t>(std::llround(filter.alpha * 1e6));
   key.depth = filter.depth;
-  key.model = model;
+  // The selection also depends on the filter's algorithm and expansion
+  // caps; fold them into the digest alongside the model scales so two
+  // filter configurations never share an entry.
+  uint64_t digest = ModelDigest(model);
+  FnvMix(&digest, static_cast<uint64_t>(filter.algorithm));
+  FnvMix(&digest, static_cast<uint64_t>(filter.max_blocks));
+  FnvMix(&digest, static_cast<uint64_t>(filter.max_nodes));
+  key.model_digest = digest;
   return key;
 }
 
@@ -44,7 +73,7 @@ size_t SelectionCache::KeyHash::operator()(const Key& key) const {
   }
   mix(static_cast<uint64_t>(key.alpha_micro));
   mix(static_cast<uint64_t>(static_cast<uint32_t>(key.depth)));
-  mix(reinterpret_cast<uintptr_t>(key.model));
+  mix(key.model_digest);
   return static_cast<size_t>(h);
 }
 

@@ -23,12 +23,15 @@ namespace s3vcd::service {
 /// block-tree walk entirely.
 ///
 /// Key semantics: (descriptor bytes, α quantized to 1e-6, partition depth,
-/// model identity). Descriptors are already byte-quantized, so equality on
-/// the raw bytes is the "quantized descriptor" of the design. The model
-/// enters the key by *pointer identity*: two model objects with equal
-/// parameters occupy separate cache lines, and a model must outlive every
-/// cached selection derived from it (the service owns one model per
-/// deployment, so this holds trivially; see docs/query_service.md).
+/// model/filter digest). Descriptors are already byte-quantized, so
+/// equality on the raw bytes is the "quantized descriptor" of the design.
+/// The model enters the key through a digest of its per-component scales
+/// — its actual selection-relevant content — never through its address: a
+/// model destroyed and reallocated at the same address (ABA), or mutated
+/// in place, changes the digest and misses instead of silently serving a
+/// selection computed for different sigmas. The digest also folds in the
+/// filter's algorithm choice and expansion caps, which equally shape the
+/// selection.
 ///
 /// Values are shared_ptr<const BlockSelection>: hits hand out a reference
 /// without copying the range vector, and an entry evicted while a reader
@@ -39,12 +42,16 @@ class SelectionCache {
     fp::Fingerprint descriptor{};
     int64_t alpha_micro = 0;  ///< round(alpha * 1e6)
     int32_t depth = 0;
-    const core::DistortionModel* model = nullptr;
+    /// Digest of the model's per-component scales and the filter's
+    /// algorithm/caps (see MakeKey). Collisions only cause extra misses —
+    /// never a stale hit for a different model — because equality includes
+    /// the full 64-bit digest.
+    uint64_t model_digest = 0;
 
     bool operator==(const Key& other) const {
       return descriptor == other.descriptor &&
              alpha_micro == other.alpha_micro && depth == other.depth &&
-             model == other.model;
+             model_digest == other.model_digest;
     }
   };
 
@@ -55,6 +62,10 @@ class SelectionCache {
   static Key MakeKey(const fp::Fingerprint& query,
                      const core::FilterOptions& filter,
                      const core::DistortionModel* model);
+
+  /// Digest of a model's per-component scales (FNV-1a over their bit
+  /// patterns); 0 for nullptr. Exposed for the key-stability tests.
+  static uint64_t ModelDigest(const core::DistortionModel* model);
 
   /// Returns the cached selection and refreshes its recency, or nullptr on
   /// a miss. Hits/misses are counted both locally and in the global

@@ -1,5 +1,7 @@
 #include "util/thread_pool.h"
 
+#include <atomic>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -14,11 +16,24 @@ obs::Counter* const g_tasks_completed =
     obs::MetricsRegistry::Global().GetCounter("thread_pool.tasks_completed");
 obs::Histogram* const g_task_us =
     obs::MetricsRegistry::Global().GetHistogram("thread_pool.task_us");
+obs::Counter* const g_pools_created =
+    obs::MetricsRegistry::Global().GetCounter("thread_pool.pools_created");
+
+// Static mirror of thread_pool.pools_created: the metrics registry can be
+// Reset() between experiment brackets, the regression tests need a counter
+// that only ever moves forward.
+std::atomic<uint64_t> g_total_pools_created{0};
 
 }  // namespace
 
+uint64_t ThreadPool::TotalPoolsCreated() {
+  return g_total_pools_created.load(std::memory_order_relaxed);
+}
+
 ThreadPool::ThreadPool(int num_threads) {
   S3VCD_CHECK(num_threads >= 1);
+  g_pools_created->Increment();
+  g_total_pools_created.fetch_add(1, std::memory_order_relaxed);
   workers_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });

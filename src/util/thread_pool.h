@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -32,6 +33,12 @@ class ThreadPool {
   void Wait();
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Process-wide count of ThreadPool constructions (also mirrored in the
+  /// thread_pool.pools_created metric). Timing-independent observable for
+  /// pool-reuse regression tests: a code path that reuses a shared pool
+  /// leaves this counter unchanged across calls.
+  static uint64_t TotalPoolsCreated();
 
  private:
   void WorkerLoop();

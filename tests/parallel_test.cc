@@ -114,5 +114,44 @@ TEST_F(ParallelSearchFixture, EmptyBatchIsSafe) {
       ParallelStatisticalSearch(*index_, model_, {}, options, 4).empty());
 }
 
+// Regression test: batch calls must not construct a ThreadPool per call
+// (thread spawn cost on the query path). The first call of a given width
+// may create the shared pool; every later call reuses it.
+TEST_F(ParallelSearchFixture, RepeatedCallsReuseTheSharedPool) {
+  QueryOptions options;
+  options.filter.alpha = 0.85;
+  options.filter.depth = 12;
+  // Warm-up: materializes the shared width-3 pool if this is the first
+  // width-3 call of the process.
+  ParallelStatisticalSearch(*index_, model_, queries_, options, 3);
+  const uint64_t created = ThreadPool::TotalPoolsCreated();
+  for (int call = 0; call < 4; ++call) {
+    ParallelStatisticalSearch(*index_, model_, queries_, options, 3);
+    ParallelRangeSearch(*index_, queries_, 90.0, 12, 3);
+  }
+  EXPECT_EQ(ThreadPool::TotalPoolsCreated(), created)
+      << "batch calls constructed new pools";
+}
+
+TEST_F(ParallelSearchFixture, CallerOwnedPoolCreatesNoSharedPool) {
+  QueryOptions options;
+  options.filter.alpha = 0.85;
+  options.filter.depth = 12;
+  ThreadPool pool(2);  // the one construction this test pays for
+  const uint64_t created = ThreadPool::TotalPoolsCreated();
+  const auto serial =
+      ParallelStatisticalSearch(*index_, model_, queries_, options, 1);
+  for (int call = 0; call < 3; ++call) {
+    const auto pooled = ParallelStatisticalSearch(*index_, model_, queries_,
+                                                  options, 1, &pool);
+    ASSERT_EQ(pooled.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].matches.size(), pooled[i].matches.size()) << i;
+    }
+  }
+  EXPECT_EQ(ThreadPool::TotalPoolsCreated(), created)
+      << "caller-owned pool path built a pool anyway";
+}
+
 }  // namespace
 }  // namespace s3vcd::core

@@ -1,0 +1,359 @@
+// Tests of the shared refinement kernel (core/scan_kernel): runtime
+// dispatch and the S3VCD_NO_SIMD override, the RefineSpec weight table,
+// the pinned Match.distance semantics of normalized mode, bitwise parity
+// of the SIMD kernels against the scalar reference, ScanRecords vs the
+// per-record RefineRecord loop, and a property test of the curve-key
+// membership helpers against brute force.
+
+#include "core/scan_kernel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/descriptor_block.h"
+#include "core/distortion_model.h"
+#include "core/synthetic_db.h"
+#include "fingerprint/fingerprint.h"
+#include "hilbert/hilbert_curve.h"
+#include "util/bitkey.h"
+#include "util/rng.h"
+
+namespace s3vcd::core {
+namespace {
+
+// Restores the dispatched kernel on scope exit so tests cannot leak an
+// override into each other.
+class ScopedKernel {
+ public:
+  explicit ScopedKernel(ScanKernelKind kind)
+      : previous_(SetScanKernelForTest(kind)) {}
+  ~ScopedKernel() { SetScanKernelForTest(previous_); }
+
+ private:
+  ScanKernelKind previous_;
+};
+
+// First test in the binary: the startup detection has not been overridden
+// yet, so the active kernel is exactly what DetectKernel chose. The
+// scan_kernel_test_nosimd ctest entry runs this same binary with
+// S3VCD_NO_SIMD=1, which must force the scalar kernel.
+TEST(ScanKernelDispatchTest, EnvOverrideForcesScalar) {
+  const char* no_simd = std::getenv("S3VCD_NO_SIMD");
+  if (no_simd != nullptr && no_simd[0] == '1') {
+    EXPECT_EQ(ActiveScanKernel(), ScanKernelKind::kScalar);
+  } else {
+    EXPECT_TRUE(ScanKernelAvailable(ActiveScanKernel()));
+  }
+  EXPECT_TRUE(ScanKernelAvailable(ScanKernelKind::kScalar));
+  EXPECT_STREQ(ScanKernelName(ScanKernelKind::kScalar), "scalar");
+  EXPECT_STREQ(ScanKernelName(ScanKernelKind::kSse2), "sse2");
+  EXPECT_STREQ(ScanKernelName(ScanKernelKind::kAvx2), "avx2");
+  EXPECT_STREQ(ActiveScanKernelName(), ScanKernelName(ActiveScanKernel()));
+}
+
+TEST(ScanKernelDispatchTest, SetScanKernelForTestRoundTrips) {
+  const ScanKernelKind initial = ActiveScanKernel();
+  {
+    ScopedKernel guard(ScanKernelKind::kScalar);
+    EXPECT_EQ(ActiveScanKernel(), ScanKernelKind::kScalar);
+  }
+  EXPECT_EQ(ActiveScanKernel(), initial);
+}
+
+TEST(RefineSpecTest, NormalizedModePrecomputesInverseSquaredScales) {
+  const GaussianDistortionModel model(5.0);
+  const RefineSpec spec(RefinementMode::kNormalizedRadiusFilter, 4.0, &model);
+  EXPECT_DOUBLE_EQ(spec.radius_sq, 16.0);
+  for (int j = 0; j < fp::kDims; ++j) {
+    EXPECT_DOUBLE_EQ(spec.inv_scale_sq[j], 1.0 / 25.0) << "component " << j;
+  }
+}
+
+TEST(RefineSpecTest, IntegerModesLeaveWeightTableUntouched) {
+  const RefineSpec spec(RefinementMode::kRadiusFilter, 90.0, nullptr);
+  for (int j = 0; j < fp::kDims; ++j) {
+    EXPECT_DOUBLE_EQ(spec.inv_scale_sq[j], 0.0);
+  }
+}
+
+// Pins the normalized-mode Match.distance semantics documented on
+// RefineRecord: the model-normalized distance in sigma units, NOT the
+// Euclidean byte-space distance.
+TEST(RefineRecordTest, NormalizedModeReportsNormalizedDistance) {
+  DescriptorBlock block;
+  fp::Fingerprint record;
+  record.fill(10);
+  block.Append(record, /*id=*/7, /*time_code=*/42, 1.0f, 2.0f);
+
+  fp::Fingerprint query;
+  query.fill(0);
+  const GaussianDistortionModel model(5.0);
+  const RefineSpec spec(RefinementMode::kNormalizedRadiusFilter,
+                        /*radius=*/10.0, &model);
+
+  QueryResult result;
+  ASSERT_TRUE(RefineRecord(query, block, 0, spec, &result));
+  ASSERT_EQ(result.matches.size(), 1u);
+  EXPECT_EQ(result.stats.records_scanned, 1u);
+  // sum_j ((10 - 0) / 5)^2 = 20 * 4 = 80.
+  EXPECT_FLOAT_EQ(result.matches[0].distance,
+                  static_cast<float>(std::sqrt(80.0)));
+  // The Euclidean distance sqrt(20 * 100) = sqrt(2000) is not what this
+  // mode reports.
+  EXPECT_NE(result.matches[0].distance,
+            static_cast<float>(std::sqrt(2000.0)));
+  EXPECT_EQ(result.matches[0].id, 7u);
+  EXPECT_EQ(result.matches[0].time_code, 42u);
+}
+
+TEST(RefineRecordTest, NormalizedModeRejectsOutsideSigmaRadius) {
+  DescriptorBlock block;
+  fp::Fingerprint record;
+  record.fill(10);
+  block.Append(record, 1, 1, 0.0f, 0.0f);
+  fp::Fingerprint query;
+  query.fill(0);
+  const GaussianDistortionModel model(5.0);
+  // Normalized distance is sqrt(80) ~ 8.94 sigma; radius 8 rejects it.
+  const RefineSpec spec(RefinementMode::kNormalizedRadiusFilter, 8.0, &model);
+  QueryResult result;
+  EXPECT_FALSE(RefineRecord(query, block, 0, spec, &result));
+  EXPECT_TRUE(result.matches.empty());
+  EXPECT_EQ(result.stats.records_scanned, 1u);  // still counted as touched
+}
+
+TEST(RefineRecordTest, EuclideanModeReportsByteSpaceDistance) {
+  DescriptorBlock block;
+  fp::Fingerprint record;
+  record.fill(3);
+  block.Append(record, 1, 1, 0.0f, 0.0f);
+  fp::Fingerprint query;
+  query.fill(0);
+  const RefineSpec spec(RefinementMode::kRadiusFilter, 90.0, nullptr);
+  QueryResult result;
+  ASSERT_TRUE(RefineRecord(query, block, 0, spec, &result));
+  // sqrt(20 * 9) = sqrt(180).
+  EXPECT_FLOAT_EQ(result.matches[0].distance,
+                  static_cast<float>(std::sqrt(180.0)));
+}
+
+// A block of random records plus planted exact query copies (distance 0)
+// and a few boundary records.
+DescriptorBlock MakeTestBlock(const fp::Fingerprint& query, size_t n,
+                              Rng* rng) {
+  DescriptorBlock block;
+  block.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    fp::Fingerprint d;
+    if (i % 97 == 0) {
+      d = query;  // exact duplicate
+    } else if (i % 13 == 0) {
+      d = DistortFingerprint(query, 20.0, rng);  // near the radius boundary
+    } else {
+      d = UniformRandomFingerprint(rng);
+    }
+    block.Append(d, static_cast<uint32_t>(i % 50), static_cast<uint32_t>(i),
+                 static_cast<float>(i % 7), static_cast<float>(i % 11));
+  }
+  return block;
+}
+
+void ExpectSameResults(const QueryResult& a, const QueryResult& b,
+                       const char* label) {
+  EXPECT_EQ(a.stats.records_scanned, b.stats.records_scanned) << label;
+  ASSERT_EQ(a.matches.size(), b.matches.size()) << label;
+  for (size_t i = 0; i < a.matches.size(); ++i) {
+    EXPECT_EQ(a.matches[i].id, b.matches[i].id) << label << " match " << i;
+    EXPECT_EQ(a.matches[i].time_code, b.matches[i].time_code)
+        << label << " match " << i;
+    // The integer distance path is exact, so the reported float distances
+    // must be bitwise identical (0 ULP), not merely close.
+    EXPECT_EQ(a.matches[i].distance, b.matches[i].distance)
+        << label << " match " << i;
+    EXPECT_EQ(a.matches[i].x, b.matches[i].x) << label << " match " << i;
+    EXPECT_EQ(a.matches[i].y, b.matches[i].y) << label << " match " << i;
+  }
+}
+
+// ScanRecords (blocked, dispatched) must be observationally identical to
+// the per-record RefineRecord loop in every mode.
+TEST(ScanRecordsTest, MatchesRefineRecordLoopInEveryMode) {
+  Rng rng(11);
+  const fp::Fingerprint query = UniformRandomFingerprint(&rng);
+  const DescriptorBlock block = MakeTestBlock(query, 3001, &rng);
+  const GaussianDistortionModel model(20.0);
+  const struct {
+    RefinementMode mode;
+    double radius;
+    const DistortionModel* model;
+  } cases[] = {
+      {RefinementMode::kAll, 0.0, nullptr},
+      {RefinementMode::kRadiusFilter, 90.0, nullptr},
+      {RefinementMode::kNormalizedRadiusFilter, 4.5, &model},
+  };
+  for (const auto& c : cases) {
+    const RefineSpec spec(c.mode, c.radius, c.model);
+    QueryResult blocked;
+    ScanRecords(query, block, 0, block.size(), spec, &blocked);
+    QueryResult reference;
+    for (size_t i = 0; i < block.size(); ++i) {
+      RefineRecord(query, block, i, spec, &reference);
+    }
+    ExpectSameResults(blocked, reference, "mode");
+    if (c.mode == RefinementMode::kAll) {
+      EXPECT_EQ(blocked.matches.size(), block.size());
+    }
+  }
+  // Sub-range scans respect [first, last) and the accounting.
+  const RefineSpec spec(RefinementMode::kRadiusFilter, 90.0, nullptr);
+  QueryResult slice;
+  ScanRecords(query, block, 100, 173, spec, &slice);
+  EXPECT_EQ(slice.stats.records_scanned, 73u);
+  QueryResult empty;
+  ScanRecords(query, block, 50, 50, spec, &empty);
+  EXPECT_EQ(empty.stats.records_scanned, 0u);
+  EXPECT_TRUE(empty.matches.empty());
+}
+
+// Every available SIMD kernel must produce results bitwise identical to
+// the scalar reference: same matches, same float distances (the integer
+// path is exact), same records_scanned.
+TEST(ScanRecordsTest, SimdKernelsMatchScalarBitwise) {
+  Rng rng(12);
+  const fp::Fingerprint query = UniformRandomFingerprint(&rng);
+  const DescriptorBlock block = MakeTestBlock(query, 5003, &rng);
+  const GaussianDistortionModel model(20.0);
+  const struct {
+    RefinementMode mode;
+    double radius;
+    const DistortionModel* model;
+  } cases[] = {
+      {RefinementMode::kAll, 0.0, nullptr},
+      {RefinementMode::kRadiusFilter, 90.0, nullptr},
+      {RefinementMode::kNormalizedRadiusFilter, 4.5, &model},
+  };
+  for (const auto& c : cases) {
+    const RefineSpec spec(c.mode, c.radius, c.model);
+    QueryResult scalar;
+    {
+      ScopedKernel guard(ScanKernelKind::kScalar);
+      ScanRecords(query, block, 0, block.size(), spec, &scalar);
+    }
+    for (ScanKernelKind kind :
+         {ScanKernelKind::kSse2, ScanKernelKind::kAvx2}) {
+      if (!ScanKernelAvailable(kind)) {
+        continue;
+      }
+      ScopedKernel guard(kind);
+      QueryResult simd;
+      ScanRecords(query, block, 0, block.size(), spec, &simd);
+      ExpectSameResults(scalar, simd, ScanKernelName(kind));
+    }
+  }
+}
+
+TEST(ScanKernelTest, SquaredDistanceU32MatchesFingerprintDistance) {
+  Rng rng(13);
+  for (int trial = 0; trial < 200; ++trial) {
+    const fp::Fingerprint a = UniformRandomFingerprint(&rng);
+    const fp::Fingerprint b = UniformRandomFingerprint(&rng);
+    EXPECT_EQ(SquaredDistanceU32(a.data(), b.data()),
+              static_cast<uint32_t>(fp::SquaredDistance(a, b)));
+  }
+}
+
+// --- Curve-key membership helpers --------------------------------------
+
+BitKey RandomKey(const hilbert::HilbertCurve& curve, Rng* rng) {
+  uint32_t coords[fp::kDims];
+  for (auto& c : coords) {
+    c = static_cast<uint32_t>(rng->UniformInt(0, 255));
+  }
+  return curve.Encode(coords);
+}
+
+TEST(KeyInSectionTest, ZeroEndWrapsToTopOfKeySpace) {
+  const BitKey begin(1000);
+  const BitKey zero = BitKey::Zero();
+  // [begin, 0) means "from begin to the top of the key space".
+  EXPECT_TRUE(KeyInSection(BitKey(1000), begin, zero));
+  EXPECT_TRUE(KeyInSection(BitKey(1001), begin, zero));
+  BitKey top;
+  top.set_word(3, ~uint64_t{0});
+  EXPECT_TRUE(KeyInSection(top, begin, zero));
+  EXPECT_FALSE(KeyInSection(BitKey(999), begin, zero));
+  // With a nonzero end the section is the ordinary half-open interval.
+  EXPECT_TRUE(KeyInSection(BitKey(1000), begin, BitKey(1002)));
+  EXPECT_FALSE(KeyInSection(BitKey(1002), begin, BitKey(1002)));
+}
+
+// Property test: KeyInSelection (binary search over merged sorted
+// disjoint sections) agrees with the brute-force scan of KeyInSection
+// over randomized range sets, including a zero-end final section.
+TEST(KeyInSelectionTest, AgreesWithBruteForceOverRandomRangeSets) {
+  const hilbert::HilbertCurve curve(fp::kDims, 8);
+  Rng rng(14);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Sorted unique random curve keys, paired into disjoint sections.
+    std::vector<BitKey> cuts;
+    const int num_cuts = static_cast<int>(rng.UniformInt(2, 24));
+    for (int i = 0; i < num_cuts; ++i) {
+      cuts.push_back(RandomKey(curve, &rng));
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+    const bool wrap_last = (trial % 3 == 0) && cuts.size() >= 3;
+    std::vector<std::pair<BitKey, BitKey>> ranges;
+    size_t i = 0;
+    for (; i + 1 < cuts.size(); i += 2) {
+      ranges.emplace_back(cuts[i], cuts[i + 1]);
+    }
+    if (wrap_last) {
+      // Final section [last_cut, 0): wraps to the top of the key space.
+      ranges.emplace_back(cuts.back(), BitKey::Zero());
+    }
+    if (ranges.empty()) {
+      continue;
+    }
+
+    const auto brute_force = [&ranges](const BitKey& key) {
+      for (const auto& [begin, end] : ranges) {
+        if (KeyInSection(key, begin, end)) {
+          return true;
+        }
+      }
+      return false;
+    };
+
+    std::vector<BitKey> probes;
+    for (const auto& [begin, end] : ranges) {
+      probes.push_back(begin);                // inclusive boundary
+      probes.push_back(end);                  // exclusive boundary
+      probes.push_back(begin + BitKey(1));
+      if (!end.is_zero()) {
+        probes.push_back(end - BitKey(1));    // last key inside
+      }
+    }
+    probes.push_back(BitKey::Zero());
+    BitKey top;
+    top.set_word(3, ~uint64_t{0});
+    probes.push_back(top);
+    for (int p = 0; p < 64; ++p) {
+      probes.push_back(RandomKey(curve, &rng));
+    }
+
+    for (const BitKey& key : probes) {
+      EXPECT_EQ(KeyInSelection(key, ranges), brute_force(key))
+          << "trial " << trial << " key " << key.low64();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace s3vcd::core

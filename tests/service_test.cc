@@ -182,6 +182,67 @@ TEST(SelectionCacheTest, EvictsLeastRecentlyUsed) {
             nullptr);
 }
 
+// A model whose scales can change after construction — the shape of the
+// ABA/mutation hazard the digest-based key exists to defeat.
+class MutableScaleModel : public core::DistortionModel {
+ public:
+  explicit MutableScaleModel(double sigma) : sigma_(sigma) {}
+
+  double ComponentMass(int /*component*/, double lo, double hi,
+                       double /*q*/) const override {
+    return hi > lo ? 0.5 : 0.0;  // irrelevant to the cache key
+  }
+  double ComponentScale(int /*component*/) const override { return sigma_; }
+
+  void set_sigma(double sigma) { sigma_ = sigma; }
+
+ private:
+  double sigma_;
+};
+
+// Regression test: the cache key digests the model's per-component scales
+// instead of its address, so mutating the model (or destroying it and
+// reallocating a different model at the same address) can never serve a
+// selection computed for the old sigmas.
+TEST(SelectionCacheTest, ModelMutationInvalidatesKey) {
+  SelectionCache cache(8);
+  core::FilterOptions filter;
+  Rng rng(9);
+  const fp::Fingerprint q = UniformRandomFingerprint(&rng);
+
+  MutableScaleModel model(10.0);
+  const SelectionCache::Key before = SelectionCache::MakeKey(q, filter, &model);
+  cache.Insert(before, std::make_shared<const core::BlockSelection>());
+  EXPECT_NE(cache.Lookup(before), nullptr);
+
+  // Same model object, same address — different scales.
+  model.set_sigma(25.0);
+  const SelectionCache::Key after = SelectionCache::MakeKey(q, filter, &model);
+  EXPECT_FALSE(before == after);
+  EXPECT_EQ(cache.Lookup(after), nullptr) << "stale hit for mutated model";
+
+  // Restoring the original scales restores the original key: the digest
+  // depends on the scales' values, nothing else.
+  model.set_sigma(10.0);
+  const SelectionCache::Key restored =
+      SelectionCache::MakeKey(q, filter, &model);
+  EXPECT_TRUE(before == restored);
+  EXPECT_NE(cache.Lookup(restored), nullptr);
+
+  // Two distinct model objects with identical scales share an entry (the
+  // address never enters the key).
+  const GaussianDistortionModel twin_a(7.0);
+  const GaussianDistortionModel twin_b(7.0);
+  EXPECT_EQ(SelectionCache::ModelDigest(&twin_a),
+            SelectionCache::ModelDigest(&twin_b));
+
+  // Filter algorithm/caps also enter the digest.
+  core::FilterOptions other_caps = filter;
+  other_caps.max_blocks = filter.max_blocks / 2;
+  EXPECT_FALSE(before ==
+               SelectionCache::MakeKey(q, other_caps, &model));
+}
+
 class QueryServiceTest : public ::testing::Test {
  protected:
   void SetUp() override {

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Runs the refine-kernel micro benchmark (BM_RefineScan: a full seqscan
+# sweep of the shared 200k-record corpus per iteration) and distills the
+# result into a machine-readable BENCH_scan.json: records/sec per scan
+# kernel (scalar / sse2 / avx2) plus the SIMD-over-scalar speedup. The
+# scalar leg is a genuinely scalar loop (its TU is built with
+# auto-vectorization off), so the speedup is kernel work, not compiler
+# luck.
+#
+# Usage: tools/run_benchmarks.sh [build-dir [output-json]]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+out_json="${2:-${repo_root}/BENCH_scan.json}"
+
+if [[ ! -x "${build_dir}/bench/micro_benchmarks" ]]; then
+  cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${build_dir}" --target micro_benchmarks -j"$(nproc)"
+fi
+
+raw_json="$(mktemp)"
+trap 'rm -f "${raw_json}"' EXIT
+
+"${build_dir}/bench/micro_benchmarks" \
+  --benchmark_filter='^BM_RefineScan' \
+  --benchmark_format=json \
+  --benchmark_out="${raw_json}" \
+  --benchmark_out_format=json >&2
+
+python3 - "${raw_json}" "${out_json}" <<'PY'
+import json
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+kernels = {}
+for b in raw.get("benchmarks", []):
+    if b.get("run_type") != "iteration" or "error_occurred" in b:
+        continue
+    label = b.get("label", "")
+    if not label:
+        continue
+    kernels[label] = {
+        "records_per_second": b.get("items_per_second", 0.0),
+        "ns_per_sweep": b.get("real_time", 0.0),
+    }
+
+scalar = kernels.get("scalar", {}).get("records_per_second", 0.0)
+best_simd_name = None
+best_simd = 0.0
+for name, entry in kernels.items():
+    if name != "scalar" and entry["records_per_second"] > best_simd:
+        best_simd = entry["records_per_second"]
+        best_simd_name = name
+
+result = {
+    "benchmark": "BM_RefineScan",
+    "description": ("seqscan refine sweep over 200000 records, "
+                    "kRadiusFilter mode, records/sec per scan kernel"),
+    "backend": "seqscan",
+    "sweep_records": 200000,
+    "kernels": kernels,
+    "best_simd_kernel": best_simd_name,
+    "simd_speedup_over_scalar":
+        (best_simd / scalar) if scalar > 0 else None,
+    "context": raw.get("context", {}),
+}
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+print(json.dumps(result["kernels"], indent=2))
+speedup = result["simd_speedup_over_scalar"]
+if speedup is not None:
+    print(f"SIMD speedup over scalar: {speedup:.2f}x ({best_simd_name})")
+PY
+
+echo "Wrote ${out_json}"

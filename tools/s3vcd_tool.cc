@@ -552,9 +552,10 @@ int CmdQuery(const Flags& flags) {
     }
   }
   std::printf(
-      "%d self-queries (backend=%s alpha=%.2f sigma=%.1f p=%d): "
-      "retrieval %.1f%%, avg %.3f ms, avg %.0f results\n",
-      count, backend.c_str(), alpha, sigma, depth, 100.0 * hits / count,
+      "%d self-queries (backend=%s alpha=%.2f sigma=%.1f p=%d "
+      "scan_kernel=%s): retrieval %.1f%%, avg %.3f ms, avg %.0f results\n",
+      count, backend.c_str(), alpha, sigma, depth,
+      core::ActiveScanKernelName(), 100.0 * hits / count,
       watch.ElapsedMillis() / count,
       static_cast<double>(matches) / count);
 
