@@ -6,6 +6,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "core/database.h"
 #include "core/distortion_model.h"
 #include "core/filter.h"
@@ -93,6 +96,68 @@ core::S3Index* SharedIndex() {
   }();
   return index;
 }
+
+// Selection engines head to head: the per-axis boundary-table engine vs
+// the retained per-node reference, across partition depths, on realistic
+// clustered queries drawn from the shared 200k-record corpus. The labels
+// ("stat:table:d12", "stat:reference:d12") feed tools/run_benchmarks.sh,
+// which turns the timings into BENCH_filter.json.
+void BM_SelectStatistical(benchmark::State& state) {
+  core::S3Index* index = SharedIndex();
+  const core::BlockFilter& filter = index->filter();
+  const core::GaussianDistortionModel model(18.0);
+  Rng rng(12);
+  std::vector<fp::Fingerprint> queries;
+  for (int q = 0; q < 64; ++q) {
+    const auto& rec = index->database().record(static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(index->database().size()) - 1)));
+    queries.push_back(core::DistortFingerprint(rec.descriptor, 18.0, &rng));
+  }
+  core::FilterOptions options;
+  options.alpha = 0.8;
+  options.depth = static_cast<int>(state.range(0));
+  const bool table = state.range(1) == 0;
+  options.engine = table ? core::SelectionEngine::kBoundaryTable
+                         : core::SelectionEngine::kReference;
+  core::SelectionScratch scratch;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.SelectStatistical(
+        queries[i++ % queries.size()], model, options, &scratch));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::string("stat:") + (table ? "table" : "reference") +
+                 ":d" + std::to_string(options.depth));
+}
+BENCHMARK(BM_SelectStatistical)
+    ->ArgsProduct({{8, 12, 16, 20}, {0, 1}});
+
+// Geometric selection under the shared squared-distance boundary tables;
+// labels ("range:d12") land in BENCH_filter.json alongside the
+// statistical rows.
+void BM_SelectRange(benchmark::State& state) {
+  core::S3Index* index = SharedIndex();
+  const core::BlockFilter& filter = index->filter();
+  Rng rng(13);
+  std::vector<fp::Fingerprint> queries;
+  for (int q = 0; q < 64; ++q) {
+    const auto& rec = index->database().record(static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(index->database().size()) - 1)));
+    queries.push_back(core::DistortFingerprint(rec.descriptor, 18.0, &rng));
+  }
+  const int depth = static_cast<int>(state.range(0));
+  core::SelectionScratch scratch;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        filter.SelectRange(queries[i++ % queries.size()], /*epsilon=*/90.0,
+                           depth, /*max_blocks=*/1 << 20,
+                           /*max_nodes=*/1 << 18, &scratch));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("range:d" + std::to_string(depth));
+}
+BENCHMARK(BM_SelectRange)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
 
 void BM_StatisticalQuery(benchmark::State& state) {
   core::S3Index* index = SharedIndex();

@@ -22,6 +22,18 @@ class DistortionModel {
   virtual double ComponentMass(int component, double lo, double hi,
                                double q) const = 0;
 
+  /// P(X_j < x | Q_j = q): the cumulative distribution of component j at x.
+  /// The block filter builds per-query tables of this at the cell
+  /// boundaries, so interval masses become table subtractions. Contract:
+  /// ComponentCdf(j, hi, q) - ComponentCdf(j, lo, q) must equal
+  /// ComponentMass(j, lo, hi, q) *exactly* (the same floating-point
+  /// subtraction), which holds automatically when ComponentMass is itself
+  /// defined as a difference of CDF evaluations — as the default here and
+  /// the Gaussian models do.
+  virtual double ComponentCdf(int component, double x, double q) const {
+    return ComponentMass(component, -1e30, x, q);
+  }
+
   /// Characteristic scale of component `component` (its standard
   /// deviation for Gaussian models). Used by the normalized-radius
   /// refinement to weight distances per component.
@@ -37,6 +49,7 @@ class GaussianDistortionModel final : public DistortionModel {
 
   double ComponentMass(int component, double lo, double hi,
                        double q) const override;
+  double ComponentCdf(int component, double x, double q) const override;
   double ComponentScale(int /*component*/) const override { return sigma_; }
 
   double sigma() const { return sigma_; }
@@ -55,6 +68,7 @@ class PerComponentGaussianModel final : public DistortionModel {
 
   double ComponentMass(int component, double lo, double hi,
                        double q) const override;
+  double ComponentCdf(int component, double x, double q) const override;
   double ComponentScale(int component) const override {
     return sigmas_[component];
   }

@@ -62,9 +62,10 @@ QueryResult DynamicIndex::StatisticalQuery(const fp::Fingerprint& query,
   S3VCD_TRACE_SPAN("dynamic_index.query.statistical");
   QueryResult result;
   Stopwatch watch;
-  const BlockSelection selection =
-      base_.filter().SelectStatistical(query, model, options.filter);
-  result.stats.filter_seconds = watch.ElapsedSeconds();
+  const BlockSelection selection = base_.filter().SelectStatistical(
+      query, model, options.filter, &ThreadLocalSelectionScratch());
+  result.stats.selection_ns = watch.ElapsedNanos();
+  result.stats.filter_seconds = result.stats.selection_ns * 1e-9;
   result.stats.blocks_selected = selection.num_blocks;
   result.stats.nodes_visited = selection.nodes_visited;
   result.stats.probability_mass = selection.probability_mass;
@@ -74,7 +75,8 @@ QueryResult DynamicIndex::StatisticalQuery(const fp::Fingerprint& query,
                       &model, &result);
   AppendBufferMatches(query, selection.ranges, options.refinement,
                       options.radius, &model, &result);
-  result.stats.refine_seconds = watch.ElapsedSeconds();
+  result.stats.refine_ns = watch.ElapsedNanos();
+  result.stats.refine_seconds = result.stats.refine_ns * 1e-9;
   RecordQueryMetrics(QueryKind::kStatistical, result.stats,
                      result.matches.size());
   return result;
@@ -87,7 +89,8 @@ QueryResult DynamicIndex::RangeQuery(const fp::Fingerprint& query,
   Stopwatch watch;
   const BlockSelection selection =
       base_.filter().SelectRange(query, epsilon, depth);
-  result.stats.filter_seconds = watch.ElapsedSeconds();
+  result.stats.selection_ns = watch.ElapsedNanos();
+  result.stats.filter_seconds = result.stats.selection_ns * 1e-9;
   result.stats.blocks_selected = selection.num_blocks;
   result.stats.nodes_visited = selection.nodes_visited;
 
@@ -96,7 +99,8 @@ QueryResult DynamicIndex::RangeQuery(const fp::Fingerprint& query,
                       epsilon, nullptr, &result);
   AppendBufferMatches(query, selection.ranges, RefinementMode::kRadiusFilter,
                       epsilon, nullptr, &result);
-  result.stats.refine_seconds = watch.ElapsedSeconds();
+  result.stats.refine_ns = watch.ElapsedNanos();
+  result.stats.refine_seconds = result.stats.refine_ns * 1e-9;
   RecordQueryMetrics(QueryKind::kRange, result.stats, result.matches.size());
   return result;
 }

@@ -1,214 +1,350 @@
 #include "core/filter.h"
 
 #include <algorithm>
-#include <array>
 #include <cmath>
-#include <queue>
+#include <utility>
 
 #include "util/logging.h"
 
 namespace s3vcd::core {
 
+namespace internal {
+
+void LazyTable::Begin(size_t rows, size_t new_cols) {
+  cols = new_cols;
+  const size_t needed = rows * new_cols;
+  if (value.size() < needed) {
+    value.resize(needed, 0.0);
+    stamp.resize(needed, 0);
+  }
+  if (++generation == 0) {
+    // Generation counter wrapped (once per ~4G queries): stale stamps could
+    // alias the new generation, so clear them once and restart at 1.
+    std::fill(stamp.begin(), stamp.end(), 0u);
+    generation = 1;
+  }
+}
+
+}  // namespace internal
+
+SelectionScratch& ThreadLocalSelectionScratch() {
+  thread_local SelectionScratch scratch;
+  return scratch;
+}
+
+uint64_t SelectionScratch::ApproxBytes() const {
+  uint64_t bytes = 0;
+  bytes += cdf.value.capacity() * sizeof(double) +
+           cdf.stamp.capacity() * sizeof(uint32_t);
+  bytes += sq.value.capacity() * sizeof(double) +
+           sq.stamp.capacity() * sizeof(uint32_t);
+  bytes += arena.capacity() * sizeof(hilbert::BlockTree::Node);
+  bytes += free_slots.capacity() * sizeof(uint32_t);
+  bytes += heap.capacity() * sizeof(std::pair<double, uint32_t>);
+  bytes += dfs.capacity() * sizeof(std::pair<double, uint32_t>);
+  bytes += prefixes.capacity() * sizeof(BitKey);
+  return bytes;
+}
+
 namespace {
 
 using hilbert::BlockTree;
-
-// A block-tree node annotated with its per-axis probability factors. A
-// quantized byte value b represents the continuous interval
-// [b - 0.5, b + 0.5), so a cell range [lo, hi) in cells maps to the byte
-// interval [lo * w - 0.5, hi * w - 0.5) with w the cell width in bytes.
-// The node type is shared by the Hilbert and Z-order trees.
-struct ProbNode {
-  BlockTree::Node node;
-  std::array<double, fp::kDims> axis_mass;
-  double prob = 0;
-};
+using Node = BlockTree::Node;
 
 // Byte components of distorted fingerprints are clamped to [0, 255], so the
 // grid-edge cells absorb the entire tail of the distortion density: the
 // lowest cell represents (-inf, lo+w) and the highest [hi-w, +inf).
 constexpr double kInfinityBytes = 1e30;
 
-double ByteLo(uint32_t cell_lo, int shift) {
-  if (cell_lo == 0) {
+// The quantization-interval convention, shared by the statistical and the
+// geometric filter: a quantized byte value b represents the continuous
+// interval [b - 0.5, b + 0.5), so a cell range [lo, hi) in cells maps to
+// the byte interval [lo * w - 0.5, hi * w - 0.5) with w the cell width in
+// bytes — i.e. boundary index b (in [0, grid]) sits at byte b * w - 0.5,
+// with the grid edges extended to +/- infinity (tail absorption).
+double BoundaryByte(uint32_t boundary, int shift, uint32_t grid_size) {
+  if (boundary == 0) {
     return -kInfinityBytes;
   }
-  return static_cast<double>(cell_lo << shift) - 0.5;
-}
-double ByteHi(uint32_t cell_hi, int shift, uint32_t grid_size) {
-  if (cell_hi == grid_size) {
+  if (boundary == grid_size) {
     return kInfinityBytes;
   }
-  return static_cast<double>(cell_hi << shift) - 0.5;
+  return static_cast<double>(boundary << shift) - 0.5;
 }
 
-template <typename Tree>
-ProbNode MakeRoot(const Tree& tree, const fp::Fingerprint& query,
-                  const DistortionModel& model, int shift) {
-  ProbNode root;
-  root.node = tree.Root();
-  root.prob = 1.0;
-  const int dims = tree.curve().dims();
-  const uint32_t grid = tree.curve().grid_size();
-  for (int j = 0; j < dims; ++j) {
-    root.axis_mass[j] = model.ComponentMass(
-        j, ByteLo(root.node.lo[j], shift),
-        ByteHi(root.node.hi[j], shift, grid),
-        static_cast<double>(query[j]));
-    root.prob *= root.axis_mass[j];
-  }
-  return root;
-}
-
-// Recomputes the changed axis factor after a split and the product.
-void UpdateChild(const ProbNode& parent, const fp::Fingerprint& query,
-                 const DistortionModel& model, int shift, uint32_t grid,
-                 ProbNode* child) {
-  child->axis_mass = parent.axis_mass;
-  const int axis = child->node.split_axis;
-  child->axis_mass[axis] = model.ComponentMass(
-      axis, ByteLo(child->node.lo[axis], shift),
-      ByteHi(child->node.hi[axis], shift, grid),
-      static_cast<double>(query[axis]));
-  // Recompute the full product: numerically stable and still only D
-  // multiplications per split.
-  double prob = 1.0;
-  const int dims = static_cast<int>(fp::kDims);
-  for (int j = 0; j < dims; ++j) {
-    prob *= child->axis_mass[j];
-  }
-  child->prob = prob;
-}
-
-struct HeapLess {
-  bool operator()(const ProbNode& a, const ProbNode& b) const {
-    return a.prob < b.prob;
-  }
-};
-
-// Squared distance from the query (byte space) to a cell box.
-double BoxMinSquaredDistance(const BlockTree::Node& node,
-                             const fp::Fingerprint& query, int shift,
-                             int dims) {
-  double acc = 0;
-  for (int j = 0; j < dims; ++j) {
-    const double q = query[j];
-    const double lo = static_cast<double>(node.lo[j] << shift);
-    const double hi = static_cast<double>(node.hi[j] << shift) - 1.0;
-    if (q < lo) {
-      acc += (lo - q) * (lo - q);
-    } else if (q > hi) {
-      acc += (q - hi) * (q - hi);
+void MergeBlockRangesInto(std::vector<BitKey>* prefixes, int depth,
+                          int key_bits,
+                          std::vector<std::pair<BitKey, BitKey>>* ranges) {
+  std::sort(prefixes->begin(), prefixes->end());
+  ranges->clear();
+  const int shift = key_bits - depth;
+  for (const BitKey& prefix : *prefixes) {
+    BitKey begin = prefix << shift;
+    BitKey next = prefix;
+    next.Increment();
+    BitKey end = next << shift;
+    if (!ranges->empty() && ranges->back().second == begin) {
+      ranges->back().second = end;
+    } else {
+      ranges->emplace_back(begin, end);
     }
   }
-  return acc;
 }
+
+// --- arena helpers ---------------------------------------------------------
+// Nodes live in a pooled arena indexed by 32-bit slots; the heap and DFS
+// stack hold (probability, slot) pairs, so heap operations move 16 bytes
+// instead of whole nodes. Slots of consumed nodes are recycled within the
+// query; the arena itself is recycled across queries via SelectionScratch.
+
+uint32_t AllocSlot(SelectionScratch* s) {
+  if (!s->free_slots.empty()) {
+    const uint32_t slot = s->free_slots.back();
+    s->free_slots.pop_back();
+    return slot;
+  }
+  s->arena.emplace_back();
+  return static_cast<uint32_t>(s->arena.size() - 1);
+}
+
+void ResetArena(SelectionScratch* s) {
+  s->arena.clear();
+  s->free_slots.clear();
+}
+
+// --- probability engines ---------------------------------------------------
+// Both engines evaluate node probabilities as products (in ascending axis
+// order) of per-axis interval masses taken over identical boundary byte
+// values, so — given the DistortionModel::ComponentCdf exactness contract —
+// their selections are bit-identical; tests/filter_table_test.cc pins this.
+
+// Production engine (SelectionEngine::kBoundaryTable): a per-query table of
+// the distortion CDF at the cell boundaries, one row per axis, filled
+// lazily (one ComponentCdf call per boundary the expansion actually
+// touches) and generation-stamped so reuse across queries clears nothing.
+// A node's axis mass is table[hi] - table[lo]: the expansion loop itself
+// runs zero transcendentals — D loads, D subtractions, D multiplies.
+class TableProbEngine {
+ public:
+  TableProbEngine(const fp::Fingerprint& query, const DistortionModel& model,
+                  int dims, int shift, uint32_t grid, SelectionScratch* s)
+      : query_(&query),
+        model_(&model),
+        dims_(dims),
+        shift_(shift),
+        grid_(grid),
+        s_(s) {
+    s->cdf.Begin(static_cast<size_t>(dims), static_cast<size_t>(grid) + 1);
+  }
+
+  double RootProb(const Node& root, uint32_t /*slot*/) {
+    return NodeProb(root);
+  }
+
+  double ChildProb(uint32_t /*parent_slot*/, const Node& child,
+                   uint32_t /*slot*/) {
+    return NodeProb(child);
+  }
+
+ private:
+  double Cdf(int axis, uint32_t boundary) {
+    internal::LazyTable& t = s_->cdf;
+    const size_t idx = static_cast<size_t>(axis) * t.cols + boundary;
+    if (t.stamp[idx] != t.generation) {
+      t.value[idx] =
+          model_->ComponentCdf(axis, BoundaryByte(boundary, shift_, grid_),
+                               static_cast<double>((*query_)[axis]));
+      t.stamp[idx] = t.generation;
+    }
+    return t.value[idx];
+  }
+
+  double NodeProb(const Node& n) {
+    double prob = 1.0;
+    for (int j = 0; j < dims_; ++j) {
+      prob *= Cdf(j, n.hi[j]) - Cdf(j, n.lo[j]);
+    }
+    return prob;
+  }
+
+  const fp::Fingerprint* query_;
+  const DistortionModel* model_;
+  int dims_;
+  int shift_;
+  uint32_t grid_;
+  SelectionScratch* s_;
+};
+
+// Validation baseline (SelectionEngine::kReference): the pre-table
+// formulation calling DistortionModel::ComponentMass for every axis of
+// every node the expansion touches — 2·D transcendental evaluations per
+// node. Used by the parity tests and by BENCH_filter to quantify the
+// boundary-table speedup.
+class ReferenceProbEngine {
+ public:
+  ReferenceProbEngine(const fp::Fingerprint& query,
+                      const DistortionModel& model, int dims, int shift,
+                      uint32_t grid, SelectionScratch* /*s*/)
+      : query_(&query), model_(&model), dims_(dims), shift_(shift),
+        grid_(grid) {}
+
+  double RootProb(const Node& root, uint32_t /*slot*/) {
+    return NodeProb(root);
+  }
+
+  double ChildProb(uint32_t /*parent_slot*/, const Node& child,
+                   uint32_t /*slot*/) {
+    return NodeProb(child);
+  }
+
+ private:
+  double NodeProb(const Node& n) const {
+    double prob = 1.0;
+    for (int j = 0; j < dims_; ++j) {
+      prob *= model_->ComponentMass(j, BoundaryByte(n.lo[j], shift_, grid_),
+                                    BoundaryByte(n.hi[j], shift_, grid_),
+                                    static_cast<double>((*query_)[j]));
+    }
+    return prob;
+  }
+
+  const fp::Fingerprint* query_;
+  const DistortionModel* model_;
+  int dims_;
+  int shift_;
+  uint32_t grid_;
+};
+
+// --- selection algorithms --------------------------------------------------
 
 // Best-first expansion: the heap top always bounds every remaining
 // block's probability, so emitted depth-p blocks come out in decreasing
-// probability order and the greedy stop is the minimal block set.
-template <typename Tree>
-BlockSelection SelectStatisticalBestFirst(const Tree& tree, int cell_shift,
-                                          const fp::Fingerprint& query,
-                                          const DistortionModel& model,
+// probability order and the greedy stop is the minimal block set. The heap
+// orders (prob, slot) pairs, so probability ties break deterministically
+// by slot id — identical across engines.
+template <typename Tree, typename Engine>
+BlockSelection SelectStatisticalBestFirst(const Tree& tree, Engine& engine,
                                           const FilterOptions& options,
-                                          int depth) {
+                                          int depth, SelectionScratch* s) {
   BlockSelection selection;
   const int key_bits = tree.curve().key_bits();
-  std::priority_queue<ProbNode, std::vector<ProbNode>, HeapLess> heap;
-  ProbNode root = MakeRoot(tree, query, model, cell_shift);
+  ResetArena(s);
+  s->heap.clear();
+  s->prefixes.clear();
+
+  const uint32_t root_slot = AllocSlot(s);
+  s->arena[root_slot] = tree.Root();
+  const double root_prob = engine.RootProb(s->arena[root_slot], root_slot);
+  selection.nodes_visited = 1;
   // The achievable mass inside the grid may be below alpha (query near the
   // space border with a wide model): target what is achievable.
-  const double target = std::min(options.alpha, root.prob * (1.0 - 1e-9));
-  heap.push(std::move(root));
-  selection.nodes_visited = 1;
+  const double target = std::min(options.alpha, root_prob * (1.0 - 1e-9));
+  s->heap.emplace_back(root_prob, root_slot);
 
-  std::vector<BitKey> prefixes;
   double total = 0;
-  while (!heap.empty() && total < target &&
-         prefixes.size() < options.max_blocks &&
-         selection.nodes_visited < options.max_nodes) {
-    ProbNode top = heap.top();
-    heap.pop();
-    if (top.node.depth == depth) {
-      prefixes.push_back(top.node.prefix);
-      total += top.prob;
+  while (!s->heap.empty() && total < target) {
+    std::pop_heap(s->heap.begin(), s->heap.end());
+    const auto [prob, slot] = s->heap.back();
+    s->heap.pop_back();
+    if (s->arena[slot].depth == depth) {
+      s->prefixes.push_back(s->arena[slot].prefix);
+      total += prob;
+      s->free_slots.push_back(slot);
+      if (s->prefixes.size() >= options.max_blocks) {
+        break;  // Partial selection: the highest-probability blocks so far.
+      }
       continue;
     }
-    ProbNode c0;
-    ProbNode c1;
-    tree.Split(top.node, &c0.node, &c1.node);
-    UpdateChild(top, query, model, cell_shift, tree.curve().grid_size(), &c0);
-    UpdateChild(top, query, model, cell_shift, tree.curve().grid_size(), &c1);
+    if (selection.nodes_visited + 2 > options.max_nodes) {
+      break;  // Node cap: stop expanding, keep what was emitted.
+    }
+    const uint32_t c0 = AllocSlot(s);
+    const uint32_t c1 = AllocSlot(s);
+    tree.Split(s->arena[slot], &s->arena[c0], &s->arena[c1]);
+    const double p0 = engine.ChildProb(slot, s->arena[c0], c0);
+    const double p1 = engine.ChildProb(slot, s->arena[c1], c1);
     selection.nodes_visited += 2;
+    s->free_slots.push_back(slot);
     // Negligible-mass children cannot contribute to alpha in any realistic
     // block budget; dropping them keeps the heap small.
     constexpr double kNegligible = 1e-18;
-    if (c0.prob > kNegligible) {
-      heap.push(std::move(c0));
+    if (p0 > kNegligible) {
+      s->heap.emplace_back(p0, c0);
+      std::push_heap(s->heap.begin(), s->heap.end());
+    } else {
+      s->free_slots.push_back(c0);
     }
-    if (c1.prob > kNegligible) {
-      heap.push(std::move(c1));
+    if (p1 > kNegligible) {
+      s->heap.emplace_back(p1, c1);
+      std::push_heap(s->heap.begin(), s->heap.end());
+    } else {
+      s->free_slots.push_back(c1);
     }
   }
-  selection.num_blocks = prefixes.size();
+  selection.num_blocks = s->prefixes.size();
   selection.probability_mass = total;
-  selection.ranges = MergeBlockRanges(std::move(prefixes), depth, key_bits);
+  MergeBlockRangesInto(&s->prefixes, depth, key_bits, &selection.ranges);
   return selection;
 }
 
 // The paper's eq. (4): bisection for the largest threshold t with
-// Psup(t) >= alpha, each evaluation a pruned DFS of the block tree.
-template <typename Tree>
-BlockSelection SelectStatisticalThreshold(const Tree& tree, int cell_shift,
-                                          const fp::Fingerprint& query,
-                                          const DistortionModel& model,
+// Psup(t) >= alpha, each evaluation a pruned DFS of the block tree. The
+// engine's boundary tables persist across all bisection passes, so only
+// the first pass pays any transcendental cost under kBoundaryTable.
+template <typename Tree, typename Engine>
+BlockSelection SelectStatisticalThreshold(const Tree& tree, Engine& engine,
                                           const FilterOptions& options,
-                                          int depth) {
+                                          int depth, SelectionScratch* s) {
   uint64_t nodes_visited = 0;
-  auto evaluate = [&](double t, std::vector<BitKey>* out_prefixes,
-                      double* out_mass) -> bool {
+  auto evaluate = [&](double t, bool emit, double* out_mass) -> bool {
     double mass = 0;
     uint64_t count = 0;
     bool capped = false;
-    std::vector<ProbNode> stack;
-    ProbNode root = MakeRoot(tree, query, model, cell_shift);
-    if (root.prob > t) {
-      stack.push_back(std::move(root));
-    }
+    ResetArena(s);
+    s->dfs.clear();
+    const uint32_t root_slot = AllocSlot(s);
+    s->arena[root_slot] = tree.Root();
+    const double root_prob = engine.RootProb(s->arena[root_slot], root_slot);
     ++nodes_visited;
-    while (!stack.empty()) {
-      if (nodes_visited > options.max_nodes) {
-        capped = true;
-        break;
-      }
-      ProbNode n = std::move(stack.back());
-      stack.pop_back();
-      if (n.node.depth == depth) {
-        mass += n.prob;
+    if (root_prob > t) {
+      s->dfs.emplace_back(root_prob, root_slot);
+    }
+    while (!s->dfs.empty()) {
+      const auto [prob, slot] = s->dfs.back();
+      s->dfs.pop_back();
+      if (s->arena[slot].depth == depth) {
+        mass += prob;
         ++count;
-        if (out_prefixes != nullptr) {
-          out_prefixes->push_back(n.node.prefix);
+        if (emit) {
+          s->prefixes.push_back(s->arena[slot].prefix);
         }
-        if (count > options.max_blocks) {
+        s->free_slots.push_back(slot);
+        if (count >= options.max_blocks) {
           capped = true;
           break;
         }
         continue;
       }
-      ProbNode c0;
-      ProbNode c1;
-      tree.Split(n.node, &c0.node, &c1.node);
-      UpdateChild(n, query, model, cell_shift, tree.curve().grid_size(),
-                  &c0);
-      UpdateChild(n, query, model, cell_shift, tree.curve().grid_size(),
-                  &c1);
-      nodes_visited += 2;
-      if (c0.prob > t) {
-        stack.push_back(std::move(c0));
+      if (nodes_visited + 2 > options.max_nodes) {
+        capped = true;
+        break;
       }
-      if (c1.prob > t) {
-        stack.push_back(std::move(c1));
+      const uint32_t c0 = AllocSlot(s);
+      const uint32_t c1 = AllocSlot(s);
+      tree.Split(s->arena[slot], &s->arena[c0], &s->arena[c1]);
+      const double p0 = engine.ChildProb(slot, s->arena[c0], c0);
+      const double p1 = engine.ChildProb(slot, s->arena[c1], c1);
+      nodes_visited += 2;
+      s->free_slots.push_back(slot);
+      if (p0 > t) {
+        s->dfs.emplace_back(p0, c0);
+      } else {
+        s->free_slots.push_back(c0);
+      }
+      if (p1 > t) {
+        s->dfs.emplace_back(p1, c1);
+      } else {
+        s->free_slots.push_back(c1);
       }
     }
     *out_mass = mass;
@@ -222,7 +358,7 @@ BlockSelection SelectStatisticalThreshold(const Tree& tree, int cell_shift,
   for (int iter = 0; iter < 24; ++iter) {
     const double log_mid = 0.5 * (log_lo + log_hi);
     double mass = 0;
-    const bool capped = evaluate(std::exp(log_mid), nullptr, &mass);
+    const bool capped = evaluate(std::exp(log_mid), /*emit=*/false, &mass);
     if (capped || mass >= options.alpha) {
       best_valid_log_t = log_mid;
       log_lo = log_mid;  // t can grow
@@ -232,17 +368,14 @@ BlockSelection SelectStatisticalThreshold(const Tree& tree, int cell_shift,
   }
 
   BlockSelection selection;
-  std::vector<BitKey> prefixes;
+  s->prefixes.clear();
   double mass = 0;
-  evaluate(std::exp(best_valid_log_t), &prefixes, &mass);
-  if (prefixes.size() > options.max_blocks) {
-    prefixes.resize(options.max_blocks);
-  }
+  evaluate(std::exp(best_valid_log_t), /*emit=*/true, &mass);
   selection.nodes_visited = nodes_visited;
-  selection.num_blocks = prefixes.size();
+  selection.num_blocks = s->prefixes.size();
   selection.probability_mass = mass;
-  selection.ranges = MergeBlockRanges(std::move(prefixes), depth,
-                                      tree.curve().key_bits());
+  MergeBlockRangesInto(&s->prefixes, depth, tree.curve().key_bits(),
+                       &selection.ranges);
   return selection;
 }
 
@@ -250,56 +383,113 @@ template <typename Tree>
 BlockSelection SelectStatisticalImpl(const Tree& tree, int cell_shift,
                                      const fp::Fingerprint& query,
                                      const DistortionModel& model,
-                                     const FilterOptions& options) {
+                                     const FilterOptions& options,
+                                     SelectionScratch* scratch) {
   S3VCD_CHECK(options.alpha > 0 && options.alpha < 1);
+  SelectionScratch* s =
+      scratch != nullptr ? scratch : &ThreadLocalSelectionScratch();
   const int depth =
       std::clamp(options.depth, 1,
                  std::min(tree.curve().key_bits(), kMaxPracticalDepth));
-  if (options.algorithm == FilterAlgorithm::kThresholdSearch) {
-    return SelectStatisticalThreshold(tree, cell_shift, query, model,
-                                      options, depth);
+  const int dims = tree.curve().dims();
+  const uint32_t grid = tree.curve().grid_size();
+  if (options.engine == SelectionEngine::kReference) {
+    ReferenceProbEngine engine(query, model, dims, cell_shift, grid, s);
+    if (options.algorithm == FilterAlgorithm::kThresholdSearch) {
+      return SelectStatisticalThreshold(tree, engine, options, depth, s);
+    }
+    return SelectStatisticalBestFirst(tree, engine, options, depth, s);
   }
-  return SelectStatisticalBestFirst(tree, cell_shift, query, model, options,
-                                    depth);
+  TableProbEngine engine(query, model, dims, cell_shift, grid, s);
+  if (options.algorithm == FilterAlgorithm::kThresholdSearch) {
+    return SelectStatisticalThreshold(tree, engine, options, depth, s);
+  }
+  return SelectStatisticalBestFirst(tree, engine, options, depth, s);
 }
 
 template <typename Tree>
 BlockSelection SelectRangeImpl(const Tree& tree, int cell_shift,
                                const fp::Fingerprint& query, double epsilon,
-                               int depth, uint64_t max_blocks) {
+                               int depth, uint64_t max_blocks,
+                               uint64_t max_nodes,
+                               SelectionScratch* scratch) {
   S3VCD_CHECK(epsilon >= 0);
+  SelectionScratch* s =
+      scratch != nullptr ? scratch : &ThreadLocalSelectionScratch();
   const int clamped_depth = std::clamp(depth, 1, tree.curve().key_bits());
   const double eps_sq = epsilon * epsilon;
   const int dims = tree.curve().dims();
+  const uint32_t grid = tree.curve().grid_size();
+
+  // Per-axis squared distances from the query to the cell boundaries, under
+  // the same quantization-interval convention as the statistical filter
+  // (BoundaryByte): two table rows per axis — row 2j holds the penalty when
+  // the box *starts* at boundary b (box entirely above the query), row
+  // 2j + 1 when the box *ends* at b (entirely below). Lazily filled, like
+  // the CDF table, so the DFS loop runs only table loads and adds.
+  s->sq.Begin(static_cast<size_t>(2 * dims), static_cast<size_t>(grid) + 1);
+  internal::LazyTable& sq = s->sq;
+  auto penalty = [&](size_t row, uint32_t boundary, bool box_above,
+                     double q) -> double {
+    const size_t idx = row * sq.cols + boundary;
+    if (sq.stamp[idx] != sq.generation) {
+      const double b = BoundaryByte(boundary, cell_shift, grid);
+      const double d = std::max(0.0, box_above ? b - q : q - b);
+      sq.value[idx] = d * d;
+      sq.stamp[idx] = sq.generation;
+    }
+    return sq.value[idx];
+  };
+  auto box_dist_sq = [&](const Node& n) -> double {
+    double acc = 0;
+    for (int j = 0; j < dims; ++j) {
+      const double q = static_cast<double>(query[j]);
+      acc += penalty(static_cast<size_t>(2 * j), n.lo[j], /*box_above=*/true,
+                     q) +
+             penalty(static_cast<size_t>(2 * j) + 1, n.hi[j],
+                     /*box_above=*/false, q);
+    }
+    return acc;
+  };
 
   BlockSelection selection;
-  std::vector<BitKey> prefixes;
-  std::vector<BlockTree::Node> stack;
-  stack.push_back(tree.Root());
+  ResetArena(s);
+  s->dfs.clear();
+  s->prefixes.clear();
+  const uint32_t root_slot = AllocSlot(s);
+  s->arena[root_slot] = tree.Root();
   selection.nodes_visited = 1;
-  while (!stack.empty()) {
-    BlockTree::Node n = std::move(stack.back());
-    stack.pop_back();
-    if (BoxMinSquaredDistance(n, query, cell_shift, dims) > eps_sq) {
+  s->dfs.emplace_back(0.0, root_slot);
+  while (!s->dfs.empty()) {
+    const uint32_t slot = s->dfs.back().second;
+    s->dfs.pop_back();
+    if (box_dist_sq(s->arena[slot]) > eps_sq) {
+      s->free_slots.push_back(slot);
       continue;
     }
-    if (n.depth == clamped_depth) {
-      prefixes.push_back(n.prefix);
-      if (prefixes.size() >= max_blocks) {
+    if (s->arena[slot].depth == clamped_depth) {
+      s->prefixes.push_back(s->arena[slot].prefix);
+      s->free_slots.push_back(slot);
+      if (s->prefixes.size() >= max_blocks) {
         break;
       }
       continue;
     }
-    BlockTree::Node c0;
-    BlockTree::Node c1;
-    tree.Split(n, &c0, &c1);
+    if (selection.nodes_visited + 2 > max_nodes) {
+      break;
+    }
+    const uint32_t c0 = AllocSlot(s);
+    const uint32_t c1 = AllocSlot(s);
+    tree.Split(s->arena[slot], &s->arena[c0], &s->arena[c1]);
     selection.nodes_visited += 2;
-    stack.push_back(std::move(c0));
-    stack.push_back(std::move(c1));
+    s->free_slots.push_back(slot);
+    s->dfs.emplace_back(0.0, c0);
+    s->dfs.emplace_back(0.0, c1);
   }
-  selection.num_blocks = prefixes.size();
-  selection.ranges = MergeBlockRanges(std::move(prefixes), clamped_depth,
-                                      tree.curve().key_bits());
+  selection.num_blocks = s->prefixes.size();
+  selection.probability_mass = 0;
+  MergeBlockRangesInto(&s->prefixes, clamped_depth, tree.curve().key_bits(),
+                       &selection.ranges);
   return selection;
 }
 
@@ -307,20 +497,8 @@ BlockSelection SelectRangeImpl(const Tree& tree, int cell_shift,
 
 std::vector<std::pair<BitKey, BitKey>> MergeBlockRanges(
     std::vector<BitKey> prefixes, int depth, int key_bits) {
-  std::sort(prefixes.begin(), prefixes.end());
   std::vector<std::pair<BitKey, BitKey>> ranges;
-  const int shift = key_bits - depth;
-  for (const BitKey& prefix : prefixes) {
-    BitKey begin = prefix << shift;
-    BitKey next = prefix;
-    next.Increment();
-    BitKey end = next << shift;
-    if (!ranges.empty() && ranges.back().second == begin) {
-      ranges.back().second = end;
-    } else {
-      ranges.emplace_back(begin, end);
-    }
-  }
+  MergeBlockRangesInto(&prefixes, depth, key_bits, &ranges);
   return ranges;
 }
 
@@ -332,15 +510,18 @@ BlockFilter::BlockFilter(const hilbert::HilbertCurve& curve)
 
 BlockSelection BlockFilter::SelectStatistical(
     const fp::Fingerprint& query, const DistortionModel& model,
-    const FilterOptions& options) const {
-  return SelectStatisticalImpl(tree_, cell_shift_, query, model, options);
+    const FilterOptions& options, SelectionScratch* scratch) const {
+  return SelectStatisticalImpl(tree_, cell_shift_, query, model, options,
+                               scratch);
 }
 
 BlockSelection BlockFilter::SelectRange(const fp::Fingerprint& query,
                                         double epsilon, int depth,
-                                        uint64_t max_blocks) const {
+                                        uint64_t max_blocks,
+                                        uint64_t max_nodes,
+                                        SelectionScratch* scratch) const {
   return SelectRangeImpl(tree_, cell_shift_, query, epsilon, depth,
-                         max_blocks);
+                         max_blocks, max_nodes, scratch);
 }
 
 ZOrderBlockFilter::ZOrderBlockFilter(const hilbert::ZOrderCurve& curve)
@@ -351,15 +532,18 @@ ZOrderBlockFilter::ZOrderBlockFilter(const hilbert::ZOrderCurve& curve)
 
 BlockSelection ZOrderBlockFilter::SelectStatistical(
     const fp::Fingerprint& query, const DistortionModel& model,
-    const FilterOptions& options) const {
-  return SelectStatisticalImpl(tree_, cell_shift_, query, model, options);
+    const FilterOptions& options, SelectionScratch* scratch) const {
+  return SelectStatisticalImpl(tree_, cell_shift_, query, model, options,
+                               scratch);
 }
 
 BlockSelection ZOrderBlockFilter::SelectRange(const fp::Fingerprint& query,
                                               double epsilon, int depth,
-                                              uint64_t max_blocks) const {
+                                              uint64_t max_blocks,
+                                              uint64_t max_nodes,
+                                              SelectionScratch* scratch) const {
   return SelectRangeImpl(tree_, cell_shift_, query, epsilon, depth,
-                         max_blocks);
+                         max_blocks, max_nodes, scratch);
 }
 
 }  // namespace s3vcd::core

@@ -1,6 +1,7 @@
 #ifndef S3VCD_CORE_FILTER_H_
 #define S3VCD_CORE_FILTER_H_
 
+#include <array>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -26,6 +27,20 @@ enum class FilterAlgorithm {
   kThresholdSearch,
 };
 
+/// Which probability-evaluation engine drives the statistical selection.
+/// Both engines produce bit-identical selections (same `ranges`, same
+/// `probability_mass`); they differ only in speed. Pinned by
+/// tests/filter_table_test.cc.
+enum class SelectionEngine {
+  /// Per-query, per-axis table of the distortion CDF at the cell
+  /// boundaries, filled lazily; node expansion runs zero transcendentals.
+  kBoundaryTable,
+  /// Evaluates DistortionModel::ComponentMass per node (the split axis per
+  /// child). Retained as the validation baseline and for BENCH_filter
+  /// speedup measurement.
+  kReference,
+};
+
 /// Deepest practically useful partition: beyond this, blocks are smaller
 /// than any realistic database occupancy and the candidate block population
 /// explodes (the paper's tuned p stays far below: ~log2 of the DB size).
@@ -39,14 +54,24 @@ struct FilterOptions {
   /// Target expectation alpha of the statistical query, in (0, 1).
   double alpha = 0.8;
   FilterAlgorithm algorithm = FilterAlgorithm::kBestFirst;
+  SelectionEngine engine = SelectionEngine::kBoundaryTable;
   /// Safety cap on the number of selected blocks.
   uint64_t max_blocks = 1 << 16;
   /// Safety cap on block-tree nodes expanded per query: bounds worst-case
-  /// time and memory; the selection returned is whatever mass was reached.
+  /// time and memory.
   uint64_t max_nodes = 1 << 18;
 };
 
 /// Result of the filtering step: the curve sections to scan.
+///
+/// Cap semantics, identical for BlockFilter and ZOrderBlockFilter and for
+/// every algorithm (they share one template): `nodes_visited` counts the
+/// root plus two per split, and a node is only split while
+/// `nodes_visited + 2 <= max_nodes`; blocks stop being emitted once
+/// `max_blocks` are collected. When either cap fires the selection is
+/// *partial but valid*: the blocks emitted up to that point (for the
+/// best-first algorithm, the highest-probability blocks) with
+/// `probability_mass` the mass actually covered — possibly below alpha.
 struct BlockSelection {
   /// Merged, sorted, disjoint key ranges [begin, end).
   std::vector<std::pair<BitKey, BitKey>> ranges;
@@ -56,9 +81,53 @@ struct BlockSelection {
   uint64_t nodes_visited = 0;
 };
 
+namespace internal {
+
+/// A lazily-filled per-query table: `value[r * cols + c]` is valid only
+/// when `stamp[...] == generation`. Begin() bumps the generation, so reuse
+/// across queries (or across filters of different geometry) clears nothing.
+struct LazyTable {
+  std::vector<double> value;
+  std::vector<uint32_t> stamp;
+  uint32_t generation = 0;
+  size_t cols = 0;
+
+  void Begin(size_t rows, size_t new_cols);
+};
+
+}  // namespace internal
+
+/// Reusable per-thread (or per-owner) workspace for block selection. After
+/// the first few queries warm its pools, a selection allocates nothing:
+/// the node arena, the heap/stack, the prefix list and the boundary tables
+/// are all recycled. The members are an implementation detail of
+/// filter.cc; callers only construct, reuse and (optionally) inspect
+/// ApproxBytes(). Not thread-safe: one scratch per thread — see
+/// ThreadLocalSelectionScratch().
+struct SelectionScratch {
+  internal::LazyTable cdf;  ///< [dims x (grid+1)] distortion CDF at boundaries
+  internal::LazyTable sq;   ///< [2*dims x (grid+1)] squared boundary distances
+  std::vector<hilbert::BlockTree::Node> arena;   ///< pooled slim nodes
+  std::vector<uint32_t> free_slots;              ///< recycled arena indices
+  std::vector<std::pair<double, uint32_t>> heap;  ///< (prob, slot) binary heap
+  std::vector<std::pair<double, uint32_t>> dfs;   ///< (prob, slot) DFS stack
+  std::vector<BitKey> prefixes;  ///< selected block prefixes, pre-merge
+
+  /// Approximate heap footprint of the pooled storage, for capacity
+  /// monitoring in long-running services.
+  uint64_t ApproxBytes() const;
+};
+
+/// The scratch used when a caller passes none. One instance per thread;
+/// batch services thread it through explicitly (see ShardedSearcher) so
+/// the dependency is visible, but plain callers may rely on this default.
+SelectionScratch& ThreadLocalSelectionScratch();
+
 /// Computes block selections for statistical and epsilon-range queries over
 /// a Hilbert curve partition. Stateless w.r.t. queries; the curve must
-/// outlive the filter.
+/// outlive the filter. Query methods are const and thread-safe as long as
+/// concurrent callers use distinct SelectionScratch objects (the default
+/// thread-local one qualifies).
 class BlockFilter {
  public:
   explicit BlockFilter(const hilbert::HilbertCurve& curve);
@@ -66,17 +135,22 @@ class BlockFilter {
   /// Statistical filtering (Section IV-A): selects p-blocks whose total
   /// probability under the distortion model centered at `query` reaches
   /// `options.alpha` (or the achievable maximum when the model's mass
-  /// within the grid is below alpha).
+  /// within the grid is below alpha). See BlockSelection for the partial
+  /// selection returned when `max_nodes` / `max_blocks` fire.
   BlockSelection SelectStatistical(const fp::Fingerprint& query,
                                    const DistortionModel& model,
-                                   const FilterOptions& options) const;
+                                   const FilterOptions& options,
+                                   SelectionScratch* scratch = nullptr) const;
 
   /// Geometric filtering for a spherical epsilon-range query: selects all
   /// p-blocks intersecting the ball of radius `epsilon` (byte units)
-  /// centered at `query`.
+  /// centered at `query`, under the same quantization-interval convention
+  /// as the statistical filter (cell range [lo, hi) covers bytes
+  /// [lo*w - 0.5, hi*w - 0.5), edge cells extended to +/- infinity).
   BlockSelection SelectRange(const fp::Fingerprint& query, double epsilon,
-                             int depth,
-                             uint64_t max_blocks = 1 << 20) const;
+                             int depth, uint64_t max_blocks = 1 << 20,
+                             uint64_t max_nodes = 1 << 18,
+                             SelectionScratch* scratch = nullptr) const;
 
   const hilbert::HilbertCurve& curve() const { return *curve_; }
 
@@ -92,9 +166,11 @@ std::vector<std::pair<BitKey, BitKey>> MergeBlockRanges(
     std::vector<BitKey> prefixes, int depth, int key_bits);
 
 /// The same filtering rules over the Z-order (Morton) partition instead of
-/// the Hilbert partition. Selection quality is identical in block count at
-/// equal depth; what differs is the *clustering* of the selected blocks
-/// along the curve — the property the paper's Hilbert choice buys (see
+/// the Hilbert partition, sharing the exact same selection template — cap
+/// accounting and partial-selection semantics are identical to
+/// BlockFilter. Selection quality is identical in block count at equal
+/// depth; what differs is the *clustering* of the selected blocks along
+/// the curve — the property the paper's Hilbert choice buys (see
 /// bench/ablation_curve_clustering).
 class ZOrderBlockFilter {
  public:
@@ -102,10 +178,12 @@ class ZOrderBlockFilter {
 
   BlockSelection SelectStatistical(const fp::Fingerprint& query,
                                    const DistortionModel& model,
-                                   const FilterOptions& options) const;
+                                   const FilterOptions& options,
+                                   SelectionScratch* scratch = nullptr) const;
   BlockSelection SelectRange(const fp::Fingerprint& query, double epsilon,
-                             int depth,
-                             uint64_t max_blocks = 1 << 20) const;
+                             int depth, uint64_t max_blocks = 1 << 20,
+                             uint64_t max_nodes = 1 << 18,
+                             SelectionScratch* scratch = nullptr) const;
 
   const hilbert::ZOrderCurve& curve() const { return *curve_; }
 

@@ -34,6 +34,12 @@ obs::Counter* const g_matches =
     obs::MetricsRegistry::Global().GetCounter("index.matches");
 obs::Counter* const g_refine_rejected =
     obs::MetricsRegistry::Global().GetCounter("index.refine_rejected");
+obs::Counter* const g_selection_ns =
+    obs::MetricsRegistry::Global().GetCounter("index.selection_ns");
+obs::Counter* const g_refine_ns =
+    obs::MetricsRegistry::Global().GetCounter("index.refine_ns");
+obs::Counter* const g_selection_cached =
+    obs::MetricsRegistry::Global().GetCounter("index.selection_cached");
 obs::Histogram* const g_filter_us =
     obs::MetricsRegistry::Global().GetHistogram("index.filter_us");
 obs::Histogram* const g_refine_us =
@@ -60,6 +66,11 @@ void RecordQueryMetrics(QueryKind kind, const QueryStats& stats,
   g_records_scanned->Increment(stats.records_scanned);
   g_matches->Increment(hits);
   g_refine_rejected->Increment(stats.records_scanned - hits);
+  g_selection_ns->Increment(stats.selection_ns);
+  g_refine_ns->Increment(stats.refine_ns);
+  if (stats.selection_cached) {
+    g_selection_cached->Increment();
+  }
   g_filter_us->Record(stats.filter_seconds * 1e6);
   g_refine_us->Record(stats.refine_seconds * 1e6);
 }
@@ -145,9 +156,11 @@ QueryResult S3Index::StatisticalQuery(const fp::Fingerprint& query,
   BlockSelection selection;
   {
     S3VCD_TRACE_SPAN("index.filter");
-    selection = filter_.SelectStatistical(query, model, options.filter);
+    selection = filter_.SelectStatistical(query, model, options.filter,
+                                          &ThreadLocalSelectionScratch());
   }
-  result.stats.filter_seconds = watch.ElapsedSeconds();
+  result.stats.selection_ns = watch.ElapsedNanos();
+  result.stats.filter_seconds = result.stats.selection_ns * 1e-9;
   result.stats.blocks_selected = selection.num_blocks;
   result.stats.nodes_visited = selection.nodes_visited;
   result.stats.probability_mass = selection.probability_mass;
@@ -158,7 +171,8 @@ QueryResult S3Index::StatisticalQuery(const fp::Fingerprint& query,
     ScanSelection(query, selection, options.refinement, options.radius,
                   &model, &result);
   }
-  result.stats.refine_seconds = watch.ElapsedSeconds();
+  result.stats.refine_ns = watch.ElapsedNanos();
+  result.stats.refine_seconds = result.stats.refine_ns * 1e-9;
   RecordQueryMetrics(QueryKind::kStatistical, result.stats,
                      result.matches.size());
   return result;
@@ -174,7 +188,8 @@ QueryResult S3Index::RangeQuery(const fp::Fingerprint& query, double epsilon,
     S3VCD_TRACE_SPAN("index.filter");
     selection = filter_.SelectRange(query, epsilon, depth);
   }
-  result.stats.filter_seconds = watch.ElapsedSeconds();
+  result.stats.selection_ns = watch.ElapsedNanos();
+  result.stats.filter_seconds = result.stats.selection_ns * 1e-9;
   result.stats.blocks_selected = selection.num_blocks;
   result.stats.nodes_visited = selection.nodes_visited;
 
@@ -184,7 +199,8 @@ QueryResult S3Index::RangeQuery(const fp::Fingerprint& query, double epsilon,
     ScanSelection(query, selection, RefinementMode::kRadiusFilter, epsilon,
                   nullptr, &result);
   }
-  result.stats.refine_seconds = watch.ElapsedSeconds();
+  result.stats.refine_ns = watch.ElapsedNanos();
+  result.stats.refine_seconds = result.stats.refine_ns * 1e-9;
   RecordQueryMetrics(QueryKind::kRange, result.stats, result.matches.size());
   return result;
 }
@@ -196,7 +212,8 @@ QueryResult S3Index::SequentialScan(const fp::Fingerprint& query,
   Stopwatch watch;
   const RefineSpec spec(RefinementMode::kRadiusFilter, epsilon, nullptr);
   ScanRecords(query, db_.block(), 0, db_.size(), spec, &result);
-  result.stats.refine_seconds = watch.ElapsedSeconds();
+  result.stats.refine_ns = watch.ElapsedNanos();
+  result.stats.refine_seconds = result.stats.refine_ns * 1e-9;
   RecordQueryMetrics(QueryKind::kSequentialScan, result.stats,
                      result.matches.size());
   return result;

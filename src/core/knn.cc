@@ -128,7 +128,8 @@ QueryResult KnnQuery(const S3Index& index, const fp::Fingerprint& query,
     result.matches[i] = best.top();
     best.pop();
   }
-  result.stats.refine_seconds = watch.ElapsedSeconds();
+  result.stats.refine_ns = watch.ElapsedNanos();
+  result.stats.refine_seconds = result.stats.refine_ns * 1e-9;
   return result;
 }
 

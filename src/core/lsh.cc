@@ -73,14 +73,16 @@ QueryResult LshIndex::RangeQueryImpl(const fp::Fingerprint& query,
       }
     }
   }
-  result.stats.filter_seconds = watch.ElapsedSeconds();
+  result.stats.selection_ns = watch.ElapsedNanos();
+  result.stats.filter_seconds = result.stats.selection_ns * 1e-9;
 
   watch.Reset();
   const RefineSpec spec(RefinementMode::kRadiusFilter, epsilon, nullptr);
   for (uint32_t idx : candidates) {
     RefineRecord(query, block_, idx, spec, &result);
   }
-  result.stats.refine_seconds = watch.ElapsedSeconds();
+  result.stats.refine_ns = watch.ElapsedNanos();
+  result.stats.refine_seconds = result.stats.refine_ns * 1e-9;
   return result;
 }
 

@@ -127,9 +127,12 @@ Status PseudoDiskSearcher::SearchBatch(
   Stopwatch watch;
   {
     S3VCD_TRACE_SPAN("pseudo_disk.filter_queries");
+    // One explicit scratch for the whole batch: the arena and boundary
+    // tables warm up on the first query and are recycled afterwards.
+    SelectionScratch& scratch = ThreadLocalSelectionScratch();
     for (size_t qi = 0; qi < queries.size(); ++qi) {
-      const BlockSelection selection =
-          filter.SelectStatistical(queries[qi], model, filter_options);
+      const BlockSelection selection = filter.SelectStatistical(
+          queries[qi], model, filter_options, &scratch);
       for (const auto& [begin, end] : selection.ranges) {
         const uint64_t pb = (begin >> shift).low64();
         const uint64_t pe = end.is_zero() ? (offsets_.size() - 1)

@@ -35,6 +35,18 @@ struct Match {
 struct QueryStats {
   double filter_seconds = 0;      ///< statistical / geometric filtering step
   double refine_seconds = 0;      ///< sequential scan of the curve sections
+  /// Nanosecond-resolution selection/refine split of the same two stages
+  /// (selection_ns mirrors filter_seconds, refine_ns mirrors
+  /// refine_seconds). Sub-microsecond cached selections vanish in
+  /// double-seconds aggregation; these feed the `# METRICS` blocks and the
+  /// `s3vcd_tool query` timing summary.
+  uint64_t selection_ns = 0;
+  uint64_t refine_ns = 0;
+  /// True when the block selection was served from a SelectionCache hit.
+  /// On a cached hit no tree walk ran: nodes_visited is reported as 0 and
+  /// selection_ns is the (tiny) lookup time, while blocks_selected /
+  /// probability_mass still describe the reused selection.
+  bool selection_cached = false;
   uint64_t blocks_selected = 0;   ///< card(B_alpha)
   uint64_t ranges_scanned = 0;    ///< merged contiguous curve sections
   uint64_t records_scanned = 0;   ///< fingerprints touched by refinement

@@ -111,7 +111,8 @@ class SeqScanSearcher final : public Searcher {
     Stopwatch watch;
     const RefineSpec spec(RefinementMode::kRadiusFilter, epsilon, nullptr);
     ScanRecords(query, db_.block(), 0, db_.size(), spec, &result);
-    result.stats.refine_seconds = watch.ElapsedSeconds();
+    result.stats.refine_ns = watch.ElapsedNanos();
+    result.stats.refine_seconds = result.stats.refine_ns * 1e-9;
     return result;
   }
 

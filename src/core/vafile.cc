@@ -102,7 +102,8 @@ QueryResult VAFile::RangeQueryImpl(const fp::Fingerprint& query,
   std::array<std::vector<double>, fp::kDims> lower_sq;
   std::array<std::vector<double>, fp::kDims> upper_sq;
   BuildBoundTables(query, &lower_sq, &upper_sq);
-  result.stats.filter_seconds = watch.ElapsedSeconds();
+  result.stats.selection_ns = watch.ElapsedNanos();
+  result.stats.filter_seconds = result.stats.selection_ns * 1e-9;
 
   watch.Reset();
   const double eps_sq = epsilon * epsilon;
@@ -122,7 +123,8 @@ QueryResult VAFile::RangeQueryImpl(const fp::Fingerprint& query,
     // Phase 2 (exact vector access) counts as a scanned record.
     RefineRecord(query, block_, i, spec, &result);
   }
-  result.stats.refine_seconds = watch.ElapsedSeconds();
+  result.stats.refine_ns = watch.ElapsedNanos();
+  result.stats.refine_seconds = result.stats.refine_ns * 1e-9;
   return result;
 }
 
@@ -181,7 +183,8 @@ QueryResult VAFile::KnnQuery(const fp::Fingerprint& query, int k) const {
       }
     }
   }
-  result.stats.filter_seconds = watch.ElapsedSeconds();
+  result.stats.selection_ns = watch.ElapsedNanos();
+  result.stats.filter_seconds = result.stats.selection_ns * 1e-9;
 
   // Phase 2: visit candidates by increasing lower bound; stop when the
   // next lower bound exceeds the kth exact distance found so far.
@@ -218,7 +221,8 @@ QueryResult VAFile::KnnQuery(const fp::Fingerprint& query, int k) const {
     result.matches[i] = best.top();
     best.pop();
   }
-  result.stats.refine_seconds = watch.ElapsedSeconds();
+  result.stats.refine_ns = watch.ElapsedNanos();
+  result.stats.refine_seconds = result.stats.refine_ns * 1e-9;
   return result;
 }
 

@@ -39,7 +39,17 @@ void BlockTree::Split(const Node& node, Node* child0, Node* child1) const {
 
   for (int b = 0; b < 2; ++b) {
     Node* child = (b == 0) ? child0 : child1;
-    *child = node;
+    // Slim copy: only the `dims` active box axes (the arrays are kMaxDims
+    // wide, so `*child = node` would also move the dead tail) plus the
+    // curve state. Matters because the selection filters split directly
+    // into pooled arena slots, millions of times per second.
+    for (int j = 0; j < dims; ++j) {
+      child->lo[j] = node.lo[j];
+      child->hi[j] = node.hi[j];
+    }
+    child->e = node.e;
+    child->d = node.d;
+    child->level = node.level;
     child->depth = node.depth + 1;
     child->prefix = node.prefix << 1;
     if (b == 1) {

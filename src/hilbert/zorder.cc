@@ -54,7 +54,13 @@ void ZOrderTree::Split(const Node& node, Node* child0, Node* child1) const {
   const uint32_t half = uint32_t{1} << (order - 1 - level);
   for (int b = 0; b < 2; ++b) {
     Node* child = (b == 0) ? child0 : child1;
-    *child = node;
+    // Slim copy, mirroring BlockTree::Split: only the `dims` active box
+    // axes. The Hilbert state fields (e/d/level/digit_prefix/s) are unused
+    // by the Z-order descent and are deliberately left untouched.
+    for (int j = 0; j < dims; ++j) {
+      child->lo[j] = node.lo[j];
+      child->hi[j] = node.hi[j];
+    }
     child->depth = node.depth + 1;
     child->prefix = node.prefix << 1;
     if (b == 1) {

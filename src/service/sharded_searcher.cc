@@ -149,12 +149,13 @@ void ShardedSearcher::CompactAll() {
 std::shared_ptr<const core::BlockSelection> ShardedSearcher::GetSelection(
     const fp::Fingerprint& query, const core::DistortionModel& model,
     const core::QueryOptions& options, SelectionCache* cache,
-    double* filter_seconds) const {
+    uint64_t* selection_ns, bool* cached) const {
   // One selection serves every shard: it depends only on the query, the
   // model and the filter options (see class comment). Shard 0's filter is
   // the canonical one (all shards share the curve geometry). Backends
   // without block structure have no filter — callers fall back to
   // per-shard statistical queries.
+  *cached = false;
   const core::BlockFilter* filter = shards_[0]->selection_filter();
   if (filter == nullptr) {
     return nullptr;
@@ -165,16 +166,20 @@ std::shared_ptr<const core::BlockSelection> ShardedSearcher::GetSelection(
     const SelectionCache::Key key =
         SelectionCache::MakeKey(query, options.filter, &model);
     selection = cache->Lookup(key);
-    if (selection == nullptr) {
+    if (selection != nullptr) {
+      *cached = true;
+    } else {
       selection = std::make_shared<const core::BlockSelection>(
-          filter->SelectStatistical(query, model, options.filter));
+          filter->SelectStatistical(query, model, options.filter,
+                                    &core::ThreadLocalSelectionScratch()));
       cache->Insert(key, selection);
     }
   } else {
     selection = std::make_shared<const core::BlockSelection>(
-        filter->SelectStatistical(query, model, options.filter));
+        filter->SelectStatistical(query, model, options.filter,
+                                  &core::ThreadLocalSelectionScratch()));
   }
-  *filter_seconds = watch.ElapsedSeconds();
+  *selection_ns = watch.ElapsedNanos();
   return selection;
 }
 
@@ -186,8 +191,9 @@ core::QueryResult ShardedSearcher::ScanShard(
   core::QueryResult partial;
   shards_[k]->ScanSelection(query, selection, options.refinement,
                             options.radius, &model, &partial);
-  shard_scan_us_[k]->Record(watch.ElapsedMicros());
-  partial.stats.refine_seconds = watch.ElapsedSeconds();
+  partial.stats.refine_ns = watch.ElapsedNanos();
+  partial.stats.refine_seconds = partial.stats.refine_ns * 1e-9;
+  shard_scan_us_[k]->Record(partial.stats.refine_ns * 1e-3);
   return partial;
 }
 
@@ -201,13 +207,19 @@ core::QueryResult ShardedSearcher::StatShard(
 }
 
 core::QueryResult ShardedSearcher::MergeShardResults(
-    const core::BlockSelection* selection, double filter_seconds,
-    std::vector<core::QueryResult> partials) const {
+    const core::BlockSelection* selection, uint64_t selection_ns,
+    bool selection_cached, std::vector<core::QueryResult> partials) const {
   core::QueryResult result;
   if (selection != nullptr) {
-    result.stats.filter_seconds = filter_seconds;
+    result.stats.selection_ns = selection_ns;
+    result.stats.filter_seconds = selection_ns * 1e-9;
+    result.stats.selection_cached = selection_cached;
     result.stats.blocks_selected = selection->num_blocks;
-    result.stats.nodes_visited = selection->nodes_visited;
+    // A cached hit ran no tree walk: re-reporting the stored walk's
+    // nodes_visited would double-count selection work in # METRICS blocks.
+    // blocks_selected / probability_mass stay — they describe the region
+    // actually scanned, cached or not.
+    result.stats.nodes_visited = selection_cached ? 0 : selection->nodes_visited;
     result.stats.probability_mass = selection->probability_mass;
   }
   for (core::QueryResult& partial : partials) {
@@ -216,10 +228,12 @@ core::QueryResult ShardedSearcher::MergeShardResults(
                           std::make_move_iterator(partial.matches.end()));
     // Summed across shards: CPU time, not wall time, under fan-out.
     result.stats.refine_seconds += partial.stats.refine_seconds;
+    result.stats.refine_ns += partial.stats.refine_ns;
     result.stats.ranges_scanned += partial.stats.ranges_scanned;
     result.stats.records_scanned += partial.stats.records_scanned;
     if (selection == nullptr) {
       result.stats.filter_seconds += partial.stats.filter_seconds;
+      result.stats.selection_ns += partial.stats.selection_ns;
       result.stats.blocks_selected += partial.stats.blocks_selected;
       result.stats.nodes_visited += partial.stats.nodes_visited;
       result.stats.probability_mass =
@@ -242,9 +256,10 @@ core::QueryResult ShardedSearcher::StatisticalQuery(
     const fp::Fingerprint& query, const core::DistortionModel& model,
     const core::QueryOptions& options, SelectionCache* cache) const {
   S3VCD_TRACE_SPAN("service.sharded_query");
-  double filter_seconds = 0;
+  uint64_t selection_ns = 0;
+  bool cached = false;
   const auto selection =
-      GetSelection(query, model, options, cache, &filter_seconds);
+      GetSelection(query, model, options, cache, &selection_ns, &cached);
   std::vector<core::QueryResult> partials;
   partials.reserve(shards_.size());
   for (size_t k = 0; k < shards_.size(); ++k) {
@@ -252,7 +267,7 @@ core::QueryResult ShardedSearcher::StatisticalQuery(
                            ? ScanShard(k, query, *selection, model, options)
                            : StatShard(k, query, model, options));
   }
-  return MergeShardResults(selection.get(), filter_seconds,
+  return MergeShardResults(selection.get(), selection_ns, cached,
                            std::move(partials));
 }
 
@@ -273,14 +288,21 @@ std::vector<core::QueryResult> ShardedSearcher::BatchStatisticalQuery(
   const size_t num_shards = shards_.size();
   const bool has_selection = shards_[0]->selection_filter() != nullptr;
   std::vector<std::shared_ptr<const core::BlockSelection>> selections(n);
-  std::vector<double> filter_seconds(n, 0.0);
+  std::vector<uint64_t> selection_ns(n, 0);
+  // uint8_t, not bool: concurrent writers of distinct vector<bool>
+  // elements would race on the shared word.
+  std::vector<uint8_t> cached(n, 0);
   if (has_selection) {
-    // Stage 1: block selections, one task per query (cache-aware).
+    // Stage 1: block selections, one task per query (cache-aware). Each
+    // pool worker reuses its own thread-local SelectionScratch, so a warm
+    // batch allocates nothing in this stage.
     for (size_t i = 0; i < n; ++i) {
       pool->Submit([this, &queries, &model, &options, cache, &selections,
-                    &filter_seconds, i] {
+                    &selection_ns, &cached, i] {
+        bool hit = false;
         selections[i] = GetSelection(queries[i], model, options, cache,
-                                     &filter_seconds[i]);
+                                     &selection_ns[i], &hit);
+        cached[i] = hit ? 1 : 0;
       });
     }
     pool->Wait();
@@ -307,8 +329,8 @@ std::vector<core::QueryResult> ShardedSearcher::BatchStatisticalQuery(
   pool->Wait();
 
   for (size_t i = 0; i < n; ++i) {
-    results[i] = MergeShardResults(selections[i].get(), filter_seconds[i],
-                                   std::move(partials[i]));
+    results[i] = MergeShardResults(selections[i].get(), selection_ns[i],
+                                   cached[i] != 0, std::move(partials[i]));
   }
   return results;
 }

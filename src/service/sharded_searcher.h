@@ -114,13 +114,15 @@ class ShardedSearcher {
   size_t RouteShard(const BitKey& key, uint32_t id) const;
 
   /// Computes (or fetches from `cache`) the shared block selection for one
-  /// query; stores the elapsed filter time in *filter_seconds. Returns
-  /// nullptr (and leaves *filter_seconds at 0) when the backend has no
-  /// block structure — callers then fall back to per-shard StatQuery.
+  /// query; stores the elapsed selection time in *selection_ns and whether
+  /// it was served by a cache hit in *cached (so stats don't re-report the
+  /// cached walk's nodes_visited as fresh work). Returns nullptr (leaving
+  /// *selection_ns at 0) when the backend has no block structure — callers
+  /// then fall back to per-shard StatQuery.
   std::shared_ptr<const core::BlockSelection> GetSelection(
       const fp::Fingerprint& query, const core::DistortionModel& model,
       const core::QueryOptions& options, SelectionCache* cache,
-      double* filter_seconds) const;
+      uint64_t* selection_ns, bool* cached) const;
 
   /// Refinement scan of shard `k` under a precomputed selection.
   core::QueryResult ScanShard(size_t k, const fp::Fingerprint& query,
@@ -139,8 +141,8 @@ class ShardedSearcher {
   /// only scanned); without one, the per-shard queries already published
   /// and the merge only aggregates the stats.
   core::QueryResult MergeShardResults(
-      const core::BlockSelection* selection, double filter_seconds,
-      std::vector<core::QueryResult> partials) const;
+      const core::BlockSelection* selection, uint64_t selection_ns,
+      bool selection_cached, std::vector<core::QueryResult> partials) const;
 
   ShardedSearcherOptions options_;
   std::vector<std::unique_ptr<core::Searcher>> shards_;

@@ -20,6 +20,14 @@ class Stopwatch {
   }
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
   double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+  /// Integer nanoseconds, for counters that must survive aggregation of
+  /// many sub-microsecond intervals (e.g. the selection/refine split).
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

@@ -1,0 +1,350 @@
+// Parity and convention tests for the block-selection engines: the
+// production per-axis boundary-table engine must be bit-identical to the
+// retained per-node reference implementation (same ranges, same
+// probability_mass, same node accounting), the statistical and geometric
+// filters must agree on the quantization-interval boundary convention,
+// and the per-thread scratch must be safe to reuse across queries,
+// geometries and threads. Runs under TSan via tools/run_tsan_tests.sh.
+
+#include <array>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/distortion_model.h"
+#include "core/filter.h"
+#include "core/synthetic_db.h"
+#include "hilbert/block_tree.h"
+#include "hilbert/hilbert_curve.h"
+#include "hilbert/zorder.h"
+#include "util/rng.h"
+
+namespace s3vcd::core {
+namespace {
+
+// Bit-exact equality of two selections: EXPECT_EQ on the doubles is
+// intentional — the engines are required to produce the *same* floating
+// point values, not merely close ones.
+void ExpectSelectionsIdentical(const BlockSelection& table,
+                               const BlockSelection& reference,
+                               const char* context) {
+  EXPECT_EQ(table.num_blocks, reference.num_blocks) << context;
+  EXPECT_EQ(table.nodes_visited, reference.nodes_visited) << context;
+  EXPECT_EQ(table.probability_mass, reference.probability_mass) << context;
+  ASSERT_EQ(table.ranges.size(), reference.ranges.size()) << context;
+  for (size_t i = 0; i < table.ranges.size(); ++i) {
+    EXPECT_EQ(table.ranges[i].first, reference.ranges[i].first) << context;
+    EXPECT_EQ(table.ranges[i].second, reference.ranges[i].second) << context;
+  }
+}
+
+std::array<double, fp::kDims> RandomSigmas(Rng* rng) {
+  std::array<double, fp::kDims> sigmas;
+  for (double& s : sigmas) {
+    s = rng->Uniform(3.0, 33.0);
+  }
+  return sigmas;
+}
+
+template <typename Filter>
+void RunEngineParitySweep(const Filter& filter, uint64_t seed) {
+  Rng rng(seed);
+  for (int trial = 0; trial < 40; ++trial) {
+    const fp::Fingerprint q = UniformRandomFingerprint(&rng);
+    const double sigma = rng.Uniform(3.0, 33.0);
+    const GaussianDistortionModel uniform_model(sigma);
+    const PerComponentGaussianModel per_component_model(RandomSigmas(&rng));
+    const DistortionModel& model =
+        trial % 2 == 0 ? static_cast<const DistortionModel&>(uniform_model)
+                       : per_component_model;
+    FilterOptions options;
+    options.alpha = rng.Uniform(0.3, 0.99);
+    options.depth = static_cast<int>(rng.UniformInt(4, 20));
+    options.algorithm = trial % 3 == 0 ? FilterAlgorithm::kThresholdSearch
+                                       : FilterAlgorithm::kBestFirst;
+    options.engine = SelectionEngine::kBoundaryTable;
+    const BlockSelection table = filter.SelectStatistical(q, model, options);
+    options.engine = SelectionEngine::kReference;
+    const BlockSelection reference =
+        filter.SelectStatistical(q, model, options);
+    ExpectSelectionsIdentical(table, reference, "randomized sweep");
+  }
+}
+
+TEST(EngineParityTest, TableMatchesReferenceOnHilbert) {
+  const hilbert::HilbertCurve curve(fp::kDims, 8);
+  const BlockFilter filter(curve);
+  RunEngineParitySweep(filter, 101);
+}
+
+TEST(EngineParityTest, TableMatchesReferenceOnZOrder) {
+  const hilbert::ZOrderCurve curve(fp::kDims, 8);
+  const ZOrderBlockFilter filter(curve);
+  RunEngineParitySweep(filter, 202);
+}
+
+TEST(EngineParityTest, TableMatchesReferenceOnLowOrderCurve) {
+  // A coarse grid exercises the cell_shift > 0 boundary byte mapping.
+  const hilbert::HilbertCurve curve(fp::kDims, 4);
+  const BlockFilter filter(curve);
+  RunEngineParitySweep(filter, 303);
+}
+
+TEST(EngineParityTest, EdgeCellTailAbsorption) {
+  // Queries sitting on the grid edges force the +/- infinity boundary
+  // entries: the edge cells absorb the clamped distortion tails, so the
+  // root mass is exactly 1 and both engines must agree on every block.
+  const hilbert::HilbertCurve curve(fp::kDims, 8);
+  const BlockFilter filter(curve);
+  Rng rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    fp::Fingerprint q;
+    for (int j = 0; j < fp::kDims; ++j) {
+      const int r = static_cast<int>(rng.UniformInt(0, 2));
+      q[j] = r == 0 ? 0 : (r == 1 ? 255 : 128);
+    }
+    const GaussianDistortionModel model(20.0);
+    FilterOptions options;
+    options.alpha = 0.9;
+    options.depth = 12;
+    options.engine = SelectionEngine::kBoundaryTable;
+    const BlockSelection table = filter.SelectStatistical(q, model, options);
+    options.engine = SelectionEngine::kReference;
+    const BlockSelection reference =
+        filter.SelectStatistical(q, model, options);
+    ExpectSelectionsIdentical(table, reference, "edge-cell query");
+    EXPECT_GE(table.probability_mass, 0.9 * 0.999)
+        << "tail absorption keeps alpha reachable at the grid edge";
+  }
+}
+
+TEST(EngineParityTest, CappedSelectionsAgree) {
+  // When alpha is unreachable within the caps the selection is partial;
+  // the engines must truncate identically (same emitted blocks, same
+  // node accounting).
+  const hilbert::HilbertCurve curve(fp::kDims, 8);
+  const BlockFilter filter(curve);
+  Rng rng(7);
+  const GaussianDistortionModel model(40.0);  // wide: many blocks needed
+  for (const bool cap_nodes : {false, true}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      const fp::Fingerprint q = UniformRandomFingerprint(&rng);
+      FilterOptions options;
+      options.alpha = 0.999;
+      options.depth = 16;
+      if (cap_nodes) {
+        options.max_nodes = 257;
+      } else {
+        options.max_blocks = 64;
+      }
+      options.engine = SelectionEngine::kBoundaryTable;
+      const BlockSelection table =
+          filter.SelectStatistical(q, model, options);
+      options.engine = SelectionEngine::kReference;
+      const BlockSelection reference =
+          filter.SelectStatistical(q, model, options);
+      ExpectSelectionsIdentical(table, reference,
+                                cap_nodes ? "max_nodes cap" : "max_blocks cap");
+      EXPECT_LT(table.probability_mass, 0.999) << "cap must have fired";
+      if (cap_nodes) {
+        EXPECT_LE(table.nodes_visited, options.max_nodes);
+      } else {
+        EXPECT_LE(table.num_blocks, options.max_blocks);
+      }
+    }
+  }
+}
+
+TEST(EngineParityTest, CapAccountingIdenticalAcrossCurves) {
+  // The Hilbert and Z-order filters share one selection template, so under
+  // identical caps they must report the same nodes_visited arithmetic
+  // (root + 2 per split, never exceeding max_nodes) and block cap.
+  const hilbert::HilbertCurve hcurve(fp::kDims, 8);
+  const hilbert::ZOrderCurve zcurve(fp::kDims, 8);
+  const BlockFilter hfilter(hcurve);
+  const ZOrderBlockFilter zfilter(zcurve);
+  Rng rng(11);
+  const GaussianDistortionModel model(35.0);
+  for (int trial = 0; trial < 10; ++trial) {
+    const fp::Fingerprint q = UniformRandomFingerprint(&rng);
+    FilterOptions options;
+    options.alpha = 0.999;
+    options.depth = 16;
+    options.max_nodes = 513;
+    options.max_blocks = 128;
+    const BlockSelection h = hfilter.SelectStatistical(q, model, options);
+    const BlockSelection z = zfilter.SelectStatistical(q, model, options);
+    for (const BlockSelection* sel : {&h, &z}) {
+      EXPECT_LE(sel->nodes_visited, options.max_nodes);
+      EXPECT_EQ(sel->nodes_visited % 2, 1u) << "root + 2 per split";
+      EXPECT_LE(sel->num_blocks, options.max_blocks);
+    }
+  }
+}
+
+TEST(BoundaryConventionTest, StatisticalAndRangeAgreeOnBoundaryQuery) {
+  // Pin the shared quantization-interval convention: cell range [lo, hi)
+  // covers bytes [lo*w - 0.5, hi*w - 0.5). Order 4 (w = 16) at depth 20
+  // halves every axis once, with the cut at cell 8 = byte 127.5. The query
+  // sits at 128 on axis 0 (0.5 bytes above the cut) and deep inside the
+  // lower half elsewhere, so with a tight model (sigma 0.25) its own block
+  // holds ~Phi(2) ~ 0.977 of the mass and the axis-0 neighbor holds the
+  // rest: alpha = 0.99 selects exactly those two blocks. A range query of
+  // radius 0.7 must select exactly the same two: the neighbor is 0.5 bytes
+  // away under the unified convention. (Under the old integer-hull range
+  // convention [lo*w, hi*w - 1] the neighbor appeared 1.0 away and the
+  // filters disagreed on boundary queries.)
+  const hilbert::HilbertCurve curve(fp::kDims, 4);
+  const BlockFilter filter(curve);
+  fp::Fingerprint q;
+  q.fill(64);
+  q[0] = 128;
+  const GaussianDistortionModel model(0.25);
+  FilterOptions options;
+  options.alpha = 0.99;
+  options.depth = fp::kDims;  // one halving per axis
+  const BlockSelection statistical =
+      filter.SelectStatistical(q, model, options);
+  EXPECT_EQ(statistical.num_blocks, 2u);
+  const BlockSelection range =
+      filter.SelectRange(q, /*epsilon=*/0.7, /*depth=*/fp::kDims);
+  EXPECT_EQ(range.num_blocks, 2u);
+  ASSERT_EQ(range.ranges.size(), statistical.ranges.size());
+  for (size_t i = 0; i < range.ranges.size(); ++i) {
+    EXPECT_EQ(range.ranges[i].first, statistical.ranges[i].first);
+    EXPECT_EQ(range.ranges[i].second, statistical.ranges[i].second);
+  }
+}
+
+TEST(BoundaryConventionTest, RangeMatchesDirectBoxDistanceDfs) {
+  // The lazily-tabulated squared-distance path must reproduce a direct
+  // (untabulated) DFS over the same tree and convention.
+  const hilbert::HilbertCurve curve(fp::kDims, 8);
+  const BlockFilter filter(curve);
+  const hilbert::BlockTree tree(curve);
+  Rng rng(21);
+  for (int trial = 0; trial < 10; ++trial) {
+    const fp::Fingerprint q = UniformRandomFingerprint(&rng);
+    const double epsilon = rng.Uniform(40.0, 120.0);
+    const int depth = static_cast<int>(rng.UniformInt(6, 14));
+    const double eps_sq = epsilon * epsilon;
+    auto box_dist_sq = [&](const hilbert::BlockTree::Node& n) {
+      double acc = 0;
+      for (int j = 0; j < fp::kDims; ++j) {
+        const double lo = n.lo[j] == 0 ? -1e30 : n.lo[j] - 0.5;
+        const double hi = n.hi[j] == curve.grid_size()
+                              ? 1e30
+                              : n.hi[j] - 0.5;
+        const double v = static_cast<double>(q[j]);
+        if (v < lo) {
+          acc += (lo - v) * (lo - v);
+        } else if (v > hi) {
+          acc += (v - hi) * (v - hi);
+        }
+      }
+      return acc;
+    };
+    std::vector<BitKey> prefixes;
+    std::vector<hilbert::BlockTree::Node> stack;
+    stack.push_back(tree.Root());
+    while (!stack.empty()) {
+      const hilbert::BlockTree::Node n = stack.back();
+      stack.pop_back();
+      if (box_dist_sq(n) > eps_sq) {
+        continue;
+      }
+      if (n.depth == depth) {
+        prefixes.push_back(n.prefix);
+        continue;
+      }
+      hilbert::BlockTree::Node c0;
+      hilbert::BlockTree::Node c1;
+      tree.Split(n, &c0, &c1);
+      stack.push_back(c0);
+      stack.push_back(c1);
+    }
+    const auto expected =
+        MergeBlockRanges(std::move(prefixes), depth, curve.key_bits());
+    const BlockSelection sel = filter.SelectRange(q, epsilon, depth);
+    ASSERT_EQ(sel.ranges.size(), expected.size()) << "trial " << trial;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(sel.ranges[i].first, expected[i].first);
+      EXPECT_EQ(sel.ranges[i].second, expected[i].second);
+    }
+  }
+}
+
+TEST(SelectionScratchTest, ReusedAcrossQueriesAndGeometries) {
+  // One scratch object serving interleaved queries against filters of
+  // different order/geometry must give the same selections as fresh
+  // scratches (the generation stamps isolate queries; no clearing).
+  const hilbert::HilbertCurve fine(fp::kDims, 8);
+  const hilbert::HilbertCurve coarse(fp::kDims, 4);
+  const BlockFilter fine_filter(fine);
+  const BlockFilter coarse_filter(coarse);
+  const GaussianDistortionModel model(15.0);
+  Rng rng(31);
+  SelectionScratch shared;
+  for (int trial = 0; trial < 10; ++trial) {
+    const fp::Fingerprint q = UniformRandomFingerprint(&rng);
+    FilterOptions options;
+    options.alpha = 0.85;
+    options.depth = 12;
+    const BlockFilter& filter = trial % 2 == 0 ? fine_filter : coarse_filter;
+    SelectionScratch fresh;
+    const BlockSelection with_shared =
+        filter.SelectStatistical(q, model, options, &shared);
+    const BlockSelection with_fresh =
+        filter.SelectStatistical(q, model, options, &fresh);
+    ExpectSelectionsIdentical(with_shared, with_fresh, "scratch reuse");
+    const BlockSelection range_shared =
+        filter.SelectRange(q, 80.0, 10, 1 << 20, 1 << 18, &shared);
+    const BlockSelection range_fresh = filter.SelectRange(q, 80.0, 10);
+    ExpectSelectionsIdentical(range_shared, range_fresh,
+                              "scratch reuse (range)");
+  }
+  EXPECT_GT(shared.ApproxBytes(), 0u);
+}
+
+TEST(SelectionScratchTest, ConcurrentThreadLocalScratchIsSafe) {
+  // Concurrent selections through the default thread-local scratch must
+  // be race-free (exercised under TSan) and agree with serial results.
+  const hilbert::HilbertCurve curve(fp::kDims, 8);
+  const BlockFilter filter(curve);
+  const GaussianDistortionModel model(18.0);
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 16;
+  std::vector<fp::Fingerprint> queries;
+  Rng rng(55);
+  for (int i = 0; i < kThreads * kQueriesPerThread; ++i) {
+    queries.push_back(UniformRandomFingerprint(&rng));
+  }
+  FilterOptions options;
+  options.alpha = 0.9;
+  options.depth = 12;
+  std::vector<BlockSelection> serial(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    serial[i] = filter.SelectStatistical(queries[i], model, options);
+  }
+  std::vector<BlockSelection> parallel(queries.size());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        const size_t idx = static_cast<size_t>(t * kQueriesPerThread + i);
+        parallel[idx] = filter.SelectStatistical(queries[idx], model, options);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ExpectSelectionsIdentical(parallel[i], serial[i], "concurrent");
+  }
+}
+
+}  // namespace
+}  // namespace s3vcd::core

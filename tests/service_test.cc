@@ -119,6 +119,34 @@ TEST(ShardedSearcherTest, BatchWithPoolAndCacheMatchesSerial) {
   EXPECT_GT(cache.misses(), 0u);
 }
 
+TEST(ShardedSearcherTest, CachedSelectionTaggedInStats) {
+  auto searcher = ShardedSearcher::Build(BuildDb(3000, 78), {});
+  ASSERT_TRUE(searcher.ok());
+  const GaussianDistortionModel model(14.0);
+  const QueryOptions options = TestQueryOptions();
+  Rng rng(9);
+  const fp::Fingerprint q = UniformRandomFingerprint(&rng);
+
+  SelectionCache cache(16);
+  const core::QueryResult first =
+      searcher->StatisticalQuery(q, model, options, &cache);
+  EXPECT_FALSE(first.stats.selection_cached);
+  EXPECT_GT(first.stats.nodes_visited, 0u);
+  EXPECT_GT(first.stats.blocks_selected, 0u);
+
+  // The repeat reuses the cached selection: the hit is tagged and the
+  // selection work is reported as zero so aggregated # METRICS counters
+  // do not double-count the first query's tree expansion.
+  const core::QueryResult second =
+      searcher->StatisticalQuery(q, model, options, &cache);
+  EXPECT_TRUE(second.stats.selection_cached);
+  EXPECT_EQ(second.stats.nodes_visited, 0u);
+  EXPECT_EQ(second.stats.blocks_selected, first.stats.blocks_selected);
+  EXPECT_EQ(second.stats.probability_mass, first.stats.probability_mass);
+  EXPECT_EQ(ToSet(second.matches), ToSet(first.matches));
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
 TEST(ShardedSearcherTest, InsertRoutesToOneShardAndIsVisible) {
   for (const ShardingPolicy policy :
        {ShardingPolicy::kHilbertRange, ShardingPolicy::kRefIdHash}) {

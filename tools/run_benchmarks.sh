@@ -7,12 +7,19 @@
 # auto-vectorization off), so the speedup is kernel work, not compiler
 # luck.
 #
-# Usage: tools/run_benchmarks.sh [build-dir [output-json]]
+# Also runs the block-selection micro benchmarks (BM_SelectStatistical /
+# BM_SelectRange over the same corpus's filter) and writes BENCH_filter.json:
+# selection microseconds per query at depths 8-20 for the boundary-table
+# engine vs the retained reference engine, plus the table-over-reference
+# speedup per depth, and the geometric range-filter timings.
+#
+# Usage: tools/run_benchmarks.sh [build-dir [scan-json [filter-json]]]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
 out_json="${2:-${repo_root}/BENCH_scan.json}"
+filter_json="${3:-${repo_root}/BENCH_filter.json}"
 
 if [[ ! -x "${build_dir}/bench/micro_benchmarks" ]]; then
   cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release
@@ -78,3 +85,64 @@ if speedup is not None:
 PY
 
 echo "Wrote ${out_json}"
+
+filter_raw="$(mktemp)"
+trap 'rm -f "${raw_json}" "${filter_raw}"' EXIT
+
+"${build_dir}/bench/micro_benchmarks" \
+  --benchmark_filter='^BM_Select' \
+  --benchmark_format=json \
+  --benchmark_out="${filter_raw}" \
+  --benchmark_out_format=json >&2
+
+python3 - "${filter_raw}" "${filter_json}" <<'PY'
+import json
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+# Labels: "stat:table:d12" / "stat:reference:d12" / "range:d12".
+statistical = {}
+geometric = {}
+for b in raw.get("benchmarks", []):
+    if b.get("run_type") != "iteration" or "error_occurred" in b:
+        continue
+    parts = b.get("label", "").split(":")
+    us_per_query = b.get("real_time", 0.0) * 1e-3  # reported in ns
+    if len(parts) == 3 and parts[0] == "stat":
+        engine, depth = parts[1], int(parts[2].lstrip("d"))
+        statistical.setdefault(depth, {})[engine + "_us"] = us_per_query
+    elif len(parts) == 2 and parts[0] == "range":
+        geometric[int(parts[1].lstrip("d"))] = {"us_per_query": us_per_query}
+
+for depth, entry in statistical.items():
+    table = entry.get("table_us", 0.0)
+    reference = entry.get("reference_us", 0.0)
+    entry["speedup"] = (reference / table) if table > 0 else None
+
+result = {
+    "benchmark": "BM_SelectStatistical / BM_SelectRange",
+    "description": ("block selection over the shared 200k-record corpus "
+                    "(sigma 18 Gaussian model, alpha 0.8 / epsilon 90), "
+                    "microseconds per query by tree depth; 'table' is the "
+                    "per-axis boundary-table engine, 'reference' the "
+                    "per-node ComponentMass engine"),
+    "statistical_by_depth":
+        {str(d): statistical[d] for d in sorted(statistical)},
+    "range_by_depth": {str(d): geometric[d] for d in sorted(geometric)},
+    "context": raw.get("context", {}),
+}
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+for depth in sorted(statistical):
+    entry = statistical[depth]
+    speedup = entry.get("speedup")
+    print(f"depth {depth:2d}: table {entry.get('table_us', 0.0):8.1f} us  "
+          f"reference {entry.get('reference_us', 0.0):8.1f} us  "
+          f"speedup {speedup:.2f}x" if speedup else f"depth {depth}: n/a")
+PY
+
+echo "Wrote ${filter_json}"

@@ -542,6 +542,8 @@ int CmdQuery(const Flags& flags) {
     totals.nodes_visited += result.stats.nodes_visited;
     totals.ranges_scanned += result.stats.ranges_scanned;
     totals.records_scanned += result.stats.records_scanned;
+    totals.selection_ns += result.stats.selection_ns;
+    totals.refine_ns += result.stats.refine_ns;
     const double target_dist =
         fp::Distance(q, targets[static_cast<size_t>(i)]);
     for (const auto& m : result.matches) {
@@ -558,6 +560,11 @@ int CmdQuery(const Flags& flags) {
       core::ActiveScanKernelName(), 100.0 * hits / count,
       watch.ElapsedMillis() / count,
       static_cast<double>(matches) / count);
+  std::printf(
+      "selection/refine split: selection %.1f us/query, refine %.1f "
+      "us/query\n",
+      static_cast<double>(totals.selection_ns) * 1e-3 / count,
+      static_cast<double>(totals.refine_ns) * 1e-3 / count);
 
   // Per-query QueryStats and the global registry count the same events;
   // print both so a metrics consumer can cross-check (they must agree).
