@@ -1,0 +1,237 @@
+#include "obs/interval_reporter.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "util/table.h"
+
+namespace s3vcd::obs {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+bool HasPrefix(const std::string& name, const std::string& prefix) {
+  return prefix.empty() ||
+         (name.size() >= prefix.size() &&
+          name.compare(0, prefix.size(), prefix) == 0);
+}
+
+void DefaultSink(const std::string& line) {
+  std::fputs(line.c_str(), stderr);
+  std::fputc('\n', stderr);
+}
+
+/// Finds `name` in a name-sorted snapshot vector via a resumable cursor
+/// (both snapshots iterate the same sorted registry, so lookups are a
+/// two-pointer merge, not a quadratic scan). Returns nullptr when the name
+/// was not yet registered at the previous snapshot.
+template <typename T>
+const T* FindSorted(const std::vector<T>& values, size_t& cursor,
+                    const std::string& name) {
+  while (cursor < values.size() && values[cursor].name < name) {
+    ++cursor;
+  }
+  if (cursor < values.size() && values[cursor].name == name) {
+    return &values[cursor];
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string IntervalDelta::ToJsonl() const {
+  std::string out = "{\"seq\": " + std::to_string(sequence) +
+                    ", \"interval_s\": " + FormatDouble(interval_seconds);
+  out += ", \"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out += i == 0 ? "" : ", ";
+    out += "\"" + counters[i].name +
+           "\": {\"delta\": " + std::to_string(counters[i].delta) +
+           ", \"rate\": " + FormatDouble(counters[i].rate_per_sec) + "}";
+  }
+  out += "}, \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out += i == 0 ? "" : ", ";
+    out += "\"" + gauges[i].name +
+           "\": " + std::to_string(gauges[i].value);
+  }
+  out += "}, \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramDelta& h = histograms[i];
+    out += i == 0 ? "" : ", ";
+    out += "\"" + h.name +
+           "\": {\"count\": " + std::to_string(h.delta_count) +
+           ", \"rate\": " + FormatDouble(h.rate_per_sec) +
+           ", \"mean\": " + FormatDouble(h.interval_mean) +
+           ", \"p50\": " + FormatDouble(h.p50) +
+           ", \"p95\": " + FormatDouble(h.p95) +
+           ", \"p99\": " + FormatDouble(h.p99) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string IntervalDelta::ToText() const {
+  std::string out = "interval #" + std::to_string(sequence) + " (" +
+                    FormatDouble(interval_seconds) + "s)\n";
+  if (!counters.empty() || !gauges.empty()) {
+    Table table({"metric", "delta", "rate/s"});
+    for (const CounterDelta& c : counters) {
+      table.AddRow().Add(c.name).Add(c.delta).Add(c.rate_per_sec, 1);
+    }
+    for (const GaugeValue& g : gauges) {
+      table.AddRow().Add(g.name).Add(g.value).Add("-");
+    }
+    out += table.ToText();
+  }
+  if (!histograms.empty()) {
+    Table table({"histogram", "count", "rate/s", "mean", "p50", "p95",
+                 "p99"});
+    for (const HistogramDelta& h : histograms) {
+      table.AddRow()
+          .Add(h.name)
+          .Add(h.delta_count)
+          .Add(h.rate_per_sec, 1)
+          .Add(h.interval_mean, 2)
+          .Add(h.p50, 2)
+          .Add(h.p95, 2)
+          .Add(h.p99, 2);
+    }
+    out += table.ToText();
+  }
+  return out;
+}
+
+IntervalReporter::IntervalReporter(Options options)
+    : options_(std::move(options)) {
+  if (!options_.sink) {
+    options_.sink = DefaultSink;
+  }
+  // The baseline snapshot: the first tick reports activity since
+  // construction, not since process start.
+  previous_ = MetricsRegistry::Global().Snapshot();
+  previous_time_ = std::chrono::steady_clock::now();
+}
+
+IntervalReporter::~IntervalReporter() { Stop(); }
+
+void IntervalReporter::Start() {
+  std::lock_guard<std::mutex> lock(stop_mutex_);
+  if (thread_.joinable()) {
+    return;
+  }
+  stop_requested_ = false;
+  thread_ = std::thread([this] { RunLoop(); });
+}
+
+void IntervalReporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void IntervalReporter::RunLoop() {
+  std::unique_lock<std::mutex> lock(stop_mutex_);
+  while (!stop_requested_) {
+    if (stop_cv_.wait_for(lock,
+                          std::chrono::milliseconds(options_.interval_ms),
+                          [this] { return stop_requested_; })) {
+      break;
+    }
+    lock.unlock();
+    Tick();
+    lock.lock();
+  }
+}
+
+IntervalDelta IntervalReporter::Tick(double interval_seconds_override) {
+  std::lock_guard<std::mutex> lock(tick_mutex_);
+  const auto now = std::chrono::steady_clock::now();
+  MetricsSnapshot current = MetricsRegistry::Global().Snapshot();
+
+  IntervalDelta delta;
+  delta.sequence = ++sequence_;
+  delta.interval_seconds =
+      interval_seconds_override > 0
+          ? interval_seconds_override
+          : std::chrono::duration<double>(now - previous_time_).count();
+  // Guard the rate division; a zero interval reports raw deltas as rates.
+  const double seconds =
+      delta.interval_seconds > 0 ? delta.interval_seconds : 1.0;
+
+  size_t counter_cursor = 0;
+  for (const auto& c : current.counters) {
+    if (!HasPrefix(c.name, options_.prefix_filter)) {
+      continue;
+    }
+    const auto* prev =
+        FindSorted(previous_.counters, counter_cursor, c.name);
+    const uint64_t d = c.value - (prev != nullptr ? prev->value : 0);
+    if (d == 0 && options_.skip_idle) {
+      continue;
+    }
+    delta.counters.push_back(
+        {c.name, d, static_cast<double>(d) / seconds});
+  }
+
+  for (const auto& g : current.gauges) {
+    if (!HasPrefix(g.name, options_.prefix_filter)) {
+      continue;
+    }
+    delta.gauges.push_back({g.name, g.value});
+  }
+
+  size_t histogram_cursor = 0;
+  for (const auto& h : current.histograms) {
+    if (!HasPrefix(h.name, options_.prefix_filter)) {
+      continue;
+    }
+    const auto* prev =
+        FindSorted(previous_.histograms, histogram_cursor, h.name);
+    // The interval view is itself a HistogramValue (bucket-count deltas),
+    // so the interpolated Percentile applies unchanged. Bucket counts are
+    // monotone per shard, so current >= previous holds bucket-wise even
+    // with writers mid-flight.
+    MetricsSnapshot::HistogramValue window;
+    window.name = h.name;
+    window.bounds = h.bounds;
+    window.counts = h.counts;
+    window.count = h.count - (prev != nullptr ? prev->count : 0);
+    window.sum = h.sum - (prev != nullptr ? prev->sum : 0);
+    window.min = h.min;
+    window.max = h.max;
+    if (prev != nullptr) {
+      for (size_t i = 0; i < window.counts.size() && i < prev->counts.size();
+           ++i) {
+        window.counts[i] -= prev->counts[i];
+      }
+    }
+    if (window.count == 0 && options_.skip_idle) {
+      continue;
+    }
+    delta.histograms.push_back(
+        {h.name, window.count, static_cast<double>(window.count) / seconds,
+         window.count == 0 ? 0.0 : window.sum / window.count,
+         window.Percentile(0.5), window.Percentile(0.95),
+         window.Percentile(0.99)});
+  }
+
+  previous_ = std::move(current);
+  previous_time_ = now;
+
+  options_.sink(options_.format == Format::kJsonl ? delta.ToJsonl()
+                                                  : delta.ToText());
+  return delta;
+}
+
+}  // namespace s3vcd::obs

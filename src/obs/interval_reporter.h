@@ -1,0 +1,128 @@
+#ifndef S3VCD_OBS_INTERVAL_REPORTER_H_
+#define S3VCD_OBS_INTERVAL_REPORTER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+// Periodic delta reporter over the metrics registry: snapshots every
+// interval and emits what changed *since the previous snapshot* — event
+// rates per second rather than lifetime totals — as JSONL (one object per
+// line, greppable / plottable) or a live text table. Counters and
+// histogram bucket counts are monotone, so per-interval deltas are exact
+// even under concurrent writers: the sum of all interval deltas equals the
+// final counter value minus the baseline, no matter how the writes
+// interleave with the snapshots.
+//
+//   obs::IntervalReporter::Options opts;
+//   opts.interval_ms = 1000;
+//   opts.prefix_filter = "service.";
+//   obs::IntervalReporter reporter(opts);
+//   reporter.Start();          // background thread; Stop() or dtor joins
+//   ...
+//   reporter.Stop();
+//
+// Tests and single-threaded drivers call Tick() directly instead of
+// Start(): it performs one snapshot/diff/emit cycle deterministically and
+// returns the structured delta.
+
+namespace s3vcd::obs {
+
+/// What changed between two consecutive snapshots.
+struct IntervalDelta {
+  struct CounterDelta {
+    std::string name;
+    uint64_t delta = 0;
+    double rate_per_sec = 0;
+  };
+  /// Gauges are instantaneous, so the report carries the current value.
+  struct GaugeValue {
+    std::string name;
+    int64_t value = 0;
+  };
+  struct HistogramDelta {
+    std::string name;
+    uint64_t delta_count = 0;
+    double rate_per_sec = 0;
+    double interval_mean = 0;  ///< delta_sum / delta_count
+    /// Interval percentiles, interpolated from the delta bucket counts
+    /// (extrema clamp uses the lifetime min/max — the per-interval extrema
+    /// are not tracked separately).
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+  };
+
+  uint64_t sequence = 0;        ///< tick number, starting at 1
+  double interval_seconds = 0;  ///< measured wall time since previous tick
+  std::vector<CounterDelta> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramDelta> histograms;
+
+  /// One compact JSON object, no trailing newline (JSONL-ready).
+  std::string ToJsonl() const;
+
+  /// Aligned tables (util/table.h) for live terminal consumption.
+  std::string ToText() const;
+};
+
+class IntervalReporter {
+ public:
+  enum class Format { kJsonl, kText };
+
+  struct Options {
+    int interval_ms = 1000;
+    Format format = Format::kJsonl;
+    /// When non-empty, only metrics whose name starts with this prefix are
+    /// reported (e.g. "service.").
+    std::string prefix_filter;
+    /// Receives the formatted report each tick. Defaults to stderr.
+    std::function<void(const std::string&)> sink;
+    /// Metrics that did not change this interval are omitted from the
+    /// report (gauges are always kept).
+    bool skip_idle = true;
+  };
+
+  explicit IntervalReporter(Options options);
+  ~IntervalReporter();
+
+  IntervalReporter(const IntervalReporter&) = delete;
+  IntervalReporter& operator=(const IntervalReporter&) = delete;
+
+  /// Launches the background reporting thread. No-op if already running.
+  void Start();
+
+  /// Stops and joins the background thread; emits nothing further. Safe to
+  /// call repeatedly or without Start().
+  void Stop();
+
+  /// One synchronous snapshot/diff/emit cycle against the global registry.
+  /// Feeds the sink exactly like a background tick and returns the
+  /// structured delta. `interval_seconds_override` > 0 substitutes for the
+  /// measured elapsed time (deterministic rate assertions in tests).
+  IntervalDelta Tick(double interval_seconds_override = 0);
+
+ private:
+  void RunLoop();
+
+  Options options_;
+  MetricsSnapshot previous_;
+  std::chrono::steady_clock::time_point previous_time_;
+  uint64_t sequence_ = 0;
+  std::mutex tick_mutex_;  ///< serializes Tick() against the loop thread
+
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+};
+
+}  // namespace s3vcd::obs
+
+#endif  // S3VCD_OBS_INTERVAL_REPORTER_H_

@@ -26,10 +26,24 @@ double MetricsSnapshot::HistogramValue::Percentile(double p) const {
   const double target = p * static_cast<double>(count);
   uint64_t cumulative = 0;
   for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) {
+      continue;
+    }
+    const uint64_t before = cumulative;
     cumulative += counts[i];
-    if (static_cast<double>(cumulative) >= target && counts[i] > 0) {
-      // Overflow bucket: the observed max is the only finite bound.
-      return i < bounds.size() ? bounds[i] : max;
+    if (static_cast<double>(cumulative) >= target) {
+      // Interpolate linearly within the containing bucket, assuming the
+      // bucket's mass is spread uniformly over [lo, hi). The first bucket
+      // starts at the observed min; the overflow bucket ends at the
+      // observed max. Clamping to [min, max] makes single-value and
+      // single-bucket histograms collapse to the value itself rather than
+      // a bucket edge.
+      const double lo = i == 0 ? min : bounds[i - 1];
+      const double hi = i < bounds.size() ? bounds[i] : max;
+      const double frac = (target - static_cast<double>(before)) /
+                          static_cast<double>(counts[i]);
+      const double v = lo + frac * (hi - lo);
+      return std::min(max, std::max(min, v));
     }
   }
   return max;
@@ -70,7 +84,9 @@ std::string MetricsSnapshot::ToJson() const {
     out += ", \"mean\": " + FormatDouble(h.Mean());
     out += ", \"p50\": " + FormatDouble(h.Percentile(0.5));
     out += ", \"p90\": " + FormatDouble(h.Percentile(0.9));
+    out += ", \"p95\": " + FormatDouble(h.Percentile(0.95));
     out += ", \"p99\": " + FormatDouble(h.Percentile(0.99));
+    out += ", \"p999\": " + FormatDouble(h.Percentile(0.999));
     out += ", \"bounds\": [";
     for (size_t j = 0; j < h.bounds.size(); ++j) {
       if (j > 0) {
@@ -104,7 +120,8 @@ std::string MetricsSnapshot::ToText() const {
     out += table.ToText();
   }
   if (!histograms.empty()) {
-    Table table({"histogram", "count", "mean", "p50", "p90", "p99", "max"});
+    Table table({"histogram", "count", "mean", "p50", "p90", "p95", "p99",
+                 "p99.9", "max"});
     for (const HistogramValue& h : histograms) {
       table.AddRow()
           .Add(h.name)
@@ -112,7 +129,9 @@ std::string MetricsSnapshot::ToText() const {
           .Add(h.Mean(), 4)
           .Add(h.Percentile(0.5), 4)
           .Add(h.Percentile(0.9), 4)
+          .Add(h.Percentile(0.95), 4)
           .Add(h.Percentile(0.99), 4)
+          .Add(h.Percentile(0.999), 4)
           .Add(h.count == 0 ? 0.0 : h.max, 4);
     }
     if (!out.empty()) {

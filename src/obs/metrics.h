@@ -259,7 +259,10 @@ struct MetricsSnapshot {
     double max = 0;
 
     double Mean() const { return count == 0 ? 0.0 : sum / count; }
-    /// Upper bound of the bucket containing the p-quantile (p in [0, 1]).
+    /// The p-quantile (p in [0, 1]): linearly interpolated within the
+    /// bucket containing the target rank (uniform-mass assumption) and
+    /// clamped to the observed [min, max], so coarse log buckets do not
+    /// quantize the estimate to a bucket edge.
     double Percentile(double p) const;
   };
 

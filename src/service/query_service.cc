@@ -24,12 +24,37 @@ obs::Counter* const g_admission_rejects =
 obs::Counter* const g_deadline_expirations =
     obs::MetricsRegistry::Global().GetCounter(
         "service.deadline_expirations");
+// The queued/executing split of deadline_expirations: queue starvation
+// (raise workers / shed load) reads very differently from slow execution
+// (shrink batches / tighten the filter).
+obs::Counter* const g_deadline_expired_queued =
+    obs::MetricsRegistry::Global().GetCounter(
+        "service.deadline_expired_queued");
+obs::Counter* const g_deadline_expired_executing =
+    obs::MetricsRegistry::Global().GetCounter(
+        "service.deadline_expired_executing");
 obs::Counter* const g_batch_queries =
     obs::MetricsRegistry::Global().GetCounter("service.batch_queries");
 obs::Histogram* const g_queue_wait_us =
     obs::MetricsRegistry::Global().GetHistogram("service.queue_wait_us");
 obs::Histogram* const g_execute_us =
     obs::MetricsRegistry::Global().GetHistogram("service.execute_us");
+// Per-stage breakdown of a batch's end-to-end latency. stage_queue_us
+// duplicates queue_wait_us bucket-for-bucket so the stage_* family is
+// self-contained; selection/refine sum the per-query QueryStats CPU times
+// (can exceed wall time under fan-out); stage_other_us is the wall-clock
+// residual execute - selection - refine, clamped at 0 — in serial
+// execution it is the merge/dispatch overhead, under fan-out the clamp
+// makes it a lower bound.
+obs::Histogram* const g_stage_queue_us =
+    obs::MetricsRegistry::Global().GetHistogram("service.stage_queue_us");
+obs::Histogram* const g_stage_selection_us =
+    obs::MetricsRegistry::Global().GetHistogram(
+        "service.stage_selection_us");
+obs::Histogram* const g_stage_refine_us =
+    obs::MetricsRegistry::Global().GetHistogram("service.stage_refine_us");
+obs::Histogram* const g_stage_other_us =
+    obs::MetricsRegistry::Global().GetHistogram("service.stage_other_us");
 
 double MillisSince(std::chrono::steady_clock::time_point since,
                    std::chrono::steady_clock::time_point now) {
@@ -67,6 +92,11 @@ QueryService::QueryService(const ShardedSearcher* searcher,
   options_.max_queue_depth = std::max<size_t>(1, options_.max_queue_depth);
   if (options_.cache_capacity > 0) {
     cache_ = std::make_unique<SelectionCache>(options_.cache_capacity);
+  }
+  if (options_.slow_batch_threshold_ms >= 0 &&
+      options_.slow_log_capacity > 0) {
+    slow_log_ = std::make_unique<SlowBatchLog>(
+        options_.slow_batch_threshold_ms, options_.slow_log_capacity);
   }
   paused_ = options_.start_paused;
   workers_.reserve(static_cast<size_t>(options_.num_workers));
@@ -172,29 +202,100 @@ void QueryService::WorkerLoop() {
   }
 }
 
+namespace {
+
+/// Synthesizes the exemplar's span tree from the measured batch times:
+/// the queue and execute spans are real wall-clock intervals on the
+/// TraceRecorder's process epoch; the selection/refine children are laid
+/// out sequentially from the start of execution with their CPU-sum
+/// durations (under fan-out they are a schematic of where the time went,
+/// not a literal timeline).
+SlowBatchExemplar MakeExemplar(size_t queries, const BatchResult& out) {
+  SlowBatchExemplar exemplar;
+  exemplar.total_ms = out.queue_wait_ms + out.execute_ms;
+  exemplar.queue_wait_ms = out.queue_wait_ms;
+  exemplar.execute_ms = out.execute_ms;
+  exemplar.selection_ms = out.selection_ns * 1e-6;
+  exemplar.refine_ms = out.refine_ns * 1e-6;
+  exemplar.queries = queries;
+  exemplar.queries_executed = out.queries_executed;
+  exemplar.status = out.status.ok() ? "OK" : out.status.ToString();
+
+  const uint64_t end_ns = obs::TraceRecorder::NowNanos();
+  const auto back = [end_ns](double ms) {
+    const uint64_t span = static_cast<uint64_t>(ms * 1e6);
+    return span > end_ns ? 0 : end_ns - span;
+  };
+  const uint64_t execute_start = back(out.execute_ms);
+  const uint64_t queue_start = back(out.execute_ms + out.queue_wait_ms);
+  exemplar.spans.push_back(
+      {"service.batch", 0, queue_start, end_ns});
+  exemplar.spans.push_back(
+      {"service.stage_queue", 0, queue_start, execute_start});
+  exemplar.spans.push_back(
+      {"service.stage_execute", 0, execute_start, end_ns});
+  uint64_t cursor = execute_start;
+  exemplar.spans.push_back({"service.stage_selection", 1, cursor,
+                            cursor + out.selection_ns});
+  cursor += out.selection_ns;
+  exemplar.spans.push_back(
+      {"service.stage_refine", 1, cursor, cursor + out.refine_ns});
+  return exemplar;
+}
+
+}  // namespace
+
 void QueryService::ExecuteBatch(BatchHandle* batch, ThreadPool* pool) {
   S3VCD_TRACE_SPAN("service.execute_batch");
   const auto start = std::chrono::steady_clock::now();
   BatchResult out;
   out.queue_wait_ms = MillisSince(batch->submit_time_, start);
   g_queue_wait_us->Record(out.queue_wait_ms * 1e3);
+  g_stage_queue_us->Record(out.queue_wait_ms * 1e3);
 
   const size_t n = batch->queries_.size();
   out.results.resize(n);
+  const bool is_range =
+      batch->options_.paradigm == core::SearchParadigm::kRange;
+
+  const auto finish = [this, batch, n](BatchResult result) {
+    g_batches_completed->Increment();
+    if (slow_log_ != nullptr) {
+      SlowBatchExemplar exemplar = MakeExemplar(n, result);
+      exemplar.batch_ordinal =
+          batch_ordinal_.fetch_add(1, std::memory_order_relaxed) + 1;
+      slow_log_->Observe(std::move(exemplar));
+    }
+    batch->Complete(std::move(result));
+  };
 
   if (batch->has_deadline_ && start >= batch->deadline_) {
     g_deadline_expirations->Increment();
+    g_deadline_expired_queued->Increment();
     out.status = Status::DeadlineExceeded(
         "deadline expired after " + std::to_string(out.queue_wait_ms) +
         " ms in the admission queue");
     out.results.clear();
-    g_batches_completed->Increment();
-    batch->Complete(std::move(out));
+    // Expired batches still report both halves of their latency: the
+    // (near-zero) execute leg keeps the histograms' batch counts equal
+    // across stages, so rates computed from them agree.
+    out.execute_ms = MillisSince(start, std::chrono::steady_clock::now());
+    g_execute_us->Record(out.execute_ms * 1e3);
+    finish(std::move(out));
     return;
   }
 
+  const auto run_query = [this, batch, is_range](size_t i) {
+    return is_range
+               ? searcher_->RangeQuery(batch->queries_[i],
+                                       batch->options_.epsilon,
+                                       options_.query.filter.depth)
+               : searcher_->StatisticalQuery(batch->queries_[i], *model_,
+                                             options_.query, cache_.get());
+  };
+
   size_t executed = 0;
-  if (!batch->has_deadline_ && pool != nullptr && n > 1) {
+  if (!batch->has_deadline_ && pool != nullptr && n > 1 && !is_range) {
     // No deadline to police: use the searcher's two-stage fan-out (one
     // selection task per query, one scan task per (query, shard)), which
     // keeps the pool full even for small batches on many shards.
@@ -207,8 +308,7 @@ void QueryService::ExecuteBatch(BatchHandle* batch, ThreadPool* pool) {
           std::chrono::steady_clock::now() >= batch->deadline_) {
         break;
       }
-      out.results[i] = searcher_->StatisticalQuery(
-          batch->queries_[i], *model_, options_.query, cache_.get());
+      out.results[i] = run_query(i);
       ++executed;
     }
   } else {
@@ -216,13 +316,12 @@ void QueryService::ExecuteBatch(BatchHandle* batch, ThreadPool* pool) {
     // scans finish (per-query latency bounds the overshoot).
     std::atomic<size_t> completed{0};
     for (size_t i = 0; i < n; ++i) {
-      pool->Submit([this, batch, &completed, &out, i] {
+      pool->Submit([batch, &completed, &out, &run_query, i] {
         if (batch->has_deadline_ &&
             std::chrono::steady_clock::now() >= batch->deadline_) {
           return;
         }
-        out.results[i] = searcher_->StatisticalQuery(
-            batch->queries_[i], *model_, options_.query, cache_.get());
+        out.results[i] = run_query(i);
         completed.fetch_add(1, std::memory_order_relaxed);
       });
     }
@@ -234,14 +333,26 @@ void QueryService::ExecuteBatch(BatchHandle* batch, ThreadPool* pool) {
   g_batch_queries->Increment(executed);
   if (executed < n) {
     g_deadline_expirations->Increment();
+    g_deadline_expired_executing->Increment();
     out.status = Status::DeadlineExceeded(
         "deadline expired after " + std::to_string(executed) + " of " +
         std::to_string(n) + " queries");
   }
+  // Stage breakdown: unexecuted slots carry default (zero) stats, so the
+  // sums cover exactly the work that happened.
+  for (const core::QueryResult& r : out.results) {
+    out.selection_ns += r.stats.selection_ns;
+    out.refine_ns += r.stats.refine_ns;
+  }
   out.execute_ms = MillisSince(start, std::chrono::steady_clock::now());
   g_execute_us->Record(out.execute_ms * 1e3);
-  g_batches_completed->Increment();
-  batch->Complete(std::move(out));
+  const double selection_us = static_cast<double>(out.selection_ns) * 1e-3;
+  const double refine_us = static_cast<double>(out.refine_ns) * 1e-3;
+  g_stage_selection_us->Record(selection_us);
+  g_stage_refine_us->Record(refine_us);
+  g_stage_other_us->Record(
+      std::max(0.0, out.execute_ms * 1e3 - selection_us - refine_us));
+  finish(std::move(out));
 }
 
 }  // namespace s3vcd::service

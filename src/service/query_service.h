@@ -1,6 +1,7 @@
 #ifndef S3VCD_SERVICE_QUERY_SERVICE_H_
 #define S3VCD_SERVICE_QUERY_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -15,6 +16,7 @@
 #include "fingerprint/fingerprint.h"
 #include "service/selection_cache.h"
 #include "service/sharded_searcher.h"
+#include "service/slow_batch_log.h"
 #include "util/status.h"
 
 namespace s3vcd::service {
@@ -26,6 +28,13 @@ struct BatchOptions {
   /// that expires mid-execution stops early and returns the results
   /// completed so far with a kDeadlineExceeded status.
   double deadline_ms = 0;
+  /// Which paradigm this batch runs. kStatistical uses the service-level
+  /// QueryOptions (and the selection cache); kRange runs exact
+  /// epsilon-range queries at `epsilon` (no selection to cache — the
+  /// geometric selection is not keyed by the cache).
+  core::SearchParadigm paradigm = core::SearchParadigm::kStatistical;
+  /// Range radius in byte-space distance units (kRange only).
+  double epsilon = 0;
 };
 
 /// Outcome of one batch.
@@ -39,8 +48,16 @@ struct BatchResult {
   std::vector<core::QueryResult> results;
   /// Number of queries actually executed (== results.size() when OK).
   size_t queries_executed = 0;
+  /// Both are populated for every completed batch, including ones that
+  /// expired in the queue (execute_ms ~ 0) or mid-execution — unsuccessful
+  /// batches must not vanish from the latency accounting.
   double queue_wait_ms = 0;
   double execute_ms = 0;
+  /// Stage CPU totals summed over the executed queries' QueryStats, in
+  /// nanoseconds (under fan-out these sum worker CPU time and can exceed
+  /// the execute_ms wall time).
+  uint64_t selection_ns = 0;
+  uint64_t refine_ns = 0;
 };
 
 /// Completion handle of a submitted batch. Obtained from
@@ -94,6 +111,14 @@ struct QueryServiceOptions {
   /// Resume()); used by tests to make admission-control behavior
   /// deterministic, and operationally for drain control.
   bool start_paused = false;
+  /// End-to-end (queue wait + execute) latency above which a finished
+  /// batch is captured into the slow-batch exemplar log, in milliseconds.
+  /// 0 = adaptive: capture batches slower than the rolling p99 of recent
+  /// batches (armed once enough samples accrue). Negative disables the
+  /// log entirely.
+  double slow_batch_threshold_ms = 0;
+  /// Exemplars retained by the slow-batch log (oldest evicted first).
+  size_t slow_log_capacity = 32;
 };
 
 /// Asynchronous batch front end over a ShardedSearcher: a bounded
@@ -145,6 +170,10 @@ class QueryService {
   /// The shared selection cache; nullptr when cache_capacity was 0.
   const SelectionCache* cache() const { return cache_.get(); }
 
+  /// The slow-batch exemplar log; nullptr when slow_batch_threshold_ms
+  /// was negative.
+  const SlowBatchLog* slow_log() const { return slow_log_.get(); }
+
   const QueryServiceOptions& options() const { return options_; }
 
  private:
@@ -155,6 +184,8 @@ class QueryService {
   const core::DistortionModel* model_;
   QueryServiceOptions options_;
   std::unique_ptr<SelectionCache> cache_;
+  std::unique_ptr<SlowBatchLog> slow_log_;
+  std::atomic<uint64_t> batch_ordinal_{0};
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;

@@ -271,6 +271,22 @@ core::QueryResult ShardedSearcher::StatisticalQuery(
                            std::move(partials));
 }
 
+core::QueryResult ShardedSearcher::RangeQuery(const fp::Fingerprint& query,
+                                              double epsilon,
+                                              int depth) const {
+  S3VCD_TRACE_SPAN("service.sharded_range");
+  std::vector<core::QueryResult> partials;
+  partials.reserve(shards_.size());
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    Stopwatch watch;
+    partials.push_back(shards_[k]->RangeQuery(query, epsilon, depth));
+    shard_scan_us_[k]->Record(watch.ElapsedMicros());
+  }
+  // Merged like the no-selection statistical fallback: the per-shard
+  // queries already published their metrics, the merge only aggregates.
+  return MergeShardResults(nullptr, 0, false, std::move(partials));
+}
+
 std::vector<core::QueryResult> ShardedSearcher::BatchStatisticalQuery(
     const std::vector<fp::Fingerprint>& queries,
     const core::DistortionModel& model, const core::QueryOptions& options,

@@ -94,6 +94,15 @@ class ShardedSearcher {
                                      const core::QueryOptions& options,
                                      SelectionCache* cache = nullptr) const;
 
+  /// Exact epsilon-range query over the union of all shards: each shard
+  /// answers the range query itself (publishing its own per-query metrics,
+  /// like the no-selection statistical fallback) and the partials are
+  /// merged. `depth` is the geometric filter's partition depth on
+  /// block-structured backends. Exact for every backend whose RangeQuery
+  /// is exact (all but lsh).
+  core::QueryResult RangeQuery(const fp::Fingerprint& query, double epsilon,
+                               int depth) const;
+
   /// Fans a batch out on `pool` — per-query selections, then one
   /// refinement-scan task per (query, shard) on block-structured backends;
   /// directly one statistical-query task per (query, shard) otherwise —

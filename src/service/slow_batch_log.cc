@@ -1,0 +1,139 @@
+#include "service/slow_batch_log.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace s3vcd::service {
+
+namespace {
+
+constexpr size_t kRollingWindow = 256;
+/// The adaptive trigger stays disarmed until the window holds this many
+/// samples: a p99 over a handful of batches is noise, and capturing the
+/// first batches of a run (cold caches) as "slow" would be misleading.
+constexpr size_t kMinSamplesForP99 = 32;
+
+obs::Counter* const g_slow_batches =
+    obs::MetricsRegistry::Global().GetCounter(
+        "service.slow_batches_captured");
+
+std::string FormatMs(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+SlowBatchLog::SlowBatchLog(double threshold_ms, size_t capacity)
+    : threshold_ms_(threshold_ms), capacity_(std::max<size_t>(1, capacity)) {}
+
+double SlowBatchLog::RollingP99Locked() const {
+  if (recent_total_ms_.size() < kMinSamplesForP99) {
+    return std::numeric_limits<double>::infinity();
+  }
+  std::vector<double> window(recent_total_ms_.begin(),
+                             recent_total_ms_.end());
+  const size_t rank = (window.size() * 99) / 100;
+  std::nth_element(window.begin(), window.begin() + rank, window.end());
+  return window[rank];
+}
+
+bool SlowBatchLog::Observe(SlowBatchExemplar exemplar) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double trigger =
+      threshold_ms_ > 0 ? threshold_ms_ : RollingP99Locked();
+  // The window updates after the trigger evaluation, so a batch is judged
+  // against its predecessors, never against itself.
+  recent_total_ms_.push_back(exemplar.total_ms);
+  if (recent_total_ms_.size() > kRollingWindow) {
+    recent_total_ms_.pop_front();
+  }
+  if (exemplar.total_ms <= trigger) {
+    return false;
+  }
+  exemplar.threshold_ms = trigger;
+  exemplars_.push_back(std::move(exemplar));
+  if (exemplars_.size() > capacity_) {
+    exemplars_.pop_front();
+  }
+  ++captured_;
+  g_slow_batches->Increment();
+  return true;
+}
+
+std::vector<SlowBatchExemplar> SlowBatchLog::Exemplars() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {exemplars_.begin(), exemplars_.end()};
+}
+
+uint64_t SlowBatchLog::captured() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return captured_;
+}
+
+double SlowBatchLog::CurrentThresholdMs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return threshold_ms_ > 0 ? threshold_ms_ : RollingP99Locked();
+}
+
+std::string SlowBatchLog::ToChromeJson() const {
+  const std::vector<SlowBatchExemplar> exemplars = Exemplars();
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  char buf[160];
+  for (const SlowBatchExemplar& e : exemplars) {
+    const uint64_t pid = e.batch_ordinal;
+    // A process-name metadata event per exemplar keeps the viewer's
+    // sidebar readable when several slow batches land in one dump.
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"ph\": \"M\", \"pid\": " + std::to_string(pid) +
+           ", \"name\": \"process_name\", \"args\": {\"name\": \"batch #" +
+           std::to_string(e.batch_ordinal) + " (" + FormatMs(e.total_ms) +
+           " ms)\"}}";
+    for (size_t i = 0; i < e.spans.size(); ++i) {
+      const obs::TraceEvent& span = e.spans[i];
+      out += ",\n";
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\": \"X\", \"pid\": %llu, \"tid\": %d, "
+                    "\"ts\": %.3f, \"dur\": %.3f, \"name\": \"%s\"",
+                    static_cast<unsigned long long>(pid), span.tid,
+                    static_cast<double>(span.start_ns) / 1e3,
+                    static_cast<double>(span.end_ns - span.start_ns) / 1e3,
+                    span.name != nullptr ? span.name : "");
+      out += buf;
+      if (i == 0) {
+        // The root span carries the full breakdown as args.
+        out += ", \"args\": {\"queue_wait_ms\": " + FormatMs(e.queue_wait_ms) +
+               ", \"execute_ms\": " + FormatMs(e.execute_ms) +
+               ", \"selection_ms\": " + FormatMs(e.selection_ms) +
+               ", \"refine_ms\": " + FormatMs(e.refine_ms) +
+               ", \"queries\": " + std::to_string(e.queries) +
+               ", \"queries_executed\": " +
+               std::to_string(e.queries_executed) +
+               ", \"threshold_ms\": " + FormatMs(e.threshold_ms) +
+               ", \"status\": \"" + e.status + "\"}";
+      }
+      out += "}";
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool SlowBatchLog::WriteChromeJsonFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::string json = ToChromeJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace s3vcd::service

@@ -1,0 +1,93 @@
+#ifndef S3VCD_SERVICE_SLOW_BATCH_LOG_H_
+#define S3VCD_SERVICE_SLOW_BATCH_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+// Ring buffer of slow-batch exemplars: when a batch's end-to-end latency
+// (queue wait + execution) crosses a threshold, the QueryService captures
+// its full per-stage timing breakdown plus a synthesized span tree, so an
+// operator looking at a bad p99 can open a concrete offending batch in
+// chrome://tracing instead of re-running the workload with tracing on.
+//
+// The threshold is either fixed (threshold_ms > 0) or adaptive
+// (threshold_ms == 0): the log keeps a rolling window of recent batch
+// latencies and captures anything above the window's p99 once the window
+// has enough samples to make that estimate meaningful. Either way the
+// newest `capacity` exemplars are retained.
+
+namespace s3vcd::service {
+
+/// One captured slow batch.
+struct SlowBatchExemplar {
+  /// 1-based completion ordinal of the batch within its service.
+  uint64_t batch_ordinal = 0;
+  /// Threshold (ms) that was in effect when this batch was captured.
+  double threshold_ms = 0;
+  double total_ms = 0;  ///< queue_wait_ms + execute_ms
+  double queue_wait_ms = 0;
+  double execute_ms = 0;
+  /// Stage CPU totals summed over the batch's queries (under fan-out these
+  /// can exceed execute_ms wall time).
+  double selection_ms = 0;
+  double refine_ms = 0;
+  size_t queries = 0;
+  size_t queries_executed = 0;
+  std::string status;  ///< "OK" or the batch's error message
+  /// Span tree synthesized from the measured stage times (nanoseconds on
+  /// the obs::TraceRecorder process epoch): queue span, execute span, and
+  /// selection/refine children laid out sequentially inside execute.
+  std::vector<obs::TraceEvent> spans;
+};
+
+class SlowBatchLog {
+ public:
+  /// `threshold_ms` > 0: fixed end-to-end trigger. == 0: adaptive, trigger
+  /// at the rolling p99 of recent batch latencies. `capacity` bounds the
+  /// retained exemplars (oldest evicted first).
+  SlowBatchLog(double threshold_ms, size_t capacity);
+
+  /// Feeds one finished batch. Always updates the rolling latency window;
+  /// captures the exemplar when its total_ms crosses the trigger. Returns
+  /// true when captured. Thread-safe.
+  bool Observe(SlowBatchExemplar exemplar);
+
+  /// Captured exemplars, oldest first (a copy; the log keeps evolving).
+  std::vector<SlowBatchExemplar> Exemplars() const;
+
+  /// Total exemplars ever captured (>= Exemplars().size() after eviction).
+  uint64_t captured() const;
+
+  /// The trigger currently in effect: the fixed threshold, the rolling-p99
+  /// estimate, or +inf while the adaptive window is still warming up.
+  double CurrentThresholdMs() const;
+
+  /// All captured exemplars as one Chrome trace-event JSON: each exemplar
+  /// is its own pid (named by batch ordinal), stages are "X" complete
+  /// events, and the execute event's args carry the stage breakdown.
+  std::string ToChromeJson() const;
+
+  /// Writes ToChromeJson() to `path`; returns false on I/O failure.
+  bool WriteChromeJsonFile(const std::string& path) const;
+
+ private:
+  double RollingP99Locked() const;
+
+  const double threshold_ms_;
+  const size_t capacity_;
+
+  mutable std::mutex mutex_;
+  std::deque<SlowBatchExemplar> exemplars_;
+  uint64_t captured_ = 0;
+  /// Rolling window of recent batch latencies for the adaptive trigger.
+  std::deque<double> recent_total_ms_;
+};
+
+}  // namespace s3vcd::service
+
+#endif  // S3VCD_SERVICE_SLOW_BATCH_LOG_H_

@@ -8,8 +8,11 @@
 
 #include "core/database.h"
 #include "core/dynamic_index.h"
+#include "core/searcher.h"
 #include "core/synthetic_db.h"
+#include "obs/metrics.h"
 #include "service/query_service.h"
+#include "service/slow_batch_log.h"
 #include "service/selection_cache.h"
 #include "service/sharded_searcher.h"
 #include "util/rng.h"
@@ -419,6 +422,214 @@ TEST_F(QueryServiceTest, CacheServesRepeatedProbes) {
         searcher_->StatisticalQuery(queries[i], model_, options.query);
     EXPECT_EQ(ToSet(replay.results[i].matches), ToSet(direct.matches)) << i;
   }
+}
+
+TEST_F(QueryServiceTest, RangeBatchMatchesDirectRangeQueries) {
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  options.query = TestQueryOptions();
+  QueryService service(searcher_.get(), &model_, options);
+
+  const double epsilon =
+      core::EqualExpectationRadius(model_, options.query.filter.alpha);
+  BatchOptions batch;
+  batch.paradigm = core::SearchParadigm::kRange;
+  batch.epsilon = epsilon;
+  const auto queries = MakeQueries(6, 90);
+  auto ticket = service.Submit(queries, batch);
+  ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+  const BatchResult& result = (*ticket)->Wait();
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  ASSERT_EQ(result.results.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto direct = searcher_->RangeQuery(queries[i], epsilon,
+                                              options.query.filter.depth);
+    EXPECT_EQ(ToSet(result.results[i].matches), ToSet(direct.matches)) << i;
+  }
+}
+
+// The per-stage accounting contract in serial execution: the batch's
+// selection/refine CPU sums are populated, they fit inside the execute
+// wall time, and the stage_* histograms decompose execute exactly
+// (other is the residual, unclamped here because CPU <= wall serially).
+TEST_F(QueryServiceTest, StageBreakdownSumsToExecute) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.Reset();
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  options.threads_per_batch = 1;  // serial: CPU sums bounded by wall
+  options.cache_capacity = 0;     // every query pays its own selection
+  options.query = TestQueryOptions();
+  QueryService service(searcher_.get(), &model_, options);
+
+  auto ticket = service.Submit(MakeQueries(8, 91));
+  ASSERT_TRUE(ticket.ok());
+  const BatchResult& result = (*ticket)->Wait();
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_GT(result.selection_ns, 0u);
+  EXPECT_GT(result.refine_ns, 0u);
+  const double stage_sum_ms =
+      static_cast<double>(result.selection_ns + result.refine_ns) * 1e-6;
+  EXPECT_LE(stage_sum_ms, result.execute_ms + 1e-6);
+
+  const obs::MetricsSnapshot snapshot = registry.Snapshot();
+  double execute_us = 0;
+  double stages_us = 0;
+  int stage_histograms = 0;
+  for (const auto& h : snapshot.histograms) {
+    if (h.name == "service.execute_us") {
+      EXPECT_EQ(h.count, 1u);
+      execute_us = h.sum;
+    } else if (h.name == "service.stage_selection_us" ||
+               h.name == "service.stage_refine_us" ||
+               h.name == "service.stage_other_us") {
+      EXPECT_EQ(h.count, 1u) << h.name;
+      stages_us += h.sum;
+      ++stage_histograms;
+    } else if (h.name == "service.stage_queue_us") {
+      EXPECT_EQ(h.count, 1u);  // mirrors queue_wait_us batch-for-batch
+    }
+  }
+  EXPECT_EQ(stage_histograms, 3);
+  EXPECT_GT(execute_us, 0.0);
+  EXPECT_NEAR(stages_us, execute_us, 1e-3 * execute_us + 1e-3);
+  registry.Reset();
+}
+
+TEST_F(QueryServiceTest, SlowBatchLogCapturesStalledBatch) {
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  options.start_paused = true;  // the stall: queue wait >> threshold
+  options.slow_batch_threshold_ms = 5.0;
+  options.slow_log_capacity = 4;
+  options.query = TestQueryOptions();
+  QueryService service(searcher_.get(), &model_, options);
+  ASSERT_NE(service.slow_log(), nullptr);
+  EXPECT_DOUBLE_EQ(service.slow_log()->CurrentThresholdMs(), 5.0);
+
+  auto ticket = service.Submit(MakeQueries(4, 92));
+  ASSERT_TRUE(ticket.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service.Resume();
+  const BatchResult& result = (*ticket)->Wait();
+  ASSERT_TRUE(result.status.ok());
+
+  const SlowBatchLog& log = *service.slow_log();
+  ASSERT_GE(log.captured(), 1u);
+  const std::vector<SlowBatchExemplar> exemplars = log.Exemplars();
+  ASSERT_FALSE(exemplars.empty());
+  const SlowBatchExemplar& exemplar = exemplars.back();
+  EXPECT_GE(exemplar.total_ms, 5.0);
+  EXPECT_GE(exemplar.queue_wait_ms, 5.0);  // the stall was in the queue
+  EXPECT_EQ(exemplar.queries, 4u);
+  EXPECT_EQ(exemplar.queries_executed, 4u);
+  EXPECT_EQ(exemplar.status, "OK");
+  ASSERT_GE(exemplar.spans.size(), 5u);
+  for (const obs::TraceEvent& span : exemplar.spans) {
+    EXPECT_LE(span.start_ns, span.end_ns);
+  }
+
+  const std::string json = log.ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"service.batch\""), std::string::npos);
+  EXPECT_NE(json.find("\"service.stage_queue\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"M\""), std::string::npos);
+}
+
+TEST_F(QueryServiceTest, SlowBatchRingEvictsOldestAndFastBatchesSkip) {
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  options.slow_batch_threshold_ms = 0.0001;  // everything is "slow"
+  options.slow_log_capacity = 2;
+  options.query = TestQueryOptions();
+  QueryService service(searcher_.get(), &model_, options);
+  for (int i = 0; i < 5; ++i) {
+    auto ticket = service.Submit(MakeQueries(2, 93 + i));
+    ASSERT_TRUE(ticket.ok());
+    (*ticket)->Wait();
+  }
+  const SlowBatchLog& log = *service.slow_log();
+  EXPECT_EQ(log.captured(), 5u);
+  const auto exemplars = log.Exemplars();
+  ASSERT_EQ(exemplars.size(), 2u);  // ring kept only the newest two
+  EXPECT_LT(exemplars[0].batch_ordinal, exemplars[1].batch_ordinal);
+  EXPECT_EQ(exemplars[1].batch_ordinal, 5u);
+
+  // A generous fixed threshold captures nothing, and a negative one
+  // disables the log entirely.
+  QueryServiceOptions quiet = options;
+  quiet.slow_batch_threshold_ms = 60000;
+  QueryService quiet_service(searcher_.get(), &model_, quiet);
+  auto ticket = quiet_service.Submit(MakeQueries(2, 99));
+  ASSERT_TRUE(ticket.ok());
+  (*ticket)->Wait();
+  EXPECT_EQ(quiet_service.slow_log()->captured(), 0u);
+
+  QueryServiceOptions disabled = options;
+  disabled.slow_batch_threshold_ms = -1;
+  QueryService disabled_service(searcher_.get(), &model_, disabled);
+  EXPECT_EQ(disabled_service.slow_log(), nullptr);
+}
+
+// The queued/executing split of deadline_expirations, plus the contract
+// that expired batches still report both latency halves.
+TEST_F(QueryServiceTest, DeadlineCounterSplitsQueuedFromExecuting) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.Reset();
+  {
+    QueryServiceOptions options;
+    options.num_workers = 1;
+    options.start_paused = true;
+    options.query = TestQueryOptions();
+    QueryService service(searcher_.get(), &model_, options);
+    BatchOptions batch;
+    batch.deadline_ms = 1;
+    auto ticket = service.Submit(MakeQueries(4, 100), batch);
+    ASSERT_TRUE(ticket.ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    service.Resume();
+    const BatchResult& result = (*ticket)->Wait();
+    EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+    // Both latency halves populated even though nothing executed.
+    EXPECT_GE(result.queue_wait_ms, 1.0);
+    EXPECT_GE(result.execute_ms, 0.0);
+  }
+  obs::MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterOr0("service.deadline_expired_queued"), 1u);
+  EXPECT_EQ(snapshot.CounterOr0("service.deadline_expired_executing"), 0u);
+  EXPECT_EQ(snapshot.CounterOr0("service.deadline_expirations"), 1u);
+  for (const auto& h : snapshot.histograms) {
+    if (h.name == "service.queue_wait_us" ||
+        h.name == "service.execute_us") {
+      EXPECT_EQ(h.count, 1u) << h.name;  // expired batches still recorded
+    }
+  }
+
+  {
+    QueryServiceOptions options;
+    options.num_workers = 1;
+    options.threads_per_batch = 1;  // serial path polices per query
+    options.cache_capacity = 0;
+    options.query = TestQueryOptions();
+    QueryService service(searcher_.get(), &model_, options);
+    BatchOptions batch;
+    batch.deadline_ms = 10;
+    // Enough work that the deadline lands mid-execution: the queue is
+    // empty (an idle worker picks the batch up immediately) but thousands
+    // of serial queries take far longer than the deadline.
+    auto ticket = service.Submit(MakeQueries(8000, 101), batch);
+    ASSERT_TRUE(ticket.ok());
+    const BatchResult& result = (*ticket)->Wait();
+    EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_GT(result.queries_executed, 0u);
+    EXPECT_LT(result.queries_executed, 8000u);
+  }
+  snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterOr0("service.deadline_expired_queued"), 1u);
+  EXPECT_EQ(snapshot.CounterOr0("service.deadline_expired_executing"), 1u);
+  EXPECT_EQ(snapshot.CounterOr0("service.deadline_expirations"), 2u);
+  registry.Reset();
 }
 
 TEST_F(QueryServiceTest, EmptyBatchCompletesOk) {

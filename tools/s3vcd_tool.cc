@@ -18,15 +18,35 @@
 //                          [--batch N] [--batches B] [--alpha A]
 //                          [--sigma S] [--depth P] [--deadline-ms D]
 //                          [--cache-capacity C] [--seed S]
+//                          [--stats-interval-ms I] [--slow-log-out FILE]
+//                          [--slow-threshold-ms T]
+//                          [--metrics-out FILE] [--trace-out FILE]
+//   s3vcd_tool loadgen     --db DB [--mode open|closed]
+//                          [--arrival poisson|uniform] [--base-qps Q]
+//                          [--clients K] [--think-ms T] [--ramp CSV]
+//                          [--phase-s S] [--calibrate-s S] [--batch N]
+//                          [--mix-stat W] [--mix-range W] [--mix-batch W]
+//                          [--epsilon E] [--deadline-ms D] [--seed S]
+//                          [--query-pool N] [--backend NAME] [--shards K]
+//                          [--policy range|hash] [--workers W]
+//                          [--threads T] [--queue-depth Q]
+//                          [--cache-capacity C] [--alpha A] [--sigma S]
+//                          [--depth P] [--report-interval-ms I]
+//                          [--report-format text|jsonl] [--json-out FILE]
+//                          [--slow-log-out FILE] [--slow-threshold-ms T]
+//                          [--smoke 1]
 //                          [--metrics-out FILE] [--trace-out FILE]
 //
 // `build` synthesizes a reference corpus (the library normally ingests real
 // video; the tool uses the synthetic generator so it is runnable anywhere),
 // `query` replays distorted self-queries with timing, `monitor` embeds a
-// copy of one reference video in a synthetic stream and watches it, and
+// copy of one reference video in a synthetic stream and watches it,
 // `serve-batch` drives the sharded batch query service (ShardedSearcher +
 // QueryService) under producer pressure, exercising admission control and
-// the selection cache. See docs/query_service.md.
+// the selection cache, and `loadgen` drives the same service through a
+// closed- or open-loop load ramp and reports goodput, reject rate and
+// latency percentiles per phase (docs/query_service.md has the saturation
+// methodology). See docs/query_service.md.
 //
 // Flags accept both `--flag value` and `--flag=value`; unknown flags are
 // rejected with the command's flag table (run a command with no flags, or
@@ -62,12 +82,15 @@
 #include "core/tuner.h"
 #include "fingerprint/extractor.h"
 #include "media/synthetic.h"
+#include "obs/interval_reporter.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "service/loadgen.h"
 #include "service/query_service.h"
 #include "service/sharded_searcher.h"
 #include "util/math.h"
 #include "util/rng.h"
+#include "util/table.h"
 #include "util/timer.h"
 
 namespace s3vcd::tool {
@@ -189,6 +212,46 @@ const std::vector<CommandSpec>& Commands() {
         {"deadline-ms", "per-batch deadline; 0 = none (default 0)"},
         {"cache-capacity", "selection cache entries; 0 = off (default 4096)"},
         {"seed", "deterministic seed (default 99)"},
+        {"stats-interval-ms", "live interval reporter period; 0 = off"},
+        {"slow-log-out", "write slow-batch Chrome trace to FILE"},
+        {"slow-threshold-ms", "slow-batch trigger; 0 = rolling p99"},
+        {"metrics-out", "write a metrics JSON snapshot to FILE"},
+        {"trace-out", "write Chrome trace-event JSON to FILE"}}},
+      {"loadgen",
+       "drive the query service through a load ramp and report latency",
+       {{"db", "database path (required)"},
+        {"mode", "load mode: open | closed (default open)"},
+        {"arrival", "open-loop jitter: poisson | uniform (default poisson)"},
+        {"base-qps", "open-loop 1x rate, batches/s; 0 = calibrate"},
+        {"clients", "closed-loop 1x concurrent clients (default 4)"},
+        {"think-ms", "closed-loop per-client think time (default 0)"},
+        {"ramp", "phase multipliers, csv (default 0.5,1,2,4)"},
+        {"phase-s", "seconds per ramp phase (default 5)"},
+        {"calibrate-s", "calibration run length (default 2)"},
+        {"batch", "queries per stat-batch request (default 8)"},
+        {"mix-stat", "weight of 1-query stat batches (default 0.6)"},
+        {"mix-range", "weight of 1-query range batches (default 0.2)"},
+        {"mix-batch", "weight of multi-query stat batches (default 0.2)"},
+        {"epsilon", "range radius; 0 = equal-expectation (default 0)"},
+        {"deadline-ms", "per-batch deadline; 0 = none (default 0)"},
+        {"seed", "deterministic seed (default 42)"},
+        {"query-pool", "distinct query fingerprints (default 512)"},
+        {"backend", "per-shard registry backend (default dynamic)"},
+        {"shards", "number of index shards K (default 4)"},
+        {"policy", "sharding policy: range | hash (default range)"},
+        {"workers", "service worker threads (default 2)"},
+        {"threads", "fan-out threads per batch (default 1)"},
+        {"queue-depth", "admission queue bound, in batches (default 32)"},
+        {"cache-capacity", "selection cache entries; 0 = off (default 4096)"},
+        {"alpha", "statistical expectation (default 0.8)"},
+        {"sigma", "distortion model sigma (default 15)"},
+        {"depth", "partition depth p (default 12)"},
+        {"report-interval-ms", "live interval reporter period; 0 = off"},
+        {"report-format", "interval report format: text | jsonl"},
+        {"json-out", "write the machine-readable report to FILE"},
+        {"slow-log-out", "write slow-batch Chrome trace to FILE"},
+        {"slow-threshold-ms", "slow-batch trigger; 0 = rolling p99"},
+        {"smoke", "1 = tiny sub-second-phase ramp preset for CI smoke"},
         {"metrics-out", "write a metrics JSON snapshot to FILE"},
         {"trace-out", "write Chrome trace-event JSON to FILE"}}},
   };
@@ -774,6 +837,7 @@ int CmdServeBatch(const Flags& flags) {
       static_cast<size_t>(flags.GetInt("cache-capacity", 4096));
   options.query.filter.alpha = alpha;
   options.query.filter.depth = static_cast<int>(flags.GetInt("depth", 12));
+  options.slow_batch_threshold_ms = flags.GetDouble("slow-threshold-ms", 0);
   service::BatchOptions batch_options;
   batch_options.deadline_ms = flags.GetDouble("deadline-ms", 0);
 
@@ -787,6 +851,17 @@ int CmdServeBatch(const Flags& flags) {
   ObsOutputs obs_out(flags);
   obs_out.Begin();
   service::QueryService query_service(&*searcher, &model, options);
+  std::unique_ptr<obs::IntervalReporter> reporter;
+  const int stats_interval_ms =
+      static_cast<int>(flags.GetInt("stats-interval-ms", 0));
+  if (stats_interval_ms > 0) {
+    obs::IntervalReporter::Options reporter_options;
+    reporter_options.interval_ms = stats_interval_ms;
+    reporter_options.prefix_filter = "service.";
+    reporter_options.format = obs::IntervalReporter::Format::kText;
+    reporter = std::make_unique<obs::IntervalReporter>(reporter_options);
+    reporter->Start();
+  }
   std::deque<service::BatchTicket> outstanding;
   uint64_t rejects = 0;
   uint64_t queries_done = 0;
@@ -828,7 +903,23 @@ int CmdServeBatch(const Flags& flags) {
     absorb(ticket);
   }
   const double elapsed = watch.ElapsedSeconds();
+  if (reporter != nullptr) {
+    reporter->Stop();
+  }
   query_service.Shutdown();
+
+  const std::string slow_log_path = flags.Get("slow-log-out", "");
+  if (!slow_log_path.empty()) {
+    const service::SlowBatchLog* slow_log = query_service.slow_log();
+    if (slow_log == nullptr ||
+        !slow_log->WriteChromeJsonFile(slow_log_path)) {
+      std::fprintf(stderr, "failed to write slow-batch log to %s\n",
+                   slow_log_path.c_str());
+      return 1;
+    }
+    std::printf("wrote slow-batch log to %s (%" PRIu64 " captured)\n",
+                slow_log_path.c_str(), slow_log->captured());
+  }
 
   std::printf("submitted %zu batches of %zu queries: %" PRIu64
               " backpressure rejects (retried)\n",
@@ -848,6 +939,222 @@ int CmdServeBatch(const Flags& flags) {
                 total_execute_ms / completed);
   }
   return obs_out.Finish();
+}
+
+// Drives the query service through a calibrated load ramp: builds the
+// sharded service like serve-batch, then hands it to service::RunLoadGen
+// (closed- or open-loop, mixed stat/range/batch workload) and prints one
+// row per ramp phase — offered vs goodput, reject and deadline-miss
+// rates, exact e2e percentiles and the mean per-stage breakdown. The
+// machine-readable report (--json-out) is what tools/run_benchmarks.sh
+// publishes as BENCH_service.json.
+int CmdLoadgen(const Flags& flags) {
+  const std::string backend = flags.Get("backend", "dynamic");
+  if (!ValidateBackend("loadgen", backend)) {
+    return 2;
+  }
+  const std::string mode_name = flags.Get("mode", "open");
+  service::LoadGenOptions load;
+  if (mode_name == "open") {
+    load.mode = service::LoadMode::kOpenLoop;
+  } else if (mode_name == "closed") {
+    load.mode = service::LoadMode::kClosedLoop;
+  } else {
+    std::fprintf(stderr, "loadgen: --mode must be open or closed\n");
+    return 2;
+  }
+  const std::string arrival_name = flags.Get("arrival", "poisson");
+  if (arrival_name == "poisson") {
+    load.jitter = service::ArrivalJitter::kPoisson;
+  } else if (arrival_name == "uniform") {
+    load.jitter = service::ArrivalJitter::kUniform;
+  } else {
+    std::fprintf(stderr, "loadgen: --arrival must be poisson or uniform\n");
+    return 2;
+  }
+  const std::string policy_name = flags.Get("policy", "range");
+  service::ShardedSearcherOptions sharding;
+  sharding.num_shards = static_cast<int>(flags.GetInt("shards", 4));
+  sharding.backend = backend;
+  if (policy_name == "range") {
+    sharding.policy = service::ShardingPolicy::kHilbertRange;
+  } else if (policy_name == "hash") {
+    sharding.policy = service::ShardingPolicy::kRefIdHash;
+  } else {
+    std::fprintf(stderr, "loadgen: --policy must be range or hash\n");
+    return 2;
+  }
+
+  // The smoke preset shrinks every timing knob so the whole ramp fits in
+  // a ctest budget; explicit flags still override it.
+  const bool smoke = flags.GetInt("smoke", 0) != 0;
+  load.base_qps = flags.GetDouble("base-qps", 0);
+  load.base_clients =
+      static_cast<int>(flags.GetInt("clients", smoke ? 2 : 4));
+  load.think_ms = flags.GetDouble("think-ms", 0);
+  load.phase_seconds = flags.GetDouble("phase-s", smoke ? 0.5 : 5.0);
+  load.calibrate_seconds =
+      flags.GetDouble("calibrate-s", smoke ? 0.5 : 2.0);
+  load.batch_size = static_cast<size_t>(flags.GetInt("batch", 8));
+  load.mix.stat_single = flags.GetDouble("mix-stat", 0.6);
+  load.mix.range_single = flags.GetDouble("mix-range", 0.2);
+  load.mix.stat_batch = flags.GetDouble("mix-batch", 0.2);
+  load.epsilon = flags.GetDouble("epsilon", 0);
+  load.deadline_ms = flags.GetDouble("deadline-ms", 0);
+  load.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const std::string ramp_csv =
+      flags.Get("ramp", smoke ? "0.5,2" : "0.5,1,2,4");
+  load.ramp.clear();
+  for (size_t pos = 0; pos < ramp_csv.size();) {
+    const size_t comma = ramp_csv.find(',', pos);
+    const std::string token = ramp_csv.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!token.empty()) {
+      load.ramp.push_back(std::atof(token.c_str()));
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  if (load.ramp.empty()) {
+    std::fprintf(stderr, "loadgen: --ramp needs at least one multiplier\n");
+    return 2;
+  }
+
+  const std::string path = flags.Get("db", "");
+  auto db = core::FingerprintDatabase::LoadFromFile(path);
+  if (!db.ok()) {
+    std::fprintf(stderr, "loadgen failed: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  const double alpha = flags.GetDouble("alpha", 0.8);
+  const double sigma = flags.GetDouble("sigma", 15.0);
+  const core::GaussianDistortionModel model(sigma);
+
+  // Sample the query pool (distorted self-queries) before the sharded
+  // searcher consumes the database.
+  const size_t db_size = db->size();
+  const size_t pool_size = std::max<int64_t>(
+      1, flags.GetInt("query-pool", smoke ? 64 : 512));
+  Rng rng(load.seed);
+  std::vector<fp::Fingerprint> query_pool;
+  query_pool.reserve(pool_size);
+  for (size_t i = 0; i < pool_size; ++i) {
+    const auto& record = db->record(static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(db_size) - 1)));
+    query_pool.push_back(
+        core::DistortFingerprint(record.descriptor, sigma, &rng));
+  }
+
+  auto searcher = service::ShardedSearcher::Build(std::move(*db), sharding);
+  if (!searcher.ok()) {
+    std::fprintf(stderr, "loadgen failed: %s\n",
+                 searcher.status().ToString().c_str());
+    return 1;
+  }
+  service::QueryServiceOptions options;
+  options.num_workers = static_cast<int>(flags.GetInt("workers", 2));
+  options.threads_per_batch = static_cast<int>(flags.GetInt("threads", 1));
+  options.max_queue_depth =
+      static_cast<size_t>(flags.GetInt("queue-depth", 32));
+  options.cache_capacity =
+      static_cast<size_t>(flags.GetInt("cache-capacity", 4096));
+  options.query.filter.alpha = alpha;
+  options.query.filter.depth = static_cast<int>(flags.GetInt("depth", 12));
+  options.slow_batch_threshold_ms = flags.GetDouble("slow-threshold-ms", 0);
+
+  std::printf("loadgen: %zu records, %d shards (%s, backend=%s), "
+              "%d workers x %d threads, queue depth %zu, mode=%s\n",
+              db_size, searcher->num_shards(), policy_name.c_str(),
+              backend.c_str(), options.num_workers,
+              options.threads_per_batch, options.max_queue_depth,
+              mode_name.c_str());
+
+  ObsOutputs obs_out(flags);
+  obs_out.Begin();
+  service::QueryService query_service(&*searcher, &model, options);
+
+  std::unique_ptr<obs::IntervalReporter> reporter;
+  const int report_interval_ms =
+      static_cast<int>(flags.GetInt("report-interval-ms", 0));
+  if (report_interval_ms > 0) {
+    obs::IntervalReporter::Options reporter_options;
+    reporter_options.interval_ms = report_interval_ms;
+    reporter_options.prefix_filter = "service.";
+    reporter_options.format =
+        flags.Get("report-format", "text") == "jsonl"
+            ? obs::IntervalReporter::Format::kJsonl
+            : obs::IntervalReporter::Format::kText;
+    reporter = std::make_unique<obs::IntervalReporter>(reporter_options);
+    reporter->Start();
+  }
+
+  const service::LoadGenReport report =
+      service::RunLoadGen(query_service, query_pool, model, load);
+
+  if (reporter != nullptr) {
+    reporter->Stop();
+  }
+  query_service.Shutdown();
+
+  Table table({"phase", "mult", "offered/s", "goodput/s", "reject%",
+               "miss%", "p50 ms", "p95 ms", "p99 ms", "p99.9 ms",
+               "max ms"});
+  for (size_t i = 0; i < report.phases.size(); ++i) {
+    const service::PhaseReport& p = report.phases[i];
+    table.AddRow()
+        .Add(p.calibration ? "cal" : std::to_string(i).c_str())
+        .Add(p.multiplier, 3)
+        .Add(p.offered_qps, 4)
+        .Add(p.goodput_qps, 4)
+        .Add(100 * p.reject_rate, 3)
+        .Add(100 * p.deadline_miss_rate, 3)
+        .Add(p.e2e.p50_ms, 4)
+        .Add(p.e2e.p95_ms, 4)
+        .Add(p.e2e.p99_ms, 4)
+        .Add(p.e2e.p999_ms, 4)
+        .Add(p.e2e.max_ms, 4);
+  }
+  std::fputs(table.ToText().c_str(), stdout);
+
+  uint64_t completed = 0;
+  for (const service::PhaseReport& p : report.phases) {
+    completed += p.completed_ok;
+  }
+  const service::SelectionCache* cache = query_service.cache();
+  std::printf("loadgen completed %zu phases (%" PRIu64 " batches OK, "
+              "base %.1f qps); cache hit rate %.1f%%\n",
+              report.phases.size(), completed, report.base_qps,
+              cache != nullptr ? cache->HitRate() * 100 : 0.0);
+
+  int rc = 0;
+  const std::string json_path = flags.Get("json-out", "");
+  if (!json_path.empty()) {
+    if (WriteTextFile(json_path, report.ToJson())) {
+      std::printf("wrote loadgen report to %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write loadgen report to %s\n",
+                   json_path.c_str());
+      rc = 1;
+    }
+  }
+  const std::string slow_log_path = flags.Get("slow-log-out", "");
+  if (!slow_log_path.empty()) {
+    const service::SlowBatchLog* slow_log = query_service.slow_log();
+    if (slow_log == nullptr ||
+        !slow_log->WriteChromeJsonFile(slow_log_path)) {
+      std::fprintf(stderr, "failed to write slow-batch log to %s\n",
+                   slow_log_path.c_str());
+      rc = 1;
+    } else {
+      std::printf("wrote slow-batch log to %s (%" PRIu64 " captured)\n",
+                  slow_log_path.c_str(), slow_log->captured());
+    }
+  }
+  const int obs_rc = obs_out.Finish();
+  return rc != 0 ? rc : obs_rc;
 }
 
 int Usage() {
@@ -910,6 +1217,9 @@ int Main(int argc, char** argv) {
   }
   if (command_name == "monitor") {
     return CmdMonitor(flags);
+  }
+  if (command_name == "loadgen") {
+    return CmdLoadgen(flags);
   }
   return CmdServeBatch(flags);
 }
