@@ -6,6 +6,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -19,6 +22,7 @@
 #include "hilbert/hilbert_curve.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "store/segment_format.h"
 #include "util/rng.h"
 
 namespace s3vcd {
@@ -210,6 +214,63 @@ void BM_RefineScan(benchmark::State& state) {
   state.SetLabel(core::ScanKernelName(kind));
 }
 BENCHMARK(BM_RefineScan)->Arg(0)->Arg(1)->Arg(2);
+
+// The same refinement sweep served straight off an on-disk segment (the
+// segment backend's phase-2 path): the shared corpus is written once as a
+// .s3seg file and the kernels run over its mapped (or resident) columns
+// through the DescriptorView. Labels ("segment:mmap", "segment:resident")
+// feed tools/run_benchmarks.sh, which emits BENCH_store.json; comparing
+// against BM_RefineScan's in-memory rows shows what serving from the
+// store costs.
+void BM_SegmentScan(benchmark::State& state) {
+  static const std::string* const segment_path = [] {
+    core::S3Index* index = SharedIndex();
+    const core::FingerprintDatabase& db = index->database();
+    std::vector<BitKey> keys;
+    keys.reserve(db.size());
+    for (size_t i = 0; i < db.size(); ++i) {
+      keys.push_back(db.key(i));
+    }
+    auto* path = new std::string(
+        (std::filesystem::temp_directory_path() /
+         ("s3vcd_bench_segment_" + std::to_string(::getpid()) + ".s3seg"))
+            .string());
+    store::SegmentWriteOptions write_options;
+    write_options.sync = false;
+    const Status status = store::WriteSegmentFile(
+        *path, /*segment_id=*/1, db.order(), db.block(), keys, write_options);
+    if (!status.ok()) {
+      path->clear();
+    }
+    return path;
+  }();
+  if (segment_path->empty()) {
+    state.SkipWithError("failed to write benchmark segment");
+    return;
+  }
+  store::SegmentReadOptions read_options;
+  read_options.use_mmap = state.range(0) != 0;
+  auto reader = store::SegmentReader::Open(*segment_path, read_options);
+  if (!reader.ok()) {
+    state.SkipWithError(reader.status().ToString().c_str());
+    return;
+  }
+  Rng rng(10);
+  const fp::Fingerprint q = core::UniformRandomFingerprint(&rng);
+  const core::RefineSpec spec(core::RefinementMode::kRadiusFilter,
+                              /*radius=*/90.0, /*model=*/nullptr);
+  const core::DescriptorView view = (*reader)->View();
+  for (auto _ : state) {
+    core::QueryResult result;
+    core::ScanRecords(q, view, 0, view.size(), spec, &result);
+    benchmark::DoNotOptimize(result.stats.records_scanned);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(view.size()));
+  state.SetLabel(std::string("segment:") +
+                 ((*reader)->mapped() ? "mmap" : "resident"));
+}
+BENCHMARK(BM_SegmentScan)->Arg(0)->Arg(1);
 
 void BM_SequentialScan(benchmark::State& state) {
   core::S3Index* index = SharedIndex();

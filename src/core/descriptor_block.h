@@ -11,6 +11,34 @@
 
 namespace s3vcd::core {
 
+/// Non-owning view of a structure-of-arrays record store: raw pointers to
+/// the packed descriptor bytes and the parallel id/time/x/y columns. The
+/// refinement kernels (core/scan_kernel) operate on views, so the same
+/// SIMD scan runs over a resident DescriptorBlock and over columns mapped
+/// straight out of an on-disk segment (src/store/) without copying. The
+/// pointed-to arrays must outlive the view and hold `count` entries each
+/// (descriptors: count * fp::kDims bytes).
+struct DescriptorView {
+  const uint8_t* descriptors = nullptr;  ///< count * fp::kDims packed bytes
+  const uint32_t* ids = nullptr;
+  const uint32_t* time_codes = nullptr;
+  const float* xs = nullptr;
+  const float* ys = nullptr;
+  size_t count = 0;
+
+  size_t size() const { return count; }
+  bool empty() const { return count == 0; }
+
+  /// First byte of record i's descriptor.
+  const uint8_t* descriptor(size_t i) const {
+    return descriptors + i * fp::kDims;
+  }
+  uint32_t id(size_t i) const { return ids[i]; }
+  uint32_t time_code(size_t i) const { return time_codes[i]; }
+  float x(size_t i) const { return xs[i]; }
+  float y(size_t i) const { return ys[i]; }
+};
+
 /// Structure-of-arrays store of fingerprint records: the 20-byte
 /// descriptors live packed back to back, with the ids, time codes and
 /// interest-point coordinates in parallel arrays. This is the layout every
@@ -76,6 +104,12 @@ class DescriptorBlock {
     r.x = xs_[i];
     r.y = ys_[i];
     return r;
+  }
+
+  /// A view over this block's arrays, valid until the next mutation.
+  DescriptorView View() const {
+    return {descriptors_.data(), ids_.data(),  time_codes_.data(),
+            xs_.data(),          ys_.data(),   ids_.size()};
   }
 
   uint64_t MemoryBytes() const {

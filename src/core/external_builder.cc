@@ -158,6 +158,21 @@ Status ExternalDatabaseBuilder::Finish() {
     return Status::FailedPrecondition("builder already finished");
   }
   finished_ = true;
+  const Status status = MergeRuns();
+  // Temp runs are gone after Finish whether the merge succeeded or not;
+  // a failed merge also takes its partial output file with it.
+  for (const std::string& path : run_paths_) {
+    std::remove(path.c_str());
+  }
+  run_paths_.clear();
+  buffer_.clear();
+  if (!status.ok()) {
+    std::remove(output_path_.c_str());
+  }
+  return status;
+}
+
+Status ExternalDatabaseBuilder::MergeRuns() {
   SortBuffer();
 
   // Output header (same format as FingerprintDatabase::SaveToFile).
@@ -225,13 +240,12 @@ Status ExternalDatabaseBuilder::Finish() {
     return Status::Internal("merge produced a different record count");
   }
   S3VCD_RETURN_IF_ERROR(writer.WriteU32(writer.crc()));
+  // Durability before success: the bytes reach stable storage, then the
+  // file's directory entry. A crash right after Finish returns OK cannot
+  // lose or truncate the database.
+  S3VCD_RETURN_IF_ERROR(writer.Sync());
   S3VCD_RETURN_IF_ERROR(writer.Close());
-
-  for (const std::string& path : run_paths_) {
-    std::remove(path.c_str());
-  }
-  run_paths_.clear();
-  buffer_.clear();
+  S3VCD_RETURN_IF_ERROR(SyncDir(DirName(output_path_)));
   return Status::OK();
 }
 

@@ -52,8 +52,10 @@ class ExternalDatabaseBuilder {
   /// Number of sorted runs spilled so far (excludes the in-memory tail).
   size_t runs_spilled() const { return run_paths_.size(); }
 
-  /// Merges all runs plus the in-memory tail into the output file and
-  /// removes the temporaries. The builder cannot be reused afterwards.
+  /// Merges all runs plus the in-memory tail into the output file, fsyncs
+  /// the file and its directory, and removes the temporaries — on success
+  /// *and* on every error path (a failed merge also removes its partial
+  /// output). The builder cannot be reused afterwards.
   Status Finish();
 
  private:
@@ -63,6 +65,7 @@ class ExternalDatabaseBuilder {
   };
 
   Status SpillRun();
+  Status MergeRuns();
   void SortBuffer();
 
   std::string output_path_;

@@ -189,7 +189,7 @@ ScanKernelKind SetScanKernelForTest(ScanKernelKind kind) {
       static_cast<int>(kind), std::memory_order_relaxed));
 }
 
-void ScanRecords(const fp::Fingerprint& query, const DescriptorBlock& block,
+void ScanRecords(const fp::Fingerprint& query, const DescriptorView& block,
                  size_t first, size_t last, const RefineSpec& spec,
                  QueryResult* result) {
   if (first >= last) {

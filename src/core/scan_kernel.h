@@ -109,7 +109,7 @@ inline uint32_t SquaredDistanceU32(const uint8_t* a, const uint8_t* b) {
 /// computes and tests against the radius (in sigma units). The
 /// unnormalized distance is not computed in normalized mode.
 inline bool RefineRecord(const fp::Fingerprint& query,
-                         const DescriptorBlock& block, size_t i,
+                         const DescriptorView& block, size_t i,
                          const RefineSpec& spec, QueryResult* result) {
   ++result->stats.records_scanned;
   double dist_sq;
@@ -129,13 +129,28 @@ inline bool RefineRecord(const fp::Fingerprint& query,
   return true;
 }
 
-/// Refines records [first, last) of a block through the dispatched blocked
+inline bool RefineRecord(const fp::Fingerprint& query,
+                         const DescriptorBlock& block, size_t i,
+                         const RefineSpec& spec, QueryResult* result) {
+  return RefineRecord(query, block.View(), i, spec, result);
+}
+
+/// Refines records [first, last) of a view through the dispatched blocked
 /// kernel. Equivalent to calling RefineRecord on each index in order —
 /// identical matches and records_scanned accounting, vectorized distance
-/// computation.
-void ScanRecords(const fp::Fingerprint& query, const DescriptorBlock& block,
+/// computation. The view may point into a resident DescriptorBlock or at
+/// columns mapped from an on-disk segment; the kernel only reads through
+/// the view's pointers.
+void ScanRecords(const fp::Fingerprint& query, const DescriptorView& block,
                  size_t first, size_t last, const RefineSpec& spec,
                  QueryResult* result);
+
+inline void ScanRecords(const fp::Fingerprint& query,
+                        const DescriptorBlock& block, size_t first,
+                        size_t last, const RefineSpec& spec,
+                        QueryResult* result) {
+  ScanRecords(query, block.View(), first, last, spec, result);
+}
 
 /// Membership of a curve key in the half-open section [begin, end), where
 /// a numerically zero `end` denotes the final section wrapping to the top

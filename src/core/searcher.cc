@@ -208,7 +208,14 @@ Result<std::unique_ptr<Searcher>> SearcherRegistry::Create(
     return Status::InvalidArgument("unknown searcher backend '" + name +
                                    "'; registered backends: " + NamesCsv());
   }
-  return it->second(std::move(db), config);
+  std::unique_ptr<Searcher> searcher = it->second(std::move(db), config);
+  if (searcher == nullptr) {
+    // Factories signal construction failure by returning null (and logging
+    // the cause); never hand a null Searcher to the caller as "ok".
+    return Status::Internal("construction of searcher backend '" + name +
+                            "' failed (see log for the cause)");
+  }
+  return searcher;
 }
 
 }  // namespace s3vcd::core

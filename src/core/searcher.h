@@ -204,6 +204,13 @@ struct SearcherConfig {
   int lsh_hashes_per_table = 6;
   double lsh_bucket_width = 120.0;
   uint64_t lsh_seed = 1;
+  /// segment: store directory (empty = ephemeral temp dir), memtable spill
+  /// threshold, compaction fan-in, mmap vs resident reads. See
+  /// docs/segment_format.md and the segment-store table in docs/tuning.md.
+  std::string segment_store_dir;
+  uint64_t segment_spill_threshold = 64 * 1024;
+  int segment_tier_fanin = 4;
+  bool segment_use_mmap = true;
 };
 
 /// String-keyed factory of Searcher backends. The built-ins ("s3",

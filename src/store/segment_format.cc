@@ -1,0 +1,351 @@
+#include "store/segment_format.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "util/io.h"
+
+namespace s3vcd::store {
+
+namespace {
+
+inline void PutU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, 4); }
+inline void PutU64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, 8); }
+inline uint32_t GetU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+inline uint64_t GetU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+inline void PutKey(uint8_t* p, const BitKey& k) {
+  for (int w = 0; w < BitKey::kWords; ++w) {
+    PutU64(p + w * 8, k.word(w));
+  }
+}
+
+inline BitKey GetKey(const uint8_t* p) {
+  BitKey k;
+  for (int w = 0; w < BitKey::kWords; ++w) {
+    k.set_word(w, GetU64(p + w * 8));
+  }
+  return k;
+}
+
+inline uint64_t Align64(uint64_t off) {
+  return (off + (kSectionAlign - 1)) & ~uint64_t{kSectionAlign - 1};
+}
+
+struct SectionLayout {
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  uint32_t crc = 0;
+};
+
+/// Element size of each of the 6 sections, in file order.
+constexpr size_t kElemBytes[kNumSections] = {
+    kKeyBytes, fp::kDims, sizeof(uint32_t),
+    sizeof(uint32_t), sizeof(float), sizeof(float)};
+
+Status PadTo(BinaryWriter* writer, uint64_t target) {
+  static const uint8_t kZeros[kSectionAlign] = {};
+  while (writer->bytes_written() < target) {
+    const size_t n = std::min<uint64_t>(target - writer->bytes_written(),
+                                        kSectionAlign);
+    S3VCD_RETURN_IF_ERROR(writer->WriteBytes(kZeros, n));
+  }
+  return Status::OK();
+}
+
+Status WriteSegmentFileImpl(const std::string& path, uint64_t segment_id,
+                            int order, const core::DescriptorBlock& block,
+                            const std::vector<BitKey>& keys,
+                            const SegmentWriteOptions& options) {
+  const uint64_t n = block.size();
+  if (keys.size() != n) {
+    return Status::InvalidArgument("key array size != record count");
+  }
+  for (size_t i = 1; i < keys.size(); ++i) {
+    if (keys[i] < keys[i - 1]) {
+      return Status::InvalidArgument("segment records must be key-sorted");
+    }
+  }
+  if (order < 1 || order > 8) {
+    return Status::InvalidArgument("curve order out of range [1, 8]");
+  }
+
+  SectionLayout sections[kNumSections];
+  uint64_t offset = kSegmentHeaderBytes;
+  for (uint32_t s = 0; s < kNumSections; ++s) {
+    sections[s].offset = offset;
+    sections[s].length = n * kElemBytes[s];
+    offset = Align64(offset + sections[s].length);
+  }
+  const uint64_t footer_offset = offset;
+
+  BinaryWriter writer;
+  S3VCD_RETURN_IF_ERROR(writer.Open(path));
+
+  uint8_t header[kSegmentHeaderBytes] = {};
+  PutU32(header + 0, kSegmentMagic);
+  PutU32(header + 4, kSegmentVersion);
+  PutU32(header + 8, static_cast<uint32_t>(fp::kDims));
+  PutU32(header + 12, static_cast<uint32_t>(order));
+  PutU64(header + 16, n);
+  PutU64(header + 24, segment_id);
+  PutU32(header + 32, Crc32(header, 32));
+  S3VCD_RETURN_IF_ERROR(writer.WriteBytes(header, sizeof(header)));
+
+  const core::DescriptorView view = block.View();
+
+  // Section 0: keys, serialized in chunks.
+  S3VCD_RETURN_IF_ERROR(PadTo(&writer, sections[0].offset));
+  {
+    constexpr size_t kChunkKeys = 512;
+    uint8_t chunk[kChunkKeys * kKeyBytes];
+    uint32_t crc = 0;
+    for (size_t i = 0; i < n; i += kChunkKeys) {
+      const size_t count = std::min<size_t>(kChunkKeys, n - i);
+      for (size_t k = 0; k < count; ++k) {
+        PutKey(chunk + k * kKeyBytes, keys[i + k]);
+      }
+      crc = Crc32(chunk, count * kKeyBytes, crc);
+      S3VCD_RETURN_IF_ERROR(writer.WriteBytes(chunk, count * kKeyBytes));
+    }
+    sections[0].crc = crc;
+  }
+
+  // Sections 1-5: the SoA columns are contiguous already.
+  const void* columns[kNumSections] = {nullptr,  view.descriptors, view.ids,
+                                       view.time_codes, view.xs, view.ys};
+  for (uint32_t s = 1; s < kNumSections; ++s) {
+    S3VCD_RETURN_IF_ERROR(PadTo(&writer, sections[s].offset));
+    sections[s].crc = Crc32(columns[s], sections[s].length);
+    S3VCD_RETURN_IF_ERROR(writer.WriteBytes(columns[s], sections[s].length));
+  }
+
+  S3VCD_RETURN_IF_ERROR(PadTo(&writer, footer_offset));
+  uint8_t footer[kSegmentFooterBytes] = {};
+  PutU32(footer + 0, kNumSections);
+  for (uint32_t s = 0; s < kNumSections; ++s) {
+    uint8_t* e = footer + 4 + s * 24;
+    PutU64(e + 0, sections[s].offset);
+    PutU64(e + 8, sections[s].length);
+    PutU32(e + 16, sections[s].crc);
+    PutU32(e + 20, 0);  // reserved
+  }
+  PutKey(footer + 148, n > 0 ? keys.front() : BitKey::Zero());
+  PutKey(footer + 180, n > 0 ? keys.back() : BitKey::Zero());
+  PutU64(footer + 212, footer_offset);
+  PutU32(footer + 220, Crc32(footer, 220));
+  PutU32(footer + 224, kSegmentMagic);
+  S3VCD_RETURN_IF_ERROR(writer.WriteBytes(footer, sizeof(footer)));
+
+  if (options.sync) {
+    S3VCD_RETURN_IF_ERROR(writer.Sync());
+  }
+  return writer.Close();
+}
+
+}  // namespace
+
+Status WriteSegmentFile(const std::string& path, uint64_t segment_id,
+                        int order, const core::DescriptorBlock& block,
+                        const std::vector<BitKey>& keys,
+                        const SegmentWriteOptions& options) {
+  const Status status =
+      WriteSegmentFileImpl(path, segment_id, order, block, keys, options);
+  if (!status.ok()) {
+    std::remove(path.c_str());
+  }
+  return status;
+}
+
+SegmentReader::~SegmentReader() {
+  if (map_base_ != nullptr) {
+    ::munmap(map_base_, map_len_);
+  }
+}
+
+Result<std::shared_ptr<SegmentReader>> SegmentReader::Open(
+    const std::string& path, const SegmentReadOptions& options) {
+  std::shared_ptr<SegmentReader> reader(new SegmentReader());
+  S3VCD_RETURN_IF_ERROR(reader->Init(path, options));
+  return reader;
+}
+
+Status SegmentReader::Init(const std::string& path,
+                           const SegmentReadOptions& options) {
+  path_ = path;
+  const uint8_t* data = nullptr;
+  uint64_t size = 0;
+  if (options.use_mmap) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      struct stat st;
+      if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+        void* m = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
+                         MAP_SHARED, fd, 0);
+        if (m != MAP_FAILED) {
+          map_base_ = m;
+          map_len_ = static_cast<size_t>(st.st_size);
+        }
+      }
+      ::close(fd);
+    }
+  }
+  if (map_base_ != nullptr) {
+    data = static_cast<const uint8_t*>(map_base_);
+    size = map_len_;
+  } else {
+    // Resident fallback (also the explicit use_mmap=false path).
+    S3VCD_ASSIGN_OR_RETURN(resident_, ReadFileBytes(path));
+    data = resident_.data();
+    size = resident_.size();
+  }
+  file_bytes_ = size;
+
+  // Structural screen, outside in: sizes, trailing magic, footer CRC,
+  // header, section table, then payload CRCs. Everything is kCorruption —
+  // the reader never serves a partially validated file.
+  if (size < kSegmentHeaderBytes + kSegmentFooterBytes) {
+    return Status::Corruption("segment file truncated: " + path);
+  }
+  const uint8_t* footer = data + (size - kSegmentFooterBytes);
+  if (GetU32(footer + 224) != kSegmentMagic) {
+    return Status::Corruption("segment trailing magic mismatch: " + path);
+  }
+  if (GetU32(footer + 220) != Crc32(footer, 220)) {
+    return Status::Corruption("segment footer checksum mismatch: " + path);
+  }
+  if (GetU64(footer + 212) != size - kSegmentFooterBytes) {
+    return Status::Corruption("segment footer offset mismatch: " + path);
+  }
+
+  const uint8_t* header = data;
+  if (GetU32(header + 0) != kSegmentMagic) {
+    return Status::Corruption("not a segment file: " + path);
+  }
+  if (GetU32(header + 4) != kSegmentVersion) {
+    return Status::Corruption("unsupported segment version " +
+                              std::to_string(GetU32(header + 4)) + ": " +
+                              path);
+  }
+  if (GetU32(header + 32) != Crc32(header, 32)) {
+    return Status::Corruption("segment header checksum mismatch: " + path);
+  }
+  if (GetU32(header + 8) != static_cast<uint32_t>(fp::kDims)) {
+    return Status::Corruption("segment dims mismatch: " + path);
+  }
+  const uint32_t order = GetU32(header + 12);
+  if (order < 1 || order > 8) {
+    return Status::Corruption("segment curve order out of range: " + path);
+  }
+  order_ = static_cast<int>(order);
+  count_ = GetU64(header + 16);
+  segment_id_ = GetU64(header + 24);
+
+  if (GetU32(footer + 0) != kNumSections) {
+    return Status::Corruption("segment section count mismatch: " + path);
+  }
+  const uint64_t footer_offset = size - kSegmentFooterBytes;
+  uint64_t prev_end = kSegmentHeaderBytes;
+  SectionLayout sections[kNumSections];
+  for (uint32_t s = 0; s < kNumSections; ++s) {
+    const uint8_t* e = footer + 4 + s * 24;
+    sections[s].offset = GetU64(e + 0);
+    sections[s].length = GetU64(e + 8);
+    sections[s].crc = GetU32(e + 16);
+    if (sections[s].length != count_ * kElemBytes[s]) {
+      return Status::Corruption("segment section length inconsistent with "
+                                "record count: " + path);
+    }
+    if (sections[s].offset % kSectionAlign != 0 ||
+        sections[s].offset < prev_end ||
+        sections[s].offset + sections[s].length > footer_offset) {
+      return Status::Corruption(
+          "segment section table overlapping or out of bounds: " + path);
+    }
+    prev_end = sections[s].offset + sections[s].length;
+  }
+  if (options.verify_checksums) {
+    for (uint32_t s = 0; s < kNumSections; ++s) {
+      if (Crc32(data + sections[s].offset, sections[s].length) !=
+          sections[s].crc) {
+        return Status::Corruption("segment section " + std::to_string(s) +
+                                  " checksum mismatch: " + path);
+      }
+    }
+  }
+
+  key_bytes_ = data + sections[0].offset;
+  descriptors_ = data + sections[1].offset;
+  ids_ = reinterpret_cast<const uint32_t*>(data + sections[2].offset);
+  time_codes_ = reinterpret_cast<const uint32_t*>(data + sections[3].offset);
+  xs_ = reinterpret_cast<const float*>(data + sections[4].offset);
+  ys_ = reinterpret_cast<const float*>(data + sections[5].offset);
+
+  // Key order and footer min/max agreement.
+  BitKey prev;
+  for (uint64_t i = 0; i < count_; ++i) {
+    const BitKey k = key(i);
+    if (i > 0 && k < prev) {
+      return Status::Corruption("segment keys out of order: " + path);
+    }
+    prev = k;
+  }
+  min_key_ = count_ > 0 ? key(0) : BitKey::Zero();
+  max_key_ = count_ > 0 ? key(count_ - 1) : BitKey::Zero();
+  if (GetKey(footer + 148) != min_key_ || GetKey(footer + 180) != max_key_) {
+    return Status::Corruption("segment min/max key mismatch: " + path);
+  }
+  return Status::OK();
+}
+
+BitKey SegmentReader::key(size_t i) const {
+  return GetKey(key_bytes_ + i * kKeyBytes);
+}
+
+core::FingerprintRecord SegmentReader::Record(size_t i) const {
+  core::FingerprintRecord r;
+  std::memcpy(r.descriptor.data(), descriptors_ + i * fp::kDims, fp::kDims);
+  r.id = ids_[i];
+  r.time_code = time_codes_[i];
+  r.x = xs_[i];
+  r.y = ys_[i];
+  return r;
+}
+
+size_t SegmentReader::LowerBound(const BitKey& target) const {
+  size_t lo = 0;
+  size_t hi = static_cast<size_t>(count_);
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (key(mid) < target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::pair<size_t, size_t> SegmentReader::ResolveRange(
+    const BitKey& begin, const BitKey& end) const {
+  const size_t first = LowerBound(begin);
+  const size_t last =
+      end.is_zero() ? static_cast<size_t>(count_) : LowerBound(end);
+  return {first, last};
+}
+
+}  // namespace s3vcd::store

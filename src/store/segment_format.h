@@ -1,0 +1,151 @@
+#ifndef S3VCD_STORE_SEGMENT_FORMAT_H_
+#define S3VCD_STORE_SEGMENT_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/descriptor_block.h"
+#include "core/record.h"
+#include "fingerprint/fingerprint.h"
+#include "util/bitkey.h"
+#include "util/status.h"
+
+namespace s3vcd::store {
+
+/// The immutable on-disk segment format (`.s3seg`): one Hilbert-sorted
+/// run of fingerprint records stored *columnar*, so the refinement kernels
+/// (core/scan_kernel) run directly over the mapped arrays through a
+/// core::DescriptorView — no deserialization on the query path. Byte-level
+/// spec: docs/segment_format.md. The `.s3db` single-file format
+/// (docs/file_format.md) remains the interchange format; segments are the
+/// serving format written and compacted by SegmentStore.
+///
+/// Layout summary (every section 64-byte aligned, lengths in the footer):
+///   [0, 64)    header: magic, version, dims, order, count, segment id, CRC
+///   sections   keys (32 B/rec) | descriptors (20 B/rec) | ids | times | xs | ys
+///   [end-228, end)  footer: section table with per-section CRCs, min/max
+///                   key, footer offset, footer CRC, trailing magic
+inline constexpr uint32_t kSegmentMagic = 0x53335347;  // "S3SG"
+inline constexpr uint32_t kSegmentVersion = 1;
+/// Alignment of every section start (and of the header block), so mapped
+/// column pointers satisfy the alignment of their element types.
+inline constexpr size_t kSectionAlign = 64;
+inline constexpr size_t kSegmentHeaderBytes = 64;
+/// keys, descriptors, ids, time_codes, xs, ys — in file order.
+inline constexpr uint32_t kNumSections = 6;
+/// Serialized BitKey: 4 little-endian u64 words, least significant first.
+inline constexpr size_t kKeyBytes = 32;
+/// section_count u32 + 6 * {offset u64, length u64, crc u32, reserved u32}
+/// + min_key + max_key + footer_offset u64 + footer_crc u32 + magic u32.
+inline constexpr size_t kSegmentFooterBytes =
+    4 + kNumSections * 24 + 2 * kKeyBytes + 8 + 4 + 4;
+
+struct SegmentWriteOptions {
+  /// fsync the segment file before returning (the caller still owns
+  /// durability of the *name* via rename + directory sync).
+  bool sync = true;
+};
+
+/// Writes one complete segment file at `path` from a sorted record block
+/// and its parallel key array (keys[i] = Hilbert key of block record i,
+/// non-decreasing). Fails with kInvalidArgument on unsorted keys or a
+/// size mismatch; any error leaves no file behind.
+Status WriteSegmentFile(const std::string& path, uint64_t segment_id,
+                        int order, const core::DescriptorBlock& block,
+                        const std::vector<BitKey>& keys,
+                        const SegmentWriteOptions& options = {});
+
+struct SegmentReadOptions {
+  /// Map the file (shared, read-only) instead of reading it resident.
+  /// When mapping fails (e.g. filesystem without mmap) Open falls back to
+  /// a resident read.
+  bool use_mmap = true;
+  /// Verify every section CRC at open. Opening is O(file) either way; with
+  /// verification off only the header/footer structure is checked.
+  bool verify_checksums = true;
+};
+
+/// A validated, immutable, opened segment. All accessors are const and
+/// thread-safe; the object owns the mapping (or the resident copy) and
+/// releases it on destruction. Open() performs the full corruption screen
+/// of docs/segment_format.md — any structural violation, CRC mismatch or
+/// key-order violation returns kCorruption and constructs nothing, so a
+/// reader either sees the entire segment or none of it.
+class SegmentReader {
+ public:
+  static Result<std::shared_ptr<SegmentReader>> Open(
+      const std::string& path, const SegmentReadOptions& options = {});
+
+  ~SegmentReader();
+  SegmentReader(const SegmentReader&) = delete;
+  SegmentReader& operator=(const SegmentReader&) = delete;
+
+  const std::string& path() const { return path_; }
+  uint64_t segment_id() const { return segment_id_; }
+  int order() const { return order_; }
+  /// Record count.
+  uint64_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  uint64_t file_bytes() const { return file_bytes_; }
+  /// Whether the columns are served from a shared file mapping (true) or
+  /// from a resident copy (false).
+  bool mapped() const { return map_base_ != nullptr; }
+  /// Bytes of process-resident copy (0 when mapped).
+  uint64_t resident_bytes() const { return mapped() ? 0 : resident_.size(); }
+
+  /// Hilbert key of record i (decoded from the mapped key column).
+  BitKey key(size_t i) const;
+  const BitKey& min_key() const { return min_key_; }
+  const BitKey& max_key() const { return max_key_; }
+
+  /// The SoA columns as a view the scan kernels consume directly.
+  core::DescriptorView View() const {
+    return {descriptors_, ids_, time_codes_, xs_, ys_,
+            static_cast<size_t>(count_)};
+  }
+
+  /// Record i in array-of-structs form (merges, tools; not the scan path).
+  core::FingerprintRecord Record(size_t i) const;
+
+  /// Index of the first record with key >= `key` (binary search).
+  size_t LowerBound(const BitKey& key) const;
+
+  /// Resolves a curve-key range [begin, end) to record indices
+  /// [first, last); a numerically zero `end` wraps to the top of the key
+  /// space (same convention as core::S3Index::ResolveRange).
+  std::pair<size_t, size_t> ResolveRange(const BitKey& begin,
+                                         const BitKey& end) const;
+
+ private:
+  SegmentReader() = default;
+  Status Init(const std::string& path, const SegmentReadOptions& options);
+
+  std::string path_;
+  uint64_t segment_id_ = 0;
+  int order_ = 0;
+  uint64_t count_ = 0;
+  uint64_t file_bytes_ = 0;
+  BitKey min_key_;
+  BitKey max_key_;
+
+  /// Backing bytes: either a shared read-only mapping or a resident copy.
+  void* map_base_ = nullptr;
+  size_t map_len_ = 0;
+  std::vector<uint8_t> resident_;
+
+  /// Column pointers into the backing bytes (64-byte aligned in-file).
+  const uint8_t* key_bytes_ = nullptr;  ///< count_ * kKeyBytes
+  const uint8_t* descriptors_ = nullptr;
+  const uint32_t* ids_ = nullptr;
+  const uint32_t* time_codes_ = nullptr;
+  const float* xs_ = nullptr;
+  const float* ys_ = nullptr;
+};
+
+}  // namespace s3vcd::store
+
+#endif  // S3VCD_STORE_SEGMENT_FORMAT_H_

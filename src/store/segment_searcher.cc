@@ -1,0 +1,292 @@
+#include "store/segment_searcher.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <mutex>
+#include <numeric>
+#include <utility>
+
+#include "core/scan_kernel.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
+
+namespace s3vcd::store {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+obs::Counter* const g_spills =
+    obs::MetricsRegistry::Global().GetCounter("index.segment_spills");
+obs::Counter* const g_inserts =
+    obs::MetricsRegistry::Global().GetCounter("index.segment_inserts");
+obs::Gauge* const g_segments =
+    obs::MetricsRegistry::Global().GetGauge("index.segment_segments");
+obs::Gauge* const g_pending =
+    obs::MetricsRegistry::Global().GetGauge("index.segment_pending_inserts");
+
+/// A fresh private store directory for ephemeral (no --store-dir) use.
+Result<std::string> MakeTempStoreDir() {
+  std::string templ =
+      (fs::temp_directory_path() / "s3vcd_segstore_XXXXXX").string();
+  if (::mkdtemp(templ.data()) == nullptr) {
+    return Status::IOError("cannot create temp store directory");
+  }
+  return templ;
+}
+
+}  // namespace
+
+SegmentSearcher::SegmentSearcher(std::unique_ptr<SegmentStore> store,
+                                 bool owns_dir)
+    : store_(std::move(store)),
+      owns_dir_(owns_dir),
+      curve_(fp::kDims, store_->order()),
+      filter_(curve_),
+      spill_threshold_(0) {}
+
+SegmentSearcher::~SegmentSearcher() {
+  if (owns_dir_) {
+    const std::string dir = store_->dir();
+    store_.reset();  // release the mappings before removing the files
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+  }
+}
+
+Result<std::unique_ptr<SegmentSearcher>> SegmentSearcher::Open(
+    core::FingerprintDatabase db, const SegmentSearcherOptions& options) {
+  std::string dir = options.store_dir;
+  bool owns_dir = false;
+  if (dir.empty()) {
+    S3VCD_ASSIGN_OR_RETURN(dir, MakeTempStoreDir());
+    owns_dir = true;
+  }
+  SegmentStoreOptions store_options = options.store;
+  store_options.tier_base_records =
+      std::max<uint64_t>(options.spill_threshold, 1);
+
+  // An empty database means "whatever the store holds": resolve the curve
+  // order from the manifest (0), falling back to the database's default
+  // order when the directory turns out to be fresh.
+  const int requested_order = db.empty() ? 0 : db.order();
+  auto store = SegmentStore::Open(dir, requested_order, store_options);
+  if (!store.ok() && db.empty() &&
+      store.status().code() == StatusCode::kInvalidArgument) {
+    store = SegmentStore::Open(dir, db.order(), store_options);
+  }
+  S3VCD_RETURN_IF_ERROR(store.status());
+
+  if (!db.empty()) {
+    if ((*store)->total_records() > 0) {
+      return Status::FailedPrecondition(
+          "segment store " + dir + " already holds records; reopen it with "
+          "an empty database (the segments are authoritative)");
+    }
+    std::vector<BitKey> keys;
+    keys.reserve(db.size());
+    for (size_t i = 0; i < db.size(); ++i) {
+      keys.push_back(db.key(i));
+    }
+    S3VCD_RETURN_IF_ERROR((*store)->AppendSegment(db.block(), keys));
+  }
+
+  std::unique_ptr<SegmentSearcher> searcher(
+      new SegmentSearcher(std::move(*store), owns_dir));
+  searcher->spill_threshold_ = std::max<size_t>(options.spill_threshold, 1);
+  g_segments->Set(static_cast<int64_t>(searcher->store_->num_segments()));
+  return searcher;
+}
+
+void SegmentSearcher::ScanStore(const fp::Fingerprint& query,
+                                const core::BlockSelection& selection,
+                                core::RefinementMode mode, double radius,
+                                const core::DistortionModel* model,
+                                core::QueryResult* result) const {
+  const core::RefineSpec spec(mode, radius, model);
+  const std::shared_ptr<const SegmentStore::View> view = store_->view();
+  for (const auto& [begin, end] : selection.ranges) {
+    ++result->stats.ranges_scanned;
+    for (const auto& segment : view->segments) {
+      // Per-segment Hilbert-range pruning before the binary search: a
+      // section entirely below min_key or above max_key touches nothing.
+      if (segment->empty() || segment->max_key() < begin ||
+          (!end.is_zero() && !(segment->min_key() < end))) {
+        continue;
+      }
+      const auto [first, last] = segment->ResolveRange(begin, end);
+      if (first < last) {
+        core::ScanRecords(query, segment->View(), first, last, spec, result);
+      }
+    }
+  }
+  // Memtable post-filter, same wrapped-end membership as the segments.
+  for (size_t i = 0; i < memtable_.size(); ++i) {
+    if (core::KeyInSelection(memtable_keys_[i], selection.ranges)) {
+      core::RefineRecord(query, memtable_, i, spec, result);
+    }
+  }
+}
+
+void SegmentSearcher::ScanSelection(const fp::Fingerprint& query,
+                                    const core::BlockSelection& selection,
+                                    core::RefinementMode mode, double radius,
+                                    const core::DistortionModel* model,
+                                    core::QueryResult* result) const {
+  ScanStore(query, selection, mode, radius, model, result);
+}
+
+core::QueryResult SegmentSearcher::StatQuery(
+    const fp::Fingerprint& query, const core::DistortionModel& model,
+    const core::QueryOptions& options) const {
+  S3VCD_TRACE_SPAN("segment_searcher.query.statistical");
+  core::QueryResult result;
+  Stopwatch watch;
+  const core::BlockSelection selection = filter_.SelectStatistical(
+      query, model, options.filter, &core::ThreadLocalSelectionScratch());
+  result.stats.selection_ns = watch.ElapsedNanos();
+  result.stats.filter_seconds = result.stats.selection_ns * 1e-9;
+  result.stats.blocks_selected = selection.num_blocks;
+  result.stats.nodes_visited = selection.nodes_visited;
+  result.stats.probability_mass = selection.probability_mass;
+
+  watch.Reset();
+  ScanStore(query, selection, options.refinement, options.radius, &model,
+            &result);
+  result.stats.refine_ns = watch.ElapsedNanos();
+  result.stats.refine_seconds = result.stats.refine_ns * 1e-9;
+  core::RecordQueryMetrics(core::QueryKind::kStatistical, result.stats,
+                           result.matches.size());
+  return result;
+}
+
+core::QueryResult SegmentSearcher::RangeQuery(const fp::Fingerprint& query,
+                                              double epsilon,
+                                              int depth) const {
+  S3VCD_TRACE_SPAN("segment_searcher.query.range");
+  core::QueryResult result;
+  Stopwatch watch;
+  const core::BlockSelection selection = filter_.SelectRange(
+      query, epsilon, depth, 1 << 20, 1 << 18,
+      &core::ThreadLocalSelectionScratch());
+  result.stats.selection_ns = watch.ElapsedNanos();
+  result.stats.filter_seconds = result.stats.selection_ns * 1e-9;
+  result.stats.blocks_selected = selection.num_blocks;
+  result.stats.nodes_visited = selection.nodes_visited;
+
+  watch.Reset();
+  ScanStore(query, selection, core::RefinementMode::kRadiusFilter, epsilon,
+            nullptr, &result);
+  result.stats.refine_ns = watch.ElapsedNanos();
+  result.stats.refine_seconds = result.stats.refine_ns * 1e-9;
+  core::RecordQueryMetrics(core::QueryKind::kRange, result.stats,
+                           result.matches.size());
+  return result;
+}
+
+core::SearcherStats SegmentSearcher::Stats() const {
+  return {store_->total_records() + memtable_.size(), memtable_.size()};
+}
+
+uint64_t SegmentSearcher::ApproxBytes() const {
+  uint64_t bytes =
+      memtable_.MemoryBytes() + memtable_keys_.size() * sizeof(BitKey);
+  for (const auto& segment : store_->view()->segments) {
+    // Mapped segments count their full file: a scan touches every column
+    // page, so that is the working-set contribution for capacity planning.
+    bytes += segment->mapped() ? segment->file_bytes()
+                               : segment->resident_bytes();
+  }
+  return bytes;
+}
+
+bool SegmentSearcher::TryInsert(const fp::Fingerprint& fingerprint,
+                                uint32_t id, uint32_t time_code, float x,
+                                float y) {
+  memtable_.Append(fingerprint, id, time_code, x, y);
+  uint32_t coords[fp::kDims];
+  const int shift = 8 - curve_.order();
+  for (int j = 0; j < fp::kDims; ++j) {
+    coords[j] = static_cast<uint32_t>(fingerprint[j]) >> shift;
+  }
+  memtable_keys_.push_back(curve_.Encode(coords));
+  g_inserts->Increment();
+  g_pending->Set(static_cast<int64_t>(memtable_.size()));
+  if (memtable_.size() >= spill_threshold_) {
+    const Status status = Spill();
+    if (!status.ok()) {
+      // The records stay queryable in the memtable; the next spill (or
+      // Compact) retries.
+      S3VCD_LOG(ERROR) << "segment spill failed: " << status.ToString();
+    }
+  }
+  return true;
+}
+
+Status SegmentSearcher::Spill() {
+  if (memtable_.empty()) {
+    return Status::OK();
+  }
+  // Sort the memtable by key (stable, so equal-key inserts keep arrival
+  // order) and write it out as one tier-0 segment.
+  std::vector<size_t> perm(memtable_.size());
+  std::iota(perm.begin(), perm.end(), size_t{0});
+  std::stable_sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+    return memtable_keys_[a] < memtable_keys_[b];
+  });
+  core::DescriptorBlock sorted;
+  sorted.Reserve(perm.size());
+  std::vector<BitKey> keys;
+  keys.reserve(perm.size());
+  for (const size_t i : perm) {
+    sorted.AppendRecord(memtable_.Record(i));
+    keys.push_back(memtable_keys_[i]);
+  }
+  S3VCD_RETURN_IF_ERROR(store_->AppendSegment(sorted, keys));
+  memtable_.Clear();
+  memtable_keys_.clear();
+  g_spills->Increment();
+  g_pending->Set(0);
+  g_segments->Set(static_cast<int64_t>(store_->num_segments()));
+  return Status::OK();
+}
+
+void SegmentSearcher::Compact() {
+  Status status = Spill();
+  if (status.ok()) {
+    status = store_->CompactAll();
+  }
+  if (!status.ok()) {
+    S3VCD_LOG(ERROR) << "segment compaction failed: " << status.ToString();
+  }
+  g_segments->Set(static_cast<int64_t>(store_->num_segments()));
+}
+
+void EnsureSegmentBackendRegistered() {
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    core::SearcherRegistry::Global().Register(
+        "segment",
+        [](core::FingerprintDatabase db, const core::SearcherConfig& config)
+            -> std::unique_ptr<core::Searcher> {
+          SegmentSearcherOptions options;
+          options.store_dir = config.segment_store_dir;
+          options.spill_threshold = config.segment_spill_threshold;
+          options.store.tier_fanin = config.segment_tier_fanin;
+          options.store.use_mmap = config.segment_use_mmap;
+          auto searcher = SegmentSearcher::Open(std::move(db), options);
+          if (!searcher.ok()) {
+            S3VCD_LOG(ERROR) << "segment backend construction failed: "
+                             << searcher.status().ToString();
+            return nullptr;
+          }
+          return std::move(*searcher);
+        });
+  });
+}
+
+}  // namespace s3vcd::store

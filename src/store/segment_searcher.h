@@ -1,0 +1,116 @@
+#ifndef S3VCD_STORE_SEGMENT_SEARCHER_H_
+#define S3VCD_STORE_SEGMENT_SEARCHER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/descriptor_block.h"
+#include "core/distortion_model.h"
+#include "core/filter.h"
+#include "core/searcher.h"
+#include "hilbert/hilbert_curve.h"
+#include "store/segment_store.h"
+#include "util/bitkey.h"
+
+namespace s3vcd::store {
+
+struct SegmentSearcherOptions {
+  /// Store directory. Empty means a fresh private directory under the
+  /// system temp dir, removed when the searcher is destroyed (ephemeral
+  /// mode — used when the backend is selected without --store-dir).
+  std::string store_dir;
+  /// Memtable records that trigger a spill into a new segment.
+  size_t spill_threshold = 64 * 1024;
+  /// Store tuning (fan-in, mmap, checksums, sync). tier_base_records is
+  /// overwritten with spill_threshold so fresh spills land in tier 0.
+  SegmentStoreOptions store;
+};
+
+/// The "segment" registry backend: the persistent, disk-backed counterpart
+/// of DynamicIndex. Queries select curve sections once through the shared
+/// BlockFilter, then refine each section over every on-disk segment (the
+/// SoA scan kernels run directly on the mapped columns — SegmentReader
+/// hands ScanRecords a DescriptorView into the mapping) and post-filter
+/// the in-memory memtable by key membership, so results are identical to
+/// an in-memory index over the same records (tests/segment_parity_test.cc
+/// pins bit-identical parity with the "dynamic" backend, including across
+/// a close/reopen cycle).
+///
+/// Inserts append to the memtable and spill into immutable segments at
+/// spill_threshold; Compact() spills whatever is buffered and runs the
+/// store's tiered compaction to completion. Reopening the same store_dir
+/// resumes from the manifest in milliseconds — nothing is re-ingested.
+///
+/// Single-writer like DynamicIndex: queries are const and may fan out;
+/// TryInsert/Compact require external exclusion.
+class SegmentSearcher : public core::Searcher {
+ public:
+  /// Opens (or creates) the store and ingests `db` as the first segment
+  /// when the store is empty. A non-empty store is authoritative: `db`
+  /// must then be empty (kFailedPrecondition otherwise) — reopen with an
+  /// empty database, the segments already hold the records.
+  static Result<std::unique_ptr<SegmentSearcher>> Open(
+      core::FingerprintDatabase db, const SegmentSearcherOptions& options);
+
+  ~SegmentSearcher() override;
+
+  const SegmentStore& segment_store() const { return *store_; }
+  size_t pending_inserts() const { return memtable_.size(); }
+
+  // ---- Searcher interface ----
+  const char* backend_name() const override { return "segment"; }
+  core::QueryResult StatQuery(const fp::Fingerprint& query,
+                              const core::DistortionModel& model,
+                              const core::QueryOptions& options) const override;
+  core::QueryResult RangeQuery(const fp::Fingerprint& query, double epsilon,
+                               int depth) const override;
+  core::SearcherStats Stats() const override;
+  uint64_t ApproxBytes() const override;
+  const core::BlockFilter* selection_filter() const override {
+    return &filter_;
+  }
+  void ScanSelection(const fp::Fingerprint& query,
+                     const core::BlockSelection& selection,
+                     core::RefinementMode mode, double radius,
+                     const core::DistortionModel* model,
+                     core::QueryResult* result) const override;
+  bool TryInsert(const fp::Fingerprint& fingerprint, uint32_t id,
+                 uint32_t time_code, float x = 0, float y = 0) override;
+  /// Spills the memtable and compacts the store to a steady state.
+  void Compact() override;
+
+ private:
+  SegmentSearcher(std::unique_ptr<SegmentStore> store, bool owns_dir);
+
+  /// Writes the memtable out as one segment (no-op when empty).
+  Status Spill();
+  void ScanStore(const fp::Fingerprint& query,
+                 const core::BlockSelection& selection,
+                 core::RefinementMode mode, double radius,
+                 const core::DistortionModel* model,
+                 core::QueryResult* result) const;
+
+  std::unique_ptr<SegmentStore> store_;
+  /// True when the searcher created a private temp store dir and must
+  /// remove it on destruction.
+  bool owns_dir_;
+  hilbert::HilbertCurve curve_;
+  core::BlockFilter filter_;
+  /// LSM memtable: unsorted recent inserts + parallel Hilbert keys.
+  core::DescriptorBlock memtable_;
+  std::vector<BitKey> memtable_keys_;
+  size_t spill_threshold_;
+};
+
+/// Registers the "segment" backend in core::SearcherRegistry::Global()
+/// (idempotent). Linked binaries that want `--backend segment` call this
+/// once at startup; the SearcherConfig fields segment_store_dir,
+/// segment_spill_threshold, segment_tier_fanin and segment_use_mmap feed
+/// the factory.
+void EnsureSegmentBackendRegistered();
+
+}  // namespace s3vcd::store
+
+#endif  // S3VCD_STORE_SEGMENT_SEARCHER_H_

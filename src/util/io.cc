@@ -1,5 +1,8 @@
 #include "util/io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <array>
 #include <cstring>
 
@@ -74,6 +77,19 @@ Status BinaryWriter::WriteDouble(double v) { return WriteBytes(&v, sizeof(v)); }
 Status BinaryWriter::WriteString(const std::string& s) {
   S3VCD_RETURN_IF_ERROR(WriteU32(static_cast<uint32_t>(s.size())));
   return WriteBytes(s.data(), s.size());
+}
+
+Status BinaryWriter::Sync() {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("writer not open");
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("flush failed");
+  }
+  if (::fsync(::fileno(file_)) != 0) {
+    return Status::IOError("fsync failed");
+  }
+  return Status::OK();
 }
 
 Status BinaryWriter::Close() {
@@ -167,6 +183,30 @@ Status BinaryReader::Close() {
     return Status::IOError("close failed");
   }
   return Status::OK();
+}
+
+Status SyncDir(const std::string& dir_path) {
+  const int fd = ::open(dir_path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IOError("cannot open directory for sync: " + dir_path);
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("directory fsync failed: " + dir_path);
+  }
+  return Status::OK();
+}
+
+std::string DirName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    return ".";
+  }
+  if (slash == 0) {
+    return "/";
+  }
+  return path.substr(0, slash);
 }
 
 Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {

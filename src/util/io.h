@@ -38,6 +38,11 @@ class BinaryWriter {
   uint32_t crc() const { return crc_; }
   uint64_t bytes_written() const { return bytes_written_; }
 
+  /// Flushes userspace buffers and fsyncs the file to stable storage.
+  /// Call before Close when the file must survive a crash (note that
+  /// durability of the *name* additionally needs SyncDir on the parent).
+  Status Sync();
+
   /// Flushes and closes; returns any deferred I/O error.
   Status Close();
 
@@ -83,6 +88,13 @@ class BinaryReader {
 
 /// Reads a whole file into a byte vector.
 Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path);
+
+/// fsyncs a directory so renames/creates/unlinks inside it are durable
+/// (the second half of the write-fsync-rename-fsyncdir pattern).
+Status SyncDir(const std::string& dir_path);
+
+/// The directory component of `path` ("." when there is no slash).
+std::string DirName(const std::string& path);
 
 }  // namespace s3vcd
 

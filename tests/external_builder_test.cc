@@ -1,6 +1,7 @@
 #include "core/external_builder.h"
 
 #include <cstdio>
+#include <filesystem>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -176,6 +177,83 @@ TEST(ExternalBuilderTest, FinishTwiceIsAnError) {
 TEST(ExternalBuilderTest, UnwritableOutputIsIOError) {
   ExternalDatabaseBuilder external("/nonexistent_dir/out.s3db", {});
   EXPECT_EQ(external.Finish().code(), StatusCode::kIOError);
+}
+
+// Injected failure: runs have been spilled when Finish hits an error (the
+// output is unwritable). The error path must still remove every temp run
+// — a builder that errors out cannot leak run files into temp_dir.
+TEST(ExternalBuilderTest, FailedFinishRemovesTempRuns) {
+  namespace fs = std::filesystem;
+  const fs::path temp_dir =
+      fs::path(testing::TempDir()) / "external_failcleanup";
+  fs::remove_all(temp_dir);
+  ASSERT_TRUE(fs::create_directories(temp_dir));
+
+  ExternalBuilderOptions options;
+  options.max_records_in_memory = 100;
+  options.temp_dir = temp_dir.string();
+  ExternalDatabaseBuilder external("/nonexistent_dir/out.s3db", options);
+  Rng rng(6);
+  for (int i = 0; i < 450; ++i) {
+    ASSERT_TRUE(external
+                    .Add(UniformRandomFingerprint(&rng), 0,
+                         static_cast<uint32_t>(i))
+                    .ok());
+  }
+  ASSERT_GE(external.runs_spilled(), 4u);
+  EXPECT_EQ(external.Finish().code(), StatusCode::kIOError);
+
+  size_t leftover_runs = 0;
+  for (const auto& entry : fs::directory_iterator(temp_dir)) {
+    if (entry.path().filename().string().rfind("s3vcd_run_", 0) == 0) {
+      ++leftover_runs;
+    }
+  }
+  EXPECT_EQ(leftover_runs, 0u) << "failed Finish leaked temp run files";
+  fs::remove_all(temp_dir);
+}
+
+// Same audit one failure later: the output opens fine but a run file has
+// been corrupted, so the merge itself fails. Temp runs must still be
+// cleaned up and the partial output removed.
+TEST(ExternalBuilderTest, FailedMergeRemovesRunsAndPartialOutput) {
+  namespace fs = std::filesystem;
+  const fs::path temp_dir =
+      fs::path(testing::TempDir()) / "external_failmerge";
+  fs::remove_all(temp_dir);
+  ASSERT_TRUE(fs::create_directories(temp_dir));
+  const std::string path = TempPath("external_failmerge.s3db");
+
+  ExternalBuilderOptions options;
+  options.max_records_in_memory = 100;
+  options.temp_dir = temp_dir.string();
+  ExternalDatabaseBuilder external(path, options);
+  Rng rng(7);
+  for (int i = 0; i < 350; ++i) {
+    ASSERT_TRUE(external
+                    .Add(UniformRandomFingerprint(&rng), 0,
+                         static_cast<uint32_t>(i))
+                    .ok());
+  }
+  ASSERT_GE(external.runs_spilled(), 3u);
+  // Truncate one run so its reader fails mid-merge.
+  for (const auto& entry : fs::directory_iterator(temp_dir)) {
+    if (entry.path().filename().string().rfind("s3vcd_run_", 0) == 0) {
+      fs::resize_file(entry.path(), 16);
+      break;
+    }
+  }
+  EXPECT_FALSE(external.Finish().ok());
+
+  size_t leftover_runs = 0;
+  for (const auto& entry : fs::directory_iterator(temp_dir)) {
+    if (entry.path().filename().string().rfind("s3vcd_run_", 0) == 0) {
+      ++leftover_runs;
+    }
+  }
+  EXPECT_EQ(leftover_runs, 0u) << "failed merge leaked temp run files";
+  EXPECT_FALSE(fs::exists(path)) << "failed merge left a partial output";
+  fs::remove_all(temp_dir);
 }
 
 }  // namespace

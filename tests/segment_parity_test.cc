@@ -1,0 +1,214 @@
+#include "store/segment_searcher.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/searcher.h"
+#include "core/synthetic_db.h"
+#include "util/rng.h"
+
+namespace s3vcd::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Match multiset including the distance bits: parity with the in-memory
+/// backend must be bit-identical, not merely same-id.
+using MatchKey = std::tuple<uint32_t, uint32_t, float, float, float>;
+
+std::multiset<MatchKey> ToSet(const std::vector<core::Match>& matches) {
+  std::multiset<MatchKey> out;
+  for (const core::Match& m : matches) {
+    out.insert({m.id, m.time_code, m.distance, m.x, m.y});
+  }
+  return out;
+}
+
+core::FingerprintDatabase BuildDb(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  core::DatabaseBuilder builder;
+  for (size_t i = 0; i < count; ++i) {
+    builder.Add(core::UniformRandomFingerprint(&rng),
+                static_cast<uint32_t>(i % 11), static_cast<uint32_t>(i),
+                static_cast<float>(i % 320), static_cast<float>(i % 240));
+  }
+  return builder.Build();
+}
+
+/// Both backends over the same corpus, ready for comparison queries.
+struct ParityPair {
+  std::unique_ptr<core::Searcher> dynamic;
+  std::unique_ptr<SegmentSearcher> segment;
+};
+
+ParityPair MakePair(size_t count, uint64_t seed,
+                    const SegmentSearcherOptions& options = {}) {
+  ParityPair pair;
+  auto dynamic = core::SearcherRegistry::Global().Create(
+      "dynamic", BuildDb(count, seed));
+  EXPECT_TRUE(dynamic.ok());
+  pair.dynamic = std::move(*dynamic);
+  auto segment = SegmentSearcher::Open(BuildDb(count, seed), options);
+  EXPECT_TRUE(segment.ok()) << segment.status().ToString();
+  pair.segment = std::move(*segment);
+  return pair;
+}
+
+void ExpectParity(const core::Searcher& a, const core::Searcher& b,
+                  uint64_t seed, int trials, const char* where) {
+  Rng rng(seed);
+  const core::GaussianDistortionModel model(15.0);
+  core::QueryOptions options;
+  options.filter.alpha = 0.9;
+  options.filter.depth = 12;
+  for (int t = 0; t < trials; ++t) {
+    const fp::Fingerprint q = core::UniformRandomFingerprint(&rng);
+    const auto sa = a.StatQuery(q, model, options);
+    const auto sb = b.StatQuery(q, model, options);
+    EXPECT_EQ(ToSet(sa.matches), ToSet(sb.matches))
+        << where << " stat trial " << t;
+    const auto ra = a.RangeQuery(q, 130.0, 12);
+    const auto rb = b.RangeQuery(q, 130.0, 12);
+    EXPECT_EQ(ToSet(ra.matches), ToSet(rb.matches))
+        << where << " range trial " << t;
+  }
+}
+
+TEST(SegmentParityTest, MatchesDynamicOnStaticCorpus) {
+  ParityPair pair = MakePair(6000, 101);
+  EXPECT_STREQ(pair.segment->backend_name(), "segment");
+  EXPECT_EQ(pair.segment->Stats().records, 6000u);
+  ExpectParity(*pair.dynamic, *pair.segment, 1, 12, "static");
+}
+
+TEST(SegmentParityTest, MatchesDynamicAcrossInsertsSpillsAndCompaction) {
+  SegmentSearcherOptions options;
+  options.spill_threshold = 150;  // force several spills mid-stream
+  options.store.sync_writes = false;
+  ParityPair pair = MakePair(3000, 102, options);
+
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const fp::Fingerprint f = core::UniformRandomFingerprint(&rng);
+    const uint32_t id = 500 + (i % 5);
+    const uint32_t time_code = 90000 + i;
+    ASSERT_TRUE(pair.dynamic->TryInsert(f, id, time_code));
+    ASSERT_TRUE(pair.segment->TryInsert(f, id, time_code));
+  }
+  // 500 inserts at threshold 150: at least 3 spills happened, some records
+  // are still buffered.
+  EXPECT_GT(pair.segment->segment_store().num_segments(), 3u);
+  EXPECT_LT(pair.segment->pending_inserts(), 150u);
+  EXPECT_EQ(pair.segment->Stats().records, 3500u);
+  ExpectParity(*pair.dynamic, *pair.segment, 3, 10, "post-insert");
+
+  pair.dynamic->Compact();
+  pair.segment->Compact();
+  EXPECT_EQ(pair.segment->pending_inserts(), 0u);
+  EXPECT_EQ(pair.segment->Stats().records, 3500u);
+  ExpectParity(*pair.dynamic, *pair.segment, 4, 10, "post-compact");
+}
+
+TEST(SegmentParityTest, ReopenedStoreAnswersIdentically) {
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("s3vcd_parity_reopen_" + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(dir);
+
+  auto dynamic = core::SearcherRegistry::Global().Create(
+      "dynamic", BuildDb(4000, 103));
+  ASSERT_TRUE(dynamic.ok());
+
+  SegmentSearcherOptions options;
+  options.store_dir = dir;
+  options.store.sync_writes = false;
+  options.spill_threshold = 200;
+  {
+    auto segment = SegmentSearcher::Open(BuildDb(4000, 103), options);
+    ASSERT_TRUE(segment.ok()) << segment.status().ToString();
+    Rng rng(5);
+    for (int i = 0; i < 300; ++i) {
+      const fp::Fingerprint f = core::UniformRandomFingerprint(&rng);
+      ASSERT_TRUE((*dynamic)->TryInsert(f, 7, 1000 + i));
+      ASSERT_TRUE((*segment)->TryInsert(f, 7, 1000 + i));
+    }
+    // Push the tail of the memtable to disk: only durable records survive
+    // the "restart".
+    (*segment)->Compact();
+    EXPECT_EQ((*segment)->Stats().records, 4300u);
+  }  // destroy = process restart
+
+  // Reopen from the manifest with an EMPTY database: the store is the
+  // single source of truth.
+  auto reopened = SegmentSearcher::Open(core::DatabaseBuilder().Build(),
+                                        options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->Stats().records, 4300u);
+  EXPECT_EQ((*reopened)->pending_inserts(), 0u);
+  ExpectParity(**dynamic, **reopened, 6, 10, "reopened");
+
+  // Handing a non-empty database to a non-empty store must be refused.
+  auto conflict = SegmentSearcher::Open(BuildDb(10, 1), options);
+  ASSERT_FALSE(conflict.ok());
+  EXPECT_EQ(conflict.status().code(), StatusCode::kFailedPrecondition);
+
+  fs::remove_all(dir);
+}
+
+TEST(SegmentParityTest, RegistryConstructsSegmentBackend) {
+  EnsureSegmentBackendRegistered();
+  ASSERT_TRUE(core::SearcherRegistry::Global().Contains("segment"));
+  auto searcher =
+      core::SearcherRegistry::Global().Create("segment", BuildDb(500, 104));
+  ASSERT_TRUE(searcher.ok()) << searcher.status().ToString();
+  EXPECT_STREQ((*searcher)->backend_name(), "segment");
+  EXPECT_EQ((*searcher)->Stats().records, 500u);
+  EXPECT_NE((*searcher)->selection_filter(), nullptr);
+  EXPECT_GT((*searcher)->ApproxBytes(), 0u);
+}
+
+TEST(SegmentParityTest, RegistryReportsFactoryFailureAsStatus) {
+  EnsureSegmentBackendRegistered();
+  // Point the store dir at a regular FILE: SegmentStore::Open must fail,
+  // and the registry must surface an error instead of a null searcher.
+  const std::string bogus =
+      (fs::temp_directory_path() /
+       ("s3vcd_parity_bogus_" + std::to_string(::getpid())))
+          .string();
+  {
+    std::ofstream out(bogus, std::ios::trunc);
+    out << "not a directory";
+  }
+  core::SearcherConfig config;
+  config.segment_store_dir = bogus;
+  const auto searcher = core::SearcherRegistry::Global().Create(
+      "segment", BuildDb(10, 105), config);
+  ASSERT_FALSE(searcher.ok());
+  fs::remove(bogus);
+}
+
+TEST(SegmentParityTest, MmapAndResidentReadsAgree) {
+  SegmentSearcherOptions mapped;
+  mapped.store.sync_writes = false;
+  SegmentSearcherOptions resident;
+  resident.store.sync_writes = false;
+  resident.store.use_mmap = false;
+  auto a = SegmentSearcher::Open(BuildDb(2000, 106), mapped);
+  auto b = SegmentSearcher::Open(BuildDb(2000, 106), resident);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectParity(**a, **b, 7, 8, "mmap-vs-resident");
+}
+
+}  // namespace
+}  // namespace s3vcd::store

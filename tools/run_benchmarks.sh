@@ -13,6 +13,12 @@
 # engine vs the retained reference engine, plus the table-over-reference
 # speedup per depth, and the geometric range-filter timings.
 #
+# Also runs the segment-store scan benchmark (BM_SegmentScan: the same
+# full-corpus refine sweep served off an on-disk .s3seg segment, mapped
+# and resident) and writes BENCH_store.json: records/sec per read mode,
+# each mode's ratio to the in-memory sweep from the scan run above, and
+# the mmap-over-resident ratio.
+#
 # Finally drives the query service through the loadgen ramp (calibrated
 # open loop over a 200k-record database) and writes BENCH_service.json:
 # per-phase offered vs goodput, reject/deadline-miss rates, e2e latency
@@ -21,7 +27,7 @@
 # exemplar trace of the run lands next to the build as
 # bench_service_slowlog.json (Chrome trace format).
 #
-# Usage: tools/run_benchmarks.sh [build-dir [scan-json [filter-json [service-json]]]]
+# Usage: tools/run_benchmarks.sh [build-dir [scan-json [filter-json [service-json [store-json]]]]]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -29,6 +35,7 @@ build_dir="${1:-${repo_root}/build}"
 out_json="${2:-${repo_root}/BENCH_scan.json}"
 filter_json="${3:-${repo_root}/BENCH_filter.json}"
 service_json="${4:-${repo_root}/BENCH_service.json}"
+store_json="${5:-${repo_root}/BENCH_store.json}"
 
 if [[ ! -x "${build_dir}/bench/micro_benchmarks" ]]; then
   cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release
@@ -155,6 +162,79 @@ for depth in sorted(statistical):
 PY
 
 echo "Wrote ${filter_json}"
+
+store_raw="$(mktemp)"
+trap 'rm -f "${raw_json}" "${filter_raw}" "${store_raw}"' EXIT
+
+"${build_dir}/bench/micro_benchmarks" \
+  --benchmark_filter='^BM_SegmentScan' \
+  --benchmark_format=json \
+  --benchmark_out="${store_raw}" \
+  --benchmark_out_format=json >&2
+
+python3 - "${store_raw}" "${out_json}" "${store_json}" <<'PY'
+import json
+import sys
+
+raw_path, scan_path, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+# Labels: "segment:mmap" / "segment:resident".
+modes = {}
+for b in raw.get("benchmarks", []):
+    if b.get("run_type") != "iteration" or "error_occurred" in b:
+        continue
+    label = b.get("label", "")
+    if not label.startswith("segment:"):
+        continue
+    modes[label.split(":", 1)[1]] = {
+        "records_per_second": b.get("items_per_second", 0.0),
+        "ns_per_sweep": b.get("real_time", 0.0),
+    }
+
+# Ratio to the in-memory sweep of the same corpus (best kernel from the
+# BM_RefineScan run written just before this stanza).
+memory_rps = 0.0
+try:
+    with open(scan_path) as f:
+        scan = json.load(f)
+    best = scan.get("best_simd_kernel")
+    memory_rps = (scan.get("kernels", {})
+                  .get(best, {})
+                  .get("records_per_second", 0.0))
+except (OSError, json.JSONDecodeError):
+    pass
+for entry in modes.values():
+    entry["fraction_of_memory_sweep"] = (
+        entry["records_per_second"] / memory_rps if memory_rps > 0 else None)
+
+mmap_rps = modes.get("mmap", {}).get("records_per_second", 0.0)
+resident_rps = modes.get("resident", {}).get("records_per_second", 0.0)
+
+result = {
+    "benchmark": "BM_SegmentScan",
+    "description": ("refine sweep over a 200000-record on-disk .s3seg "
+                    "segment, kRadiusFilter mode, records/sec per read "
+                    "mode (mmap vs resident copy); fraction_of_memory_sweep "
+                    "compares against BM_RefineScan's in-memory corpus"),
+    "sweep_records": 200000,
+    "modes": modes,
+    "memory_sweep_records_per_second": memory_rps or None,
+    "mmap_over_resident":
+        (mmap_rps / resident_rps) if resident_rps > 0 else None,
+    "context": raw.get("context", {}),
+}
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+print(json.dumps(result["modes"], indent=2))
+ratio = result["mmap_over_resident"]
+if ratio is not None:
+    print(f"mmap over resident: {ratio:.2f}x")
+PY
+
+echo "Wrote ${store_json}"
 
 if [[ ! -x "${build_dir}/tools/s3vcd_tool" ]]; then
   cmake --build "${build_dir}" --target s3vcd_tool -j"$(nproc)"

@@ -15,10 +15,11 @@ cmake -S "${repo_root}" -B "${build_dir}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DS3VCD_SANITIZE=thread
 cmake --build "${build_dir}" --target obs_test parallel_test service_test \
-  backend_parity_test scan_kernel_test filter_table_test -j"$(nproc)"
+  backend_parity_test scan_kernel_test filter_table_test store_test \
+  segment_parity_test -j"$(nproc)"
 
 cd "${build_dir}"
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --output-on-failure \
-  -R '^(obs_test|parallel_test|service_test|backend_parity_test|scan_kernel_test|scan_kernel_test_nosimd|filter_table_test)$'
+  -R '^(obs_test|parallel_test|service_test|backend_parity_test|scan_kernel_test|scan_kernel_test_nosimd|filter_table_test|store_test|segment_parity_test)$'
 echo "TSan run passed."

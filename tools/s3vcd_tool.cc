@@ -7,8 +7,9 @@
 //   s3vcd_tool verify      --db DB
 //   s3vcd_tool query       --db DB [--backend NAME] [--alpha A] [--sigma S]
 //                          [--depth P] [--count N] [--seed S]
-//                          [--pseudo-disk R]
+//                          [--pseudo-disk R] [--store-dir DIR]
 //                          [--metrics-out FILE] [--trace-out FILE]
+//   s3vcd_tool compact     --store-dir DIR
 //   s3vcd_tool monitor     --db DB [--backend NAME] [--stream-frames F]
 //                          [--alpha A] [--sigma S] [--threshold T] [--seed S]
 //                          [--metrics-out FILE] [--trace-out FILE]
@@ -52,8 +53,13 @@
 // rejected with the command's flag table (run a command with no flags, or
 // see README.md, for the full table). `--backend NAME` selects the search
 // structure from the SearcherRegistry ("s3", "dynamic", "vafile", "lsh",
-// "seqscan"); an unknown name is rejected with the registered list before
-// any database is loaded. On query/monitor/serve-batch,
+// "seqscan", "segment"); an unknown name is rejected with the registered
+// list before any database is loaded. The "segment" backend serves from a
+// persistent on-disk segment store: `query --backend segment --store-dir D`
+// ingests the database into D on first use and reopens D from its manifest
+// on every later run (the .s3db is then only the query-sampling corpus);
+// `compact --store-dir D` runs the store's tiered compaction to a steady
+// state. See docs/segment_format.md. On query/monitor/serve-batch,
 // `--metrics-out FILE` dumps a JSON snapshot of the global metrics registry
 // covering the run and `--trace-out FILE` records Chrome trace-event JSON
 // (load it in chrome://tracing). `--pseudo-disk R` additionally replays the
@@ -67,6 +73,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <vector>
@@ -88,6 +95,8 @@
 #include "service/loadgen.h"
 #include "service/query_service.h"
 #include "service/sharded_searcher.h"
+#include "store/segment_searcher.h"
+#include "store/segment_store.h"
 #include "util/math.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -182,8 +191,12 @@ const std::vector<CommandSpec>& Commands() {
         {"count", "number of queries (default 100)"},
         {"seed", "deterministic seed (default 99)"},
         {"pseudo-disk", "also replay via pseudo-disk with 2^R sections"},
+        {"store-dir", "segment backend: persistent store directory"},
         {"metrics-out", "write a metrics JSON snapshot to FILE"},
         {"trace-out", "write Chrome trace-event JSON to FILE"}}},
+      {"compact",
+       "compact a persistent segment store to a steady state",
+       {{"store-dir", "segment store directory (required)"}}},
       {"monitor",
        "watch a synthetic stream with an embedded copy",
        {{"db", "database path (required)"},
@@ -564,8 +577,22 @@ int CmdQuery(const Flags& flags) {
         core::DistortFingerprint(targets.back(), sigma, &rng));
   }
 
-  auto searcher =
-      core::SearcherRegistry::Global().Create(backend, std::move(*db));
+  // The segment backend persists across runs: when --store-dir already
+  // holds a manifest the store is authoritative, so hand the factory an
+  // empty database (the loaded .s3db keeps serving as the query-sampling
+  // corpus above). A fresh --store-dir ingests the database once.
+  core::SearcherConfig config;
+  config.segment_store_dir = flags.Get("store-dir", "");
+  core::FingerprintDatabase backend_db = std::move(*db);
+  if (!config.segment_store_dir.empty() &&
+      std::filesystem::exists(config.segment_store_dir + "/CURRENT")) {
+    std::printf("segment store %s already holds records; serving from its "
+                "manifest\n",
+                config.segment_store_dir.c_str());
+    backend_db = core::DatabaseBuilder(backend_db.order()).Build();
+  }
+  auto searcher = core::SearcherRegistry::Global().Create(
+      backend, std::move(backend_db), config);
   if (!searcher.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
                  searcher.status().ToString().c_str());
@@ -683,6 +710,40 @@ int CmdQuery(const Flags& flags) {
         pd_stats.load_seconds * 1e3, pd_stats.refine_seconds * 1e3);
   }
   return obs_out.Finish();
+}
+
+// Opens a persistent segment store and runs its size-tiered compaction to
+// a steady state, reporting the generation and segment population before
+// and after — the offline maintenance entry point of the segment backend
+// (the online path compacts through Searcher::Compact).
+int CmdCompact(const Flags& flags) {
+  const std::string store_dir = flags.Get("store-dir", "");
+  if (store_dir.empty()) {
+    std::fprintf(stderr, "compact: --store-dir is required\n");
+    return 2;
+  }
+  auto store = store::SegmentStore::Open(store_dir, 0);
+  if (!store.ok()) {
+    std::fprintf(stderr, "compact failed: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("before: generation %" PRIu64 ", %zu segments, %" PRIu64
+              " records, %.1f MiB on disk\n",
+              (*store)->generation(), (*store)->num_segments(),
+              (*store)->total_records(), (*store)->DiskBytes() / 1048576.0);
+  Stopwatch watch;
+  const Status status = (*store)->CompactAll();
+  if (!status.ok()) {
+    std::fprintf(stderr, "compact failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("after:  generation %" PRIu64 ", %zu segments, %" PRIu64
+              " records, %.1f MiB on disk (%.2f s)\n",
+              (*store)->generation(), (*store)->num_segments(),
+              (*store)->total_records(), (*store)->DiskBytes() / 1048576.0,
+              watch.ElapsedSeconds());
+  return 0;
 }
 
 int CmdMonitor(const Flags& flags) {
@@ -1169,6 +1230,9 @@ int Usage() {
 }
 
 int Main(int argc, char** argv) {
+  // Static archives drop unreferenced registrars, so the segment backend
+  // registers explicitly before any --backend validation runs.
+  store::EnsureSegmentBackendRegistered();
   if (argc < 2) {
     return Usage();
   }
@@ -1214,6 +1278,9 @@ int Main(int argc, char** argv) {
   }
   if (command_name == "query") {
     return CmdQuery(flags);
+  }
+  if (command_name == "compact") {
+    return CmdCompact(flags);
   }
   if (command_name == "monitor") {
     return CmdMonitor(flags);
