@@ -9,10 +9,12 @@
 #include <unistd.h>
 
 #include <filesystem>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "core/database.h"
+#include "core/descriptor_codec.h"
 #include "core/distortion_model.h"
 #include "core/filter.h"
 #include "core/index.h"
@@ -213,7 +215,65 @@ void BM_RefineScan(benchmark::State& state) {
                           static_cast<int64_t>(block.size()));
   state.SetLabel(core::ScanKernelName(kind));
 }
-BENCHMARK(BM_RefineScan)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_RefineScan)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+// Fused decode+distance refinement over a quantized copy of the shared
+// corpus: the same kRadiusFilter sweep as BM_RefineScan, but the
+// descriptors are stored through a quantized codec (lvq8 = 20 B/rec,
+// lvq4 = 10 B/rec) and the kernels decode inside the distance loop.
+// Range(0) = DescriptorCodecKind, range(1) = ScanKernelKind. The
+// bytes_per_record and recall counters (recall of the exact match set
+// under the codec's inflated radius — 1.0 by the superset guarantee)
+// land in BENCH_scan.json next to the exact rows, which is where the
+// "2x fewer descriptor bytes at recall >= 0.99" claim is published.
+void BM_CodedRefineScan(benchmark::State& state) {
+  const auto codec_kind =
+      static_cast<core::DescriptorCodecKind>(state.range(0));
+  const auto kind = static_cast<core::ScanKernelKind>(state.range(1));
+  if (!core::ScanKernelAvailable(kind)) {
+    state.SkipWithError("kernel unavailable on this CPU");
+    return;
+  }
+  core::S3Index* index = SharedIndex();
+  const core::DescriptorBlock& block = index->database().block();
+  const core::CodedDescriptorBlock coded =
+      core::CodedDescriptorBlock::Encode(codec_kind, block);
+  Rng rng(9);  // same query stream as BM_RefineScan, for comparability
+  const fp::Fingerprint q = core::UniformRandomFingerprint(&rng);
+  const core::RefineSpec spec(core::RefinementMode::kRadiusFilter,
+                              /*radius=*/90.0, /*model=*/nullptr);
+  core::QueryResult exact;
+  core::ScanRecords(q, block, 0, block.size(), spec, &exact);
+  const core::ScanKernelKind previous = core::SetScanKernelForTest(kind);
+  core::QueryResult coded_result;
+  for (auto _ : state) {
+    core::QueryResult result;
+    core::ScanRecords(q, coded.View(), 0, coded.size(), spec, &result);
+    benchmark::DoNotOptimize(result.stats.records_scanned);
+    coded_result = std::move(result);
+  }
+  core::SetScanKernelForTest(previous);
+  size_t recovered = 0;
+  for (const auto& m : exact.matches) {
+    for (const auto& c : coded_result.matches) {
+      if (c.id == m.id && c.time_code == m.time_code) {
+        ++recovered;
+        break;
+      }
+    }
+  }
+  state.counters["bytes_per_record"] =
+      static_cast<double>(coded.codec().code_bytes());
+  state.counters["recall"] =
+      exact.matches.empty()
+          ? 1.0
+          : static_cast<double>(recovered) / exact.matches.size();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(coded.size()));
+  state.SetLabel(std::string("coded:") + coded.codec().name() + ":" +
+                 core::ScanKernelName(kind));
+}
+BENCHMARK(BM_CodedRefineScan)->ArgsProduct({{1, 2}, {0, 2, 3}});
 
 // The same refinement sweep served straight off an on-disk segment (the
 // segment backend's phase-2 path): the shared corpus is written once as a
@@ -222,8 +282,16 @@ BENCHMARK(BM_RefineScan)->Arg(0)->Arg(1)->Arg(2);
 // feed tools/run_benchmarks.sh, which emits BENCH_store.json; comparing
 // against BM_RefineScan's in-memory rows shows what serving from the
 // store costs.
+// range(0) selects mmap vs resident serving; range(1) selects the
+// descriptor codec the segment file is written with (quantized segments
+// exercise the fused decode kernels straight off the store and shrink the
+// mapped descriptor column — lvq4 halves it).
 void BM_SegmentScan(benchmark::State& state) {
-  static const std::string* const segment_path = [] {
+  const auto codec_kind =
+      static_cast<core::DescriptorCodecKind>(state.range(1));
+  static auto* const segment_paths = new std::map<int, std::string>();
+  std::string& segment_path = (*segment_paths)[static_cast<int>(codec_kind)];
+  if (segment_path.empty()) {
     core::S3Index* index = SharedIndex();
     const core::FingerprintDatabase& db = index->database();
     std::vector<BitKey> keys;
@@ -231,26 +299,27 @@ void BM_SegmentScan(benchmark::State& state) {
     for (size_t i = 0; i < db.size(); ++i) {
       keys.push_back(db.key(i));
     }
-    auto* path = new std::string(
+    std::string path =
         (std::filesystem::temp_directory_path() /
-         ("s3vcd_bench_segment_" + std::to_string(::getpid()) + ".s3seg"))
-            .string());
+         ("s3vcd_bench_segment_" + std::to_string(::getpid()) + "_" +
+          core::DescriptorCodecName(codec_kind) + ".s3seg"))
+            .string();
     store::SegmentWriteOptions write_options;
     write_options.sync = false;
+    write_options.codec = codec_kind;
     const Status status = store::WriteSegmentFile(
-        *path, /*segment_id=*/1, db.order(), db.block(), keys, write_options);
-    if (!status.ok()) {
-      path->clear();
+        path, /*segment_id=*/1, db.order(), db.block(), keys, write_options);
+    if (status.ok()) {
+      segment_path = path;
     }
-    return path;
-  }();
-  if (segment_path->empty()) {
+  }
+  if (segment_path.empty()) {
     state.SkipWithError("failed to write benchmark segment");
     return;
   }
   store::SegmentReadOptions read_options;
   read_options.use_mmap = state.range(0) != 0;
-  auto reader = store::SegmentReader::Open(*segment_path, read_options);
+  auto reader = store::SegmentReader::Open(segment_path, read_options);
   if (!reader.ok()) {
     state.SkipWithError(reader.status().ToString().c_str());
     return;
@@ -267,10 +336,18 @@ void BM_SegmentScan(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(view.size()));
-  state.SetLabel(std::string("segment:") +
-                 ((*reader)->mapped() ? "mmap" : "resident"));
+  state.counters["bytes_per_record"] =
+      static_cast<double>((*reader)->descriptor_code_bytes());
+  // Exact legs keep the historical two-part label; quantized legs append
+  // the codec so run_benchmarks.sh can key the rows.
+  std::string label = std::string("segment:") +
+                      ((*reader)->mapped() ? "mmap" : "resident");
+  if (codec_kind != core::DescriptorCodecKind::kExactU8) {
+    label += std::string(":") + core::DescriptorCodecName(codec_kind);
+  }
+  state.SetLabel(label);
 }
-BENCHMARK(BM_SegmentScan)->Arg(0)->Arg(1);
+BENCHMARK(BM_SegmentScan)->ArgsProduct({{0, 1}, {0, 1, 2}});
 
 void BM_SequentialScan(benchmark::State& state) {
   core::S3Index* index = SharedIndex();

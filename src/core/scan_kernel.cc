@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include "core/descriptor_codec.h"
 #include "core/scan_kernel_internal.h"
 #include "util/logging.h"
 
@@ -18,8 +20,12 @@ namespace s3vcd::core {
 
 namespace {
 
+using internal::MakeQuantQuery;
+using internal::QuantQuery;
 using internal::SqDistBatchFn;
 using internal::SqDistBatchScalar;
+using internal::SqDistCodedBatchFn;
+using internal::SqDistCodedBatchScalar;
 
 // Strip width of the blocked kernel: distances for kScanStrip records are
 // computed into a stack buffer before the mode test touches them, keeping
@@ -100,6 +106,136 @@ __attribute__((target("avx2"))) void SqDistBatchAvx2(const uint8_t* desc,
   }
 }
 
+// ---- Fused decode + distance kernels (quantized views) ----
+
+// Expands 10 packed nibble bytes (two axes per byte, even axis in the low
+// nibble — the lvq4 layout of core/descriptor_codec.cc) into 20 u8 codes:
+// bytes 0..7 become axes 0..15, bytes 8..9 become axes 16..19 (upper
+// output bytes zero). Pure SSE2, callable from any kernel.
+inline void ExpandNibbles(const uint8_t* p, __m128i* codes016,
+                          __m128i* codes_tail) {
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  const __m128i b = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+  uint16_t tail_bits;
+  std::memcpy(&tail_bits, p + 8, 2);
+  const __m128i t = _mm_cvtsi32_si128(tail_bits);
+  *codes016 = _mm_unpacklo_epi8(_mm_and_si128(b, mask),
+                                _mm_and_si128(_mm_srli_epi16(b, 4), mask));
+  *codes_tail = _mm_unpacklo_epi8(_mm_and_si128(t, mask),
+                                  _mm_and_si128(_mm_srli_epi16(t, 4), mask));
+}
+
+// The quantized query/codec tables widened to u16 vectors: lanes [0,16) in
+// ymm registers, lanes [16,20) in xmms (upper four lanes zero, which makes
+// the padding lanes decode to 0 and contribute nothing).
+struct QuantU16 {
+  __m256i q016, s016, l016;
+  __m128i qt, st, lt;
+};
+
+__attribute__((target("avx2"))) inline __m128i LoadU16x4(const uint16_t* p) {
+  return _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+}
+
+__attribute__((target("avx2"))) inline QuantU16 WidenQuant(
+    const QuantQuery& q) {
+  QuantU16 w;
+  w.q016 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(q.query));
+  w.s016 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(q.step16));
+  w.l016 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(q.lo));
+  w.qt = LoadU16x4(q.query + 16);
+  w.st = LoadU16x4(q.step16 + 16);
+  w.lt = LoadU16x4(q.lo + 16);
+  return w;
+}
+
+// v = min(255, lo + ((c * step16 + 128) >> 8)) in u16 lanes — exactly the
+// scalar decode formula. All intermediates fit u16: c*step16 <= 65280 (the
+// training step ceiling guarantees it), +128 <= 65408.
+__attribute__((target("avx2"))) inline __m256i DecodeU16x16(__m256i c,
+                                                            __m256i step,
+                                                            __m256i lo) {
+  const __m256i prod = _mm256_add_epi16(_mm256_mullo_epi16(c, step),
+                                        _mm256_set1_epi16(128));
+  const __m256i v = _mm256_add_epi16(_mm256_srli_epi16(prod, 8), lo);
+  return _mm256_min_epu16(v, _mm256_set1_epi16(255));
+}
+
+__attribute__((target("avx2"))) inline __m128i DecodeU16x4(__m128i c,
+                                                           __m128i step,
+                                                           __m128i lo) {
+  const __m128i prod =
+      _mm_add_epi16(_mm_mullo_epi16(c, step), _mm_set1_epi16(128));
+  const __m128i v = _mm_add_epi16(_mm_srli_epi16(prod, 8), lo);
+  return _mm_min_epu16(v, _mm_set1_epi16(255));
+}
+
+__attribute__((target("avx2"))) void SqDistCodedBatchAvx2(
+    const uint8_t* codes, size_t n, const QuantQuery& q, uint32_t* out) {
+  const QuantU16 w = WidenQuant(q);
+  const size_t code_bytes = q.nibble ? fp::kDims / 2 : fp::kDims;
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t* p = codes + i * code_bytes;
+    __m256i c016;
+    __m128i ctail;
+    if (q.nibble) {
+      __m128i c8, t8;
+      ExpandNibbles(p, &c8, &t8);
+      c016 = _mm256_cvtepu8_epi16(c8);
+      ctail = _mm_cvtepu8_epi16(t8);
+    } else {
+      c016 = _mm256_cvtepu8_epi16(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+      uint32_t tail_bits;
+      std::memcpy(&tail_bits, p + 16, 4);
+      ctail =
+          _mm_cvtepu8_epi16(_mm_cvtsi32_si128(static_cast<int>(tail_bits)));
+    }
+    const __m256i diff =
+        _mm256_sub_epi16(DecodeU16x16(c016, w.s016, w.l016), w.q016);
+    const __m256i acc = _mm256_madd_epi16(diff, diff);
+    const __m128i dt = _mm_sub_epi16(DecodeU16x4(ctail, w.st, w.lt), w.qt);
+    __m128i sum = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                                _mm256_extracti128_si256(acc, 1));
+    sum = _mm_add_epi32(sum, _mm_madd_epi16(dt, dt));
+    sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, _MM_SHUFFLE(1, 0, 3, 2)));
+    sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, _MM_SHUFFLE(2, 3, 0, 1)));
+    out[i] = static_cast<uint32_t>(_mm_cvtsi128_si32(sum));
+  }
+}
+
+__attribute__((target("avx512f,avx512bw,avx512vl"))) void
+SqDistCodedBatchAvx512(const uint8_t* codes, size_t n, const QuantQuery& q,
+                       uint32_t* out) {
+  const __mmask32 k20 = 0xFFFFF;
+  const __m512i qv = _mm512_maskz_loadu_epi16(k20, q.query);
+  const __m512i sv = _mm512_maskz_loadu_epi16(k20, q.step16);
+  const __m512i lv = _mm512_maskz_loadu_epi16(k20, q.lo);
+  const __m512i half = _mm512_set1_epi16(128);
+  const __m512i cap = _mm512_set1_epi16(255);
+  const size_t code_bytes = q.nibble ? fp::kDims / 2 : fp::kDims;
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t* p = codes + i * code_bytes;
+    __m256i c8;
+    if (q.nibble) {
+      __m128i lo16, t4;
+      ExpandNibbles(p, &lo16, &t4);
+      c8 = _mm256_set_m128i(t4, lo16);
+    } else {
+      c8 = _mm256_maskz_loadu_epi8(k20, p);
+    }
+    // One whole record per zmm: 20 u16 lanes decode + subtract + madd, the
+    // masked-off lanes all zero on both sides.
+    const __m512i c = _mm512_cvtepu8_epi16(c8);
+    const __m512i prod = _mm512_add_epi16(_mm512_mullo_epi16(c, sv), half);
+    const __m512i v = _mm512_min_epu16(
+        _mm512_add_epi16(_mm512_srli_epi16(prod, 8), lv), cap);
+    const __m512i diff = _mm512_sub_epi16(v, qv);
+    out[i] = static_cast<uint32_t>(
+        _mm512_reduce_add_epi32(_mm512_madd_epi16(diff, diff)));
+  }
+}
+
 #endif  // S3VCD_X86
 
 SqDistBatchFn KernelFn(ScanKernelKind kind) {
@@ -111,21 +247,43 @@ SqDistBatchFn KernelFn(ScanKernelKind kind) {
       return &SqDistBatchSse2;
     case ScanKernelKind::kAvx2:
       return &SqDistBatchAvx2;
+    case ScanKernelKind::kAvx512:
+      // The VNNI u8-dot variant when the CPU has it, the u16-madd variant
+      // otherwise; both compute the exact integer distance.
+      return internal::Avx512VnniAvailable()
+                 ? &internal::SqDistBatchAvx512Vnni
+                 : &internal::SqDistBatchAvx512Bw;
 #else
     case ScanKernelKind::kSse2:
     case ScanKernelKind::kAvx2:
+    case ScanKernelKind::kAvx512:
       break;
 #endif
   }
   return &SqDistBatchScalar;
 }
 
-ScanKernelKind DetectKernel() {
-  const char* no_simd = std::getenv("S3VCD_NO_SIMD");
-  if (no_simd != nullptr && no_simd[0] == '1') {
-    return ScanKernelKind::kScalar;
-  }
+SqDistCodedBatchFn CodedKernelFn(ScanKernelKind kind) {
+  switch (kind) {
 #ifdef S3VCD_X86
+    case ScanKernelKind::kAvx2:
+      return &SqDistCodedBatchAvx2;
+    case ScanKernelKind::kAvx512:
+      return &SqDistCodedBatchAvx512;
+#endif
+    default:
+      // Scalar and SSE2 share the reference fused loop: the nibble/decode
+      // shuffle work leaves no profitable pure-SSE2 variant.
+      return &SqDistCodedBatchScalar;
+  }
+}
+
+// The widest kernel this CPU/build can run, in dispatch-preference order.
+ScanKernelKind WidestKernel() {
+#ifdef S3VCD_X86
+  if (ScanKernelAvailable(ScanKernelKind::kAvx512)) {
+    return ScanKernelKind::kAvx512;
+  }
   if (__builtin_cpu_supports("avx2")) {
     return ScanKernelKind::kAvx2;
   }
@@ -135,12 +293,111 @@ ScanKernelKind DetectKernel() {
 #endif
 }
 
+bool KernelFromName(const char* name, ScanKernelKind* kind) {
+  if (std::strcmp(name, "scalar") == 0) {
+    *kind = ScanKernelKind::kScalar;
+  } else if (std::strcmp(name, "sse2") == 0) {
+    *kind = ScanKernelKind::kSse2;
+  } else if (std::strcmp(name, "avx2") == 0) {
+    *kind = ScanKernelKind::kAvx2;
+  } else if (std::strcmp(name, "avx512") == 0) {
+    *kind = ScanKernelKind::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+ScanKernelKind DetectKernel() {
+  const char* named = std::getenv("S3VCD_SCAN_KERNEL");
+  if (named != nullptr && named[0] != '\0') {
+    ScanKernelKind kind;
+    if (!KernelFromName(named, &kind)) {
+      std::fprintf(stderr,
+                   "s3vcd: unknown S3VCD_SCAN_KERNEL '%s' (expected "
+                   "scalar|sse2|avx2|avx512); falling back to detection\n",
+                   named);
+    } else if (!ScanKernelAvailable(kind)) {
+      std::fprintf(stderr,
+                   "s3vcd: S3VCD_SCAN_KERNEL=%s is not available on this "
+                   "CPU/build; falling back to detection\n",
+                   named);
+    } else {
+      return kind;
+    }
+  }
+  const char* no_simd = std::getenv("S3VCD_NO_SIMD");
+  if (no_simd != nullptr && no_simd[0] == '1') {
+    return ScanKernelKind::kScalar;
+  }
+  return WidestKernel();
+}
+
 std::atomic<int>& ActiveKernelSlot() {
   static std::atomic<int> slot(static_cast<int>(DetectKernel()));
   return slot;
 }
 
 }  // namespace
+
+#ifdef S3VCD_X86
+namespace internal {
+
+__attribute__((target("avx512f,avx512bw,avx512vl"))) void SqDistBatchAvx512Bw(
+    const uint8_t* desc, size_t n, const uint8_t* query, uint32_t* out) {
+  // Masked 20-byte loads never touch bytes past the record, so the kernel
+  // is safe on the last record of a mapped segment; the masked-off lanes
+  // are zero on both sides and contribute nothing.
+  const __mmask32 k20 = 0xFFFFF;
+  const __m512i q = _mm512_cvtepu8_epi16(_mm256_maskz_loadu_epi8(k20, query));
+  for (size_t i = 0; i < n; ++i) {
+    const __m512i d = _mm512_cvtepu8_epi16(
+        _mm256_maskz_loadu_epi8(k20, desc + i * fp::kDims));
+    const __m512i diff = _mm512_sub_epi16(d, q);
+    out[i] = static_cast<uint32_t>(
+        _mm512_reduce_add_epi32(_mm512_madd_epi16(diff, diff)));
+  }
+}
+
+__attribute__((target("avx512f,avx512bw,avx512vl,avx512vnni"))) void
+SqDistBatchAvx512Vnni(const uint8_t* desc, size_t n, const uint8_t* query,
+                      uint32_t* out) {
+  const __mmask32 k20 = 0xFFFFF;
+  const __m256i q = _mm256_maskz_loadu_epi8(k20, query);
+  const __m256i zero = _mm256_setzero_si256();
+  for (size_t i = 0; i < n; ++i) {
+    const __m256i d = _mm256_maskz_loadu_epi8(k20, desc + i * fp::kDims);
+    const __m256i diff =
+        _mm256_or_si256(_mm256_subs_epu8(d, q), _mm256_subs_epu8(q, d));
+    // vpdpbusd multiplies u8 (first operand) by *signed* i8 (second): a
+    // lane with diff >= 128 contributes diff * (diff - 256) = diff^2 -
+    // 256*diff. Recover the exact square by adding 256 * sum(diff over
+    // those lanes), which a sign-masked SAD against zero produces. All
+    // arithmetic is mod-2^32 exact and the true value fits uint32_t.
+    const __m256i acc = _mm256_dpbusd_epi32(zero, diff, diff);
+    const __m256i high =
+        _mm256_maskz_mov_epi8(_mm256_movepi8_mask(diff), diff);
+    const __m256i sad = _mm256_sad_epu8(high, zero);
+    __m128i sum = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                                _mm256_extracti128_si256(acc, 1));
+    sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, _MM_SHUFFLE(1, 0, 3, 2)));
+    sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, _MM_SHUFFLE(2, 3, 0, 1)));
+    const __m128i s64 = _mm_add_epi64(_mm256_castsi256_si128(sad),
+                                      _mm256_extracti128_si256(sad, 1));
+    const uint32_t corr = static_cast<uint32_t>(
+        static_cast<uint64_t>(_mm_cvtsi128_si64(s64)) +
+        static_cast<uint64_t>(_mm_extract_epi64(s64, 1)));
+    out[i] = static_cast<uint32_t>(_mm_cvtsi128_si32(sum)) + 256u * corr;
+  }
+}
+
+bool Avx512VnniAvailable() {
+  return ScanKernelAvailable(ScanKernelKind::kAvx512) &&
+         __builtin_cpu_supports("avx512vnni");
+}
+
+}  // namespace internal
+#endif  // S3VCD_X86
 
 const char* ScanKernelName(ScanKernelKind kind) {
   switch (kind) {
@@ -150,6 +407,8 @@ const char* ScanKernelName(ScanKernelKind kind) {
       return "sse2";
     case ScanKernelKind::kAvx2:
       return "avx2";
+    case ScanKernelKind::kAvx512:
+      return "avx512";
   }
   return "unknown";
 }
@@ -179,6 +438,14 @@ bool ScanKernelAvailable(ScanKernelKind kind) {
 #else
       return false;
 #endif
+    case ScanKernelKind::kAvx512:
+#ifdef S3VCD_X86
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512bw") &&
+             __builtin_cpu_supports("avx512vl");
+#else
+      return false;
+#endif
   }
   return false;
 }
@@ -196,14 +463,31 @@ void ScanRecords(const fp::Fingerprint& query, const DescriptorView& block,
     return;
   }
   result->stats.records_scanned += last - first;
+  result->stats.descriptor_bytes_scanned += (last - first) * block.desc_bytes;
+  const bool coded = block.codec != nullptr && !block.codec->is_exact();
   if (spec.mode == RefinementMode::kNormalizedRadiusFilter) {
     // Normalized mode stays on the single shared scalar definition so all
     // backends and kernels agree bitwise (see NormalizedSquaredDistance);
-    // the weight table already makes it a single pass per record.
+    // the weight table already makes it a single pass per record. A coded
+    // view decodes per record and inflates the radius by the codec's
+    // normalized reconstruction error bound.
+    double radius_sq = spec.radius_sq;
+    if (coded) {
+      const double r =
+          std::sqrt(spec.radius_sq) +
+          block.codec->NormalizedMaxError(spec.inv_scale_sq.data());
+      radius_sq = r * r;
+    }
+    uint8_t decoded[fp::kDims];
     for (size_t i = first; i < last; ++i) {
+      const uint8_t* record = block.descriptor(i);
+      if (coded) {
+        DecodeDescriptor(*block.codec, record, decoded);
+        record = decoded;
+      }
       const double dist_sq = NormalizedSquaredDistance(
-          query.data(), block.descriptor(i), spec.inv_scale_sq.data());
-      if (dist_sq > spec.radius_sq) {
+          query.data(), record, spec.inv_scale_sq.data());
+      if (dist_sq > radius_sq) {
         continue;
       }
       result->matches.push_back({block.id(i), block.time_code(i),
@@ -212,16 +496,32 @@ void ScanRecords(const fp::Fingerprint& query, const DescriptorView& block,
     }
     return;
   }
-  // Integer path: blocked strips of distances, then the mode test.
-  const SqDistBatchFn batch = KernelFn(ActiveScanKernel());
+  // Integer path: blocked strips of distances, then the mode test. Coded
+  // views run the fused decode+distance kernels against an error-inflated
+  // radius, making the quantized match set a superset of the exact one.
+  const SqDistBatchFn batch = coded ? nullptr : KernelFn(ActiveScanKernel());
+  const SqDistCodedBatchFn coded_batch =
+      coded ? CodedKernelFn(ActiveScanKernel()) : nullptr;
+  QuantQuery quant;
+  double radius_sq = spec.radius_sq;
+  if (coded) {
+    quant = MakeQuantQuery(query.data(), *block.codec);
+    if (spec.mode == RefinementMode::kRadiusFilter) {
+      const double r = std::sqrt(spec.radius_sq) + block.codec->max_error;
+      radius_sq = r * r;
+    }
+  }
   uint32_t dist_sq[kScanStrip];
   for (size_t strip = first; strip < last; strip += kScanStrip) {
     const size_t count = std::min(kScanStrip, last - strip);
-    batch(block.descriptor(strip), count, query.data(), dist_sq);
+    if (coded) {
+      coded_batch(block.descriptor(strip), count, quant, dist_sq);
+    } else {
+      batch(block.descriptor(strip), count, query.data(), dist_sq);
+    }
     for (size_t k = 0; k < count; ++k) {
       const double d_sq = static_cast<double>(dist_sq[k]);
-      if (spec.mode == RefinementMode::kRadiusFilter &&
-          d_sq > spec.radius_sq) {
+      if (spec.mode == RefinementMode::kRadiusFilter && d_sq > radius_sq) {
         continue;
       }
       const size_t i = strip + k;

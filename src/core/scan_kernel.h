@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/descriptor_block.h"
+#include "core/descriptor_codec.h"
 #include "core/record.h"
 #include "core/searcher.h"
 #include "fingerprint/fingerprint.h"
@@ -24,26 +25,37 @@ namespace s3vcd::core {
 /// same thing on every backend (pinned by tests/backend_parity_test.cc).
 ///
 /// ScanRecords runs a blocked kernel over the structure-of-arrays
-/// DescriptorBlock layout: a strip of packed 20-byte descriptors at a time,
-/// u8-difference -> i32-accumulate squared distances, through one of three
-/// runtime-dispatched variants (portable scalar, SSE2, AVX2) selected at
-/// startup from CPU features. The integer arithmetic is exact, so every
-/// variant returns bitwise-identical distances (asserted by
-/// tests/scan_kernel_test.cc). Set S3VCD_NO_SIMD=1 in the environment to
-/// force the scalar kernel (parity testing, reproducing baselines).
+/// DescriptorBlock layout: a strip of packed descriptors at a time,
+/// u8-difference -> i32-accumulate squared distances, through one of four
+/// runtime-dispatched variants (portable scalar, SSE2, AVX2, AVX-512)
+/// selected at startup from CPU features. The integer arithmetic is exact,
+/// so every variant returns bitwise-identical distances (asserted by
+/// tests/scan_kernel_test.cc). When the view carries a quantized codec
+/// (core/descriptor_codec.h) the kernels fuse the integer decode into the
+/// distance accumulation and inflate radius tests by the codec's
+/// reconstruction error bound, so the quantized match set is a superset of
+/// the exact one.
+///
+/// Environment overrides:
+///   S3VCD_SCAN_KERNEL=scalar|sse2|avx2|avx512  pin a specific kernel
+///     (falls back to the widest available one, with a warning, if the
+///     requested kernel cannot run on this CPU/build);
+///   S3VCD_NO_SIMD=1  force the scalar kernel (kept for compatibility;
+///     S3VCD_SCAN_KERNEL wins when both are set).
 
 /// The available kernel implementations, in dispatch-preference order.
 enum class ScanKernelKind {
   kScalar = 0,  ///< portable reference loop (always available)
   kSse2 = 1,    ///< x86-64 baseline SIMD
   kAvx2 = 2,    ///< 32-byte SIMD, used when the CPU supports it
+  kAvx512 = 3,  ///< 64-byte SIMD (F+BW+VL; VNNI u8-dot when available)
 };
 
-/// Display name of a kernel: "scalar", "sse2", "avx2".
+/// Display name of a kernel: "scalar", "sse2", "avx2", "avx512".
 const char* ScanKernelName(ScanKernelKind kind);
 
 /// The kernel ScanRecords currently dispatches to. Defaults to the widest
-/// variant this CPU supports; S3VCD_NO_SIMD=1 forces kScalar.
+/// variant this CPU supports; see the environment overrides above.
 ScanKernelKind ActiveScanKernel();
 
 /// Whether this build/CPU can run `kind`.
@@ -97,9 +109,9 @@ inline uint32_t SquaredDistanceU32(const uint8_t* a, const uint8_t* b) {
 }
 
 /// Refines one candidate record of a block (LSH candidate verification,
-/// VA-file phase 2, dynamic-index insert buffer): bumps records_scanned,
-/// applies the mode's distance test, and appends a Match on acceptance.
-/// Returns whether the record was kept.
+/// VA-file phase 2, dynamic-index insert buffer): bumps records_scanned
+/// and descriptor_bytes_scanned, applies the mode's distance test, and
+/// appends a Match on acceptance. Returns whether the record was kept.
 ///
 /// Match.distance semantics (the definitive statement, pinned by
 /// tests/scan_kernel_test.cc): in kAll and kRadiusFilter modes it is the
@@ -108,19 +120,40 @@ inline uint32_t SquaredDistanceU32(const uint8_t* a, const uint8_t* b) {
 /// sqrt(sum_j ((q_j - x_j) / scale_j)^2) — the one distance that mode
 /// computes and tests against the radius (in sigma units). The
 /// unnormalized distance is not computed in normalized mode.
+///
+/// On a quantized view, x_j is the *decoded* record (the same values every
+/// fused kernel reconstructs) and the radius is inflated by the codec's
+/// reconstruction error bound, so no record the exact representation would
+/// accept is dropped; exact surfaces (memtable, in-memory backends, exact
+/// segments) re-rank those candidates by construction.
 inline bool RefineRecord(const fp::Fingerprint& query,
                          const DescriptorView& block, size_t i,
                          const RefineSpec& spec, QueryResult* result) {
   ++result->stats.records_scanned;
+  result->stats.descriptor_bytes_scanned += block.desc_bytes;
+  const uint8_t* record = block.descriptor(i);
+  double radius_sq = spec.radius_sq;
+  uint8_t decoded[fp::kDims];
+  if (block.codec != nullptr && !block.codec->is_exact()) {
+    DecodeDescriptor(*block.codec, record, decoded);
+    record = decoded;
+    if (spec.mode != RefinementMode::kAll) {
+      const double err =
+          spec.mode == RefinementMode::kNormalizedRadiusFilter
+              ? block.codec->NormalizedMaxError(spec.inv_scale_sq.data())
+              : block.codec->max_error;
+      const double r = std::sqrt(spec.radius_sq) + err;
+      radius_sq = r * r;
+    }
+  }
   double dist_sq;
   if (spec.mode == RefinementMode::kNormalizedRadiusFilter) {
-    dist_sq = NormalizedSquaredDistance(query.data(), block.descriptor(i),
+    dist_sq = NormalizedSquaredDistance(query.data(), record,
                                         spec.inv_scale_sq.data());
   } else {
-    dist_sq = static_cast<double>(
-        SquaredDistanceU32(query.data(), block.descriptor(i)));
+    dist_sq = static_cast<double>(SquaredDistanceU32(query.data(), record));
   }
-  if (spec.mode != RefinementMode::kAll && dist_sq > spec.radius_sq) {
+  if (spec.mode != RefinementMode::kAll && dist_sq > radius_sq) {
     return false;
   }
   result->matches.push_back({block.id(i), block.time_code(i),

@@ -4,6 +4,12 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "fingerprint/fingerprint.h"
+
+namespace s3vcd::core {
+struct DescriptorCodec;
+}  // namespace s3vcd::core
+
 namespace s3vcd::core::internal {
 
 /// Batch squared distances of `n` packed descriptors (fp::kDims bytes
@@ -20,6 +26,49 @@ using SqDistBatchFn = void (*)(const uint8_t* desc, size_t n,
 /// scalar loop rather than whatever the optimizer re-vectorized.
 void SqDistBatchScalar(const uint8_t* desc, size_t n, const uint8_t* query,
                        uint32_t* out);
+
+/// The AVX-512 exact kernels (defined in scan_kernel.cc behind runtime
+/// dispatch; only callable on CPUs where ScanKernelAvailable(kAvx512)).
+/// Two variants cover the same contract: the BW path widens to u16 and
+/// uses madd, the VNNI path runs the u8 dot product through vpdpbusd with
+/// the signed-operand correction. Declared here so the parity test can
+/// pin both against the scalar reference even though dispatch picks only
+/// one at runtime.
+#if defined(__x86_64__) || defined(__i386__)
+void SqDistBatchAvx512Bw(const uint8_t* desc, size_t n, const uint8_t* query,
+                         uint32_t* out);
+void SqDistBatchAvx512Vnni(const uint8_t* desc, size_t n,
+                           const uint8_t* query, uint32_t* out);
+/// Whether the VNNI variant can run on this CPU (implies kAvx512).
+bool Avx512VnniAvailable();
+#endif
+
+/// Per-scan precomputation of a quantized sweep: the query and the codec
+/// parameters widened to u16 so the fused decode+distance kernels index
+/// plain arrays (or load them straight into vectors). Built once per
+/// ScanRecords call on a coded view.
+struct QuantQuery {
+  uint16_t query[fp::kDims];   ///< exact query, widened
+  uint16_t step16[fp::kDims];  ///< codec fixed-point steps
+  uint16_t lo[fp::kDims];      ///< codec biases, widened
+  bool nibble = false;         ///< 4-bit codes, two axes per byte
+};
+
+/// Builds a QuantQuery from the query bytes and a (quantized) codec.
+QuantQuery MakeQuantQuery(const uint8_t* query, const DescriptorCodec& codec);
+
+/// Batch fused decode + squared distance over packed *coded* records
+/// (code_bytes each, back to back): out[i] = sum_j (decode(c_ij) - q_j)^2
+/// with the decode formula of core/descriptor_codec.h. Pure integer
+/// arithmetic — every variant is bitwise identical (pinned by
+/// tests/descriptor_codec_test.cc).
+using SqDistCodedBatchFn = void (*)(const uint8_t* codes, size_t n,
+                                    const QuantQuery& q, uint32_t* out);
+
+/// Scalar reference of the fused kernel (scan_kernel_scalar.cc, same
+/// no-auto-vectorization TU as the exact reference).
+void SqDistCodedBatchScalar(const uint8_t* codes, size_t n,
+                            const QuantQuery& q, uint32_t* out);
 
 }  // namespace s3vcd::core::internal
 

@@ -4,6 +4,7 @@
 // against and that the scalar leg of bench/micro_benchmarks measures.
 #include "core/scan_kernel_internal.h"
 
+#include "core/descriptor_codec.h"
 #include "fingerprint/fingerprint.h"
 
 namespace s3vcd::core {
@@ -31,6 +32,40 @@ void SqDistBatchScalar(const uint8_t* desc, size_t n, const uint8_t* query,
     uint32_t acc = 0;
     for (int j = 0; j < fp::kDims; ++j) {
       const int diff = static_cast<int>(d[j]) - static_cast<int>(query[j]);
+      acc += static_cast<uint32_t>(diff * diff);
+    }
+    out[i] = acc;
+  }
+}
+
+QuantQuery MakeQuantQuery(const uint8_t* query,
+                          const DescriptorCodec& codec) {
+  QuantQuery q;
+  for (int j = 0; j < fp::kDims; ++j) {
+    q.query[j] = query[j];
+    q.step16[j] = codec.step16[j];
+    q.lo[j] = codec.lo[j];
+  }
+  q.nibble = codec.kind == DescriptorCodecKind::kLvq4;
+  return q;
+}
+
+void SqDistCodedBatchScalar(const uint8_t* codes, size_t n,
+                            const QuantQuery& q, uint32_t* out) {
+  const size_t code_bytes = q.nibble ? fp::kDims / 2 : fp::kDims;
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t* c = codes + i * code_bytes;
+    uint32_t acc = 0;
+    for (int j = 0; j < fp::kDims; ++j) {
+      const uint32_t code =
+          q.nibble ? ((j & 1) ? (c[j / 2] >> 4) : (c[j / 2] & 0x0F)) : c[j];
+      // The decode formula of core/descriptor_codec.h, in u16-safe
+      // integer steps (the SIMD variants mirror these exact operations).
+      uint32_t v = q.lo[j] + ((code * q.step16[j] + 128u) >> 8);
+      if (v > 255u) {
+        v = 255u;
+      }
+      const int diff = static_cast<int>(v) - static_cast<int>(q.query[j]);
       acc += static_cast<uint32_t>(diff * diff);
     }
     out[i] = acc;

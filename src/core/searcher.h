@@ -84,8 +84,8 @@ struct QueryRequest {
 };
 
 /// Name of the refinement kernel ScanRecords currently dispatches to
-/// ("scalar", "sse2", "avx2") — see core/scan_kernel.h. Declared here so
-/// SearcherStats can carry it without a header cycle.
+/// ("scalar", "sse2", "avx2", "avx512") — see core/scan_kernel.h. Declared
+/// here so SearcherStats can carry it without a header cycle.
 const char* ActiveScanKernelName();
 
 /// Size accounting common to every backend.
@@ -96,6 +96,16 @@ struct SearcherStats {
   uint64_t pending_inserts = 0;
   /// Refinement kernel in use when these stats were taken.
   const char* scan_kernel = ActiveScanKernelName();
+  /// Descriptor codec(s) the backend stores records under ("exact"
+  /// everywhere except quantized segment stores, which report the codecs
+  /// actually present — '+'-joined when mixed mid-migration, e.g.
+  /// "exact+lvq4"; see core/descriptor_codec.h).
+  std::string codec = "exact";
+  /// Worst-case L2 distance perturbation the codec can introduce (max over
+  /// the backend's trained codecs of DescriptorCodec::max_error; 0 when
+  /// everything is exact). By the triangle inequality a reported match
+  /// distance is within this of the exact one.
+  double codec_max_error = 0;
 };
 
 /// The uniform interface over every search structure in the system: the
@@ -211,6 +221,10 @@ struct SearcherConfig {
   uint64_t segment_spill_threshold = 64 * 1024;
   int segment_tier_fanin = 4;
   bool segment_use_mmap = true;
+  /// segment: descriptor codec newly written segments are encoded with
+  /// ("exact", "lvq8", "lvq4" — see core/descriptor_codec.h). Existing
+  /// segments keep whatever codec they were written with.
+  std::string segment_codec = "exact";
 };
 
 /// String-keyed factory of Searcher backends. The built-ins ("s3",

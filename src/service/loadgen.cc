@@ -407,6 +407,8 @@ std::string LoadGenReport::ToJson() const {
   out += "  \"base_clients\": " + std::to_string(base_clients) + ",\n";
   out += "  \"deadline_ms\": " + FormatDouble(deadline_ms) + ",\n";
   out += "  \"seed\": " + std::to_string(seed) + ",\n";
+  out += "  \"scan_kernel\": \"" + scan_kernel + "\",\n";
+  out += "  \"codec\": \"" + codec + "\",\n";
   out += "  \"phases\": [\n";
   for (size_t i = 0; i < phases.size(); ++i) {
     out += PhaseToJson(phases[i]);
@@ -426,6 +428,11 @@ LoadGenReport RunLoadGen(QueryService& service,
   report.base_clients = options.base_clients;
   report.deadline_ms = options.deadline_ms;
   report.seed = options.seed;
+  report.scan_kernel = core::ActiveScanKernelName();
+  if (service.searcher() != nullptr && service.searcher()->num_shards() > 0) {
+    // Shards share one SearcherConfig, so shard 0's codec speaks for all.
+    report.codec = service.searcher()->shard(0).Stats().codec;
+  }
   if (query_pool.empty()) {
     return report;
   }

@@ -139,6 +139,11 @@ struct LoadGenReport {
   int base_clients = 0;
   double deadline_ms = 0;
   uint64_t seed = 0;
+  /// Dispatched refinement kernel (core::ActiveScanKernelName()) and the
+  /// descriptor codec of shard 0's backend — recorded so a saved report is
+  /// attributable to the ISA/codec configuration that produced it.
+  std::string scan_kernel = "scalar";
+  std::string codec = "exact";
   std::vector<PhaseReport> phases;
 
   std::string ToJson() const;

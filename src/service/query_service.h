@@ -176,6 +176,9 @@ class QueryService {
 
   const QueryServiceOptions& options() const { return options_; }
 
+  /// The searcher the service executes against (never null).
+  const ShardedSearcher* searcher() const { return searcher_; }
+
  private:
   void WorkerLoop();
   void ExecuteBatch(BatchHandle* batch, ThreadPool* pool);

@@ -231,6 +231,8 @@ core::QueryResult ShardedSearcher::MergeShardResults(
     result.stats.refine_ns += partial.stats.refine_ns;
     result.stats.ranges_scanned += partial.stats.ranges_scanned;
     result.stats.records_scanned += partial.stats.records_scanned;
+    result.stats.descriptor_bytes_scanned +=
+        partial.stats.descriptor_bytes_scanned;
     if (selection == nullptr) {
       result.stats.filter_seconds += partial.stats.filter_seconds;
       result.stats.selection_ns += partial.stats.selection_ns;

@@ -52,10 +52,32 @@ struct SectionLayout {
   uint32_t crc = 0;
 };
 
-/// Element size of each of the 6 sections, in file order.
-constexpr size_t kElemBytes[kNumSections] = {
-    kKeyBytes, fp::kDims, sizeof(uint32_t),
-    sizeof(uint32_t), sizeof(float), sizeof(float)};
+/// Required byte length of section `s` for `n` records under `kind`.
+/// Sections 0-5 are per-record columns (the descriptor column's width is
+/// the codec's code bytes); section 6 is the fixed-size codec-params blob,
+/// present exactly when the codec is quantized. These lengths are what the
+/// reader re-derives and checks, so a segment whose header codec tag does
+/// not match its actual payload widths fails validation structurally.
+uint64_t SectionLength(uint32_t s, uint64_t n,
+                       core::DescriptorCodecKind kind) {
+  switch (s) {
+    case 0:
+      return n * kKeyBytes;
+    case 1:
+      return n * core::DescriptorCodeBytes(kind);
+    case 2:
+    case 3:
+      return n * sizeof(uint32_t);
+    case 4:
+    case 5:
+      return n * sizeof(float);
+    case 6:
+      return kind == core::DescriptorCodecKind::kExactU8
+                 ? 0
+                 : core::kDescriptorCodecParamsBytes;
+  }
+  return 0;
+}
 
 Status PadTo(BinaryWriter* writer, uint64_t target) {
   static const uint8_t kZeros[kSectionAlign] = {};
@@ -84,11 +106,17 @@ Status WriteSegmentFileImpl(const std::string& path, uint64_t segment_id,
     return Status::InvalidArgument("curve order out of range [1, 8]");
   }
 
+  // Train the codec on the block being written; quantized parameters are
+  // per-segment (spills and compactions re-train on their merged input).
+  const core::DescriptorCodec codec = core::TrainDescriptorCodec(
+      options.codec, block.descriptors(), block.size());
+  const size_t code_bytes = codec.code_bytes();
+
   SectionLayout sections[kNumSections];
   uint64_t offset = kSegmentHeaderBytes;
   for (uint32_t s = 0; s < kNumSections; ++s) {
     sections[s].offset = offset;
-    sections[s].length = n * kElemBytes[s];
+    sections[s].length = SectionLength(s, n, options.codec);
     offset = Align64(offset + sections[s].length);
   }
   const uint64_t footer_offset = offset;
@@ -103,7 +131,8 @@ Status WriteSegmentFileImpl(const std::string& path, uint64_t segment_id,
   PutU32(header + 12, static_cast<uint32_t>(order));
   PutU64(header + 16, n);
   PutU64(header + 24, segment_id);
-  PutU32(header + 32, Crc32(header, 32));
+  header[kHeaderCodecOff] = static_cast<uint8_t>(options.codec);
+  PutU32(header + kHeaderCrcOff, Crc32(header, kHeaderCrcOff));
   S3VCD_RETURN_IF_ERROR(writer.WriteBytes(header, sizeof(header)));
 
   const core::DescriptorView view = block.View();
@@ -125,13 +154,46 @@ Status WriteSegmentFileImpl(const std::string& path, uint64_t segment_id,
     sections[0].crc = crc;
   }
 
-  // Sections 1-5: the SoA columns are contiguous already.
-  const void* columns[kNumSections] = {nullptr,  view.descriptors, view.ids,
-                                       view.time_codes, view.xs, view.ys};
-  for (uint32_t s = 1; s < kNumSections; ++s) {
+  // Section 1: the descriptor column — written straight from the block on
+  // the exact codec, encoded in chunks otherwise.
+  S3VCD_RETURN_IF_ERROR(PadTo(&writer, sections[1].offset));
+  if (codec.is_exact()) {
+    sections[1].crc = Crc32(view.descriptors, sections[1].length);
+    S3VCD_RETURN_IF_ERROR(
+        writer.WriteBytes(view.descriptors, sections[1].length));
+  } else {
+    constexpr size_t kChunkRecords = 512;
+    std::vector<uint8_t> chunk(kChunkRecords * code_bytes);
+    uint32_t crc = 0;
+    for (size_t i = 0; i < n; i += kChunkRecords) {
+      const size_t count = std::min<size_t>(kChunkRecords, n - i);
+      for (size_t k = 0; k < count; ++k) {
+        core::EncodeDescriptor(codec, block.descriptor(i + k),
+                               chunk.data() + k * code_bytes);
+      }
+      crc = Crc32(chunk.data(), count * code_bytes, crc);
+      S3VCD_RETURN_IF_ERROR(
+          writer.WriteBytes(chunk.data(), count * code_bytes));
+    }
+    sections[1].crc = crc;
+  }
+
+  // Sections 2-5: the remaining SoA columns are contiguous already.
+  const void* columns[6] = {nullptr, nullptr,  view.ids,
+                            view.time_codes, view.xs, view.ys};
+  for (uint32_t s = 2; s < 6; ++s) {
     S3VCD_RETURN_IF_ERROR(PadTo(&writer, sections[s].offset));
     sections[s].crc = Crc32(columns[s], sections[s].length);
     S3VCD_RETURN_IF_ERROR(writer.WriteBytes(columns[s], sections[s].length));
+  }
+
+  // Section 6: trained codec parameters (quantized segments only).
+  S3VCD_RETURN_IF_ERROR(PadTo(&writer, sections[6].offset));
+  if (!codec.is_exact()) {
+    uint8_t params[core::kDescriptorCodecParamsBytes];
+    core::SerializeCodecParams(codec, params);
+    sections[6].crc = Crc32(params, sizeof(params));
+    S3VCD_RETURN_IF_ERROR(writer.WriteBytes(params, sizeof(params)));
   }
 
   S3VCD_RETURN_IF_ERROR(PadTo(&writer, footer_offset));
@@ -144,11 +206,11 @@ Status WriteSegmentFileImpl(const std::string& path, uint64_t segment_id,
     PutU32(e + 16, sections[s].crc);
     PutU32(e + 20, 0);  // reserved
   }
-  PutKey(footer + 148, n > 0 ? keys.front() : BitKey::Zero());
-  PutKey(footer + 180, n > 0 ? keys.back() : BitKey::Zero());
-  PutU64(footer + 212, footer_offset);
-  PutU32(footer + 220, Crc32(footer, 220));
-  PutU32(footer + 224, kSegmentMagic);
+  PutKey(footer + kFooterMinKeyOff, n > 0 ? keys.front() : BitKey::Zero());
+  PutKey(footer + kFooterMaxKeyOff, n > 0 ? keys.back() : BitKey::Zero());
+  PutU64(footer + kFooterOffsetOff, footer_offset);
+  PutU32(footer + kFooterCrcOff, Crc32(footer, kFooterCrcOff));
+  PutU32(footer + kFooterMagicOff, kSegmentMagic);
   S3VCD_RETURN_IF_ERROR(writer.WriteBytes(footer, sizeof(footer)));
 
   if (options.sync) {
@@ -222,13 +284,13 @@ Status SegmentReader::Init(const std::string& path,
     return Status::Corruption("segment file truncated: " + path);
   }
   const uint8_t* footer = data + (size - kSegmentFooterBytes);
-  if (GetU32(footer + 224) != kSegmentMagic) {
+  if (GetU32(footer + kFooterMagicOff) != kSegmentMagic) {
     return Status::Corruption("segment trailing magic mismatch: " + path);
   }
-  if (GetU32(footer + 220) != Crc32(footer, 220)) {
+  if (GetU32(footer + kFooterCrcOff) != Crc32(footer, kFooterCrcOff)) {
     return Status::Corruption("segment footer checksum mismatch: " + path);
   }
-  if (GetU64(footer + 212) != size - kSegmentFooterBytes) {
+  if (GetU64(footer + kFooterOffsetOff) != size - kSegmentFooterBytes) {
     return Status::Corruption("segment footer offset mismatch: " + path);
   }
 
@@ -241,7 +303,7 @@ Status SegmentReader::Init(const std::string& path,
                               std::to_string(GetU32(header + 4)) + ": " +
                               path);
   }
-  if (GetU32(header + 32) != Crc32(header, 32)) {
+  if (GetU32(header + kHeaderCrcOff) != Crc32(header, kHeaderCrcOff)) {
     return Status::Corruption("segment header checksum mismatch: " + path);
   }
   if (GetU32(header + 8) != static_cast<uint32_t>(fp::kDims)) {
@@ -254,6 +316,12 @@ Status SegmentReader::Init(const std::string& path,
   order_ = static_cast<int>(order);
   count_ = GetU64(header + 16);
   segment_id_ = GetU64(header + 24);
+  const uint8_t codec_tag = header[kHeaderCodecOff];
+  if (codec_tag > static_cast<uint8_t>(core::DescriptorCodecKind::kLvq4)) {
+    return Status::Corruption("segment descriptor codec tag unknown: " +
+                              path);
+  }
+  const auto codec_kind = static_cast<core::DescriptorCodecKind>(codec_tag);
 
   if (GetU32(footer + 0) != kNumSections) {
     return Status::Corruption("segment section count mismatch: " + path);
@@ -266,9 +334,13 @@ Status SegmentReader::Init(const std::string& path,
     sections[s].offset = GetU64(e + 0);
     sections[s].length = GetU64(e + 8);
     sections[s].crc = GetU32(e + 16);
-    if (sections[s].length != count_ * kElemBytes[s]) {
+    // Re-derived from the header's count and codec tag: a segment whose
+    // tag was flipped to a different codec (even with resealed checksums)
+    // fails here, because the descriptor/params payloads have the wrong
+    // byte widths for the claimed codec.
+    if (sections[s].length != SectionLength(s, count_, codec_kind)) {
       return Status::Corruption("segment section length inconsistent with "
-                                "record count: " + path);
+                                "record count and codec: " + path);
     }
     if (sections[s].offset % kSectionAlign != 0 ||
         sections[s].offset < prev_end ||
@@ -286,6 +358,10 @@ Status SegmentReader::Init(const std::string& path,
                                   " checksum mismatch: " + path);
       }
     }
+  }
+  if (!core::DeserializeCodecParams(codec_kind, data + sections[6].offset,
+                                    &codec_)) {
+    return Status::Corruption("segment codec parameters invalid: " + path);
   }
 
   key_bytes_ = data + sections[0].offset;
@@ -306,7 +382,8 @@ Status SegmentReader::Init(const std::string& path,
   }
   min_key_ = count_ > 0 ? key(0) : BitKey::Zero();
   max_key_ = count_ > 0 ? key(count_ - 1) : BitKey::Zero();
-  if (GetKey(footer + 148) != min_key_ || GetKey(footer + 180) != max_key_) {
+  if (GetKey(footer + kFooterMinKeyOff) != min_key_ ||
+      GetKey(footer + kFooterMaxKeyOff) != max_key_) {
     return Status::Corruption("segment min/max key mismatch: " + path);
   }
   return Status::OK();
@@ -318,7 +395,8 @@ BitKey SegmentReader::key(size_t i) const {
 
 core::FingerprintRecord SegmentReader::Record(size_t i) const {
   core::FingerprintRecord r;
-  std::memcpy(r.descriptor.data(), descriptors_ + i * fp::kDims, fp::kDims);
+  core::DecodeDescriptor(codec_, descriptors_ + i * codec_.code_bytes(),
+                         r.descriptor.data());
   r.id = ids_[i];
   r.time_code = time_codes_[i];
   r.x = xs_[i];

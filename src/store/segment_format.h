@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/descriptor_block.h"
+#include "core/descriptor_codec.h"
 #include "core/record.h"
 #include "fingerprint/fingerprint.h"
 #include "util/bitkey.h"
@@ -25,29 +26,50 @@ namespace s3vcd::store {
 /// serving format written and compacted by SegmentStore.
 ///
 /// Layout summary (every section 64-byte aligned, lengths in the footer):
-///   [0, 64)    header: magic, version, dims, order, count, segment id, CRC
-///   sections   keys (32 B/rec) | descriptors (20 B/rec) | ids | times | xs | ys
-///   [end-228, end)  footer: section table with per-section CRCs, min/max
+///   [0, 64)    header: magic, version, dims, order, count, segment id,
+///              descriptor codec tag, CRC
+///   sections   keys (32 B/rec) | coded descriptors (codec code bytes/rec)
+///              | ids | times | xs | ys | codec params (0 B exact, 96 B
+///              quantized)
+///   [end-252, end)  footer: section table with per-section CRCs, min/max
 ///                   key, footer offset, footer CRC, trailing magic
 inline constexpr uint32_t kSegmentMagic = 0x53335347;  // "S3SG"
-inline constexpr uint32_t kSegmentVersion = 1;
+/// Version 2 added the descriptor codec tag and the codec-params section
+/// (version 1 files, which predate pluggable codecs, are rejected).
+inline constexpr uint32_t kSegmentVersion = 2;
 /// Alignment of every section start (and of the header block), so mapped
 /// column pointers satisfy the alignment of their element types.
 inline constexpr size_t kSectionAlign = 64;
 inline constexpr size_t kSegmentHeaderBytes = 64;
-/// keys, descriptors, ids, time_codes, xs, ys — in file order.
-inline constexpr uint32_t kNumSections = 6;
+/// keys, descriptors, ids, time_codes, xs, ys, codec params — in file
+/// order.
+inline constexpr uint32_t kNumSections = 7;
 /// Serialized BitKey: 4 little-endian u64 words, least significant first.
 inline constexpr size_t kKeyBytes = 32;
-/// section_count u32 + 6 * {offset u64, length u64, crc u32, reserved u32}
+/// Header field offsets (byte-level spec: docs/segment_format.md). The
+/// codec tag sits inside the CRC-covered prefix, so flipping it without
+/// resealing the header is caught as a checksum mismatch — and a resealed
+/// flip still fails the descriptor/params section length checks.
+inline constexpr size_t kHeaderCodecOff = 32;
+inline constexpr size_t kHeaderCrcOff = 40;
+/// Footer field offsets, all derived from the section count.
+inline constexpr size_t kFooterMinKeyOff = 4 + kNumSections * 24;
+inline constexpr size_t kFooterMaxKeyOff = kFooterMinKeyOff + kKeyBytes;
+inline constexpr size_t kFooterOffsetOff = kFooterMaxKeyOff + kKeyBytes;
+inline constexpr size_t kFooterCrcOff = kFooterOffsetOff + 8;
+inline constexpr size_t kFooterMagicOff = kFooterCrcOff + 4;
+/// section_count u32 + 7 * {offset u64, length u64, crc u32, reserved u32}
 /// + min_key + max_key + footer_offset u64 + footer_crc u32 + magic u32.
-inline constexpr size_t kSegmentFooterBytes =
-    4 + kNumSections * 24 + 2 * kKeyBytes + 8 + 4 + 4;
+inline constexpr size_t kSegmentFooterBytes = kFooterMagicOff + 4;
 
 struct SegmentWriteOptions {
   /// fsync the segment file before returning (the caller still owns
   /// durability of the *name* via rename + directory sync).
   bool sync = true;
+  /// Descriptor codec the segment is encoded with. Quantized codecs train
+  /// their per-axis parameters on the block being written and store them
+  /// in the codec-params section.
+  core::DescriptorCodecKind codec = core::DescriptorCodecKind::kExactU8;
 };
 
 /// Writes one complete segment file at `path` from a sorted record block
@@ -97,18 +119,33 @@ class SegmentReader {
   /// Bytes of process-resident copy (0 when mapped).
   uint64_t resident_bytes() const { return mapped() ? 0 : resident_.size(); }
 
+  /// Descriptor codec the segment's descriptor column is encoded with
+  /// (parameters deserialized from the codec-params section at open).
+  const core::DescriptorCodec& codec() const { return codec_; }
+  core::DescriptorCodecKind codec_kind() const { return codec_.kind; }
+  /// Stored bytes per descriptor record (codec code bytes).
+  size_t descriptor_code_bytes() const { return codec_.code_bytes(); }
+
   /// Hilbert key of record i (decoded from the mapped key column).
   BitKey key(size_t i) const;
   const BitKey& min_key() const { return min_key_; }
   const BitKey& max_key() const { return max_key_; }
 
-  /// The SoA columns as a view the scan kernels consume directly.
+  /// The SoA columns as a view the scan kernels consume directly. On a
+  /// quantized segment the view carries the codec, which routes scans
+  /// through the fused decode kernels (see core/scan_kernel.h).
   core::DescriptorView View() const {
-    return {descriptors_, ids_, time_codes_, xs_, ys_,
-            static_cast<size_t>(count_)};
+    core::DescriptorView view{descriptors_, ids_, time_codes_, xs_, ys_,
+                              static_cast<size_t>(count_)};
+    view.desc_bytes = codec_.code_bytes();
+    if (!codec_.is_exact()) {
+      view.codec = &codec_;
+    }
+    return view;
   }
 
   /// Record i in array-of-structs form (merges, tools; not the scan path).
+  /// Decoded through the codec on quantized segments.
   core::FingerprintRecord Record(size_t i) const;
 
   /// Index of the first record with key >= `key` (binary search).
@@ -129,6 +166,7 @@ class SegmentReader {
   int order_ = 0;
   uint64_t count_ = 0;
   uint64_t file_bytes_ = 0;
+  core::DescriptorCodec codec_;  ///< identity codec on exact segments
   BitKey min_key_;
   BitKey max_key_;
 

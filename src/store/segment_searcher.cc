@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <mutex>
 #include <numeric>
+#include <set>
 #include <utility>
 
 #include "core/scan_kernel.h"
@@ -189,7 +190,30 @@ core::QueryResult SegmentSearcher::RangeQuery(const fp::Fingerprint& query,
 }
 
 core::SearcherStats SegmentSearcher::Stats() const {
-  return {store_->total_records() + memtable_.size(), memtable_.size()};
+  core::SearcherStats stats;
+  stats.records = store_->total_records() + memtable_.size();
+  stats.pending_inserts = memtable_.size();
+  // Report what the store actually holds, not the write-option codec: a
+  // reopened quantized store serves quantized segments no matter what new
+  // segments would be encoded with. Mixed stores (mid-migration) list
+  // every codec present, e.g. "exact+lvq4"; an empty store reports the
+  // codec its first spill will use.
+  std::set<core::DescriptorCodecKind> kinds;
+  for (const auto& segment : store_->view()->segments) {
+    kinds.insert(segment->codec_kind());
+    stats.codec_max_error =
+        std::max(stats.codec_max_error, segment->codec().max_error);
+  }
+  if (kinds.empty()) {
+    stats.codec = core::DescriptorCodecName(store_->options().codec);
+  } else {
+    stats.codec.clear();
+    for (const auto kind : kinds) {
+      if (!stats.codec.empty()) stats.codec += '+';
+      stats.codec += core::DescriptorCodecName(kind);
+    }
+  }
+  return stats;
 }
 
 uint64_t SegmentSearcher::ApproxBytes() const {
@@ -198,6 +222,9 @@ uint64_t SegmentSearcher::ApproxBytes() const {
   for (const auto& segment : store_->view()->segments) {
     // Mapped segments count their full file: a scan touches every column
     // page, so that is the working-set contribution for capacity planning.
+    // Quantized segments store their descriptor column at the codec's code
+    // width, so both the mapped and the resident figures here are the
+    // codec-compressed footprint, not a decoded size.
     bytes += segment->mapped() ? segment->file_bytes()
                                : segment->resident_bytes();
   }
@@ -278,6 +305,13 @@ void EnsureSegmentBackendRegistered() {
           options.spill_threshold = config.segment_spill_threshold;
           options.store.tier_fanin = config.segment_tier_fanin;
           options.store.use_mmap = config.segment_use_mmap;
+          if (!core::DescriptorCodecFromName(config.segment_codec,
+                                             &options.store.codec)) {
+            S3VCD_LOG(ERROR)
+                << "unknown segment codec '" << config.segment_codec
+                << "' (expected " << core::DescriptorCodecNamesCsv() << ")";
+            return nullptr;
+          }
           auto searcher = SegmentSearcher::Open(std::move(db), options);
           if (!searcher.ok()) {
             S3VCD_LOG(ERROR) << "segment backend construction failed: "

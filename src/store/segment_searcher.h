@@ -107,8 +107,8 @@ class SegmentSearcher : public core::Searcher {
 /// Registers the "segment" backend in core::SearcherRegistry::Global()
 /// (idempotent). Linked binaries that want `--backend segment` call this
 /// once at startup; the SearcherConfig fields segment_store_dir,
-/// segment_spill_threshold, segment_tier_fanin and segment_use_mmap feed
-/// the factory.
+/// segment_spill_threshold, segment_tier_fanin, segment_use_mmap and
+/// segment_codec feed the factory.
 void EnsureSegmentBackendRegistered();
 
 }  // namespace s3vcd::store

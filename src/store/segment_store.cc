@@ -296,8 +296,8 @@ Status SegmentStore::AppendSegment(const core::DescriptorBlock& block,
   const uint64_t id = next_segment_id_++;
   const std::string path = SegmentPath(id);
   const std::string tmp = path + ".tmp";
-  S3VCD_RETURN_IF_ERROR(WriteSegmentFile(tmp, id, order_, block, keys,
-                                         {options_.sync_writes}));
+  S3VCD_RETURN_IF_ERROR(WriteSegmentFile(
+      tmp, id, order_, block, keys, {options_.sync_writes, options_.codec}));
   S3VCD_RETURN_IF_ERROR(RenameFile(tmp, path));
 
   const SegmentReadOptions read_options{options_.use_mmap,
@@ -427,8 +427,8 @@ Status SegmentStore::Compact(bool* merged) {
   const uint64_t id = next_segment_id_++;
   const std::string path = SegmentPath(id);
   const std::string tmp = path + ".tmp";
-  S3VCD_RETURN_IF_ERROR(WriteSegmentFile(tmp, id, order_, block, keys,
-                                         {options_.sync_writes}));
+  S3VCD_RETURN_IF_ERROR(WriteSegmentFile(
+      tmp, id, order_, block, keys, {options_.sync_writes, options_.codec}));
   S3VCD_RETURN_IF_ERROR(RenameFile(tmp, path));
 
   if (fail_before_manifest_swap_) {

@@ -10,12 +10,14 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/descriptor_block.h"
+#include "core/scan_kernel_internal.h"
 #include "core/distortion_model.h"
 #include "core/synthetic_db.h"
 #include "fingerprint/fingerprint.h"
@@ -41,10 +43,16 @@ class ScopedKernel {
 // First test in the binary: the startup detection has not been overridden
 // yet, so the active kernel is exactly what DetectKernel chose. The
 // scan_kernel_test_nosimd ctest entry runs this same binary with
-// S3VCD_NO_SIMD=1, which must force the scalar kernel.
+// S3VCD_NO_SIMD=1, which must force the scalar kernel, and the
+// scan_kernel_test_forced_scalar entry runs it with
+// S3VCD_SCAN_KERNEL=scalar, the explicit selector that outranks both the
+// detection and S3VCD_NO_SIMD.
 TEST(ScanKernelDispatchTest, EnvOverrideForcesScalar) {
+  const char* forced = std::getenv("S3VCD_SCAN_KERNEL");
   const char* no_simd = std::getenv("S3VCD_NO_SIMD");
-  if (no_simd != nullptr && no_simd[0] == '1') {
+  if (forced != nullptr && std::strcmp(forced, "scalar") == 0) {
+    EXPECT_EQ(ActiveScanKernel(), ScanKernelKind::kScalar);
+  } else if (forced == nullptr && no_simd != nullptr && no_simd[0] == '1') {
     EXPECT_EQ(ActiveScanKernel(), ScanKernelKind::kScalar);
   } else {
     EXPECT_TRUE(ScanKernelAvailable(ActiveScanKernel()));
@@ -53,6 +61,7 @@ TEST(ScanKernelDispatchTest, EnvOverrideForcesScalar) {
   EXPECT_STREQ(ScanKernelName(ScanKernelKind::kScalar), "scalar");
   EXPECT_STREQ(ScanKernelName(ScanKernelKind::kSse2), "sse2");
   EXPECT_STREQ(ScanKernelName(ScanKernelKind::kAvx2), "avx2");
+  EXPECT_STREQ(ScanKernelName(ScanKernelKind::kAvx512), "avx512");
   EXPECT_STREQ(ActiveScanKernelName(), ScanKernelName(ActiveScanKernel()));
 }
 
@@ -245,7 +254,8 @@ TEST(ScanRecordsTest, SimdKernelsMatchScalarBitwise) {
       ScanRecords(query, block, 0, block.size(), spec, &scalar);
     }
     for (ScanKernelKind kind :
-         {ScanKernelKind::kSse2, ScanKernelKind::kAvx2}) {
+         {ScanKernelKind::kSse2, ScanKernelKind::kAvx2,
+          ScanKernelKind::kAvx512}) {
       if (!ScanKernelAvailable(kind)) {
         continue;
       }
@@ -256,6 +266,38 @@ TEST(ScanRecordsTest, SimdKernelsMatchScalarBitwise) {
     }
   }
 }
+
+#if defined(__x86_64__) || defined(__i386__)
+// Dispatch only ever installs one AVX-512 variant (VNNI when the CPU has
+// it, the BW widening path otherwise), so pin BOTH directly against the
+// scalar reference: every variant computes the exact integer squared
+// distance, element for element.
+TEST(ScanKernelTest, Avx512VariantsMatchScalarReference) {
+  if (!ScanKernelAvailable(ScanKernelKind::kAvx512)) {
+    GTEST_SKIP() << "AVX-512 unavailable on this CPU";
+  }
+  Rng rng(15);
+  const fp::Fingerprint query = UniformRandomFingerprint(&rng);
+  const DescriptorBlock block = MakeTestBlock(query, 1537, &rng);
+  std::vector<uint32_t> reference(block.size());
+  std::vector<uint32_t> bw(block.size());
+  internal::SqDistBatchScalar(block.descriptors(), block.size(), query.data(),
+                              reference.data());
+  internal::SqDistBatchAvx512Bw(block.descriptors(), block.size(),
+                                query.data(), bw.data());
+  for (size_t i = 0; i < block.size(); ++i) {
+    ASSERT_EQ(reference[i], bw[i]) << "BW record " << i;
+  }
+  if (internal::Avx512VnniAvailable()) {
+    std::vector<uint32_t> vnni(block.size());
+    internal::SqDistBatchAvx512Vnni(block.descriptors(), block.size(),
+                                    query.data(), vnni.data());
+    for (size_t i = 0; i < block.size(); ++i) {
+      ASSERT_EQ(reference[i], vnni[i]) << "VNNI record " << i;
+    }
+  }
+}
+#endif  // x86
 
 TEST(ScanKernelTest, SquaredDistanceU32MatchesFingerprintDistance) {
   Rng rng(13);

@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -144,6 +146,60 @@ TEST(SegmentFormatTest, RoundtripMappedAndResident) {
   }
 }
 
+TEST(SegmentFormatTest, QuantizedRoundtripDecodesWithinCodecErrorBounds) {
+  TempDir dir("quantized");
+  core::DescriptorBlock block;
+  std::vector<BitKey> keys;
+  MakeSortedRun(500, 17, 3, &block, &keys);
+  for (const auto codec_kind :
+       {core::DescriptorCodecKind::kLvq8, core::DescriptorCodecKind::kLvq4}) {
+    const std::string path = dir.path() + "/seg-" +
+                             core::DescriptorCodecName(codec_kind) + ".s3seg";
+    SegmentWriteOptions write_options;
+    write_options.codec = codec_kind;
+    ASSERT_TRUE(WriteSegmentFile(path, 7, kOrder, block, keys, write_options)
+                    .ok());
+
+    auto reader = SegmentReader::Open(path);
+    ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+    const SegmentReader& seg = **reader;
+    EXPECT_EQ(seg.codec_kind(), codec_kind);
+    EXPECT_EQ(seg.descriptor_code_bytes(),
+              core::DescriptorCodeBytes(codec_kind));
+    const core::DescriptorCodec& codec = seg.codec();
+    if (codec_kind == core::DescriptorCodecKind::kLvq4) {
+      // Wide random u8 axes are lossy under 4-bit codes; lvq8 is lossless
+      // on (near-)full-range axes by construction, so no bound there.
+      EXPECT_GT(codec.max_error, 0.0);
+    }
+    // The scan view routes through the fused decode kernels: narrow rows
+    // plus the trained codec.
+    const core::DescriptorView view = seg.View();
+    EXPECT_EQ(view.desc_bytes, core::DescriptorCodeBytes(codec_kind));
+    ASSERT_NE(view.codec, nullptr);
+    EXPECT_EQ(view.codec->kind, codec_kind);
+    // Every record decodes within the codec's exhaustively computed
+    // per-axis error bound; metadata roundtrips exactly.
+    ASSERT_EQ(seg.size(), block.size());
+    for (size_t i = 0; i < seg.size(); ++i) {
+      const core::FingerprintRecord got = seg.Record(i);
+      const core::FingerprintRecord want = block.Record(i);
+      EXPECT_EQ(got.id, want.id);
+      EXPECT_EQ(got.time_code, want.time_code);
+      for (size_t j = 0; j < fp::kDims; ++j) {
+        EXPECT_LE(std::abs(static_cast<int>(got.descriptor[j]) -
+                           static_cast<int>(want.descriptor[j])),
+                  static_cast<int>(codec.axis_error[j]))
+            << "record " << i << " axis " << j;
+      }
+    }
+    // The 4-bit codec is the 2x byte reduction the quantized store buys.
+    if (codec_kind == core::DescriptorCodecKind::kLvq4) {
+      EXPECT_EQ(seg.descriptor_code_bytes() * 2, fp::kDims);
+    }
+  }
+}
+
 TEST(SegmentFormatTest, WriterRejectsUnsortedKeysAndLeavesNoFile) {
   TempDir dir("unsorted");
   const std::string path = dir.path() + "/seg-1.s3seg";
@@ -163,10 +219,18 @@ class SegmentCorruptionTest : public ::testing::Test {
   void SetUp() override {
     dir_ = std::make_unique<TempDir>("corruption");
     path_ = dir_->path() + "/seg-1.s3seg";
+    WriteWithCodec(core::DescriptorCodecKind::kExactU8);
+  }
+
+  /// Rewrites the segment under `codec` and re-slurps it (the codec rows
+  /// of the matrix need a quantized file to tamper with).
+  void WriteWithCodec(core::DescriptorCodecKind codec) {
     core::DescriptorBlock block;
     std::vector<BitKey> keys;
     MakeSortedRun(300, 13, 1, &block, &keys);
-    ASSERT_TRUE(WriteSegmentFile(path_, 1, kOrder, block, keys).ok());
+    SegmentWriteOptions options;
+    options.codec = codec;
+    ASSERT_TRUE(WriteSegmentFile(path_, 1, kOrder, block, keys, options).ok());
     bytes_ = Slurp(path_);
     ASSERT_GE(bytes_.size(), kSegmentHeaderBytes + kSegmentFooterBytes);
   }
@@ -184,8 +248,16 @@ class SegmentCorruptionTest : public ::testing::Test {
   /// Recomputes the footer CRC after the test edited footer fields, so the
   /// *structural* check under test fires instead of the checksum.
   void ResealFooter() {
-    const uint32_t crc = Crc32(footer(), 220);
-    std::memcpy(footer() + 220, &crc, 4);
+    const uint32_t crc = Crc32(footer(), kFooterCrcOff);
+    std::memcpy(footer() + kFooterCrcOff, &crc, 4);
+  }
+
+  /// Recomputes the header CRC after the test edited header fields (e.g.
+  /// the codec tag), so the semantic check under test fires instead of the
+  /// checksum.
+  void ResealHeader() {
+    const uint32_t crc = Crc32(bytes_.data(), kHeaderCrcOff);
+    std::memcpy(bytes_.data() + kHeaderCrcOff, &crc, 4);
   }
 
   std::unique_ptr<TempDir> dir_;
@@ -214,12 +286,17 @@ TEST_F(SegmentCorruptionTest, BadTrailingMagic) {
 }
 
 TEST_F(SegmentCorruptionTest, BadVersion) {
-  const uint32_t version = 99;
+  uint32_t version = 99;
   std::memcpy(bytes_.data() + 4, &version, 4);
   // Recompute the header CRC so the version check itself fires.
-  const uint32_t crc = Crc32(bytes_.data(), 32);
-  std::memcpy(bytes_.data() + 32, &crc, 4);
+  ResealHeader();
   ExpectCorrupt("unsupported version");
+  // Version 1 (pre-codec) files are rejected too, not silently read with
+  // a guessed codec.
+  version = 1;
+  std::memcpy(bytes_.data() + 4, &version, 4);
+  ResealHeader();
+  ExpectCorrupt("pre-codec version 1");
 }
 
 TEST_F(SegmentCorruptionTest, FlippedHeaderByte) {
@@ -237,7 +314,7 @@ TEST_F(SegmentCorruptionTest, FlippedSectionByte) {
 }
 
 TEST_F(SegmentCorruptionTest, FlippedFooterByte) {
-  footer()[150] ^= 0x10;  // inside min_key
+  footer()[kFooterMinKeyOff + 2] ^= 0x10;  // inside min_key
   ExpectCorrupt("footer bit flip");
 }
 
@@ -278,9 +355,79 @@ TEST_F(SegmentCorruptionTest, KeysOutOfOrder) {
   }
   const uint32_t crc = Crc32(keys, key_length);
   std::memcpy(footer() + 4 + 0 * 24 + 16, &crc, 4);
-  std::memcpy(footer() + 148, keys, kKeyBytes);  // new first key as min
+  std::memcpy(footer() + kFooterMinKeyOff, keys, kKeyBytes);  // new min key
   ResealFooter();
   ExpectCorrupt("keys out of order");
+}
+
+// --- Codec rows of the corruption matrix: a segment written with one
+// codec must refuse to decode as another. ---
+
+TEST_F(SegmentCorruptionTest, CodecTagFlipWithoutResealFailsHeaderChecksum) {
+  // The codec tag lives inside the CRC-covered header prefix, so a bare
+  // flip is caught as a checksum mismatch before any decode is attempted.
+  bytes_[kHeaderCodecOff] =
+      static_cast<uint8_t>(core::DescriptorCodecKind::kLvq4);
+  ExpectCorrupt("codec tag flip without header reseal");
+}
+
+TEST_F(SegmentCorruptionTest, UnknownCodecTagIsRejected) {
+  bytes_[kHeaderCodecOff] = 99;
+  ResealHeader();
+  ExpectCorrupt("unknown codec tag");
+}
+
+TEST_F(SegmentCorruptionTest, ExactSegmentRefusesToDecodeAsLvq4) {
+  // Even with a correctly resealed header, the descriptor section length
+  // (300 * 20 B) no longer matches the claimed codec's 10 B rows, and the
+  // codec-params section is missing: structural rejection, not garbage
+  // decodes.
+  bytes_[kHeaderCodecOff] =
+      static_cast<uint8_t>(core::DescriptorCodecKind::kLvq4);
+  ResealHeader();
+  ExpectCorrupt("exact segment relabeled lvq4");
+}
+
+TEST_F(SegmentCorruptionTest, QuantizedSegmentRefusesToDecodeAsExact) {
+  // lvq8 and exact share the 20 B row width, so this row exercises the
+  // params-section length check instead (96 B present, 0 B expected).
+  WriteWithCodec(core::DescriptorCodecKind::kLvq8);
+  bytes_[kHeaderCodecOff] =
+      static_cast<uint8_t>(core::DescriptorCodecKind::kExactU8);
+  ResealHeader();
+  ExpectCorrupt("lvq8 segment relabeled exact");
+}
+
+TEST_F(SegmentCorruptionTest, QuantizedSegmentRefusesOtherQuantizedCodec) {
+  WriteWithCodec(core::DescriptorCodecKind::kLvq8);
+  bytes_[kHeaderCodecOff] =
+      static_cast<uint8_t>(core::DescriptorCodecKind::kLvq4);
+  ResealHeader();
+  ExpectCorrupt("lvq8 segment relabeled lvq4");
+}
+
+TEST_F(SegmentCorruptionTest, CorruptCodecParamsAreRejected) {
+  // Zero out the trained parameters of a quantized segment (step16 == 0 is
+  // structurally invalid) and reseal the section CRC and footer, so the
+  // params validation itself fires rather than a checksum.
+  WriteWithCodec(core::DescriptorCodecKind::kLvq8);
+  uint64_t params_offset = 0, params_length = 0;
+  std::memcpy(&params_offset, footer() + 4 + 6 * 24, 8);
+  std::memcpy(&params_length, footer() + 4 + 6 * 24 + 8, 8);
+  ASSERT_EQ(params_length, core::kDescriptorCodecParamsBytes);
+  std::memset(bytes_.data() + params_offset, 0, params_length);
+  const uint32_t crc = Crc32(bytes_.data() + params_offset, params_length);
+  std::memcpy(footer() + 4 + 6 * 24 + 16, &crc, 4);
+  ResealFooter();
+  ExpectCorrupt("zeroed codec params");
+}
+
+TEST_F(SegmentCorruptionTest, FlippedCodecParamsByteFailsSectionChecksum) {
+  WriteWithCodec(core::DescriptorCodecKind::kLvq4);
+  uint64_t params_offset = 0;
+  std::memcpy(&params_offset, footer() + 4 + 6 * 24, 8);
+  bytes_[params_offset + 3] ^= 0x20;
+  ExpectCorrupt("codec params bit flip");
 }
 
 TEST_F(SegmentCorruptionTest, ChecksumVerificationCanBeDisabled) {
@@ -311,6 +458,55 @@ SegmentStoreOptions FastStoreOptions() {
 Result<std::unique_ptr<SegmentStore>> OpenStore(const std::string& dir,
                                                 int order = kOrder) {
   return SegmentStore::Open(dir, order, FastStoreOptions());
+}
+
+TEST(SegmentStoreTest, MixedCodecsCoexistAndCompactionMigrates) {
+  TempDir dir("codecstore");
+  core::DescriptorBlock block;
+  std::vector<BitKey> keys;
+  std::multiset<std::pair<uint32_t, uint32_t>> want;  // (id, time_code)
+  {
+    // Two segments under the default exact codec.
+    auto store = OpenStore(dir.path());
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    for (int run = 0; run < 2; ++run) {
+      MakeSortedRun(300, 40 + run, static_cast<uint32_t>(run), &block, &keys);
+      ASSERT_TRUE((*store)->AppendSegment(block, keys).ok());
+    }
+  }
+  // Reopen with lvq4: existing segments keep their recorded codec; new
+  // appends and compaction outputs use the store's codec.
+  SegmentStoreOptions options = FastStoreOptions();
+  options.tier_fanin = 3;
+  options.codec = core::DescriptorCodecKind::kLvq4;
+  auto store = SegmentStore::Open(dir.path(), kOrder, options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  MakeSortedRun(300, 42, 2, &block, &keys);
+  ASSERT_TRUE((*store)->AppendSegment(block, keys).ok());
+  std::multiset<core::DescriptorCodecKind> kinds;
+  for (const auto& segment : (*store)->view()->segments) {
+    kinds.insert(segment->codec_kind());
+  }
+  EXPECT_EQ(kinds.count(core::DescriptorCodecKind::kExactU8), 2u);
+  EXPECT_EQ(kinds.count(core::DescriptorCodecKind::kLvq4), 1u);
+  for (const auto& segment : (*store)->view()->segments) {
+    for (size_t i = 0; i < segment->size(); ++i) {
+      const core::FingerprintRecord r = segment->Record(i);
+      want.insert({r.id, r.time_code});
+    }
+  }
+  // Compaction merges all three into one segment re-encoded as lvq4 — the
+  // migration path for a store changing codecs.
+  ASSERT_TRUE((*store)->CompactAll().ok());
+  ASSERT_EQ((*store)->num_segments(), 1u);
+  const auto& merged = (*store)->view()->segments.front();
+  EXPECT_EQ(merged->codec_kind(), core::DescriptorCodecKind::kLvq4);
+  std::multiset<std::pair<uint32_t, uint32_t>> got;
+  for (size_t i = 0; i < merged->size(); ++i) {
+    const core::FingerprintRecord r = merged->Record(i);
+    got.insert({r.id, r.time_code});
+  }
+  EXPECT_EQ(got, want);
 }
 
 TEST(SegmentStoreTest, AppendReopenPreservesEverything) {

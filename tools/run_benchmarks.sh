@@ -2,10 +2,13 @@
 # Runs the refine-kernel micro benchmark (BM_RefineScan: a full seqscan
 # sweep of the shared 200k-record corpus per iteration) and distills the
 # result into a machine-readable BENCH_scan.json: records/sec per scan
-# kernel (scalar / sse2 / avx2) plus the SIMD-over-scalar speedup. The
-# scalar leg is a genuinely scalar loop (its TU is built with
+# kernel (scalar / sse2 / avx2 / avx512) plus the SIMD-over-scalar
+# speedup. The scalar leg is a genuinely scalar loop (its TU is built with
 # auto-vectorization off), so the speedup is kernel work, not compiler
-# luck.
+# luck. The quantized stanza (BM_CodedRefineScan) adds the lvq8/lvq4
+# descriptor codecs: records/sec through the fused decode+distance
+# kernels, bytes per stored descriptor, the byte reduction over the exact
+# 20-byte layout, and the recall of the exact match set.
 #
 # Also runs the block-selection micro benchmarks (BM_SelectStatistical /
 # BM_SelectRange over the same corpus's filter) and writes BENCH_filter.json:
@@ -15,9 +18,17 @@
 #
 # Also runs the segment-store scan benchmark (BM_SegmentScan: the same
 # full-corpus refine sweep served off an on-disk .s3seg segment, mapped
-# and resident) and writes BENCH_store.json: records/sec per read mode,
-# each mode's ratio to the in-memory sweep from the scan run above, and
-# the mmap-over-resident ratio.
+# and resident, written with each descriptor codec) and writes
+# BENCH_store.json: records/sec per read mode, each mode's ratio to the
+# in-memory sweep from the scan run above, the mmap-over-resident ratio,
+# and a quantized stanza with the per-codec throughput and stored
+# descriptor bytes.
+#
+# Every BENCH_*.json carries a "host" object: the machine's x86 SIMD
+# capability flags (from /proc/cpuinfo) and the scan kernel the runtime
+# dispatcher selects on this host (honouring S3VCD_SCAN_KERNEL /
+# S3VCD_NO_SIMD), so archived numbers are attributable to the ISA that
+# produced them.
 #
 # Finally drives the query service through the loadgen ramp (calibrated
 # open loop over a 200k-record database) and writes BENCH_service.json:
@@ -42,34 +53,88 @@ if [[ ! -x "${build_dir}/bench/micro_benchmarks" ]]; then
   cmake --build "${build_dir}" --target micro_benchmarks -j"$(nproc)"
 fi
 
+# Host ISA capabilities and the kernel the runtime dispatcher selects here
+# (mirrors core::DetectKernel: S3VCD_SCAN_KERNEL wins, then S3VCD_NO_SIMD,
+# then the widest available instruction set).
+host_isa_flags=""
+for flag in sse2 ssse3 sse4_1 sse4_2 avx avx2 avx512f avx512bw avx512vl avx512vnni; do
+  if grep -m1 '^flags' /proc/cpuinfo 2>/dev/null | grep -qw "${flag}"; then
+    host_isa_flags="${host_isa_flags} ${flag}"
+  fi
+done
+host_isa_flags="${host_isa_flags# }"
+if [[ -n "${S3VCD_SCAN_KERNEL:-}" ]]; then
+  selected_kernel="${S3VCD_SCAN_KERNEL}"
+elif [[ -n "${S3VCD_NO_SIMD:-}" ]]; then
+  selected_kernel="scalar"
+elif [[ " ${host_isa_flags} " == *" avx512f "* && \
+        " ${host_isa_flags} " == *" avx512bw "* && \
+        " ${host_isa_flags} " == *" avx512vl "* ]]; then
+  selected_kernel="avx512"
+elif [[ " ${host_isa_flags} " == *" avx2 "* ]]; then
+  selected_kernel="avx2"
+elif [[ " ${host_isa_flags} " == *" sse2 "* ]]; then
+  selected_kernel="sse2"
+else
+  selected_kernel="scalar"
+fi
+export S3VCD_BENCH_HOST_ISA="${host_isa_flags}"
+export S3VCD_BENCH_SELECTED_KERNEL="${selected_kernel}"
+echo "host ISA: ${host_isa_flags} (dispatcher selects ${selected_kernel})" >&2
+
 raw_json="$(mktemp)"
 trap 'rm -f "${raw_json}"' EXIT
 
 "${build_dir}/bench/micro_benchmarks" \
-  --benchmark_filter='^BM_RefineScan' \
+  --benchmark_filter='^BM_RefineScan|^BM_CodedRefineScan' \
   --benchmark_format=json \
   --benchmark_out="${raw_json}" \
   --benchmark_out_format=json >&2
 
 python3 - "${raw_json}" "${out_json}" <<'PY'
 import json
+import os
 import sys
 
 raw_path, out_path = sys.argv[1], sys.argv[2]
 with open(raw_path) as f:
     raw = json.load(f)
 
+host = {
+    "isa_flags": os.environ.get("S3VCD_BENCH_HOST_ISA", "").split(),
+    "selected_scan_kernel":
+        os.environ.get("S3VCD_BENCH_SELECTED_KERNEL", "unknown"),
+}
+
+EXACT_BYTES = 20.0
 kernels = {}
+quantized = {}
 for b in raw.get("benchmarks", []):
     if b.get("run_type") != "iteration" or "error_occurred" in b:
         continue
     label = b.get("label", "")
     if not label:
         continue
-    kernels[label] = {
-        "records_per_second": b.get("items_per_second", 0.0),
-        "ns_per_sweep": b.get("real_time", 0.0),
-    }
+    if label.startswith("coded:"):
+        # "coded:<codec>:<kernel>" from BM_CodedRefineScan.
+        _, codec, kernel = label.split(":")
+        bytes_per_record = b.get("bytes_per_record", EXACT_BYTES)
+        quantized.setdefault(codec, {
+            "bytes_per_record": bytes_per_record,
+            "descriptor_byte_reduction": EXACT_BYTES / bytes_per_record,
+            "recall_of_exact_matches": b.get("recall", 0.0),
+            "kernels": {},
+        })["kernels"][kernel] = {
+            "records_per_second": b.get("items_per_second", 0.0),
+            "ns_per_sweep": b.get("real_time", 0.0),
+        }
+        quantized[codec]["recall_of_exact_matches"] = min(
+            quantized[codec]["recall_of_exact_matches"], b.get("recall", 0.0))
+    else:
+        kernels[label] = {
+            "records_per_second": b.get("items_per_second", 0.0),
+            "ns_per_sweep": b.get("real_time", 0.0),
+        }
 
 scalar = kernels.get("scalar", {}).get("records_per_second", 0.0)
 best_simd_name = None
@@ -79,16 +144,29 @@ for name, entry in kernels.items():
         best_simd = entry["records_per_second"]
         best_simd_name = name
 
+for codec, entry in quantized.items():
+    best = max((k["records_per_second"] for k in entry["kernels"].values()),
+               default=0.0)
+    entry["best_records_per_second"] = best
+    entry["fraction_of_exact_best"] = (
+        best / best_simd if best_simd > 0 else None)
+
 result = {
-    "benchmark": "BM_RefineScan",
+    "benchmark": "BM_RefineScan / BM_CodedRefineScan",
     "description": ("seqscan refine sweep over 200000 records, "
-                    "kRadiusFilter mode, records/sec per scan kernel"),
+                    "kRadiusFilter mode, records/sec per scan kernel; "
+                    "'quantized' covers the lvq8/lvq4 descriptor codecs "
+                    "through the fused decode+distance kernels (recall is "
+                    "of the exact-codec match set, measured on the same "
+                    "corpus and query)"),
     "backend": "seqscan",
     "sweep_records": 200000,
+    "host": host,
     "kernels": kernels,
     "best_simd_kernel": best_simd_name,
     "simd_speedup_over_scalar":
         (best_simd / scalar) if scalar > 0 else None,
+    "quantized": quantized,
     "context": raw.get("context", {}),
 }
 with open(out_path, "w") as f:
@@ -98,6 +176,12 @@ print(json.dumps(result["kernels"], indent=2))
 speedup = result["simd_speedup_over_scalar"]
 if speedup is not None:
     print(f"SIMD speedup over scalar: {speedup:.2f}x ({best_simd_name})")
+for codec in sorted(quantized):
+    entry = quantized[codec]
+    print(f"{codec}: {entry['descriptor_byte_reduction']:.1f}x fewer "
+          f"descriptor bytes, recall "
+          f"{entry['recall_of_exact_matches']:.3f}, best "
+          f"{entry['best_records_per_second'] / 1e6:.1f} Mrec/s")
 PY
 
 echo "Wrote ${out_json}"
@@ -113,11 +197,18 @@ trap 'rm -f "${raw_json}" "${filter_raw}"' EXIT
 
 python3 - "${filter_raw}" "${filter_json}" <<'PY'
 import json
+import os
 import sys
 
 raw_path, out_path = sys.argv[1], sys.argv[2]
 with open(raw_path) as f:
     raw = json.load(f)
+
+host = {
+    "isa_flags": os.environ.get("S3VCD_BENCH_HOST_ISA", "").split(),
+    "selected_scan_kernel":
+        os.environ.get("S3VCD_BENCH_SELECTED_KERNEL", "unknown"),
+}
 
 # Labels: "stat:table:d12" / "stat:reference:d12" / "range:d12".
 statistical = {}
@@ -145,6 +236,7 @@ result = {
                     "microseconds per query by tree depth; 'table' is the "
                     "per-axis boundary-table engine, 'reference' the "
                     "per-node ComponentMass engine"),
+    "host": host,
     "statistical_by_depth":
         {str(d): statistical[d] for d in sorted(statistical)},
     "range_by_depth": {str(d): geometric[d] for d in sorted(geometric)},
@@ -174,24 +266,45 @@ trap 'rm -f "${raw_json}" "${filter_raw}" "${store_raw}"' EXIT
 
 python3 - "${store_raw}" "${out_json}" "${store_json}" <<'PY'
 import json
+import os
 import sys
 
 raw_path, scan_path, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
 with open(raw_path) as f:
     raw = json.load(f)
 
-# Labels: "segment:mmap" / "segment:resident".
+host = {
+    "isa_flags": os.environ.get("S3VCD_BENCH_HOST_ISA", "").split(),
+    "selected_scan_kernel":
+        os.environ.get("S3VCD_BENCH_SELECTED_KERNEL", "unknown"),
+}
+
+# Labels: "segment:<mode>" for the exact codec, "segment:<mode>:<codec>"
+# for the quantized ones.
+EXACT_BYTES = 20.0
 modes = {}
+quantized = {}
 for b in raw.get("benchmarks", []):
     if b.get("run_type") != "iteration" or "error_occurred" in b:
         continue
     label = b.get("label", "")
     if not label.startswith("segment:"):
         continue
-    modes[label.split(":", 1)[1]] = {
+    parts = label.split(":")
+    entry = {
         "records_per_second": b.get("items_per_second", 0.0),
         "ns_per_sweep": b.get("real_time", 0.0),
     }
+    if len(parts) == 2:
+        modes[parts[1]] = entry
+    else:
+        mode, codec = parts[1], parts[2]
+        bytes_per_record = b.get("bytes_per_record", EXACT_BYTES)
+        quantized.setdefault(codec, {
+            "bytes_per_record": bytes_per_record,
+            "descriptor_byte_reduction": EXACT_BYTES / bytes_per_record,
+            "modes": {},
+        })["modes"][mode] = entry
 
 # Ratio to the in-memory sweep of the same corpus (best kernel from the
 # BM_RefineScan run written just before this stanza).
@@ -217,9 +330,14 @@ result = {
     "description": ("refine sweep over a 200000-record on-disk .s3seg "
                     "segment, kRadiusFilter mode, records/sec per read "
                     "mode (mmap vs resident copy); fraction_of_memory_sweep "
-                    "compares against BM_RefineScan's in-memory corpus"),
+                    "compares against BM_RefineScan's in-memory corpus; "
+                    "'quantized' covers segments written with the "
+                    "lvq8/lvq4 descriptor codecs, scanned through the "
+                    "fused decode kernels straight off the store"),
     "sweep_records": 200000,
+    "host": host,
     "modes": modes,
+    "quantized": quantized,
     "memory_sweep_records_per_second": memory_rps or None,
     "mmap_over_resident":
         (mmap_rps / resident_rps) if resident_rps > 0 else None,
@@ -232,6 +350,12 @@ print(json.dumps(result["modes"], indent=2))
 ratio = result["mmap_over_resident"]
 if ratio is not None:
     print(f"mmap over resident: {ratio:.2f}x")
+for codec in sorted(quantized):
+    entry = quantized[codec]
+    best = max((m["records_per_second"] for m in entry["modes"].values()),
+               default=0.0)
+    print(f"{codec} segment: {entry['descriptor_byte_reduction']:.1f}x "
+          f"fewer stored descriptor bytes, best {best / 1e6:.1f} Mrec/s")
 PY
 
 echo "Wrote ${store_json}"
@@ -258,11 +382,18 @@ trap 'rm -f "${raw_json}" "${filter_raw}" "${service_raw}"' EXIT
 
 python3 - "${service_raw}" "${service_json}" <<'PY'
 import json
+import os
 import sys
 
 raw_path, out_path = sys.argv[1], sys.argv[2]
 with open(raw_path) as f:
     raw = json.load(f)
+
+host = {
+    "isa_flags": os.environ.get("S3VCD_BENCH_HOST_ISA", "").split(),
+    "selected_scan_kernel":
+        os.environ.get("S3VCD_BENCH_SELECTED_KERNEL", "unknown"),
+}
 
 phases = raw.get("phases", [])
 ramp = [p for p in phases if not p.get("calibration")]
@@ -294,6 +425,9 @@ result = {
                     "breakdown"),
     "mode": raw.get("mode"),
     "jitter": raw.get("jitter"),
+    "host": host,
+    "scan_kernel": raw.get("scan_kernel"),
+    "codec": raw.get("codec"),
     "base_qps": base_qps,
     "seed": raw.get("seed"),
     "calibration": calibration,

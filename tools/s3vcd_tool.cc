@@ -8,8 +8,9 @@
 //   s3vcd_tool query       --db DB [--backend NAME] [--alpha A] [--sigma S]
 //                          [--depth P] [--count N] [--seed S]
 //                          [--pseudo-disk R] [--store-dir DIR]
+//                          [--codec exact|lvq4|lvq8]
 //                          [--metrics-out FILE] [--trace-out FILE]
-//   s3vcd_tool compact     --store-dir DIR
+//   s3vcd_tool compact     --store-dir DIR [--codec exact|lvq4|lvq8]
 //   s3vcd_tool monitor     --db DB [--backend NAME] [--stream-frames F]
 //                          [--alpha A] [--sigma S] [--threshold T] [--seed S]
 //                          [--metrics-out FILE] [--trace-out FILE]
@@ -80,6 +81,7 @@
 
 #include "cbcd/detector.h"
 #include "core/database.h"
+#include "core/descriptor_codec.h"
 #include "core/distortion_model.h"
 #include "core/external_builder.h"
 #include "core/index.h"
@@ -192,11 +194,15 @@ const std::vector<CommandSpec>& Commands() {
         {"seed", "deterministic seed (default 99)"},
         {"pseudo-disk", "also replay via pseudo-disk with 2^R sections"},
         {"store-dir", "segment backend: persistent store directory"},
+        {"codec", "segment backend: descriptor codec for new segments "
+                  "(exact, lvq4, lvq8; default exact)"},
         {"metrics-out", "write a metrics JSON snapshot to FILE"},
         {"trace-out", "write Chrome trace-event JSON to FILE"}}},
       {"compact",
        "compact a persistent segment store to a steady state",
-       {{"store-dir", "segment store directory (required)"}}},
+       {{"store-dir", "segment store directory (required)"},
+        {"codec", "re-encode compaction output with this descriptor codec "
+                  "(exact, lvq4, lvq8; default exact)"}}},
       {"monitor",
        "watch a synthetic stream with an embedded copy",
        {{"db", "database path (required)"},
@@ -583,6 +589,16 @@ int CmdQuery(const Flags& flags) {
   // corpus above). A fresh --store-dir ingests the database once.
   core::SearcherConfig config;
   config.segment_store_dir = flags.Get("store-dir", "");
+  config.segment_codec = flags.Get("codec", "exact");
+  {
+    core::DescriptorCodecKind parsed;
+    if (!core::DescriptorCodecFromName(config.segment_codec, &parsed)) {
+      std::fprintf(stderr, "query: unknown --codec '%s' (expected %s)\n",
+                   config.segment_codec.c_str(),
+                   core::DescriptorCodecNamesCsv().c_str());
+      return 2;
+    }
+  }
   core::FingerprintDatabase backend_db = std::move(*db);
   if (!config.segment_store_dir.empty() &&
       std::filesystem::exists(config.segment_store_dir + "/CURRENT")) {
@@ -620,6 +636,11 @@ int CmdQuery(const Flags& flags) {
   options.filter.depth = depth;
   ObsOutputs obs_out(flags);
   obs_out.Begin();
+  // Retrieval check: the target's match distance must show up (nearly)
+  // exactly. Quantized backends report distances computed on decoded
+  // descriptors, which sit within codec_max_error of the exact ones, so
+  // the tolerance widens by that bound.
+  const double hit_tolerance = 1e-3 + index.Stats().codec_max_error;
   int hits = 0;
   uint64_t matches = 0;
   core::QueryStats totals;
@@ -637,7 +658,7 @@ int CmdQuery(const Flags& flags) {
     const double target_dist =
         fp::Distance(q, targets[static_cast<size_t>(i)]);
     for (const auto& m : result.matches) {
-      if (std::abs(m.distance - target_dist) < 1e-3) {
+      if (std::abs(m.distance - target_dist) < hit_tolerance) {
         ++hits;
         break;
       }
@@ -645,10 +666,11 @@ int CmdQuery(const Flags& flags) {
   }
   std::printf(
       "%d self-queries (backend=%s alpha=%.2f sigma=%.1f p=%d "
-      "scan_kernel=%s): retrieval %.1f%%, avg %.3f ms, avg %.0f results\n",
+      "scan_kernel=%s codec=%s): retrieval %.1f%%, avg %.3f ms, avg %.0f "
+      "results\n",
       count, backend.c_str(), alpha, sigma, depth,
-      core::ActiveScanKernelName(), 100.0 * hits / count,
-      watch.ElapsedMillis() / count,
+      core::ActiveScanKernelName(), index.Stats().codec.c_str(),
+      100.0 * hits / count, watch.ElapsedMillis() / count,
       static_cast<double>(matches) / count);
   std::printf(
       "selection/refine split: selection %.1f us/query, refine %.1f "
@@ -722,7 +744,16 @@ int CmdCompact(const Flags& flags) {
     std::fprintf(stderr, "compact: --store-dir is required\n");
     return 2;
   }
-  auto store = store::SegmentStore::Open(store_dir, 0);
+  // Compaction re-encodes merged runs, so --codec migrates a store to a
+  // new descriptor codec (segments not touched by a merge keep theirs).
+  store::SegmentStoreOptions store_options;
+  const std::string codec_name = flags.Get("codec", "exact");
+  if (!core::DescriptorCodecFromName(codec_name, &store_options.codec)) {
+    std::fprintf(stderr, "compact: unknown --codec '%s' (expected %s)\n",
+                 codec_name.c_str(), core::DescriptorCodecNamesCsv().c_str());
+    return 2;
+  }
+  auto store = store::SegmentStore::Open(store_dir, 0, store_options);
   if (!store.ok()) {
     std::fprintf(stderr, "compact failed: %s\n",
                  store.status().ToString().c_str());
