@@ -69,13 +69,15 @@ struct Collector {
   uint64_t completed_ok = 0;
   uint64_t deadline_expired = 0;
   uint64_t queries_executed = 0;
+  uint64_t completed_interactive = 0;
+  uint64_t completed_bulk = 0;
   std::vector<double> latencies_ms;  ///< OK batches only
   double queue_sum_ms = 0;
   double execute_sum_ms = 0;
   double selection_sum_ms = 0;
   double refine_sum_ms = 0;
 
-  void Record(const BatchResult& result, double latency_ms) {
+  void Record(const BatchResult& result, double latency_ms, Lane lane) {
     std::lock_guard<std::mutex> lock(mutex);
     queries_executed += result.queries_executed;
     if (!result.status.ok()) {
@@ -83,6 +85,11 @@ struct Collector {
       return;
     }
     ++completed_ok;
+    if (lane == Lane::kBulk) {
+      ++completed_bulk;
+    } else {
+      ++completed_interactive;
+    }
     latencies_ms.push_back(latency_ms);
     queue_sum_ms += result.queue_wait_ms;
     execute_sum_ms += result.execute_ms;
@@ -106,6 +113,16 @@ class WorkloadDrawer {
   Request Draw() {
     Request request;
     request.options.deadline_ms = options_.deadline_ms;
+    if (options_.bulk_fraction > 0 &&
+        rng_.Uniform(0, 1) < options_.bulk_fraction) {
+      request.options.lane = Lane::kBulk;
+    }
+    if (options_.quota_clients > 0) {
+      request.options.client_tag =
+          "client" + std::to_string(draw_ordinal_++ %
+                                    static_cast<uint64_t>(
+                                        options_.quota_clients));
+    }
     const double u = rng_.Uniform(0, 1);
     size_t count = 1;
     if (u < stat_single_) {
@@ -130,6 +147,7 @@ class WorkloadDrawer {
   double epsilon_;
   double stat_single_ = 1;
   double range_single_ = 0;
+  uint64_t draw_ordinal_ = 0;
   Rng rng_;
 };
 
@@ -137,6 +155,8 @@ void FinishPhaseRates(PhaseReport* phase, Collector* collector) {
   phase->completed_ok = collector->completed_ok;
   phase->deadline_expired = collector->deadline_expired;
   phase->queries_executed = collector->queries_executed;
+  phase->completed_interactive = collector->completed_interactive;
+  phase->completed_bulk = collector->completed_bulk;
   phase->offered_qps =
       phase->duration_s > 0
           ? static_cast<double>(phase->offered) / phase->duration_s
@@ -185,6 +205,9 @@ PhaseReport RunClosedLoopPhase(QueryService& service,
   uint64_t offered = 0;
   uint64_t accepted = 0;
   uint64_t rejected = 0;
+  uint64_t quota_rejected = 0;
+  uint64_t retries = 0;
+  double retry_wait_ms = 0;
 
   const auto phase_start = Clock::now();
   const auto phase_end =
@@ -198,8 +221,15 @@ PhaseReport RunClosedLoopPhase(QueryService& service,
       WorkloadDrawer drawer(pool, options, epsilon,
                             Rng(phase_seed * 1315423911u + c));
       uint64_t my_offered = 0, my_accepted = 0, my_rejected = 0;
+      uint64_t my_quota_rejected = 0, my_retries = 0;
+      double my_retry_wait_ms = 0;
       while (Clock::now() < phase_end) {
         Request request = drawer.Draw();
+        // The e2e clock starts at the FIRST submission attempt, so the
+        // reject-retry pauses below are inside the reported sample — the
+        // client-observed latency under backpressure, not just the lucky
+        // accepted-first-try path (coordinated-omission safety for the
+        // closed loop).
         Stopwatch watch;
         BatchTicket ticket;
         bool gave_up = false;
@@ -213,17 +243,25 @@ PhaseReport RunClosedLoopPhase(QueryService& service,
             break;
           }
           ++my_rejected;
+          if (submitted.status().code() ==
+              StatusCode::kResourceExhausted) {
+            ++my_quota_rejected;
+          }
           if (Clock::now() >= phase_end) {
             gave_up = true;
             break;
           }
+          ++my_retries;
+          Stopwatch pause;
           std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          my_retry_wait_ms += pause.ElapsedMillis();
         }
         if (gave_up) {
           break;
         }
         const BatchResult& result = ticket->Wait();
-        collector.Record(result, watch.ElapsedMillis());
+        collector.Record(result, watch.ElapsedMillis(),
+                         request.options.lane);
         if (options.think_ms > 0) {
           std::this_thread::sleep_for(
               std::chrono::duration<double, std::milli>(options.think_ms));
@@ -233,6 +271,9 @@ PhaseReport RunClosedLoopPhase(QueryService& service,
       offered += my_offered;
       accepted += my_accepted;
       rejected += my_rejected;
+      quota_rejected += my_quota_rejected;
+      retries += my_retries;
+      retry_wait_ms += my_retry_wait_ms;
     });
   }
   for (std::thread& t : clients) {
@@ -243,6 +284,9 @@ PhaseReport RunClosedLoopPhase(QueryService& service,
   phase.offered = offered;
   phase.accepted = accepted;
   phase.rejected = rejected;
+  phase.quota_rejected = quota_rejected;
+  phase.retries = retries;
+  phase.retry_wait_ms = retry_wait_ms;
   FinishPhaseRates(&phase, &collector);
   return phase;
 }
@@ -252,6 +296,7 @@ struct HarvestQueue {
   struct Item {
     BatchTicket ticket;
     double send_lag_ms = 0;
+    Lane lane = Lane::kInteractive;
   };
 
   std::mutex mutex;
@@ -307,8 +352,10 @@ PhaseReport RunOpenLoopPhase(QueryService& service,
       const BatchResult& result = item.ticket->Wait();
       // Coordinated-omission-safe end to end: scheduled arrival to
       // completion = dispatcher lateness + queue wait + execution.
-      collector.Record(result, item.send_lag_ms + result.queue_wait_ms +
-                                   result.execute_ms);
+      collector.Record(result,
+                       item.send_lag_ms + result.queue_wait_ms +
+                           result.execute_ms,
+                       item.lane);
     }
   });
 
@@ -343,10 +390,14 @@ PhaseReport RunOpenLoopPhase(QueryService& service,
         service.Submit(std::move(request.queries), request.options);
     if (!submitted.ok()) {
       ++phase.rejected;
+      if (submitted.status().code() == StatusCode::kResourceExhausted) {
+        ++phase.quota_rejected;
+      }
       continue;
     }
     ++phase.accepted;
-    harvest.Push({*submitted, send_lag_ms}, options.max_outstanding);
+    harvest.Push({*submitted, send_lag_ms, request.options.lane},
+                 options.max_outstanding);
   }
   harvest.Close();
   harvester.join();
@@ -368,9 +419,18 @@ std::string PhaseToJson(const PhaseReport& p) {
   out += ", \"offered\": " + std::to_string(p.offered);
   out += ", \"accepted\": " + std::to_string(p.accepted);
   out += ", \"rejected\": " + std::to_string(p.rejected);
+  out += ", \"quota_rejected\": " + std::to_string(p.quota_rejected);
+  out += ", \"retries\": " + std::to_string(p.retries);
+  out += ", \"retry_wait_ms\": " + FormatDouble(p.retry_wait_ms);
   out += ", \"completed_ok\": " + std::to_string(p.completed_ok);
   out += ", \"deadline_expired\": " + std::to_string(p.deadline_expired);
   out += ", \"queries_executed\": " + std::to_string(p.queries_executed);
+  out += ", \"completed_interactive\": " +
+         std::to_string(p.completed_interactive);
+  out += ", \"completed_bulk\": " + std::to_string(p.completed_bulk);
+  out += ", \"hedges_fired\": " + std::to_string(p.hedges_fired);
+  out += ", \"hedge_wins\": " + std::to_string(p.hedge_wins);
+  out += ", \"cancelled_queries\": " + std::to_string(p.cancelled_queries);
   out += ", \"offered_qps\": " + FormatDouble(p.offered_qps);
   out += ", \"goodput_qps\": " + FormatDouble(p.goodput_qps);
   out += ", \"reject_rate\": " + FormatDouble(p.reject_rate);
@@ -407,6 +467,9 @@ std::string LoadGenReport::ToJson() const {
   out += "  \"base_clients\": " + std::to_string(base_clients) + ",\n";
   out += "  \"deadline_ms\": " + FormatDouble(deadline_ms) + ",\n";
   out += "  \"seed\": " + std::to_string(seed) + ",\n";
+  out += "  \"replicas\": " + std::to_string(replicas) + ",\n";
+  out += "  \"hedge_delay_ms\": " + FormatDouble(hedge_delay_ms) + ",\n";
+  out += "  \"hedge_quantile\": " + FormatDouble(hedge_quantile) + ",\n";
   out += "  \"scan_kernel\": \"" + scan_kernel + "\",\n";
   out += "  \"codec\": \"" + codec + "\",\n";
   out += "  \"phases\": [\n";
@@ -428,6 +491,9 @@ LoadGenReport RunLoadGen(QueryService& service,
   report.base_clients = options.base_clients;
   report.deadline_ms = options.deadline_ms;
   report.seed = options.seed;
+  report.replicas = service.num_replicas();
+  report.hedge_delay_ms = service.options().hedge_delay_ms;
+  report.hedge_quantile = service.options().hedge_quantile;
   report.scan_kernel = core::ActiveScanKernelName();
   if (service.searcher() != nullptr && service.searcher()->num_shards() > 0) {
     // Shards share one SearcherConfig, so shard 0's codec speaks for all.
@@ -442,13 +508,28 @@ LoadGenReport RunLoadGen(QueryService& service,
           : core::EqualExpectationRadius(
                 model, service.options().query.filter.alpha);
 
+  // Per-phase hedge deltas: the service counters are monotonic, so each
+  // phase's duplicate-work bill is the before/after difference.
+  const auto with_hedge_delta = [&service](auto run_phase) {
+    const QueryService::HedgeStats before = service.hedge_stats();
+    PhaseReport phase = run_phase();
+    const QueryService::HedgeStats after = service.hedge_stats();
+    phase.hedges_fired = after.fired - before.fired;
+    phase.hedge_wins = after.wins - before.wins;
+    phase.cancelled_queries =
+        after.cancelled_queries - before.cancelled_queries;
+    return phase;
+  };
+
   double base_qps = options.base_qps;
   if (options.mode == LoadMode::kOpenLoop && base_qps <= 0) {
     // Calibrate: a short closed-loop run measures sustained capacity, so
     // the ramp multipliers straddle the knee instead of guessing at it.
-    PhaseReport calibration = RunClosedLoopPhase(
-        service, query_pool, options, epsilon, 1.0,
-        std::max(0.5, options.calibrate_seconds), options.seed + 1);
+    PhaseReport calibration = with_hedge_delta([&] {
+      return RunClosedLoopPhase(
+          service, query_pool, options, epsilon, 1.0,
+          std::max(0.5, options.calibrate_seconds), options.seed + 1);
+    });
     calibration.calibration = true;
     base_qps = std::max(1.0, calibration.goodput_qps);
     report.phases.push_back(std::move(calibration));
@@ -458,15 +539,15 @@ LoadGenReport RunLoadGen(QueryService& service,
   for (size_t i = 0; i < options.ramp.size(); ++i) {
     const double multiplier = options.ramp[i];
     const uint64_t phase_seed = options.seed + 100 * (i + 1);
-    if (options.mode == LoadMode::kOpenLoop) {
-      report.phases.push_back(RunOpenLoopPhase(
-          service, query_pool, options, epsilon, multiplier,
-          base_qps * multiplier, options.phase_seconds, phase_seed));
-    } else {
-      report.phases.push_back(RunClosedLoopPhase(
-          service, query_pool, options, epsilon, multiplier,
-          options.phase_seconds, phase_seed));
-    }
+    report.phases.push_back(with_hedge_delta([&] {
+      return options.mode == LoadMode::kOpenLoop
+                 ? RunOpenLoopPhase(service, query_pool, options, epsilon,
+                                    multiplier, base_qps * multiplier,
+                                    options.phase_seconds, phase_seed)
+                 : RunClosedLoopPhase(service, query_pool, options,
+                                      epsilon, multiplier,
+                                      options.phase_seconds, phase_seed);
+    }));
   }
   return report;
 }

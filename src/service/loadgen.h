@@ -78,6 +78,13 @@ struct LoadGenOptions {
   /// radius from the service's model and alpha.
   double epsilon = 0;
   double deadline_ms = 0;  ///< per-batch deadline; 0 = none
+  /// Probability a request goes to the bulk lane (Lane::kBulk); the rest
+  /// are interactive.
+  double bulk_fraction = 0;
+  /// > 0: requests carry round-robin client tags "client0" ..
+  /// "client<N-1>", exercising the service's per-client quotas; 0 leaves
+  /// the tag empty (quota-exempt).
+  int quota_clients = 0;
   uint64_t seed = 42;
 
   /// Max completions in flight awaiting harvest (open loop); dispatcher
@@ -117,10 +124,27 @@ struct PhaseReport {
 
   uint64_t offered = 0;   ///< submission attempts (retries count)
   uint64_t accepted = 0;
-  uint64_t rejected = 0;  ///< kUnavailable admissions
+  uint64_t rejected = 0;  ///< kUnavailable + kResourceExhausted rejects
+  uint64_t quota_rejected = 0;  ///< the kResourceExhausted subset
+  /// Closed loop: rejected submissions that were retried after a pause
+  /// (every reject except a client giving up at phase end).
+  uint64_t retries = 0;
+  /// Closed loop: total client wall time spent in reject-retry pauses,
+  /// ms. This time is inside the reported e2e samples — a client's clock
+  /// starts at its FIRST submission attempt, so backpressure shows up as
+  /// client-observed latency instead of silently vanishing.
+  double retry_wait_ms = 0;
   uint64_t completed_ok = 0;
   uint64_t deadline_expired = 0;
   uint64_t queries_executed = 0;
+  /// Lane split of completed-OK batches.
+  uint64_t completed_interactive = 0;
+  uint64_t completed_bulk = 0;
+  /// Service hedge-machinery deltas over this phase (zero when hedging
+  /// is off or the service has a single replica).
+  uint64_t hedges_fired = 0;
+  uint64_t hedge_wins = 0;
+  uint64_t cancelled_queries = 0;
 
   double offered_qps = 0;    ///< offered / duration_s
   double goodput_qps = 0;    ///< completed_ok / elapsed_s
@@ -139,6 +163,11 @@ struct LoadGenReport {
   int base_clients = 0;
   double deadline_ms = 0;
   uint64_t seed = 0;
+  /// Service topology / tail-control configuration (from the service the
+  /// run drove), so a saved report is attributable to it.
+  int replicas = 1;
+  double hedge_delay_ms = 0;
+  double hedge_quantile = 0;
   /// Dispatched refinement kernel (core::ActiveScanKernelName()) and the
   /// descriptor codec of shard 0's backend — recorded so a saved report is
   /// attributable to the ISA/codec configuration that produced it.

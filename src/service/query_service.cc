@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
+#include <cmath>
 #include <string>
 #include <utility>
 
@@ -12,6 +14,8 @@
 namespace s3vcd::service {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 obs::Gauge* const g_queue_depth =
     obs::MetricsRegistry::Global().GetGauge("service.queue_depth");
@@ -55,10 +59,55 @@ obs::Histogram* const g_stage_refine_us =
     obs::MetricsRegistry::Global().GetHistogram("service.stage_refine_us");
 obs::Histogram* const g_stage_other_us =
     obs::MetricsRegistry::Global().GetHistogram("service.stage_other_us");
+// Lane / quota / hedge accounting (docs/query_service.md).
+obs::Counter* const g_lane_submitted[2] = {
+    obs::MetricsRegistry::Global().GetCounter(
+        "service.lane_interactive_submitted"),
+    obs::MetricsRegistry::Global().GetCounter(
+        "service.lane_bulk_submitted"),
+};
+obs::Counter* const g_lane_rejects[2] = {
+    obs::MetricsRegistry::Global().GetCounter(
+        "service.lane_interactive_rejects"),
+    obs::MetricsRegistry::Global().GetCounter(
+        "service.lane_bulk_rejects"),
+};
+obs::Gauge* const g_lane_depth[2] = {
+    obs::MetricsRegistry::Global().GetGauge(
+        "service.lane_interactive_depth"),
+    obs::MetricsRegistry::Global().GetGauge("service.lane_bulk_depth"),
+};
+obs::Counter* const g_quota_rejects =
+    obs::MetricsRegistry::Global().GetCounter("service.quota_rejects");
+obs::Counter* const g_hedges_armed =
+    obs::MetricsRegistry::Global().GetCounter("service.hedges_armed");
+obs::Counter* const g_hedges_fired =
+    obs::MetricsRegistry::Global().GetCounter("service.hedges_fired");
+obs::Counter* const g_hedge_wins =
+    obs::MetricsRegistry::Global().GetCounter("service.hedge_wins");
+obs::Counter* const g_hedge_cancelled_queries =
+    obs::MetricsRegistry::Global().GetCounter(
+        "service.hedge_cancelled_queries");
 
-double MillisSince(std::chrono::steady_clock::time_point since,
-                   std::chrono::steady_clock::time_point now) {
+// End-to-end samples retained for the hedge-delay quantile; recomputed
+// every kRequantileEvery completions (a 256-sample nth_element is
+// microseconds, not worth paying per batch).
+constexpr size_t kLatencyRing = 256;
+constexpr size_t kRequantileEvery = 16;
+// Completions required before the quantile trigger arms.
+constexpr size_t kQuantileArmAfter = 32;
+
+double MillisSince(Clock::time_point since, Clock::time_point now) {
   return std::chrono::duration<double, std::milli>(now - since).count();
+}
+
+Clock::duration MillisDuration(double ms) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+const char* LaneName(int lane) {
+  return lane == 0 ? "interactive" : "bulk";
 }
 
 }  // namespace
@@ -77,6 +126,7 @@ bool BatchHandle::done() const {
 void BatchHandle::Complete(BatchResult result) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    assert(!done_ && "batch completed twice — TryClaim contract violated");
     result_ = std::move(result);
     done_ = true;
   }
@@ -86,10 +136,29 @@ void BatchHandle::Complete(BatchResult result) {
 QueryService::QueryService(const ShardedSearcher* searcher,
                            const core::DistortionModel* model,
                            const QueryServiceOptions& options)
-    : searcher_(searcher), model_(model), options_(options) {
+    : replicas_{searcher}, model_(model), options_(options) {
+  Start();
+}
+
+QueryService::QueryService(const ReplicatedSearcher* replicas,
+                           const core::DistortionModel* model,
+                           const QueryServiceOptions& options)
+    : model_(model), options_(options) {
+  replicas_.reserve(static_cast<size_t>(replicas->num_replicas()));
+  for (int r = 0; r < replicas->num_replicas(); ++r) {
+    replicas_.push_back(&replicas->replica(r));
+  }
+  Start();
+}
+
+void QueryService::Start() {
   options_.num_workers = std::max(1, options_.num_workers);
   options_.threads_per_batch = std::max(1, options_.threads_per_batch);
   options_.max_queue_depth = std::max<size_t>(1, options_.max_queue_depth);
+  options_.bulk_queue_depth = std::max<size_t>(1, options_.bulk_queue_depth);
+  hedging_enabled_ =
+      replicas_.size() > 1 &&
+      (options_.hedge_delay_ms > 0 || options_.hedge_quantile > 0);
   if (options_.cache_capacity > 0) {
     cache_ = std::make_unique<SelectionCache>(options_.cache_capacity);
   }
@@ -99,9 +168,18 @@ QueryService::QueryService(const ShardedSearcher* searcher,
         options_.slow_batch_threshold_ms, options_.slow_log_capacity);
   }
   paused_ = options_.start_paused;
-  workers_.reserve(static_cast<size_t>(options_.num_workers));
-  for (int i = 0; i < options_.num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+  run_queues_.resize(replicas_.size());
+  replica_load_.assign(replicas_.size(), 0);
+  workers_.reserve(replicas_.size() *
+                   static_cast<size_t>(options_.num_workers));
+  for (size_t r = 0; r < replicas_.size(); ++r) {
+    for (int i = 0; i < options_.num_workers; ++i) {
+      workers_.emplace_back(
+          [this, r] { WorkerLoop(static_cast<int>(r)); });
+    }
+  }
+  if (hedging_enabled_) {
+    hedge_thread_ = std::thread([this] { HedgeLoop(); });
   }
 }
 
@@ -109,36 +187,115 @@ QueryService::~QueryService() { Shutdown(); }
 
 Result<BatchTicket> QueryService::Submit(std::vector<fp::Fingerprint> queries,
                                          const BatchOptions& options) {
-  const auto now = std::chrono::steady_clock::now();
+  const auto now = Clock::now();
   auto ticket = std::make_shared<BatchHandle>();
   ticket->queries_ = std::move(queries);
   ticket->options_ = options;
   ticket->submit_time_ = now;
   ticket->has_deadline_ = options.deadline_ms > 0;
   if (ticket->has_deadline_) {
-    ticket->deadline_ =
-        now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                  std::chrono::duration<double, std::milli>(
-                      options.deadline_ms));
+    ticket->deadline_ = now + MillisDuration(options.deadline_ms);
+    ticket->tokens_ = {std::make_shared<CancelToken>(ticket->deadline_),
+                       std::make_shared<CancelToken>(ticket->deadline_)};
+  } else {
+    ticket->tokens_ = {std::make_shared<CancelToken>(),
+                       std::make_shared<CancelToken>()};
   }
+  const int lane = static_cast<int>(options.lane);
+  std::vector<BatchTicket> expired;
+  Status reject = Status::OK();
+  bool armed_hedge = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!accepting_) {
       return Status::FailedPrecondition(
           "query service is shut down; no new batches accepted");
     }
-    if (queue_.size() >= options_.max_queue_depth) {
-      g_admission_rejects->Increment();
-      return Status::Unavailable(
-          "admission queue full (depth " +
-          std::to_string(options_.max_queue_depth) +
-          "); retry after draining");
+    if (options_.quota_batches_per_s > 0 && !options.client_tag.empty()) {
+      // Quota before occupancy: an over-quota client must not consume an
+      // admission slot that a within-quota client could use.
+      const double burst = options_.quota_burst > 0
+                               ? options_.quota_burst
+                               : std::max(1.0, options_.quota_batches_per_s);
+      auto [it, inserted] =
+          quota_.try_emplace(options.client_tag, TokenBucket{burst, now});
+      TokenBucket& bucket = it->second;
+      if (!inserted) {
+        const double dt_s =
+            std::chrono::duration<double>(now - bucket.last).count();
+        bucket.tokens = std::min(
+            burst, bucket.tokens + dt_s * options_.quota_batches_per_s);
+        bucket.last = now;
+      }
+      if (bucket.tokens < 1.0) {
+        g_quota_rejects->Increment();
+        return Status::ResourceExhausted(
+            "client '" + options.client_tag + "' over quota (" +
+            std::to_string(options_.quota_batches_per_s) +
+            " batches/s, burst " + std::to_string(burst) + ")");
+      }
+      bucket.tokens -= 1.0;
     }
-    queue_.push_back(ticket);
-    g_queue_depth->Set(static_cast<int64_t>(queue_.size()));
+    // Expired-but-queued batches are dead weight: fail them now so they
+    // stop holding admission slots (the satellite-1 bug was exactly that
+    // they were only discovered at pop time, causing spurious
+    // kUnavailable rejects under saturation).
+    PurgeExpiredLocked(now, &expired);
+    const size_t bound = lane == 0 ? options_.max_queue_depth
+                                   : options_.bulk_queue_depth;
+    if (lane_depth_[static_cast<size_t>(lane)] >= bound) {
+      g_admission_rejects->Increment();
+      g_lane_rejects[lane]->Increment();
+      reject = Status::Unavailable(
+          "admission queue full (" + std::string(LaneName(lane)) +
+          " lane, depth " + std::to_string(bound) +
+          "); retry after draining");
+    } else {
+      const int primary = PickReplicaLocked(/*exclude=*/-1);
+      next_replica_ = (next_replica_ + 1) % replicas_.size();
+      ticket->primary_replica_ = primary;
+      run_queues_[static_cast<size_t>(primary)][static_cast<size_t>(lane)]
+          .push_back(WorkItem{ticket, 0});
+      ++replica_load_[static_cast<size_t>(primary)];
+      ++lane_depth_[static_cast<size_t>(lane)];
+      g_lane_depth[lane]->Set(
+          static_cast<int64_t>(lane_depth_[static_cast<size_t>(lane)]));
+      g_queue_depth->Set(
+          static_cast<int64_t>(lane_depth_[0] + lane_depth_[1]));
+      g_lane_submitted[lane]->Increment();
+      if (hedging_enabled_) {
+        const double delay_ms = HedgeDelayMsLocked();
+        if (delay_ms >= 0) {
+          const auto fire_at = now + MillisDuration(delay_ms);
+          // A hedge that could only fire after the deadline is pointless.
+          if (!ticket->has_deadline_ || fire_at < ticket->deadline_) {
+            ticket->hedge_it_ = hedge_schedule_.emplace(fire_at, ticket);
+            ticket->hedge_scheduled_ = true;
+            hedges_armed_.fetch_add(1, std::memory_order_relaxed);
+            g_hedges_armed->Increment();
+            // Wake the timer only when this entry moved the earliest fire
+            // time forward; for the (typical) insert-at-the-back case the
+            // thread's current wait deadline is already right, and waking
+            // it once per submit costs a context switch per batch.
+            armed_hedge = ticket->hedge_it_ == hedge_schedule_.begin();
+          }
+        }
+      }
+    }
+  }
+  for (BatchTicket& dead : expired) {
+    CompleteExpiredQueued(dead.get());
+  }
+  if (!reject.ok()) {
+    return reject;
   }
   g_batches_submitted->Increment();
-  work_cv_.notify_one();
+  // notify_all, not notify_one: workers are pinned to replicas, and a
+  // notify_one could wake a worker of a replica with nothing queued.
+  work_cv_.notify_all();
+  if (armed_hedge) {
+    hedge_cv_.notify_one();
+  }
   return ticket;
 }
 
@@ -164,8 +321,19 @@ void QueryService::Shutdown() {
     accepting_ = false;
     shutdown_ = true;
     paused_ = false;  // a paused service still drains on shutdown
+    // Pending hedges are dropped: every batch's primary attempt is still
+    // queued (or running) and will complete it. Clear the back-pointers
+    // first so the draining workers don't erase through stale iterators.
+    for (auto& entry : hedge_schedule_) {
+      entry.second->hedge_scheduled_ = false;
+    }
+    hedge_schedule_.clear();
   }
   work_cv_.notify_all();
+  hedge_cv_.notify_all();
+  if (hedge_thread_.joinable()) {
+    hedge_thread_.join();
+  }
   for (std::thread& worker : workers_) {
     worker.join();
   }
@@ -174,31 +342,220 @@ void QueryService::Shutdown() {
 
 size_t QueryService::pending_batches() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.size();
+  return lane_depth_[0] + lane_depth_[1];
 }
 
-void QueryService::WorkerLoop() {
+size_t QueryService::pending_batches(Lane lane) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lane_depth_[static_cast<size_t>(lane)];
+}
+
+QueryService::HedgeStats QueryService::hedge_stats() const {
+  HedgeStats stats;
+  stats.armed = hedges_armed_.load(std::memory_order_relaxed);
+  stats.fired = hedges_fired_.load(std::memory_order_relaxed);
+  stats.wins = hedge_wins_.load(std::memory_order_relaxed);
+  stats.cancelled_queries =
+      hedge_cancelled_queries_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+double QueryService::current_hedge_delay_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return HedgeDelayMsLocked();
+}
+
+bool QueryService::HasWorkLocked(int replica) const {
+  const auto& queues = run_queues_[static_cast<size_t>(replica)];
+  return !queues[0].empty() || !queues[1].empty();
+}
+
+QueryService::WorkItem QueryService::PopLocked(int replica) {
+  auto& queues = run_queues_[static_cast<size_t>(replica)];
+  for (int lane = 0; lane < 2; ++lane) {
+    auto& q = queues[static_cast<size_t>(lane)];
+    if (q.empty()) {
+      continue;
+    }
+    WorkItem item = std::move(q.front());
+    q.pop_front();
+    if (item.attempt == 0) {
+      --lane_depth_[static_cast<size_t>(lane)];
+      g_lane_depth[lane]->Set(
+          static_cast<int64_t>(lane_depth_[static_cast<size_t>(lane)]));
+      g_queue_depth->Set(
+          static_cast<int64_t>(lane_depth_[0] + lane_depth_[1]));
+    }
+    return item;
+  }
+  return {};
+}
+
+void QueryService::PurgeExpiredLocked(Clock::time_point now,
+                                      std::vector<BatchTicket>* expired) {
+  for (size_t r = 0; r < run_queues_.size(); ++r) {
+    for (size_t lane = 0; lane < 2; ++lane) {
+      auto& q = run_queues_[r][lane];
+      for (auto it = q.begin(); it != q.end();) {
+        BatchHandle* b = it->ticket.get();
+        // Claimed entries are leftover hedge duplicates of finished
+        // batches; expired ones are claimed here so exactly one side
+        // completes them.
+        const bool dead = b->claimed() ||
+                          (b->has_deadline_ && now >= b->deadline_);
+        if (!dead) {
+          ++it;
+          continue;
+        }
+        if (it->attempt == 0) {
+          --lane_depth_[lane];
+        }
+        --replica_load_[r];
+        if (b->hedge_scheduled_) {
+          hedge_schedule_.erase(b->hedge_it_);
+          b->hedge_scheduled_ = false;
+        }
+        if (b->TryClaim()) {
+          expired->push_back(std::move(it->ticket));
+        }
+        it = q.erase(it);
+      }
+    }
+  }
+  g_lane_depth[0]->Set(static_cast<int64_t>(lane_depth_[0]));
+  g_lane_depth[1]->Set(static_cast<int64_t>(lane_depth_[1]));
+  g_queue_depth->Set(static_cast<int64_t>(lane_depth_[0] + lane_depth_[1]));
+}
+
+double QueryService::HedgeDelayMsLocked() const {
+  if (!hedging_enabled_) {
+    return -1;
+  }
+  if (options_.hedge_quantile > 0 && quantile_delay_ms_ >= 0) {
+    // The fixed delay acts as a floor so a fast-warm cache cannot drive
+    // the trigger down to "hedge everything".
+    return std::max(quantile_delay_ms_, options_.hedge_delay_ms);
+  }
+  return options_.hedge_delay_ms > 0 ? options_.hedge_delay_ms : -1;
+}
+
+int QueryService::PickReplicaLocked(int exclude) const {
+  int best = -1;
+  size_t best_load = 0;
+  const size_t count = replicas_.size();
+  for (size_t i = 0; i < count; ++i) {
+    const size_t r = (next_replica_ + i) % count;
+    if (static_cast<int>(r) == exclude) {
+      continue;
+    }
+    if (best < 0 || replica_load_[r] < best_load) {
+      best = static_cast<int>(r);
+      best_load = replica_load_[r];
+    }
+  }
+  return best;
+}
+
+void QueryService::WorkerLoop(int replica) {
   // Each worker owns its fan-out pool, so ThreadPool::Wait() (which waits
   // for *every* submitted task) never entangles two batches.
   std::unique_ptr<ThreadPool> pool;
   if (options_.threads_per_batch > 1) {
     pool = std::make_unique<ThreadPool>(options_.threads_per_batch);
   }
+  uint64_t popped = 0;
   for (;;) {
-    BatchTicket batch;
+    WorkItem item;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] {
-        return shutdown_ || (!paused_ && !queue_.empty());
+      work_cv_.wait(lock, [this, replica] {
+        return shutdown_ || (!paused_ && HasWorkLocked(replica));
       });
-      if (queue_.empty()) {
-        return;  // shutdown with nothing left to drain
+      if (!HasWorkLocked(replica)) {
+        return;  // shutdown with nothing left to drain on this replica
       }
-      batch = queue_.front();
-      queue_.pop_front();
-      g_queue_depth->Set(static_cast<int64_t>(queue_.size()));
+      item = PopLocked(replica);
     }
-    ExecuteBatch(batch.get(), pool.get());
+    BatchHandle* batch = item.ticket.get();
+    const auto now = Clock::now();
+    if (batch->claimed()) {
+      // The other attempt (or the purge) already finished this batch.
+    } else if (batch->has_deadline_ && now >= batch->deadline_) {
+      if (batch->TryClaim()) {
+        CompleteExpiredQueued(batch);
+      }
+    } else {
+      if (options_.stall_every_n > 0 && options_.stall_ms > 0 &&
+          ++popped % static_cast<uint64_t>(options_.stall_every_n) == 0) {
+        // Injected replica-local pause; the batch's hedge (if armed) fires
+        // meanwhile and the duplicate completes on the other replica,
+        // after which the stalled attempt cancels at its first
+        // per-query CancelToken check.
+        std::this_thread::sleep_for(MillisDuration(options_.stall_ms));
+      }
+      ProcessAttempt(item, replica, pool.get());
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --replica_load_[static_cast<size_t>(replica)];
+      // The batch is claimed by now whichever branch ran, so a still-
+      // pending hedge entry is dead weight: deschedule it here rather
+      // than letting the timer thread wake up just to discard it.
+      BatchHandle* finished = item.ticket.get();
+      if (finished->hedge_scheduled_) {
+        hedge_schedule_.erase(finished->hedge_it_);
+        finished->hedge_scheduled_ = false;
+      }
+    }
+  }
+}
+
+void QueryService::HedgeLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (shutdown_) {
+      return;
+    }
+    if (hedge_schedule_.empty()) {
+      hedge_cv_.wait(lock);
+      continue;
+    }
+    const auto next_fire = hedge_schedule_.begin()->first;
+    if (Clock::now() < next_fire) {
+      hedge_cv_.wait_until(lock, next_fire);
+      continue;
+    }
+    const auto now = Clock::now();
+    bool fired_any = false;
+    while (!hedge_schedule_.empty() &&
+           hedge_schedule_.begin()->first <= now) {
+      BatchTicket ticket = std::move(hedge_schedule_.begin()->second);
+      hedge_schedule_.erase(hedge_schedule_.begin());
+      ticket->hedge_scheduled_ = false;
+      BatchHandle* batch = ticket.get();
+      if (batch->claimed()) {
+        continue;  // finished before the hedge was due — the common case
+      }
+      if (batch->has_deadline_ && now >= batch->deadline_) {
+        continue;  // dead either way; the purge/pop path completes it
+      }
+      const int second = PickReplicaLocked(batch->primary_replica_);
+      if (second < 0) {
+        continue;
+      }
+      const size_t lane = static_cast<size_t>(batch->options_.lane);
+      // Front of the lane: the batch is already a delay-quantile late,
+      // making the duplicate queue behind fresh work would defeat it.
+      run_queues_[static_cast<size_t>(second)][lane].push_front(
+          WorkItem{std::move(ticket), 1});
+      ++replica_load_[static_cast<size_t>(second)];
+      hedges_fired_.fetch_add(1, std::memory_order_relaxed);
+      g_hedges_fired->Increment();
+      fired_any = true;
+    }
+    if (fired_any) {
+      work_cv_.notify_all();
+    }
   }
 }
 
@@ -245,95 +602,103 @@ SlowBatchExemplar MakeExemplar(size_t queries, const BatchResult& out) {
 
 }  // namespace
 
-void QueryService::ExecuteBatch(BatchHandle* batch, ThreadPool* pool) {
+void QueryService::ProcessAttempt(const WorkItem& item, int replica,
+                                  ThreadPool* pool) {
+  BatchHandle* batch = item.ticket.get();
+  CancelToken* token = batch->tokens_[static_cast<size_t>(item.attempt)].get();
+  if (token->cancelled()) {
+    return;  // lost before starting — no work wasted
+  }
+  BatchResult out = ExecuteAttempt(batch, *replicas_[static_cast<size_t>(
+                                              replica)],
+                                   pool, token);
+  out.replica = replica;
+  out.hedge_won = item.attempt == 1;
+  if (batch->TryClaim()) {
+    // First finisher wins: stop the other attempt at its next poll and
+    // publish this result. Replica parity makes the two attempts'
+    // results interchangeable bit for bit.
+    batch->tokens_[static_cast<size_t>(1 - item.attempt)]->Cancel();
+    if (item.attempt == 1) {
+      hedge_wins_.fetch_add(1, std::memory_order_relaxed);
+      g_hedge_wins->Increment();
+    }
+    FinishBatch(batch, std::move(out), /*queued_expiry=*/false);
+  } else {
+    // Lost the race: this attempt's queries were duplicate work.
+    hedge_cancelled_queries_.fetch_add(out.queries_executed,
+                                       std::memory_order_relaxed);
+    g_hedge_cancelled_queries->Increment(out.queries_executed);
+  }
+}
+
+BatchResult QueryService::ExecuteAttempt(BatchHandle* batch,
+                                         const ShardedSearcher& searcher,
+                                         ThreadPool* pool,
+                                         CancelToken* token) {
   S3VCD_TRACE_SPAN("service.execute_batch");
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = Clock::now();
   BatchResult out;
   out.queue_wait_ms = MillisSince(batch->submit_time_, start);
-  g_queue_wait_us->Record(out.queue_wait_ms * 1e3);
-  g_stage_queue_us->Record(out.queue_wait_ms * 1e3);
 
   const size_t n = batch->queries_.size();
   out.results.resize(n);
   const bool is_range =
       batch->options_.paradigm == core::SearchParadigm::kRange;
 
-  const auto finish = [this, batch, n](BatchResult result) {
-    g_batches_completed->Increment();
-    if (slow_log_ != nullptr) {
-      SlowBatchExemplar exemplar = MakeExemplar(n, result);
-      exemplar.batch_ordinal =
-          batch_ordinal_.fetch_add(1, std::memory_order_relaxed) + 1;
-      slow_log_->Observe(std::move(exemplar));
-    }
-    batch->Complete(std::move(result));
-  };
-
-  if (batch->has_deadline_ && start >= batch->deadline_) {
-    g_deadline_expirations->Increment();
-    g_deadline_expired_queued->Increment();
-    out.status = Status::DeadlineExceeded(
-        "deadline expired after " + std::to_string(out.queue_wait_ms) +
-        " ms in the admission queue");
-    out.results.clear();
-    // Expired batches still report both halves of their latency: the
-    // (near-zero) execute leg keeps the histograms' batch counts equal
-    // across stages, so rates computed from them agree.
-    out.execute_ms = MillisSince(start, std::chrono::steady_clock::now());
-    g_execute_us->Record(out.execute_ms * 1e3);
-    finish(std::move(out));
-    return;
-  }
-
-  const auto run_query = [this, batch, is_range](size_t i) {
-    return is_range
-               ? searcher_->RangeQuery(batch->queries_[i],
-                                       batch->options_.epsilon,
-                                       options_.query.filter.depth)
-               : searcher_->StatisticalQuery(batch->queries_[i], *model_,
-                                             options_.query, cache_.get());
-  };
-
   size_t executed = 0;
-  if (!batch->has_deadline_ && pool != nullptr && n > 1 && !is_range) {
-    // No deadline to police: use the searcher's two-stage fan-out (one
-    // selection task per query, one scan task per (query, shard)), which
-    // keeps the pool full even for small batches on many shards.
-    out.results = searcher_->BatchStatisticalQuery(
-        batch->queries_, *model_, options_.query, pool, cache_.get());
-    executed = n;
-  } else if (pool == nullptr || n <= 1) {
-    for (size_t i = 0; i < n; ++i) {
-      if (batch->has_deadline_ &&
-          std::chrono::steady_clock::now() >= batch->deadline_) {
-        break;
-      }
-      out.results[i] = run_query(i);
-      ++executed;
-    }
-  } else {
-    // Tasks that start after expiry skip their query; already-running
-    // scans finish (per-query latency bounds the overshoot).
+  if (pool != nullptr && n > 1 && !is_range) {
+    // The searcher's two-stage fan-out (one selection task per query, one
+    // scan task per (query, shard)) keeps the pool full even for small
+    // batches on many shards; the token makes it deadline- and
+    // cancellation-aware, so deadlined batches fan out too instead of
+    // silently serializing.
+    out.results =
+        searcher.BatchStatisticalQuery(batch->queries_, *model_,
+                                       options_.query, pool, cache_.get(),
+                                       token, &executed);
+    out.fanned_out = true;
+  } else if (pool != nullptr && n > 1) {
+    // Pooled range batch: one task per query. Tasks that start after the
+    // token fires skip their query; already-running ones finish (per-query
+    // latency bounds the overshoot).
     std::atomic<size_t> completed{0};
     for (size_t i = 0; i < n; ++i) {
-      pool->Submit([batch, &completed, &out, &run_query, i] {
-        if (batch->has_deadline_ &&
-            std::chrono::steady_clock::now() >= batch->deadline_) {
+      pool->Submit([this, batch, &searcher, token, &completed, &out, i] {
+        if (token->ShouldStop()) {
           return;
         }
-        out.results[i] = run_query(i);
+        out.results[i] =
+            searcher.RangeQuery(batch->queries_[i],
+                                batch->options_.epsilon,
+                                options_.query.filter.depth);
         completed.fetch_add(1, std::memory_order_relaxed);
       });
     }
     pool->Wait();
     executed = completed.load(std::memory_order_relaxed);
+    out.fanned_out = true;
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      if (token->ShouldStop()) {
+        break;
+      }
+      out.results[i] =
+          is_range
+              ? searcher.RangeQuery(batch->queries_[i],
+                                    batch->options_.epsilon,
+                                    options_.query.filter.depth)
+              : searcher.StatisticalQuery(batch->queries_[i], *model_,
+                                          options_.query, cache_.get());
+      ++executed;
+    }
   }
 
   out.queries_executed = executed;
-  g_batch_queries->Increment(executed);
   if (executed < n) {
-    g_deadline_expirations->Increment();
-    g_deadline_expired_executing->Increment();
+    // For a winning attempt an early stop can only mean the deadline (the
+    // loser's token is the only one ever explicitly cancelled, and losers'
+    // results are discarded).
     out.status = Status::DeadlineExceeded(
         "deadline expired after " + std::to_string(executed) + " of " +
         std::to_string(n) + " queries");
@@ -344,15 +709,84 @@ void QueryService::ExecuteBatch(BatchHandle* batch, ThreadPool* pool) {
     out.selection_ns += r.stats.selection_ns;
     out.refine_ns += r.stats.refine_ns;
   }
-  out.execute_ms = MillisSince(start, std::chrono::steady_clock::now());
-  g_execute_us->Record(out.execute_ms * 1e3);
-  const double selection_us = static_cast<double>(out.selection_ns) * 1e-3;
-  const double refine_us = static_cast<double>(out.refine_ns) * 1e-3;
-  g_stage_selection_us->Record(selection_us);
-  g_stage_refine_us->Record(refine_us);
-  g_stage_other_us->Record(
-      std::max(0.0, out.execute_ms * 1e3 - selection_us - refine_us));
-  finish(std::move(out));
+  out.execute_ms = MillisSince(start, Clock::now());
+  return out;
+}
+
+void QueryService::CompleteExpiredQueued(BatchHandle* batch) {
+  const auto now = Clock::now();
+  BatchResult out;
+  out.queue_wait_ms = MillisSince(batch->submit_time_, now);
+  out.status = Status::DeadlineExceeded(
+      "deadline expired after " + std::to_string(out.queue_wait_ms) +
+      " ms in the admission queue");
+  out.replica = batch->primary_replica_;
+  // Expired batches still report both halves of their latency: the
+  // (zero) execute leg keeps the histograms' batch counts equal across
+  // stages, so rates computed from them agree.
+  out.execute_ms = 0;
+  FinishBatch(batch, std::move(out), /*queued_expiry=*/true);
+}
+
+void QueryService::FinishBatch(BatchHandle* batch, BatchResult result,
+                               bool queued_expiry) {
+  g_queue_wait_us->Record(result.queue_wait_ms * 1e3);
+  g_stage_queue_us->Record(result.queue_wait_ms * 1e3);
+  g_execute_us->Record(result.execute_ms * 1e3);
+  if (queued_expiry) {
+    g_deadline_expirations->Increment();
+    g_deadline_expired_queued->Increment();
+  } else {
+    g_batch_queries->Increment(result.queries_executed);
+    if (!result.status.ok()) {
+      g_deadline_expirations->Increment();
+      g_deadline_expired_executing->Increment();
+    }
+    const double selection_us =
+        static_cast<double>(result.selection_ns) * 1e-3;
+    const double refine_us = static_cast<double>(result.refine_ns) * 1e-3;
+    g_stage_selection_us->Record(selection_us);
+    g_stage_refine_us->Record(refine_us);
+    g_stage_other_us->Record(std::max(
+        0.0, result.execute_ms * 1e3 - selection_us - refine_us));
+  }
+  g_batches_completed->Increment();
+  if (hedging_enabled_ && options_.hedge_quantile > 0) {
+    // Feed the hedge-delay quantile. Every completion counts — including
+    // expired ones; excluding them would bias the trigger optimistic
+    // exactly when the tail is worst.
+    std::lock_guard<std::mutex> lock(mutex_);
+    const double e2e_ms = result.queue_wait_ms + result.execute_ms;
+    if (recent_e2e_ms_.size() < kLatencyRing) {
+      recent_e2e_ms_.push_back(e2e_ms);
+    } else {
+      recent_e2e_ms_[recent_idx_] = e2e_ms;
+      recent_idx_ = (recent_idx_ + 1) % kLatencyRing;
+    }
+    if (++samples_since_requantile_ >= kRequantileEvery &&
+        recent_e2e_ms_.size() >= kQuantileArmAfter) {
+      samples_since_requantile_ = 0;
+      std::vector<double> sorted(recent_e2e_ms_);
+      const double rank =
+          std::ceil(options_.hedge_quantile *
+                    static_cast<double>(sorted.size()));
+      const size_t idx = std::min(
+          sorted.size() - 1,
+          rank < 1 ? 0 : static_cast<size_t>(rank) - 1);
+      std::nth_element(sorted.begin(),
+                       sorted.begin() + static_cast<ptrdiff_t>(idx),
+                       sorted.end());
+      quantile_delay_ms_ = sorted[idx];
+    }
+  }
+  if (slow_log_ != nullptr) {
+    SlowBatchExemplar exemplar =
+        MakeExemplar(batch->queries_.size(), result);
+    exemplar.batch_ordinal =
+        batch_ordinal_.fetch_add(1, std::memory_order_relaxed) + 1;
+    slow_log_->Observe(std::move(exemplar));
+  }
+  batch->Complete(std::move(result));
 }
 
 }  // namespace s3vcd::service

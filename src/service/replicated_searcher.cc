@@ -1,0 +1,74 @@
+#include "service/replicated_searcher.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace s3vcd::service {
+
+Result<ReplicatedSearcher> ReplicatedSearcher::Build(
+    core::FingerprintDatabase db, const ShardedSearcherOptions& options,
+    int num_replicas) {
+  const int r_count = std::clamp(num_replicas, 1, 64);
+  const int order = db.order();
+  const size_t n = db.size();
+
+  std::vector<std::unique_ptr<ShardedSearcher>> replicas;
+  replicas.reserve(static_cast<size_t>(r_count));
+  for (int r = 0; r < r_count; ++r) {
+    // The database is move-only, so every replica after the first is
+    // rebuilt from the records. Records are appended in stored (Hilbert)
+    // order, so each rebuild reproduces the exact same database — and
+    // therefore the exact same shard cuts — as the original.
+    core::FingerprintDatabase copy = [&] {
+      if (r + 1 == r_count) {
+        return std::move(db);  // last replica takes the original
+      }
+      core::DatabaseBuilder builder(order);
+      for (size_t i = 0; i < n; ++i) {
+        const core::FingerprintRecord& rec = db.record(i);
+        builder.Add(rec.descriptor, rec.id, rec.time_code, rec.x, rec.y);
+      }
+      return builder.Build();
+    }();
+    ShardedSearcherOptions replica_options = options;
+    if (!replica_options.config.segment_store_dir.empty() && r_count > 1) {
+      // Persistent backends get one store tree per replica; each tree is
+      // an independent, snapshot-shippable copy of the whole index.
+      replica_options.config.segment_store_dir +=
+          "/replica" + std::to_string(r);
+    }
+    Result<ShardedSearcher> built =
+        ShardedSearcher::Build(std::move(copy), replica_options);
+    if (!built.ok()) {
+      return built.status();
+    }
+    replicas.push_back(
+        std::make_unique<ShardedSearcher>(std::move(*built)));
+  }
+  return ReplicatedSearcher(std::move(replicas));
+}
+
+bool ReplicatedSearcher::Insert(const fp::Fingerprint& fingerprint,
+                                uint32_t id, uint32_t time_code, float x,
+                                float y) {
+  // All-or-nothing across replicas: probe the first replica, then apply
+  // everywhere. TryInsert only fails for backends without dynamic insert,
+  // which is a property of the backend (shared by all replicas), not of
+  // the record.
+  if (!replicas_[0]->Insert(fingerprint, id, time_code, x, y)) {
+    return false;
+  }
+  for (size_t r = 1; r < replicas_.size(); ++r) {
+    replicas_[r]->Insert(fingerprint, id, time_code, x, y);
+  }
+  return true;
+}
+
+void ReplicatedSearcher::CompactAll() {
+  for (std::unique_ptr<ShardedSearcher>& replica : replicas_) {
+    replica->CompactAll();
+  }
+}
+
+}  // namespace s3vcd::service

@@ -1,0 +1,69 @@
+#ifndef S3VCD_SERVICE_REPLICATED_SEARCHER_H_
+#define S3VCD_SERVICE_REPLICATED_SEARCHER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/database.h"
+#include "fingerprint/fingerprint.h"
+#include "service/sharded_searcher.h"
+#include "util/status.h"
+
+namespace s3vcd::service {
+
+/// R identical copies of one sharded index: the unit the QueryService
+/// hedges across.
+///
+/// Every replica is built from the same records with the same
+/// ShardedSearcherOptions, so the sharded parity invariant extends
+/// replica-wise: any replica answers any query with bit-identical
+/// results (pinned by tests/service_test.cc). That is what makes hedged
+/// requests safe (either attempt's result is THE result) and lets warm
+/// SelectionCache entries be shared across replicas for free — a
+/// selection depends only on the query, the model and the filter
+/// options, never on which copy scans it.
+///
+/// With the `segment` backend, each replica persists under its own
+/// `<segment_store_dir>/replica<r>` subtree, so one replica's directory
+/// is a complete snapshot-shippable copy of the index (the PR 7 segment
+/// store's manifest + segments), matching how a real deployment would
+/// seed a new replica.
+///
+/// Concurrency: queries are const and safe to fan out across replicas;
+/// Insert/CompactAll mutate every replica and require external exclusion,
+/// same as ShardedSearcher.
+class ReplicatedSearcher {
+ public:
+  /// Consumes `db` and builds `num_replicas` identical ShardedSearchers
+  /// from its records. num_replicas is clamped to [1, 64].
+  static Result<ReplicatedSearcher> Build(
+      core::FingerprintDatabase db, const ShardedSearcherOptions& options,
+      int num_replicas);
+
+  int num_replicas() const { return static_cast<int>(replicas_.size()); }
+  const ShardedSearcher& replica(int r) const { return *replicas_[r]; }
+
+  /// Records per replica (identical across replicas by construction).
+  size_t total_size() const { return replicas_[0]->total_size(); }
+
+  /// Applies one insert to every replica (keeping them identical).
+  /// Returns false — and inserts nowhere — when the backend does not
+  /// support dynamic insertion.
+  bool Insert(const fp::Fingerprint& fingerprint, uint32_t id,
+              uint32_t time_code, float x = 0, float y = 0);
+
+  /// Compacts every replica.
+  void CompactAll();
+
+ private:
+  explicit ReplicatedSearcher(
+      std::vector<std::unique_ptr<ShardedSearcher>> replicas)
+      : replicas_(std::move(replicas)) {}
+
+  std::vector<std::unique_ptr<ShardedSearcher>> replicas_;
+};
+
+}  // namespace s3vcd::service
+
+#endif  // S3VCD_SERVICE_REPLICATED_SEARCHER_H_

@@ -292,13 +292,22 @@ core::QueryResult ShardedSearcher::RangeQuery(const fp::Fingerprint& query,
 std::vector<core::QueryResult> ShardedSearcher::BatchStatisticalQuery(
     const std::vector<fp::Fingerprint>& queries,
     const core::DistortionModel& model, const core::QueryOptions& options,
-    ThreadPool* pool, SelectionCache* cache) const {
+    ThreadPool* pool, SelectionCache* cache, const CancelToken* cancel,
+    size_t* executed) const {
   S3VCD_TRACE_SPAN("service.sharded_batch");
   const size_t n = queries.size();
   std::vector<core::QueryResult> results(n);
+  size_t done = 0;
   if (pool == nullptr || n == 0) {
     for (size_t i = 0; i < n; ++i) {
+      if (cancel != nullptr && cancel->ShouldStop()) {
+        break;
+      }
       results[i] = StatisticalQuery(queries[i], model, options, cache);
+      ++done;
+    }
+    if (executed != nullptr) {
+      *executed = done;
     }
     return results;
   }
@@ -310,13 +319,20 @@ std::vector<core::QueryResult> ShardedSearcher::BatchStatisticalQuery(
   // uint8_t, not bool: concurrent writers of distinct vector<bool>
   // elements would race on the shared word.
   std::vector<uint8_t> cached(n, 0);
+  // Per-(query, shard) skip flags: a task that observes the cancel token
+  // fired marks its slot instead of scanning. Written by pool workers,
+  // read only after pool->Wait().
+  std::vector<uint8_t> skipped(n * num_shards, 0);
   if (has_selection) {
     // Stage 1: block selections, one task per query (cache-aware). Each
     // pool worker reuses its own thread-local SelectionScratch, so a warm
     // batch allocates nothing in this stage.
     for (size_t i = 0; i < n; ++i) {
       pool->Submit([this, &queries, &model, &options, cache, &selections,
-                    &selection_ns, &cached, i] {
+                    &selection_ns, &cached, cancel, i] {
+        if (cancel != nullptr && cancel->ShouldStop()) {
+          return;  // selections[i] stays null; stage 2 skips the query
+        }
         bool hit = false;
         selections[i] = GetSelection(queries[i], model, options, cache,
                                      &selection_ns[i], &hit);
@@ -334,9 +350,18 @@ std::vector<core::QueryResult> ShardedSearcher::BatchStatisticalQuery(
   std::vector<std::vector<core::QueryResult>> partials(n);
   for (size_t i = 0; i < n; ++i) {
     partials[i].resize(num_shards);
+    const bool selection_missing = has_selection && selections[i] == nullptr;
     for (size_t k = 0; k < num_shards; ++k) {
+      if (selection_missing) {
+        skipped[i * num_shards + k] = 1;
+        continue;
+      }
       pool->Submit([this, &queries, &model, &options, &selections, &partials,
-                    has_selection, i, k] {
+                    &skipped, has_selection, cancel, num_shards, i, k] {
+        if (cancel != nullptr && cancel->ShouldStop()) {
+          skipped[i * num_shards + k] = 1;
+          return;
+        }
         partials[i][k] =
             has_selection
                 ? ScanShard(k, queries[i], *selections[i], model, options)
@@ -347,8 +372,23 @@ std::vector<core::QueryResult> ShardedSearcher::BatchStatisticalQuery(
   pool->Wait();
 
   for (size_t i = 0; i < n; ++i) {
+    bool complete = !(has_selection && selections[i] == nullptr);
+    for (size_t k = 0; complete && k < num_shards; ++k) {
+      complete = skipped[i * num_shards + k] == 0;
+    }
+    if (!complete) {
+      // A partially-scanned query would look like a complete result with
+      // silently missing matches; return the default (empty) result and
+      // leave it out of the executed count instead.
+      results[i] = core::QueryResult();
+      continue;
+    }
     results[i] = MergeShardResults(selections[i].get(), selection_ns[i],
                                    cached[i] != 0, std::move(partials[i]));
+    ++done;
+  }
+  if (executed != nullptr) {
+    *executed = done;
   }
   return results;
 }

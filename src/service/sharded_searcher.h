@@ -11,6 +11,7 @@
 #include "core/searcher.h"
 #include "fingerprint/fingerprint.h"
 #include "obs/metrics.h"
+#include "service/cancel_token.h"
 #include "service/selection_cache.h"
 #include "util/bitkey.h"
 #include "util/status.h"
@@ -109,10 +110,18 @@ class ShardedSearcher {
   /// so shard count multiplies the available parallelism even for small
   /// batches. Serial when pool is null. results[i] corresponds to
   /// queries[i].
+  ///
+  /// When `cancel` is non-null, tasks poll it and stop starting work once
+  /// it fires (deadline or hedge loss); a query counts as executed — and
+  /// carries a non-default result — only if its selection AND every shard
+  /// scan ran, so a cancelled batch never returns a partial shard union
+  /// disguised as a complete result. `*executed` (when non-null) receives
+  /// the number of fully-executed queries.
   std::vector<core::QueryResult> BatchStatisticalQuery(
       const std::vector<fp::Fingerprint>& queries,
       const core::DistortionModel& model, const core::QueryOptions& options,
-      ThreadPool* pool = nullptr, SelectionCache* cache = nullptr) const;
+      ThreadPool* pool = nullptr, SelectionCache* cache = nullptr,
+      const CancelToken* cancel = nullptr, size_t* executed = nullptr) const;
 
  private:
   ShardedSearcher(ShardedSearcherOptions options,

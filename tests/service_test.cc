@@ -11,7 +11,10 @@
 #include "core/searcher.h"
 #include "core/synthetic_db.h"
 #include "obs/metrics.h"
+#include "service/cancel_token.h"
+#include "service/loadgen.h"
 #include "service/query_service.h"
+#include "service/replicated_searcher.h"
 #include "service/slow_batch_log.h"
 #include "service/selection_cache.h"
 #include "service/sharded_searcher.h"
@@ -641,6 +644,506 @@ TEST_F(QueryServiceTest, EmptyBatchCompletesOk) {
   const BatchResult& result = (*ticket)->Wait();
   EXPECT_TRUE(result.status.ok());
   EXPECT_TRUE(result.results.empty());
+}
+
+TEST(CancelTokenTest, CancelAndDeadlineSemantics) {
+  CancelToken plain;
+  EXPECT_FALSE(plain.cancelled());
+  EXPECT_FALSE(plain.has_deadline());
+  EXPECT_FALSE(plain.ShouldStop());
+  plain.Cancel();
+  EXPECT_TRUE(plain.cancelled());
+  EXPECT_TRUE(plain.ShouldStop());
+
+  CancelToken future(std::chrono::steady_clock::now() +
+                     std::chrono::hours(1));
+  EXPECT_TRUE(future.has_deadline());
+  EXPECT_FALSE(future.ShouldStop());
+  future.Cancel();
+  EXPECT_TRUE(future.ShouldStop());
+
+  CancelToken past(std::chrono::steady_clock::now() -
+                   std::chrono::milliseconds(1));
+  EXPECT_TRUE(past.ShouldStop());
+  // Deadline expiry is not cancellation: the flags stay distinguishable.
+  EXPECT_FALSE(past.cancelled());
+}
+
+// The replication parity invariant that makes hedging safe: every replica
+// answers every query bit-identically, for both paradigms, under both
+// sharding policies.
+TEST(ReplicatedSearcherTest, ReplicasAnswerBitIdentically) {
+  const size_t kDbSize = 3000;
+  const GaussianDistortionModel model(14.0);
+  const QueryOptions options = TestQueryOptions();
+  const double epsilon =
+      core::EqualExpectationRadius(model, options.filter.alpha);
+
+  Rng rng(17);
+  std::vector<fp::Fingerprint> queries;
+  for (int i = 0; i < 10; ++i) {
+    queries.push_back(UniformRandomFingerprint(&rng));
+  }
+
+  for (const ShardingPolicy policy :
+       {ShardingPolicy::kHilbertRange, ShardingPolicy::kRefIdHash}) {
+    ShardedSearcherOptions sharding;
+    sharding.num_shards = 3;
+    sharding.policy = policy;
+    auto reference = ShardedSearcher::Build(BuildDb(kDbSize, 81), sharding);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    auto replicated =
+        ReplicatedSearcher::Build(BuildDb(kDbSize, 81), sharding, 3);
+    ASSERT_TRUE(replicated.ok()) << replicated.status().ToString();
+    ASSERT_EQ(replicated->num_replicas(), 3);
+    EXPECT_EQ(replicated->total_size(), kDbSize);
+
+    for (int r = 0; r < replicated->num_replicas(); ++r) {
+      const ShardedSearcher& replica = replicated->replica(r);
+      for (size_t i = 0; i < queries.size(); ++i) {
+        const auto want_stat =
+            reference->StatisticalQuery(queries[i], model, options);
+        const auto got_stat =
+            replica.StatisticalQuery(queries[i], model, options);
+        EXPECT_EQ(ToSet(got_stat.matches), ToSet(want_stat.matches))
+            << "policy=" << static_cast<int>(policy) << " replica=" << r
+            << " query=" << i;
+        const auto want_range = reference->RangeQuery(queries[i], epsilon,
+                                                      options.filter.depth);
+        const auto got_range =
+            replica.RangeQuery(queries[i], epsilon, options.filter.depth);
+        EXPECT_EQ(ToSet(got_range.matches), ToSet(want_range.matches))
+            << "policy=" << static_cast<int>(policy) << " replica=" << r
+            << " query=" << i;
+      }
+    }
+  }
+}
+
+// A service over R replicas returns the same results as a single-replica
+// searcher no matter which replica served each batch.
+TEST_F(QueryServiceTest, ReplicatedServiceMatchesSingleReplica) {
+  auto replicated = ReplicatedSearcher::Build(BuildDb(2000, 75), {}, 3);
+  ASSERT_TRUE(replicated.ok()) << replicated.status().ToString();
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  options.start_paused = true;  // queue everything so routing spreads out
+  options.query = TestQueryOptions();
+  QueryService service(&*replicated, &model_, options);
+  EXPECT_EQ(service.num_replicas(), 3);
+
+  const int kBatches = 6;
+  std::vector<BatchTicket> tickets;
+  for (int b = 0; b < kBatches; ++b) {
+    auto ticket = service.Submit(MakeQueries(4, 200 + b));
+    ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+    tickets.push_back(*ticket);
+  }
+  BatchOptions range;
+  range.paradigm = core::SearchParadigm::kRange;
+  range.epsilon =
+      core::EqualExpectationRadius(model_, options.query.filter.alpha);
+  auto range_ticket = service.Submit(MakeQueries(4, 250), range);
+  ASSERT_TRUE(range_ticket.ok());
+  service.Resume();
+
+  std::set<int> replicas_used;
+  for (int b = 0; b < kBatches; ++b) {
+    const BatchResult& result = tickets[b]->Wait();
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    replicas_used.insert(result.replica);
+    const auto queries = MakeQueries(4, 200 + b);
+    ASSERT_EQ(result.results.size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const auto direct =
+          searcher_->StatisticalQuery(queries[i], model_, options.query);
+      EXPECT_EQ(ToSet(result.results[i].matches), ToSet(direct.matches))
+          << "batch=" << b << " query=" << i;
+    }
+  }
+  // Least-loaded routing over a backed-up queue must spread the load.
+  EXPECT_GE(replicas_used.size(), 2u);
+
+  const BatchResult& range_result = (*range_ticket)->Wait();
+  ASSERT_TRUE(range_result.status.ok());
+  const auto range_queries = MakeQueries(4, 250);
+  for (size_t i = 0; i < range_queries.size(); ++i) {
+    const auto direct = searcher_->RangeQuery(range_queries[i], range.epsilon,
+                                              options.query.filter.depth);
+    EXPECT_EQ(ToSet(range_result.results[i].matches), ToSet(direct.matches))
+        << i;
+  }
+}
+
+// The acceptance-criterion admission test: a lane nominally full of
+// already-expired batches must not bounce fresh work — Submit purges the
+// corpses instead of counting them against the bound.
+TEST_F(QueryServiceTest, ExpiredQueuedBatchesDoNotHoldAdmissionSlots) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.Reset();
+  {
+    QueryServiceOptions options;
+    options.num_workers = 1;
+    options.start_paused = true;
+    options.max_queue_depth = 2;
+    options.query = TestQueryOptions();
+    QueryService service(searcher_.get(), &model_, options);
+
+    BatchOptions dying;
+    dying.deadline_ms = 1;
+    auto first = service.Submit(MakeQueries(2, 110), dying);
+    auto second = service.Submit(MakeQueries(2, 111), dying);
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(service.pending_batches(), 2u);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+    // Both slots are held by corpses; this submission must still land.
+    auto fresh = service.Submit(MakeQueries(2, 112));
+    ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+    EXPECT_EQ(service.pending_batches(), 1u);
+
+    // The purge completed the expired batches without executing them.
+    EXPECT_TRUE((*first)->done());
+    EXPECT_TRUE((*second)->done());
+    EXPECT_EQ((*first)->Wait().status.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_EQ((*second)->Wait().status.code(),
+              StatusCode::kDeadlineExceeded);
+    EXPECT_EQ((*first)->Wait().queries_executed, 0u);
+
+    service.Resume();
+    EXPECT_TRUE((*fresh)->Wait().status.ok());
+  }
+  const obs::MetricsSnapshot snapshot = registry.Snapshot();
+  // No spurious kUnavailable: zero admission rejects on either lane.
+  EXPECT_EQ(snapshot.CounterOr0("service.admission_rejects"), 0u);
+  EXPECT_EQ(snapshot.CounterOr0("service.deadline_expired_queued"), 2u);
+  registry.Reset();
+}
+
+// Satellite 2: a deadline must not force a batch onto the serial path —
+// the pooled fan-out runs and polls the CancelToken instead.
+TEST_F(QueryServiceTest, DeadlinedBatchesUsePooledFanout) {
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  options.threads_per_batch = 4;
+  options.query = TestQueryOptions();
+  QueryService service(searcher_.get(), &model_, options);
+
+  BatchOptions batch;
+  batch.deadline_ms = 60000;  // generous — expiry never fires
+  const auto queries = MakeQueries(8, 120);
+  auto ticket = service.Submit(queries, batch);
+  ASSERT_TRUE(ticket.ok());
+  const BatchResult& result = (*ticket)->Wait();
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_TRUE(result.fanned_out);
+  EXPECT_EQ(result.queries_executed, queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto direct =
+        searcher_->StatisticalQuery(queries[i], model_, options.query);
+    EXPECT_EQ(ToSet(result.results[i].matches), ToSet(direct.matches)) << i;
+  }
+}
+
+TEST_F(QueryServiceTest, PooledDeadlineMidExecutionStopsEarly) {
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  options.threads_per_batch = 2;
+  options.cache_capacity = 0;
+  options.query = TestQueryOptions();
+  QueryService service(searcher_.get(), &model_, options);
+
+  BatchOptions batch;
+  batch.deadline_ms = 10;
+  auto ticket = service.Submit(MakeQueries(8000, 121), batch);
+  ASSERT_TRUE(ticket.ok());
+  const BatchResult& result = (*ticket)->Wait();
+  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(result.fanned_out);  // fan-out ran despite the deadline
+  EXPECT_LT(result.queries_executed, 8000u);
+  ASSERT_EQ(result.results.size(), 8000u);  // unexecuted slots are empty
+}
+
+// Hedging end to end: every duplicate fires (the primaries are paused past
+// the delay), both replicas race after Resume, and each batch completes
+// exactly once with bit-identical results. Run under TSan this also
+// exercises the TryClaim first-wins protocol for data races.
+TEST_F(QueryServiceTest, HedgedBatchesCompleteOnceWithParity) {
+  auto replicated = ReplicatedSearcher::Build(BuildDb(2000, 75), {}, 2);
+  ASSERT_TRUE(replicated.ok());
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  options.hedge_delay_ms = 1;
+  options.start_paused = true;
+  options.query = TestQueryOptions();
+  QueryService service(&*replicated, &model_, options);
+  EXPECT_GT(service.current_hedge_delay_ms(), 0.0);
+
+  const int kBatches = 8;
+  std::vector<BatchTicket> tickets;
+  for (int b = 0; b < kBatches; ++b) {
+    auto ticket = service.Submit(MakeQueries(4, 300 + b));
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(*ticket);
+  }
+  // A paused service still fires due hedges (they only enqueue
+  // duplicates), so after the sleep every batch has two queued attempts.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service.Resume();
+
+  for (int b = 0; b < kBatches; ++b) {
+    const BatchResult& result = tickets[b]->Wait();
+    ASSERT_TRUE(result.status.ok()) << b;
+    const auto queries = MakeQueries(4, 300 + b);
+    ASSERT_EQ(result.results.size(), queries.size());
+    EXPECT_EQ(result.queries_executed, queries.size()) << b;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const auto direct =
+          searcher_->StatisticalQuery(queries[i], model_, options.query);
+      EXPECT_EQ(ToSet(result.results[i].matches), ToSet(direct.matches))
+          << "batch=" << b << " query=" << i;
+    }
+  }
+  const QueryService::HedgeStats stats = service.hedge_stats();
+  EXPECT_EQ(stats.armed, static_cast<uint64_t>(kBatches));
+  EXPECT_EQ(stats.fired, static_cast<uint64_t>(kBatches));
+  EXPECT_LE(stats.wins, static_cast<uint64_t>(kBatches));
+}
+
+TEST_F(QueryServiceTest, CompletedBatchesDescheduleTheirPendingHedge) {
+  auto replicated = ReplicatedSearcher::Build(BuildDb(2000, 75), {}, 2);
+  ASSERT_TRUE(replicated.ok());
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  // Far beyond any batch's runtime: every hedge is armed but must be
+  // descheduled by the primary's completion, never fired by the timer.
+  options.hedge_delay_ms = 60000;
+  options.query = TestQueryOptions();
+  QueryService service(&*replicated, &model_, options);
+
+  const int kBatches = 12;
+  std::vector<BatchTicket> tickets;
+  for (int b = 0; b < kBatches; ++b) {
+    auto ticket = service.Submit(MakeQueries(2, 500 + b));
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(*ticket);
+  }
+  for (auto& ticket : tickets) {
+    EXPECT_TRUE(ticket->Wait().status.ok());
+  }
+  const QueryService::HedgeStats stats = service.hedge_stats();
+  EXPECT_EQ(stats.armed, static_cast<uint64_t>(kBatches));
+  EXPECT_EQ(stats.fired, 0u);
+  // Shutdown drains cleanly with the (now empty) schedule — a stale
+  // back-pointer would make a draining worker erase through a dangling
+  // iterator here.
+  service.Shutdown();
+}
+
+TEST_F(QueryServiceTest, HedgeRescuesBatchesFromInjectedReplicaStalls) {
+  auto replicated = ReplicatedSearcher::Build(BuildDb(2000, 75), {}, 2);
+  ASSERT_TRUE(replicated.ok());
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  options.hedge_delay_ms = 2;
+  // Every popped batch stalls its worker 40 ms before executing, so the
+  // hedge always fires and the duplicate lands on the other replica
+  // (which stalls too — but by then the batch only pays one stall, not a
+  // queue of them). Results must stay bit-identical to the unstalled
+  // reference searcher.
+  options.stall_every_n = 1;
+  options.stall_ms = 40;
+  options.query = TestQueryOptions();
+  QueryService service(&*replicated, &model_, options);
+
+  const int kBatches = 4;
+  std::vector<BatchTicket> tickets;
+  for (int b = 0; b < kBatches; ++b) {
+    auto ticket = service.Submit(MakeQueries(3, 640 + b));
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(*ticket);
+  }
+  for (int b = 0; b < kBatches; ++b) {
+    const BatchResult& result = tickets[b]->Wait();
+    ASSERT_TRUE(result.status.ok()) << b;
+    const auto queries = MakeQueries(3, 640 + b);
+    ASSERT_EQ(result.results.size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const auto direct =
+          searcher_->StatisticalQuery(queries[i], model_, options.query);
+      EXPECT_EQ(ToSet(result.results[i].matches), ToSet(direct.matches))
+          << "batch=" << b << " query=" << i;
+    }
+  }
+  EXPECT_GE(service.hedge_stats().fired, 1u);
+}
+
+TEST_F(QueryServiceTest, QuantileHedgeDelayArmsAfterEnoughSamples) {
+  auto replicated = ReplicatedSearcher::Build(BuildDb(2000, 75), {}, 2);
+  ASSERT_TRUE(replicated.ok());
+  QueryServiceOptions options;
+  options.num_workers = 2;
+  options.hedge_quantile = 0.9;
+  options.query = TestQueryOptions();
+  QueryService service(&*replicated, &model_, options);
+  // Pure-quantile hedging has nothing to arm before enough completions.
+  EXPECT_LT(service.current_hedge_delay_ms(), 0.0);
+
+  for (int b = 0; b < 48; ++b) {
+    auto ticket = service.Submit(MakeQueries(1, 400 + b));
+    ASSERT_TRUE(ticket.ok());
+    (*ticket)->Wait();
+  }
+  // The rolling p90 of those completions is now the armed delay.
+  EXPECT_GE(service.current_hedge_delay_ms(), 0.0);
+}
+
+TEST_F(QueryServiceTest, BulkFloodCannotStarveInteractiveAdmission) {
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  options.start_paused = true;
+  options.max_queue_depth = 2;
+  options.bulk_queue_depth = 2;
+  options.query = TestQueryOptions();
+  QueryService service(searcher_.get(), &model_, options);
+
+  BatchOptions bulk;
+  bulk.lane = Lane::kBulk;
+  std::vector<BatchTicket> accepted;
+  for (int i = 0; i < 2; ++i) {
+    auto ticket = service.Submit(MakeQueries(2, 500 + i), bulk);
+    ASSERT_TRUE(ticket.ok());
+    accepted.push_back(*ticket);
+  }
+  auto overflow = service.Submit(MakeQueries(2, 510), bulk);
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(service.pending_batches(Lane::kBulk), 2u);
+
+  // The bulk lane being full leaves interactive admission untouched.
+  auto interactive = service.Submit(MakeQueries(2, 511));
+  ASSERT_TRUE(interactive.ok()) << interactive.status().ToString();
+  accepted.push_back(*interactive);
+  EXPECT_EQ(service.pending_batches(Lane::kInteractive), 1u);
+  EXPECT_EQ(service.pending_batches(), 3u);
+
+  service.Resume();
+  for (auto& ticket : accepted) {
+    EXPECT_TRUE(ticket->Wait().status.ok());
+  }
+}
+
+TEST_F(QueryServiceTest, InteractiveExecutesBeforeQueuedBulk) {
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  options.start_paused = true;
+  options.query = TestQueryOptions();
+  QueryService service(searcher_.get(), &model_, options);
+
+  BatchOptions bulk;
+  bulk.lane = Lane::kBulk;
+  std::vector<BatchTicket> bulk_tickets;
+  for (int i = 0; i < 3; ++i) {
+    auto ticket = service.Submit(MakeQueries(8, 520 + i), bulk);
+    ASSERT_TRUE(ticket.ok());
+    bulk_tickets.push_back(*ticket);
+  }
+  auto interactive = service.Submit(MakeQueries(8, 530));
+  ASSERT_TRUE(interactive.ok());
+  service.Resume();
+
+  const BatchResult& fast = (*interactive)->Wait();
+  ASSERT_TRUE(fast.status.ok());
+  const BatchResult& last_bulk = bulk_tickets.back()->Wait();
+  ASSERT_TRUE(last_bulk.status.ok());
+  // Submitted last, popped first: the interactive batch jumped the three
+  // earlier bulk batches, so the last bulk batch waited strictly longer.
+  EXPECT_LT(fast.queue_wait_ms, last_bulk.queue_wait_ms);
+}
+
+TEST_F(QueryServiceTest, PerClientQuotaExhaustsAndRefills) {
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  options.start_paused = true;
+  options.quota_batches_per_s = 5;  // one token per 200 ms
+  options.quota_burst = 2;
+  options.query = TestQueryOptions();
+  QueryService service(searcher_.get(), &model_, options);
+
+  BatchOptions tagged;
+  tagged.client_tag = "tenant-a";
+  std::vector<BatchTicket> accepted;
+  for (int i = 0; i < 2; ++i) {
+    auto ticket = service.Submit(MakeQueries(1, 540 + i), tagged);
+    ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+    accepted.push_back(*ticket);
+  }
+  auto over = service.Submit(MakeQueries(1, 542), tagged);
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kResourceExhausted);
+
+  // Another tenant and untagged (quota-exempt) traffic are unaffected.
+  BatchOptions other;
+  other.client_tag = "tenant-b";
+  auto other_ticket = service.Submit(MakeQueries(1, 543), other);
+  ASSERT_TRUE(other_ticket.ok());
+  accepted.push_back(*other_ticket);
+  auto untagged = service.Submit(MakeQueries(1, 544));
+  ASSERT_TRUE(untagged.ok());
+  accepted.push_back(*untagged);
+
+  // Several refill periods restore at least one tenant-a token.
+  std::this_thread::sleep_for(std::chrono::milliseconds(650));
+  auto again = service.Submit(MakeQueries(1, 545), tagged);
+  EXPECT_TRUE(again.ok()) << again.status().ToString();
+  if (again.ok()) {
+    accepted.push_back(*again);
+  }
+
+  service.Resume();
+  for (auto& ticket : accepted) {
+    EXPECT_TRUE(ticket->Wait().status.ok());
+  }
+}
+
+// Satellite 3: closed-loop backpressure is accounted for, not hidden — the
+// report carries the retry count and the wall time spent in retry pauses,
+// and that time lives inside the e2e samples by construction.
+TEST_F(QueryServiceTest, ClosedLoopLoadGenReportsRetriesAndQuotaRejects) {
+  QueryServiceOptions service_options;
+  service_options.num_workers = 1;
+  service_options.max_queue_depth = 1;  // force rejects under 8 clients
+  service_options.quota_batches_per_s = 10;
+  service_options.quota_burst = 1;
+  service_options.query = TestQueryOptions();
+  QueryService service(searcher_.get(), &model_, service_options);
+
+  LoadGenOptions load;
+  load.mode = LoadMode::kClosedLoop;
+  load.base_clients = 8;
+  load.ramp = {1.0};
+  load.phase_seconds = 0.5;
+  load.quota_clients = 2;  // round-robin tags exercise the quotas
+  load.seed = 7;
+  const auto pool = MakeQueries(64, 550);
+  const LoadGenReport report = RunLoadGen(service, pool, model_, load);
+
+  EXPECT_EQ(report.replicas, 1);
+  ASSERT_EQ(report.phases.size(), 1u);
+  const PhaseReport& phase = report.phases[0];
+  EXPECT_GT(phase.completed_ok, 0u);
+  EXPECT_GT(phase.rejected, 0u);
+  EXPECT_GT(phase.quota_rejected, 0u);
+  EXPECT_GE(phase.rejected, phase.quota_rejected);
+  EXPECT_GT(phase.retries, 0u);
+  EXPECT_GT(phase.retry_wait_ms, 0.0);
+  EXPECT_GT(phase.e2e.samples, 0u);
+
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"retries\""), std::string::npos);
+  EXPECT_NE(json.find("\"retry_wait_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"quota_rejected\""), std::string::npos);
 }
 
 }  // namespace

@@ -9,7 +9,9 @@
 # A second leg rebuilds the kernel/codec/store tests under
 # UndefinedBehaviorSanitizer (-DS3VCD_SANITIZE=undefined): the fused
 # decode kernels lean on unsigned wraparound and per-function ISA targets,
-# exactly the code UBSan is good at auditing. Skip it with
+# exactly the code UBSan is good at auditing. The service tests join this
+# leg too — the hedging/cancellation machinery (first-wins claims, token
+# buckets, quantile arithmetic) runs under both sanitizers. Skip it with
 # S3VCD_SKIP_UBSAN=1.
 #
 # Usage: tools/run_tsan_tests.sh [tsan-build-dir [ubsan-build-dir]]
@@ -43,12 +45,12 @@ cmake -S "${repo_root}" -B "${ubsan_dir}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DS3VCD_SANITIZE=undefined
 cmake --build "${ubsan_dir}" --target scan_kernel_test store_test \
-  segment_parity_test descriptor_codec_test -j"$(nproc)"
+  segment_parity_test descriptor_codec_test service_test -j"$(nproc)"
 
 (
   cd "${ubsan_dir}"
   UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
     ctest --output-on-failure \
-    -R '^(scan_kernel_test|scan_kernel_test_nosimd|scan_kernel_test_forced_scalar|store_test|segment_parity_test|descriptor_codec_test)$'
+    -R '^(scan_kernel_test|scan_kernel_test_nosimd|scan_kernel_test_forced_scalar|store_test|segment_parity_test|descriptor_codec_test|service_test)$'
 )
 echo "UBSan run passed."

@@ -96,6 +96,7 @@
 #include "obs/trace.h"
 #include "service/loadgen.h"
 #include "service/query_service.h"
+#include "service/replicated_searcher.h"
 #include "service/sharded_searcher.h"
 #include "store/segment_searcher.h"
 #include "store/segment_store.h"
@@ -220,9 +221,14 @@ const std::vector<CommandSpec>& Commands() {
         {"backend", "per-shard registry backend (default dynamic)"},
         {"shards", "number of index shards K (default 4)"},
         {"policy", "sharding policy: range | hash (default range)"},
-        {"workers", "service worker threads (default 2)"},
+        {"workers", "service worker threads per replica (default 2)"},
         {"threads", "fan-out threads per batch (default 2)"},
         {"queue-depth", "admission queue bound, in batches (default 8)"},
+        {"replicas", "identical shard-group replicas R (default 1)"},
+        {"hedge-ms", "fixed hedge delay, ms; 0 = off (default 0)"},
+        {"hedge-quantile", "adaptive hedge at this e2e quantile; 0 = off"},
+        {"quota-qps", "per-client token-bucket rate; 0 = off (default 0)"},
+        {"quota-burst", "token-bucket burst; 0 = rate (default 0)"},
         {"batch", "queries per batch (default 32)"},
         {"batches", "batches to submit (default 64)"},
         {"alpha", "statistical expectation (default 0.8)"},
@@ -258,9 +264,18 @@ const std::vector<CommandSpec>& Commands() {
         {"backend", "per-shard registry backend (default dynamic)"},
         {"shards", "number of index shards K (default 4)"},
         {"policy", "sharding policy: range | hash (default range)"},
-        {"workers", "service worker threads (default 2)"},
+        {"workers", "service worker threads per replica (default 2)"},
         {"threads", "fan-out threads per batch (default 1)"},
         {"queue-depth", "admission queue bound, in batches (default 32)"},
+        {"replicas", "identical shard-group replicas R (default 1)"},
+        {"hedge-ms", "fixed hedge delay, ms; 0 = off (default 0)"},
+        {"hedge-quantile", "adaptive hedge at this e2e quantile; 0 = off"},
+        {"bulk-fraction", "share of requests on the bulk lane (default 0)"},
+        {"quota-qps", "per-client token-bucket rate; 0 = off (default 0)"},
+        {"quota-burst", "token-bucket burst; 0 = rate (default 0)"},
+        {"quota-clients", "round-robin client tags; 0 = untagged"},
+        {"stall-every", "inject a stall every N popped batches; 0 = off"},
+        {"stall-ms", "injected replica stall duration, ms (default 0)"},
         {"cache-capacity", "selection cache entries; 0 = off (default 4096)"},
         {"alpha", "statistical expectation (default 0.8)"},
         {"sigma", "distortion model sigma (default 15)"},
@@ -914,10 +929,12 @@ int CmdServeBatch(const Flags& flags) {
     }
   }
 
-  auto searcher = service::ShardedSearcher::Build(std::move(*db), sharding);
-  if (!searcher.ok()) {
+  const int replicas = static_cast<int>(flags.GetInt("replicas", 1));
+  auto replicated =
+      service::ReplicatedSearcher::Build(std::move(*db), sharding, replicas);
+  if (!replicated.ok()) {
     std::fprintf(stderr, "serve-batch failed: %s\n",
-                 searcher.status().ToString().c_str());
+                 replicated.status().ToString().c_str());
     return 1;
   }
   service::QueryServiceOptions options;
@@ -930,19 +947,25 @@ int CmdServeBatch(const Flags& flags) {
   options.query.filter.alpha = alpha;
   options.query.filter.depth = static_cast<int>(flags.GetInt("depth", 12));
   options.slow_batch_threshold_ms = flags.GetDouble("slow-threshold-ms", 0);
+  options.hedge_delay_ms = flags.GetDouble("hedge-ms", 0);
+  options.hedge_quantile = flags.GetDouble("hedge-quantile", 0);
+  options.quota_batches_per_s = flags.GetDouble("quota-qps", 0);
+  options.quota_burst = flags.GetDouble("quota-burst", 0);
   service::BatchOptions batch_options;
   batch_options.deadline_ms = flags.GetDouble("deadline-ms", 0);
 
-  std::printf("serve-batch: %zu records, %d shards (%s, backend=%s), "
-              "%d workers x %d threads, queue depth %zu, cache %zu\n",
-              db_size, searcher->num_shards(), policy_name.c_str(),
-              backend.c_str(), options.num_workers,
+  std::printf("serve-batch: %zu records, %d shards (%s, backend=%s) x %d "
+              "replicas, %d workers x %d threads, queue depth %zu, "
+              "cache %zu\n",
+              db_size, replicated->replica(0).num_shards(),
+              policy_name.c_str(), backend.c_str(),
+              replicated->num_replicas(), options.num_workers,
               options.threads_per_batch, options.max_queue_depth,
               options.cache_capacity);
 
   ObsOutputs obs_out(flags);
   obs_out.Begin();
-  service::QueryService query_service(&*searcher, &model, options);
+  service::QueryService query_service(&*replicated, &model, options);
   std::unique_ptr<obs::IntervalReporter> reporter;
   const int stats_interval_ms =
       static_cast<int>(flags.GetInt("stats-interval-ms", 0));
@@ -1030,6 +1053,14 @@ int CmdServeBatch(const Flags& flags) {
                 total_queue_wait_ms / completed,
                 total_execute_ms / completed);
   }
+  if (query_service.num_replicas() > 1) {
+    const service::QueryService::HedgeStats hedge =
+        query_service.hedge_stats();
+    std::printf("hedging: %" PRIu64 " armed, %" PRIu64 " fired, %" PRIu64
+                " hedge wins, %" PRIu64 " cancelled queries\n",
+                hedge.armed, hedge.fired, hedge.wins,
+                hedge.cancelled_queries);
+  }
   return obs_out.Finish();
 }
 
@@ -1093,6 +1124,8 @@ int CmdLoadgen(const Flags& flags) {
   load.mix.stat_batch = flags.GetDouble("mix-batch", 0.2);
   load.epsilon = flags.GetDouble("epsilon", 0);
   load.deadline_ms = flags.GetDouble("deadline-ms", 0);
+  load.bulk_fraction = flags.GetDouble("bulk-fraction", 0);
+  load.quota_clients = static_cast<int>(flags.GetInt("quota-clients", 0));
   load.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   const std::string ramp_csv =
       flags.Get("ramp", smoke ? "0.5,2" : "0.5,1,2,4");
@@ -1140,10 +1173,12 @@ int CmdLoadgen(const Flags& flags) {
         core::DistortFingerprint(record.descriptor, sigma, &rng));
   }
 
-  auto searcher = service::ShardedSearcher::Build(std::move(*db), sharding);
-  if (!searcher.ok()) {
+  const int replicas = static_cast<int>(flags.GetInt("replicas", 1));
+  auto replicated =
+      service::ReplicatedSearcher::Build(std::move(*db), sharding, replicas);
+  if (!replicated.ok()) {
     std::fprintf(stderr, "loadgen failed: %s\n",
-                 searcher.status().ToString().c_str());
+                 replicated.status().ToString().c_str());
     return 1;
   }
   service::QueryServiceOptions options;
@@ -1156,17 +1191,25 @@ int CmdLoadgen(const Flags& flags) {
   options.query.filter.alpha = alpha;
   options.query.filter.depth = static_cast<int>(flags.GetInt("depth", 12));
   options.slow_batch_threshold_ms = flags.GetDouble("slow-threshold-ms", 0);
+  options.hedge_delay_ms = flags.GetDouble("hedge-ms", 0);
+  options.hedge_quantile = flags.GetDouble("hedge-quantile", 0);
+  options.quota_batches_per_s = flags.GetDouble("quota-qps", 0);
+  options.quota_burst = flags.GetDouble("quota-burst", 0);
+  options.stall_every_n = static_cast<int>(flags.GetInt("stall-every", 0));
+  options.stall_ms = flags.GetDouble("stall-ms", 0);
 
-  std::printf("loadgen: %zu records, %d shards (%s, backend=%s), "
-              "%d workers x %d threads, queue depth %zu, mode=%s\n",
-              db_size, searcher->num_shards(), policy_name.c_str(),
-              backend.c_str(), options.num_workers,
+  std::printf("loadgen: %zu records, %d shards (%s, backend=%s) x %d "
+              "replicas, %d workers x %d threads, queue depth %zu, "
+              "mode=%s\n",
+              db_size, replicated->replica(0).num_shards(),
+              policy_name.c_str(), backend.c_str(),
+              replicated->num_replicas(), options.num_workers,
               options.threads_per_batch, options.max_queue_depth,
               mode_name.c_str());
 
   ObsOutputs obs_out(flags);
   obs_out.Begin();
-  service::QueryService query_service(&*searcher, &model, options);
+  service::QueryService query_service(&*replicated, &model, options);
 
   std::unique_ptr<obs::IntervalReporter> reporter;
   const int report_interval_ms =
@@ -1220,6 +1263,14 @@ int CmdLoadgen(const Flags& flags) {
               "base %.1f qps); cache hit rate %.1f%%\n",
               report.phases.size(), completed, report.base_qps,
               cache != nullptr ? cache->HitRate() * 100 : 0.0);
+  if (query_service.num_replicas() > 1) {
+    const service::QueryService::HedgeStats hedge =
+        query_service.hedge_stats();
+    std::printf("hedging: %" PRIu64 " armed, %" PRIu64 " fired, %" PRIu64
+                " hedge wins, %" PRIu64 " cancelled queries\n",
+                hedge.armed, hedge.fired, hedge.wins,
+                hedge.cancelled_queries);
+  }
 
   int rc = 0;
   const std::string json_path = flags.Get("json-out", "");
