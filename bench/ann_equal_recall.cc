@@ -1,0 +1,363 @@
+// Equal-recall comparison of the vamana graph backend against the exact
+// S3 range query: on the same 200k-record clustered corpus and the same
+// distorted query stream, the beam width is swept upward until the graph
+// search matches each target recall (0.95 / 0.99 / 1.0) of the exact
+// eps=90 match set, and each operating point is reported with its recall,
+// per-query latency and throughput next to the exact baseline's — the
+// honest form of an ANN claim (a fast graph at recall 0.6 is not a
+// result). Runs once per descriptor codec (exact 20 B/rec and lvq4
+// 10 B/rec, the quantized store through the fused gather kernels).
+//
+// tools/run_benchmarks.sh invokes this with --out BENCH_ann.json; the
+// host ISA / selected-kernel attribution rides in through the
+// S3VCD_BENCH_HOST_ISA / S3VCD_BENCH_SELECTED_KERNEL environment
+// variables the script exports.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/database.h"
+#include "core/descriptor_codec.h"
+#include "core/index.h"
+#include "core/scan_kernel.h"
+#include "core/synthetic_db.h"
+#include "core/vamana.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace s3vcd::bench {
+namespace {
+
+constexpr double kEpsilon = 90.0;
+constexpr int kS3Depth = 12;
+constexpr double kQuerySigma = 18.0;
+
+// The swept beam widths, ascending; the sweep stops early once recall
+// hits 1.0 (wider beams only get slower).
+constexpr int kBeams[] = {4, 8, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512};
+constexpr double kRecallTargets[] = {0.95, 0.99, 1.0};
+
+struct SweepRow {
+  int beam = 0;
+  double recall = 0;
+  double mean_latency_us = 0;
+  double qps = 0;
+  double mean_nodes_visited = 0;
+  double mean_records_scanned = 0;
+};
+
+struct CodecRun {
+  std::string codec;
+  double build_seconds = 0;
+  double bytes_per_record = 0;
+  uint64_t graph_bytes = 0;
+  std::vector<SweepRow> sweep;
+};
+
+uint64_t TruthKey(uint32_t id, uint32_t time_code) {
+  return (static_cast<uint64_t>(id) << 32) | time_code;
+}
+
+std::string JsonEscapeList(const std::string& space_separated) {
+  // "a b c" -> "\"a\", \"b\", \"c\"" (empty input -> empty output).
+  std::string out;
+  size_t start = 0;
+  while (start < space_separated.size()) {
+    const size_t end = space_separated.find(' ', start);
+    const std::string token = space_separated.substr(
+        start, end == std::string::npos ? std::string::npos : end - start);
+    if (!token.empty()) {
+      if (!out.empty()) out += ", ";
+      out += "\"" + token + "\"";
+    }
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  uint64_t num_records = Scaled(200000);
+  int num_queries = 256;
+  int graph_degree = 32;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--out") {
+      out_path = value();
+    } else if (arg == "--records") {
+      num_records = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--queries") {
+      num_queries = std::atoi(value());
+    } else if (arg == "--graph-degree") {
+      graph_degree = std::atoi(value());
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s (known: --out --records --queries "
+                   "--graph-degree)\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  PrintHeader("ann_equal_recall",
+              "vamana graph search vs exact S3 range query at equal recall");
+
+  // The clustered corpus of the micro benchmarks (64 Gaussian clusters,
+  // sigma 25), so the BENCH_ann numbers are comparable with BENCH_scan's
+  // sweep throughput over the same distribution.
+  Rng rng(5);
+  std::vector<fp::Fingerprint> centers;
+  for (int c = 0; c < 64; ++c) {
+    centers.push_back(core::UniformRandomFingerprint(&rng));
+  }
+  std::vector<core::FingerprintRecord> records(num_records);
+  for (uint64_t i = 0; i < num_records; ++i) {
+    records[i].descriptor = core::DistortFingerprint(
+        centers[static_cast<size_t>(rng.UniformInt(0, 63))], 25.0, &rng);
+    records[i].id = static_cast<uint32_t>(i % 100);
+    records[i].time_code = static_cast<uint32_t>(i);
+  }
+
+  core::DatabaseBuilder builder;
+  for (const auto& r : records) {
+    builder.Add(r.descriptor, r.id, r.time_code);
+  }
+  Stopwatch watch;
+  const core::S3Index s3(builder.Build());
+  std::printf("corpus: %llu records, S3 index built in %.1f ms\n",
+              static_cast<unsigned long long>(num_records),
+              watch.ElapsedMillis());
+
+  Rng query_rng(12);
+  std::vector<fp::Fingerprint> queries;
+  for (int q = 0; q < num_queries; ++q) {
+    const auto& rec = s3.database().record(static_cast<size_t>(
+        query_rng.UniformInt(0, static_cast<int64_t>(num_records) - 1)));
+    queries.push_back(
+        core::DistortFingerprint(rec.descriptor, kQuerySigma, &query_rng));
+  }
+
+  // Exact ground truth and the exact baseline's latency come from the
+  // same timed S3 run (the geometric range filter misses nothing inside
+  // the ball, so its match set is the truth set).
+  std::vector<std::unordered_set<uint64_t>> truth(queries.size());
+  uint64_t truth_pairs = 0;
+  watch.Reset();
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const core::QueryResult r = s3.RangeQuery(queries[q], kEpsilon, kS3Depth);
+    for (const auto& m : r.matches) {
+      truth[q].insert(TruthKey(m.id, m.time_code));
+    }
+    truth_pairs += truth[q].size();
+  }
+  const double s3_total_ms = watch.ElapsedMillis();
+  const double s3_latency_us = s3_total_ms * 1e3 / queries.size();
+  std::printf(
+      "exact baseline (s3 range, eps=%.0f, depth=%d): %.1f us/query, "
+      "%.0f truth pairs over %zu queries\n",
+      kEpsilon, kS3Depth, s3_latency_us, static_cast<double>(truth_pairs),
+      queries.size());
+  if (truth_pairs == 0) {
+    std::fprintf(stderr, "no truth pairs — corpus/query mismatch\n");
+    return 1;
+  }
+
+  const char* codecs[] = {"exact", "lvq4"};
+  std::vector<CodecRun> runs;
+  for (const char* codec_name : codecs) {
+    CodecRun run;
+    run.codec = codec_name;
+    core::VamanaOptions options;
+    options.graph_degree = graph_degree;
+    if (!core::DescriptorCodecFromName(codec_name, &options.codec)) {
+      std::fprintf(stderr, "unknown codec %s\n", codec_name);
+      return 1;
+    }
+    watch.Reset();
+    const core::VamanaIndex vamana(records, options);
+    run.build_seconds = watch.ElapsedMillis() / 1e3;
+    run.bytes_per_record =
+        static_cast<double>(core::DescriptorCodeBytes(options.codec));
+    run.graph_bytes =
+        static_cast<uint64_t>(vamana.degree_bound()) * num_records * 4;
+    std::printf("vamana[%s]: degree %u built in %.2f s (%.1f MiB total)\n",
+                codec_name, vamana.degree_bound(), run.build_seconds,
+                vamana.ApproxBytes() / 1048576.0);
+
+    for (const int beam : kBeams) {
+      SweepRow row;
+      row.beam = beam;
+      uint64_t recovered = 0;
+      uint64_t nodes = 0;
+      uint64_t scanned = 0;
+      watch.Reset();
+      for (size_t q = 0; q < queries.size(); ++q) {
+        const core::QueryResult r =
+            vamana.RangeQueryWithBeam(queries[q], kEpsilon, beam);
+        for (const auto& m : r.matches) {
+          recovered += truth[q].count(TruthKey(m.id, m.time_code));
+        }
+        nodes += r.stats.nodes_visited;
+        scanned += r.stats.records_scanned;
+      }
+      const double total_ms = watch.ElapsedMillis();
+      row.recall = static_cast<double>(recovered) / truth_pairs;
+      row.mean_latency_us = total_ms * 1e3 / queries.size();
+      row.qps = queries.size() / (total_ms / 1e3);
+      row.mean_nodes_visited = static_cast<double>(nodes) / queries.size();
+      row.mean_records_scanned =
+          static_cast<double>(scanned) / queries.size();
+      run.sweep.push_back(row);
+      if (row.recall >= 1.0) break;  // wider beams only get slower
+    }
+    runs.push_back(std::move(run));
+  }
+
+  // Operating points: the first (narrowest) swept beam meeting each
+  // target recall — the number an equal-recall comparison is allowed to
+  // quote.
+  Table table({"codec", "target", "beam", "recall", "latency_us", "qps",
+               "speedup_vs_s3"});
+  for (const auto& run : runs) {
+    for (const double target : kRecallTargets) {
+      const SweepRow* point = nullptr;
+      for (const auto& row : run.sweep) {
+        if (row.recall >= target) {
+          point = &row;
+          break;
+        }
+      }
+      if (point == nullptr) {
+        table.AddRow().Add(run.codec).Add(target, 2).Add("-").Add("-").Add(
+            "-").Add("-").Add("-");
+        continue;
+      }
+      table.AddRow()
+          .Add(run.codec)
+          .Add(target, 2)
+          .Add(point->beam)
+          .Add(point->recall, 4)
+          .Add(point->mean_latency_us, 1)
+          .Add(point->qps, 0)
+          .Add(s3_latency_us / point->mean_latency_us, 2);
+    }
+  }
+  table.Print("ann_equal_recall");
+
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "failed to open %s\n", out_path.c_str());
+      return 1;
+    }
+    const char* isa = std::getenv("S3VCD_BENCH_HOST_ISA");
+    const char* kernel = std::getenv("S3VCD_BENCH_SELECTED_KERNEL");
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"benchmark\": \"ann_equal_recall\",\n");
+    std::fprintf(
+        f,
+        "  \"description\": \"vamana graph search vs exact S3 range query "
+        "(eps=%.0f, depth=%d) on a %llu-record clustered corpus, %zu "
+        "distorted queries (sigma %.0f); beam width swept until the graph "
+        "matches each target recall of the exact match set; latency is "
+        "mean per query, single-threaded\",\n",
+        kEpsilon, kS3Depth, static_cast<unsigned long long>(num_records),
+        queries.size(), kQuerySigma);
+    std::fprintf(f, "  \"records\": %llu,\n",
+                 static_cast<unsigned long long>(num_records));
+    std::fprintf(f, "  \"queries\": %zu,\n", queries.size());
+    std::fprintf(f, "  \"epsilon\": %.1f,\n", kEpsilon);
+    std::fprintf(f, "  \"graph_degree\": %d,\n", graph_degree);
+    std::fprintf(f, "  \"truth_pairs\": %llu,\n",
+                 static_cast<unsigned long long>(truth_pairs));
+    std::fprintf(f, "  \"host\": {\n");
+    std::fprintf(f, "    \"isa_flags\": [%s],\n",
+                 JsonEscapeList(isa == nullptr ? "" : isa).c_str());
+    std::fprintf(f, "    \"selected_scan_kernel\": \"%s\",\n",
+                 kernel == nullptr ? "unknown" : kernel);
+    std::fprintf(f, "    \"active_gather_kernel\": \"%s\"\n",
+                 core::ScanKernelName(core::ActiveScanKernel()));
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"exact_baseline\": {\n");
+    std::fprintf(f, "    \"backend\": \"s3\",\n");
+    std::fprintf(f, "    \"mean_latency_us\": %.3f\n", s3_latency_us);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"codecs\": {\n");
+    for (size_t c = 0; c < runs.size(); ++c) {
+      const CodecRun& run = runs[c];
+      std::fprintf(f, "    \"%s\": {\n", run.codec.c_str());
+      std::fprintf(f, "      \"bytes_per_record\": %.1f,\n",
+                   run.bytes_per_record);
+      std::fprintf(f, "      \"build_seconds\": %.3f,\n", run.build_seconds);
+      std::fprintf(f, "      \"graph_bytes\": %llu,\n",
+                   static_cast<unsigned long long>(run.graph_bytes));
+      std::fprintf(f, "      \"sweep\": [\n");
+      for (size_t i = 0; i < run.sweep.size(); ++i) {
+        const SweepRow& row = run.sweep[i];
+        std::fprintf(f,
+                     "        {\"beam\": %d, \"recall\": %.4f, "
+                     "\"mean_latency_us\": %.3f, \"qps\": %.1f, "
+                     "\"mean_nodes_visited\": %.1f, "
+                     "\"mean_records_scanned\": %.1f}%s\n",
+                     row.beam, row.recall, row.mean_latency_us, row.qps,
+                     row.mean_nodes_visited, row.mean_records_scanned,
+                     i + 1 < run.sweep.size() ? "," : "");
+      }
+      std::fprintf(f, "      ],\n");
+      std::fprintf(f, "      \"operating_points\": [\n");
+      bool first = true;
+      for (const double target : kRecallTargets) {
+        const SweepRow* point = nullptr;
+        for (const auto& row : run.sweep) {
+          if (row.recall >= target) {
+            point = &row;
+            break;
+          }
+        }
+        if (!first) std::fprintf(f, ",\n");
+        first = false;
+        if (point == nullptr) {
+          std::fprintf(f,
+                       "        {\"target_recall\": %.2f, \"met\": false}",
+                       target);
+        } else {
+          std::fprintf(
+              f,
+              "        {\"target_recall\": %.2f, \"met\": true, "
+              "\"beam\": %d, \"recall\": %.4f, \"mean_latency_us\": %.3f, "
+              "\"qps\": %.1f, \"speedup_vs_exact\": %.2f}",
+              target, point->beam, point->recall, point->mean_latency_us,
+              point->qps, s3_latency_us / point->mean_latency_us);
+        }
+      }
+      std::fprintf(f, "\n      ]\n");
+      std::fprintf(f, "    }%s\n", c + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(f, "  }\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace s3vcd::bench
+
+int main(int argc, char** argv) { return s3vcd::bench::Main(argc, argv); }

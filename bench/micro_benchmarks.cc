@@ -8,6 +8,7 @@
 
 #include <unistd.h>
 
+#include <array>
 #include <filesystem>
 #include <map>
 #include <string>
@@ -348,6 +349,86 @@ void BM_SegmentScan(benchmark::State& state) {
   state.SetLabel(label);
 }
 BENCHMARK(BM_SegmentScan)->ArgsProduct({{0, 1}, {0, 1, 2}});
+
+// The graph-traversal distance path head to head: one GatherScorer::Score
+// call over K gathered candidate indices (the beam search's per-hop batch)
+// vs the naive loop that scores the same K records one at a time through
+// SquaredDistanceU32 (decoding each record first on quantized views).
+// Both legs walk the same precomputed random index sets over the shared
+// 200k-record corpus, so the cache behaviour of a gather is represented.
+// range(0) = DescriptorCodecKind, range(1) = ScanKernelKind for the
+// batched leg or -1 for the looped reference. Labels
+// ("gather:<codec>:batched:<kernel>" / "gather:<codec>:looped") feed
+// tools/run_benchmarks.sh, which folds them into BENCH_scan.json —
+// acceptance for the vamana backend requires batched to beat looped.
+void BM_BatchedDistance(benchmark::State& state) {
+  constexpr size_t kGatherK = 32;
+  const auto codec_kind =
+      static_cast<core::DescriptorCodecKind>(state.range(0));
+  const bool batched = state.range(1) >= 0;
+  const auto kind = static_cast<core::ScanKernelKind>(
+      batched ? state.range(1) : 0);
+  if (batched && !core::ScanKernelAvailable(kind)) {
+    state.SkipWithError("kernel unavailable on this CPU");
+    return;
+  }
+  core::S3Index* index = SharedIndex();
+  const core::DescriptorBlock& block = index->database().block();
+  core::CodedDescriptorBlock coded;
+  core::DescriptorView view = block.View();
+  if (codec_kind != core::DescriptorCodecKind::kExactU8) {
+    coded = core::CodedDescriptorBlock::Encode(codec_kind, block);
+    view = coded.View();
+  }
+  Rng rng(14);
+  const fp::Fingerprint q = core::UniformRandomFingerprint(&rng);
+  // 64 random index sets of K records each, cycled per iteration so the
+  // gathers keep missing cache the way a real beam expansion does.
+  std::vector<std::array<uint32_t, kGatherK>> id_sets(64);
+  for (auto& ids : id_sets) {
+    for (auto& id : ids) {
+      id = static_cast<uint32_t>(
+          rng.UniformInt(0, static_cast<int64_t>(view.count) - 1));
+    }
+  }
+  uint32_t out[kGatherK];
+  size_t i = 0;
+  if (batched) {
+    const core::ScanKernelKind previous = core::SetScanKernelForTest(kind);
+    const core::GatherScorer scorer(q, view);
+    for (auto _ : state) {
+      scorer.Score(id_sets[i++ % id_sets.size()].data(), kGatherK, out);
+      benchmark::DoNotOptimize(out[0]);
+    }
+    core::SetScanKernelForTest(previous);
+  } else if (view.codec != nullptr && !view.codec->is_exact()) {
+    uint8_t decoded[fp::kDims];
+    for (auto _ : state) {
+      const auto& ids = id_sets[i++ % id_sets.size()];
+      for (size_t j = 0; j < kGatherK; ++j) {
+        core::DecodeDescriptor(*view.codec, view.descriptor(ids[j]), decoded);
+        out[j] = core::SquaredDistanceU32(q.data(), decoded);
+      }
+      benchmark::DoNotOptimize(out[0]);
+    }
+  } else {
+    for (auto _ : state) {
+      const auto& ids = id_sets[i++ % id_sets.size()];
+      for (size_t j = 0; j < kGatherK; ++j) {
+        out[j] = core::SquaredDistanceU32(q.data(), view.descriptor(ids[j]));
+      }
+      benchmark::DoNotOptimize(out[0]);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kGatherK));
+  std::string label = std::string("gather:") +
+                      core::DescriptorCodecName(codec_kind) + ":";
+  label += batched ? std::string("batched:") + core::ScanKernelName(kind)
+                   : "looped";
+  state.SetLabel(label);
+}
+BENCHMARK(BM_BatchedDistance)->ArgsProduct({{0, 1, 2}, {-1, 0, 1, 2, 3}});
 
 void BM_SequentialScan(benchmark::State& state) {
   core::S3Index* index = SharedIndex();

@@ -72,6 +72,12 @@ void ShardedRun(size_t n, int num_threads, ThreadPool* pool,
 
 }  // namespace
 
+void ParallelFor(size_t n, int num_threads, ThreadPool* pool,
+                 const std::function<void(size_t, size_t)>& body) {
+  S3VCD_CHECK(num_threads >= 1);
+  ShardedRun(n, num_threads, pool, body);
+}
+
 std::vector<QueryResult> ParallelStatisticalSearch(
     const Searcher& searcher, const DistortionModel& model,
     const std::vector<fp::Fingerprint>& queries, const QueryOptions& options,

@@ -1,6 +1,8 @@
 #ifndef S3VCD_CORE_PARALLEL_H_
 #define S3VCD_CORE_PARALLEL_H_
 
+#include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "core/distortion_model.h"
@@ -9,6 +11,17 @@
 #include "util/thread_pool.h"
 
 namespace s3vcd::core {
+
+/// Runs `body(first, last)` over contiguous shards of [0, n) on
+/// `num_threads` workers — the generic fan-out primitive behind the batch
+/// query helpers below, exposed for other embarrassingly parallel phases
+/// (the vamana graph build runs its per-batch greedy searches through it).
+/// Pool ownership follows the batch helpers: a caller-owned `pool` is used
+/// directly; with pool == nullptr the lazily-created shared pool of this
+/// width is reused across calls, so thread spawn cost is paid once per
+/// width. `body` must be safe to invoke concurrently on disjoint shards.
+void ParallelFor(size_t n, int num_threads, ThreadPool* pool,
+                 const std::function<void(size_t, size_t)>& body);
 
 /// Runs a batch of statistical queries across `num_threads` workers.
 /// Searcher queries are const and the backends are immutable during

@@ -32,6 +32,11 @@ using internal::SqDistCodedBatchScalar;
 // the distance loop free of branches and Match pushes.
 constexpr size_t kScanStrip = 64;
 
+// How many gathers ahead the gather kernels prefetch the next descriptor
+// lines: far enough to cover a memory round trip at graph-traversal
+// candidate-set sizes (K ~ graph degree), near enough not to thrash.
+constexpr size_t kGatherPrefetchAhead = 8;
+
 #ifdef S3VCD_X86
 
 // The query widened to three u16 vectors: components [0,8), [8,16) and
@@ -78,31 +83,69 @@ void SqDistBatchSse2(const uint8_t* desc, size_t n, const uint8_t* query,
   }
 }
 
+void SqDistGatherSse2(const uint8_t* desc, const uint32_t* indices, size_t k,
+                      const uint8_t* query, uint32_t* out) {
+  const QueryU16 q = WidenQuery(query);
+  for (size_t i = 0; i < k; ++i) {
+    if (i + kGatherPrefetchAhead < k) {
+      __builtin_prefetch(
+          desc + static_cast<size_t>(indices[i + kGatherPrefetchAhead]) *
+                     fp::kDims,
+          0, 3);
+    }
+    out[i] = SqDistOneSse2(
+        desc + static_cast<size_t>(indices[i]) * fp::kDims, q);
+  }
+}
+
+// One record of the AVX2 exact kernel: components [0,16) as one 16-lane
+// u16 vector, tail [16,20) in an xmm.
+__attribute__((target("avx2"))) inline uint32_t SqDistOneAvx2(
+    const uint8_t* d, const __m256i q016, const __m128i qtail) {
+  const __m256i v = _mm256_cvtepu8_epi16(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(d)));
+  const __m256i diff = _mm256_sub_epi16(v, q016);
+  const __m256i acc = _mm256_madd_epi16(diff, diff);
+  uint32_t tail_bits;
+  std::memcpy(&tail_bits, d + 16, 4);
+  const __m128i t =
+      _mm_cvtepu8_epi16(_mm_cvtsi32_si128(static_cast<int>(tail_bits)));
+  const __m128i dt = _mm_sub_epi16(t, qtail);
+  __m128i sum = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                              _mm256_extracti128_si256(acc, 1));
+  sum = _mm_add_epi32(sum, _mm_madd_epi16(dt, dt));
+  sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, _MM_SHUFFLE(1, 0, 3, 2)));
+  sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, _MM_SHUFFLE(2, 3, 0, 1)));
+  return static_cast<uint32_t>(_mm_cvtsi128_si32(sum));
+}
+
 __attribute__((target("avx2"))) void SqDistBatchAvx2(const uint8_t* desc,
                                                      size_t n,
                                                      const uint8_t* query,
                                                      uint32_t* out) {
   const QueryU16 qn = WidenQuery(query);
-  // Components [0,16) as one 16-lane u16 vector; tail [16,20) stays xmm.
   const __m256i q016 = _mm256_set_m128i(qn.q1, qn.q0);
   const __m128i qtail = qn.q2;
   for (size_t i = 0; i < n; ++i) {
-    const uint8_t* d = desc + i * fp::kDims;
-    const __m256i v = _mm256_cvtepu8_epi16(
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(d)));
-    const __m256i diff = _mm256_sub_epi16(v, q016);
-    const __m256i acc = _mm256_madd_epi16(diff, diff);
-    uint32_t tail_bits;
-    std::memcpy(&tail_bits, d + 16, 4);
-    const __m128i t =
-        _mm_cvtepu8_epi16(_mm_cvtsi32_si128(static_cast<int>(tail_bits)));
-    const __m128i dt = _mm_sub_epi16(t, qtail);
-    __m128i sum = _mm_add_epi32(_mm256_castsi256_si128(acc),
-                                _mm256_extracti128_si256(acc, 1));
-    sum = _mm_add_epi32(sum, _mm_madd_epi16(dt, dt));
-    sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, _MM_SHUFFLE(1, 0, 3, 2)));
-    sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, _MM_SHUFFLE(2, 3, 0, 1)));
-    out[i] = static_cast<uint32_t>(_mm_cvtsi128_si32(sum));
+    out[i] = SqDistOneAvx2(desc + i * fp::kDims, q016, qtail);
+  }
+}
+
+__attribute__((target("avx2"))) void SqDistGatherAvx2(
+    const uint8_t* desc, const uint32_t* indices, size_t k,
+    const uint8_t* query, uint32_t* out) {
+  const QueryU16 qn = WidenQuery(query);
+  const __m256i q016 = _mm256_set_m128i(qn.q1, qn.q0);
+  const __m128i qtail = qn.q2;
+  for (size_t i = 0; i < k; ++i) {
+    if (i + kGatherPrefetchAhead < k) {
+      __builtin_prefetch(
+          desc + static_cast<size_t>(indices[i + kGatherPrefetchAhead]) *
+                     fp::kDims,
+          0, 3);
+    }
+    out[i] = SqDistOneAvx2(
+        desc + static_cast<size_t>(indices[i]) * fp::kDims, q016, qtail);
   }
 }
 
@@ -170,38 +213,84 @@ __attribute__((target("avx2"))) inline __m128i DecodeU16x4(__m128i c,
   return _mm_min_epu16(v, _mm_set1_epi16(255));
 }
 
+// One coded record of the AVX2 fused kernel.
+__attribute__((target("avx2"))) inline uint32_t SqDistCodedOneAvx2(
+    const uint8_t* p, bool nibble, const QuantU16& w) {
+  __m256i c016;
+  __m128i ctail;
+  if (nibble) {
+    __m128i c8, t8;
+    ExpandNibbles(p, &c8, &t8);
+    c016 = _mm256_cvtepu8_epi16(c8);
+    ctail = _mm_cvtepu8_epi16(t8);
+  } else {
+    c016 = _mm256_cvtepu8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+    uint32_t tail_bits;
+    std::memcpy(&tail_bits, p + 16, 4);
+    ctail =
+        _mm_cvtepu8_epi16(_mm_cvtsi32_si128(static_cast<int>(tail_bits)));
+  }
+  const __m256i diff =
+      _mm256_sub_epi16(DecodeU16x16(c016, w.s016, w.l016), w.q016);
+  const __m256i acc = _mm256_madd_epi16(diff, diff);
+  const __m128i dt = _mm_sub_epi16(DecodeU16x4(ctail, w.st, w.lt), w.qt);
+  __m128i sum = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                              _mm256_extracti128_si256(acc, 1));
+  sum = _mm_add_epi32(sum, _mm_madd_epi16(dt, dt));
+  sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, _MM_SHUFFLE(1, 0, 3, 2)));
+  sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, _MM_SHUFFLE(2, 3, 0, 1)));
+  return static_cast<uint32_t>(_mm_cvtsi128_si32(sum));
+}
+
 __attribute__((target("avx2"))) void SqDistCodedBatchAvx2(
     const uint8_t* codes, size_t n, const QuantQuery& q, uint32_t* out) {
   const QuantU16 w = WidenQuant(q);
   const size_t code_bytes = q.nibble ? fp::kDims / 2 : fp::kDims;
   for (size_t i = 0; i < n; ++i) {
-    const uint8_t* p = codes + i * code_bytes;
-    __m256i c016;
-    __m128i ctail;
-    if (q.nibble) {
-      __m128i c8, t8;
-      ExpandNibbles(p, &c8, &t8);
-      c016 = _mm256_cvtepu8_epi16(c8);
-      ctail = _mm_cvtepu8_epi16(t8);
-    } else {
-      c016 = _mm256_cvtepu8_epi16(
-          _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
-      uint32_t tail_bits;
-      std::memcpy(&tail_bits, p + 16, 4);
-      ctail =
-          _mm_cvtepu8_epi16(_mm_cvtsi32_si128(static_cast<int>(tail_bits)));
-    }
-    const __m256i diff =
-        _mm256_sub_epi16(DecodeU16x16(c016, w.s016, w.l016), w.q016);
-    const __m256i acc = _mm256_madd_epi16(diff, diff);
-    const __m128i dt = _mm_sub_epi16(DecodeU16x4(ctail, w.st, w.lt), w.qt);
-    __m128i sum = _mm_add_epi32(_mm256_castsi256_si128(acc),
-                                _mm256_extracti128_si256(acc, 1));
-    sum = _mm_add_epi32(sum, _mm_madd_epi16(dt, dt));
-    sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, _MM_SHUFFLE(1, 0, 3, 2)));
-    sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, _MM_SHUFFLE(2, 3, 0, 1)));
-    out[i] = static_cast<uint32_t>(_mm_cvtsi128_si32(sum));
+    out[i] = SqDistCodedOneAvx2(codes + i * code_bytes, q.nibble, w);
   }
+}
+
+__attribute__((target("avx2"))) void SqDistCodedGatherAvx2(
+    const uint8_t* codes, const uint32_t* indices, size_t k,
+    const QuantQuery& q, uint32_t* out) {
+  const QuantU16 w = WidenQuant(q);
+  const size_t code_bytes = q.nibble ? fp::kDims / 2 : fp::kDims;
+  for (size_t i = 0; i < k; ++i) {
+    if (i + kGatherPrefetchAhead < k) {
+      __builtin_prefetch(
+          codes + static_cast<size_t>(indices[i + kGatherPrefetchAhead]) *
+                      code_bytes,
+          0, 3);
+    }
+    out[i] = SqDistCodedOneAvx2(
+        codes + static_cast<size_t>(indices[i]) * code_bytes, q.nibble, w);
+  }
+}
+
+// One coded record of the AVX-512 fused kernel: one whole record per zmm,
+// 20 u16 lanes decode + subtract + madd, the masked-off lanes all zero on
+// both sides.
+__attribute__((target("avx512f,avx512bw,avx512vl"))) inline uint32_t
+SqDistCodedOneAvx512(const uint8_t* p, bool nibble, __m512i qv, __m512i sv,
+                     __m512i lv, __m512i half, __m512i cap) {
+  const __mmask32 k20 = 0xFFFFF;
+  __m256i c8;
+  if (nibble) {
+    __m128i lo16, t4;
+    ExpandNibbles(p, &lo16, &t4);
+    c8 = _mm256_set_m128i(t4, lo16);
+  } else {
+    c8 = _mm256_maskz_loadu_epi8(k20, p);
+  }
+  const __m512i c = _mm512_cvtepu8_epi16(c8);
+  const __m512i prod = _mm512_add_epi16(_mm512_mullo_epi16(c, sv), half);
+  const __m512i v = _mm512_min_epu16(
+      _mm512_add_epi16(_mm512_srli_epi16(prod, 8), lv), cap);
+  const __m512i diff = _mm512_sub_epi16(v, qv);
+  return static_cast<uint32_t>(
+      _mm512_reduce_add_epi32(_mm512_madd_epi16(diff, diff)));
 }
 
 __attribute__((target("avx512f,avx512bw,avx512vl"))) void
@@ -215,24 +304,31 @@ SqDistCodedBatchAvx512(const uint8_t* codes, size_t n, const QuantQuery& q,
   const __m512i cap = _mm512_set1_epi16(255);
   const size_t code_bytes = q.nibble ? fp::kDims / 2 : fp::kDims;
   for (size_t i = 0; i < n; ++i) {
-    const uint8_t* p = codes + i * code_bytes;
-    __m256i c8;
-    if (q.nibble) {
-      __m128i lo16, t4;
-      ExpandNibbles(p, &lo16, &t4);
-      c8 = _mm256_set_m128i(t4, lo16);
-    } else {
-      c8 = _mm256_maskz_loadu_epi8(k20, p);
+    out[i] = SqDistCodedOneAvx512(codes + i * code_bytes, q.nibble, qv, sv,
+                                  lv, half, cap);
+  }
+}
+
+__attribute__((target("avx512f,avx512bw,avx512vl"))) void
+SqDistCodedGatherAvx512(const uint8_t* codes, const uint32_t* indices,
+                        size_t k, const QuantQuery& q, uint32_t* out) {
+  const __mmask32 k20 = 0xFFFFF;
+  const __m512i qv = _mm512_maskz_loadu_epi16(k20, q.query);
+  const __m512i sv = _mm512_maskz_loadu_epi16(k20, q.step16);
+  const __m512i lv = _mm512_maskz_loadu_epi16(k20, q.lo);
+  const __m512i half = _mm512_set1_epi16(128);
+  const __m512i cap = _mm512_set1_epi16(255);
+  const size_t code_bytes = q.nibble ? fp::kDims / 2 : fp::kDims;
+  for (size_t i = 0; i < k; ++i) {
+    if (i + kGatherPrefetchAhead < k) {
+      __builtin_prefetch(
+          codes + static_cast<size_t>(indices[i + kGatherPrefetchAhead]) *
+                      code_bytes,
+          0, 3);
     }
-    // One whole record per zmm: 20 u16 lanes decode + subtract + madd, the
-    // masked-off lanes all zero on both sides.
-    const __m512i c = _mm512_cvtepu8_epi16(c8);
-    const __m512i prod = _mm512_add_epi16(_mm512_mullo_epi16(c, sv), half);
-    const __m512i v = _mm512_min_epu16(
-        _mm512_add_epi16(_mm512_srli_epi16(prod, 8), lv), cap);
-    const __m512i diff = _mm512_sub_epi16(v, qv);
-    out[i] = static_cast<uint32_t>(
-        _mm512_reduce_add_epi32(_mm512_madd_epi16(diff, diff)));
+    out[i] = SqDistCodedOneAvx512(
+        codes + static_cast<size_t>(indices[i]) * code_bytes, q.nibble, qv,
+        sv, lv, half, cap);
   }
 }
 
@@ -275,6 +371,42 @@ SqDistCodedBatchFn CodedKernelFn(ScanKernelKind kind) {
       // Scalar and SSE2 share the reference fused loop: the nibble/decode
       // shuffle work leaves no profitable pure-SSE2 variant.
       return &SqDistCodedBatchScalar;
+  }
+}
+
+internal::SqDistGatherFn GatherKernelFn(ScanKernelKind kind) {
+  switch (kind) {
+    case ScanKernelKind::kScalar:
+      return &internal::SqDistGatherScalar;
+#ifdef S3VCD_X86
+    case ScanKernelKind::kSse2:
+      return &SqDistGatherSse2;
+    case ScanKernelKind::kAvx2:
+      return &SqDistGatherAvx2;
+    case ScanKernelKind::kAvx512:
+      return internal::Avx512VnniAvailable()
+                 ? &internal::SqDistGatherAvx512Vnni
+                 : &internal::SqDistGatherAvx512Bw;
+#else
+    case ScanKernelKind::kSse2:
+    case ScanKernelKind::kAvx2:
+    case ScanKernelKind::kAvx512:
+      break;
+#endif
+  }
+  return &internal::SqDistGatherScalar;
+}
+
+internal::SqDistCodedGatherFn CodedGatherKernelFn(ScanKernelKind kind) {
+  switch (kind) {
+#ifdef S3VCD_X86
+    case ScanKernelKind::kAvx2:
+      return &SqDistCodedGatherAvx2;
+    case ScanKernelKind::kAvx512:
+      return &SqDistCodedGatherAvx512;
+#endif
+    default:
+      return &internal::SqDistCodedGatherScalar;
   }
 }
 
@@ -391,6 +523,61 @@ SqDistBatchAvx512Vnni(const uint8_t* desc, size_t n, const uint8_t* query,
   }
 }
 
+__attribute__((target("avx512f,avx512bw,avx512vl"))) void
+SqDistGatherAvx512Bw(const uint8_t* desc, const uint32_t* indices, size_t k,
+                     const uint8_t* query, uint32_t* out) {
+  const __mmask32 k20 = 0xFFFFF;
+  const __m512i q = _mm512_cvtepu8_epi16(_mm256_maskz_loadu_epi8(k20, query));
+  for (size_t i = 0; i < k; ++i) {
+    if (i + kGatherPrefetchAhead < k) {
+      __builtin_prefetch(
+          desc + static_cast<size_t>(indices[i + kGatherPrefetchAhead]) *
+                     fp::kDims,
+          0, 3);
+    }
+    const __m512i d = _mm512_cvtepu8_epi16(_mm256_maskz_loadu_epi8(
+        k20, desc + static_cast<size_t>(indices[i]) * fp::kDims));
+    const __m512i diff = _mm512_sub_epi16(d, q);
+    out[i] = static_cast<uint32_t>(
+        _mm512_reduce_add_epi32(_mm512_madd_epi16(diff, diff)));
+  }
+}
+
+__attribute__((target("avx512f,avx512bw,avx512vl,avx512vnni"))) void
+SqDistGatherAvx512Vnni(const uint8_t* desc, const uint32_t* indices,
+                       size_t k, const uint8_t* query, uint32_t* out) {
+  const __mmask32 k20 = 0xFFFFF;
+  const __m256i q = _mm256_maskz_loadu_epi8(k20, query);
+  const __m256i zero = _mm256_setzero_si256();
+  for (size_t i = 0; i < k; ++i) {
+    if (i + kGatherPrefetchAhead < k) {
+      __builtin_prefetch(
+          desc + static_cast<size_t>(indices[i + kGatherPrefetchAhead]) *
+                     fp::kDims,
+          0, 3);
+    }
+    const __m256i d = _mm256_maskz_loadu_epi8(
+        k20, desc + static_cast<size_t>(indices[i]) * fp::kDims);
+    const __m256i diff =
+        _mm256_or_si256(_mm256_subs_epu8(d, q), _mm256_subs_epu8(q, d));
+    // Same signed-operand correction as SqDistBatchAvx512Vnni above.
+    const __m256i acc = _mm256_dpbusd_epi32(zero, diff, diff);
+    const __m256i high =
+        _mm256_maskz_mov_epi8(_mm256_movepi8_mask(diff), diff);
+    const __m256i sad = _mm256_sad_epu8(high, zero);
+    __m128i sum = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                                _mm256_extracti128_si256(acc, 1));
+    sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, _MM_SHUFFLE(1, 0, 3, 2)));
+    sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, _MM_SHUFFLE(2, 3, 0, 1)));
+    const __m128i s64 = _mm_add_epi64(_mm256_castsi256_si128(sad),
+                                      _mm256_extracti128_si256(sad, 1));
+    const uint32_t corr = static_cast<uint32_t>(
+        static_cast<uint64_t>(_mm_cvtsi128_si64(s64)) +
+        static_cast<uint64_t>(_mm_extract_epi64(s64, 1)));
+    out[i] = static_cast<uint32_t>(_mm_cvtsi128_si32(sum)) + 256u * corr;
+  }
+}
+
 bool Avx512VnniAvailable() {
   return ScanKernelAvailable(ScanKernelKind::kAvx512) &&
          __builtin_cpu_supports("avx512vnni");
@@ -398,6 +585,31 @@ bool Avx512VnniAvailable() {
 
 }  // namespace internal
 #endif  // S3VCD_X86
+
+GatherScorer::GatherScorer(const uint8_t* query, const DescriptorView& view)
+    : descriptors_(view.descriptors),
+      desc_bytes_(view.desc_bytes),
+      coded_(view.codec != nullptr && !view.codec->is_exact()) {
+  if (coded_) {
+    quant_ = MakeQuantQuery(query, *view.codec);
+    coded_fn_ = CodedGatherKernelFn(ActiveScanKernel());
+  } else {
+    std::memcpy(query_, query, fp::kDims);
+    exact_fn_ = GatherKernelFn(ActiveScanKernel());
+  }
+}
+
+void GatherScorer::Score(const uint32_t* indices, size_t k,
+                         uint32_t* out) const {
+  if (k == 0) {
+    return;
+  }
+  if (coded_) {
+    coded_fn_(descriptors_, indices, k, quant_, out);
+  } else {
+    exact_fn_(descriptors_, indices, k, query_, out);
+  }
+}
 
 const char* ScanKernelName(ScanKernelKind kind) {
   switch (kind) {

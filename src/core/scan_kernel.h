@@ -11,6 +11,7 @@
 #include "core/descriptor_block.h"
 #include "core/descriptor_codec.h"
 #include "core/record.h"
+#include "core/scan_kernel_internal.h"
 #include "core/searcher.h"
 #include "fingerprint/fingerprint.h"
 #include "util/bitkey.h"
@@ -184,6 +185,51 @@ inline void ScanRecords(const fp::Fingerprint& query,
                         QueryResult* result) {
   ScanRecords(query, block.View(), first, last, spec, result);
 }
+
+/// One-query scorer for *gathered* candidate sets — the graph-traversal
+/// counterpart of ScanRecords. Construction widens the query (and, on a
+/// quantized view, the codec tables) once and resolves the dispatched
+/// kernel; each Score() call then computes the exact integer squared
+/// byte-space distances of K arbitrary record indices in a single kernel
+/// call (scalar/SSE2/AVX2/AVX-512 variants, decode fused for lvq8/lvq4
+/// views, software prefetch of the descriptor lines a few gathers ahead).
+/// The distances are the same integers the strip kernels produce — bitwise
+/// identical across every variant (pinned by tests/scan_kernel_test.cc).
+/// The view's arrays must outlive the scorer; a scorer is cheap enough to
+/// build per query and is immutable afterwards (safe to share across
+/// threads, though each beam search builds its own).
+class GatherScorer {
+ public:
+  /// `query` points at fp::kDims exact descriptor bytes.
+  GatherScorer(const uint8_t* query, const DescriptorView& view);
+  GatherScorer(const fp::Fingerprint& query, const DescriptorView& view)
+      : GatherScorer(query.data(), view) {}
+
+  /// out[i] = squared distance of the query to (decoded) record
+  /// indices[i]. Indices may repeat and arrive in any order; every index
+  /// must be < view.count.
+  void Score(const uint32_t* indices, size_t k, uint32_t* out) const;
+
+  /// Hints the hardware prefetcher at record `index`'s descriptor line —
+  /// call it for the next hop's neighborhood while the current one is
+  /// being consumed.
+  void Prefetch(uint32_t index) const {
+    __builtin_prefetch(
+        descriptors_ + static_cast<size_t>(index) * desc_bytes_, 0, 3);
+  }
+
+  /// Bytes per stored (coded) record of the underlying view.
+  size_t desc_bytes() const { return desc_bytes_; }
+
+ private:
+  const uint8_t* descriptors_;
+  size_t desc_bytes_;
+  bool coded_;
+  internal::QuantQuery quant_{};        // quantized views only
+  uint8_t query_[fp::kDims];            // exact views only
+  internal::SqDistGatherFn exact_fn_ = nullptr;
+  internal::SqDistCodedGatherFn coded_fn_ = nullptr;
+};
 
 /// Membership of a curve key in the half-open section [begin, end), where
 /// a numerically zero `end` denotes the final section wrapping to the top

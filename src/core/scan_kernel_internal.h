@@ -70,6 +70,39 @@ using SqDistCodedBatchFn = void (*)(const uint8_t* codes, size_t n,
 void SqDistCodedBatchScalar(const uint8_t* codes, size_t n,
                             const QuantQuery& q, uint32_t* out);
 
+/// Gathered batch distances: out[i] = squared distance of the query to
+/// packed record indices[i] (an arbitrary, possibly repeating id set — the
+/// graph-traversal counterpart of SqDistBatchFn's contiguous strip). SIMD
+/// variants software-prefetch the descriptor lines a few gathers ahead;
+/// the arithmetic per record is identical to the strip kernels, so every
+/// variant is bitwise identical (pinned by tests/scan_kernel_test.cc).
+using SqDistGatherFn = void (*)(const uint8_t* desc, const uint32_t* indices,
+                                size_t k, const uint8_t* query,
+                                uint32_t* out);
+
+/// Scalar gather reference (scan_kernel_scalar.cc, no-auto-vectorization).
+void SqDistGatherScalar(const uint8_t* desc, const uint32_t* indices,
+                        size_t k, const uint8_t* query, uint32_t* out);
+
+/// Gathered fused decode + distance over coded records (code_bytes
+/// per record derived from q.nibble, exactly like SqDistCodedBatchFn).
+using SqDistCodedGatherFn = void (*)(const uint8_t* codes,
+                                     const uint32_t* indices, size_t k,
+                                     const QuantQuery& q, uint32_t* out);
+
+/// Scalar coded gather reference (scan_kernel_scalar.cc).
+void SqDistCodedGatherScalar(const uint8_t* codes, const uint32_t* indices,
+                             size_t k, const QuantQuery& q, uint32_t* out);
+
+#if defined(__x86_64__) || defined(__i386__)
+/// The two AVX-512 exact gather variants, declared like the strip kernels
+/// above so the parity test can pin both even though dispatch installs one.
+void SqDistGatherAvx512Bw(const uint8_t* desc, const uint32_t* indices,
+                          size_t k, const uint8_t* query, uint32_t* out);
+void SqDistGatherAvx512Vnni(const uint8_t* desc, const uint32_t* indices,
+                            size_t k, const uint8_t* query, uint32_t* out);
+#endif
+
 }  // namespace s3vcd::core::internal
 
 #endif  // S3VCD_CORE_SCAN_KERNEL_INTERNAL_H_

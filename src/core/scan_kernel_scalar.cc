@@ -72,5 +72,38 @@ void SqDistCodedBatchScalar(const uint8_t* codes, size_t n,
   }
 }
 
+void SqDistGatherScalar(const uint8_t* desc, const uint32_t* indices,
+                        size_t k, const uint8_t* query, uint32_t* out) {
+  for (size_t i = 0; i < k; ++i) {
+    const uint8_t* d = desc + static_cast<size_t>(indices[i]) * fp::kDims;
+    uint32_t acc = 0;
+    for (int j = 0; j < fp::kDims; ++j) {
+      const int diff = static_cast<int>(d[j]) - static_cast<int>(query[j]);
+      acc += static_cast<uint32_t>(diff * diff);
+    }
+    out[i] = acc;
+  }
+}
+
+void SqDistCodedGatherScalar(const uint8_t* codes, const uint32_t* indices,
+                             size_t k, const QuantQuery& q, uint32_t* out) {
+  const size_t code_bytes = q.nibble ? fp::kDims / 2 : fp::kDims;
+  for (size_t i = 0; i < k; ++i) {
+    const uint8_t* c = codes + static_cast<size_t>(indices[i]) * code_bytes;
+    uint32_t acc = 0;
+    for (int j = 0; j < fp::kDims; ++j) {
+      const uint32_t code =
+          q.nibble ? ((j & 1) ? (c[j / 2] >> 4) : (c[j / 2] & 0x0F)) : c[j];
+      uint32_t v = q.lo[j] + ((code * q.step16[j] + 128u) >> 8);
+      if (v > 255u) {
+        v = 255u;
+      }
+      const int diff = static_cast<int>(v) - static_cast<int>(q.query[j]);
+      acc += static_cast<uint32_t>(diff * diff);
+    }
+    out[i] = acc;
+  }
+}
+
 }  // namespace internal
 }  // namespace s3vcd::core

@@ -9,6 +9,7 @@
 #include "core/lsh.h"
 #include "core/scan_kernel.h"
 #include "core/vafile.h"
+#include "core/vamana.h"
 #include "util/logging.h"
 #include "util/math.h"
 #include "util/timer.h"
@@ -163,6 +164,23 @@ SearcherRegistry::SearcherRegistry() {
   Register("seqscan", [](FingerprintDatabase db, const SearcherConfig&)
                -> std::unique_ptr<Searcher> {
     return std::make_unique<SeqScanSearcher>(std::move(db));
+  });
+  Register("vamana", [](FingerprintDatabase db, const SearcherConfig& config)
+               -> std::unique_ptr<Searcher> {
+    VamanaOptions options;
+    options.graph_degree = config.vamana_graph_degree;
+    options.build_beam = config.vamana_build_beam;
+    options.beam_width = config.vamana_beam_width;
+    options.alpha = config.vamana_alpha;
+    options.seed = config.vamana_seed;
+    options.build_threads = config.vamana_build_threads;
+    options.graph_path = config.vamana_graph_path;
+    if (!DescriptorCodecFromName(config.vamana_codec, &options.codec)) {
+      S3VCD_LOG(ERROR) << "unknown vamana codec '" << config.vamana_codec
+                       << "'; known codecs: " << DescriptorCodecNamesCsv();
+      return nullptr;
+    }
+    return std::make_unique<VamanaIndex>(CopyRecords(db), options);
   });
 }
 

@@ -225,6 +225,18 @@ struct SearcherConfig {
   /// ("exact", "lvq8", "lvq4" — see core/descriptor_codec.h). Existing
   /// segments keep whatever codec they were written with.
   std::string segment_codec = "exact";
+  /// vamana: graph out-degree bound R, build beam L_build, query beam L,
+  /// RobustPrune alpha, build seed/threads, storage codec and optional
+  /// graph blob path — see core/vamana.h and the knob table in
+  /// docs/tuning.md.
+  int vamana_graph_degree = 32;
+  int vamana_build_beam = 64;
+  int vamana_beam_width = 64;
+  double vamana_alpha = 1.2;
+  uint64_t vamana_seed = 1;
+  int vamana_build_threads = 0;
+  std::string vamana_codec = "exact";
+  std::string vamana_graph_path;
 };
 
 /// String-keyed factory of Searcher backends. The built-ins ("s3",

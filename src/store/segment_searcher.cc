@@ -31,11 +31,22 @@ obs::Gauge* const g_pending =
     obs::MetricsRegistry::Global().GetGauge("index.segment_pending_inserts");
 
 /// A fresh private store directory for ephemeral (no --store-dir) use.
+/// ::mkdtemp rewrites the XXXXXX placeholder in place (std::string::data()
+/// is a contiguous writable NUL-terminated buffer since C++17) and creates
+/// the directory atomically, so concurrent ephemeral searchers always get
+/// distinct directories; tests/store_test.cc pins both properties.
 Result<std::string> MakeTempStoreDir() {
   std::string templ =
       (fs::temp_directory_path() / "s3vcd_segstore_XXXXXX").string();
   if (::mkdtemp(templ.data()) == nullptr) {
     return Status::IOError("cannot create temp store directory");
+  }
+  // Belt and braces: the template must have been materialized into an
+  // existing directory (a libc that returned the unmodified template
+  // would make every ephemeral searcher share — and delete — one path).
+  if (templ.find("XXXXXX") != std::string::npos || !fs::is_directory(templ)) {
+    return Status::IOError("temp store template was not materialized: " +
+                           templ);
   }
   return templ;
 }

@@ -57,6 +57,10 @@ class SegmentSearcher : public core::Searcher {
   ~SegmentSearcher() override;
 
   const SegmentStore& segment_store() const { return *store_; }
+  /// Directory the store lives in (the private temp dir in ephemeral
+  /// mode). Distinct across concurrently opened ephemeral searchers —
+  /// pinned by tests/store_test.cc.
+  const std::string& store_dir() const { return store_->dir(); }
   size_t pending_inserts() const { return memtable_.size(); }
 
   // ---- Searcher interface ----

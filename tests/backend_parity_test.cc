@@ -21,9 +21,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "core/database.h"
 #include "core/distortion_model.h"
 #include "core/synthetic_db.h"
+#include "core/vamana.h"
 #include "fingerprint/fingerprint.h"
 #include "service/sharded_searcher.h"
 #include "util/math.h"
@@ -101,7 +104,8 @@ double TestEpsilon() {
 
 TEST(RegistryTest, KnowsAllBackends) {
   const std::vector<std::string> names = SearcherRegistry::Global().Names();
-  for (const char* expected : {"dynamic", "lsh", "s3", "seqscan", "vafile"}) {
+  for (const char* expected :
+       {"dynamic", "lsh", "s3", "seqscan", "vafile", "vamana"}) {
     EXPECT_TRUE(std::count(names.begin(), names.end(), expected) == 1)
         << "missing backend " << expected;
   }
@@ -313,6 +317,222 @@ TEST(BackendParityTest, ShardedSeqScanFallbackParity) {
     EXPECT_EQ(results[i].stats.records_scanned,
               expected.stats.records_scanned);
   }
+}
+
+// --- Vamana graph backend ----------------------------------------------
+
+// The graph backend is approximate like LSH: every returned match must be
+// a true answer (subset property — matches are exact-distance filtered),
+// and at the default beam width its recall against the exhaustive scan
+// stays above a floor far beyond what a broken graph could reach.
+TEST(BackendParityTest, VamanaRecallBound) {
+  const FingerprintDatabase db = MakeDatabase();
+  const std::vector<fp::Fingerprint> queries = MakeQueries(db);
+  const double epsilon = TestEpsilon();
+  const auto seqscan = MakeBackend("seqscan");
+  const auto vamana = MakeBackend("vamana");
+  EXPECT_STREQ(vamana->backend_name(), "vamana");
+  EXPECT_EQ(vamana->Stats().records, db.size());
+  EXPECT_EQ(vamana->selection_filter(), nullptr);
+  EXPECT_GT(vamana->ApproxBytes(), 0u);
+
+  size_t exact_total = 0;
+  size_t found = 0;
+  for (const fp::Fingerprint& q : queries) {
+    const IdTimeSet expected = Ids(seqscan->RangeQuery(q, epsilon, kDepth));
+    const QueryResult result = vamana->RangeQuery(q, epsilon, kDepth);
+    EXPECT_GT(result.stats.nodes_visited, 0u);
+    EXPECT_GT(result.stats.records_scanned, 0u);
+    const IdTimeSet approx = Ids(result);
+    for (const auto& id : approx) {
+      EXPECT_TRUE(expected.count(id) > 0)
+          << "vamana returned a non-answer (id " << id.first << ")";
+    }
+    exact_total += expected.size();
+    for (const auto& id : expected) {
+      found += approx.count(id) > 0 ? 1 : 0;
+    }
+  }
+  ASSERT_GT(exact_total, 0u);
+  const double recall =
+      static_cast<double>(found) / static_cast<double>(exact_total);
+  EXPECT_GE(recall, 0.9) << "vamana recall collapsed";
+}
+
+// StatQuery is emulated at the equal-expectation radius with the default
+// beam (the LSH pattern), so it equals an explicit RangeQuery there.
+TEST(BackendParityTest, VamanaStatQueryIsEqualExpectationRange) {
+  const FingerprintDatabase db = MakeDatabase();
+  const auto vamana = MakeBackend("vamana");
+  const GaussianDistortionModel model(kSigma);
+  QueryOptions options;
+  options.filter.alpha = 0.9;
+  const double epsilon = EqualExpectationRadius(model, options.filter.alpha);
+  for (const fp::Fingerprint& q : MakeQueries(db)) {
+    EXPECT_EQ(Ids(vamana->StatQuery(q, model, options)),
+              Ids(vamana->RangeQuery(q, epsilon, kDepth)));
+  }
+}
+
+std::vector<FingerprintRecord> RecordsOf(const FingerprintDatabase& db) {
+  std::vector<FingerprintRecord> records;
+  records.reserve(db.size());
+  for (size_t i = 0; i < db.size(); ++i) {
+    records.push_back(db.record(i));
+  }
+  return records;
+}
+
+// The parallel build is deterministic in (records, options): thread count
+// must not change a single adjacency row.
+TEST(VamanaIndexTest, BuildDeterministicUnderFixedSeed) {
+  const FingerprintDatabase db = MakeDatabase();
+  VamanaOptions options;
+  options.graph_degree = 16;
+  options.build_beam = 32;
+  options.build_threads = 1;
+  const VamanaIndex serial(RecordsOf(db), options);
+  options.build_threads = 4;
+  const VamanaIndex parallel(RecordsOf(db), options);
+  ASSERT_EQ(serial.size(), parallel.size());
+  EXPECT_EQ(serial.medoid(), parallel.medoid());
+  for (uint32_t node = 0; node < serial.size(); ++node) {
+    ASSERT_EQ(serial.Neighbors(node), parallel.Neighbors(node))
+        << "node " << node;
+  }
+}
+
+// Save/load roundtrip: a second index constructed with the same records,
+// options and graph_path loads the blob instead of rebuilding and is
+// observationally identical; changing an option invalidates the blob.
+TEST(VamanaIndexTest, GraphBlobSaveLoadRoundtrip) {
+  const FingerprintDatabase db = MakeDatabase();
+  const std::string path =
+      ::testing::TempDir() + "/vamana_roundtrip.s3vg";
+  std::remove(path.c_str());
+  VamanaOptions options;
+  options.graph_degree = 16;
+  options.build_beam = 32;
+  options.graph_path = path;
+  const VamanaIndex built(RecordsOf(db), options);
+  ASSERT_FALSE(built.loaded_from_blob());
+
+  const VamanaIndex loaded(RecordsOf(db), options);
+  ASSERT_TRUE(loaded.loaded_from_blob());
+  ASSERT_EQ(loaded.size(), built.size());
+  EXPECT_EQ(loaded.medoid(), built.medoid());
+  for (uint32_t node = 0; node < built.size(); ++node) {
+    ASSERT_EQ(loaded.Neighbors(node), built.Neighbors(node))
+        << "node " << node;
+  }
+  const double epsilon = TestEpsilon();
+  for (const fp::Fingerprint& q : MakeQueries(db)) {
+    EXPECT_EQ(Ids(built.RangeQuery(q, epsilon, kDepth)),
+              Ids(loaded.RangeQuery(q, epsilon, kDepth)));
+  }
+
+  // A different seed must reject the blob and rebuild (then re-save).
+  options.seed = 99;
+  const VamanaIndex reseeded(RecordsOf(db), options);
+  EXPECT_FALSE(reseeded.loaded_from_blob());
+  std::remove(path.c_str());
+}
+
+// A truncated/corrupted blob is rejected (checksum) and the index
+// rebuilds instead of serving garbage adjacency.
+TEST(VamanaIndexTest, CorruptGraphBlobTriggersRebuild) {
+  const FingerprintDatabase db = MakeDatabase();
+  const std::string path = ::testing::TempDir() + "/vamana_corrupt.s3vg";
+  std::remove(path.c_str());
+  VamanaOptions options;
+  options.graph_degree = 8;
+  options.build_beam = 16;
+  options.graph_path = path;
+  { const VamanaIndex built(RecordsOf(db), options); }
+  {
+    // Flip one byte in the middle of the adjacency payload.
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 200, SEEK_SET), 0);
+    const int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, 200, SEEK_SET), 0);
+    std::fputc(c ^ 0xFF, f);
+    std::fclose(f);
+  }
+  const VamanaIndex reloaded(RecordsOf(db), options);
+  EXPECT_FALSE(reloaded.loaded_from_blob());
+  std::remove(path.c_str());
+}
+
+// Quantized storage keeps the subset property: matches are distances to
+// decoded records filtered at the inflated radius, so any id the vamana
+// graph returns on an lvq store must be a true epsilon-or-inflation
+// answer; recall stays bounded as on the exact store.
+TEST(VamanaIndexTest, QuantizedStoreKeepsRecallBound) {
+  const FingerprintDatabase db = MakeDatabase();
+  const std::vector<fp::Fingerprint> queries = MakeQueries(db);
+  const double epsilon = TestEpsilon();
+  const auto seqscan = MakeBackend("seqscan");
+  VamanaOptions options;
+  options.codec = DescriptorCodecKind::kLvq4;
+  const VamanaIndex vamana(RecordsOf(db), options);
+  EXPECT_EQ(std::string(vamana.Stats().codec), "lvq4");
+  EXPECT_GT(vamana.Stats().codec_max_error, 0.0);
+
+  size_t exact_total = 0;
+  size_t found = 0;
+  for (const fp::Fingerprint& q : queries) {
+    const IdTimeSet expected = Ids(seqscan->RangeQuery(q, epsilon, kDepth));
+    // The inflated radius admits decoded records slightly beyond epsilon;
+    // the superset bound is epsilon + 2 * max_error on original records.
+    const IdTimeSet inflated = Ids(seqscan->RangeQuery(
+        q, epsilon + 2.0 * vamana.Stats().codec_max_error, kDepth));
+    const IdTimeSet approx = Ids(vamana.RangeQuery(q, epsilon, kDepth));
+    for (const auto& id : approx) {
+      EXPECT_TRUE(inflated.count(id) > 0)
+          << "vamana/lvq4 returned an id outside the inflated ball";
+    }
+    exact_total += expected.size();
+    for (const auto& id : expected) {
+      found += approx.count(id) > 0 ? 1 : 0;
+    }
+  }
+  ASSERT_GT(exact_total, 0u);
+  const double recall =
+      static_cast<double>(found) / static_cast<double>(exact_total);
+  EXPECT_GE(recall, 0.9) << "vamana/lvq4 recall collapsed";
+}
+
+// The sharded service degrades gracefully over vamana exactly as over
+// seqscan: no selection filter, per-shard StatQuery fallback, batch
+// fan-out on a real ThreadPool (TSan workload for the graph search).
+TEST(BackendParityTest, ShardedVamanaFallbackAnswers) {
+  const FingerprintDatabase db = MakeDatabase();
+  const std::vector<fp::Fingerprint> queries = MakeQueries(db);
+  const GaussianDistortionModel model(kSigma);
+  QueryOptions options;
+  options.filter.alpha = 0.9;
+
+  service::ShardedSearcherOptions sharding;
+  sharding.num_shards = 3;
+  sharding.backend = "vamana";
+  auto sharded = service::ShardedSearcher::Build(MakeDatabase(), sharding);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  EXPECT_EQ(sharded->shard(0).selection_filter(), nullptr);
+  EXPECT_EQ(sharded->total_size(), db.size());
+
+  ThreadPool pool(4);
+  const std::vector<QueryResult> results =
+      sharded->BatchStatisticalQuery(queries, model, options, &pool);
+  ASSERT_EQ(results.size(), queries.size());
+  size_t hits = 0;
+  for (const QueryResult& r : results) {
+    hits += r.matches.size();
+  }
+  // The distorted self-queries overwhelmingly land: a sharded graph that
+  // lost its records would return (close to) nothing.
+  EXPECT_GT(hits, queries.size() / 2);
 }
 
 }  // namespace

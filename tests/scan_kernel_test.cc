@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include "core/descriptor_block.h"
+#include "core/descriptor_codec.h"
 #include "core/scan_kernel_internal.h"
 #include "core/distortion_model.h"
 #include "core/synthetic_db.h"
@@ -294,6 +295,137 @@ TEST(ScanKernelTest, Avx512VariantsMatchScalarReference) {
                                     query.data(), vnni.data());
     for (size_t i = 0; i < block.size(); ++i) {
       ASSERT_EQ(reference[i], vnni[i]) << "VNNI record " << i;
+    }
+  }
+}
+#endif  // x86
+
+// --- Gather kernels (GatherScorer) --------------------------------------
+
+// Random candidate index sets of every awkward shape the beam search can
+// produce: empty, singleton, duplicates, first/last record, descending.
+std::vector<std::vector<uint32_t>> MakeIndexSets(size_t n, Rng* rng) {
+  std::vector<std::vector<uint32_t>> sets;
+  sets.push_back({});
+  sets.push_back({0});
+  sets.push_back({static_cast<uint32_t>(n - 1)});
+  sets.push_back({5, 5, 5, 5});  // repeats are allowed
+  std::vector<uint32_t> descending;
+  for (uint32_t i = 0; i < 33; ++i) {
+    descending.push_back(static_cast<uint32_t>(n - 1 - i));
+  }
+  sets.push_back(std::move(descending));
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<uint32_t> ids(
+        static_cast<size_t>(rng->UniformInt(1, 257)));
+    for (auto& id : ids) {
+      id = static_cast<uint32_t>(
+          rng->UniformInt(0, static_cast<int64_t>(n) - 1));
+    }
+    sets.push_back(std::move(ids));
+  }
+  return sets;
+}
+
+// The gathered exact-view distances are the same integers
+// SquaredDistanceU32 computes per record, on every available kernel.
+TEST(GatherScorerTest, ExactViewMatchesSquaredDistanceU32Bitwise) {
+  Rng rng(16);
+  const fp::Fingerprint query = UniformRandomFingerprint(&rng);
+  const DescriptorBlock block = MakeTestBlock(query, 2111, &rng);
+  const DescriptorView view = block.View();
+  const auto sets = MakeIndexSets(block.size(), &rng);
+  for (ScanKernelKind kind :
+       {ScanKernelKind::kScalar, ScanKernelKind::kSse2, ScanKernelKind::kAvx2,
+        ScanKernelKind::kAvx512}) {
+    if (!ScanKernelAvailable(kind)) {
+      continue;
+    }
+    ScopedKernel guard(kind);
+    const GatherScorer scorer(query, view);
+    EXPECT_EQ(scorer.desc_bytes(), static_cast<size_t>(fp::kDims));
+    for (const auto& ids : sets) {
+      std::vector<uint32_t> out(ids.size() + 1, 0xDEADBEEFu);
+      scorer.Score(ids.data(), ids.size(), out.data());
+      for (size_t i = 0; i < ids.size(); ++i) {
+        ASSERT_EQ(out[i],
+                  SquaredDistanceU32(query.data(), view.descriptor(ids[i])))
+            << ScanKernelName(kind) << " index " << ids[i];
+      }
+      // One-past-the-end must be untouched (k distances, no overwrite).
+      EXPECT_EQ(out[ids.size()], 0xDEADBEEFu) << ScanKernelName(kind);
+    }
+  }
+}
+
+// On quantized views every kernel returns the exact integer distance to
+// the *decoded* record — bitwise identical to decoding with
+// DecodeDescriptor and running SquaredDistanceU32, and identical across
+// scalar/SSE2/AVX2/AVX-512.
+TEST(GatherScorerTest, CodedViewsMatchDecodedReferenceBitwise) {
+  Rng rng(17);
+  const fp::Fingerprint query = UniformRandomFingerprint(&rng);
+  const DescriptorBlock block = MakeTestBlock(query, 1999, &rng);
+  for (DescriptorCodecKind codec :
+       {DescriptorCodecKind::kLvq8, DescriptorCodecKind::kLvq4}) {
+    const CodedDescriptorBlock coded =
+        CodedDescriptorBlock::Encode(codec, block);
+    const DescriptorView view = coded.View();
+    const auto sets = MakeIndexSets(coded.size(), &rng);
+    for (ScanKernelKind kind :
+         {ScanKernelKind::kScalar, ScanKernelKind::kSse2,
+          ScanKernelKind::kAvx2, ScanKernelKind::kAvx512}) {
+      if (!ScanKernelAvailable(kind)) {
+        continue;
+      }
+      ScopedKernel guard(kind);
+      const GatherScorer scorer(query, view);
+      EXPECT_EQ(scorer.desc_bytes(), coded.codec().code_bytes());
+      for (const auto& ids : sets) {
+        std::vector<uint32_t> out(ids.size());
+        scorer.Score(ids.data(), ids.size(), out.data());
+        for (size_t i = 0; i < ids.size(); ++i) {
+          uint8_t decoded[fp::kDims];
+          DecodeDescriptor(coded.codec(), view.descriptor(ids[i]), decoded);
+          ASSERT_EQ(out[i], SquaredDistanceU32(query.data(), decoded))
+              << DescriptorCodecName(codec) << " " << ScanKernelName(kind)
+              << " index " << ids[i];
+        }
+      }
+    }
+  }
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+// Dispatch installs only one AVX-512 gather variant at a time, so pin
+// both (the BW widening path and the VNNI u8-dot path) directly against
+// the scalar gather reference.
+TEST(GatherScorerTest, Avx512GatherVariantsMatchScalarReference) {
+  if (!ScanKernelAvailable(ScanKernelKind::kAvx512)) {
+    GTEST_SKIP() << "AVX-512 unavailable on this CPU";
+  }
+  Rng rng(18);
+  const fp::Fingerprint query = UniformRandomFingerprint(&rng);
+  const DescriptorBlock block = MakeTestBlock(query, 1201, &rng);
+  const auto sets = MakeIndexSets(block.size(), &rng);
+  for (const auto& ids : sets) {
+    std::vector<uint32_t> reference(ids.size());
+    std::vector<uint32_t> bw(ids.size());
+    internal::SqDistGatherScalar(block.descriptors(), ids.data(), ids.size(),
+                                 query.data(), reference.data());
+    internal::SqDistGatherAvx512Bw(block.descriptors(), ids.data(),
+                                   ids.size(), query.data(), bw.data());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      ASSERT_EQ(reference[i], bw[i]) << "BW gather " << i;
+    }
+    if (internal::Avx512VnniAvailable()) {
+      std::vector<uint32_t> vnni(ids.size());
+      internal::SqDistGatherAvx512Vnni(block.descriptors(), ids.data(),
+                                       ids.size(), query.data(),
+                                       vnni.data());
+      for (size_t i = 0; i < ids.size(); ++i) {
+        ASSERT_EQ(reference[i], vnni[i]) << "VNNI gather " << i;
+      }
     }
   }
 }

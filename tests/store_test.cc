@@ -18,6 +18,7 @@
 #include "core/database.h"
 #include "core/synthetic_db.h"
 #include "store/segment_format.h"
+#include "store/segment_searcher.h"
 #include "util/io.h"
 #include "util/rng.h"
 
@@ -736,6 +737,33 @@ TEST(SegmentStoreTest, ConcurrentReadersDuringCompaction) {
   EXPECT_GT(reads.load(), 0u);
   ASSERT_TRUE(store->AppendSegment(block, keys).ok());
   EXPECT_EQ(store->total_records(), total + 200);
+}
+
+// Ephemeral searchers (no --store-dir) must each materialize their own
+// private temp directory: the mkdtemp template is rewritten in place, so
+// two live searchers never share (and never delete) each other's store.
+TEST(SegmentSearcherTest, EphemeralSearchersGetDistinctMaterializedDirs) {
+  const SegmentSearcherOptions options;  // empty store_dir = ephemeral
+  auto a = SegmentSearcher::Open(core::FingerprintDatabase(), options);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  auto b = SegmentSearcher::Open(core::FingerprintDatabase(), options);
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+
+  const std::string dir_a = (*a)->store_dir();
+  const std::string dir_b = (*b)->store_dir();
+  EXPECT_NE(dir_a, dir_b) << "ephemeral searchers share a store directory";
+  // The template placeholder must be gone and the directories must exist.
+  EXPECT_EQ(dir_a.find("XXXXXX"), std::string::npos) << dir_a;
+  EXPECT_EQ(dir_b.find("XXXXXX"), std::string::npos) << dir_b;
+  EXPECT_TRUE(std::filesystem::is_directory(dir_a));
+  EXPECT_TRUE(std::filesystem::is_directory(dir_b));
+
+  // Destroying one searcher removes only its own directory.
+  a->reset();
+  EXPECT_FALSE(std::filesystem::exists(dir_a));
+  EXPECT_TRUE(std::filesystem::is_directory(dir_b));
+  b->reset();
+  EXPECT_FALSE(std::filesystem::exists(dir_b));
 }
 
 }  // namespace

@@ -8,7 +8,11 @@
 # luck. The quantized stanza (BM_CodedRefineScan) adds the lvq8/lvq4
 # descriptor codecs: records/sec through the fused decode+distance
 # kernels, bytes per stored descriptor, the byte reduction over the exact
-# 20-byte layout, and the recall of the exact match set.
+# 20-byte layout, and the recall of the exact match set. The gather stanza
+# (BM_BatchedDistance) adds the graph-traversal distance path: one
+# GatherScorer::Score call over 32 gathered candidates per kernel vs the
+# naive one-record-at-a-time loop, per codec — the batched-over-looped
+# speedup is the perf claim behind the vamana beam search.
 #
 # Also runs the block-selection micro benchmarks (BM_SelectStatistical /
 # BM_SelectRange over the same corpus's filter) and writes BENCH_filter.json:
@@ -38,7 +42,14 @@
 # exemplar trace of the run lands next to the build as
 # bench_service_slowlog.json (Chrome trace format).
 #
-# Usage: tools/run_benchmarks.sh [build-dir [scan-json [filter-json [service-json [store-json]]]]]
+# Also runs the equal-recall ANN harness (bench/ann_equal_recall: the
+# vamana graph backend's beam width swept until it matches the exact S3
+# range query's match set at recall 0.95 / 0.99 / 1.0 on the same
+# 200k-record corpus, per descriptor codec) and writes BENCH_ann.json:
+# the full sweep plus the matched-recall operating points with latency,
+# throughput and the speedup over the exact baseline.
+#
+# Usage: tools/run_benchmarks.sh [build-dir [scan-json [filter-json [service-json [store-json [ann-json]]]]]]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -47,6 +58,7 @@ out_json="${2:-${repo_root}/BENCH_scan.json}"
 filter_json="${3:-${repo_root}/BENCH_filter.json}"
 service_json="${4:-${repo_root}/BENCH_service.json}"
 store_json="${5:-${repo_root}/BENCH_store.json}"
+ann_json="${6:-${repo_root}/BENCH_ann.json}"
 
 if [[ ! -x "${build_dir}/bench/micro_benchmarks" ]]; then
   cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release
@@ -86,7 +98,7 @@ raw_json="$(mktemp)"
 trap 'rm -f "${raw_json}"' EXIT
 
 "${build_dir}/bench/micro_benchmarks" \
-  --benchmark_filter='^BM_RefineScan|^BM_CodedRefineScan' \
+  --benchmark_filter='^BM_RefineScan|^BM_CodedRefineScan|^BM_BatchedDistance' \
   --benchmark_format=json \
   --benchmark_out="${raw_json}" \
   --benchmark_out_format=json >&2
@@ -109,13 +121,28 @@ host = {
 EXACT_BYTES = 20.0
 kernels = {}
 quantized = {}
+gather = {}
 for b in raw.get("benchmarks", []):
     if b.get("run_type") != "iteration" or "error_occurred" in b:
         continue
     label = b.get("label", "")
     if not label:
         continue
-    if label.startswith("coded:"):
+    if label.startswith("gather:"):
+        # "gather:<codec>:batched:<kernel>" / "gather:<codec>:looped"
+        # from BM_BatchedDistance (32 gathered candidates per call).
+        parts = label.split(":")
+        codec = parts[1]
+        entry = gather.setdefault(codec, {"looped": None, "batched": {}})
+        row = {
+            "candidates_per_second": b.get("items_per_second", 0.0),
+            "ns_per_batch": b.get("real_time", 0.0),
+        }
+        if parts[2] == "looped":
+            entry["looped"] = row
+        else:
+            entry["batched"][parts[3]] = row
+    elif label.startswith("coded:"):
         # "coded:<codec>:<kernel>" from BM_CodedRefineScan.
         _, codec, kernel = label.split(":")
         bytes_per_record = b.get("bytes_per_record", EXACT_BYTES)
@@ -151,6 +178,17 @@ for codec, entry in quantized.items():
     entry["fraction_of_exact_best"] = (
         best / best_simd if best_simd > 0 else None)
 
+for codec, entry in gather.items():
+    best_name, best_rps = None, 0.0
+    for name, row in entry["batched"].items():
+        if row["candidates_per_second"] > best_rps:
+            best_rps = row["candidates_per_second"]
+            best_name = name
+    looped = (entry["looped"] or {}).get("candidates_per_second", 0.0)
+    entry["best_batched_kernel"] = best_name
+    entry["batched_over_looped"] = (
+        best_rps / looped if looped > 0 else None)
+
 result = {
     "benchmark": "BM_RefineScan / BM_CodedRefineScan",
     "description": ("seqscan refine sweep over 200000 records, "
@@ -158,7 +196,10 @@ result = {
                     "'quantized' covers the lvq8/lvq4 descriptor codecs "
                     "through the fused decode+distance kernels (recall is "
                     "of the exact-codec match set, measured on the same "
-                    "corpus and query)"),
+                    "corpus and query); 'gather' is the graph-traversal "
+                    "distance path (BM_BatchedDistance): one "
+                    "GatherScorer::Score call over 32 gathered candidates "
+                    "per kernel vs the one-record-at-a-time loop"),
     "backend": "seqscan",
     "sweep_records": 200000,
     "host": host,
@@ -167,6 +208,7 @@ result = {
     "simd_speedup_over_scalar":
         (best_simd / scalar) if scalar > 0 else None,
     "quantized": quantized,
+    "gather": gather,
     "context": raw.get("context", {}),
 }
 with open(out_path, "w") as f:
@@ -182,6 +224,12 @@ for codec in sorted(quantized):
           f"descriptor bytes, recall "
           f"{entry['recall_of_exact_matches']:.3f}, best "
           f"{entry['best_records_per_second'] / 1e6:.1f} Mrec/s")
+for codec in sorted(gather):
+    entry = gather[codec]
+    ratio = entry["batched_over_looped"]
+    if ratio is not None:
+        print(f"gather {codec}: batched ({entry['best_batched_kernel']}) "
+              f"{ratio:.2f}x over looped")
 PY
 
 echo "Wrote ${out_json}"
@@ -553,3 +601,15 @@ if hedging:
 PY
 
 echo "Wrote ${service_json}"
+
+# Equal-recall ANN harness: the vamana graph backend against the exact S3
+# range query on the same 200k-record corpus, the beam width swept until
+# each target recall is matched. The binary writes the JSON itself (sweep
+# + operating points) and picks the host attribution up from the
+# S3VCD_BENCH_* environment exported above.
+if [[ ! -x "${build_dir}/bench/ann_equal_recall" ]]; then
+  cmake --build "${build_dir}" --target ann_equal_recall -j"$(nproc)"
+fi
+"${build_dir}/bench/ann_equal_recall" --out "${ann_json}" >&2
+
+echo "Wrote ${ann_json}"

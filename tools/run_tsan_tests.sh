@@ -11,8 +11,10 @@
 # decode kernels lean on unsigned wraparound and per-function ISA targets,
 # exactly the code UBSan is good at auditing. The service tests join this
 # leg too — the hedging/cancellation machinery (first-wins claims, token
-# buckets, quantile arithmetic) runs under both sanitizers. Skip it with
-# S3VCD_SKIP_UBSAN=1.
+# buckets, quantile arithmetic) runs under both sanitizers — as does the
+# backend parity suite, whose vamana legs drive the gather kernels and the
+# graph blob reader (bounds arithmetic on untrusted header fields) under
+# both sanitizers. Skip it with S3VCD_SKIP_UBSAN=1.
 #
 # Usage: tools/run_tsan_tests.sh [tsan-build-dir [ubsan-build-dir]]
 set -euo pipefail
@@ -45,12 +47,13 @@ cmake -S "${repo_root}" -B "${ubsan_dir}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DS3VCD_SANITIZE=undefined
 cmake --build "${ubsan_dir}" --target scan_kernel_test store_test \
-  segment_parity_test descriptor_codec_test service_test -j"$(nproc)"
+  segment_parity_test descriptor_codec_test service_test \
+  backend_parity_test -j"$(nproc)"
 
 (
   cd "${ubsan_dir}"
   UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
     ctest --output-on-failure \
-    -R '^(scan_kernel_test|scan_kernel_test_nosimd|scan_kernel_test_forced_scalar|store_test|segment_parity_test|descriptor_codec_test|service_test)$'
+    -R '^(scan_kernel_test|scan_kernel_test_nosimd|scan_kernel_test_forced_scalar|store_test|segment_parity_test|descriptor_codec_test|service_test|backend_parity_test)$'
 )
 echo "UBSan run passed."

@@ -195,8 +195,11 @@ const std::vector<CommandSpec>& Commands() {
         {"seed", "deterministic seed (default 99)"},
         {"pseudo-disk", "also replay via pseudo-disk with 2^R sections"},
         {"store-dir", "segment backend: persistent store directory"},
-        {"codec", "segment backend: descriptor codec for new segments "
+        {"codec", "segment/vamana backends: descriptor codec "
                   "(exact, lvq4, lvq8; default exact)"},
+        {"graph-degree", "vamana backend: graph out-degree bound R "
+                         "(default 32)"},
+        {"beam-width", "vamana backend: query beam width L (default 64)"},
         {"metrics-out", "write a metrics JSON snapshot to FILE"},
         {"trace-out", "write Chrome trace-event JSON to FILE"}}},
       {"compact",
@@ -219,6 +222,9 @@ const std::vector<CommandSpec>& Commands() {
        "drive the sharded batch query service under producer pressure",
        {{"db", "database path (required)"},
         {"backend", "per-shard registry backend (default dynamic)"},
+        {"graph-degree", "vamana backend: graph out-degree bound R "
+                         "(default 32)"},
+        {"beam-width", "vamana backend: query beam width L (default 64)"},
         {"shards", "number of index shards K (default 4)"},
         {"policy", "sharding policy: range | hash (default range)"},
         {"workers", "service worker threads per replica (default 2)"},
@@ -262,6 +268,9 @@ const std::vector<CommandSpec>& Commands() {
         {"seed", "deterministic seed (default 42)"},
         {"query-pool", "distinct query fingerprints (default 512)"},
         {"backend", "per-shard registry backend (default dynamic)"},
+        {"graph-degree", "vamana backend: graph out-degree bound R "
+                         "(default 32)"},
+        {"beam-width", "vamana backend: query beam width L (default 64)"},
         {"shards", "number of index shards K (default 4)"},
         {"policy", "sharding policy: range | hash (default range)"},
         {"workers", "service worker threads per replica (default 2)"},
@@ -343,6 +352,15 @@ bool ValidateBackend(const std::string& command, const std::string& backend) {
                command.c_str(), backend.c_str(),
                core::SearcherRegistry::Global().NamesCsv().c_str());
   return false;
+}
+
+// Maps the vamana graph knobs (--graph-degree, --beam-width) into a
+// SearcherConfig; other backends ignore the fields.
+void ApplyVamanaFlags(const Flags& flags, core::SearcherConfig* config) {
+  config->vamana_graph_degree =
+      static_cast<int>(flags.GetInt("graph-degree", 32));
+  config->vamana_beam_width =
+      static_cast<int>(flags.GetInt("beam-width", 64));
 }
 
 bool WriteTextFile(const std::string& path, const std::string& content) {
@@ -605,6 +623,14 @@ int CmdQuery(const Flags& flags) {
   core::SearcherConfig config;
   config.segment_store_dir = flags.Get("store-dir", "");
   config.segment_codec = flags.Get("codec", "exact");
+  config.vamana_codec = config.segment_codec;
+  ApplyVamanaFlags(flags, &config);
+  if (backend == "vamana") {
+    // Persist the built graph next to the database so repeat runs load it
+    // instead of rebuilding (invalidated automatically when the records
+    // or the build options change — see core/vamana.h).
+    config.vamana_graph_path = path + ".vamana";
+  }
   {
     core::DescriptorCodecKind parsed;
     if (!core::DescriptorCodecFromName(config.segment_codec, &parsed)) {
@@ -897,6 +923,7 @@ int CmdServeBatch(const Flags& flags) {
   service::ShardedSearcherOptions sharding;
   sharding.num_shards = static_cast<int>(flags.GetInt("shards", 4));
   sharding.backend = backend;
+  ApplyVamanaFlags(flags, &sharding.config);
   if (policy_name == "range") {
     sharding.policy = service::ShardingPolicy::kHilbertRange;
   } else if (policy_name == "hash") {
@@ -1099,6 +1126,7 @@ int CmdLoadgen(const Flags& flags) {
   service::ShardedSearcherOptions sharding;
   sharding.num_shards = static_cast<int>(flags.GetInt("shards", 4));
   sharding.backend = backend;
+  ApplyVamanaFlags(flags, &sharding.config);
   if (policy_name == "range") {
     sharding.policy = service::ShardingPolicy::kHilbertRange;
   } else if (policy_name == "hash") {
